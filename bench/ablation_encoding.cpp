@@ -1,0 +1,80 @@
+// Ablation A: radix versus rate encoding.
+//
+// The paper's motivating claim (Sec. I, IV-B): radix encoding reaches
+// state-of-the-art accuracy with ~6 time steps where rate-coded designs
+// need ~10 (Fang et al.) up to hundreds — "a potential efficiency
+// improvement of around 40% by the neural encoding scheme alone".
+//
+// Two experiments:
+//   1. Round-trip encoding error vs T (radix error halves per step; rate
+//      error decays only as 1/T).
+//   2. LeNet-5 classification accuracy vs T under both encodings: radix via
+//      the quantized network (bit-exact accelerator arithmetic), rate via
+//      the integrate-and-fire simulator on the same float weights.
+#include <cstdio>
+
+#include "encoding/analysis.hpp"
+#include "harness.hpp"
+#include "quant/quantize.hpp"
+#include "snn/rate_snn.hpp"
+
+int main() {
+  using namespace rsnn;
+  std::printf("Ablation: radix vs rate encoding\n");
+
+  // --- encoding error sweep -------------------------------------------
+  Rng rng(42);
+  const TensorF values = encoding::uniform_test_values(4096, rng);
+  bench::TablePrinter err_table({"T", "Radix RMS err", "Rate RMS err",
+                                 "Radix spikes/neuron", "Rate spikes/neuron"});
+  for (const int T : {1, 2, 3, 4, 5, 6, 8, 10, 12, 16}) {
+    const auto radix = encoding::radix_error(values, T);
+    const auto rate = encoding::rate_error(values, T);
+    err_table.add_row(
+        {bench::fmt_int(T), bench::fmt(radix.rms_error, 5),
+         bench::fmt(rate.rms_error, 5),
+         bench::fmt(static_cast<double>(radix.total_spikes) / values.numel(), 2),
+         bench::fmt(static_cast<double>(rate.total_spikes) / values.numel(), 2)});
+  }
+  err_table.print("Round-trip encoding error versus spike-train length");
+
+  // --- accuracy sweep ---------------------------------------------------
+  bench::TrainedModel model = bench::load_or_train_lenet5(/*quiet=*/false);
+  std::printf("ANN reference accuracy: %.2f%%\n", 100.0 * model.ann_accuracy);
+
+  const std::size_t eval_n = std::min<std::size_t>(model.test.size(), 120);
+  bench::TablePrinter acc_table(
+      {"T", "Radix acc [%]", "Rate acc [%]", "Radix latency-equivalent"});
+
+  for (const int T : {2, 3, 4, 6, 8, 12, 16}) {
+    // Radix: quantized network (== accelerator arithmetic).
+    const auto qnet =
+        quant::quantize(model.network, quant::QuantizeConfig{3, T});
+    const double radix_acc =
+        bench::quantized_accuracy_pct(qnet, model.test, eval_n);
+
+    // Rate: IF dynamics on the float network.
+    const snn::RateSnn rate_snn(model.network, snn::RateSnnConfig{T, 1.0f});
+    std::int64_t rate_correct = 0;
+    for (std::size_t i = 0; i < eval_n; ++i)
+      if (rate_snn.run_image(model.test.images[i]).predicted_class ==
+          model.test.labels[i])
+        ++rate_correct;
+    const double rate_acc =
+        100.0 * static_cast<double>(rate_correct) / static_cast<double>(eval_n);
+
+    acc_table.add_row({bench::fmt_int(T), bench::fmt(radix_acc, 2),
+                       bench::fmt(rate_acc, 2), bench::fmt_int(T)});
+    std::printf("  T=%d done (radix %.1f%%, rate %.1f%%)\n", T, radix_acc,
+                rate_acc);
+    std::fflush(stdout);
+  }
+  acc_table.print("LeNet-5 accuracy versus spike-train length");
+
+  std::printf(
+      "\nShape check: radix saturates by T~5-6; rate needs substantially\n"
+      "longer trains for the same accuracy. Since latency scales linearly\n"
+      "with T on this architecture, matching Fang et al.'s ~10 rate steps\n"
+      "with ~6 radix steps is the paper's ~40%% efficiency headline.\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Ablation B: memory-access reduction of the row-based dataflow.
+//
+// The paper's architectural claim (Sec. III-A, conclusion): the row-based
+// execution with an input shift register "heavily reduces the number of
+// memory accesses to load kernels and activations" compared to a naive
+// sliding-window dataflow that re-fetches the Kr x Kc window per output.
+// This bench quantifies the reduction for every conv layer of the paper's
+// workloads.
+#include <cstdio>
+
+#include "hw/arch.hpp"
+#include "hw/latency_model.hpp"
+#include "harness.hpp"
+
+namespace {
+
+using namespace rsnn;
+
+struct LayerSpec {
+  const char* model;
+  const char* layer;
+  hw::ConvDims dims;
+  int time_steps;
+};
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation: row-based dataflow vs naive sliding window\n");
+
+  const LayerSpec layers[] = {
+      {"LeNet-5", "conv1 6C5", {1, 6, 32, 32, 5, 1, 0}, 4},
+      {"LeNet-5", "conv2 16C5", {6, 16, 14, 14, 5, 1, 0}, 4},
+      {"LeNet-5", "conv3 120C5", {16, 120, 5, 5, 5, 1, 0}, 4},
+      {"Fang-CNN", "conv1 32C3", {1, 32, 28, 28, 3, 1, 0}, 4},
+      {"Fang-CNN", "conv2 32C3", {32, 32, 13, 13, 3, 1, 0}, 4},
+      {"VGG-11", "conv1 64C3", {3, 64, 32, 32, 3, 1, 1}, 6},
+      {"VGG-11", "conv4 256C3", {256, 256, 8, 8, 3, 1, 1}, 6},
+      {"VGG-11", "conv8 512C3", {512, 512, 2, 2, 3, 1, 1}, 6},
+  };
+
+  bench::TablePrinter table({"Model", "Layer", "Naive reads [kbit]",
+                             "Row-based reads [kbit]", "Reduction",
+                             "Kernel fetches [kbit]"});
+
+  hw::AcceleratorConfig cfg = hw::lenet_reference_config();
+  cfg.conv = hw::ConvUnitGeometry{32, 5, 24};
+  cfg.num_conv_units = 2;
+
+  double worst = 1e30, best = 0, naive_total = 0, ours_total = 0;
+  for (const LayerSpec& spec : layers) {
+    const auto lat = hw::conv_latency(spec.dims, cfg, spec.time_steps,
+                                      hw::WeightPlacement::kOnChip, 3);
+    const std::int64_t naive =
+        hw::naive_conv_act_reads_bits(spec.dims, spec.time_steps);
+    const double reduction =
+        static_cast<double>(naive) /
+        static_cast<double>(lat.traffic.act_read_bits);
+    worst = std::min(worst, reduction);
+    best = std::max(best, reduction);
+    naive_total += static_cast<double>(naive);
+    ours_total += static_cast<double>(lat.traffic.act_read_bits);
+
+    table.add_row({spec.model, spec.layer,
+                   bench::fmt(static_cast<double>(naive) / 1000.0, 0),
+                   bench::fmt(static_cast<double>(lat.traffic.act_read_bits) /
+                                  1000.0, 0),
+                   bench::fmt(reduction, 1) + "x",
+                   bench::fmt(static_cast<double>(
+                                  lat.traffic.weight_read_bits) / 1000.0, 0)});
+  }
+  table.print("Activation-buffer reads: naive window vs row-based dataflow");
+
+  std::printf(
+      "\nAggregate reduction over all layers: %.1fx (per-layer range "
+      "%.1fx .. %.1fx).\nThe reduction equals the kernel window area scaled "
+      "by the output-channel\nsharing of a unit — the architectural reason "
+      "the paper's adder arrays can\nbe fed from block RAM without DSPs or "
+      "high memory bandwidth.\n",
+      naive_total / ours_total, worst, best);
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Ablation D: spike activity and event energy versus spike-train length.
+//
+// Radix encoding's efficiency argument is usually framed as latency, but
+// the event count is what drives dynamic energy in adder-based SNN fabric.
+// This bench measures, on the trained LeNet-5, how per-inference spikes and
+// fired additions scale with T for radix encoding, and compares against the
+// event count a rate-coded input would need for comparable accuracy
+// (T≈10 per Fang et al., as cited in paper Sec. IV-B).
+#include <cstdio>
+
+#include "encoding/rate.hpp"
+#include "harness.hpp"
+#include "quant/quantize.hpp"
+#include "snn/sparsity.hpp"
+
+int main() {
+  using namespace rsnn;
+  std::printf("Ablation: spike activity & event energy vs time steps\n");
+
+  bench::TrainedModel model = bench::load_or_train_lenet5(/*quiet=*/false);
+  const auto eval = model.test.take(24);
+
+  bench::TablePrinter table({"T", "Acc [%]", "Spikes/inf", "SynOps/inf",
+                             "Dyn energy [uJ]", "Input spike rate"});
+  for (const int T : {3, 4, 5, 6, 8}) {
+    const auto qnet =
+        quant::quantize(model.network, quant::QuantizeConfig{3, T});
+    const auto report = snn::analyze_sparsity(qnet, eval);
+    const double acc = bench::quantized_accuracy_pct(qnet, model.test, 120);
+    table.add_row({bench::fmt_int(T), bench::fmt(acc, 2),
+                   bench::fmt(report.total_spikes_per_sample, 0),
+                   bench::fmt(report.total_synaptic_ops_per_sample, 0),
+                   bench::fmt(report.dynamic_energy_uj_per_sample, 3),
+                   bench::fmt(report.layers[0].spike_rate, 3)});
+    std::printf("  T=%d done\n", T);
+    std::fflush(stdout);
+  }
+  table.print("Radix-encoded LeNet-5: activity versus spike-train length");
+
+  // Rate-coded reference: event count of the *input layer alone* at the
+  // T=10 a rate-coded design needs for LeNet-class accuracy.
+  const int rate_T = 10;
+  double rate_input_spikes = 0.0;
+  for (std::size_t i = 0; i < eval.size(); ++i) {
+    const auto train = encoding::rate_encode(eval.images[i], rate_T);
+    rate_input_spikes += static_cast<double>(train.total_spikes());
+  }
+  rate_input_spikes /= static_cast<double>(eval.size());
+
+  const auto q4 = quant::quantize(model.network, quant::QuantizeConfig{3, 4});
+  const auto radix4 = snn::analyze_sparsity(q4, eval);
+  std::printf(
+      "\nInput-layer events per inference: radix T=4: %.0f, rate T=10: %.0f\n"
+      "-> the encoding alone cuts input events by %.1fx at matched accuracy,\n"
+      "   on top of the %.1fx shorter spike train (latency is ~linear in T).\n",
+      radix4.layers[0].mean_spikes, rate_input_spikes,
+      rate_input_spikes / radix4.layers[0].mean_spikes, 10.0 / 4.0);
+  return 0;
+}

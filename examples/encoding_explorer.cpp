@@ -1,0 +1,90 @@
+// Encoding explorer — a pedagogical tour of the paper's core idea.
+//
+// Shows, for concrete values, what radix-encoded and rate-encoded spike
+// trains look like, how the radix left-shift accumulation recovers the
+// value, and how the round-trip error of the two schemes scales with the
+// spike-train length.
+//
+// Usage: encoding_explorer [value=0.6372] [T=6]
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/rng.hpp"
+#include "encoding/analysis.hpp"
+#include "encoding/radix.hpp"
+#include "encoding/rate.hpp"
+
+namespace {
+
+void print_train(const char* label, const rsnn::encoding::SpikeTrain& train) {
+  std::printf("%-18s t=0..%d : ", label, train.time_steps() - 1);
+  for (int t = 0; t < train.time_steps(); ++t)
+    std::printf("%c", train.spike(t, 0) ? '|' : '.');
+  std::printf("   (%d spikes)\n", train.spike_count(0));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rsnn;
+  const double value = argc > 1 ? std::atof(argv[1]) : 0.6372;
+  const int T = argc > 2 ? std::atoi(argv[2]) : 6;
+  if (value < 0.0 || value >= 1.0 || T < 1 || T > 16) {
+    std::printf("value must be in [0,1), T in 1..16\n");
+    return 1;
+  }
+
+  TensorF v(Shape{1});
+  v.at_flat(0) = static_cast<float>(value);
+
+  std::printf("value a = %.6f, spike train length T = %d\n\n", value, T);
+
+  // ---- radix ---------------------------------------------------------------
+  const auto radix = encoding::radix_encode(v, T);
+  print_train("radix (MSB first)", radix);
+
+  const TensorI codes = encoding::radix_decode_codes(radix);
+  std::printf("  integer code A = floor(a * 2^T) = %d\n", codes.at_flat(0));
+  std::printf("  hardware recovery via left-shift accumulation:\n");
+  std::int64_t acc = 0;
+  for (int t = 0; t < T; ++t) {
+    acc = (acc << 1) + (radix.spike(t, 0) ? 1 : 0);
+    std::printf("    t=%d: acc = (acc << 1) + s_t = %lld\n", t,
+                static_cast<long long>(acc));
+  }
+  std::printf("  decoded a~ = A / 2^T = %.6f (error %.6f <= 2^-T = %.6f)\n\n",
+              static_cast<double>(acc) / (1 << T),
+              value - static_cast<double>(acc) / (1 << T),
+              1.0 / (1 << T));
+
+  // ---- rate ----------------------------------------------------------------
+  const auto rate = encoding::rate_encode(v, T);
+  print_train("rate (uniform)", rate);
+  const auto decoded = encoding::rate_decode(rate);
+  std::printf("  decoded a~ = count / T = %.6f (error %.6f, bound ~1/(2T) = "
+              "%.6f)\n\n",
+              decoded.at_flat(0), value - decoded.at_flat(0), 0.5 / T);
+
+  Rng rng(1);
+  const auto stochastic = encoding::rate_encode_stochastic(v, T, rng);
+  print_train("rate (stochastic)", stochastic);
+  std::printf("\n");
+
+  // ---- error scaling --------------------------------------------------------
+  const TensorF sweep_values = encoding::uniform_test_values(4096, rng);
+  std::printf("round-trip RMS error over 4096 uniform values:\n");
+  std::printf("  %-4s %-12s %-12s %s\n", "T", "radix", "rate",
+              "radix advantage");
+  for (int steps = 1; steps <= 12; ++steps) {
+    const auto radix_stats = encoding::radix_error(sweep_values, steps);
+    const auto rate_stats = encoding::rate_error(sweep_values, steps);
+    std::printf("  %-4d %-12.6f %-12.6f %.1fx\n", steps,
+                radix_stats.rms_error, rate_stats.rms_error,
+                rate_stats.rms_error / radix_stats.rms_error);
+  }
+  std::printf(
+      "\nradix error halves per step (2^-T); rate error shrinks only as "
+      "1/T.\nThat gap is why the paper needs 6 steps where rate-coded "
+      "accelerators need tens to hundreds.\n");
+  return 0;
+}

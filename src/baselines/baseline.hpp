@@ -1,0 +1,45 @@
+// Baseline accelerator models for the Table III comparison.
+//
+// The paper compares against two prior FPGA SNN accelerators. We model each
+// from its published operating point and architecture description, so the
+// comparison harness *computes* the ratios instead of hard-coding them:
+//
+//   * Ju et al. 2020 [12]  — Zynq-based engine, rate encoding, reuses input
+//     feature-map values across conv/max-pool; ~20+ time steps.
+//   * Fang et al. 2020 [11] — HLS-generated streaming pipeline using the
+//     spike response model on DSP slices; ~10 time steps for 99.2% MNIST.
+//
+// Each model exposes (a) the published design point verbatim and (b) an
+// ops-proportional scaling rule for other workloads / spike-train lengths,
+// which is the standard first-order way to extrapolate a fixed-architecture
+// accelerator.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace rsnn::baselines {
+
+struct BaselineReport {
+  std::string name;
+  std::string platform;
+  std::string dataset;
+  std::string network;
+  double accuracy_pct = 0.0;
+  double frequency_mhz = 0.0;
+  double latency_us = 0.0;
+  double throughput_fps = 0.0;
+  double power_w = 0.0;
+  std::int64_t luts = 0;
+  std::int64_t flip_flops = 0;
+  int time_steps = 0;
+};
+
+/// Workload description used for scaling: synaptic operations per time step
+/// and the spike-train length the baseline needs for its accuracy.
+struct BaselineWorkload {
+  double synaptic_ops_per_step = 0.0;
+  int time_steps = 0;
+};
+
+}  // namespace rsnn::baselines

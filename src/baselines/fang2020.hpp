@@ -1,0 +1,25 @@
+// Model of Fang et al., "Encoding, model, and architecture: systematic
+// optimization for spiking neural network in FPGAs" (ICCAD 2020) — the
+// paper's primary comparison target [11].
+#pragma once
+
+#include "baselines/baseline.hpp"
+
+namespace rsnn::baselines {
+
+/// Published Table III row: MNIST CNN (28x28-32C3-P2-32C3-P2-256-10),
+/// 125 MHz, 7530 us latency, 2124 fps (layer-pipelined), 4.5 W, 156k/233k.
+BaselineReport fang2020_published();
+
+/// Architecture-derived latency estimate for a workload with the given
+/// per-step synaptic ops and time-step count, calibrated so the published
+/// design point reproduces itself. The design is a streaming pipeline whose
+/// initiation interval is set by its slowest layer; latency scales with
+/// time steps and ops, throughput with the pipeline interval.
+BaselineReport fang2020_scaled(const BaselineWorkload& workload);
+
+/// Synaptic ops per time step of the published MNIST CNN (for calibration
+/// checks and the Table III harness).
+double fang2020_reference_ops_per_step();
+
+}  // namespace rsnn::baselines

@@ -1,0 +1,58 @@
+#include "baselines/ju2020.hpp"
+
+#include "common/assert.hpp"
+
+namespace rsnn::baselines {
+namespace {
+
+constexpr double kFrequencyMhz = 150.0;
+constexpr double kLatencyUs = 6110.0;
+constexpr double kThroughputFps = 164.0;
+constexpr double kPowerW = 4.6;
+constexpr std::int64_t kLuts = 107000;
+constexpr std::int64_t kFfs = 67000;
+constexpr double kAccuracyPct = 98.9;
+constexpr int kTimeSteps = 20;  // rate-coded steps reported by [12]
+
+// MNIST CNN 1: 28x28 - 64C5 - P2 - 64C5 - P2 - 128 - 10.
+//   conv1: 24*24*64*(5*5*1)    =    921,600 MAC/step
+//   conv2: 8*8*64*(5*5*64)     =  6,553,600
+//   fc1:   1024*128            =    131,072
+//   fc2:   128*10              =      1,280
+double reference_ops() { return 921600.0 + 6553600.0 + 131072.0 + 1280.0; }
+
+}  // namespace
+
+double ju2020_reference_ops_per_step() { return reference_ops(); }
+
+BaselineReport ju2020_published() {
+  BaselineReport r;
+  r.name = "Ju et al. [12]";
+  r.platform = "Xilinx Zynq (programmable logic)";
+  r.dataset = "MNIST";
+  r.network = "CNN 64C5-P2-64C5-P2-128-10";
+  r.accuracy_pct = kAccuracyPct;
+  r.frequency_mhz = kFrequencyMhz;
+  r.latency_us = kLatencyUs;
+  r.throughput_fps = kThroughputFps;
+  r.power_w = kPowerW;
+  r.luts = kLuts;
+  r.flip_flops = kFfs;
+  r.time_steps = kTimeSteps;
+  return r;
+}
+
+BaselineReport ju2020_scaled(const BaselineWorkload& workload) {
+  RSNN_REQUIRE(workload.synaptic_ops_per_step > 0 && workload.time_steps > 0);
+  BaselineReport r = ju2020_published();
+  const double ops_ratio = workload.synaptic_ops_per_step / reference_ops();
+  const double step_ratio =
+      static_cast<double>(workload.time_steps) / kTimeSteps;
+  r.latency_us = kLatencyUs * ops_ratio * step_ratio;
+  // Non-pipelined: one image at a time.
+  r.throughput_fps = 1e6 / r.latency_us;
+  r.time_steps = workload.time_steps;
+  return r;
+}
+
+}  // namespace rsnn::baselines

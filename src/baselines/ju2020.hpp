@@ -1,0 +1,19 @@
+// Model of Ju et al., "An FPGA implementation of deep spiking neural
+// networks for low-power and fast classification" (Neural Computation
+// 2020) — the paper's comparison target [12].
+#pragma once
+
+#include "baselines/baseline.hpp"
+
+namespace rsnn::baselines {
+
+/// Published Table III row: MNIST CNN (28x28-64C5-P2-64C5-P2-128-10),
+/// 150 MHz, 6110 us latency, 164 fps, 4.6 W, 107k/67k.
+BaselineReport ju2020_published();
+
+/// Ops-proportional scaling (non-pipelined engine: throughput == 1/latency).
+BaselineReport ju2020_scaled(const BaselineWorkload& workload);
+
+double ju2020_reference_ops_per_step();
+
+}  // namespace rsnn::baselines

@@ -1,0 +1,55 @@
+// Lightweight contract checking used across the library.
+//
+// RSNN_REQUIRE is a precondition check that stays active in release builds:
+// the simulator is a verification tool, so silently computing garbage after a
+// contract violation would defeat its purpose. Violations throw
+// rsnn::ContractViolation carrying the failing expression and location.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace rsnn {
+
+/// Thrown when a precondition or invariant stated in an interface is violated.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line,
+                                       const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw ContractViolation(os.str());
+}
+
+}  // namespace detail
+}  // namespace rsnn
+
+/// Precondition check, always on. Usage: RSNN_REQUIRE(n > 0, "n was " << n);
+#define RSNN_REQUIRE(expr, ...)                                               \
+  do {                                                                        \
+    if (!(expr)) {                                                            \
+      std::ostringstream rsnn_require_os_;                                    \
+      rsnn_require_os_ __VA_OPT__(<< __VA_ARGS__);                            \
+      ::rsnn::detail::contract_fail("Precondition", #expr, __FILE__,          \
+                                    __LINE__, rsnn_require_os_.str());        \
+    }                                                                         \
+  } while (false)
+
+/// Internal invariant check, always on.
+#define RSNN_ENSURE(expr, ...)                                                \
+  do {                                                                        \
+    if (!(expr)) {                                                            \
+      std::ostringstream rsnn_ensure_os_;                                     \
+      rsnn_ensure_os_ __VA_OPT__(<< __VA_ARGS__);                             \
+      ::rsnn::detail::contract_fail("Invariant", #expr, __FILE__, __LINE__,   \
+                                    rsnn_ensure_os_.str());                   \
+    }                                                                         \
+  } while (false)

@@ -1,0 +1,61 @@
+// Bit-manipulation helpers shared by the encoding and hardware layers.
+//
+// These are constexpr, so they use a throw-expression for contract checks
+// instead of RSNN_REQUIRE (which builds an ostringstream and is therefore
+// not usable in constant-evaluable code before C++23).
+#pragma once
+
+#include <cstdint>
+
+#include "common/assert.hpp"
+
+namespace rsnn {
+
+/// Number of bits needed to represent `value` (0 -> 0 bits).
+constexpr int bit_width(std::uint64_t value) {
+  int width = 0;
+  while (value != 0) {
+    ++width;
+    value >>= 1;
+  }
+  return width;
+}
+
+/// ceil(log2(value)) for value >= 1.
+constexpr int ceil_log2(std::uint64_t value) {
+  if (value < 1) throw ContractViolation("ceil_log2: value < 1");
+  return bit_width(value - 1);
+}
+
+/// Integer ceiling division for non-negative operands.
+constexpr std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  if (b <= 0 || a < 0) throw ContractViolation("ceil_div: bad operands");
+  return (a + b - 1) / b;
+}
+
+/// Extract bit `index` (0 = LSB).
+constexpr bool test_bit(std::uint64_t value, int index) {
+  return ((value >> index) & 1ull) != 0;
+}
+
+/// Saturate a signed value into the representable range of `bits`-bit
+/// two's-complement, i.e. [-2^(bits-1), 2^(bits-1)-1].
+constexpr std::int64_t saturate_signed(std::int64_t value, int bits) {
+  if (bits < 1 || bits > 63) throw ContractViolation("saturate_signed: bits");
+  const std::int64_t hi = (std::int64_t{1} << (bits - 1)) - 1;
+  const std::int64_t lo = -(std::int64_t{1} << (bits - 1));
+  if (value > hi) return hi;
+  if (value < lo) return lo;
+  return value;
+}
+
+/// Saturate an unsigned value into [0, 2^bits - 1].
+constexpr std::int64_t saturate_unsigned(std::int64_t value, int bits) {
+  if (bits < 1 || bits > 62) throw ContractViolation("saturate_unsigned: bits");
+  const std::int64_t hi = (std::int64_t{1} << bits) - 1;
+  if (value < 0) return 0;
+  if (value > hi) return hi;
+  return value;
+}
+
+}  // namespace rsnn

@@ -1,0 +1,35 @@
+// Minimal leveled logger. Single global sink (stderr) with a runtime level;
+// benchmarks lower the level to keep table output clean.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace rsnn {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global minimum level; messages below it are discarded.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& message);
+}  // namespace detail
+
+}  // namespace rsnn
+
+#define RSNN_LOG(level, ...)                                       \
+  do {                                                             \
+    if (static_cast<int>(level) >=                                 \
+        static_cast<int>(::rsnn::log_level())) {                   \
+      std::ostringstream rsnn_log_os_;                             \
+      rsnn_log_os_ << __VA_ARGS__;                                 \
+      ::rsnn::detail::log_emit(level, rsnn_log_os_.str());         \
+    }                                                              \
+  } while (false)
+
+#define RSNN_DEBUG(...) RSNN_LOG(::rsnn::LogLevel::kDebug, __VA_ARGS__)
+#define RSNN_INFO(...) RSNN_LOG(::rsnn::LogLevel::kInfo, __VA_ARGS__)
+#define RSNN_WARN(...) RSNN_LOG(::rsnn::LogLevel::kWarn, __VA_ARGS__)
+#define RSNN_ERROR(...) RSNN_LOG(::rsnn::LogLevel::kError, __VA_ARGS__)

@@ -1,0 +1,183 @@
+#include "compiler/compile.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/assert.hpp"
+#include "common/bits.hpp"
+#include "hw/accumulator_sizing.hpp"
+
+namespace rsnn::compiler {
+namespace {
+
+using quant::QConv2d;
+using quant::QFlatten;
+using quant::QLinear;
+using quant::QPool2d;
+
+std::int64_t round_up(std::int64_t value, int multiple) {
+  if (multiple <= 1) return value;
+  return ceil_div(value, multiple) * multiple;
+}
+
+}  // namespace
+
+CompiledDesign compile(const quant::QuantizedNetwork& qnet,
+                       const CompileOptions& options) {
+  RSNN_REQUIRE(!qnet.layers.empty(), "cannot compile an empty network");
+  RSNN_REQUIRE(options.num_conv_units >= 1);
+
+  CompiledDesign design;
+  hw::AcceleratorConfig& cfg = design.config;
+  cfg.name = "compiled";
+  cfg.clock_mhz = options.clock_mhz;
+  cfg.num_conv_units = options.num_conv_units;
+  cfg.linear.lanes = options.linear_lanes;
+  cfg.memory = options.memory;
+
+  // Scan the network for unit geometry requirements.
+  Shape shape = qnet.input_shape;
+  const auto shapes = qnet.layer_output_shapes();
+  std::int64_t max_conv_kernel = 0, max_conv_ow = 0;
+  std::int64_t max_pool_kernel = 0, max_pool_ow = 0;
+  bool has_conv = false, has_pool = false;
+  for (std::size_t li = 0; li < qnet.layers.size(); ++li) {
+    const auto& layer = qnet.layers[li];
+    if (const auto* conv = std::get_if<QConv2d>(&layer)) {
+      has_conv = true;
+      max_conv_kernel = std::max(max_conv_kernel, conv->kernel);
+      max_conv_ow = std::max(max_conv_ow, shapes[li].dim(2));
+    } else if (std::get_if<QPool2d>(&layer) != nullptr) {
+      has_pool = true;
+      const auto* pool = std::get_if<QPool2d>(&layer);
+      max_pool_kernel = std::max(max_pool_kernel, pool->kernel);
+      max_pool_ow = std::max(max_pool_ow, shapes[li].dim(2));
+    }
+    shape = shapes[li];
+  }
+
+  if (has_conv) {
+    cfg.conv.kernel_rows = static_cast<int>(max_conv_kernel);
+    cfg.conv.array_columns =
+        static_cast<int>(round_up(max_conv_ow, options.column_round_to));
+  }
+  if (has_pool) {
+    cfg.pool.kernel_rows = static_cast<int>(max_pool_kernel);
+    cfg.pool.array_columns =
+        static_cast<int>(round_up(max_pool_ow, options.column_round_to));
+  }
+
+  if (options.size_accumulators) {
+    const hw::AccumulatorPlan plan = hw::plan_accumulators(qnet);
+    cfg.conv.accumulator_bits = plan.conv_bits;
+    cfg.pool.accumulator_bits = plan.pool_bits;
+    cfg.linear.accumulator_bits = plan.linear_bits;
+  }
+
+  // Bind an accelerator to validate and extract placement + buffer sizing,
+  // then derive the per-layer schedule from the analytic model.
+  hw::Accelerator accel(cfg, qnet);
+  design.config = accel.config();
+
+  Shape in_shape = qnet.input_shape;
+  for (std::size_t li = 0; li < qnet.layers.size(); ++li) {
+    const auto& layer = qnet.layers[li];
+    ScheduleEntry entry;
+    entry.layer_index = static_cast<int>(li);
+    entry.placement = accel.placement()[li];
+
+    if (const auto* conv = std::get_if<QConv2d>(&layer)) {
+      hw::ConvDims dims{conv->in_channels, conv->out_channels,
+                        in_shape.dim(1),  in_shape.dim(2),
+                        conv->kernel,     conv->stride,
+                        conv->padding};
+      const auto lat = hw::conv_latency(dims, cfg, qnet.time_bits,
+                                        entry.placement, qnet.weight_bits);
+      entry.kind = "conv";
+      entry.unit = "conv_units[k=" + std::to_string(conv->kernel) + "]";
+      entry.groups = lat.groups;
+      entry.channels_per_unit = lat.channels_per_unit;
+      entry.predicted_cycles = lat.total_cycles;
+    } else if (const auto* pool = std::get_if<QPool2d>(&layer)) {
+      const auto lat =
+          hw::pool_latency(in_shape.dim(0), in_shape.dim(1), in_shape.dim(2),
+                           pool->kernel, cfg, qnet.time_bits);
+      entry.kind = "pool";
+      entry.unit = "pool_unit";
+      entry.groups = lat.groups;
+      entry.channels_per_unit = lat.channels_per_unit;
+      entry.predicted_cycles = lat.total_cycles;
+    } else if (const auto* fc = std::get_if<QLinear>(&layer)) {
+      const auto lat =
+          hw::linear_latency(fc->in_features, fc->out_features, cfg,
+                             qnet.time_bits, entry.placement, qnet.weight_bits);
+      entry.kind = "linear";
+      entry.unit = "linear_unit";
+      entry.groups = lat.groups;
+      entry.channels_per_unit = lat.channels_per_unit;
+      entry.predicted_cycles = lat.total_cycles;
+    } else {
+      entry.kind = "flatten";
+      entry.unit = "buffer transfer";
+      entry.predicted_cycles = hw::flatten_transfer_cycles(
+          in_shape.numel(), qnet.time_bits, cfg.timing);
+    }
+    design.predicted_total_cycles += entry.predicted_cycles;
+    design.schedule.push_back(entry);
+    in_shape = shapes[li];
+  }
+  design.predicted_latency_us =
+      static_cast<double>(design.predicted_total_cycles) * cfg.cycle_ns() /
+      1000.0;
+  return design;
+}
+
+CompiledDesign compile_for_latency(const quant::QuantizedNetwork& qnet,
+                                   CompileOptions base_options,
+                                   double target_latency_us,
+                                   const std::vector<int>& candidates) {
+  RSNN_REQUIRE(target_latency_us > 0.0 && !candidates.empty());
+  CompiledDesign best;
+  bool have_best = false;
+  for (const int units : candidates) {
+    CompileOptions options = base_options;
+    options.num_conv_units = units;
+    CompiledDesign design = compile(qnet, options);
+    if (design.predicted_latency_us <= target_latency_us)
+      return design;  // candidates are tried in ascending cost order
+    if (!have_best ||
+        design.predicted_latency_us < best.predicted_latency_us) {
+      best = std::move(design);
+      have_best = true;
+    }
+  }
+  return best;
+}
+
+std::string describe(const CompiledDesign& design,
+                     const quant::QuantizedNetwork& qnet) {
+  std::ostringstream os;
+  const auto& cfg = design.config;
+  os << "Compiled design @ " << cfg.clock_mhz << " MHz\n"
+     << "  conv units : " << cfg.num_conv_units << " x (X=" << cfg.conv.array_columns
+     << ", Y=" << cfg.conv.kernel_rows << ")\n"
+     << "  pool unit  : (X=" << cfg.pool.array_columns
+     << ", Y=" << cfg.pool.kernel_rows << ")\n"
+     << "  linear unit: " << cfg.linear.lanes << " lanes\n"
+     << "  T=" << qnet.time_bits << ", weights " << qnet.weight_bits << " bit\n"
+     << "  schedule:\n";
+  for (const auto& entry : design.schedule) {
+    os << "    [" << entry.layer_index << "] " << entry.kind << " on "
+       << entry.unit;
+    if (entry.groups > 0)
+      os << " groups=" << entry.groups
+         << " share=" << entry.channels_per_unit;
+    os << (entry.placement == hw::WeightPlacement::kDram ? " [DRAM]" : "")
+       << " ~" << entry.predicted_cycles << " cycles\n";
+  }
+  os << "  predicted latency: " << design.predicted_latency_us << " us ("
+     << design.predicted_total_cycles << " cycles)\n";
+  return os.str();
+}
+
+}  // namespace rsnn::compiler

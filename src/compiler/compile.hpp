@@ -1,0 +1,75 @@
+// Compiler: map a quantized network onto an accelerator design instance.
+//
+// This plays the role of the E3NE framework [14] in the paper's flow: given
+// the converted SNN it derives the hardware configuration —
+//   * convolution-unit geometry: Y = largest kernel, X >= widest output row
+//     ("choosing the number of columns X to be greater or equal than the
+//     maximum output channel size can avoid tiling of the feature maps"),
+//   * pooling-unit geometry likewise,
+//   * weight placement (BRAM if everything fits, DRAM streaming otherwise),
+//   * ping-pong buffer sizing (smallest capacity that fits every layer),
+// and produces a human-readable mapping report plus per-layer schedule.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hw/accelerator.hpp"
+#include "hw/arch.hpp"
+#include "quant/qnetwork.hpp"
+
+namespace rsnn::compiler {
+
+struct CompileOptions {
+  int num_conv_units = 2;
+  double clock_mhz = 100.0;
+  int linear_lanes = 16;
+  /// Round the conv array width up to this multiple (0 = exact fit).
+  int column_round_to = 2;
+  /// When true, synthesize the adder arrays at the exact worst-case
+  /// accumulator width computed by hw::plan_accumulators instead of the
+  /// default conservative widths (saves LUTs/FFs; see
+  /// hw/accumulator_sizing.hpp).
+  bool size_accumulators = false;
+  hw::MemoryConfig memory;
+};
+
+/// One scheduled step of the layer program.
+struct ScheduleEntry {
+  int layer_index = 0;
+  std::string kind;           ///< conv / pool / linear / flatten
+  std::string unit;           ///< which unit class executes it
+  std::int64_t groups = 0;    ///< sequential group phases
+  std::int64_t channels_per_unit = 0;
+  hw::WeightPlacement placement = hw::WeightPlacement::kOnChip;
+  std::int64_t predicted_cycles = 0;
+};
+
+struct CompiledDesign {
+  hw::AcceleratorConfig config;
+  std::vector<ScheduleEntry> schedule;
+  std::int64_t predicted_total_cycles = 0;
+  double predicted_latency_us = 0.0;
+};
+
+/// Derive a design for `qnet`. Throws if the network is not mappable
+/// (kernel larger than any supported unit, non-power-of-two pooling, ...).
+CompiledDesign compile(const quant::QuantizedNetwork& qnet,
+                       const CompileOptions& options);
+
+/// Multi-line report of the mapping decisions.
+std::string describe(const CompiledDesign& design,
+                     const quant::QuantizedNetwork& qnet);
+
+/// Design-space exploration: compile with the smallest convolution-unit
+/// count among `candidates` whose predicted latency meets
+/// `target_latency_us`; falls back to the fastest candidate when the target
+/// is unreachable (the pooling/linear units bound the floor — paper
+/// Sec. IV-C). This automates the paper's manual Table II trade-off.
+CompiledDesign compile_for_latency(const quant::QuantizedNetwork& qnet,
+                                   CompileOptions base_options,
+                                   double target_latency_us,
+                                   const std::vector<int>& candidates = {
+                                       1, 2, 4, 8, 16});
+
+}  // namespace rsnn::compiler

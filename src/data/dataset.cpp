@@ -1,0 +1,57 @@
+#include "data/dataset.hpp"
+
+#include "common/assert.hpp"
+
+namespace rsnn::data {
+
+const Shape& Dataset::sample_shape() const {
+  RSNN_REQUIRE(!images.empty(), "empty dataset");
+  return images.front().shape();
+}
+
+void Dataset::append(const Dataset& other) {
+  RSNN_REQUIRE(num_classes == other.num_classes);
+  if (!images.empty() && !other.images.empty())
+    RSNN_REQUIRE(sample_shape() == other.sample_shape());
+  images.insert(images.end(), other.images.begin(), other.images.end());
+  labels.insert(labels.end(), other.labels.begin(), other.labels.end());
+}
+
+Dataset Dataset::take(std::size_t count) const {
+  count = std::min(count, size());
+  Dataset out;
+  out.name = name;
+  out.num_classes = num_classes;
+  out.images.assign(images.begin(),
+                    images.begin() + static_cast<std::ptrdiff_t>(count));
+  out.labels.assign(labels.begin(),
+                    labels.begin() + static_cast<std::ptrdiff_t>(count));
+  return out;
+}
+
+TrainTestSplit split(const Dataset& dataset, double train_fraction) {
+  RSNN_REQUIRE(train_fraction >= 0.0 && train_fraction <= 1.0);
+  const auto n_train =
+      static_cast<std::size_t>(train_fraction * static_cast<double>(dataset.size()));
+  TrainTestSplit out;
+  out.train.name = dataset.name + "/train";
+  out.test.name = dataset.name + "/test";
+  out.train.num_classes = out.test.num_classes = dataset.num_classes;
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    Dataset& target = (i < n_train) ? out.train : out.test;
+    target.images.push_back(dataset.images[i]);
+    target.labels.push_back(dataset.labels[i]);
+  }
+  return out;
+}
+
+std::vector<std::size_t> class_histogram(const Dataset& dataset) {
+  std::vector<std::size_t> hist(static_cast<std::size_t>(dataset.num_classes), 0);
+  for (const int label : dataset.labels) {
+    RSNN_REQUIRE(label >= 0 && label < dataset.num_classes);
+    ++hist[static_cast<std::size_t>(label)];
+  }
+  return hist;
+}
+
+}  // namespace rsnn::data

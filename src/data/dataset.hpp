@@ -1,0 +1,43 @@
+// Dataset: an in-memory labeled image collection.
+//
+// Images are CHW float tensors with values in [0, 1) — the domain of a
+// radix-encoded spike train. Labels are class indices.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace rsnn::data {
+
+struct Dataset {
+  std::string name;
+  int num_classes = 0;
+  std::vector<TensorF> images;  ///< each CHW, values in [0, 1)
+  std::vector<int> labels;
+
+  std::size_t size() const { return images.size(); }
+  bool empty() const { return images.empty(); }
+
+  /// Shape of one sample (requires non-empty).
+  const Shape& sample_shape() const;
+
+  /// Append another dataset (same sample shape and class count).
+  void append(const Dataset& other);
+
+  /// First `count` samples as a new dataset (count clamped to size).
+  Dataset take(std::size_t count) const;
+};
+
+/// Split into train/test by fraction (deterministic: first part = train).
+struct TrainTestSplit {
+  Dataset train;
+  Dataset test;
+};
+TrainTestSplit split(const Dataset& dataset, double train_fraction);
+
+/// Per-class sample counts, for sanity checks on generators.
+std::vector<std::size_t> class_histogram(const Dataset& dataset);
+
+}  // namespace rsnn::data

@@ -1,0 +1,87 @@
+#include "data/idx_loader.hpp"
+
+#include <cstdint>
+#include <fstream>
+
+#include "common/assert.hpp"
+#include "common/log.hpp"
+
+namespace rsnn::data {
+namespace {
+
+std::uint32_t read_be32(std::istream& is) {
+  unsigned char bytes[4];
+  is.read(reinterpret_cast<char*>(bytes), 4);
+  return (static_cast<std::uint32_t>(bytes[0]) << 24) |
+         (static_cast<std::uint32_t>(bytes[1]) << 16) |
+         (static_cast<std::uint32_t>(bytes[2]) << 8) |
+         static_cast<std::uint32_t>(bytes[3]);
+}
+
+}  // namespace
+
+std::optional<Dataset> load_idx_pair(const std::string& image_path,
+                                     const std::string& label_path,
+                                     int pad_to_canvas) {
+  std::ifstream images(image_path, std::ios::binary);
+  std::ifstream labels(label_path, std::ios::binary);
+  if (!images.good() || !labels.good()) return std::nullopt;
+
+  const std::uint32_t image_magic = read_be32(images);
+  RSNN_REQUIRE(image_magic == 0x00000803, "bad IDX image magic in " << image_path);
+  const std::uint32_t label_magic = read_be32(labels);
+  RSNN_REQUIRE(label_magic == 0x00000801, "bad IDX label magic in " << label_path);
+
+  const std::uint32_t count = read_be32(images);
+  const std::uint32_t rows = read_be32(images);
+  const std::uint32_t cols = read_be32(images);
+  const std::uint32_t label_count = read_be32(labels);
+  RSNN_REQUIRE(count == label_count, "image/label count mismatch");
+  RSNN_REQUIRE(pad_to_canvas >= static_cast<int>(rows) &&
+                   pad_to_canvas >= static_cast<int>(cols),
+               "canvas smaller than image");
+
+  const int pad_y = (pad_to_canvas - static_cast<int>(rows)) / 2;
+  const int pad_x = (pad_to_canvas - static_cast<int>(cols)) / 2;
+
+  Dataset dataset;
+  dataset.name = "mnist";
+  dataset.num_classes = 10;
+  dataset.images.reserve(count);
+  dataset.labels.reserve(count);
+
+  std::vector<unsigned char> pixel_buffer(rows * cols);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    images.read(reinterpret_cast<char*>(pixel_buffer.data()),
+                static_cast<std::streamsize>(pixel_buffer.size()));
+    char label_byte = 0;
+    labels.read(&label_byte, 1);
+    RSNN_REQUIRE(images.good() && labels.good(), "truncated IDX file");
+
+    TensorF image(Shape{1, pad_to_canvas, pad_to_canvas}, 0.0f);
+    for (std::uint32_t y = 0; y < rows; ++y)
+      for (std::uint32_t x = 0; x < cols; ++x)
+        image(0, static_cast<std::int64_t>(y) + pad_y,
+              static_cast<std::int64_t>(x) + pad_x) =
+            static_cast<float>(pixel_buffer[y * cols + x]) / 256.0f;
+    dataset.images.push_back(std::move(image));
+    dataset.labels.push_back(static_cast<int>(static_cast<unsigned char>(label_byte)));
+  }
+  RSNN_INFO("loaded " << count << " samples from " << image_path);
+  return dataset;
+}
+
+std::optional<Dataset> load_mnist(const std::string& directory, bool train,
+                                  int pad_to_canvas) {
+  const std::string prefix = directory + (train ? "/train" : "/t10k");
+  auto result = load_idx_pair(prefix + "-images-idx3-ubyte",
+                              prefix + "-labels-idx1-ubyte", pad_to_canvas);
+  if (!result) {
+    // Some distributions use '.' instead of '-' in extension position.
+    result = load_idx_pair(prefix + "-images.idx3-ubyte",
+                           prefix + "-labels.idx1-ubyte", pad_to_canvas);
+  }
+  return result;
+}
+
+}  // namespace rsnn::data

@@ -1,0 +1,26 @@
+// IDX file loader (the MNIST distribution format).
+//
+// If the user drops the original MNIST files (train-images-idx3-ubyte etc.)
+// into a directory, load_mnist() will use them; otherwise callers fall back
+// to SynthDigits. Pixel values are scaled to [0, 1) and images are
+// zero-padded from 28x28 to the requested canvas (LeNet-5 expects 32x32).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "data/dataset.hpp"
+
+namespace rsnn::data {
+
+/// Load one IDX image file + one IDX label file. Returns nullopt when either
+/// file is missing; throws on malformed files.
+std::optional<Dataset> load_idx_pair(const std::string& image_path,
+                                     const std::string& label_path,
+                                     int pad_to_canvas);
+
+/// Load the canonical MNIST train or test split from `directory`.
+std::optional<Dataset> load_mnist(const std::string& directory, bool train,
+                                  int pad_to_canvas = 32);
+
+}  // namespace rsnn::data

@@ -1,0 +1,65 @@
+#include "data/image_io.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace rsnn::data {
+namespace {
+
+unsigned char to_byte(float value) {
+  return static_cast<unsigned char>(
+      std::clamp(value, 0.0f, 1.0f) * 255.0f);
+}
+
+}  // namespace
+
+void write_pgm(const TensorF& image, const std::string& path) {
+  RSNN_REQUIRE(image.rank() == 3 && image.dim(0) == 1,
+               "write_pgm expects [1, H, W]");
+  const std::int64_t h = image.dim(1), w = image.dim(2);
+  std::ofstream os(path, std::ios::binary);
+  RSNN_REQUIRE(os.good(), "cannot open " << path);
+  os << "P5\n" << w << " " << h << "\n255\n";
+  for (std::int64_t y = 0; y < h; ++y)
+    for (std::int64_t x = 0; x < w; ++x) {
+      const unsigned char byte = to_byte(image(0, y, x));
+      os.write(reinterpret_cast<const char*>(&byte), 1);
+    }
+  RSNN_REQUIRE(os.good(), "write failure on " << path);
+}
+
+void write_ppm(const TensorF& image, const std::string& path) {
+  RSNN_REQUIRE(image.rank() == 3 && image.dim(0) == 3,
+               "write_ppm expects [3, H, W]");
+  const std::int64_t h = image.dim(1), w = image.dim(2);
+  std::ofstream os(path, std::ios::binary);
+  RSNN_REQUIRE(os.good(), "cannot open " << path);
+  os << "P6\n" << w << " " << h << "\n255\n";
+  for (std::int64_t y = 0; y < h; ++y)
+    for (std::int64_t x = 0; x < w; ++x)
+      for (std::int64_t c = 0; c < 3; ++c) {
+        const unsigned char byte = to_byte(image(c, y, x));
+        os.write(reinterpret_cast<const char*>(&byte), 1);
+      }
+  RSNN_REQUIRE(os.good(), "write failure on " << path);
+}
+
+std::string ascii_art(const TensorF& image) {
+  RSNN_REQUIRE(image.rank() == 3 && image.dim(0) == 1,
+               "ascii_art expects [1, H, W]");
+  static constexpr char kRamp[] = " .:-=+*#%@";
+  std::ostringstream os;
+  for (std::int64_t y = 0; y < image.dim(1); ++y) {
+    for (std::int64_t x = 0; x < image.dim(2); ++x) {
+      const float v = std::clamp(image(0, y, x), 0.0f, 0.999f);
+      os << kRamp[static_cast<int>(v * 10)];
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace rsnn::data

@@ -1,0 +1,21 @@
+// Minimal image export: PGM (grayscale) / PPM (RGB) writers so the
+// procedural datasets can be inspected with any image viewer, plus an ASCII
+// renderer for quick terminal previews.
+#pragma once
+
+#include <string>
+
+#include "tensor/tensor.hpp"
+
+namespace rsnn::data {
+
+/// Write a [1, H, W] tensor (values in [0,1)) as a binary PGM file.
+void write_pgm(const TensorF& image, const std::string& path);
+
+/// Write a [3, H, W] tensor (values in [0,1)) as a binary PPM file.
+void write_ppm(const TensorF& image, const std::string& path);
+
+/// ASCII-art rendering of a single-channel image (dark -> ' ', bright -> '#').
+std::string ascii_art(const TensorF& image);
+
+}  // namespace rsnn::data

@@ -1,0 +1,199 @@
+#include "data/synth_digits.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace rsnn::data {
+namespace {
+
+// 5x7 seed font, one string per digit, '#' = ink. Classic calculator-style
+// glyphs chosen for inter-class distinctiveness.
+constexpr std::array<const char*, 10> kFont = {
+    // 0
+    " ### "
+    "#   #"
+    "#  ##"
+    "# # #"
+    "##  #"
+    "#   #"
+    " ### ",
+    // 1
+    "  #  "
+    " ##  "
+    "  #  "
+    "  #  "
+    "  #  "
+    "  #  "
+    " ### ",
+    // 2
+    " ### "
+    "#   #"
+    "    #"
+    "   # "
+    "  #  "
+    " #   "
+    "#####",
+    // 3
+    " ### "
+    "#   #"
+    "    #"
+    "  ## "
+    "    #"
+    "#   #"
+    " ### ",
+    // 4
+    "   # "
+    "  ## "
+    " # # "
+    "#  # "
+    "#####"
+    "   # "
+    "   # ",
+    // 5
+    "#####"
+    "#    "
+    "#### "
+    "    #"
+    "    #"
+    "#   #"
+    " ### ",
+    // 6
+    " ### "
+    "#    "
+    "#    "
+    "#### "
+    "#   #"
+    "#   #"
+    " ### ",
+    // 7
+    "#####"
+    "    #"
+    "   # "
+    "  #  "
+    "  #  "
+    " #   "
+    " #   ",
+    // 8
+    " ### "
+    "#   #"
+    "#   #"
+    " ### "
+    "#   #"
+    "#   #"
+    " ### ",
+    // 9
+    " ### "
+    "#   #"
+    "#   #"
+    " ####"
+    "    #"
+    "    #"
+    " ### ",
+};
+
+constexpr int kFontW = 5;
+constexpr int kFontH = 7;
+
+bool font_pixel(int digit, int x, int y) {
+  if (x < 0 || x >= kFontW || y < 0 || y >= kFontH) return false;
+  return kFont[static_cast<std::size_t>(digit)][y * kFontW + x] == '#';
+}
+
+/// Signed distance-ish coverage: fraction of ink within `radius` of the
+/// (continuous) font coordinate, sampled on the font grid.
+double ink_coverage(int digit, double fx, double fy, double radius) {
+  const int x0 = static_cast<int>(std::floor(fx - radius));
+  const int x1 = static_cast<int>(std::ceil(fx + radius));
+  const int y0 = static_cast<int>(std::floor(fy - radius));
+  const int y1 = static_cast<int>(std::ceil(fy + radius));
+  double best = 0.0;
+  for (int y = y0; y <= y1; ++y) {
+    for (int x = x0; x <= x1; ++x) {
+      if (!font_pixel(digit, x, y)) continue;
+      // Distance from sample point to the unit cell around (x, y).
+      const double dx = std::max({static_cast<double>(x) - fx,
+                                  fx - (static_cast<double>(x) + 1.0), 0.0});
+      const double dy = std::max({static_cast<double>(y) - fy,
+                                  fy - (static_cast<double>(y) + 1.0), 0.0});
+      const double dist = std::hypot(dx, dy);
+      // Soft edge: full ink inside, linear falloff over half a pixel.
+      const double coverage = std::clamp(1.0 - (dist - radius) * 2.0, 0.0, 1.0);
+      best = std::max(best, coverage);
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+TensorF render_digit(int digit, int canvas, double shift_x, double shift_y,
+                     double scale, double shear, double thickness,
+                     double intensity, double noise_stddev, Rng& rng) {
+  RSNN_REQUIRE(digit >= 0 && digit <= 9);
+  RSNN_REQUIRE(canvas >= 8);
+
+  TensorF image(Shape{1, canvas, canvas}, 0.0f);
+
+  // The glyph occupies ~60% of the canvas at scale 1.
+  const double glyph_height = 0.6 * canvas * scale;
+  const double pixels_per_cell = glyph_height / kFontH;
+  const double glyph_width = pixels_per_cell * kFontW;
+  const double origin_x = (canvas - glyph_width) / 2.0 + shift_x;
+  const double origin_y = (canvas - glyph_height) / 2.0 + shift_y;
+  const double radius = thickness / pixels_per_cell;
+
+  for (int py = 0; py < canvas; ++py) {
+    for (int px = 0; px < canvas; ++px) {
+      // Map canvas pixel center to font coordinates (inverse shear about the
+      // glyph center so the digit stays inside the canvas).
+      const double cy = py + 0.5 - origin_y;
+      double cx = px + 0.5 - origin_x;
+      cx -= shear * (cy - glyph_height / 2.0);
+      const double fx = cx / pixels_per_cell;
+      const double fy = cy / pixels_per_cell;
+      const double ink = ink_coverage(digit, fx, fy, radius);
+      if (ink <= 0.0) continue;
+      image(0, py, px) = static_cast<float>(ink * intensity);
+    }
+  }
+
+  if (noise_stddev > 0.0) {
+    for (std::int64_t i = 0; i < image.numel(); ++i) {
+      const double noisy = image.at_flat(i) + noise_stddev * rng.next_gaussian();
+      image.at_flat(i) = static_cast<float>(std::clamp(noisy, 0.0, 0.999));
+    }
+  } else {
+    for (std::int64_t i = 0; i < image.numel(); ++i)
+      image.at_flat(i) = std::clamp(image.at_flat(i), 0.0f, 0.999f);
+  }
+  return image;
+}
+
+Dataset make_synth_digits(const SynthDigitsConfig& config) {
+  Dataset dataset;
+  dataset.name = "synth_digits";
+  dataset.num_classes = 10;
+  dataset.images.reserve(config.num_samples);
+  dataset.labels.reserve(config.num_samples);
+
+  Rng rng(config.seed);
+  for (std::size_t i = 0; i < config.num_samples; ++i) {
+    const int digit = static_cast<int>(i % 10);
+    const double shift_x = rng.next_double(-config.max_shift, config.max_shift);
+    const double shift_y = rng.next_double(-config.max_shift, config.max_shift);
+    const double scale = rng.next_double(config.min_scale, config.max_scale);
+    const double shear = rng.next_double(-config.max_shear, config.max_shear);
+    const double thickness = rng.next_double(0.15, config.max_thickness);
+    const double intensity = rng.next_double(config.intensity_min, 0.999);
+    dataset.images.push_back(render_digit(digit, config.canvas, shift_x,
+                                          shift_y, scale, shear, thickness,
+                                          intensity, config.noise_stddev, rng));
+    dataset.labels.push_back(digit);
+  }
+  return dataset;
+}
+
+}  // namespace rsnn::data

@@ -1,0 +1,145 @@
+#include "data/synth_objects.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace rsnn::data {
+namespace {
+
+constexpr int kNumShapeFamilies = 5;
+
+/// Deterministic per-class style derived from the class index.
+struct ClassStyle {
+  int shape_family;      ///< 0=disc, 1=ring, 2=bar, 3=cross, 4=blob
+  double hue_fg;         ///< foreground hue in [0, 1)
+  double hue_bg;         ///< background hue
+  double texture_freq;   ///< stripes per canvas
+  double texture_angle;  ///< radians
+  double size;           ///< base radius as fraction of canvas
+};
+
+ClassStyle style_for_class(int cls, int num_classes) {
+  // Spread classes over the style space with low-discrepancy steps so that
+  // neighbouring class indices get dissimilar styles.
+  const double u = static_cast<double>(cls) * 0.6180339887498949;  // golden ratio
+  const double v = static_cast<double>(cls) * 0.7548776662466927;
+  ClassStyle s;
+  s.shape_family = cls % kNumShapeFamilies;
+  s.hue_fg = u - std::floor(u);
+  s.hue_bg = v - std::floor(v);
+  s.texture_freq = 2.0 + static_cast<double>((cls / kNumShapeFamilies) %
+                                             5);  // 2..6 stripes
+  s.texture_angle = (static_cast<double>(cls % 8) / 8.0) * M_PI;
+  s.size = 0.22 + 0.12 * (static_cast<double>((cls * 7) % num_classes) /
+                          static_cast<double>(num_classes));
+  return s;
+}
+
+/// HSV (s=1) to RGB with value v.
+void hue_to_rgb(double hue, double value, double rgb[3]) {
+  const double h6 = hue * 6.0;
+  const int sector = static_cast<int>(h6) % 6;
+  const double f = h6 - std::floor(h6);
+  const double p = 0.0, q = 1.0 - f, t = f;
+  double r = 0, g = 0, b = 0;
+  switch (sector) {
+    case 0: r = 1; g = t; b = p; break;
+    case 1: r = q; g = 1; b = p; break;
+    case 2: r = p; g = 1; b = t; break;
+    case 3: r = p; g = q; b = 1; break;
+    case 4: r = t; g = p; b = 1; break;
+    default: r = 1; g = p; b = q; break;
+  }
+  rgb[0] = r * value;
+  rgb[1] = g * value;
+  rgb[2] = b * value;
+}
+
+/// Shape mask value in [0,1] at normalized coordinates (x, y) in [-1, 1].
+double shape_mask(int family, double x, double y, double size) {
+  const double r = std::hypot(x, y);
+  auto soft = [](double signed_dist) {
+    return std::clamp(0.5 - signed_dist * 8.0, 0.0, 1.0);
+  };
+  switch (family) {
+    case 0:  // disc
+      return soft(r - size);
+    case 1:  // ring
+      return soft(std::abs(r - size) - size * 0.35);
+    case 2:  // bar
+      return soft(std::abs(y) - size * 0.45) * soft(std::abs(x) - size * 1.4);
+    case 3: {  // cross
+      const double horizontal = soft(std::abs(y) - size * 0.3) * soft(std::abs(x) - size * 1.2);
+      const double vertical = soft(std::abs(x) - size * 0.3) * soft(std::abs(y) - size * 1.2);
+      return std::max(horizontal, vertical);
+    }
+    default: {  // blob: disc modulated by angular lobes
+      const double theta = std::atan2(y, x);
+      const double lobes = size * (1.0 + 0.35 * std::sin(3.0 * theta));
+      return soft(r - lobes);
+    }
+  }
+}
+
+}  // namespace
+
+Dataset make_synth_objects(const SynthObjectsConfig& config) {
+  RSNN_REQUIRE(config.num_classes >= 2 && config.canvas >= 8);
+  Dataset dataset;
+  dataset.name = "synth_objects";
+  dataset.num_classes = config.num_classes;
+  dataset.images.reserve(config.num_samples);
+  dataset.labels.reserve(config.num_samples);
+
+  Rng rng(config.seed);
+  const int canvas = config.canvas;
+
+  for (std::size_t i = 0; i < config.num_samples; ++i) {
+    const int cls = static_cast<int>(i % static_cast<std::size_t>(config.num_classes));
+    const ClassStyle style = style_for_class(cls, config.num_classes);
+
+    // Sample-level jitter.
+    const double cx = rng.next_double(-0.15, 0.15);
+    const double cy = rng.next_double(-0.15, 0.15);
+    const double size = style.size * rng.next_double(0.85, 1.15);
+    const double angle = style.texture_angle + rng.next_double(-0.2, 0.2);
+    const double hue_jitter = rng.next_double(-0.03, 0.03);
+    const double fg_value = rng.next_double(0.75, 0.999);
+    const double bg_value = rng.next_double(0.25, 0.45);
+
+    double fg_rgb[3], bg_rgb[3];
+    hue_to_rgb(style.hue_fg + hue_jitter - std::floor(style.hue_fg + hue_jitter),
+               fg_value, fg_rgb);
+    hue_to_rgb(style.hue_bg - std::floor(style.hue_bg), bg_value, bg_rgb);
+
+    TensorF image(Shape{3, canvas, canvas});
+    const double ca = std::cos(angle), sa = std::sin(angle);
+
+    for (int py = 0; py < canvas; ++py) {
+      for (int px = 0; px < canvas; ++px) {
+        const double x = (2.0 * (px + 0.5) / canvas - 1.0) - cx;
+        const double y = (2.0 * (py + 0.5) / canvas - 1.0) - cy;
+        const double mask = shape_mask(style.shape_family, x, y, size);
+        // Striped texture on the foreground object.
+        const double stripe_coord = (x * ca + y * sa) * style.texture_freq * M_PI;
+        const double stripes = 0.75 + 0.25 * std::sin(stripe_coord);
+        // Background gets a soft diagonal gradient.
+        const double grad = 0.8 + 0.2 * (x + y) * 0.5;
+        for (int c = 0; c < 3; ++c) {
+          const double fg = fg_rgb[c] * stripes;
+          const double bg = bg_rgb[c] * grad;
+          double value = bg + (fg - bg) * mask;
+          value += config.noise_stddev * rng.next_gaussian();
+          image(c, py, px) = static_cast<float>(std::clamp(value, 0.0, 0.999));
+        }
+      }
+    }
+    dataset.images.push_back(std::move(image));
+    dataset.labels.push_back(cls);
+  }
+  return dataset;
+}
+
+}  // namespace rsnn::data

@@ -1,0 +1,68 @@
+#include "encoding/analysis.hpp"
+
+#include <cmath>
+
+#include "encoding/radix.hpp"
+#include "encoding/rate.hpp"
+
+namespace rsnn::encoding {
+namespace {
+
+EncodingErrorStats error_between(const TensorF& original,
+                                 const TensorF& decoded,
+                                 std::int64_t total_spikes) {
+  EncodingErrorStats stats;
+  stats.total_spikes = total_spikes;
+  double sum_abs = 0.0, sum_sq = 0.0;
+  for (std::int64_t i = 0; i < original.numel(); ++i) {
+    const double err = static_cast<double>(original.at_flat(i)) -
+                       static_cast<double>(decoded.at_flat(i));
+    stats.max_abs_error = std::max(stats.max_abs_error, std::abs(err));
+    sum_abs += std::abs(err);
+    sum_sq += err * err;
+  }
+  const double n = static_cast<double>(original.numel());
+  stats.mean_abs_error = sum_abs / n;
+  stats.rms_error = std::sqrt(sum_sq / n);
+  return stats;
+}
+
+}  // namespace
+
+EncodingErrorStats radix_error(const TensorF& values, int time_steps) {
+  const SpikeTrain train = radix_encode(values, time_steps);
+  return error_between(values, radix_decode(train), train.total_spikes());
+}
+
+EncodingErrorStats rate_error(const TensorF& values, int time_steps) {
+  const SpikeTrain train = rate_encode(values, time_steps);
+  return error_between(values, rate_decode(train), train.total_spikes());
+}
+
+EncodingErrorStats rate_error_stochastic(const TensorF& values, int time_steps,
+                                         int trials, Rng& rng) {
+  EncodingErrorStats accumulated;
+  for (int trial = 0; trial < trials; ++trial) {
+    const SpikeTrain train = rate_encode_stochastic(values, time_steps, rng);
+    const EncodingErrorStats stats =
+        error_between(values, rate_decode(train), train.total_spikes());
+    accumulated.max_abs_error =
+        std::max(accumulated.max_abs_error, stats.max_abs_error);
+    accumulated.mean_abs_error += stats.mean_abs_error;
+    accumulated.rms_error += stats.rms_error;
+    accumulated.total_spikes += stats.total_spikes;
+  }
+  accumulated.mean_abs_error /= trials;
+  accumulated.rms_error /= trials;
+  accumulated.total_spikes /= trials;
+  return accumulated;
+}
+
+TensorF uniform_test_values(std::int64_t count, Rng& rng) {
+  TensorF values(Shape{count});
+  for (std::int64_t i = 0; i < count; ++i)
+    values.at_flat(i) = static_cast<float>(rng.next_double() * 0.999);
+  return values;
+}
+
+}  // namespace rsnn::encoding

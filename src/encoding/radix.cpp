@@ -1,0 +1,59 @@
+#include "encoding/radix.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "common/bits.hpp"
+
+namespace rsnn::encoding {
+
+SpikeTrain radix_encode_codes(const TensorI& codes, int time_steps) {
+  RSNN_REQUIRE(time_steps >= 1 && time_steps <= 30);
+  const std::int64_t levels = std::int64_t{1} << time_steps;
+  SpikeTrain train(codes.shape(), time_steps);
+  for (std::int64_t i = 0; i < codes.numel(); ++i) {
+    const std::int64_t code = codes.at_flat(i);
+    RSNN_REQUIRE(code >= 0 && code < levels,
+                 "code " << code << " not in [0, 2^" << time_steps << ")");
+    for (int t = 0; t < time_steps; ++t)
+      train.set_spike(t, i, test_bit(static_cast<std::uint64_t>(code),
+                                     time_steps - 1 - t));
+  }
+  return train;
+}
+
+SpikeTrain radix_encode(const TensorF& activations, int time_steps) {
+  RSNN_REQUIRE(time_steps >= 1 && time_steps <= 30);
+  const std::int64_t levels = std::int64_t{1} << time_steps;
+  TensorI codes(activations.shape());
+  for (std::int64_t i = 0; i < activations.numel(); ++i) {
+    const float a = activations.at_flat(i);
+    RSNN_REQUIRE(a >= 0.0f && a < 1.0f, "activation " << a << " outside [0,1)");
+    codes.at_flat(i) = static_cast<std::int32_t>(std::min<std::int64_t>(
+        static_cast<std::int64_t>(a * static_cast<float>(levels)), levels - 1));
+  }
+  return radix_encode_codes(codes, time_steps);
+}
+
+TensorI radix_decode_codes(const SpikeTrain& train) {
+  TensorI codes(train.neuron_shape());
+  const int T = train.time_steps();
+  for (std::int64_t i = 0; i < codes.numel(); ++i) {
+    std::int32_t code = 0;
+    for (int t = 0; t < T; ++t)
+      if (train.spike(t, i)) code |= std::int32_t{1} << (T - 1 - t);
+    codes.at_flat(i) = code;
+  }
+  return codes;
+}
+
+TensorF radix_decode(const SpikeTrain& train) {
+  const TensorI codes = radix_decode_codes(train);
+  const float scale = std::ldexp(1.0f, -train.time_steps());
+  TensorF out(codes.shape());
+  for (std::int64_t i = 0; i < codes.numel(); ++i)
+    out.at_flat(i) = static_cast<float>(codes.at_flat(i)) * scale;
+  return out;
+}
+
+}  // namespace rsnn::encoding

@@ -1,0 +1,27 @@
+// Radix encoding (Wang et al. 2021, the "emerging neural encoding").
+//
+// A real activation a in [0, 1) is quantized to T bits:
+//   A = floor(a * 2^T),   a ~= sum_t s_t * 2^(T-1-t) / 2^T,
+// and the spike at time step t is s_t = bit (T-1-t) of A — i.e. the spike
+// train is the binary expansion of A, most significant bit first. A spike at
+// step t therefore carries weight 2^(T-1-t), which the accelerator realizes
+// with a left-shift of the accumulator between steps (paper Alg. 1 line 12).
+#pragma once
+
+#include "encoding/spike_train.hpp"
+
+namespace rsnn::encoding {
+
+/// Encode integer activation codes (values in [0, 2^T)) into spike trains.
+SpikeTrain radix_encode_codes(const TensorI& codes, int time_steps);
+
+/// Encode real activations in [0, 1): quantize to T bits, then encode.
+SpikeTrain radix_encode(const TensorF& activations, int time_steps);
+
+/// Decode back to integer codes: A = sum_t s_t << (T-1-t).
+TensorI radix_decode_codes(const SpikeTrain& train);
+
+/// Decode to real values A / 2^T (the quantized-grid representative).
+TensorF radix_decode(const SpikeTrain& train);
+
+}  // namespace rsnn::encoding

@@ -1,0 +1,51 @@
+#include "encoding/rate.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace rsnn::encoding {
+
+SpikeTrain rate_encode(const TensorF& activations, int time_steps) {
+  RSNN_REQUIRE(time_steps >= 1);
+  SpikeTrain train(activations.shape(), time_steps);
+  for (std::int64_t i = 0; i < activations.numel(); ++i) {
+    const float a = activations.at_flat(i);
+    RSNN_REQUIRE(a >= 0.0f && a <= 1.0f, "activation " << a << " outside [0,1]");
+    const int count = static_cast<int>(
+        std::lround(static_cast<double>(a) * time_steps));
+    // Evenly spaced spikes via Bresenham-style accumulation.
+    int emitted = 0;
+    for (int t = 0; t < time_steps && emitted < count; ++t) {
+      const int due = ((t + 1) * count) / time_steps;
+      if (due > emitted) {
+        train.set_spike(t, i, true);
+        ++emitted;
+      }
+    }
+  }
+  return train;
+}
+
+SpikeTrain rate_encode_stochastic(const TensorF& activations, int time_steps,
+                                  Rng& rng) {
+  RSNN_REQUIRE(time_steps >= 1);
+  SpikeTrain train(activations.shape(), time_steps);
+  for (std::int64_t i = 0; i < activations.numel(); ++i) {
+    const float a = activations.at_flat(i);
+    RSNN_REQUIRE(a >= 0.0f && a <= 1.0f, "activation " << a << " outside [0,1]");
+    for (int t = 0; t < time_steps; ++t)
+      train.set_spike(t, i, rng.next_bool(a));
+  }
+  return train;
+}
+
+TensorF rate_decode(const SpikeTrain& train) {
+  TensorF out(train.neuron_shape());
+  const float inv_T = 1.0f / static_cast<float>(train.time_steps());
+  for (std::int64_t i = 0; i < out.numel(); ++i)
+    out.at_flat(i) = static_cast<float>(train.spike_count(i)) * inv_T;
+  return out;
+}
+
+}  // namespace rsnn::encoding

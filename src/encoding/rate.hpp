@@ -1,0 +1,26 @@
+// Rate encoding — the traditional scheme the paper compares against.
+//
+// The spike *frequency* encodes the value: a neuron with activation a emits
+// approximately a*T spikes over T steps. Order carries no information, so
+// decoding is count/T and the quantization error decays only as O(1/T) —
+// versus O(2^-T) for radix encoding. Two generators are provided:
+//   * deterministic: evenly spaced spikes (error <= 1/T, no variance),
+//   * stochastic: Bernoulli(a) per step (classic Poisson-like input).
+#pragma once
+
+#include "common/rng.hpp"
+#include "encoding/spike_train.hpp"
+
+namespace rsnn::encoding {
+
+/// Deterministic rate encoding: round(a*T) spikes, evenly spaced.
+SpikeTrain rate_encode(const TensorF& activations, int time_steps);
+
+/// Stochastic rate encoding: each step spikes with probability a.
+SpikeTrain rate_encode_stochastic(const TensorF& activations, int time_steps,
+                                  Rng& rng);
+
+/// Decode: spike count / T.
+TensorF rate_decode(const SpikeTrain& train);
+
+}  // namespace rsnn::encoding

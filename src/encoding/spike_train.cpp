@@ -1,0 +1,4 @@
+#include "encoding/spike_train.hpp"
+
+// SpikeTrain is header-only; this translation unit anchors the library.
+namespace rsnn::encoding {}

@@ -1,0 +1,71 @@
+// SpikeTrain: binary events over `time_steps` steps for a tensor of neurons.
+//
+// Storage is time-major: step t of neuron i is bits[t * numel + i]. That
+// matches the hardware's processing order (the accelerator streams one time
+// step of a whole feature map before moving to the next).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace rsnn::encoding {
+
+class SpikeTrain {
+ public:
+  SpikeTrain() = default;
+  SpikeTrain(Shape neuron_shape, int time_steps)
+      : shape_(std::move(neuron_shape)),
+        time_steps_(time_steps),
+        bits_(static_cast<std::size_t>(time_steps) *
+                  static_cast<std::size_t>(shape_.numel()),
+              0) {
+    RSNN_REQUIRE(time_steps >= 1);
+  }
+
+  const Shape& neuron_shape() const { return shape_; }
+  int time_steps() const { return time_steps_; }
+  std::int64_t num_neurons() const { return shape_.numel(); }
+
+  bool spike(int t, std::int64_t neuron) const {
+    return bits_[index(t, neuron)] != 0;
+  }
+  void set_spike(int t, std::int64_t neuron, bool value) {
+    bits_[index(t, neuron)] = value ? 1 : 0;
+  }
+
+  /// Total number of spikes (events) — the quantity that drives dynamic
+  /// energy in event-driven hardware.
+  std::int64_t total_spikes() const {
+    std::int64_t n = 0;
+    for (const auto b : bits_) n += b;
+    return n;
+  }
+
+  /// Spikes emitted by one neuron across all steps.
+  int spike_count(std::int64_t neuron) const {
+    int n = 0;
+    for (int t = 0; t < time_steps_; ++t) n += spike(t, neuron) ? 1 : 0;
+    return n;
+  }
+
+  bool operator==(const SpikeTrain& other) const {
+    return shape_ == other.shape_ && time_steps_ == other.time_steps_ &&
+           bits_ == other.bits_;
+  }
+
+ private:
+  std::size_t index(int t, std::int64_t neuron) const {
+    RSNN_REQUIRE(t >= 0 && t < time_steps_, "time step " << t);
+    RSNN_REQUIRE(neuron >= 0 && neuron < shape_.numel(), "neuron " << neuron);
+    return static_cast<std::size_t>(t) * static_cast<std::size_t>(shape_.numel()) +
+           static_cast<std::size_t>(neuron);
+  }
+
+  Shape shape_;
+  int time_steps_ = 0;
+  std::vector<std::uint8_t> bits_;
+};
+
+}  // namespace rsnn::encoding

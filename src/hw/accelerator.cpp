@@ -1,0 +1,343 @@
+#include "hw/accelerator.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/bits.hpp"
+#include "common/log.hpp"
+#include "encoding/radix.hpp"
+
+namespace rsnn::hw {
+namespace {
+
+using quant::QConv2d;
+using quant::QFlatten;
+using quant::QLinear;
+using quant::QPool2d;
+
+std::string layer_name(const quant::QLayer& layer) {
+  if (std::holds_alternative<QConv2d>(layer)) return "conv";
+  if (std::holds_alternative<QPool2d>(layer)) return "pool";
+  if (std::holds_alternative<QLinear>(layer)) return "linear";
+  return "flatten";
+}
+
+/// Spike count of an activation-code tensor (popcount of all codes).
+std::int64_t code_spikes(const TensorI64& codes) {
+  std::int64_t spikes = 0;
+  for (std::int64_t i = 0; i < codes.numel(); ++i) {
+    std::uint64_t v = static_cast<std::uint64_t>(codes.at_flat(i));
+    while (v != 0) {
+      spikes += static_cast<std::int64_t>(v & 1u);
+      v >>= 1;
+    }
+  }
+  return spikes;
+}
+
+}  // namespace
+
+Accelerator::Accelerator(AcceleratorConfig config,
+                         const quant::QuantizedNetwork& qnet)
+    : config_(std::move(config)), qnet_(qnet) {
+  RSNN_REQUIRE(!qnet.layers.empty(), "empty network");
+  placement_ = plan_placement(qnet_, config_.memory);
+
+  // Validate unit geometry and size the ping-pong buffers.
+  Shape shape = qnet_.input_shape;
+  std::int64_t max2d = activation_bits(shape, qnet_.time_bits);
+  std::int64_t max1d = 0;
+  bool flat = false;
+  const auto shapes = qnet_.layer_output_shapes();
+  for (std::size_t li = 0; li < qnet_.layers.size(); ++li) {
+    const auto& layer = qnet_.layers[li];
+    if (const auto* conv = std::get_if<QConv2d>(&layer)) {
+      RSNN_REQUIRE(conv->kernel <= config_.conv.kernel_rows,
+                   "conv kernel " << conv->kernel
+                                  << " does not fit unit with Y = "
+                                  << config_.conv.kernel_rows);
+    } else if (const auto* pool = std::get_if<QPool2d>(&layer)) {
+      RSNN_REQUIRE(pool->kernel <= config_.pool.kernel_rows,
+                   "pool kernel does not fit pooling unit");
+    } else if (std::holds_alternative<QFlatten>(layer)) {
+      flat = true;
+    }
+    const std::int64_t bits = activation_bits(shapes[li], qnet_.time_bits);
+    if (flat)
+      max1d = std::max(max1d, bits);
+    else
+      max2d = std::max(max2d, bits);
+  }
+  buffer_plan_.buffer2d_bits_each = max2d;
+  buffer_plan_.buffer1d_bits_each = std::max<std::int64_t>(max1d, 1);
+}
+
+bool Accelerator::uses_dram() const {
+  return std::any_of(placement_.begin(), placement_.end(),
+                     [](WeightPlacement p) { return p == WeightPlacement::kDram; });
+}
+
+LayerLatency Accelerator::layer_latency(std::size_t layer_index,
+                                        const Shape& in_shape) const {
+  const auto& layer = qnet_.layers[layer_index];
+  const WeightPlacement placement = placement_[layer_index];
+  if (const auto* conv = std::get_if<QConv2d>(&layer)) {
+    ConvDims dims;
+    dims.cin = conv->in_channels;
+    dims.cout = conv->out_channels;
+    dims.ih = in_shape.dim(1);
+    dims.iw = in_shape.dim(2);
+    dims.kernel = conv->kernel;
+    dims.stride = conv->stride;
+    dims.padding = conv->padding;
+    return conv_latency(dims, config_, qnet_.time_bits, placement,
+                        qnet_.weight_bits);
+  }
+  if (const auto* pool = std::get_if<QPool2d>(&layer)) {
+    return pool_latency(in_shape.dim(0), in_shape.dim(1), in_shape.dim(2),
+                        pool->kernel, config_, qnet_.time_bits);
+  }
+  if (const auto* fc = std::get_if<QLinear>(&layer)) {
+    return linear_latency(fc->in_features, fc->out_features, config_,
+                          qnet_.time_bits, placement, qnet_.weight_bits);
+  }
+  LayerLatency lat;
+  lat.total_cycles = flatten_transfer_cycles(in_shape.numel(), qnet_.time_bits,
+                                             config_.timing);
+  lat.compute_cycles = lat.total_cycles;
+  return lat;
+}
+
+std::int64_t Accelerator::predict_total_cycles() const {
+  Shape shape = qnet_.input_shape;
+  const auto shapes = qnet_.layer_output_shapes();
+  std::int64_t cycles = 0;
+  for (std::size_t li = 0; li < qnet_.layers.size(); ++li) {
+    cycles += layer_latency(li, shape).total_cycles;
+    shape = shapes[li];
+  }
+  return cycles;
+}
+
+double Accelerator::predict_latency_us() const {
+  return static_cast<double>(predict_total_cycles()) * config_.cycle_ns() /
+         1000.0;
+}
+
+AccelRunResult Accelerator::run_image(const TensorF& image, SimMode mode) {
+  return run_codes(quant::encode_activations(image, qnet_.time_bits), mode);
+}
+
+AccelRunResult Accelerator::run_codes(const TensorI& codes, SimMode mode) {
+  RSNN_REQUIRE(codes.shape() == qnet_.input_shape, "input shape mismatch");
+  return mode == SimMode::kCycleAccurate ? run_cycle_accurate(codes)
+                                         : run_analytic(codes);
+}
+
+AccelRunResult Accelerator::run_cycle_accurate(const TensorI& codes) {
+  const int T = qnet_.time_bits;
+  AccelRunResult result;
+
+  PingPongPair buffer2d("act2d", buffer_plan_.buffer2d_bits_each);
+  PingPongPair buffer1d("act1d", buffer_plan_.buffer1d_bits_each);
+  WeightMemory weights(config_.memory);
+
+  ConvUnit conv_unit(config_.conv, config_.timing);
+  PoolUnit pool_unit(config_.pool, config_.timing);
+  LinearUnit linear_unit(config_.linear, config_.timing);
+
+  encoding::SpikeTrain current = encoding::radix_encode_codes(codes, T);
+  buffer2d.store_output(activation_bits(current.neuron_shape(), T));
+  buffer2d.swap();
+
+  const auto shapes = qnet_.layer_output_shapes();
+
+  for (std::size_t li = 0; li < qnet_.layers.size(); ++li) {
+    const auto& layer = qnet_.layers[li];
+    LayerStats stats;
+    stats.name = layer_name(layer);
+    stats.input_spikes = current.total_spikes();
+
+    const std::int64_t param_bits =
+        layer_param_bits(layer, qnet_.weight_bits, qnet_.time_bits);
+    const WeightFetchCost fetch =
+        weights.fetch_layer(param_bits, placement_[li]);
+    stats.dram_cycles = fetch.cycles;
+    stats.traffic.dram_bits = fetch.dram_bits;
+
+    TensorI64 out(shapes[li]);
+    bool requantized = true;
+
+    if (const auto* conv = std::get_if<QConv2d>(&layer)) {
+      requantized = conv->requantize;
+      const std::int64_t ow = shapes[li].dim(2);
+      const std::int64_t share = std::clamp<std::int64_t>(
+          config_.conv.array_columns / ow, 1, conv->out_channels);
+      const std::int64_t per_group = share * config_.num_conv_units;
+      // Only units that hold channels contend on the activation port (must
+      // match the analytic model's contention rule).
+      const int contending_units = static_cast<int>(std::min<std::int64_t>(
+          config_.num_conv_units, ceil_div(conv->out_channels, share)));
+      std::int64_t cycles = config_.timing.layer_setup_cycles;
+      std::int64_t writeback = 0;
+      for (std::int64_t base = 0; base < conv->out_channels; base += per_group) {
+        std::int64_t group_cycles = 0;
+        for (int u = 0; u < config_.num_conv_units; ++u) {
+          const std::int64_t oc_begin = base + u * share;
+          if (oc_begin >= conv->out_channels) break;
+          const std::int64_t oc_end =
+              std::min(oc_begin + share, conv->out_channels);
+          const ConvSliceResult slice = conv_unit.run_layer_slice(
+              *conv, current, oc_begin, oc_end, T, contending_units, out);
+          group_cycles = std::max(group_cycles, slice.cycles);
+          writeback += slice.writeback_cycles;
+          stats.adder_ops += slice.adder_ops;
+          stats.traffic.act_read_bits += slice.traffic.act_read_bits;
+          stats.traffic.act_write_bits += slice.traffic.act_write_bits;
+          stats.traffic.weight_read_bits +=
+              slice.traffic.weight_read_bits * qnet_.weight_bits;
+        }
+        cycles += group_cycles;
+      }
+      stats.cycles = fetch.cycles + cycles + writeback;
+    } else if (const auto* pool = std::get_if<QPool2d>(&layer)) {
+      const std::int64_t channels = current.neuron_shape().dim(0);
+      const std::int64_t ow = shapes[li].dim(2);
+      const std::int64_t share = std::clamp<std::int64_t>(
+          config_.pool.array_columns / ow, 1, channels);
+      std::int64_t cycles = config_.timing.layer_setup_cycles;
+      std::int64_t writeback = 0;
+      for (std::int64_t base = 0; base < channels; base += share) {
+        const std::int64_t c_end = std::min(base + share, channels);
+        const PoolSliceResult slice =
+            pool_unit.run_layer_slice(*pool, current, base, c_end, T, out);
+        cycles += slice.cycles;
+        writeback += slice.writeback_cycles;
+        stats.adder_ops += slice.adder_ops;
+        stats.traffic.act_read_bits += slice.traffic.act_read_bits;
+        stats.traffic.act_write_bits += slice.traffic.act_write_bits;
+      }
+      stats.cycles = cycles + writeback;
+    } else if (const auto* fc = std::get_if<QLinear>(&layer)) {
+      requantized = fc->requantize;
+      const LinearRunResult run = linear_unit.run_layer(*fc, current, T, out);
+      stats.cycles = fetch.cycles + config_.timing.layer_setup_cycles +
+                     run.cycles + run.writeback_cycles;
+      stats.adder_ops = run.adder_ops;
+      stats.traffic.act_read_bits = run.traffic.act_read_bits;
+      stats.traffic.act_write_bits = run.traffic.act_write_bits;
+      stats.traffic.weight_read_bits =
+          run.traffic.weight_read_bits * qnet_.weight_bits;
+    } else {
+      // Flatten: stream the feature map from the 2-D to the 1-D buffers.
+      stats.cycles = flatten_transfer_cycles(current.num_neurons(), T,
+                                             config_.timing);
+      encoding::SpikeTrain flat(shapes[li], T);
+      for (int t = 0; t < T; ++t)
+        for (std::int64_t i = 0; i < current.num_neurons(); ++i)
+          flat.set_spike(t, i, current.spike(t, i));
+      current = std::move(flat);
+      buffer1d.store_output(activation_bits(shapes[li], T));
+      buffer1d.swap();
+      result.layers.push_back(stats);
+      result.total_cycles += stats.cycles;
+      continue;
+    }
+
+    // Buffer bookkeeping for the layer's I/O.
+    const bool is_1d = shapes[li].rank() == 1;
+    PingPongPair& pair = is_1d ? buffer1d : buffer2d;
+    pair.load_input(stats.traffic.act_read_bits);
+    pair.store_output(activation_bits(shapes[li], T));
+    pair.swap();
+
+    if (li + 1 == qnet_.layers.size()) {
+      RSNN_ENSURE(!requantized, "final layer must produce raw accumulators");
+      result.logits.resize(static_cast<std::size_t>(out.numel()));
+      for (std::int64_t i = 0; i < out.numel(); ++i)
+        result.logits[static_cast<std::size_t>(i)] = out.at_flat(i);
+    } else {
+      RSNN_ENSURE(requantized, "only the final layer may skip requantization");
+      current = encoding::radix_encode_codes(out.cast<std::int32_t>(), T);
+    }
+
+    result.total_cycles += stats.cycles;
+    result.total_adder_ops += stats.adder_ops;
+    result.dram_bits += stats.traffic.dram_bits;
+    result.traffic_total.act_read_bits += stats.traffic.act_read_bits;
+    result.traffic_total.act_write_bits += stats.traffic.act_write_bits;
+    result.traffic_total.weight_read_bits += stats.traffic.weight_read_bits;
+    result.traffic_total.dram_bits += stats.traffic.dram_bits;
+    result.layers.push_back(stats);
+  }
+
+  result.latency_us =
+      static_cast<double>(result.total_cycles) * config_.cycle_ns() / 1000.0;
+  int best = 0;
+  for (std::size_t c = 1; c < result.logits.size(); ++c)
+    if (result.logits[c] > result.logits[static_cast<std::size_t>(best)])
+      best = static_cast<int>(c);
+  result.predicted_class = best;
+  return result;
+}
+
+AccelRunResult Accelerator::run_analytic(const TensorI& codes) {
+  AccelRunResult result;
+  std::vector<TensorI64> layer_outputs;
+  result.logits = qnet_.forward_traced(codes, &layer_outputs);
+
+  Shape shape = qnet_.input_shape;
+  const auto shapes = qnet_.layer_output_shapes();
+  std::int64_t input_spikes = code_spikes(codes.cast<std::int64_t>());
+
+  for (std::size_t li = 0; li < qnet_.layers.size(); ++li) {
+    const LayerLatency lat = layer_latency(li, shape);
+    LayerStats stats;
+    stats.name = layer_name(qnet_.layers[li]);
+    stats.cycles = lat.total_cycles;
+    stats.dram_cycles = lat.dram_cycles;
+    stats.traffic = lat.traffic;
+    stats.input_spikes = input_spikes;
+
+    // Activity estimate: every input spike fans out to the adders that
+    // consume it (kernel window x output channels / stride^2 for conv).
+    const auto& layer = qnet_.layers[li];
+    if (const auto* conv = std::get_if<QConv2d>(&layer)) {
+      const double fanout = static_cast<double>(conv->kernel * conv->kernel) *
+                            static_cast<double>(conv->out_channels) /
+                            static_cast<double>(conv->stride * conv->stride);
+      stats.adder_ops =
+          static_cast<std::int64_t>(static_cast<double>(input_spikes) * fanout);
+    } else if (std::holds_alternative<QPool2d>(layer)) {
+      stats.adder_ops = input_spikes;
+    } else if (const auto* fc = std::get_if<QLinear>(&layer)) {
+      stats.adder_ops = input_spikes * fc->out_features;
+    }
+
+    result.total_cycles += stats.cycles;
+    result.total_adder_ops += stats.adder_ops;
+    result.dram_bits += lat.traffic.dram_bits;
+    result.traffic_total.act_read_bits += lat.traffic.act_read_bits;
+    result.traffic_total.act_write_bits += lat.traffic.act_write_bits;
+    result.traffic_total.weight_read_bits += lat.traffic.weight_read_bits;
+    result.traffic_total.dram_bits += lat.traffic.dram_bits;
+    result.layers.push_back(stats);
+
+    // Next layer's input spikes = popcount of this layer's output codes
+    // (valid for all but the final raw layer).
+    if (li < layer_outputs.size() && li + 1 < qnet_.layers.size())
+      input_spikes = code_spikes(layer_outputs[li]);
+    shape = shapes[li];
+  }
+
+  result.latency_us =
+      static_cast<double>(result.total_cycles) * config_.cycle_ns() / 1000.0;
+  int best = 0;
+  for (std::size_t c = 1; c < result.logits.size(); ++c)
+    if (result.logits[c] > result.logits[static_cast<std::size_t>(best)])
+      best = static_cast<int>(c);
+  result.predicted_class = best;
+  return result;
+}
+
+}  // namespace rsnn::hw

@@ -1,0 +1,108 @@
+// Accelerator: top-level model of the proposed design (paper Fig. 1).
+//
+// Owns the processing units (N convolution units, one pooling unit, one
+// linear unit), the ping-pong activation buffers, and the weight memory, and
+// plays the controller's role: layers execute in sequence, each reading the
+// active buffer and writing the inactive one, with the flatten transfer
+// moving data from the 2-D to the 1-D pair.
+//
+// Two simulation modes:
+//   * kCycleAccurate — every layer runs on the bit-true unit simulators;
+//     outputs are exact and cycle counts come from stepping the dataflow.
+//     Used for verification and for the MNIST-scale experiments.
+//   * kAnalytic — outputs come from the QuantizedNetwork reference (the
+//     same arithmetic by invariant 1/2) and cycles from hw/latency_model
+//     (identical totals by invariant 4). Used for VGG-scale runs where
+//     stepping every cycle would be wasteful.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "encoding/spike_train.hpp"
+#include "hw/arch.hpp"
+#include "hw/conv_unit.hpp"
+#include "hw/latency_model.hpp"
+#include "hw/linear_unit.hpp"
+#include "hw/pingpong.hpp"
+#include "hw/pool_unit.hpp"
+#include "hw/weight_memory.hpp"
+#include "quant/qnetwork.hpp"
+
+namespace rsnn::hw {
+
+enum class SimMode { kCycleAccurate, kAnalytic };
+
+/// Per-layer execution record.
+struct LayerStats {
+  std::string name;
+  std::int64_t cycles = 0;
+  std::int64_t dram_cycles = 0;
+  std::int64_t adder_ops = 0;        ///< fired additions (activity factor)
+  std::int64_t input_spikes = 0;
+  MemTraffic traffic;                ///< weight traffic in bits
+};
+
+/// Result of one inference on the accelerator.
+struct AccelRunResult {
+  std::vector<std::int64_t> logits;
+  int predicted_class = -1;
+  std::int64_t total_cycles = 0;
+  double latency_us = 0.0;
+  std::vector<LayerStats> layers;
+  std::int64_t total_adder_ops = 0;
+  std::int64_t dram_bits = 0;
+  MemTraffic traffic_total;
+};
+
+/// Sizing of the activation buffers derived from the network (Sec. III-C:
+/// "width and height ... minimizes their size while allowing the activations
+/// of all relevant layers to fit").
+struct BufferPlan {
+  std::int64_t buffer2d_bits_each = 0;
+  std::int64_t buffer1d_bits_each = 0;
+};
+
+class Accelerator {
+ public:
+  /// Binds a design instance to a compiled network. Checks that the design
+  /// can execute the network (kernel sizes fit the units) and plans weight
+  /// placement and buffer sizes.
+  Accelerator(AcceleratorConfig config, const quant::QuantizedNetwork& qnet);
+
+  /// Run one image (float values in [0,1), encoded internally).
+  AccelRunResult run_image(const TensorF& image,
+                           SimMode mode = SimMode::kCycleAccurate);
+
+  /// Run pre-encoded activation codes.
+  AccelRunResult run_codes(const TensorI& codes,
+                           SimMode mode = SimMode::kCycleAccurate);
+
+  const AcceleratorConfig& config() const { return config_; }
+  const quant::QuantizedNetwork& network() const { return qnet_; }
+  const std::vector<WeightPlacement>& placement() const { return placement_; }
+  const BufferPlan& buffer_plan() const { return buffer_plan_; }
+
+  /// True if any layer streams weights from DRAM.
+  bool uses_dram() const;
+
+  /// Analytic latency of the whole network in cycles (no data needed).
+  std::int64_t predict_total_cycles() const;
+
+  /// Analytic latency in microseconds at the configured clock.
+  double predict_latency_us() const;
+
+ private:
+  AcceleratorConfig config_;
+  const quant::QuantizedNetwork& qnet_;
+  std::vector<WeightPlacement> placement_;
+  BufferPlan buffer_plan_;
+
+  AccelRunResult run_cycle_accurate(const TensorI& codes);
+  AccelRunResult run_analytic(const TensorI& codes);
+  LayerLatency layer_latency(std::size_t layer_index,
+                             const Shape& in_shape) const;
+};
+
+}  // namespace rsnn::hw

@@ -1,0 +1,131 @@
+#include "hw/accumulator_sizing.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/bits.hpp"
+
+namespace rsnn::hw {
+namespace {
+
+/// Two's-complement bits needed for the inclusive range [lo, hi].
+int bits_for_range(std::int64_t lo, std::int64_t hi) {
+  int bits = 1;
+  while (saturate_signed(lo, bits) != lo || saturate_signed(hi, bits) != hi) {
+    ++bits;
+    RSNN_ENSURE(bits <= 63);
+  }
+  return bits;
+}
+
+/// Range of one output channel: per step the partial sum lies in
+/// [neg, pos] (a silent input gives 0, so neg <= 0 <= pos); the radix
+/// accumulation over T steps scales both extremes by (2^T - 1) and the
+/// channel's bias is added once.
+AccumulatorRange channel_range(std::int64_t neg, std::int64_t pos,
+                               std::int64_t bias, int time_steps) {
+  const std::int64_t weight = (std::int64_t{1} << time_steps) - 1;
+  AccumulatorRange r;
+  r.min_value = neg * weight + bias;
+  r.max_value = pos * weight + bias;
+  r.required_bits = bits_for_range(r.min_value, r.max_value);
+  return r;
+}
+
+void merge(AccumulatorRange& total, const AccumulatorRange& channel) {
+  total.min_value = std::min(total.min_value, channel.min_value);
+  total.max_value = std::max(total.max_value, channel.max_value);
+  total.required_bits = std::max(total.required_bits, channel.required_bits);
+}
+
+}  // namespace
+
+AccumulatorRange conv_accumulator_range(const quant::QConv2d& conv,
+                                        int time_steps) {
+  RSNN_REQUIRE(time_steps >= 1 && time_steps <= 30);
+  // Worst case per output channel: positive weights all firing (max) or
+  // negative weights all firing (min), across the Cin * K * K receptive
+  // field; then the widest channel wins.
+  AccumulatorRange total;
+  for (std::int64_t oc = 0; oc < conv.out_channels; ++oc) {
+    std::int64_t pos = 0, neg = 0;
+    for (std::int64_t ic = 0; ic < conv.in_channels; ++ic)
+      for (std::int64_t ky = 0; ky < conv.kernel; ++ky)
+        for (std::int64_t kx = 0; kx < conv.kernel; ++kx) {
+          const std::int64_t w = conv.weight(oc, ic, ky, kx);
+          if (w > 0) pos += w;
+          if (w < 0) neg += w;
+        }
+    merge(total, channel_range(neg, pos, conv.bias(oc), time_steps));
+  }
+  return total;
+}
+
+AccumulatorRange linear_accumulator_range(const quant::QLinear& fc,
+                                          int time_steps) {
+  RSNN_REQUIRE(time_steps >= 1 && time_steps <= 30);
+  AccumulatorRange total;
+  for (std::int64_t o = 0; o < fc.out_features; ++o) {
+    std::int64_t pos = 0, neg = 0;
+    for (std::int64_t i = 0; i < fc.in_features; ++i) {
+      const std::int64_t w = fc.weight(o, i);
+      if (w > 0) pos += w;
+      if (w < 0) neg += w;
+    }
+    merge(total, channel_range(neg, pos, fc.bias(o), time_steps));
+  }
+  return total;
+}
+
+AccumulatorRange pool_range_for_window(std::int64_t window, int time_steps) {
+  // Unsigned: up to `window` spikes per step, radix-weighted over T steps.
+  AccumulatorRange r;
+  r.min_value = 0;
+  r.max_value = window * ((std::int64_t{1} << time_steps) - 1);
+  r.required_bits = bits_for_range(0, r.max_value);
+  return r;
+}
+
+AccumulatorRange pool_accumulator_range(const quant::QPool2d& pool,
+                                        int time_steps) {
+  RSNN_REQUIRE(time_steps >= 1 && time_steps <= 30);
+  return pool_range_for_window(pool.kernel * pool.kernel, time_steps);
+}
+
+std::vector<AccumulatorRange> network_accumulator_ranges(
+    const quant::QuantizedNetwork& qnet) {
+  std::vector<AccumulatorRange> ranges;
+  ranges.reserve(qnet.layers.size());
+  for (const auto& layer : qnet.layers) {
+    if (const auto* conv = std::get_if<quant::QConv2d>(&layer))
+      ranges.push_back(conv_accumulator_range(*conv, qnet.time_bits));
+    else if (const auto* fc = std::get_if<quant::QLinear>(&layer))
+      ranges.push_back(linear_accumulator_range(*fc, qnet.time_bits));
+    else if (const auto* pool = std::get_if<quant::QPool2d>(&layer))
+      ranges.push_back(pool_accumulator_range(*pool, qnet.time_bits));
+    else
+      ranges.push_back(AccumulatorRange{});
+  }
+  return ranges;
+}
+
+AccumulatorPlan plan_accumulators(const quant::QuantizedNetwork& qnet) {
+  AccumulatorPlan plan;
+  for (const auto& layer : qnet.layers) {
+    if (const auto* conv = std::get_if<quant::QConv2d>(&layer))
+      plan.conv_bits =
+          std::max(plan.conv_bits,
+                   conv_accumulator_range(*conv, qnet.time_bits).required_bits);
+    else if (const auto* fc = std::get_if<quant::QLinear>(&layer))
+      plan.linear_bits = std::max(
+          plan.linear_bits,
+          linear_accumulator_range(*fc, qnet.time_bits).required_bits);
+    else if (const auto* pool = std::get_if<quant::QPool2d>(&layer))
+      plan.pool_bits =
+          std::max(plan.pool_bits,
+                   pool_accumulator_range(*pool, qnet.time_bits).required_bits);
+  }
+  return plan;
+}
+
+}  // namespace rsnn::hw

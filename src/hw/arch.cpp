@@ -1,0 +1,40 @@
+#include "hw/arch.hpp"
+
+namespace rsnn::hw {
+
+AcceleratorConfig lenet_reference_config() {
+  AcceleratorConfig cfg;
+  cfg.name = "lenet5@100MHz";
+  cfg.clock_mhz = 100.0;
+  cfg.num_conv_units = 2;
+  cfg.conv = ConvUnitGeometry{30, 5, 24};
+  cfg.pool = PoolUnitGeometry{14, 2, 16};
+  cfg.linear = LinearUnitGeometry{16, 24};
+  return cfg;
+}
+
+AcceleratorConfig lenet_table3_config() {
+  AcceleratorConfig cfg = lenet_reference_config();
+  cfg.name = "lenet5@200MHz";
+  cfg.clock_mhz = 200.0;
+  cfg.num_conv_units = 4;
+  return cfg;
+}
+
+AcceleratorConfig vgg11_table3_config() {
+  AcceleratorConfig cfg;
+  cfg.name = "vgg11@115MHz";
+  cfg.clock_mhz = 115.0;
+  cfg.num_conv_units = 8;
+  // VGG uses 3x3 kernels on rows up to 32 wide.
+  cfg.conv = ConvUnitGeometry{32, 3, 24};
+  cfg.pool = PoolUnitGeometry{16, 2, 16};
+  cfg.linear = LinearUnitGeometry{16, 24};
+  // 28.5M parameters at 3 bits exceed practical BRAM; layers fall back to
+  // DRAM streaming (paper Sec. IV-D mentions 4.5 MB BRAM just for feature
+  // maps, with parameters in external DRAM).
+  cfg.memory.weight_bram_bits = std::int64_t{4} * 1024 * 1024 * 8;
+  return cfg;
+}
+
+}  // namespace rsnn::hw

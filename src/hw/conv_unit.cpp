@@ -1,0 +1,167 @@
+#include "hw/conv_unit.hpp"
+
+#include "common/assert.hpp"
+#include "common/bits.hpp"
+
+namespace rsnn::hw {
+
+ConvUnit::ConvUnit(ConvUnitGeometry geometry, TimingParams timing)
+    : geometry_(geometry), timing_(timing) {
+  RSNN_REQUIRE(geometry_.array_columns >= 1 && geometry_.kernel_rows >= 1);
+}
+
+ConvSliceResult ConvUnit::run_layer_slice(const quant::QConv2d& conv,
+                                          const encoding::SpikeTrain& input,
+                                          std::int64_t oc_begin,
+                                          std::int64_t oc_end, int time_steps,
+                                          int active_units, TensorI64& out) {
+  RSNN_REQUIRE(conv.kernel <= geometry_.kernel_rows,
+               "kernel " << conv.kernel << " exceeds unit rows "
+                         << geometry_.kernel_rows);
+  RSNN_REQUIRE(oc_begin >= 0 && oc_begin < oc_end && oc_end <= conv.out_channels);
+
+  const Shape& in_shape = input.neuron_shape();
+  RSNN_REQUIRE(in_shape.rank() == 3 && in_shape.dim(0) == conv.in_channels);
+  const std::int64_t ih = in_shape.dim(1), iw = in_shape.dim(2);
+  const std::int64_t k = conv.kernel, str = conv.stride, pad = conv.padding;
+  const std::int64_t oh = (ih + 2 * pad - k) / str + 1;
+  const std::int64_t ow = (iw + 2 * pad - k) / str + 1;
+  RSNN_REQUIRE(out.rank() == 3 && out.dim(1) == oh && out.dim(2) == ow);
+
+  const std::int64_t X = geometry_.array_columns;
+  const std::int64_t share =
+      std::clamp<std::int64_t>(X / ow, 1, conv.out_channels);
+  RSNN_REQUIRE(oc_end - oc_begin <= share,
+               "slice of " << (oc_end - oc_begin)
+                           << " channels exceeds unit share " << share);
+  const std::int64_t tiles = ow > X ? ceil_div(ow, X) : 1;
+  const std::int64_t cols_per_tile = tiles == 1 ? ow : X;
+
+  const std::int64_t rows_streamed = ih + 2 * pad;
+  const std::int64_t fetch = conv_row_fetch_cycles(iw, timing_, active_units);
+  const std::int64_t row_period = std::max<std::int64_t>(k, fetch);
+  const std::int64_t padded_width = iw + 2 * pad;
+
+  // Output-logic accumulator RAM: one membrane per (local channel, oy, ox).
+  const std::int64_t n_local = oc_end - oc_begin;
+  TensorI64 membrane(Shape{n_local, oh, ow}, std::int64_t{0});
+
+  ConvSliceResult result;
+
+  shift_register_.assign(static_cast<std::size_t>(padded_width), 0);
+  pipeline_.assign(static_cast<std::size_t>(k),
+                   std::vector<std::int64_t>(static_cast<std::size_t>(X), 0));
+
+  for (int t = 0; t < time_steps; ++t) {
+    // Radix weighting: one left shift of all accumulators per time step
+    // (paper Alg. 1 line 12), performed in the output logic.
+    for (std::int64_t i = 0; i < membrane.numel(); ++i)
+      membrane.at_flat(i) <<= 1;
+
+    for (std::int64_t ic = 0; ic < conv.in_channels; ++ic) {
+      for (std::int64_t tile = 0; tile < tiles; ++tile) {
+        const std::int64_t col0 = tile * cols_per_tile;
+        const std::int64_t cols =
+            std::min<std::int64_t>(cols_per_tile, ow - col0);
+
+        result.cycles += timing_.pass_setup_cycles;
+        for (auto& stage : pipeline_)
+          std::fill(stage.begin(), stage.end(), std::int64_t{0});
+
+        for (std::int64_t r = 0; r < rows_streamed; ++r) {
+          // -- Fetch: fill the shift register with input row (r - pad);
+          //    padding rows are generated, not read from the buffer.
+          const std::int64_t src_row = r - pad;
+          for (std::int64_t col = 0; col < padded_width; ++col) {
+            const std::int64_t src_col = col - pad;
+            bool bit = false;
+            if (src_row >= 0 && src_row < ih && src_col >= 0 && src_col < iw) {
+              const std::int64_t neuron = (ic * ih + src_row) * iw + src_col;
+              bit = input.spike(t, neuron);
+            }
+            shift_register_[static_cast<std::size_t>(col)] = bit ? 1 : 0;
+          }
+          if (src_row >= 0 && src_row < ih) {
+            ++result.row_fetches;
+            result.traffic.act_read_bits += iw;
+          }
+
+          // -- Shift & accumulate: Kc shift cycles; kernel values rotate in
+          //    lock-step with the shifts (paper: "Coinciding with the shift
+          //    of the input row, the adder logic loads the new kernel
+          //    values"). We model the taps directly: after s shifts, column
+          //    x reads register position (col0 + x)*stride + s.
+          for (std::int64_t y = 0; y < k; ++y) {
+            // Stage y works on output row (r - y) / stride when aligned.
+            const std::int64_t num = r - y;
+            if (num < 0 || num % str != 0) continue;
+            const std::int64_t oy = num / str;
+            if (oy >= oh) continue;
+            auto& stage = pipeline_[static_cast<std::size_t>(y)];
+            for (std::int64_t s = 0; s < k; ++s) {
+              for (std::int64_t local = 0; local < n_local; ++local) {
+                const std::int32_t kval =
+                    conv.weight(oc_begin + local, ic, y, s);
+                for (std::int64_t x = 0; x < cols; ++x) {
+                  const std::int64_t tap = (col0 + x) * str + s;
+                  if (!shift_register_[static_cast<std::size_t>(tap)]) continue;
+                  stage[static_cast<std::size_t>(local * cols + x)] += kval;
+                  ++result.adder_ops;
+                }
+              }
+            }
+          }
+
+          // -- End of row: retire the bottom stage into the output logic if
+          //    it completed an output row, then advance the pipeline.
+          const std::int64_t exit_num = r - (k - 1);
+          if (exit_num >= 0 && exit_num % str == 0 && exit_num / str < oh) {
+            const std::int64_t oy = exit_num / str;
+            const auto& bottom = pipeline_[static_cast<std::size_t>(k - 1)];
+            for (std::int64_t local = 0; local < n_local; ++local)
+              for (std::int64_t x = 0; x < cols; ++x)
+                membrane(local, oy, col0 + x) +=
+                    bottom[static_cast<std::size_t>(local * cols + x)];
+          }
+          for (std::int64_t y = k - 1; y >= 1; --y)
+            pipeline_[static_cast<std::size_t>(y)] =
+                pipeline_[static_cast<std::size_t>(y - 1)];
+          std::fill(pipeline_[0].begin(), pipeline_[0].end(), std::int64_t{0});
+
+          result.cycles += row_period;
+        }
+      }
+    }
+  }
+
+  // Kernel words streamed: Kr*Kc values per local channel per pass, in words
+  // (the accelerator scales to bits with the configured weight width).
+  const std::int64_t passes =
+      static_cast<std::int64_t>(time_steps) * conv.in_channels * tiles;
+  result.traffic.weight_read_bits = passes * k * k * n_local;
+
+  // Output logic: bias + ReLU + requantize, then writeback per row segment.
+  for (std::int64_t local = 0; local < n_local; ++local) {
+    const std::int64_t oc = oc_begin + local;
+    for (std::int64_t oy = 0; oy < oh; ++oy) {
+      for (std::int64_t ox = 0; ox < ow; ++ox) {
+        std::int64_t v = membrane(local, oy, ox) + conv.bias(oc);
+        if (conv.requantize) {
+          const int frac = conv.frac_for(oc);
+          if (frac >= 0)
+            v >>= frac;
+          else
+            v <<= -frac;
+          v = saturate_unsigned(v, time_steps);
+        }
+        out(oc, oy, ox) = v;
+      }
+      result.writeback_cycles += tiles * timing_.writeback_cycles_per_row;
+    }
+  }
+  result.traffic.act_write_bits = n_local * oh * ow * time_steps;
+
+  return result;
+}
+
+}  // namespace rsnn::hw

@@ -1,0 +1,183 @@
+#include "hw/latency_model.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/bits.hpp"
+
+namespace rsnn::hw {
+
+std::int64_t conv_row_fetch_cycles(std::int64_t iw, const TimingParams& timing,
+                                   int active_units) {
+  RSNN_REQUIRE(iw > 0 && active_units >= 1);
+  const std::int64_t fetch = ceil_div(iw, timing.act_read_bits_per_cycle);
+  const std::int64_t contention =
+      ceil_div(active_units, timing.act_read_ports);
+  return fetch * contention;
+}
+
+LayerLatency conv_latency(const ConvDims& dims, const AcceleratorConfig& cfg,
+                          int time_steps, WeightPlacement placement,
+                          int weight_bits) {
+  RSNN_REQUIRE(dims.cin > 0 && dims.cout > 0 && dims.kernel > 0);
+  RSNN_REQUIRE(dims.kernel <= cfg.conv.kernel_rows,
+               "kernel " << dims.kernel << " exceeds unit rows "
+                         << cfg.conv.kernel_rows);
+  const TimingParams& t = cfg.timing;
+  LayerLatency lat;
+
+  const std::int64_t ow = dims.ow();
+  const std::int64_t X = cfg.conv.array_columns;
+
+  lat.channels_per_unit = std::clamp<std::int64_t>(X / ow, 1, dims.cout);
+  lat.tiles = ow > X ? ceil_div(ow, X) : 1;
+  const std::int64_t parallel_channels =
+      cfg.num_conv_units * lat.channels_per_unit;
+  lat.groups = ceil_div(dims.cout, parallel_channels);
+
+  // Port contention: only units that actually hold output channels fetch
+  // rows (a layer narrower than the unit complement leaves units idle).
+  const std::int64_t busy_slices_total =
+      ceil_div(dims.cout, lat.channels_per_unit);
+  const int contending_units = static_cast<int>(std::min<std::int64_t>(
+      cfg.num_conv_units, busy_slices_total));
+  const std::int64_t fetch =
+      conv_row_fetch_cycles(dims.iw, t, contending_units);
+  lat.row_period = std::max<std::int64_t>(dims.kernel, fetch);
+
+  const std::int64_t rows_streamed = dims.ih + 2 * dims.padding;
+  const std::int64_t pass_cycles =
+      t.pass_setup_cycles + rows_streamed * lat.row_period;
+  const std::int64_t passes_per_slice =
+      static_cast<std::int64_t>(time_steps) * dims.cin * lat.tiles;
+
+  // Groups execute sequentially; units within a group run in lockstep, so a
+  // group phase costs one slice's passes. Writeback: each (channel, output
+  // row, tile) segment is stored once.
+  lat.compute_cycles =
+      t.layer_setup_cycles + lat.groups * passes_per_slice * pass_cycles;
+
+  // Busy unit-slices across all groups (the last group may be partial).
+  const std::int64_t busy_slices = busy_slices_total;
+  lat.writeback_cycles =
+      dims.cout * dims.oh() * lat.tiles * t.writeback_cycles_per_row;
+
+  // Parameter traffic: each output channel's Kr*Kc kernel streams through
+  // its adder rows once per pass.
+  lat.traffic.weight_read_bits =
+      passes_per_slice * dims.kernel * dims.kernel * dims.cout * weight_bits;
+  const std::int64_t bias_bits = time_steps + weight_bits + 16;
+  const std::int64_t layer_param_bits =
+      dims.cout * dims.cin * dims.kernel * dims.kernel * weight_bits +
+      dims.cout * bias_bits;
+  if (placement == WeightPlacement::kDram) {
+    lat.traffic.dram_bits = layer_param_bits;
+    lat.dram_cycles = cfg.memory.dram_setup_cycles +
+                      ceil_div(layer_param_bits, cfg.memory.dram_bits_per_cycle);
+  }
+
+  // Activation traffic: every busy unit-slice reads each real input row once
+  // per pass (the row-reuse property of the dataflow); each output bit is
+  // written exactly once.
+  lat.traffic.act_read_bits =
+      busy_slices * passes_per_slice * dims.ih * dims.iw;
+  lat.traffic.act_write_bits =
+      dims.cout * dims.oh() * dims.ow() * time_steps;
+
+  lat.total_cycles = lat.dram_cycles + lat.compute_cycles + lat.writeback_cycles;
+  return lat;
+}
+
+LayerLatency pool_latency(std::int64_t channels, std::int64_t ih,
+                          std::int64_t iw, std::int64_t kernel,
+                          const AcceleratorConfig& cfg, int time_steps) {
+  RSNN_REQUIRE(channels > 0 && kernel > 0);
+  RSNN_REQUIRE(kernel <= cfg.pool.kernel_rows, "pool kernel exceeds unit rows");
+  const TimingParams& t = cfg.timing;
+  LayerLatency lat;
+
+  const std::int64_t ow = iw / kernel;
+  const std::int64_t X = cfg.pool.array_columns;
+  lat.channels_per_unit = std::clamp<std::int64_t>(X / ow, 1, channels);
+  lat.tiles = ow > X ? ceil_div(ow, X) : 1;
+  // There is a single pooling unit (paper Sec. IV-C: "pooling and linear
+  // units are not duplicated").
+  lat.groups = ceil_div(channels, lat.channels_per_unit);
+
+  // Each pooled channel segment consumes its own channel's rows, so the
+  // fetch cost scales with the number of channels sharing the unit.
+  const std::int64_t fetch = lat.channels_per_unit *
+                             conv_row_fetch_cycles(iw, t, /*active_units=*/1);
+  lat.row_period = std::max<std::int64_t>(kernel, fetch);
+
+  const std::int64_t pass_cycles = t.pass_setup_cycles + ih * lat.row_period;
+  const std::int64_t passes_per_slice =
+      static_cast<std::int64_t>(time_steps) * lat.tiles;
+
+  const std::int64_t oh = ih / kernel;
+  lat.compute_cycles =
+      t.layer_setup_cycles + lat.groups * passes_per_slice * pass_cycles;
+  lat.writeback_cycles = channels * oh * lat.tiles * t.writeback_cycles_per_row;
+
+  lat.traffic.act_read_bits = passes_per_slice * channels * ih * iw;
+  lat.traffic.act_write_bits = channels * oh * ow * time_steps;
+
+  lat.total_cycles = lat.compute_cycles + lat.writeback_cycles;
+  return lat;
+}
+
+LayerLatency linear_latency(std::int64_t in_features, std::int64_t out_features,
+                            const AcceleratorConfig& cfg, int time_steps,
+                            WeightPlacement placement, int weight_bits) {
+  RSNN_REQUIRE(in_features > 0 && out_features > 0);
+  const TimingParams& t = cfg.timing;
+  LayerLatency lat;
+
+  // One weight-memory fetch feeds `lanes` adders per cycle; every (input
+  // neuron, output lane group) pair costs one cycle, repeated per time step
+  // (paper: "almost all computations are replicated for each time step").
+  lat.groups = ceil_div(out_features, cfg.linear.lanes);
+  lat.channels_per_unit = cfg.linear.lanes;
+  lat.tiles = 1;
+  lat.row_period = 1;
+
+  lat.compute_cycles = t.layer_setup_cycles +
+                       static_cast<std::int64_t>(time_steps) * in_features *
+                           lat.groups;
+
+  const std::int64_t bias_bits = time_steps + weight_bits + 16;
+  const std::int64_t layer_param_bits =
+      in_features * out_features * weight_bits + out_features * bias_bits;
+  lat.traffic.weight_read_bits = static_cast<std::int64_t>(time_steps) *
+                                 in_features * out_features * weight_bits;
+  if (placement == WeightPlacement::kDram) {
+    lat.traffic.dram_bits = layer_param_bits;
+    lat.dram_cycles = cfg.memory.dram_setup_cycles +
+                      ceil_div(layer_param_bits, cfg.memory.dram_bits_per_cycle);
+  }
+
+  lat.traffic.act_read_bits =
+      static_cast<std::int64_t>(time_steps) * in_features;
+  lat.traffic.act_write_bits =
+      static_cast<std::int64_t>(time_steps) * out_features;
+  lat.writeback_cycles = ceil_div(
+      out_features * time_steps, t.act_read_bits_per_cycle);
+
+  lat.total_cycles = lat.dram_cycles + lat.compute_cycles + lat.writeback_cycles;
+  return lat;
+}
+
+std::int64_t flatten_transfer_cycles(std::int64_t numel, int time_steps,
+                                     const TimingParams& timing) {
+  RSNN_REQUIRE(numel > 0);
+  return ceil_div(numel * time_steps, timing.act_read_bits_per_cycle);
+}
+
+std::int64_t naive_conv_act_reads_bits(const ConvDims& dims, int time_steps) {
+  // Sliding-window dataflow: each output pixel individually fetches its
+  // Kr x Kc x Cin window, for every output channel and time step.
+  return dims.oh() * dims.ow() * dims.kernel * dims.kernel * dims.cin *
+         dims.cout * static_cast<std::int64_t>(time_steps);
+}
+
+}  // namespace rsnn::hw

@@ -1,0 +1,69 @@
+#include "hw/linear_unit.hpp"
+
+#include "common/assert.hpp"
+#include "common/bits.hpp"
+
+namespace rsnn::hw {
+
+LinearUnit::LinearUnit(LinearUnitGeometry geometry, TimingParams timing)
+    : geometry_(geometry), timing_(timing) {
+  RSNN_REQUIRE(geometry_.lanes >= 1);
+}
+
+LinearRunResult LinearUnit::run_layer(const quant::QLinear& fc,
+                                      const encoding::SpikeTrain& input,
+                                      int time_steps, TensorI64& out) {
+  RSNN_REQUIRE(input.neuron_shape().numel() == fc.in_features,
+               "input size mismatch");
+  RSNN_REQUIRE(out.rank() == 1 && out.dim(0) == fc.out_features);
+
+  const std::int64_t lanes = geometry_.lanes;
+  const std::int64_t lane_groups = ceil_div(fc.out_features, lanes);
+
+  TensorI64 membrane(Shape{fc.out_features}, std::int64_t{0});
+  LinearRunResult result;
+
+  for (int t = 0; t < time_steps; ++t) {
+    for (std::int64_t i = 0; i < membrane.numel(); ++i)
+      membrane.at_flat(i) <<= 1;
+
+    for (std::int64_t g = 0; g < lane_groups; ++g) {
+      const std::int64_t o_begin = g * lanes;
+      const std::int64_t o_end =
+          std::min<std::int64_t>(o_begin + lanes, fc.out_features);
+      for (std::int64_t i = 0; i < fc.in_features; ++i) {
+        // One cycle: fetch the weight word for (input i, lane group g).
+        ++result.cycles;
+        ++result.weight_fetches;
+        if (!input.spike(t, i)) continue;
+        for (std::int64_t o = o_begin; o < o_end; ++o) {
+          membrane(o) += fc.weight(o, i);
+          ++result.adder_ops;
+        }
+      }
+    }
+    result.traffic.act_read_bits += fc.in_features;
+  }
+
+  for (std::int64_t o = 0; o < fc.out_features; ++o) {
+    std::int64_t v = membrane(o) + fc.bias(o);
+    if (fc.requantize) {
+      const int frac = fc.frac_for(o);
+      if (frac >= 0)
+        v >>= frac;
+      else
+        v <<= -frac;
+      v = saturate_unsigned(v, time_steps);
+    }
+    out(o) = v;
+  }
+  result.writeback_cycles =
+      ceil_div(fc.out_features * time_steps, timing_.act_read_bits_per_cycle);
+  result.traffic.act_write_bits = fc.out_features * time_steps;
+  // Weight words actually consumed (the last lane group may be partial).
+  result.traffic.weight_read_bits =
+      static_cast<std::int64_t>(time_steps) * fc.in_features * fc.out_features;
+  return result;
+}
+
+}  // namespace rsnn::hw

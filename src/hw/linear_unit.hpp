@@ -1,0 +1,46 @@
+// LinearUnit: cycle-accurate simulator of the fully-connected engine.
+//
+// A single row of `lanes` adders (paper Sec. III-B): every clock cycle one
+// weight-memory word supplies `lanes` weights — one per parallel output
+// channel — which are accumulated if the current input neuron spiked.
+// Iteration order is (time step, output lane group, input neuron); the
+// output logic applies the radix left shift between time steps and the
+// final bias + ReLU + requantization.
+#pragma once
+
+#include <cstdint>
+
+#include "encoding/spike_train.hpp"
+#include "hw/arch.hpp"
+#include "hw/latency_model.hpp"
+#include "quant/qnetwork.hpp"
+#include "tensor/tensor.hpp"
+
+namespace rsnn::hw {
+
+struct LinearRunResult {
+  std::int64_t cycles = 0;
+  std::int64_t writeback_cycles = 0;
+  std::int64_t adder_ops = 0;
+  std::int64_t weight_fetches = 0;  ///< weight-memory words fetched
+  MemTraffic traffic;
+};
+
+class LinearUnit {
+ public:
+  LinearUnit(LinearUnitGeometry geometry, TimingParams timing);
+
+  /// Run a full fully-connected layer; writes requantized codes (or raw
+  /// accumulators for the final layer) into `out`.
+  LinearRunResult run_layer(const quant::QLinear& fc,
+                            const encoding::SpikeTrain& input, int time_steps,
+                            TensorI64& out);
+
+  const LinearUnitGeometry& geometry() const { return geometry_; }
+
+ private:
+  LinearUnitGeometry geometry_;
+  TimingParams timing_;
+};
+
+}  // namespace rsnn::hw

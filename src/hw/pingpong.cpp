@@ -1,0 +1,51 @@
+#include "hw/pingpong.hpp"
+
+#include "common/assert.hpp"
+
+namespace rsnn::hw {
+
+PingPongPair::PingPongPair(std::string name, std::int64_t capacity_bits_each)
+    : capacity_(capacity_bits_each) {
+  RSNN_REQUIRE(capacity_bits_each > 0);
+  buffers_[0].name = name + "/ping";
+  buffers_[1].name = name + "/pong";
+  buffers_[0].capacity_bits = buffers_[1].capacity_bits = capacity_bits_each;
+}
+
+void PingPongPair::store_output(std::int64_t bits) {
+  RSNN_REQUIRE(bits >= 0);
+  ActivationBuffer& buffer = pong();
+  RSNN_REQUIRE(bits <= buffer.capacity_bits,
+               buffer.name << ": feature map of " << bits
+                           << " bits exceeds capacity " << buffer.capacity_bits
+                           << " (compiler must size the ping-pong buffers)");
+  buffer.used_bits = bits;
+  buffer.writes += 1;
+  buffer.write_bits += bits;
+}
+
+void PingPongPair::load_input(std::int64_t bits) {
+  RSNN_REQUIRE(bits >= 0);
+  ActivationBuffer& buffer = ping();
+  buffer.reads += 1;
+  buffer.read_bits += bits;
+}
+
+void PingPongPair::swap() {
+  active_ = 1 - active_;
+  ++swaps_;
+}
+
+std::int64_t PingPongPair::total_read_bits() const {
+  return buffers_[0].read_bits + buffers_[1].read_bits;
+}
+
+std::int64_t PingPongPair::total_write_bits() const {
+  return buffers_[0].write_bits + buffers_[1].write_bits;
+}
+
+std::int64_t activation_bits(const Shape& shape, int time_steps) {
+  return shape.numel() * time_steps;
+}
+
+}  // namespace rsnn::hw

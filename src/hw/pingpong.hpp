@@ -1,0 +1,65 @@
+// Ping-pong activation buffers (paper Fig. 1, blue; Sec. III-C).
+//
+// Activations live entirely on chip. Two buffer pairs exist:
+//   * a 2-D pair for convolution/pooling feature maps (bit planes of the
+//     spike trains of one layer), and
+//   * a 1-D pair for flattened fully-connected activations.
+// Each layer reads from the active ("ping") buffer and writes its output to
+// the inactive ("pong") buffer; the controller swaps them after the layer.
+// This model tracks occupancy, capacity and access counts; capacity
+// violations are hard errors (the compiler must size the buffers).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "tensor/shape.hpp"
+
+namespace rsnn::hw {
+
+/// One buffer of a ping-pong pair.
+struct ActivationBuffer {
+  std::string name;
+  std::int64_t capacity_bits = 0;
+  std::int64_t used_bits = 0;
+  std::int64_t reads = 0;   ///< accesses (row/word granularity)
+  std::int64_t writes = 0;
+  std::int64_t read_bits = 0;
+  std::int64_t write_bits = 0;
+};
+
+/// A ping-pong pair with swap bookkeeping.
+class PingPongPair {
+ public:
+  PingPongPair(std::string name, std::int64_t capacity_bits_each);
+
+  /// Buffer currently holding the live layer input.
+  ActivationBuffer& ping() { return buffers_[active_]; }
+  /// Buffer the current layer writes into.
+  ActivationBuffer& pong() { return buffers_[1 - active_]; }
+
+  /// Record storing a feature map of `bits` into pong; throws if it does
+  /// not fit (compiler sizing error).
+  void store_output(std::int64_t bits);
+
+  /// Record reading `bits` from ping.
+  void load_input(std::int64_t bits);
+
+  void swap();
+
+  std::int64_t capacity_bits_each() const { return capacity_; }
+  std::int64_t total_read_bits() const;
+  std::int64_t total_write_bits() const;
+  int swaps() const { return swaps_; }
+
+ private:
+  std::int64_t capacity_;
+  ActivationBuffer buffers_[2];
+  int active_ = 0;
+  int swaps_ = 0;
+};
+
+/// Bits needed to hold one layer's spike-train activations: numel * T.
+std::int64_t activation_bits(const Shape& shape, int time_steps);
+
+}  // namespace rsnn::hw

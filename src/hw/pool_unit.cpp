@@ -1,0 +1,94 @@
+#include "hw/pool_unit.hpp"
+
+#include "common/assert.hpp"
+#include "common/bits.hpp"
+
+namespace rsnn::hw {
+
+PoolUnit::PoolUnit(PoolUnitGeometry geometry, TimingParams timing)
+    : geometry_(geometry), timing_(timing) {
+  RSNN_REQUIRE(geometry_.array_columns >= 1 && geometry_.kernel_rows >= 1);
+}
+
+PoolSliceResult PoolUnit::run_layer_slice(const quant::QPool2d& pool,
+                                          const encoding::SpikeTrain& input,
+                                          std::int64_t c_begin,
+                                          std::int64_t c_end, int time_steps,
+                                          TensorI64& out) {
+  RSNN_REQUIRE(pool.kernel <= geometry_.kernel_rows,
+               "pool kernel " << pool.kernel << " exceeds unit rows "
+                              << geometry_.kernel_rows);
+  const Shape& in_shape = input.neuron_shape();
+  RSNN_REQUIRE(in_shape.rank() == 3);
+  const std::int64_t channels = in_shape.dim(0);
+  RSNN_REQUIRE(c_begin >= 0 && c_begin < c_end && c_end <= channels);
+  const std::int64_t ih = in_shape.dim(1), iw = in_shape.dim(2);
+  const std::int64_t k = pool.kernel;
+  const std::int64_t oh = ih / k, ow = iw / k;
+
+  const std::int64_t X = geometry_.array_columns;
+  const std::int64_t share = std::clamp<std::int64_t>(X / ow, 1, channels);
+  RSNN_REQUIRE(c_end - c_begin <= share, "slice exceeds unit share");
+  const std::int64_t tiles = ow > X ? ceil_div(ow, X) : 1;
+  const std::int64_t cols_per_tile = tiles == 1 ? ow : X;
+
+  const std::int64_t n_local = c_end - c_begin;
+  // Row fetch scales with the *configured* share (the unit is sized for it),
+  // matching the analytic model even for a partial last slice.
+  const std::int64_t fetch =
+      share * conv_row_fetch_cycles(iw, timing_, /*active_units=*/1);
+  const std::int64_t row_period = std::max<std::int64_t>(k, fetch);
+
+  TensorI64 membrane(Shape{n_local, oh, ow}, std::int64_t{0});
+  PoolSliceResult result;
+
+  for (int t = 0; t < time_steps; ++t) {
+    for (std::int64_t i = 0; i < membrane.numel(); ++i)
+      membrane.at_flat(i) <<= 1;
+
+    for (std::int64_t tile = 0; tile < tiles; ++tile) {
+      const std::int64_t col0 = tile * cols_per_tile;
+      const std::int64_t cols = std::min<std::int64_t>(cols_per_tile, ow - col0);
+      result.cycles += timing_.pass_setup_cycles;
+
+      // Window rows accumulate directly: input row r contributes to output
+      // row r / k (kernel == stride).
+      for (std::int64_t r = 0; r < ih; ++r) {
+        const std::int64_t oy = r / k;
+        for (std::int64_t local = 0; local < n_local; ++local) {
+          const std::int64_t c = c_begin + local;
+          for (std::int64_t x = 0; x < cols; ++x) {
+            const std::int64_t ox = col0 + x;
+            std::int64_t count = 0;
+            for (std::int64_t s = 0; s < k; ++s) {
+              const std::int64_t neuron = (c * ih + r) * iw + (ox * k + s);
+              if (input.spike(t, neuron)) {
+                ++count;
+                ++result.adder_ops;
+              }
+            }
+            membrane(local, oy, ox) += count;
+          }
+          result.traffic.act_read_bits += iw;
+        }
+        result.cycles += row_period;
+      }
+    }
+  }
+
+  // Output logic: divide by window area (right shift) and write back.
+  for (std::int64_t local = 0; local < n_local; ++local) {
+    const std::int64_t c = c_begin + local;
+    for (std::int64_t oy = 0; oy < oh; ++oy) {
+      for (std::int64_t ox = 0; ox < ow; ++ox) {
+        const std::int64_t v = membrane(local, oy, ox) >> pool.shift;
+        out(c, oy, ox) = saturate_unsigned(v, time_steps);
+      }
+      result.writeback_cycles += tiles * timing_.writeback_cycles_per_row;
+    }
+  }
+  result.traffic.act_write_bits = n_local * oh * ow * time_steps;
+  return result;
+}
+
+}  // namespace rsnn::hw

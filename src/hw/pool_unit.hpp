@@ -1,0 +1,48 @@
+// PoolUnit: cycle-accurate simulator of the row-based average pooling unit.
+//
+// Structurally a convolution unit without kernel storage (paper Sec. III-B):
+// the adders simply count spikes in each k x k window, the output logic
+// accumulates over time steps with the radix left shift and divides by the
+// window area with a right shift (k is a power of two). There is exactly one
+// pooling unit in the design and it is never duplicated.
+//
+// Unlike convolution, each channel segment sharing the array needs its own
+// channel's input row, so the row fetch cost scales with the channel share.
+#pragma once
+
+#include <cstdint>
+
+#include "encoding/spike_train.hpp"
+#include "hw/arch.hpp"
+#include "hw/latency_model.hpp"
+#include "quant/qnetwork.hpp"
+#include "tensor/tensor.hpp"
+
+namespace rsnn::hw {
+
+struct PoolSliceResult {
+  std::int64_t cycles = 0;
+  std::int64_t writeback_cycles = 0;
+  std::int64_t adder_ops = 0;
+  MemTraffic traffic;
+};
+
+class PoolUnit {
+ public:
+  PoolUnit(PoolUnitGeometry geometry, TimingParams timing);
+
+  /// Pool channels `c_begin .. c_end-1` for all time steps, writing pooled
+  /// activation codes into `out(c, oy, ox)`.
+  PoolSliceResult run_layer_slice(const quant::QPool2d& pool,
+                                  const encoding::SpikeTrain& input,
+                                  std::int64_t c_begin, std::int64_t c_end,
+                                  int time_steps, TensorI64& out);
+
+  const PoolUnitGeometry& geometry() const { return geometry_; }
+
+ private:
+  PoolUnitGeometry geometry_;
+  TimingParams timing_;
+};
+
+}  // namespace rsnn::hw

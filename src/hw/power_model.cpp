@@ -1,0 +1,67 @@
+#include "hw/power_model.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace rsnn::hw {
+namespace {
+
+// Calibration against Table II (100 MHz, LeNet design):
+//   P(U) ~= 3.05 W + 0.028 W * U  for U = 1, 2, 4, 8 conv units.
+// A conv unit is ~4.6k LUTs (resource model), so the per-unit increment
+// gives c_lut ~= 0.028 / (4.6k * 100 MHz) ~= 6.1e-8 W per LUT-MHz at the
+// measured toggle rate; we fold the toggle baseline into the constant and
+// scale with the *measured* activity of the actual run.
+constexpr double kStaticW = 2.75;            // XCVU13P-class leakage
+constexpr double kClockWPerMhz = 0.0030;     // clock tree + always-on control
+constexpr double kLutWPerMhz = 6.1e-9;       // per LUT per MHz at toggle 0.10
+constexpr double kToggleBaseline = 0.10;     // activity the calibration assumed
+constexpr double kBramWPerGbps = 0.020;      // BRAM access energy
+// The paper's VGG-11 row (4.9 W at 115 MHz, 8 units) exceeds the fabric
+// estimate by ~1.3 W once DRAM enters the design: memory controller + PHY.
+constexpr double kDramInterfaceW = 1.30;
+constexpr double kDramWPerGbps = 0.050;      // incremental per-bit transfer
+
+}  // namespace
+
+PowerBreakdown estimate_power(const AcceleratorConfig& config,
+                              const ResourceEstimate& resources,
+                              const AccelRunResult& run, bool uses_dram) {
+  RSNN_REQUIRE(run.total_cycles > 0, "run has no cycles");
+  PowerBreakdown p;
+  p.static_w = kStaticW;
+  p.clock_w = kClockWPerMhz * config.clock_mhz;
+
+  // Toggle rate: fraction of adders doing useful work per cycle. Bounded to
+  // keep the model sane for degenerate runs.
+  const double adders = static_cast<double>(config.num_conv_units) *
+                            config.conv.array_columns * config.conv.kernel_rows +
+                        config.pool.array_columns * config.pool.kernel_rows +
+                        config.linear.lanes;
+  const double toggle = std::clamp(
+      static_cast<double>(run.total_adder_ops) /
+          (static_cast<double>(run.total_cycles) * std::max(adders, 1.0)),
+      0.02, 1.0);
+
+  p.logic_w = kLutWPerMhz * static_cast<double>(resources.luts) *
+              config.clock_mhz * (toggle / kToggleBaseline);
+
+  const double seconds = run.latency_us * 1e-6;
+  const double bram_gbits =
+      static_cast<double>(run.traffic_total.act_read_bits +
+                          run.traffic_total.act_write_bits +
+                          run.traffic_total.weight_read_bits) *
+      1e-9;
+  p.bram_w = seconds > 0.0 ? kBramWPerGbps * bram_gbits / seconds : 0.0;
+
+  if (uses_dram) {
+    p.dram_w = kDramInterfaceW;
+    if (seconds > 0.0)
+      p.dram_w += kDramWPerGbps * static_cast<double>(run.dram_bits) * 1e-9 /
+                  seconds;
+  }
+  return p;
+}
+
+}  // namespace rsnn::hw

@@ -1,0 +1,83 @@
+#include "hw/report.hpp"
+
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace rsnn::hw {
+
+RunMetrics compute_metrics(const AcceleratorConfig& config,
+                           const AccelRunResult& run,
+                           const PowerBreakdown& power) {
+  RSNN_REQUIRE(run.total_cycles > 0);
+  RunMetrics m;
+  m.latency_us = run.latency_us;
+  m.throughput_fps = 1e6 / run.latency_us;
+  m.energy_mj = power.total_w() * run.latency_us * 1e-3;  // W * us = uJ; /1e3 = mJ
+  const double seconds = run.latency_us * 1e-6;
+  m.synaptic_ops_per_second =
+      seconds > 0.0 ? static_cast<double>(run.total_adder_ops) / seconds : 0.0;
+  const double adders =
+      static_cast<double>(config.num_conv_units) * config.conv.array_columns *
+          config.conv.kernel_rows +
+      config.pool.array_columns * config.pool.kernel_rows + config.linear.lanes;
+  m.avg_adder_utilization =
+      static_cast<double>(run.total_adder_ops) /
+      (static_cast<double>(run.total_cycles) * adders);
+  return m;
+}
+
+std::string layer_report(const AccelRunResult& run) {
+  std::ostringstream os;
+  os << "layer  kind     cycles       dram      spikes      adds        "
+        "act-R[b]    act-W[b]    wgt-R[b]\n";
+  for (std::size_t i = 0; i < run.layers.size(); ++i) {
+    const LayerStats& s = run.layers[i];
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "%-6zu %-8s %-12lld %-10lld %-11lld %-11lld %-11lld %-11lld %lld\n",
+                  i, s.name.c_str(), static_cast<long long>(s.cycles),
+                  static_cast<long long>(s.dram_cycles),
+                  static_cast<long long>(s.input_spikes),
+                  static_cast<long long>(s.adder_ops),
+                  static_cast<long long>(s.traffic.act_read_bits),
+                  static_cast<long long>(s.traffic.act_write_bits),
+                  static_cast<long long>(s.traffic.weight_read_bits));
+    os << line;
+  }
+  return os.str();
+}
+
+std::string layer_csv(const AccelRunResult& run) {
+  std::ostringstream os;
+  os << "layer,kind,cycles,dram_cycles,input_spikes,adder_ops,act_read_bits,"
+        "act_write_bits,weight_read_bits,dram_bits\n";
+  for (std::size_t i = 0; i < run.layers.size(); ++i) {
+    const LayerStats& s = run.layers[i];
+    os << i << ',' << s.name << ',' << s.cycles << ',' << s.dram_cycles << ','
+       << s.input_spikes << ',' << s.adder_ops << ','
+       << s.traffic.act_read_bits << ',' << s.traffic.act_write_bits << ','
+       << s.traffic.weight_read_bits << ',' << s.traffic.dram_bits << '\n';
+  }
+  return os.str();
+}
+
+std::string run_summary(const AcceleratorConfig& config,
+                        const AccelRunResult& run,
+                        const ResourceEstimate& resources,
+                        const PowerBreakdown& power) {
+  const RunMetrics m = compute_metrics(config, run, power);
+  std::ostringstream os;
+  os << config.name << " @ " << config.clock_mhz << " MHz, "
+     << config.num_conv_units << " conv units\n"
+     << "  latency " << m.latency_us << " us (" << run.total_cycles
+     << " cycles), throughput " << m.throughput_fps << " fps\n"
+     << "  power " << power.total_w() << " W, energy/inference " << m.energy_mj
+     << " mJ\n"
+     << "  " << to_string(resources) << "\n"
+     << "  synaptic ops/s " << m.synaptic_ops_per_second
+     << ", adder utilization " << m.avg_adder_utilization << "\n";
+  return os.str();
+}
+
+}  // namespace rsnn::hw

@@ -1,0 +1,43 @@
+// Run reporting: human-readable per-layer breakdowns, CSV export and derived
+// efficiency metrics (energy per inference, effective synaptic-op rate) for
+// accelerator runs. This is tooling around the simulator, not part of the
+// modeled hardware.
+#pragma once
+
+#include <string>
+
+#include "hw/accelerator.hpp"
+#include "hw/power_model.hpp"
+#include "hw/resource_model.hpp"
+
+namespace rsnn::hw {
+
+/// Derived whole-run metrics.
+struct RunMetrics {
+  double latency_us = 0.0;
+  double throughput_fps = 0.0;
+  double energy_mj = 0.0;           ///< power * latency, millijoules
+  double synaptic_ops_per_second = 0.0;
+  double avg_adder_utilization = 0.0;  ///< fired adds / (adders * cycles)
+};
+
+RunMetrics compute_metrics(const AcceleratorConfig& config,
+                           const AccelRunResult& run,
+                           const PowerBreakdown& power);
+
+/// Multi-line per-layer report: cycles, DRAM stalls, spikes, adder ops,
+/// memory traffic.
+std::string layer_report(const AccelRunResult& run);
+
+/// One CSV line per layer, with header. Columns:
+/// layer,kind,cycles,dram_cycles,input_spikes,adder_ops,act_read_bits,
+/// act_write_bits,weight_read_bits,dram_bits
+std::string layer_csv(const AccelRunResult& run);
+
+/// Compact one-paragraph summary of a run on a design.
+std::string run_summary(const AcceleratorConfig& config,
+                        const AccelRunResult& run,
+                        const ResourceEstimate& resources,
+                        const PowerBreakdown& power);
+
+}  // namespace rsnn::hw

@@ -1,0 +1,122 @@
+#include "hw/resource_model.hpp"
+
+#include <sstream>
+
+#include "hw/weight_memory.hpp"
+
+namespace rsnn::hw {
+namespace {
+
+// Calibration (see header): the paper's Table II LeNet design
+// ((X, Y) = (30, 5), pool (14, 2), 100 MHz) measured
+//   units : 1     2     4     8
+//   LUTs  : 11k   15k   24k   42k     -> ~4.4k LUTs per conv unit, ~6.5k base
+//   FFs   : 10k   14k   23k   39k     -> ~4.1k FFs per conv unit, ~6.0k base
+// With X*Y = 150 adders per unit, a 24-bit adder + its spike multiplexer
+// comes to ~26 LUTs; pipeline and kernel registers dominate the FFs.
+constexpr int kLutsPerAdderBit = 1;     // carry-chain LUT per accumulator bit
+constexpr int kLutsPerMux = 2;          // spike multiplexer + kernel select
+constexpr int kFfsPerAdderBit = 1;      // pipeline register bit per adder
+constexpr int kLutsUnitControl = 450;   // per-unit FSM, address generation
+constexpr int kFfsUnitControl = 300;
+constexpr int kLutsPerOutputColumn = 8; // output-logic shifter/requantizer
+constexpr int kFfsPerOutputColumn = 10;
+
+constexpr int kLutsSharedControl = 3600;  // controller + buffer addressing
+constexpr int kFfsSharedControl = 3400;
+
+constexpr int kLutsDramSubsystem = 30000;  // memory controller + AXI
+constexpr int kFfsDramSubsystem = 35000;
+
+}  // namespace
+
+ResourceEstimate conv_unit_resources(const ConvUnitGeometry& geometry) {
+  ResourceEstimate r;
+  const std::int64_t adders =
+      static_cast<std::int64_t>(geometry.array_columns) * geometry.kernel_rows;
+  const std::int64_t adder_luts =
+      adders * (geometry.accumulator_bits * kLutsPerAdderBit + kLutsPerMux);
+  const std::int64_t pipeline_ffs =
+      adders * geometry.accumulator_bits * kFfsPerAdderBit;
+  // Input shift register: one FF per tap position (stride-1 worst case),
+  // sized 2x the column count to cover the kernel overhang.
+  const std::int64_t shift_ffs = 2 * geometry.array_columns;
+  // Kernel registers: Y rows x (kernel columns == Y) x weight word.
+  const std::int64_t kernel_ffs =
+      static_cast<std::int64_t>(geometry.kernel_rows) * geometry.kernel_rows * 8;
+  r.luts = adder_luts + kLutsUnitControl +
+           geometry.array_columns * kLutsPerOutputColumn;
+  r.flip_flops = pipeline_ffs + shift_ffs + kernel_ffs + kFfsUnitControl +
+                 geometry.array_columns * kFfsPerOutputColumn;
+  return r;
+}
+
+ResourceEstimate pool_unit_resources(const PoolUnitGeometry& geometry) {
+  ResourceEstimate r;
+  const std::int64_t adders =
+      static_cast<std::int64_t>(geometry.array_columns) * geometry.kernel_rows;
+  // No kernel values: adders are popcount-style, narrower, no kernel regs.
+  r.luts = adders * geometry.accumulator_bits / 2 + kLutsUnitControl / 2;
+  r.flip_flops = adders * geometry.accumulator_bits / 2 + kFfsUnitControl / 2 +
+                 2 * geometry.array_columns;
+  return r;
+}
+
+ResourceEstimate linear_unit_resources(const LinearUnitGeometry& geometry,
+                                       int weight_bits) {
+  ResourceEstimate r;
+  const std::int64_t adders = geometry.lanes;
+  r.luts = adders * (geometry.accumulator_bits + weight_bits) +
+           kLutsUnitControl;
+  r.flip_flops = adders * geometry.accumulator_bits + kFfsUnitControl +
+                 geometry.lanes * weight_bits;
+  return r;
+}
+
+ResourceEstimate shared_control_resources() {
+  return ResourceEstimate{kLutsSharedControl, kFfsSharedControl, 0};
+}
+
+ResourceEstimate dram_subsystem_resources() {
+  return ResourceEstimate{kLutsDramSubsystem, kFfsDramSubsystem, 0};
+}
+
+ResourceEstimate design_resources(const AcceleratorConfig& config,
+                                  const BufferPlan& buffer_plan,
+                                  std::int64_t weight_bram_bits_used,
+                                  bool uses_dram, int weight_bits) {
+  ResourceEstimate total;
+  const ResourceEstimate per_unit = conv_unit_resources(config.conv);
+  for (int u = 0; u < config.num_conv_units; ++u) total += per_unit;
+  total += pool_unit_resources(config.pool);
+  total += linear_unit_resources(config.linear, weight_bits);
+  total += shared_control_resources();
+  if (uses_dram) total += dram_subsystem_resources();
+
+  // BRAM: two ping-pong pairs (x2 buffers each) plus on-chip parameters.
+  total.bram_bits = 2 * buffer_plan.buffer2d_bits_each +
+                    2 * buffer_plan.buffer1d_bits_each + weight_bram_bits_used;
+  return total;
+}
+
+ResourceEstimate estimate_resources(const Accelerator& accelerator) {
+  const auto& qnet = accelerator.network();
+  std::int64_t on_chip_param_bits = 0;
+  for (std::size_t li = 0; li < qnet.layers.size(); ++li) {
+    if (accelerator.placement()[li] == WeightPlacement::kOnChip)
+      on_chip_param_bits +=
+          layer_param_bits(qnet.layers[li], qnet.weight_bits, qnet.time_bits);
+  }
+  return design_resources(accelerator.config(), accelerator.buffer_plan(),
+                          on_chip_param_bits, accelerator.uses_dram(),
+                          qnet.weight_bits);
+}
+
+std::string to_string(const ResourceEstimate& estimate) {
+  std::ostringstream os;
+  os << estimate.luts / 1000 << "k LUTs, " << estimate.flip_flops / 1000
+     << "k FFs, " << estimate.bram_bits / 8 / 1024 << " KiB BRAM";
+  return os.str();
+}
+
+}  // namespace rsnn::hw

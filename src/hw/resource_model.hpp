@@ -1,0 +1,70 @@
+// FPGA resource estimation (LUTs, flip-flops, BRAM).
+//
+// The paper implements all arithmetic in carry logic and LUTs (no DSP
+// slices). This model composes per-component estimates:
+//   * convolution unit: adder array (X*Y adders at accumulator width),
+//     input shift register, kernel registers, output-logic accumulator and
+//     requantizer, local control;
+//   * pooling unit: adder array without kernel storage;
+//   * linear unit: one adder row plus weight-fetch pipeline;
+//   * shared: controller, buffer addressing, top-level interconnect;
+//   * optional DRAM subsystem (memory controller + AXI plumbing) when any
+//     layer streams parameters from DRAM.
+//
+// Coefficients are calibrated against the paper's Table II (LeNet design
+// points: 11k/15k/24k/42k LUTs and 10k/14k/23k/39k FFs for 1/2/4/8 conv
+// units); the derivation is documented next to each constant. EXPERIMENTS.md
+// reports model-vs-paper for every published cell.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "hw/accelerator.hpp"
+#include "hw/arch.hpp"
+
+namespace rsnn::hw {
+
+struct ResourceEstimate {
+  std::int64_t luts = 0;
+  std::int64_t flip_flops = 0;
+  std::int64_t bram_bits = 0;
+
+  ResourceEstimate& operator+=(const ResourceEstimate& other) {
+    luts += other.luts;
+    flip_flops += other.flip_flops;
+    bram_bits += other.bram_bits;
+    return *this;
+  }
+};
+
+/// One convolution unit of the given geometry.
+ResourceEstimate conv_unit_resources(const ConvUnitGeometry& geometry);
+
+/// The (single) pooling unit.
+ResourceEstimate pool_unit_resources(const PoolUnitGeometry& geometry);
+
+/// The (single) linear unit.
+ResourceEstimate linear_unit_resources(const LinearUnitGeometry& geometry,
+                                       int weight_bits);
+
+/// Controller, buffer addressing and top-level interconnect.
+ResourceEstimate shared_control_resources();
+
+/// DRAM memory controller subsystem (present only when used).
+ResourceEstimate dram_subsystem_resources();
+
+/// Whole design: units + control + buffers (+ DRAM subsystem if needed).
+/// `buffer_plan` contributes BRAM bits (two pairs, double buffered);
+/// `weight_bram_bits` is the parameter storage actually used on chip.
+ResourceEstimate design_resources(const AcceleratorConfig& config,
+                                  const BufferPlan& buffer_plan,
+                                  std::int64_t weight_bram_bits_used,
+                                  bool uses_dram, int weight_bits);
+
+/// Convenience: resources of an accelerator instance bound to a network.
+ResourceEstimate estimate_resources(const Accelerator& accelerator);
+
+std::string to_string(const ResourceEstimate& estimate);
+
+}  // namespace rsnn::hw

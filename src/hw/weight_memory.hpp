@@ -1,0 +1,59 @@
+// Weight memory system (paper Sec. III-C, Fig. 1 green blocks).
+//
+// Two placement options per layer:
+//   * on-chip BRAM when all parameters fit — single-cycle, full-width
+//     access, no extra latency;
+//   * external DRAM otherwise — parameters are streamed into the units'
+//     local buffers *before* each layer's computation ("parameters are
+//     fetched from off-chip DRAM before the computation of each layer"),
+//     costing setup + bits/width cycles and DRAM energy.
+//
+// plan_placement() implements the greedy policy: if the whole model fits in
+// the BRAM budget, everything is on chip; otherwise every layer streams
+// from DRAM (the paper's VGG-11 case).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hw/arch.hpp"
+#include "quant/qnetwork.hpp"
+
+namespace rsnn::hw {
+
+struct WeightFetchCost {
+  std::int64_t cycles = 0;     ///< serial prefetch cycles before compute
+  std::int64_t dram_bits = 0;  ///< DRAM traffic
+};
+
+class WeightMemory {
+ public:
+  explicit WeightMemory(MemoryConfig config) : config_(config) {}
+
+  /// Prefetch cost of a layer's parameters under the given placement.
+  WeightFetchCost fetch_layer(std::int64_t param_bits,
+                              WeightPlacement placement);
+
+  /// Record streaming reads during compute (BRAM side).
+  void record_reads(std::int64_t bits) { bram_read_bits_ += bits; }
+
+  std::int64_t bram_read_bits() const { return bram_read_bits_; }
+  std::int64_t dram_bits_total() const { return dram_bits_total_; }
+  const MemoryConfig& config() const { return config_; }
+
+ private:
+  MemoryConfig config_;
+  std::int64_t bram_read_bits_ = 0;
+  std::int64_t dram_bits_total_ = 0;
+};
+
+/// Per-layer placement for a whole network: on-chip if the *total* parameter
+/// footprint fits the BRAM budget, DRAM streaming otherwise.
+std::vector<WeightPlacement> plan_placement(const quant::QuantizedNetwork& qnet,
+                                            const MemoryConfig& config);
+
+/// Parameter bits of one layer (0 for pool/flatten).
+std::int64_t layer_param_bits(const quant::QLayer& layer, int weight_bits,
+                              int time_bits);
+
+}  // namespace rsnn::hw

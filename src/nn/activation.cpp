@@ -1,0 +1,63 @@
+#include "nn/activation.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace rsnn::nn {
+
+TensorF ReLU::forward(const TensorF& input, bool training) {
+  if (training) cached_input_ = input;
+  return input.map([](float x) { return x > 0.0f ? x : 0.0f; });
+}
+
+TensorF ReLU::backward(const TensorF& grad_output) {
+  RSNN_REQUIRE(cached_input_.numel() > 0,
+               "backward() before forward(training=true)");
+  return zip(grad_output, cached_input_,
+             [](float g, float x) { return x > 0.0f ? g : 0.0f; });
+}
+
+ClippedReLU::ClippedReLU(ClippedReLUConfig config) : config_(config) {
+  RSNN_REQUIRE(config.ceiling > 0.0f);
+  RSNN_REQUIRE(config.fake_quant_bits >= 0 && config.fake_quant_bits <= 16);
+}
+
+TensorF ClippedReLU::forward(const TensorF& input, bool training) {
+  if (training) cached_input_ = input;
+  const float ceiling = config_.ceiling;
+  if (config_.fake_quant_bits == 0) {
+    return input.map([ceiling](float x) {
+      return x < 0.0f ? 0.0f : (x > ceiling ? ceiling : x);
+    });
+  }
+  // Fake quantization: clip, then snap down onto the T-bit radix grid
+  // (floor matches the hardware requantizer, which truncates).
+  const float levels = static_cast<float>(1 << config_.fake_quant_bits);
+  const float step = ceiling / levels;
+  const float top = (levels - 1.0f) * step;
+  return input.map([=](float x) {
+    if (x < 0.0f) return 0.0f;
+    if (x > top) return top;
+    return std::floor(x / step) * step;
+  });
+}
+
+TensorF ClippedReLU::backward(const TensorF& grad_output) {
+  RSNN_REQUIRE(cached_input_.numel() > 0,
+               "backward() before forward(training=true)");
+  // Straight-through estimator: pass gradient inside the clipping range.
+  const float ceiling = config_.ceiling;
+  return zip(grad_output, cached_input_, [ceiling](float g, float x) {
+    return (x > 0.0f && x < ceiling) ? g : 0.0f;
+  });
+}
+
+std::string ClippedReLU::describe() const {
+  std::ostringstream os;
+  os << "ClippedReLU(ceiling=" << config_.ceiling;
+  if (config_.fake_quant_bits > 0) os << ", qat_bits=" << config_.fake_quant_bits;
+  os << ")";
+  return os.str();
+}
+
+}  // namespace rsnn::nn

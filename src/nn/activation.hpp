@@ -1,0 +1,51 @@
+// Activation layers.
+//
+// ClippedReLU is the activation used for radix-encoded SNN conversion: the
+// ANN is trained with activations clipped to [0, ceiling] so they map onto
+// the bounded dynamic range of a T-bit radix spike train (Wang et al. 2021).
+// With quantization-aware training enabled, the forward pass additionally
+// snaps activations to the T-bit grid while the backward pass uses the
+// straight-through estimator.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace rsnn::nn {
+
+/// Plain ReLU: max(0, x).
+class ReLU final : public Layer {
+ public:
+  TensorF forward(const TensorF& input, bool training) override;
+  TensorF backward(const TensorF& grad_output) override;
+  Shape output_shape(const Shape& input_shape) const override { return input_shape; }
+  std::string name() const override { return "ReLU"; }
+
+ private:
+  TensorF cached_input_;
+};
+
+struct ClippedReLUConfig {
+  float ceiling = 1.0f;        ///< activations are clipped to [0, ceiling)
+  int fake_quant_bits = 0;     ///< 0 disables quantization-aware training
+};
+
+/// min(max(0, x), ceiling), optionally fake-quantized to a 2^bits grid.
+class ClippedReLU final : public Layer {
+ public:
+  explicit ClippedReLU(ClippedReLUConfig config);
+
+  TensorF forward(const TensorF& input, bool training) override;
+  TensorF backward(const TensorF& grad_output) override;
+  Shape output_shape(const Shape& input_shape) const override { return input_shape; }
+  std::string name() const override { return "ClippedReLU"; }
+  std::string describe() const override;
+
+  const ClippedReLUConfig& config() const { return config_; }
+  void set_fake_quant_bits(int bits) { config_.fake_quant_bits = bits; }
+
+ private:
+  ClippedReLUConfig config_;
+  TensorF cached_input_;
+};
+
+}  // namespace rsnn::nn

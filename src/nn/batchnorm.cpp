@@ -1,0 +1,130 @@
+#include "nn/batchnorm.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace rsnn::nn {
+
+BatchNorm2d::BatchNorm2d(BatchNorm2dConfig config)
+    : config_(config),
+      gamma_("gamma", Shape{config.channels}),
+      beta_("beta", Shape{config.channels}),
+      running_mean_(Shape{config.channels}, 0.0f),
+      running_var_(Shape{config.channels}, 1.0f) {
+  RSNN_REQUIRE(config.channels > 0);
+  RSNN_REQUIRE(config.epsilon > 0.0f);
+  gamma_.value.fill(1.0f);
+  beta_.value.fill(0.0f);
+}
+
+void BatchNorm2d::set_running_stats(TensorF mean, TensorF var) {
+  RSNN_REQUIRE(mean.shape() == Shape{config_.channels});
+  RSNN_REQUIRE(var.shape() == Shape{config_.channels});
+  running_mean_ = std::move(mean);
+  running_var_ = std::move(var);
+}
+
+TensorF BatchNorm2d::forward(const TensorF& input, bool training) {
+  RSNN_REQUIRE(input.rank() == 4 && input.dim(1) == config_.channels,
+               "BatchNorm2d expects NCHW with " << config_.channels
+                                                << " channels");
+  const std::int64_t batch = input.dim(0), ch = config_.channels;
+  const std::int64_t hw = input.dim(2) * input.dim(3);
+  const double count = static_cast<double>(batch * hw);
+
+  TensorF mean(Shape{ch}), inv_std(Shape{ch});
+  if (training) {
+    // Batch statistics per channel.
+    for (std::int64_t c = 0; c < ch; ++c) {
+      double sum = 0.0;
+      for (std::int64_t n = 0; n < batch; ++n)
+        for (std::int64_t i = 0; i < hw; ++i)
+          sum += input.at_flat((n * ch + c) * hw + i);
+      mean(c) = static_cast<float>(sum / count);
+    }
+    TensorF var(Shape{ch});
+    for (std::int64_t c = 0; c < ch; ++c) {
+      double sum_sq = 0.0;
+      for (std::int64_t n = 0; n < batch; ++n)
+        for (std::int64_t i = 0; i < hw; ++i) {
+          const double d = input.at_flat((n * ch + c) * hw + i) - mean(c);
+          sum_sq += d * d;
+        }
+      var(c) = static_cast<float>(sum_sq / count);
+      inv_std(c) = 1.0f / std::sqrt(var(c) + config_.epsilon);
+      // Exponential running stats for inference.
+      running_mean_(c) = (1.0f - config_.momentum) * running_mean_(c) +
+                         config_.momentum * mean(c);
+      running_var_(c) =
+          (1.0f - config_.momentum) * running_var_(c) + config_.momentum * var(c);
+    }
+    cached_input_ = input;
+    batch_mean_ = mean;
+    batch_inv_std_ = inv_std;
+  } else {
+    for (std::int64_t c = 0; c < ch; ++c) {
+      mean(c) = running_mean_(c);
+      inv_std(c) = 1.0f / std::sqrt(running_var_(c) + config_.epsilon);
+    }
+  }
+
+  TensorF out(input.shape());
+  for (std::int64_t n = 0; n < batch; ++n)
+    for (std::int64_t c = 0; c < ch; ++c)
+      for (std::int64_t i = 0; i < hw; ++i) {
+        const std::int64_t idx = (n * ch + c) * hw + i;
+        out.at_flat(idx) =
+            gamma_.value(c) * (input.at_flat(idx) - mean(c)) * inv_std(c) +
+            beta_.value(c);
+      }
+  return out;
+}
+
+TensorF BatchNorm2d::backward(const TensorF& grad_output) {
+  RSNN_REQUIRE(cached_input_.numel() > 0,
+               "backward() before forward(training=true)");
+  const TensorF& x = cached_input_;
+  const std::int64_t batch = x.dim(0), ch = config_.channels;
+  const std::int64_t hw = x.dim(2) * x.dim(3);
+  const double count = static_cast<double>(batch * hw);
+
+  TensorF grad_input(x.shape());
+  for (std::int64_t c = 0; c < ch; ++c) {
+    // Per-channel reductions of the standard batchnorm backward.
+    double sum_dy = 0.0, sum_dy_xhat = 0.0;
+    for (std::int64_t n = 0; n < batch; ++n)
+      for (std::int64_t i = 0; i < hw; ++i) {
+        const std::int64_t idx = (n * ch + c) * hw + i;
+        const double x_hat =
+            (x.at_flat(idx) - batch_mean_(c)) * batch_inv_std_(c);
+        const double dy = grad_output.at_flat(idx);
+        sum_dy += dy;
+        sum_dy_xhat += dy * x_hat;
+      }
+    gamma_.grad(c) += static_cast<float>(sum_dy_xhat);
+    beta_.grad(c) += static_cast<float>(sum_dy);
+
+    const double g = gamma_.value(c);
+    for (std::int64_t n = 0; n < batch; ++n)
+      for (std::int64_t i = 0; i < hw; ++i) {
+        const std::int64_t idx = (n * ch + c) * hw + i;
+        const double x_hat =
+            (x.at_flat(idx) - batch_mean_(c)) * batch_inv_std_(c);
+        const double dy = grad_output.at_flat(idx);
+        grad_input.at_flat(idx) = static_cast<float>(
+            g * batch_inv_std_(c) *
+            (dy - sum_dy / count - x_hat * sum_dy_xhat / count));
+      }
+  }
+  return grad_input;
+}
+
+std::vector<Param*> BatchNorm2d::params() { return {&gamma_, &beta_}; }
+
+std::string BatchNorm2d::describe() const {
+  std::ostringstream os;
+  os << "BatchNorm2d(" << config_.channels << ")";
+  return os.str();
+}
+
+}  // namespace rsnn::nn

@@ -1,0 +1,57 @@
+// BatchNorm2d: per-channel batch normalization for NCHW tensors.
+//
+// Deep plain stacks (VGG-style) with bounded activations train poorly
+// without normalization. BatchNorm is a training-time aid only: the
+// accelerator has no normalization hardware, so quant::quantize requires
+// batch norms to be *folded* into the preceding convolution first
+// (quant::fold_batchnorm), which is exact at inference time:
+//
+//   bn(conv(x))  =  conv'(x)   with   w' = w * g / sqrt(var + eps)
+//                                     b' = (b - mean) * g / sqrt(var + eps) + beta
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace rsnn::nn {
+
+struct BatchNorm2dConfig {
+  std::int64_t channels = 0;
+  float epsilon = 1e-5f;
+  float momentum = 0.1f;  ///< running-stat update rate
+};
+
+class BatchNorm2d final : public Layer {
+ public:
+  explicit BatchNorm2d(BatchNorm2dConfig config);
+
+  TensorF forward(const TensorF& input, bool training) override;
+  TensorF backward(const TensorF& grad_output) override;
+  std::vector<Param*> params() override;
+  Shape output_shape(const Shape& input_shape) const override { return input_shape; }
+  std::string name() const override { return "BatchNorm2d"; }
+  std::string describe() const override;
+
+  const BatchNorm2dConfig& config() const { return config_; }
+  Param& gamma() { return gamma_; }
+  const Param& gamma() const { return gamma_; }
+  Param& beta() { return beta_; }
+  const Param& beta() const { return beta_; }
+  const TensorF& running_mean() const { return running_mean_; }
+  const TensorF& running_var() const { return running_var_; }
+  /// Set running stats directly (used by tests and weight loading).
+  void set_running_stats(TensorF mean, TensorF var);
+
+ private:
+  BatchNorm2dConfig config_;
+  Param gamma_;  ///< [C] scale
+  Param beta_;   ///< [C] shift
+  TensorF running_mean_;  ///< [C]
+  TensorF running_var_;   ///< [C]
+
+  // Cached batch statistics for backward.
+  TensorF cached_input_;
+  TensorF batch_mean_;
+  TensorF batch_inv_std_;
+};
+
+}  // namespace rsnn::nn

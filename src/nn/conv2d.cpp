@@ -1,0 +1,142 @@
+#include "nn/conv2d.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "nn/fake_quant.hpp"
+
+namespace rsnn::nn {
+
+Conv2d::Conv2d(Conv2dConfig config)
+    : config_(config),
+      weight_("weight", Shape{config.out_channels, config.in_channels,
+                              config.kernel, config.kernel}),
+      bias_("bias", Shape{config.out_channels}) {
+  RSNN_REQUIRE(config.in_channels > 0 && config.out_channels > 0);
+  RSNN_REQUIRE(config.kernel > 0 && config.stride > 0 && config.padding >= 0);
+}
+
+void Conv2d::init_params(Rng& rng) {
+  const double fan_in = static_cast<double>(config_.in_channels) *
+                        static_cast<double>(config_.kernel * config_.kernel);
+  const double bound = std::sqrt(6.0 / fan_in);
+  for (std::int64_t i = 0; i < weight_.value.numel(); ++i)
+    weight_.value.at_flat(i) = static_cast<float>(rng.next_double(-bound, bound));
+  bias_.value.fill(0.0f);
+}
+
+Shape Conv2d::output_shape(const Shape& input_shape) const {
+  RSNN_REQUIRE(input_shape.rank() == 4, "Conv2d expects NCHW input");
+  RSNN_REQUIRE(input_shape.dim(1) == config_.in_channels,
+               "Conv2d channel mismatch: got " << input_shape.dim(1)
+                                               << ", expected " << config_.in_channels);
+  const std::int64_t h = input_shape.dim(2) + 2 * config_.padding;
+  const std::int64_t w = input_shape.dim(3) + 2 * config_.padding;
+  RSNN_REQUIRE(h >= config_.kernel && w >= config_.kernel,
+               "input smaller than kernel");
+  const std::int64_t oh = (h - config_.kernel) / config_.stride + 1;
+  const std::int64_t ow = (w - config_.kernel) / config_.stride + 1;
+  return Shape{input_shape.dim(0), config_.out_channels, oh, ow};
+}
+
+const TensorF& Conv2d::effective_weight() {
+  if (config_.weight_quant_bits <= 0) return weight_.value;
+  fq_weight_ = fake_quantize_weights(weight_.value, config_.weight_quant_bits);
+  return fq_weight_;
+}
+
+TensorF Conv2d::forward(const TensorF& input, bool training) {
+  const Shape out_shape = output_shape(input.shape());
+  if (training) cached_input_ = input;
+  const TensorF& w = effective_weight();
+
+  const std::int64_t batch = input.dim(0);
+  const std::int64_t cin = config_.in_channels;
+  const std::int64_t cout = config_.out_channels;
+  const std::int64_t ih = input.dim(2), iw = input.dim(3);
+  const std::int64_t k = config_.kernel, str = config_.stride, pad = config_.padding;
+  const std::int64_t oh = out_shape.dim(2), ow = out_shape.dim(3);
+
+  TensorF out(out_shape);
+  for (std::int64_t n = 0; n < batch; ++n) {
+    for (std::int64_t oc = 0; oc < cout; ++oc) {
+      const float b = config_.has_bias ? bias_.value(oc) : 0.0f;
+      for (std::int64_t oy = 0; oy < oh; ++oy) {
+        for (std::int64_t ox = 0; ox < ow; ++ox) {
+          float acc = b;
+          for (std::int64_t ic = 0; ic < cin; ++ic) {
+            for (std::int64_t ky = 0; ky < k; ++ky) {
+              const std::int64_t iy = oy * str + ky - pad;
+              if (iy < 0 || iy >= ih) continue;
+              for (std::int64_t kx = 0; kx < k; ++kx) {
+                const std::int64_t ix = ox * str + kx - pad;
+                if (ix < 0 || ix >= iw) continue;
+                acc += input(n, ic, iy, ix) * w(oc, ic, ky, kx);
+              }
+            }
+          }
+          out(n, oc, oy, ox) = acc;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+TensorF Conv2d::backward(const TensorF& grad_output) {
+  RSNN_REQUIRE(cached_input_.numel() > 0,
+               "backward() before forward(training=true)");
+  const TensorF& input = cached_input_;
+  // Straight-through estimator: the input gradient flows through the
+  // quantized weights the forward pass actually used, while the weight
+  // gradient updates the latent full-precision weights.
+  const TensorF& w =
+      config_.weight_quant_bits > 0 ? fq_weight_ : weight_.value;
+  const std::int64_t batch = input.dim(0);
+  const std::int64_t cin = config_.in_channels;
+  const std::int64_t cout = config_.out_channels;
+  const std::int64_t ih = input.dim(2), iw = input.dim(3);
+  const std::int64_t k = config_.kernel, str = config_.stride, pad = config_.padding;
+  const std::int64_t oh = grad_output.dim(2), ow = grad_output.dim(3);
+
+  TensorF grad_input(input.shape(), 0.0f);
+  for (std::int64_t n = 0; n < batch; ++n) {
+    for (std::int64_t oc = 0; oc < cout; ++oc) {
+      for (std::int64_t oy = 0; oy < oh; ++oy) {
+        for (std::int64_t ox = 0; ox < ow; ++ox) {
+          const float g = grad_output(n, oc, oy, ox);
+          if (g == 0.0f) continue;
+          if (config_.has_bias) bias_.grad(oc) += g;
+          for (std::int64_t ic = 0; ic < cin; ++ic) {
+            for (std::int64_t ky = 0; ky < k; ++ky) {
+              const std::int64_t iy = oy * str + ky - pad;
+              if (iy < 0 || iy >= ih) continue;
+              for (std::int64_t kx = 0; kx < k; ++kx) {
+                const std::int64_t ix = ox * str + kx - pad;
+                if (ix < 0 || ix >= iw) continue;
+                weight_.grad(oc, ic, ky, kx) += g * input(n, ic, iy, ix);
+                grad_input(n, ic, iy, ix) += g * w(oc, ic, ky, kx);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_input;
+}
+
+std::vector<Param*> Conv2d::params() {
+  if (config_.has_bias) return {&weight_, &bias_};
+  return {&weight_};
+}
+
+std::string Conv2d::describe() const {
+  std::ostringstream os;
+  os << "Conv2d(" << config_.in_channels << " -> " << config_.out_channels
+     << ", k=" << config_.kernel << ", s=" << config_.stride
+     << ", p=" << config_.padding << ")";
+  return os.str();
+}
+
+}  // namespace rsnn::nn

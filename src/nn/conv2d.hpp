@@ -1,0 +1,54 @@
+// 2-D convolution layer (NCHW), direct-loop implementation.
+#pragma once
+
+#include "common/rng.hpp"
+#include "nn/layer.hpp"
+
+namespace rsnn::nn {
+
+struct Conv2dConfig {
+  std::int64_t in_channels = 0;
+  std::int64_t out_channels = 0;
+  std::int64_t kernel = 0;   ///< square kernel Kr == Kc
+  std::int64_t stride = 1;
+  std::int64_t padding = 0;  ///< symmetric zero padding
+  bool has_bias = true;
+  /// Weight quantization-aware training: when > 0, forward passes use
+  /// weights projected onto the `weight_quant_bits`-bit power-of-two grid
+  /// (the grid quant::quantize converts to); backward uses the
+  /// straight-through estimator. 0 trains in full float.
+  int weight_quant_bits = 0;
+};
+
+class Conv2d final : public Layer {
+ public:
+  explicit Conv2d(Conv2dConfig config);
+
+  /// Kaiming-uniform initialization (deterministic given `rng`).
+  void init_params(Rng& rng);
+
+  TensorF forward(const TensorF& input, bool training) override;
+  TensorF backward(const TensorF& grad_output) override;
+  std::vector<Param*> params() override;
+  Shape output_shape(const Shape& input_shape) const override;
+  std::string name() const override { return "Conv2d"; }
+  std::string describe() const override;
+
+  const Conv2dConfig& config() const { return config_; }
+  Param& weight() { return weight_; }
+  const Param& weight() const { return weight_; }
+  Param& bias() { return bias_; }
+  const Param& bias() const { return bias_; }
+
+ private:
+  /// Weights as seen by the datapath (fake-quantized under QAT).
+  const TensorF& effective_weight();
+
+  Conv2dConfig config_;
+  Param weight_;  ///< [Cout, Cin, K, K]
+  Param bias_;    ///< [Cout]
+  TensorF cached_input_;
+  TensorF fq_weight_;  ///< QAT projection, refreshed each forward
+};
+
+}  // namespace rsnn::nn

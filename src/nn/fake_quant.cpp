@@ -1,0 +1,49 @@
+#include "nn/fake_quant.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace rsnn::nn {
+
+int choose_weight_frac_bits(const TensorF& weights, int bits) {
+  RSNN_REQUIRE(bits >= 2 && bits <= 16);
+  const std::int64_t q_max = (std::int64_t{1} << (bits - 1)) - 1;
+  double max_abs = 0.0;
+  for (std::int64_t i = 0; i < weights.numel(); ++i)
+    max_abs =
+        std::max(max_abs, std::abs(static_cast<double>(weights.at_flat(i))));
+  if (max_abs == 0.0) return 0;
+
+  int f = static_cast<int>(
+      std::floor(std::log2(static_cast<double>(q_max) / max_abs)));
+  while (std::llround(max_abs * std::ldexp(1.0, f + 1)) <= q_max) ++f;
+  while (std::llround(max_abs * std::ldexp(1.0, f)) > q_max) --f;
+  return f;
+}
+
+TensorI quantize_weights_to_int(const TensorF& weights, int frac_bits,
+                                int bits) {
+  RSNN_REQUIRE(bits >= 2 && bits <= 16);
+  const std::int64_t q_max = (std::int64_t{1} << (bits - 1)) - 1;
+  const double scale = std::ldexp(1.0, frac_bits);
+  TensorI out(weights.shape());
+  for (std::int64_t i = 0; i < weights.numel(); ++i) {
+    const std::int64_t q =
+        std::llround(static_cast<double>(weights.at_flat(i)) * scale);
+    out.at_flat(i) = static_cast<std::int32_t>(std::clamp(q, -q_max, q_max));
+  }
+  return out;
+}
+
+TensorF fake_quantize_weights(const TensorF& weights, int bits) {
+  const int f = choose_weight_frac_bits(weights, bits);
+  const TensorI q = quantize_weights_to_int(weights, f, bits);
+  const float step = static_cast<float>(std::ldexp(1.0, -f));
+  TensorF out(weights.shape());
+  for (std::int64_t i = 0; i < weights.numel(); ++i)
+    out.at_flat(i) = static_cast<float>(q.at_flat(i)) * step;
+  return out;
+}
+
+}  // namespace rsnn::nn

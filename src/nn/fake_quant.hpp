@@ -1,0 +1,23 @@
+// Weight quantization grid — the single source of truth shared by
+// quantization-aware training (Conv2d/Linear forward) and post-training
+// conversion (quant::quantize). Weights use a per-layer power-of-two scale
+// 2^-f so the hardware requantizer stays a pure shift.
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+namespace rsnn::nn {
+
+/// Largest f such that round(w * 2^f) fits in `bits` signed bits for all
+/// weights (0 for an all-zero tensor; negative for very large weights).
+int choose_weight_frac_bits(const TensorF& weights, int bits);
+
+/// Round onto the grid: W = clamp(round(w * 2^f), -q_max, q_max).
+TensorI quantize_weights_to_int(const TensorF& weights, int frac_bits,
+                                int bits);
+
+/// Project weights onto the representable grid and back to float (the
+/// forward transform of QAT; backward uses the straight-through estimator).
+TensorF fake_quantize_weights(const TensorF& weights, int bits);
+
+}  // namespace rsnn::nn

@@ -1,0 +1,24 @@
+#include "nn/flatten.hpp"
+
+namespace rsnn::nn {
+
+Shape Flatten::output_shape(const Shape& input_shape) const {
+  RSNN_REQUIRE(input_shape.rank() >= 2, "Flatten expects rank >= 2");
+  std::int64_t features = 1;
+  for (int axis = 1; axis < input_shape.rank(); ++axis)
+    features *= input_shape.dim(axis);
+  return Shape{input_shape.dim(0), features};
+}
+
+TensorF Flatten::forward(const TensorF& input, bool training) {
+  if (training) cached_input_shape_ = input.shape();
+  return input.reshaped(output_shape(input.shape()));
+}
+
+TensorF Flatten::backward(const TensorF& grad_output) {
+  RSNN_REQUIRE(cached_input_shape_.rank() > 0,
+               "backward() before forward(training=true)");
+  return grad_output.reshaped(cached_input_shape_);
+}
+
+}  // namespace rsnn::nn

@@ -1,0 +1,20 @@
+// Flatten: NCHW -> NC, the boundary between convolutional and linear layers.
+// Mirrors the accelerator's transfer from 2-D to 1-D activation buffers.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace rsnn::nn {
+
+class Flatten final : public Layer {
+ public:
+  TensorF forward(const TensorF& input, bool training) override;
+  TensorF backward(const TensorF& grad_output) override;
+  Shape output_shape(const Shape& input_shape) const override;
+  std::string name() const override { return "Flatten"; }
+
+ private:
+  Shape cached_input_shape_;
+};
+
+}  // namespace rsnn::nn

@@ -1,0 +1,54 @@
+// Layer: the base interface of the ANN substrate.
+//
+// All tensors flowing between layers are batched NCHW (rank 4) for the
+// convolutional part of a network and NC (rank 2) after flattening. Layers
+// own their parameters and the gradients accumulated by backward().
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace rsnn::nn {
+
+/// A trainable parameter: value plus accumulated gradient of the same shape.
+struct Param {
+  std::string name;
+  TensorF value;
+  TensorF grad;
+
+  Param(std::string n, Shape shape)
+      : name(std::move(n)), value(shape), grad(shape) {}
+
+  void zero_grad() { grad.fill(0.0f); }
+};
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Compute outputs. When `training` is true the layer caches whatever it
+  /// needs for backward().
+  virtual TensorF forward(const TensorF& input, bool training) = 0;
+
+  /// Propagate gradients. Accumulates into parameter grads and returns the
+  /// gradient with respect to the input of the last forward() call.
+  virtual TensorF backward(const TensorF& grad_output) = 0;
+
+  /// Trainable parameters (empty for stateless layers).
+  virtual std::vector<Param*> params() { return {}; }
+
+  /// Output shape for a given input shape (batch dimension included).
+  virtual Shape output_shape(const Shape& input_shape) const = 0;
+
+  virtual std::string name() const = 0;
+
+  /// Human-readable one-line description for model summaries.
+  virtual std::string describe() const { return name(); }
+};
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+}  // namespace rsnn::nn

@@ -1,0 +1,92 @@
+#include "nn/linear.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "nn/fake_quant.hpp"
+
+namespace rsnn::nn {
+
+Linear::Linear(LinearConfig config)
+    : config_(config),
+      weight_("weight", Shape{config.out_features, config.in_features}),
+      bias_("bias", Shape{config.out_features}) {
+  RSNN_REQUIRE(config.in_features > 0 && config.out_features > 0);
+}
+
+void Linear::init_params(Rng& rng) {
+  const double bound = std::sqrt(6.0 / static_cast<double>(config_.in_features));
+  for (std::int64_t i = 0; i < weight_.value.numel(); ++i)
+    weight_.value.at_flat(i) = static_cast<float>(rng.next_double(-bound, bound));
+  bias_.value.fill(0.0f);
+}
+
+Shape Linear::output_shape(const Shape& input_shape) const {
+  RSNN_REQUIRE(input_shape.rank() == 2, "Linear expects NC input");
+  RSNN_REQUIRE(input_shape.dim(1) == config_.in_features,
+               "Linear feature mismatch: got " << input_shape.dim(1)
+                                               << ", expected " << config_.in_features);
+  return Shape{input_shape.dim(0), config_.out_features};
+}
+
+const TensorF& Linear::effective_weight() {
+  if (config_.weight_quant_bits <= 0) return weight_.value;
+  fq_weight_ = fake_quantize_weights(weight_.value, config_.weight_quant_bits);
+  return fq_weight_;
+}
+
+TensorF Linear::forward(const TensorF& input, bool training) {
+  const Shape out_shape = output_shape(input.shape());
+  if (training) cached_input_ = input;
+  const TensorF& w = effective_weight();
+
+  const std::int64_t batch = input.dim(0);
+  const std::int64_t in_f = config_.in_features, out_f = config_.out_features;
+
+  TensorF out(out_shape);
+  for (std::int64_t n = 0; n < batch; ++n) {
+    for (std::int64_t o = 0; o < out_f; ++o) {
+      float acc = config_.has_bias ? bias_.value(o) : 0.0f;
+      for (std::int64_t i = 0; i < in_f; ++i) acc += input(n, i) * w(o, i);
+      out(n, o) = acc;
+    }
+  }
+  return out;
+}
+
+TensorF Linear::backward(const TensorF& grad_output) {
+  RSNN_REQUIRE(cached_input_.numel() > 0,
+               "backward() before forward(training=true)");
+  const std::int64_t batch = cached_input_.dim(0);
+  const std::int64_t in_f = config_.in_features, out_f = config_.out_features;
+  // Straight-through estimator (see Conv2d::backward).
+  const TensorF& w =
+      config_.weight_quant_bits > 0 ? fq_weight_ : weight_.value;
+
+  TensorF grad_input(cached_input_.shape(), 0.0f);
+  for (std::int64_t n = 0; n < batch; ++n) {
+    for (std::int64_t o = 0; o < out_f; ++o) {
+      const float g = grad_output(n, o);
+      if (g == 0.0f) continue;
+      if (config_.has_bias) bias_.grad(o) += g;
+      for (std::int64_t i = 0; i < in_f; ++i) {
+        weight_.grad(o, i) += g * cached_input_(n, i);
+        grad_input(n, i) += g * w(o, i);
+      }
+    }
+  }
+  return grad_input;
+}
+
+std::vector<Param*> Linear::params() {
+  if (config_.has_bias) return {&weight_, &bias_};
+  return {&weight_};
+}
+
+std::string Linear::describe() const {
+  std::ostringstream os;
+  os << "Linear(" << config_.in_features << " -> " << config_.out_features << ")";
+  return os.str();
+}
+
+}  // namespace rsnn::nn

@@ -1,0 +1,47 @@
+// Fully-connected layer (NC input).
+#pragma once
+
+#include "common/rng.hpp"
+#include "nn/layer.hpp"
+
+namespace rsnn::nn {
+
+struct LinearConfig {
+  std::int64_t in_features = 0;
+  std::int64_t out_features = 0;
+  bool has_bias = true;
+  /// Weight QAT grid (see Conv2dConfig::weight_quant_bits); 0 = float.
+  int weight_quant_bits = 0;
+};
+
+class Linear final : public Layer {
+ public:
+  explicit Linear(LinearConfig config);
+
+  void init_params(Rng& rng);
+
+  TensorF forward(const TensorF& input, bool training) override;
+  TensorF backward(const TensorF& grad_output) override;
+  std::vector<Param*> params() override;
+  Shape output_shape(const Shape& input_shape) const override;
+  std::string name() const override { return "Linear"; }
+  std::string describe() const override;
+
+  const LinearConfig& config() const { return config_; }
+  Param& weight() { return weight_; }
+  const Param& weight() const { return weight_; }
+  Param& bias() { return bias_; }
+  const Param& bias() const { return bias_; }
+
+ private:
+  /// Weights as seen by the datapath (fake-quantized under QAT).
+  const TensorF& effective_weight();
+
+  LinearConfig config_;
+  Param weight_;  ///< [out_features, in_features]
+  Param bias_;    ///< [out_features]
+  TensorF cached_input_;
+  TensorF fq_weight_;  ///< QAT projection, refreshed each forward
+};
+
+}  // namespace rsnn::nn

@@ -1,0 +1,60 @@
+#include "nn/loss.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace rsnn::nn {
+
+TensorF softmax(const TensorF& logits) {
+  RSNN_REQUIRE(logits.rank() == 2, "softmax expects [N, C]");
+  const std::int64_t batch = logits.dim(0), classes = logits.dim(1);
+  TensorF probs(logits.shape());
+  for (std::int64_t n = 0; n < batch; ++n) {
+    float max_logit = logits(n, std::int64_t{0});
+    for (std::int64_t c = 1; c < classes; ++c)
+      max_logit = std::max(max_logit, logits(n, c));
+    float denom = 0.0f;
+    for (std::int64_t c = 0; c < classes; ++c) {
+      const float e = std::exp(logits(n, c) - max_logit);
+      probs(n, c) = e;
+      denom += e;
+    }
+    for (std::int64_t c = 0; c < classes; ++c) probs(n, c) /= denom;
+  }
+  return probs;
+}
+
+LossResult softmax_cross_entropy(const TensorF& logits,
+                                 const std::vector<int>& labels) {
+  RSNN_REQUIRE(logits.rank() == 2, "loss expects [N, C] logits");
+  const std::int64_t batch = logits.dim(0), classes = logits.dim(1);
+  RSNN_REQUIRE(static_cast<std::int64_t>(labels.size()) == batch,
+               "label count mismatch");
+
+  LossResult result;
+  result.grad_logits = softmax(logits);
+  const float inv_batch = 1.0f / static_cast<float>(batch);
+
+  for (std::int64_t n = 0; n < batch; ++n) {
+    const int label = labels[static_cast<std::size_t>(n)];
+    RSNN_REQUIRE(label >= 0 && label < classes, "label " << label);
+
+    std::int64_t best = 0;
+    for (std::int64_t c = 1; c < classes; ++c)
+      if (result.grad_logits(n, c) > result.grad_logits(n, best)) best = c;
+    if (best == label) ++result.correct;
+
+    const float p = std::max(result.grad_logits(n, std::int64_t{label}), 1e-12f);
+    result.loss += -std::log(p);
+
+    // grad = (softmax - onehot) / N, computed in place on the probs tensor.
+    result.grad_logits(n, std::int64_t{label}) -= 1.0f;
+  }
+  for (std::int64_t i = 0; i < result.grad_logits.numel(); ++i)
+    result.grad_logits.at_flat(i) *= inv_batch;
+  result.loss *= inv_batch;
+  return result;
+}
+
+}  // namespace rsnn::nn

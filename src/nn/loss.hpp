@@ -1,0 +1,24 @@
+// Softmax + cross-entropy loss with fused gradient.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace rsnn::nn {
+
+struct LossResult {
+  float loss = 0.0f;       ///< mean cross-entropy over the batch
+  TensorF grad_logits;     ///< dLoss/dlogits, same shape as logits
+  std::int64_t correct = 0;  ///< argmax matches over the batch
+};
+
+/// logits: [N, C]; labels: N class indices. Numerically stable softmax.
+LossResult softmax_cross_entropy(const TensorF& logits,
+                                 const std::vector<int>& labels);
+
+/// Softmax probabilities, [N, C] -> [N, C].
+TensorF softmax(const TensorF& logits);
+
+}  // namespace rsnn::nn

@@ -1,0 +1,82 @@
+#include "nn/network.hpp"
+
+#include <sstream>
+
+#include "nn/conv2d.hpp"
+#include "nn/linear.hpp"
+
+namespace rsnn::nn {
+
+void Network::init_params(Rng& rng) {
+  for (auto& layer : layers_) {
+    if (auto* conv = dynamic_cast<Conv2d*>(layer.get())) conv->init_params(rng);
+    if (auto* fc = dynamic_cast<Linear*>(layer.get())) fc->init_params(rng);
+  }
+}
+
+TensorF Network::forward(const TensorF& input, bool training) {
+  TensorF x = input;
+  for (auto& layer : layers_) x = layer->forward(x, training);
+  return x;
+}
+
+TensorF Network::backward(const TensorF& grad_output) {
+  TensorF g = grad_output;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+    g = (*it)->backward(g);
+  return g;
+}
+
+std::vector<Param*> Network::params() {
+  std::vector<Param*> all;
+  for (auto& layer : layers_)
+    for (Param* p : layer->params()) all.push_back(p);
+  return all;
+}
+
+void Network::zero_grads() {
+  for (Param* p : params()) p->zero_grad();
+}
+
+std::int64_t Network::num_params() {
+  std::int64_t n = 0;
+  for (Param* p : params()) n += p->value.numel();
+  return n;
+}
+
+Layer& Network::layer(int index) {
+  RSNN_REQUIRE(index >= 0 && index < num_layers());
+  return *layers_[static_cast<std::size_t>(index)];
+}
+
+const Layer& Network::layer(int index) const {
+  RSNN_REQUIRE(index >= 0 && index < num_layers());
+  return *layers_[static_cast<std::size_t>(index)];
+}
+
+std::vector<Shape> Network::layer_output_shapes() const {
+  RSNN_REQUIRE(input_shape_.rank() > 0, "input shape not set");
+  std::vector<std::int64_t> batched{1};
+  for (const auto d : input_shape_.dims()) batched.push_back(d);
+  Shape shape{batched};
+  std::vector<Shape> shapes;
+  shapes.reserve(layers_.size());
+  for (const auto& layer : layers_) {
+    shape = layer->output_shape(shape);
+    shapes.push_back(shape);
+  }
+  return shapes;
+}
+
+std::string Network::summary() const {
+  std::ostringstream os;
+  os << "Network(input=" << input_shape_.to_string() << ")\n";
+  const auto shapes = layer_output_shapes();
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    os << "  [" << i << "] " << layers_[i]->describe() << " -> "
+       << shapes[i].to_string() << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace rsnn::nn

@@ -1,0 +1,65 @@
+// Network: an ordered stack of layers with forward/backward plumbing.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "nn/layer.hpp"
+
+namespace rsnn::nn {
+
+class Network {
+ public:
+  Network() = default;
+  explicit Network(Shape input_shape) : input_shape_(std::move(input_shape)) {}
+
+  // Movable, not copyable (layers own parameter storage).
+  Network(Network&&) = default;
+  Network& operator=(Network&&) = default;
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Append a layer; returns a reference to it for further configuration.
+  template <typename L, typename... Args>
+  L& add(Args&&... args) {
+    auto layer = std::make_unique<L>(std::forward<Args>(args)...);
+    L& ref = *layer;
+    layers_.push_back(std::move(layer));
+    return ref;
+  }
+
+  /// Initialize all parameterized layers deterministically.
+  void init_params(Rng& rng);
+
+  TensorF forward(const TensorF& input, bool training = false);
+
+  /// Backward through the whole stack; returns gradient w.r.t. the input.
+  TensorF backward(const TensorF& grad_output);
+
+  std::vector<Param*> params();
+  void zero_grads();
+
+  /// Count of scalar parameters.
+  std::int64_t num_params();
+
+  int num_layers() const { return static_cast<int>(layers_.size()); }
+  Layer& layer(int index);
+  const Layer& layer(int index) const;
+
+  const Shape& input_shape() const { return input_shape_; }
+  void set_input_shape(Shape shape) { input_shape_ = std::move(shape); }
+
+  /// Shape after each layer, starting from input_shape() with batch size 1.
+  std::vector<Shape> layer_output_shapes() const;
+
+  /// Multi-line human-readable summary.
+  std::string summary() const;
+
+ private:
+  Shape input_shape_;  ///< single-sample shape, e.g. [1, 32, 32] (CHW)
+  std::vector<LayerPtr> layers_;
+};
+
+}  // namespace rsnn::nn

@@ -1,0 +1,64 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace rsnn::nn {
+
+Sgd::Sgd(std::vector<Param*> params, SgdConfig config)
+    : params_(std::move(params)), config_(config) {
+  velocity_.reserve(params_.size());
+  for (const Param* p : params_) velocity_.emplace_back(p->value.shape(), 0.0f);
+}
+
+void Sgd::step() {
+  for (std::size_t pi = 0; pi < params_.size(); ++pi) {
+    Param& p = *params_[pi];
+    TensorF& vel = velocity_[pi];
+    for (std::int64_t i = 0; i < p.value.numel(); ++i) {
+      float g = p.grad.at_flat(i);
+      if (config_.weight_decay != 0.0f)
+        g += config_.weight_decay * p.value.at_flat(i);
+      float& v = vel.at_flat(i);
+      v = config_.momentum * v + g;
+      p.value.at_flat(i) -= config_.learning_rate * v;
+    }
+  }
+}
+
+Adam::Adam(std::vector<Param*> params, AdamConfig config)
+    : params_(std::move(params)), config_(config) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const Param* p : params_) {
+    m_.emplace_back(p->value.shape(), 0.0f);
+    v_.emplace_back(p->value.shape(), 0.0f);
+  }
+}
+
+void Adam::step() {
+  ++step_count_;
+  const float bc1 =
+      1.0f - std::pow(config_.beta1, static_cast<float>(step_count_));
+  const float bc2 =
+      1.0f - std::pow(config_.beta2, static_cast<float>(step_count_));
+  for (std::size_t pi = 0; pi < params_.size(); ++pi) {
+    Param& p = *params_[pi];
+    for (std::int64_t i = 0; i < p.value.numel(); ++i) {
+      float g = p.grad.at_flat(i);
+      if (config_.weight_decay != 0.0f)
+        g += config_.weight_decay * p.value.at_flat(i);
+      float& m = m_[pi].at_flat(i);
+      float& v = v_[pi].at_flat(i);
+      m = config_.beta1 * m + (1.0f - config_.beta1) * g;
+      v = config_.beta2 * v + (1.0f - config_.beta2) * g * g;
+      const float m_hat = m / bc1;
+      const float v_hat = v / bc2;
+      p.value.at_flat(i) -=
+          config_.learning_rate * m_hat / (std::sqrt(v_hat) + config_.epsilon);
+    }
+  }
+}
+
+}  // namespace rsnn::nn

@@ -1,0 +1,61 @@
+// Optimizers: SGD with momentum, and Adam.
+#pragma once
+
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace rsnn::nn {
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+  /// Apply one update step using the gradients currently held by the params.
+  virtual void step() = 0;
+  virtual void set_learning_rate(float lr) = 0;
+  virtual float learning_rate() const = 0;
+};
+
+struct SgdConfig {
+  float learning_rate = 0.01f;
+  float momentum = 0.9f;
+  float weight_decay = 0.0f;
+};
+
+class Sgd final : public Optimizer {
+ public:
+  Sgd(std::vector<Param*> params, SgdConfig config);
+  void step() override;
+  void set_learning_rate(float lr) override { config_.learning_rate = lr; }
+  float learning_rate() const override { return config_.learning_rate; }
+
+ private:
+  std::vector<Param*> params_;
+  SgdConfig config_;
+  std::vector<TensorF> velocity_;
+};
+
+struct AdamConfig {
+  float learning_rate = 1e-3f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float epsilon = 1e-8f;
+  float weight_decay = 0.0f;
+};
+
+class Adam final : public Optimizer {
+ public:
+  Adam(std::vector<Param*> params, AdamConfig config);
+  void step() override;
+  void set_learning_rate(float lr) override { config_.learning_rate = lr; }
+  float learning_rate() const override { return config_.learning_rate; }
+
+ private:
+  std::vector<Param*> params_;
+  AdamConfig config_;
+  std::vector<TensorF> m_;
+  std::vector<TensorF> v_;
+  std::int64_t step_count_ = 0;
+};
+
+}  // namespace rsnn::nn

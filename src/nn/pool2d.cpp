@@ -1,0 +1,108 @@
+#include "nn/pool2d.hpp"
+
+#include <limits>
+#include <sstream>
+
+namespace rsnn::nn {
+
+Pool2d::Pool2d(Pool2dConfig config) : config_(config) {
+  RSNN_REQUIRE(config.kernel > 0 && config.stride >= 0);
+}
+
+Shape Pool2d::output_shape(const Shape& input_shape) const {
+  RSNN_REQUIRE(input_shape.rank() == 4, "Pool2d expects NCHW input");
+  const std::int64_t str = config_.effective_stride();
+  RSNN_REQUIRE(input_shape.dim(2) >= config_.kernel &&
+               input_shape.dim(3) >= config_.kernel);
+  const std::int64_t oh = (input_shape.dim(2) - config_.kernel) / str + 1;
+  const std::int64_t ow = (input_shape.dim(3) - config_.kernel) / str + 1;
+  return Shape{input_shape.dim(0), input_shape.dim(1), oh, ow};
+}
+
+TensorF Pool2d::forward(const TensorF& input, bool training) {
+  const Shape out_shape = output_shape(input.shape());
+  const std::int64_t batch = input.dim(0), ch = input.dim(1);
+  const std::int64_t iw = input.dim(3);
+  const std::int64_t k = config_.kernel, str = config_.effective_stride();
+  const std::int64_t oh = out_shape.dim(2), ow = out_shape.dim(3);
+  const float inv_area = 1.0f / static_cast<float>(k * k);
+
+  TensorF out(out_shape);
+  if (training) {
+    cached_input_ = input;
+    if (config_.kind == PoolKind::kMax)
+      cached_argmax_ = Tensor<std::int64_t>(out_shape);
+  }
+
+  for (std::int64_t n = 0; n < batch; ++n) {
+    for (std::int64_t c = 0; c < ch; ++c) {
+      for (std::int64_t oy = 0; oy < oh; ++oy) {
+        for (std::int64_t ox = 0; ox < ow; ++ox) {
+          if (config_.kind == PoolKind::kAverage) {
+            float acc = 0.0f;
+            for (std::int64_t ky = 0; ky < k; ++ky)
+              for (std::int64_t kx = 0; kx < k; ++kx)
+                acc += input(n, c, oy * str + ky, ox * str + kx);
+            out(n, c, oy, ox) = acc * inv_area;
+          } else {
+            float best = -std::numeric_limits<float>::infinity();
+            std::int64_t best_index = 0;
+            for (std::int64_t ky = 0; ky < k; ++ky) {
+              for (std::int64_t kx = 0; kx < k; ++kx) {
+                const std::int64_t iy = oy * str + ky, ix = ox * str + kx;
+                const float v = input(n, c, iy, ix);
+                if (v > best) {
+                  best = v;
+                  best_index = iy * iw + ix;
+                }
+              }
+            }
+            out(n, c, oy, ox) = best;
+            if (training) cached_argmax_(n, c, oy, ox) = best_index;
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+TensorF Pool2d::backward(const TensorF& grad_output) {
+  RSNN_REQUIRE(cached_input_.numel() > 0,
+               "backward() before forward(training=true)");
+  const std::int64_t batch = cached_input_.dim(0), ch = cached_input_.dim(1);
+  const std::int64_t iw = cached_input_.dim(3);
+  const std::int64_t k = config_.kernel, str = config_.effective_stride();
+  const std::int64_t oh = grad_output.dim(2), ow = grad_output.dim(3);
+  const float inv_area = 1.0f / static_cast<float>(k * k);
+
+  TensorF grad_input(cached_input_.shape(), 0.0f);
+  for (std::int64_t n = 0; n < batch; ++n) {
+    for (std::int64_t c = 0; c < ch; ++c) {
+      for (std::int64_t oy = 0; oy < oh; ++oy) {
+        for (std::int64_t ox = 0; ox < ow; ++ox) {
+          const float g = grad_output(n, c, oy, ox);
+          if (config_.kind == PoolKind::kAverage) {
+            const float share = g * inv_area;
+            for (std::int64_t ky = 0; ky < k; ++ky)
+              for (std::int64_t kx = 0; kx < k; ++kx)
+                grad_input(n, c, oy * str + ky, ox * str + kx) += share;
+          } else {
+            const std::int64_t flat = cached_argmax_(n, c, oy, ox);
+            grad_input(n, c, flat / iw, flat % iw) += g;
+          }
+        }
+      }
+    }
+  }
+  return grad_input;
+}
+
+std::string Pool2d::describe() const {
+  std::ostringstream os;
+  os << (config_.kind == PoolKind::kAverage ? "AvgPool2d(" : "MaxPool2d(")
+     << "k=" << config_.kernel << ", s=" << config_.effective_stride() << ")";
+  return os.str();
+}
+
+}  // namespace rsnn::nn

@@ -1,0 +1,41 @@
+// Average and max pooling layers (NCHW).
+//
+// The accelerator's pooling unit is adder-based (paper Sec. III-B), i.e. it
+// implements average pooling on spike trains; the ANN substrate therefore
+// defaults to average pooling so the converted SNN is exactly representable.
+// Max pooling is provided for comparison experiments.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace rsnn::nn {
+
+enum class PoolKind { kAverage, kMax };
+
+struct Pool2dConfig {
+  std::int64_t kernel = 2;
+  std::int64_t stride = 0;  ///< 0 means "same as kernel"
+  PoolKind kind = PoolKind::kAverage;
+
+  std::int64_t effective_stride() const { return stride == 0 ? kernel : stride; }
+};
+
+class Pool2d final : public Layer {
+ public:
+  explicit Pool2d(Pool2dConfig config);
+
+  TensorF forward(const TensorF& input, bool training) override;
+  TensorF backward(const TensorF& grad_output) override;
+  Shape output_shape(const Shape& input_shape) const override;
+  std::string name() const override { return "Pool2d"; }
+  std::string describe() const override;
+
+  const Pool2dConfig& config() const { return config_; }
+
+ private:
+  Pool2dConfig config_;
+  TensorF cached_input_;
+  Tensor<std::int64_t> cached_argmax_;  ///< flat input index per output (max pooling)
+};
+
+}  // namespace rsnn::nn

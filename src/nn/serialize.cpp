@@ -1,0 +1,100 @@
+#include "nn/serialize.hpp"
+
+#include <cstdint>
+#include <fstream>
+
+#include "common/assert.hpp"
+
+namespace rsnn::nn {
+namespace {
+
+constexpr char kMagic[4] = {'R', 'S', 'N', 'N'};
+constexpr std::uint32_t kVersion = 1;
+
+void write_u32(std::ostream& os, std::uint32_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void write_i64(std::ostream& os, std::int64_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+std::uint32_t read_u32(std::istream& is) {
+  std::uint32_t v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  return v;
+}
+
+std::int64_t read_i64(std::istream& is) {
+  std::int64_t v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+void save_params(Network& network, const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  RSNN_REQUIRE(os.good(), "cannot open " << path << " for writing");
+
+  os.write(kMagic, sizeof(kMagic));
+  write_u32(os, kVersion);
+
+  const auto params = network.params();
+  write_u32(os, static_cast<std::uint32_t>(params.size()));
+  for (const Param* p : params) {
+    write_u32(os, static_cast<std::uint32_t>(p->name.size()));
+    os.write(p->name.data(), static_cast<std::streamsize>(p->name.size()));
+    write_u32(os, static_cast<std::uint32_t>(p->value.rank()));
+    for (int axis = 0; axis < p->value.rank(); ++axis)
+      write_i64(os, p->value.dim(axis));
+    os.write(reinterpret_cast<const char*>(p->value.data()),
+             static_cast<std::streamsize>(p->value.numel() * sizeof(float)));
+  }
+  RSNN_REQUIRE(os.good(), "write failure on " << path);
+}
+
+void load_params(Network& network, const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  RSNN_REQUIRE(is.good(), "cannot open " << path << " for reading");
+
+  char magic[4];
+  is.read(magic, sizeof(magic));
+  RSNN_REQUIRE(is.good() && std::equal(magic, magic + 4, kMagic),
+               "bad magic in " << path);
+  const std::uint32_t version = read_u32(is);
+  RSNN_REQUIRE(version == kVersion, "unsupported version " << version);
+
+  const auto params = network.params();
+  const std::uint32_t count = read_u32(is);
+  RSNN_REQUIRE(count == params.size(), "param count mismatch: file has "
+                                           << count << ", network has "
+                                           << params.size());
+  for (Param* p : params) {
+    const std::uint32_t name_len = read_u32(is);
+    std::string name(name_len, '\0');
+    is.read(name.data(), name_len);
+    RSNN_REQUIRE(name == p->name,
+                 "param name mismatch: file '" << name << "' vs '" << p->name << "'");
+    const std::uint32_t rank = read_u32(is);
+    RSNN_REQUIRE(rank == static_cast<std::uint32_t>(p->value.rank()),
+                 "rank mismatch for " << name);
+    for (int axis = 0; axis < p->value.rank(); ++axis) {
+      const std::int64_t dim = read_i64(is);
+      RSNN_REQUIRE(dim == p->value.dim(axis), "dim mismatch for " << name);
+    }
+    is.read(reinterpret_cast<char*>(p->value.data()),
+            static_cast<std::streamsize>(p->value.numel() * sizeof(float)));
+    RSNN_REQUIRE(is.good(), "truncated file " << path);
+  }
+}
+
+bool is_param_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is.good()) return false;
+  char magic[4];
+  is.read(magic, sizeof(magic));
+  return is.good() && std::equal(magic, magic + 4, kMagic);
+}
+
+}  // namespace rsnn::nn

@@ -1,0 +1,24 @@
+// Binary save/load of network parameters.
+//
+// Format: magic "RSNN", version, param count, then for each parameter its
+// name, rank, dims and float data. Layer topology is not serialized — the
+// caller reconstructs the architecture (model zoo) and loads weights into it.
+#pragma once
+
+#include <string>
+
+#include "nn/network.hpp"
+
+namespace rsnn::nn {
+
+/// Write all parameters of `network` to `path`. Throws on I/O failure.
+void save_params(Network& network, const std::string& path);
+
+/// Load parameters saved by save_params into an architecturally identical
+/// network. Throws if names, counts or shapes mismatch.
+void load_params(Network& network, const std::string& path);
+
+/// True if `path` exists and has the expected magic header.
+bool is_param_file(const std::string& path);
+
+}  // namespace rsnn::nn

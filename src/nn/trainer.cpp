@@ -1,0 +1,114 @@
+#include "nn/trainer.hpp"
+
+#include <numeric>
+
+#include "common/log.hpp"
+#include "nn/loss.hpp"
+
+namespace rsnn::nn {
+
+TensorF make_batch(const std::vector<TensorF>& samples,
+                   const std::vector<std::size_t>& order, std::size_t first,
+                   std::size_t count) {
+  RSNN_REQUIRE(!samples.empty() && count > 0);
+  RSNN_REQUIRE(first + count <= order.size());
+  const Shape& sample_shape = samples[order[first]].shape();
+
+  std::vector<std::int64_t> dims{static_cast<std::int64_t>(count)};
+  for (const auto d : sample_shape.dims()) dims.push_back(d);
+  TensorF batch{Shape{dims}};
+
+  const std::int64_t sample_numel = sample_shape.numel();
+  for (std::size_t b = 0; b < count; ++b) {
+    const TensorF& s = samples[order[first + b]];
+    RSNN_REQUIRE(s.shape() == sample_shape, "heterogeneous sample shapes");
+    std::copy(s.data(), s.data() + sample_numel,
+              batch.data() + static_cast<std::int64_t>(b) * sample_numel);
+  }
+  return batch;
+}
+
+float Trainer::fit(const std::vector<TensorF>& images,
+                   const std::vector<int>& labels, Rng& rng) {
+  RSNN_REQUIRE(images.size() == labels.size());
+  RSNN_REQUIRE(!images.empty());
+
+  std::vector<std::size_t> order(images.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+
+  float last_accuracy = 0.0f;
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    if (config_.shuffle) rng.shuffle(order);
+
+    double epoch_loss = 0.0;
+    std::int64_t epoch_correct = 0;
+    std::size_t batches = 0;
+
+    for (std::size_t first = 0; first < order.size();
+         first += static_cast<std::size_t>(config_.batch_size)) {
+      const std::size_t count = std::min(
+          static_cast<std::size_t>(config_.batch_size), order.size() - first);
+      const TensorF batch = make_batch(images, order, first, count);
+
+      std::vector<int> batch_labels(count);
+      for (std::size_t b = 0; b < count; ++b)
+        batch_labels[b] = labels[order[first + b]];
+
+      network_.zero_grads();
+      const TensorF logits = network_.forward(batch, /*training=*/true);
+      const LossResult loss = softmax_cross_entropy(logits, batch_labels);
+      network_.backward(loss.grad_logits);
+      optimizer_.step();
+
+      epoch_loss += loss.loss;
+      epoch_correct += loss.correct;
+      ++batches;
+    }
+
+    const float mean_loss = static_cast<float>(epoch_loss / std::max<std::size_t>(batches, 1));
+    last_accuracy =
+        static_cast<float>(epoch_correct) / static_cast<float>(images.size());
+    RSNN_INFO("epoch " << epoch << ": loss=" << mean_loss
+                       << " acc=" << last_accuracy
+                       << " lr=" << optimizer_.learning_rate());
+    if (config_.epoch_callback)
+      config_.epoch_callback(epoch, mean_loss, last_accuracy);
+    optimizer_.set_learning_rate(optimizer_.learning_rate() * config_.lr_decay);
+  }
+  return last_accuracy;
+}
+
+EvalResult evaluate(Network& network, const std::vector<TensorF>& images,
+                    const std::vector<int>& labels, int batch_size) {
+  RSNN_REQUIRE(images.size() == labels.size());
+  EvalResult result;
+  result.total = static_cast<std::int64_t>(images.size());
+  if (images.empty()) return result;
+
+  std::vector<std::size_t> order(images.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+
+  double total_loss = 0.0;
+  std::size_t batches = 0;
+  for (std::size_t first = 0; first < order.size();
+       first += static_cast<std::size_t>(batch_size)) {
+    const std::size_t count =
+        std::min(static_cast<std::size_t>(batch_size), order.size() - first);
+    const TensorF batch = make_batch(images, order, first, count);
+    std::vector<int> batch_labels(count);
+    for (std::size_t b = 0; b < count; ++b)
+      batch_labels[b] = labels[first + b];
+
+    const TensorF logits = network.forward(batch, /*training=*/false);
+    const LossResult loss = softmax_cross_entropy(logits, batch_labels);
+    result.correct += loss.correct;
+    total_loss += loss.loss;
+    ++batches;
+  }
+  result.accuracy =
+      static_cast<float>(result.correct) / static_cast<float>(result.total);
+  result.mean_loss = static_cast<float>(total_loss / static_cast<double>(batches));
+  return result;
+}
+
+}  // namespace rsnn::nn

@@ -1,0 +1,56 @@
+// Training loop: mini-batch SGD over an in-memory sample set.
+//
+// The trainer is dataset-agnostic: it consumes parallel vectors of CHW
+// sample tensors and integer labels (the data module produces these).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "nn/network.hpp"
+#include "nn/optimizer.hpp"
+
+namespace rsnn::nn {
+
+struct TrainConfig {
+  int epochs = 5;
+  int batch_size = 32;
+  float lr_decay = 1.0f;  ///< multiplicative LR decay applied per epoch
+  bool shuffle = true;
+  /// Invoked after every epoch with (epoch, mean loss, train accuracy).
+  std::function<void(int, float, float)> epoch_callback;
+};
+
+struct EvalResult {
+  float accuracy = 0.0f;
+  float mean_loss = 0.0f;
+  std::int64_t correct = 0;
+  std::int64_t total = 0;
+};
+
+/// Assemble samples[first..first+count) into one NCHW (or NC) batch tensor.
+TensorF make_batch(const std::vector<TensorF>& samples,
+                   const std::vector<std::size_t>& order, std::size_t first,
+                   std::size_t count);
+
+class Trainer {
+ public:
+  Trainer(Network& network, Optimizer& optimizer, TrainConfig config)
+      : network_(network), optimizer_(optimizer), config_(config) {}
+
+  /// Run the configured number of epochs; returns final-epoch training accuracy.
+  float fit(const std::vector<TensorF>& images, const std::vector<int>& labels,
+            Rng& rng);
+
+ private:
+  Network& network_;
+  Optimizer& optimizer_;
+  TrainConfig config_;
+};
+
+/// Evaluate classification accuracy on a sample set.
+EvalResult evaluate(Network& network, const std::vector<TensorF>& images,
+                    const std::vector<int>& labels, int batch_size = 64);
+
+}  // namespace rsnn::nn

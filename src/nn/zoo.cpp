@@ -1,0 +1,115 @@
+#include "nn/zoo.hpp"
+
+#include "common/assert.hpp"
+#include "nn/activation.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/flatten.hpp"
+#include "nn/linear.hpp"
+#include "nn/pool2d.hpp"
+
+namespace rsnn::nn {
+namespace {
+
+ClippedReLUConfig act(const ZooOptions& options) {
+  return ClippedReLUConfig{options.activation_ceiling, options.qat_bits};
+}
+
+void add_conv_block(Network& net, const ZooOptions& options, std::int64_t cin,
+                    std::int64_t cout, std::int64_t kernel, std::int64_t pad) {
+  net.add<Conv2d>(Conv2dConfig{cin, cout, kernel, /*stride=*/1, pad,
+                               /*has_bias=*/true, options.weight_qat_bits});
+  net.add<ClippedReLU>(act(options));
+}
+
+}  // namespace
+
+Network make_lenet5(const ZooOptions& options) {
+  Network net(Shape{1, 32, 32});
+  add_conv_block(net, options, 1, 6, 5, 0);    // 6C5 -> 28x28
+  net.add<Pool2d>(Pool2dConfig{2});            // P2  -> 14x14
+  add_conv_block(net, options, 6, 16, 5, 0);   // 16C5 -> 10x10
+  net.add<Pool2d>(Pool2dConfig{2});            // P2  -> 5x5
+  add_conv_block(net, options, 16, 120, 5, 0); // 120C5 -> 1x1
+  net.add<Flatten>();
+  net.add<Linear>(LinearConfig{120, 84, true, options.weight_qat_bits});
+  net.add<ClippedReLU>(act(options));
+  net.add<Linear>(LinearConfig{84, 10, true, options.weight_qat_bits});
+  return net;
+}
+
+Network make_fang_cnn(const ZooOptions& options) {
+  Network net(Shape{1, 28, 28});
+  add_conv_block(net, options, 1, 32, 3, 0);   // 32C3 -> 26x26
+  net.add<Pool2d>(Pool2dConfig{2});            // P2   -> 13x13
+  add_conv_block(net, options, 32, 32, 3, 0);  // 32C3 -> 11x11
+  net.add<Pool2d>(Pool2dConfig{2});            // P2   -> 5x5
+  net.add<Flatten>();                          // 800
+  net.add<Linear>(LinearConfig{32 * 5 * 5, 256, true, options.weight_qat_bits});
+  net.add<ClippedReLU>(act(options));
+  net.add<Linear>(LinearConfig{256, 10, true, options.weight_qat_bits});
+  return net;
+}
+
+Network make_ju_cnn(const ZooOptions& options) {
+  Network net(Shape{1, 28, 28});
+  add_conv_block(net, options, 1, 64, 5, 0);   // 64C5 -> 24x24
+  net.add<Pool2d>(Pool2dConfig{2});            // P2   -> 12x12
+  add_conv_block(net, options, 64, 64, 5, 0);  // 64C5 -> 8x8
+  net.add<Pool2d>(Pool2dConfig{2});            // P2   -> 4x4
+  net.add<Flatten>();                          // 1024
+  net.add<Linear>(LinearConfig{64 * 4 * 4, 128, true, options.weight_qat_bits});
+  net.add<ClippedReLU>(act(options));
+  net.add<Linear>(LinearConfig{128, 10, true, options.weight_qat_bits});
+  return net;
+}
+
+Network make_vgg11(const ZooOptions& options, int num_classes) {
+  RSNN_REQUIRE(num_classes > 0);
+  Network net(Shape{3, 32, 32});
+  // VGG configuration A adapted to 32x32 inputs; pools after convs
+  // 1, 2, 4, 6 and 8 shrink the map to 1x1x512.
+  add_conv_block(net, options, 3, 64, 3, 1);
+  net.add<Pool2d>(Pool2dConfig{2});  // 16x16
+  add_conv_block(net, options, 64, 128, 3, 1);
+  net.add<Pool2d>(Pool2dConfig{2});  // 8x8
+  add_conv_block(net, options, 128, 256, 3, 1);
+  add_conv_block(net, options, 256, 256, 3, 1);
+  net.add<Pool2d>(Pool2dConfig{2});  // 4x4
+  add_conv_block(net, options, 256, 512, 3, 1);
+  add_conv_block(net, options, 512, 512, 3, 1);
+  net.add<Pool2d>(Pool2dConfig{2});  // 2x2
+  add_conv_block(net, options, 512, 512, 3, 1);
+  add_conv_block(net, options, 512, 512, 3, 1);
+  net.add<Pool2d>(Pool2dConfig{2});  // 1x1
+  net.add<Flatten>();                // 512
+  net.add<Linear>(LinearConfig{512, 4096, true, options.weight_qat_bits});
+  net.add<ClippedReLU>(act(options));
+  net.add<Linear>(LinearConfig{4096, 4096, true, options.weight_qat_bits});
+  net.add<ClippedReLU>(act(options));
+  net.add<Linear>(LinearConfig{4096, num_classes, true, options.weight_qat_bits});
+  return net;
+}
+
+Network make_tiny_test_net(const ZooOptions& options, int num_classes) {
+  RSNN_REQUIRE(num_classes > 0);
+  Network net(Shape{1, 12, 12});
+  add_conv_block(net, options, 1, 4, 3, 0);  // 4C3 -> 10x10
+  net.add<Pool2d>(Pool2dConfig{2});          // P2  -> 5x5
+  net.add<Flatten>();                        // 100
+  net.add<Linear>(LinearConfig{100, 8, true, options.weight_qat_bits});
+  net.add<ClippedReLU>(act(options));
+  net.add<Linear>(LinearConfig{8, num_classes, true, options.weight_qat_bits});
+  return net;
+}
+
+Network make_model(const std::string& name, const ZooOptions& options) {
+  if (name == "lenet5") return make_lenet5(options);
+  if (name == "fang_cnn") return make_fang_cnn(options);
+  if (name == "ju_cnn") return make_ju_cnn(options);
+  if (name == "vgg11") return make_vgg11(options);
+  if (name == "tiny") return make_tiny_test_net(options);
+  RSNN_REQUIRE(false, "unknown model '" << name << "'");
+  return Network{};
+}
+
+}  // namespace rsnn::nn

@@ -1,0 +1,42 @@
+// Model zoo: the network architectures used in the paper's evaluation.
+//
+//   LeNet-5   (Table I/II/III): 32x32x1 - 6C5 - P2 - 16C5 - P2 - 120C5 - 84 - 10
+//   Fang-CNN  (Table III note 2): 28x28 - 32C3 - P2 - 32C3 - P2 - 256 - 10
+//   Ju-CNN    (Table III note 1): 28x28 - 64C5 - P2 - 64C5 - P2 - 128 - 10
+//   VGG-11    (Table III): CIFAR-100 variant, 8 conv + 3 FC, 28.5M parameters
+//
+// All nets use ClippedReLU activations (radix-conversion friendly) and
+// average pooling (the adder-based pooling unit of the accelerator).
+#pragma once
+
+#include <string>
+
+#include "nn/network.hpp"
+
+namespace rsnn::nn {
+
+struct ZooOptions {
+  float activation_ceiling = 1.0f;
+  int qat_bits = 0;         ///< activation fake-quant bits (0 = float)
+  int weight_qat_bits = 0;  ///< weight fake-quant bits (0 = float)
+};
+
+/// LeNet-5 exactly as configured in the paper's experiment setup (Sec. IV-A).
+Network make_lenet5(const ZooOptions& options = {});
+
+/// The convolutional SNN of Fang et al. [11], redeployed in Table III.
+Network make_fang_cnn(const ZooOptions& options = {});
+
+/// The CNN of Ju et al. [12] (Table III baseline row 1).
+Network make_ju_cnn(const ZooOptions& options = {});
+
+/// VGG-11 for 32x32x3 inputs and 100 classes (CIFAR-100), 28.5M parameters.
+Network make_vgg11(const ZooOptions& options = {}, int num_classes = 100);
+
+/// Small 2-conv net for fast unit tests: 12x12x1 - 4C3 - P2 - 8 - num_classes.
+Network make_tiny_test_net(const ZooOptions& options = {}, int num_classes = 4);
+
+/// Build a zoo model by name ("lenet5", "fang_cnn", "ju_cnn", "vgg11", "tiny").
+Network make_model(const std::string& name, const ZooOptions& options = {});
+
+}  // namespace rsnn::nn

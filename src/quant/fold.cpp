@@ -1,0 +1,76 @@
+#include "quant/fold.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/conv2d.hpp"
+
+namespace rsnn::quant {
+namespace {
+
+bool is_neutralized(const nn::BatchNorm2d& bn) {
+  for (std::int64_t c = 0; c < bn.config().channels; ++c) {
+    const float inv_std = 1.0f / std::sqrt(bn.running_var()(c) +
+                                           bn.config().epsilon);
+    const float scale = bn.gamma().value(c) * inv_std;
+    const float shift =
+        bn.beta().value(c) - bn.gamma().value(c) * bn.running_mean()(c) * inv_std;
+    if (std::abs(scale - 1.0f) > 1e-5f || std::abs(shift) > 1e-6f) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int fold_batchnorm(nn::Network& network) {
+  int folded = 0;
+  for (int i = 0; i < network.num_layers(); ++i) {
+    auto* bn = dynamic_cast<nn::BatchNorm2d*>(&network.layer(i));
+    if (bn == nullptr || is_neutralized(*bn)) continue;
+
+    RSNN_REQUIRE(i > 0, "BatchNorm2d at layer 0 has no conv to fold into");
+    auto* conv = dynamic_cast<nn::Conv2d*>(&network.layer(i - 1));
+    RSNN_REQUIRE(conv != nullptr,
+                 "BatchNorm2d must directly follow a Conv2d to be folded");
+    RSNN_REQUIRE(conv->config().has_bias,
+                 "folding requires the preceding conv to have a bias");
+    RSNN_REQUIRE(conv->config().out_channels == bn->config().channels,
+                 "channel mismatch between conv and batch norm");
+
+    const auto& cfg = conv->config();
+    for (std::int64_t c = 0; c < cfg.out_channels; ++c) {
+      const float inv_std =
+          1.0f / std::sqrt(bn->running_var()(c) + bn->config().epsilon);
+      const float scale = bn->gamma().value(c) * inv_std;
+      for (std::int64_t ic = 0; ic < cfg.in_channels; ++ic)
+        for (std::int64_t ky = 0; ky < cfg.kernel; ++ky)
+          for (std::int64_t kx = 0; kx < cfg.kernel; ++kx)
+            conv->weight().value(c, ic, ky, kx) *= scale;
+      conv->bias().value(c) =
+          (conv->bias().value(c) - bn->running_mean()(c)) * scale +
+          bn->beta().value(c);
+    }
+
+    // Neutralize: var = 1 - eps makes inv_std exactly 1, so the layer is an
+    // exact identity at inference.
+    bn->gamma().value.fill(1.0f);
+    bn->beta().value.fill(0.0f);
+    bn->set_running_stats(TensorF(Shape{bn->config().channels}, 0.0f),
+                          TensorF(Shape{bn->config().channels},
+                                  1.0f - bn->config().epsilon));
+    ++folded;
+  }
+  return folded;
+}
+
+bool has_unfolded_batchnorm(const nn::Network& network) {
+  auto& net = const_cast<nn::Network&>(network);
+  for (int i = 0; i < net.num_layers(); ++i) {
+    const auto* bn = dynamic_cast<const nn::BatchNorm2d*>(&net.layer(i));
+    if (bn != nullptr && !is_neutralized(*bn)) return true;
+  }
+  return false;
+}
+
+}  // namespace rsnn::quant

@@ -1,0 +1,26 @@
+// BatchNorm folding — the conversion pre-pass that absorbs normalization
+// into the preceding convolution, exactly (inference semantics):
+//
+//   scale_c = gamma_c / sqrt(var_c + eps)
+//   w'[c,:,:,:] = w[c,:,:,:] * scale_c
+//   b'[c]       = (b[c] - mean_c) * scale_c + beta_c
+//
+// After folding, the BatchNorm2d layer is neutralized to an exact identity
+// (gamma=1, beta=0, mean=0, var=1-eps) so it can stay in the layer stack;
+// quant::quantize accepts only neutralized batch norms.
+#pragma once
+
+#include "nn/network.hpp"
+
+namespace rsnn::quant {
+
+/// Fold every Conv2d -> BatchNorm2d pair in place. Returns the number of
+/// batch norms folded. Throws if a BatchNorm2d is not directly preceded by
+/// a biased Conv2d.
+int fold_batchnorm(nn::Network& network);
+
+/// True if the given network contains a BatchNorm2d that has not been
+/// neutralized by fold_batchnorm.
+bool has_unfolded_batchnorm(const nn::Network& network);
+
+}  // namespace rsnn::quant

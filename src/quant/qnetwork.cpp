@@ -1,0 +1,228 @@
+#include "quant/qnetwork.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/assert.hpp"
+#include "common/bits.hpp"
+
+namespace rsnn::quant {
+namespace {
+
+/// Requantize an accumulator: add bias, shift by frac_bits, clamp to T bits.
+/// Arithmetic right shift floors toward -inf, matching the hardware
+/// truncating requantizer; negative frac_bits means scale-up (left shift).
+std::int64_t requantize_value(std::int64_t acc, std::int64_t bias,
+                              int frac_bits, int time_bits) {
+  std::int64_t v = acc + bias;
+  if (frac_bits >= 0)
+    v >>= frac_bits;
+  else
+    v <<= -frac_bits;
+  return saturate_unsigned(v, time_bits);
+}
+
+TensorI64 conv_forward(const QConv2d& conv, const TensorI64& input,
+                       int time_bits) {
+  RSNN_REQUIRE(input.rank() == 3, "conv expects CHW");
+  RSNN_REQUIRE(input.dim(0) == conv.in_channels, "conv channel mismatch");
+  const std::int64_t ih = input.dim(1), iw = input.dim(2);
+  const std::int64_t k = conv.kernel, str = conv.stride, pad = conv.padding;
+  const std::int64_t oh = (ih + 2 * pad - k) / str + 1;
+  const std::int64_t ow = (iw + 2 * pad - k) / str + 1;
+
+  TensorI64 out(Shape{conv.out_channels, oh, ow});
+  for (std::int64_t oc = 0; oc < conv.out_channels; ++oc) {
+    for (std::int64_t oy = 0; oy < oh; ++oy) {
+      for (std::int64_t ox = 0; ox < ow; ++ox) {
+        std::int64_t acc = 0;
+        for (std::int64_t ic = 0; ic < conv.in_channels; ++ic) {
+          for (std::int64_t ky = 0; ky < k; ++ky) {
+            const std::int64_t iy = oy * str + ky - pad;
+            if (iy < 0 || iy >= ih) continue;
+            for (std::int64_t kx = 0; kx < k; ++kx) {
+              const std::int64_t ix = ox * str + kx - pad;
+              if (ix < 0 || ix >= iw) continue;
+              acc += static_cast<std::int64_t>(conv.weight(oc, ic, ky, kx)) *
+                     input(ic, iy, ix);
+            }
+          }
+        }
+        out(oc, oy, ox) =
+            conv.requantize
+                ? requantize_value(acc, conv.bias(oc), conv.frac_for(oc),
+                                   time_bits)
+                : acc + conv.bias(oc);
+      }
+    }
+  }
+  return out;
+}
+
+TensorI64 pool_forward(const QPool2d& pool, const TensorI64& input) {
+  RSNN_REQUIRE(input.rank() == 3, "pool expects CHW");
+  const std::int64_t ch = input.dim(0);
+  const std::int64_t k = pool.kernel;
+  const std::int64_t oh = input.dim(1) / k, ow = input.dim(2) / k;
+  TensorI64 out(Shape{ch, oh, ow});
+  for (std::int64_t c = 0; c < ch; ++c) {
+    for (std::int64_t oy = 0; oy < oh; ++oy) {
+      for (std::int64_t ox = 0; ox < ow; ++ox) {
+        std::int64_t acc = 0;
+        for (std::int64_t ky = 0; ky < k; ++ky)
+          for (std::int64_t kx = 0; kx < k; ++kx)
+            acc += input(c, oy * k + ky, ox * k + kx);
+        out(c, oy, ox) = acc >> pool.shift;
+      }
+    }
+  }
+  return out;
+}
+
+TensorI64 linear_forward(const QLinear& fc, const TensorI64& input,
+                         int time_bits) {
+  RSNN_REQUIRE(input.rank() == 1, "linear expects flat input");
+  RSNN_REQUIRE(input.dim(0) == fc.in_features, "linear feature mismatch");
+  TensorI64 out(Shape{fc.out_features});
+  for (std::int64_t o = 0; o < fc.out_features; ++o) {
+    std::int64_t acc = 0;
+    for (std::int64_t i = 0; i < fc.in_features; ++i)
+      acc += static_cast<std::int64_t>(fc.weight(o, i)) * input(i);
+    out(o) = fc.requantize
+                 ? requantize_value(acc, fc.bias(o), fc.frac_for(o), time_bits)
+                 : acc + fc.bias(o);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::int64_t> QuantizedNetwork::forward(const TensorI& input) const {
+  return forward_traced(input, nullptr);
+}
+
+std::vector<std::int64_t> QuantizedNetwork::forward_traced(
+    const TensorI& input, std::vector<TensorI64>* layer_outputs) const {
+  RSNN_REQUIRE(!layers.empty(), "empty network");
+  RSNN_REQUIRE(input.shape() == input_shape,
+               "input shape " << input.shape().to_string() << " != expected "
+                              << input_shape.to_string());
+  TensorI64 x = input.cast<std::int64_t>();
+  if (layer_outputs) layer_outputs->clear();
+
+  for (const QLayer& layer : layers) {
+    if (const auto* conv = std::get_if<QConv2d>(&layer)) {
+      x = conv_forward(*conv, x, time_bits);
+    } else if (const auto* pool = std::get_if<QPool2d>(&layer)) {
+      x = pool_forward(*pool, x);
+    } else if (const auto* fc = std::get_if<QLinear>(&layer)) {
+      x = linear_forward(*fc, x, time_bits);
+    } else {
+      x = x.reshaped(Shape{x.numel()});
+    }
+    if (layer_outputs) layer_outputs->push_back(x);
+  }
+
+  // Networks normally end in a linear layer; conv-only stacks (used in unit
+  // tests) expose their flattened final accumulators instead.
+  std::vector<std::int64_t> logits(static_cast<std::size_t>(x.numel()));
+  for (std::int64_t i = 0; i < x.numel(); ++i)
+    logits[static_cast<std::size_t>(i)] = x.at_flat(i);
+  return logits;
+}
+
+int QuantizedNetwork::classify(const TensorI& input) const {
+  const auto logits = forward(input);
+  int best = 0;
+  for (std::size_t c = 1; c < logits.size(); ++c)
+    if (logits[c] > logits[static_cast<std::size_t>(best)])
+      best = static_cast<int>(c);
+  return best;
+}
+
+std::vector<Shape> QuantizedNetwork::layer_output_shapes() const {
+  Shape shape = input_shape;
+  std::vector<Shape> shapes;
+  shapes.reserve(layers.size());
+  for (const QLayer& layer : layers) {
+    if (const auto* conv = std::get_if<QConv2d>(&layer)) {
+      const std::int64_t oh =
+          (shape.dim(1) + 2 * conv->padding - conv->kernel) / conv->stride + 1;
+      const std::int64_t ow =
+          (shape.dim(2) + 2 * conv->padding - conv->kernel) / conv->stride + 1;
+      shape = Shape{conv->out_channels, oh, ow};
+    } else if (const auto* pool = std::get_if<QPool2d>(&layer)) {
+      shape = Shape{shape.dim(0), shape.dim(1) / pool->kernel,
+                    shape.dim(2) / pool->kernel};
+    } else if (const auto* fc = std::get_if<QLinear>(&layer)) {
+      shape = Shape{fc->out_features};
+    } else {
+      shape = Shape{shape.numel()};
+    }
+    shapes.push_back(shape);
+  }
+  return shapes;
+}
+
+std::int64_t QuantizedNetwork::num_params() const {
+  std::int64_t n = 0;
+  for (const QLayer& layer : layers) {
+    if (const auto* conv = std::get_if<QConv2d>(&layer))
+      n += conv->weight.numel() + conv->bias.numel();
+    else if (const auto* fc = std::get_if<QLinear>(&layer))
+      n += fc->weight.numel() + fc->bias.numel();
+  }
+  return n;
+}
+
+std::int64_t QuantizedNetwork::param_bits() const {
+  std::int64_t bits = 0;
+  const int bias_bits = time_bits + weight_bits + 16;
+  for (const QLayer& layer : layers) {
+    if (const auto* conv = std::get_if<QConv2d>(&layer))
+      bits += conv->weight.numel() * weight_bits + conv->bias.numel() * bias_bits;
+    else if (const auto* fc = std::get_if<QLinear>(&layer))
+      bits += fc->weight.numel() * weight_bits + fc->bias.numel() * bias_bits;
+  }
+  return bits;
+}
+
+std::string QuantizedNetwork::summary() const {
+  std::ostringstream os;
+  os << "QuantizedNetwork(T=" << time_bits << ", wbits=" << weight_bits
+     << ", input=" << input_shape.to_string() << ")\n";
+  const auto shapes = layer_output_shapes();
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    os << "  [" << i << "] ";
+    if (const auto* conv = std::get_if<QConv2d>(&layers[i]))
+      os << "QConv2d(" << conv->in_channels << "->" << conv->out_channels
+         << ", k=" << conv->kernel << ", f=" << conv->frac_bits
+         << (conv->requantize ? "" : ", raw") << ")";
+    else if (const auto* pool = std::get_if<QPool2d>(&layers[i]))
+      os << "QAvgPool2d(k=" << pool->kernel << ")";
+    else if (const auto* fc = std::get_if<QLinear>(&layers[i]))
+      os << "QLinear(" << fc->in_features << "->" << fc->out_features
+         << ", f=" << fc->frac_bits << (fc->requantize ? "" : ", raw") << ")";
+    else
+      os << "QFlatten";
+    os << " -> " << shapes[i].to_string() << "\n";
+  }
+  return os.str();
+}
+
+TensorI encode_activations(const TensorF& image, int time_bits) {
+  RSNN_REQUIRE(time_bits >= 1 && time_bits <= 30);
+  const std::int64_t levels = std::int64_t{1} << time_bits;
+  TensorI out(image.shape());
+  for (std::int64_t i = 0; i < image.numel(); ++i) {
+    const float a = image.at_flat(i);
+    RSNN_REQUIRE(a >= 0.0f && a < 1.0f,
+                 "activation " << a << " outside [0, 1)");
+    out.at_flat(i) = static_cast<std::int32_t>(
+        std::min<std::int64_t>(static_cast<std::int64_t>(a * static_cast<float>(levels)),
+                               levels - 1));
+  }
+  return out;
+}
+
+}  // namespace rsnn::quant

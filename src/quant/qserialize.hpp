@@ -1,0 +1,22 @@
+// Binary save/load of converted (quantized) networks — the deployment
+// artifact: unlike nn::serialize (float training checkpoints), a .qsnn file
+// carries the full integer model (topology + weights + requantizer
+// constants) and can be executed without the float network.
+#pragma once
+
+#include <string>
+
+#include "quant/qnetwork.hpp"
+
+namespace rsnn::quant {
+
+/// Write `qnet` to `path`. Throws on I/O failure.
+void save_quantized(const QuantizedNetwork& qnet, const std::string& path);
+
+/// Load a network saved by save_quantized. Throws on malformed input.
+QuantizedNetwork load_quantized(const std::string& path);
+
+/// True if `path` exists and carries the .qsnn magic.
+bool is_quantized_file(const std::string& path);
+
+}  // namespace rsnn::quant

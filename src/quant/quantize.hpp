@@ -1,0 +1,51 @@
+// ANN-to-SNN conversion (the role of E3NE [14] in the paper's flow).
+//
+// Takes a float network trained with ClippedReLU(ceiling=1) activations and
+// produces a QuantizedNetwork with:
+//   * signed `weight_bits`-bit weights under a per-layer power-of-two scale
+//     chosen to maximize resolution without clipping,
+//   * biases pre-scaled into the accumulator domain,
+//   * T-bit activation requantization between layers (radix encoding).
+#pragma once
+
+#include "nn/network.hpp"
+#include "quant/qnetwork.hpp"
+
+namespace rsnn::quant {
+
+struct QuantizeConfig {
+  int weight_bits = 3;  ///< paper Sec. IV-A: "resolution ... set to 3 bits"
+  int time_bits = 4;    ///< spike train length T
+  /// Per-output-channel power-of-two weight scales instead of one scale per
+  /// layer. Channels with small weights gain resolution; the hardware
+  /// requantizer stays a shift (one constant per channel in the output
+  /// logic). Off by default to match the paper's per-layer description.
+  bool per_channel = false;
+};
+
+/// Convert a trained float network. Throws if the architecture contains
+/// layers the accelerator does not support (e.g. max pooling, non-ClippedReLU
+/// activations between parameterized layers).
+QuantizedNetwork quantize(const nn::Network& network,
+                          const QuantizeConfig& config);
+
+/// Pick the largest power-of-two scale exponent f such that
+/// round(w * 2^f) fits in `weight_bits` signed bits for all weights.
+int choose_frac_bits(const TensorF& weights, int weight_bits);
+
+/// Round weights onto the grid: W = round(w * 2^f), clamped to the signed
+/// range of weight_bits.
+TensorI quantize_weights(const TensorF& weights, int frac_bits, int weight_bits);
+
+/// Evaluate a quantized network's classification accuracy on a float dataset
+/// (images in [0,1)); encodes inputs at the network's T.
+struct QuantEvalResult {
+  double accuracy = 0.0;
+  std::int64_t correct = 0;
+  std::int64_t total = 0;
+};
+QuantEvalResult evaluate_quantized(const QuantizedNetwork& qnet,
+                                   const std::vector<TensorF>& images,
+                                   const std::vector<int>& labels);
+
+}  // namespace rsnn::quant

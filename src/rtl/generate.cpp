@@ -1,0 +1,90 @@
+#include "rtl/generate.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/assert.hpp"
+#include "rtl/modules.hpp"
+
+namespace rsnn::rtl {
+namespace {
+
+/// $readmemh image of a layer's weights: one hex word per weight, two's
+/// complement at the configured width, row-major.
+void append_weight_mem(std::ostringstream& os, const TensorI& weights,
+                       int weight_bits) {
+  const std::uint32_t mask = (1u << weight_bits) - 1u;
+  for (std::int64_t i = 0; i < weights.numel(); ++i) {
+    const std::uint32_t word =
+        static_cast<std::uint32_t>(weights.at_flat(i)) & mask;
+    char buffer[16];
+    std::snprintf(buffer, sizeof(buffer), "%x\n", word);
+    os << buffer;
+  }
+}
+
+}  // namespace
+
+SourceBundle generate_design(const hw::AcceleratorConfig& config,
+                             const GenerateOptions& options) {
+  RSNN_REQUIRE(options.time_steps >= 1 && options.time_steps <= 16);
+  RSNN_REQUIRE(options.weight_bits >= 2 && options.weight_bits <= 16);
+  RSNN_REQUIRE(!options.top_name.empty());
+
+  SourceBundle bundle;
+  bundle["rsnn_pkg.sv"] =
+      emit_package(config, options.time_steps, options.weight_bits);
+  bundle["conv_unit.sv"] = emit_conv_unit(config.conv, options.weight_bits);
+  bundle["pool_unit.sv"] = emit_pool_unit(config.pool);
+  bundle["linear_unit.sv"] =
+      emit_linear_unit(config.linear, options.weight_bits);
+  bundle["output_logic.sv"] =
+      emit_output_logic(config.conv.accumulator_bits, options.time_steps);
+  bundle["pingpong_buffer.sv"] = emit_pingpong_buffer();
+  bundle[options.top_name + ".sv"] = emit_top(config, options.top_name);
+
+  // File list for the synthesis tool.
+  std::ostringstream filelist;
+  for (const auto& [name, _] : bundle) filelist << name << "\n";
+  bundle[options.top_name + ".f"] = filelist.str();
+  return bundle;
+}
+
+SourceBundle generate_design_with_weights(const hw::AcceleratorConfig& config,
+                                          const quant::QuantizedNetwork& qnet,
+                                          const std::string& top_name) {
+  GenerateOptions options;
+  options.top_name = top_name;
+  options.time_steps = qnet.time_bits;
+  options.weight_bits = qnet.weight_bits;
+  SourceBundle bundle = generate_design(config, options);
+
+  int index = 0;
+  for (const auto& layer : qnet.layers) {
+    std::ostringstream os;
+    if (const auto* conv = std::get_if<quant::QConv2d>(&layer)) {
+      append_weight_mem(os, conv->weight, qnet.weight_bits);
+      bundle["weights_layer" + std::to_string(index) + "_conv.mem"] = os.str();
+    } else if (const auto* fc = std::get_if<quant::QLinear>(&layer)) {
+      append_weight_mem(os, fc->weight, qnet.weight_bits);
+      bundle["weights_layer" + std::to_string(index) + "_fc.mem"] = os.str();
+    }
+    ++index;
+  }
+  return bundle;
+}
+
+int write_bundle(const SourceBundle& bundle, const std::string& directory) {
+  std::filesystem::create_directories(directory);
+  int written = 0;
+  for (const auto& [name, contents] : bundle) {
+    std::ofstream os(directory + "/" + name, std::ios::binary);
+    RSNN_REQUIRE(os.good(), "cannot write " << directory << "/" << name);
+    os << contents;
+    ++written;
+  }
+  return written;
+}
+
+}  // namespace rsnn::rtl

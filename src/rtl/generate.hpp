@@ -1,0 +1,55 @@
+// SystemVerilog generation.
+//
+// The paper's implementation is hand-written SystemVerilog synthesized with
+// Vivado (Sec. IV-A); its companion framework E3NE [14] generates the HDL
+// from a model description. This module provides that generation step:
+// given an AcceleratorConfig (and optionally a quantized network for the
+// parameter ROM initialization files), it emits a self-consistent set of
+// synthesizable SystemVerilog sources mirroring the simulated
+// micro-architecture cycle for cycle:
+//
+//   rsnn_pkg.sv          parameters (X, Y, accumulator widths, T, ...)
+//   conv_unit.sv         shift register + Y x X adder array + pipeline
+//   pool_unit.sv         row-based spike-count pooling
+//   linear_unit.sv       lane-parallel FC engine
+//   output_logic.sv      channel/time accumulation, radix shift, requantize
+//   pingpong_buffer.sv   dual-bank activation memory
+//   accelerator_top.sv   unit instantiation + layer sequencer skeleton
+//   <name>_weights.mem   $readmemh image of the quantized parameters
+//
+// The RTL is untested on silicon (this repository's claim is the simulator);
+// it is emitted so the repository is a complete hardware project seed, and
+// the generator is unit-tested for structural well-formedness.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "hw/arch.hpp"
+#include "quant/qnetwork.hpp"
+
+namespace rsnn::rtl {
+
+/// File name -> file contents.
+using SourceBundle = std::map<std::string, std::string>;
+
+struct GenerateOptions {
+  std::string top_name = "rsnn_accel";
+  int time_steps = 4;
+  int weight_bits = 3;
+};
+
+/// Generate the RTL bundle for a design instance.
+SourceBundle generate_design(const hw::AcceleratorConfig& config,
+                             const GenerateOptions& options);
+
+/// As above, plus the weight ROM image for a concrete network (time steps
+/// and weight bits are taken from the network).
+SourceBundle generate_design_with_weights(const hw::AcceleratorConfig& config,
+                                          const quant::QuantizedNetwork& qnet,
+                                          const std::string& top_name = "rsnn_accel");
+
+/// Write a bundle to `directory` (created if needed). Returns file count.
+int write_bundle(const SourceBundle& bundle, const std::string& directory);
+
+}  // namespace rsnn::rtl

@@ -1,0 +1,37 @@
+// Individual SystemVerilog module emitters. Each function returns the full
+// text of one .sv file; generate.cpp assembles them into a bundle.
+#pragma once
+
+#include <string>
+
+#include "hw/arch.hpp"
+
+namespace rsnn::rtl {
+
+/// Shared package: localparams for the design geometry.
+std::string emit_package(const hw::AcceleratorConfig& config, int time_steps,
+                         int weight_bits);
+
+/// One convolution unit (paper Fig. 2).
+std::string emit_conv_unit(const hw::ConvUnitGeometry& geometry,
+                           int weight_bits);
+
+/// The row-based pooling unit.
+std::string emit_pool_unit(const hw::PoolUnitGeometry& geometry);
+
+/// The lane-parallel fully-connected engine.
+std::string emit_linear_unit(const hw::LinearUnitGeometry& geometry,
+                             int weight_bits);
+
+/// Output logic: input-channel/time accumulation, radix shift, bias,
+/// ReLU + requantize.
+std::string emit_output_logic(int accumulator_bits, int time_steps);
+
+/// Dual-bank (ping-pong) activation buffer.
+std::string emit_pingpong_buffer();
+
+/// Top level: instantiates the units and the layer sequencer skeleton.
+std::string emit_top(const hw::AcceleratorConfig& config,
+                     const std::string& top_name);
+
+}  // namespace rsnn::rtl

@@ -1,0 +1,193 @@
+#include "snn/radix_snn.hpp"
+
+#include "common/assert.hpp"
+#include "common/bits.hpp"
+#include "encoding/radix.hpp"
+
+namespace rsnn::snn {
+namespace {
+
+using encoding::SpikeTrain;
+using quant::QConv2d;
+using quant::QFlatten;
+using quant::QLinear;
+using quant::QPool2d;
+
+/// Per-time-step convolution on binary spikes: returns sum of kernel values
+/// at positions that spiked. Counts fired adder ops into `synaptic_ops`.
+void conv_step(const QConv2d& conv, const SpikeTrain& input, int t,
+               TensorI64& membrane, std::int64_t& synaptic_ops) {
+  const Shape& in_shape = input.neuron_shape();
+  const std::int64_t ih = in_shape.dim(1), iw = in_shape.dim(2);
+  const std::int64_t k = conv.kernel, str = conv.stride, pad = conv.padding;
+  const std::int64_t oh = membrane.dim(1), ow = membrane.dim(2);
+
+  for (std::int64_t oc = 0; oc < conv.out_channels; ++oc) {
+    for (std::int64_t oy = 0; oy < oh; ++oy) {
+      for (std::int64_t ox = 0; ox < ow; ++ox) {
+        std::int64_t acc = 0;
+        for (std::int64_t ic = 0; ic < conv.in_channels; ++ic) {
+          for (std::int64_t ky = 0; ky < k; ++ky) {
+            const std::int64_t iy = oy * str + ky - pad;
+            if (iy < 0 || iy >= ih) continue;
+            for (std::int64_t kx = 0; kx < k; ++kx) {
+              const std::int64_t ix = ox * str + kx - pad;
+              if (ix < 0 || ix >= iw) continue;
+              const std::int64_t neuron = (ic * ih + iy) * iw + ix;
+              if (input.spike(t, neuron)) {
+                acc += conv.weight(oc, ic, ky, kx);
+                ++synaptic_ops;
+              }
+            }
+          }
+        }
+        membrane(oc, oy, ox) += acc;
+      }
+    }
+  }
+}
+
+void pool_step(const QPool2d& pool, const SpikeTrain& input, int t,
+               TensorI64& membrane, std::int64_t& synaptic_ops) {
+  const Shape& in_shape = input.neuron_shape();
+  const std::int64_t iw = in_shape.dim(2), ih = in_shape.dim(1);
+  const std::int64_t k = pool.kernel;
+  const std::int64_t ch = membrane.dim(0), oh = membrane.dim(1), ow = membrane.dim(2);
+  for (std::int64_t c = 0; c < ch; ++c) {
+    for (std::int64_t oy = 0; oy < oh; ++oy) {
+      for (std::int64_t ox = 0; ox < ow; ++ox) {
+        std::int64_t acc = 0;
+        for (std::int64_t ky = 0; ky < k; ++ky) {
+          for (std::int64_t kx = 0; kx < k; ++kx) {
+            const std::int64_t neuron =
+                (c * ih + oy * k + ky) * iw + (ox * k + kx);
+            if (input.spike(t, neuron)) {
+              ++acc;
+              ++synaptic_ops;
+            }
+          }
+        }
+        membrane(c, oy, ox) += acc;
+      }
+    }
+  }
+}
+
+void linear_step(const QLinear& fc, const SpikeTrain& input, int t,
+                 TensorI64& membrane, std::int64_t& synaptic_ops) {
+  for (std::int64_t i = 0; i < fc.in_features; ++i) {
+    if (!input.spike(t, i)) continue;
+    for (std::int64_t o = 0; o < fc.out_features; ++o) {
+      membrane(o) += fc.weight(o, i);
+    }
+    synaptic_ops += fc.out_features;
+  }
+}
+
+}  // namespace
+
+RadixSnnResult RadixSnn::run(const SpikeTrain& input,
+                             bool record_layer_spikes) const {
+  const int T = qnet_.time_bits;
+  RSNN_REQUIRE(input.time_steps() == T,
+               "input has " << input.time_steps() << " steps, network expects " << T);
+  RSNN_REQUIRE(input.neuron_shape() == qnet_.input_shape,
+               "input shape mismatch");
+
+  RadixSnnResult result;
+  const auto shapes = qnet_.layer_output_shapes();
+  SpikeTrain current = input;
+
+  for (std::size_t li = 0; li < qnet_.layers.size(); ++li) {
+    const quant::QLayer& layer = qnet_.layers[li];
+    result.total_input_spikes += current.total_spikes();
+
+    if (std::holds_alternative<QFlatten>(layer)) {
+      // Buffer transfer: same bits, flat neuron indexing.
+      SpikeTrain flat(shapes[li], T);
+      for (int t = 0; t < T; ++t)
+        for (std::int64_t i = 0; i < current.num_neurons(); ++i)
+          flat.set_spike(t, i, current.spike(t, i));
+      current = std::move(flat);
+      if (record_layer_spikes) result.layer_spikes.push_back(current);
+      continue;
+    }
+
+    // Temporal integration with the radix left-shift between steps.
+    TensorI64 membrane(shapes[li], std::int64_t{0});
+    for (int t = 0; t < T; ++t) {
+      for (std::int64_t i = 0; i < membrane.numel(); ++i)
+        membrane.at_flat(i) <<= 1;
+      if (const auto* conv = std::get_if<QConv2d>(&layer))
+        conv_step(*conv, current, t, membrane, result.total_synaptic_ops);
+      else if (const auto* pool = std::get_if<QPool2d>(&layer))
+        pool_step(*pool, current, t, membrane, result.total_synaptic_ops);
+      else if (const auto* fc = std::get_if<QLinear>(&layer))
+        linear_step(*fc, current, t, membrane, result.total_synaptic_ops);
+    }
+
+    // Output logic: bias, ReLU + requantize (or raw accumulators at the end).
+    const auto* conv = std::get_if<QConv2d>(&layer);
+    const auto* fc = std::get_if<QLinear>(&layer);
+    const auto* pool = std::get_if<QPool2d>(&layer);
+    const bool requantize = conv   ? conv->requantize
+                            : fc   ? fc->requantize
+                                   : true;
+    const TensorI64* bias = conv ? &conv->bias : fc ? &fc->bias : nullptr;
+    const std::int64_t pool_shift = pool ? pool->shift : -1;
+
+    TensorI64 out(membrane.shape());
+    for (std::int64_t i = 0; i < membrane.numel(); ++i) {
+      std::int64_t v = membrane.at_flat(i);
+      if (pool_shift >= 0) {
+        v >>= pool_shift;
+        v = saturate_unsigned(v, T);  // exact for power-of-two pooling
+      } else {
+        // Bias and requantizer shift are per output channel.
+        const std::int64_t ch_index =
+            membrane.rank() == 3 ? i / (membrane.dim(1) * membrane.dim(2)) : i;
+        v += bias ? bias->at_flat(ch_index) : 0;
+        if (requantize) {
+          const int frac_bits =
+              conv ? conv->frac_for(ch_index) : fc->frac_for(ch_index);
+          if (frac_bits >= 0)
+            v >>= frac_bits;
+          else
+            v <<= -frac_bits;
+          v = saturate_unsigned(v, T);
+        }
+      }
+      out.at_flat(i) = v;
+    }
+
+    if (li + 1 == qnet_.layers.size() && !requantize) {
+      // Final layer: raw membrane potentials are the logits.
+      result.logits.resize(static_cast<std::size_t>(out.numel()));
+      for (std::int64_t i = 0; i < out.numel(); ++i)
+        result.logits[static_cast<std::size_t>(i)] = out.at_flat(i);
+      break;
+    }
+
+    // Re-encode output codes as the next layer's spike train.
+    TensorI codes = out.cast<std::int32_t>();
+    current = encoding::radix_encode_codes(codes, T);
+    if (record_layer_spikes) result.layer_spikes.push_back(current);
+  }
+
+  RSNN_ENSURE(!result.logits.empty(), "network must end in a raw linear layer");
+  int best = 0;
+  for (std::size_t c = 1; c < result.logits.size(); ++c)
+    if (result.logits[c] > result.logits[static_cast<std::size_t>(best)])
+      best = static_cast<int>(c);
+  result.predicted_class = best;
+  return result;
+}
+
+RadixSnnResult RadixSnn::run_image(const TensorF& image,
+                                   bool record_layer_spikes) const {
+  const encoding::SpikeTrain input =
+      encoding::radix_encode(image, qnet_.time_bits);
+  return run(input, record_layer_spikes);
+}
+
+}  // namespace rsnn::snn

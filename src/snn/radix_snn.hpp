@@ -1,0 +1,52 @@
+// RadixSnn: functional (untimed) simulator of a radix-encoded SNN.
+//
+// Processes spike trains layer by layer, time step by time step, exactly as
+// the accelerator does:
+//
+//   for each layer:
+//     membrane = 0
+//     for t = 0 .. T-1:                       // spike train, MSB first
+//       membrane = (membrane << 1) + sum_i W_i * s_i(t)
+//     out = requantize(membrane + bias)       // ReLU + T-bit truncation
+//     next layer input = radix_encode(out)
+//
+// This is mathematically identical to QuantizedNetwork::forward (invariant 1
+// in DESIGN.md) but exposes the temporal structure: per-layer spike trains
+// and spike counts, which the power model consumes as activity factors.
+#pragma once
+
+#include <vector>
+
+#include "encoding/spike_train.hpp"
+#include "quant/qnetwork.hpp"
+
+namespace rsnn::snn {
+
+struct RadixSnnResult {
+  std::vector<std::int64_t> logits;  ///< final-layer membrane potentials
+  int predicted_class = -1;
+  std::int64_t total_input_spikes = 0;   ///< events entering layer inputs
+  std::int64_t total_synaptic_ops = 0;   ///< adder operations actually fired
+  std::vector<encoding::SpikeTrain> layer_spikes;  ///< filled if requested
+};
+
+class RadixSnn {
+ public:
+  explicit RadixSnn(const quant::QuantizedNetwork& qnet) : qnet_(qnet) {}
+
+  /// Run one sample given its input spike train (must be radix-encoded with
+  /// the network's T).
+  RadixSnnResult run(const encoding::SpikeTrain& input,
+                     bool record_layer_spikes = false) const;
+
+  /// Convenience: encode a float image (values in [0,1)) and run.
+  RadixSnnResult run_image(const TensorF& image,
+                           bool record_layer_spikes = false) const;
+
+  const quant::QuantizedNetwork& network() const { return qnet_; }
+
+ private:
+  const quant::QuantizedNetwork& qnet_;
+};
+
+}  // namespace rsnn::snn

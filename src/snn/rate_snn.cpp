@@ -1,0 +1,194 @@
+#include "snn/rate_snn.hpp"
+
+#include "common/assert.hpp"
+#include "encoding/rate.hpp"
+#include "nn/activation.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/flatten.hpp"
+#include "nn/linear.hpp"
+#include "nn/pool2d.hpp"
+
+namespace rsnn::snn {
+namespace {
+
+/// Per-step current into a conv layer from (possibly fractional) inputs.
+/// Inputs are spike indicators in [0,1]; average pooling between layers can
+/// yield fractional "analog spikes", a standard rate-conversion practice.
+TensorF conv_current(const nn::Conv2d& conv, const TensorF& input, float bias_share) {
+  const auto& cfg = conv.config();
+  const std::int64_t ih = input.dim(1), iw = input.dim(2);
+  const std::int64_t k = cfg.kernel, str = cfg.stride, pad = cfg.padding;
+  const std::int64_t oh = (ih + 2 * pad - k) / str + 1;
+  const std::int64_t ow = (iw + 2 * pad - k) / str + 1;
+  TensorF out(Shape{cfg.out_channels, oh, ow});
+  for (std::int64_t oc = 0; oc < cfg.out_channels; ++oc) {
+    const float b = cfg.has_bias ? conv.bias().value(oc) * bias_share : 0.0f;
+    for (std::int64_t oy = 0; oy < oh; ++oy) {
+      for (std::int64_t ox = 0; ox < ow; ++ox) {
+        float acc = b;
+        for (std::int64_t ic = 0; ic < cfg.in_channels; ++ic) {
+          for (std::int64_t ky = 0; ky < k; ++ky) {
+            const std::int64_t iy = oy * str + ky - pad;
+            if (iy < 0 || iy >= ih) continue;
+            for (std::int64_t kx = 0; kx < k; ++kx) {
+              const std::int64_t ix = ox * str + kx - pad;
+              if (ix < 0 || ix >= iw) continue;
+              const float s = input(ic, iy, ix);
+              if (s != 0.0f) acc += s * conv.weight().value(oc, ic, ky, kx);
+            }
+          }
+        }
+        out(oc, oy, ox) = acc;
+      }
+    }
+  }
+  return out;
+}
+
+TensorF pool_current(const nn::Pool2d& pool, const TensorF& input) {
+  const std::int64_t k = pool.config().kernel;
+  const std::int64_t ch = input.dim(0);
+  const std::int64_t oh = input.dim(1) / k, ow = input.dim(2) / k;
+  const float inv_area = 1.0f / static_cast<float>(k * k);
+  TensorF out(Shape{ch, oh, ow});
+  for (std::int64_t c = 0; c < ch; ++c)
+    for (std::int64_t oy = 0; oy < oh; ++oy)
+      for (std::int64_t ox = 0; ox < ow; ++ox) {
+        float acc = 0.0f;
+        for (std::int64_t ky = 0; ky < k; ++ky)
+          for (std::int64_t kx = 0; kx < k; ++kx)
+            acc += input(c, oy * k + ky, ox * k + kx);
+        out(c, oy, ox) = acc * inv_area;
+      }
+  return out;
+}
+
+TensorF linear_current(const nn::Linear& fc, const TensorF& input, float bias_share) {
+  const auto& cfg = fc.config();
+  TensorF out(Shape{cfg.out_features});
+  for (std::int64_t o = 0; o < cfg.out_features; ++o) {
+    float acc = cfg.has_bias ? fc.bias().value(o) * bias_share : 0.0f;
+    for (std::int64_t i = 0; i < cfg.in_features; ++i) {
+      const float s = input(i);
+      if (s != 0.0f) acc += s * fc.weight().value(o, i);
+    }
+    out(o) = acc;
+  }
+  return out;
+}
+
+}  // namespace
+
+RateSnn::RateSnn(const nn::Network& network, RateSnnConfig config)
+    : network_(network), config_(config) {
+  RSNN_REQUIRE(config.time_steps >= 1);
+  RSNN_REQUIRE(config.threshold > 0.0f);
+}
+
+RateSnnResult RateSnn::run_image(const TensorF& image) const {
+  auto& net = const_cast<nn::Network&>(network_);
+  const int T = config_.time_steps;
+  const float theta = config_.threshold;
+  const float bias_share = 1.0f / static_cast<float>(T);
+
+  // Identify spiking layers (conv/linear followed by activation) and the
+  // final readout layer (last parameterized layer accumulates, never fires).
+  int last_param = -1;
+  for (int i = 0; i < net.num_layers(); ++i)
+    if (dynamic_cast<nn::Conv2d*>(&net.layer(i)) != nullptr ||
+        dynamic_cast<nn::Linear*>(&net.layer(i)) != nullptr)
+      last_param = i;
+  RSNN_REQUIRE(last_param >= 0, "no parameterized layer");
+
+  // Membrane state per parameterized layer, created lazily on first step.
+  std::vector<TensorF> membranes(static_cast<std::size_t>(net.num_layers()));
+
+  const encoding::SpikeTrain input_train =
+      encoding::rate_encode(image, T);
+
+  RateSnnResult result;
+  TensorF output_accumulator;
+
+  for (int t = 0; t < T; ++t) {
+    // Materialize this step's input spikes as a CHW tensor.
+    TensorF x(image.shape());
+    for (std::int64_t i = 0; i < x.numel(); ++i) {
+      const bool s = input_train.spike(t, i);
+      x.at_flat(i) = s ? 1.0f : 0.0f;
+      if (s) ++result.total_spikes;
+    }
+
+    for (int li = 0; li < net.num_layers(); ++li) {
+      nn::Layer& layer = net.layer(li);
+      if (auto* conv = dynamic_cast<nn::Conv2d*>(&layer)) {
+        TensorF current = conv_current(*conv, x, bias_share);
+        auto& membrane = membranes[static_cast<std::size_t>(li)];
+        if (membrane.numel() == 0) membrane = TensorF(current.shape(), 0.0f);
+        if (li == last_param) {
+          for (std::int64_t i = 0; i < current.numel(); ++i)
+            membrane.at_flat(i) += current.at_flat(i);
+          x = membrane;  // readout uses raw accumulation
+        } else {
+          x = TensorF(current.shape());
+          for (std::int64_t i = 0; i < current.numel(); ++i) {
+            float& v = membrane.at_flat(i);
+            v += current.at_flat(i);
+            const bool fire = v >= theta;
+            if (fire) {
+              v -= theta;  // soft reset preserves residual charge
+              ++result.total_spikes;
+            }
+            x.at_flat(i) = fire ? 1.0f : 0.0f;
+          }
+        }
+      } else if (auto* fc = dynamic_cast<nn::Linear*>(&layer)) {
+        TensorF current = linear_current(*fc, x, bias_share);
+        auto& membrane = membranes[static_cast<std::size_t>(li)];
+        if (membrane.numel() == 0) membrane = TensorF(current.shape(), 0.0f);
+        if (li == last_param) {
+          for (std::int64_t i = 0; i < current.numel(); ++i)
+            membrane.at_flat(i) += current.at_flat(i);
+          x = membrane;
+        } else {
+          x = TensorF(current.shape());
+          for (std::int64_t i = 0; i < current.numel(); ++i) {
+            float& v = membrane.at_flat(i);
+            v += current.at_flat(i);
+            const bool fire = v >= theta;
+            if (fire) {
+              v -= theta;
+              ++result.total_spikes;
+            }
+            x.at_flat(i) = fire ? 1.0f : 0.0f;
+          }
+        }
+      } else if (auto* pool = dynamic_cast<nn::Pool2d*>(&layer)) {
+        RSNN_REQUIRE(pool->config().kind == nn::PoolKind::kAverage,
+                     "rate SNN supports average pooling only");
+        x = pool_current(*pool, x);
+      } else if (dynamic_cast<nn::Flatten*>(&layer) != nullptr) {
+        x = x.reshaped(Shape{x.numel()});
+      } else if (dynamic_cast<nn::ClippedReLU*>(&layer) != nullptr ||
+                 dynamic_cast<nn::ReLU*>(&layer) != nullptr) {
+        // Spiking dynamics replace the activation.
+      } else {
+        RSNN_REQUIRE(false, "unsupported layer in rate SNN: " << layer.name());
+      }
+    }
+    output_accumulator = x;
+  }
+
+  result.logits.resize(static_cast<std::size_t>(output_accumulator.numel()));
+  for (std::int64_t i = 0; i < output_accumulator.numel(); ++i)
+    result.logits[static_cast<std::size_t>(i)] =
+        output_accumulator.at_flat(i) / static_cast<float>(T);
+
+  int best = 0;
+  for (std::size_t c = 1; c < result.logits.size(); ++c)
+    if (result.logits[c] > result.logits[static_cast<std::size_t>(best)])
+      best = static_cast<int>(c);
+  result.predicted_class = best;
+  return result;
+}
+
+}  // namespace rsnn::snn

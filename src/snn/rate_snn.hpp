@@ -1,0 +1,47 @@
+// RateSnn: integrate-and-fire simulator for rate-encoded SNNs.
+//
+// The baseline the paper argues against: a conventional ANN-to-SNN
+// conversion where spike *frequency* carries the value. Neurons integrate
+// weighted input spikes and fire (soft reset: subtract threshold) when the
+// membrane crosses the threshold. Accuracy approaches the source ANN only
+// as O(1/T), which is why such accelerators need tens to hundreds of steps
+// (Fang et al. needed ~10 for LeNet-class MNIST; deep nets need hundreds).
+//
+// Runs directly on the float network's weights (no quantization) — the
+// comparison isolates the encoding scheme.
+#pragma once
+
+#include <vector>
+
+#include "encoding/spike_train.hpp"
+#include "nn/network.hpp"
+
+namespace rsnn::snn {
+
+struct RateSnnConfig {
+  int time_steps = 10;
+  float threshold = 1.0f;  ///< firing threshold == ClippedReLU ceiling
+};
+
+struct RateSnnResult {
+  std::vector<float> logits;  ///< accumulated output membrane / T
+  int predicted_class = -1;
+  std::int64_t total_spikes = 0;
+};
+
+class RateSnn {
+ public:
+  /// The network must be a stack of Conv2d/Pool2d(avg)/Flatten/Linear with
+  /// ClippedReLU activations (the same family quantize() accepts).
+  RateSnn(const nn::Network& network, RateSnnConfig config);
+
+  /// Run one image (values in [0,1]); input is rate-encoded internally with
+  /// evenly spaced spikes.
+  RateSnnResult run_image(const TensorF& image) const;
+
+ private:
+  const nn::Network& network_;
+  RateSnnConfig config_;
+};
+
+}  // namespace rsnn::snn

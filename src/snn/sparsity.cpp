@@ -1,0 +1,101 @@
+#include "snn/sparsity.hpp"
+
+#include <sstream>
+
+#include "common/assert.hpp"
+#include "encoding/radix.hpp"
+#include "snn/radix_snn.hpp"
+
+namespace rsnn::snn {
+namespace {
+
+std::string kind_of(const quant::QLayer& layer) {
+  if (std::holds_alternative<quant::QConv2d>(layer)) return "conv";
+  if (std::holds_alternative<quant::QPool2d>(layer)) return "pool";
+  if (std::holds_alternative<quant::QLinear>(layer)) return "linear";
+  return "flatten";
+}
+
+}  // namespace
+
+SparsityReport analyze_sparsity(const quant::QuantizedNetwork& qnet,
+                                const data::Dataset& dataset,
+                                const SparsityOptions& options) {
+  RSNN_REQUIRE(!dataset.empty(), "empty dataset");
+  RSNN_REQUIRE(options.max_samples > 0);
+  const std::size_t n = std::min(options.max_samples, dataset.size());
+
+  const RadixSnn snn(qnet);
+  const auto shapes = qnet.layer_output_shapes();
+
+  SparsityReport report;
+  report.layers.resize(qnet.layers.size());
+  for (std::size_t li = 0; li < qnet.layers.size(); ++li) {
+    report.layers[li].kind = kind_of(qnet.layers[li]);
+    report.layers[li].time_steps = qnet.time_bits;
+    report.layers[li].neurons =
+        li == 0 ? qnet.input_shape.numel() : shapes[li - 1].numel();
+  }
+
+  double total_ops = 0.0;
+  for (std::size_t s = 0; s < n; ++s) {
+    const RadixSnnResult run = snn.run_image(dataset.images[s], true);
+    total_ops += static_cast<double>(run.total_synaptic_ops);
+
+    // layer_spikes[k] is the *output* train of non-final layer k; the input
+    // train of layer 0 is the encoded image. Attribute input spikes.
+    const encoding::SpikeTrain input =
+        encoding::radix_encode(dataset.images[s], qnet.time_bits);
+    report.layers[0].mean_spikes += static_cast<double>(input.total_spikes());
+    for (std::size_t k = 0; k + 1 < qnet.layers.size() &&
+                            k < run.layer_spikes.size();
+         ++k)
+      report.layers[k + 1].mean_spikes +=
+          static_cast<double>(run.layer_spikes[k].total_spikes());
+  }
+
+  for (auto& layer : report.layers) {
+    layer.mean_spikes /= static_cast<double>(n);
+    const double capacity =
+        static_cast<double>(layer.neurons) * layer.time_steps;
+    layer.spike_rate = capacity > 0 ? layer.mean_spikes / capacity : 0.0;
+    report.total_spikes_per_sample += layer.mean_spikes;
+  }
+  report.total_synaptic_ops_per_sample = total_ops / static_cast<double>(n);
+
+  // Distribute total ops over layers proportionally to input spikes (the
+  // functional simulator reports only the total).
+  if (report.total_spikes_per_sample > 0) {
+    for (auto& layer : report.layers)
+      layer.mean_synaptic_ops = report.total_synaptic_ops_per_sample *
+                                (layer.mean_spikes / report.total_spikes_per_sample);
+  }
+
+  report.dynamic_energy_uj_per_sample =
+      report.total_synaptic_ops_per_sample * options.energy_per_add_pj * 1e-6;
+  return report;
+}
+
+std::string to_string(const SparsityReport& report) {
+  std::ostringstream os;
+  os << "layer  kind     neurons   spikes/sample  rate     synops/sample\n";
+  for (std::size_t i = 0; i < report.layers.size(); ++i) {
+    const LayerSparsity& l = report.layers[i];
+    char line[160];
+    std::snprintf(line, sizeof(line), "%-6zu %-8s %-9lld %-14.1f %-8.4f %.1f\n",
+                  i, l.kind.c_str(), static_cast<long long>(l.neurons),
+                  l.mean_spikes, l.spike_rate, l.mean_synaptic_ops);
+    os << line;
+  }
+  char tail[200];
+  std::snprintf(tail, sizeof(tail),
+                "total: %.1f spikes, %.1f synaptic ops, ~%.3f uJ dynamic "
+                "energy per sample\n",
+                report.total_spikes_per_sample,
+                report.total_synaptic_ops_per_sample,
+                report.dynamic_energy_uj_per_sample);
+  os << tail;
+  return os.str();
+}
+
+}  // namespace rsnn::snn

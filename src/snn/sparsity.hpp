@@ -1,0 +1,53 @@
+// Spike sparsity analysis.
+//
+// Event counts are the currency of SNN efficiency arguments: dynamic energy
+// in the adder arrays scales with fired additions, and radix encoding's
+// short trains change the event budget fundamentally. This module computes
+// per-layer spike statistics of a radix SNN over a dataset and derives the
+// event-driven energy estimate that complements hw::estimate_power's
+// clock-driven model.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "quant/qnetwork.hpp"
+
+namespace rsnn::snn {
+
+/// Spike statistics of one layer's *input* train, averaged over samples.
+struct LayerSparsity {
+  std::string kind;
+  std::int64_t neurons = 0;
+  int time_steps = 0;
+  double mean_spikes = 0.0;       ///< events per sample
+  double spike_rate = 0.0;        ///< events / (neurons * T)
+  double mean_synaptic_ops = 0.0; ///< fired additions per sample
+};
+
+struct SparsityReport {
+  std::vector<LayerSparsity> layers;
+  double total_spikes_per_sample = 0.0;
+  double total_synaptic_ops_per_sample = 0.0;
+  /// Event-driven dynamic energy estimate: ops * energy-per-add.
+  double dynamic_energy_uj_per_sample = 0.0;
+};
+
+struct SparsityOptions {
+  std::size_t max_samples = 32;
+  /// Energy of one fired accumulate at the modeled node/width (pJ). The
+  /// default corresponds to a ~24-bit LUT-fabric add at 16 nm.
+  double energy_per_add_pj = 1.2;
+};
+
+/// Run the functional radix SNN over (a subset of) the dataset and collect
+/// per-layer spike statistics.
+SparsityReport analyze_sparsity(const quant::QuantizedNetwork& qnet,
+                                const data::Dataset& dataset,
+                                const SparsityOptions& options = {});
+
+/// Formatted table of a report.
+std::string to_string(const SparsityReport& report);
+
+}  // namespace rsnn::snn

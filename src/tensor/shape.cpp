@@ -1,0 +1,27 @@
+#include "tensor/shape.hpp"
+
+#include <sstream>
+
+namespace rsnn {
+
+std::vector<std::int64_t> Shape::strides() const {
+  std::vector<std::int64_t> result(dims_.size(), 1);
+  for (int axis = rank() - 2; axis >= 0; --axis) {
+    const auto i = static_cast<std::size_t>(axis);
+    result[i] = result[i + 1] * dims_[i + 1];
+  }
+  return result;
+}
+
+std::string Shape::to_string() const {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    if (i != 0) os << ", ";
+    os << dims_[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+}  // namespace rsnn

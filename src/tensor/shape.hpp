@@ -1,0 +1,57 @@
+// Shape: the dimension vector of an N-D row-major tensor.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace rsnn {
+
+/// Dimension sizes of a row-major tensor. Immutable value type.
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<std::int64_t> dims) : dims_(dims) { validate(); }
+  explicit Shape(std::vector<std::int64_t> dims) : dims_(std::move(dims)) {
+    validate();
+  }
+
+  int rank() const { return static_cast<int>(dims_.size()); }
+
+  std::int64_t dim(int axis) const {
+    RSNN_REQUIRE(axis >= 0 && axis < rank(), "axis " << axis << " out of range for rank " << rank());
+    return dims_[static_cast<std::size_t>(axis)];
+  }
+
+  std::int64_t operator[](int axis) const { return dim(axis); }
+
+  /// Total number of elements (1 for rank-0).
+  std::int64_t numel() const {
+    std::int64_t n = 1;
+    for (const auto d : dims_) n *= d;
+    return n;
+  }
+
+  const std::vector<std::int64_t>& dims() const { return dims_; }
+
+  bool operator==(const Shape& other) const { return dims_ == other.dims_; }
+  bool operator!=(const Shape& other) const { return !(*this == other); }
+
+  /// Row-major strides, in elements.
+  std::vector<std::int64_t> strides() const;
+
+  std::string to_string() const;
+
+ private:
+  void validate() const {
+    for (const auto d : dims_)
+      RSNN_REQUIRE(d >= 0, "negative dimension in shape");
+  }
+
+  std::vector<std::int64_t> dims_;
+};
+
+}  // namespace rsnn

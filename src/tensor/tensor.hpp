@@ -1,0 +1,187 @@
+// Tensor<T>: owning, row-major, N-dimensional array.
+//
+// This is the numeric substrate for the ANN trainer, the quantized reference
+// model and the SNN simulators. It deliberately favors clarity over BLAS-level
+// performance — the networks in the paper (LeNet-5, VGG-11) are small enough
+// that straightforward loops train and evaluate in seconds on a laptop.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <numeric>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "tensor/shape.hpp"
+
+namespace rsnn {
+
+template <typename T>
+class Tensor {
+ public:
+  Tensor() = default;
+
+  explicit Tensor(Shape shape)
+      : shape_(std::move(shape)),
+        strides_(shape_.strides()),
+        data_(static_cast<std::size_t>(shape_.numel()), T{}) {}
+
+  Tensor(Shape shape, T fill_value)
+      : shape_(std::move(shape)),
+        strides_(shape_.strides()),
+        data_(static_cast<std::size_t>(shape_.numel()), fill_value) {}
+
+  Tensor(Shape shape, std::vector<T> data)
+      : shape_(std::move(shape)), strides_(shape_.strides()), data_(std::move(data)) {
+    RSNN_REQUIRE(static_cast<std::int64_t>(data_.size()) == shape_.numel(),
+                 "data size " << data_.size() << " != shape numel " << shape_.numel());
+  }
+
+  const Shape& shape() const { return shape_; }
+  /// Number of stored elements. Equals shape().numel() for any constructed
+  /// tensor; 0 for a default-constructed (uninitialized) one — which is why
+  /// "is this tensor initialized" checks use numel() == 0 rather than the
+  /// rank-0 scalar convention of Shape::numel().
+  std::int64_t numel() const { return static_cast<std::int64_t>(data_.size()); }
+  int rank() const { return shape_.rank(); }
+  std::int64_t dim(int axis) const { return shape_.dim(axis); }
+
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+  std::vector<T>& storage() { return data_; }
+  const std::vector<T>& storage() const { return data_; }
+
+  // ---- element access -----------------------------------------------------
+
+  T& at_flat(std::int64_t index) {
+    RSNN_REQUIRE(index >= 0 && index < numel(), "flat index " << index);
+    return data_[static_cast<std::size_t>(index)];
+  }
+  const T& at_flat(std::int64_t index) const {
+    RSNN_REQUIRE(index >= 0 && index < numel(), "flat index " << index);
+    return data_[static_cast<std::size_t>(index)];
+  }
+
+  template <typename... Idx>
+  T& operator()(Idx... idx) {
+    return data_[offset_of(idx...)];
+  }
+  template <typename... Idx>
+  const T& operator()(Idx... idx) const {
+    return data_[offset_of(idx...)];
+  }
+
+  // ---- whole-tensor operations ---------------------------------------------
+
+  void fill(T value) { std::fill(data_.begin(), data_.end(), value); }
+
+  /// Same data, different shape. Element count must match.
+  Tensor reshaped(Shape new_shape) const {
+    RSNN_REQUIRE(new_shape.numel() == numel(),
+                 "reshape " << shape_.to_string() << " -> " << new_shape.to_string());
+    return Tensor(std::move(new_shape), data_);
+  }
+
+  template <typename U>
+  Tensor<U> cast() const {
+    Tensor<U> out(shape_);
+    for (std::int64_t i = 0; i < numel(); ++i)
+      out.at_flat(i) = static_cast<U>(data_[static_cast<std::size_t>(i)]);
+    return out;
+  }
+
+  Tensor map(const std::function<T(T)>& f) const {
+    Tensor out(shape_);
+    for (std::int64_t i = 0; i < numel(); ++i)
+      out.at_flat(i) = f(data_[static_cast<std::size_t>(i)]);
+    return out;
+  }
+
+  T sum() const { return std::accumulate(data_.begin(), data_.end(), T{}); }
+
+  T min() const {
+    RSNN_REQUIRE(numel() > 0);
+    return *std::min_element(data_.begin(), data_.end());
+  }
+
+  T max() const {
+    RSNN_REQUIRE(numel() > 0);
+    return *std::max_element(data_.begin(), data_.end());
+  }
+
+  /// Index of the maximum element (first on ties).
+  std::int64_t argmax() const {
+    RSNN_REQUIRE(numel() > 0);
+    return std::distance(data_.begin(),
+                         std::max_element(data_.begin(), data_.end()));
+  }
+
+  bool operator==(const Tensor& other) const {
+    return shape_ == other.shape_ && data_ == other.data_;
+  }
+  bool operator!=(const Tensor& other) const { return !(*this == other); }
+
+ private:
+  template <typename... Idx>
+  std::size_t offset_of(Idx... idx) const {
+    static_assert((std::is_convertible_v<Idx, std::int64_t> && ...));
+    RSNN_REQUIRE(sizeof...(Idx) == static_cast<std::size_t>(rank()),
+                 "index arity " << sizeof...(Idx) << " != rank " << rank());
+    const std::int64_t indices[] = {static_cast<std::int64_t>(idx)...};
+    std::int64_t offset = 0;
+    for (int axis = 0; axis < rank(); ++axis) {
+      RSNN_REQUIRE(indices[axis] >= 0 && indices[axis] < shape_.dim(axis),
+                   "index " << indices[axis] << " out of bounds for axis "
+                            << axis << " with size " << shape_.dim(axis));
+      offset += indices[axis] * strides_[static_cast<std::size_t>(axis)];
+    }
+    return static_cast<std::size_t>(offset);
+  }
+
+  Shape shape_;
+  std::vector<std::int64_t> strides_;
+  std::vector<T> data_;
+};
+
+using TensorF = Tensor<float>;
+using TensorI = Tensor<std::int32_t>;
+using TensorI64 = Tensor<std::int64_t>;
+
+// ---- free functions ---------------------------------------------------------
+
+/// Elementwise binary op on same-shaped tensors.
+template <typename T, typename F>
+Tensor<T> zip(const Tensor<T>& a, const Tensor<T>& b, F f) {
+  RSNN_REQUIRE(a.shape() == b.shape(),
+               "zip shape mismatch " << a.shape().to_string() << " vs "
+                                     << b.shape().to_string());
+  Tensor<T> out(a.shape());
+  for (std::int64_t i = 0; i < a.numel(); ++i)
+    out.at_flat(i) = f(a.at_flat(i), b.at_flat(i));
+  return out;
+}
+
+template <typename T>
+Tensor<T> operator+(const Tensor<T>& a, const Tensor<T>& b) {
+  return zip(a, b, std::plus<T>{});
+}
+
+template <typename T>
+Tensor<T> operator-(const Tensor<T>& a, const Tensor<T>& b) {
+  return zip(a, b, std::minus<T>{});
+}
+
+/// Max absolute elementwise difference; tensors must be same shape.
+template <typename T>
+double max_abs_diff(const Tensor<T>& a, const Tensor<T>& b) {
+  RSNN_REQUIRE(a.shape() == b.shape());
+  double worst = 0.0;
+  for (std::int64_t i = 0; i < a.numel(); ++i)
+    worst = std::max(worst,
+                     std::abs(static_cast<double>(a.at_flat(i)) -
+                              static_cast<double>(b.at_flat(i))));
+  return worst;
+}
+
+}  // namespace rsnn

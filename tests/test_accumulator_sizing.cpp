@@ -1,0 +1,130 @@
+// Accumulator bit-width sizing: the analytic worst case must bound (and be
+// reachable by) actual accumulations, and the compiler hook must shrink
+// resources without changing results.
+#include <gtest/gtest.h>
+
+#include "compiler/compile.hpp"
+#include "encoding/radix.hpp"
+#include "hw/accumulator_sizing.hpp"
+#include "hw/resource_model.hpp"
+#include "quant/quantize.hpp"
+#include "test_helpers.hpp"
+
+namespace rsnn::hw {
+namespace {
+
+using rsnn::testing::random_image;
+using rsnn::testing::small_random_net;
+
+quant::QConv2d make_conv(std::initializer_list<std::int32_t> weights,
+                         std::int64_t bias_value) {
+  quant::QConv2d conv;
+  conv.in_channels = 1;
+  conv.out_channels = 1;
+  conv.kernel = 2;
+  conv.weight = TensorI(Shape{1, 1, 2, 2}, std::vector<std::int32_t>(weights));
+  conv.bias = TensorI64(Shape{1});
+  conv.bias(0) = bias_value;
+  return conv;
+}
+
+TEST(AccumulatorSizing, ConvWorstCaseIsExact) {
+  // Weights {3, -2, 1, -1}: per-step max = 4, min = -3. T = 3 -> x7.
+  const auto conv = make_conv({3, -2, 1, -1}, 5);
+  const AccumulatorRange r = conv_accumulator_range(conv, 3);
+  EXPECT_EQ(r.max_value, 4 * 7 + 5);
+  EXPECT_EQ(r.min_value, -3 * 7 + 5);
+  // Range [-16, 33] needs 7 bits two's complement.
+  EXPECT_EQ(r.required_bits, 7);
+}
+
+TEST(AccumulatorSizing, ConvWorstCaseIsReachable) {
+  // Drive the worst case with an all-ones input and verify the membrane
+  // actually reaches the predicted maximum (all positive weights fire at
+  // every step; padding-free interior position).
+  quant::QConv2d conv = make_conv({3, 2, 1, 1}, 0);  // all positive
+  conv.requantize = false;
+  const AccumulatorRange r = conv_accumulator_range(conv, 3);
+
+  quant::QuantizedNetwork qnet;
+  qnet.time_bits = 3;
+  qnet.weight_bits = 3;
+  qnet.input_shape = Shape{1, 3, 3};
+  qnet.layers.emplace_back(conv);
+
+  TensorI input(Shape{1, 3, 3}, 7);  // code 7 = spikes at every step
+  const auto logits = qnet.forward(input);
+  std::int64_t best = logits[0];
+  for (const auto v : logits) best = std::max(best, v);
+  EXPECT_EQ(best, r.max_value);
+}
+
+TEST(AccumulatorSizing, LinearRange) {
+  quant::QLinear fc;
+  fc.in_features = 3;
+  fc.out_features = 2;
+  fc.weight = TensorI(Shape{2, 3}, std::vector<std::int32_t>{1, 2, 3, -1, -2, -3});
+  fc.bias = TensorI64(Shape{2});
+  fc.bias(0) = 10;
+  fc.bias(1) = -10;
+  const AccumulatorRange r = linear_accumulator_range(fc, 2);
+  EXPECT_EQ(r.max_value, 6 * 3 + 10);
+  EXPECT_EQ(r.min_value, -6 * 3 - 10);
+}
+
+TEST(AccumulatorSizing, PoolRangeIsWindowTimesRadixWeight) {
+  quant::QPool2d pool;
+  pool.kernel = 2;
+  pool.shift = 2;
+  const AccumulatorRange r = pool_accumulator_range(pool, 4);
+  EXPECT_EQ(r.min_value, 0);
+  EXPECT_EQ(r.max_value, 4 * 15);
+  EXPECT_EQ(r.required_bits, 7);  // [0, 60] needs 7 signed bits
+}
+
+TEST(AccumulatorSizing, NetworkRangesCoverAllLayers) {
+  Rng rng(1);
+  nn::Network net = small_random_net(rng);
+  const auto qnet = quant::quantize(net, quant::QuantizeConfig{3, 4});
+  const auto ranges = network_accumulator_ranges(qnet);
+  ASSERT_EQ(ranges.size(), qnet.layers.size());
+  EXPECT_GT(ranges[0].required_bits, 1);   // conv
+  EXPECT_GT(ranges[1].required_bits, 1);   // pool
+  EXPECT_EQ(ranges[2].required_bits, 1);   // flatten: no accumulator
+  EXPECT_GT(ranges[3].required_bits, 1);   // linear
+}
+
+TEST(AccumulatorSizing, CompilerOptInShrinksResourcesKeepsResults) {
+  Rng rng(2);
+  nn::Network net = small_random_net(rng);
+  const auto qnet = quant::quantize(net, quant::QuantizeConfig{3, 4});
+
+  compiler::CompileOptions loose, sized;
+  sized.size_accumulators = true;
+  const auto loose_design = compiler::compile(qnet, loose);
+  const auto sized_design = compiler::compile(qnet, sized);
+  EXPECT_LT(sized_design.config.conv.accumulator_bits,
+            loose_design.config.conv.accumulator_bits);
+
+  Accelerator a(loose_design.config, qnet), b(sized_design.config, qnet);
+  const ResourceEstimate ra = estimate_resources(a), rb = estimate_resources(b);
+  EXPECT_LT(rb.luts, ra.luts);
+
+  for (int trial = 0; trial < 5; ++trial) {
+    const TensorF image = random_image(Shape{1, 10, 10}, rng);
+    EXPECT_EQ(a.run_image(image).logits, b.run_image(image).logits);
+  }
+}
+
+TEST(AccumulatorSizing, GrowsWithTimeSteps) {
+  const auto conv = make_conv({3, 3, 3, 3}, 0);
+  int prev = 0;
+  for (const int T : {1, 2, 4, 8}) {
+    const int bits = conv_accumulator_range(conv, T).required_bits;
+    EXPECT_GT(bits, prev);
+    prev = bits;
+  }
+}
+
+}  // namespace
+}  // namespace rsnn::hw

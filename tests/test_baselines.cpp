@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+#include "baselines/fang2020.hpp"
+#include "baselines/ju2020.hpp"
+
+namespace rsnn::baselines {
+namespace {
+
+TEST(Fang2020, PublishedPointMatchesPaperTable3) {
+  const BaselineReport r = fang2020_published();
+  EXPECT_DOUBLE_EQ(r.latency_us, 7530.0);
+  EXPECT_DOUBLE_EQ(r.throughput_fps, 2124.0);
+  EXPECT_DOUBLE_EQ(r.power_w, 4.5);
+  EXPECT_EQ(r.luts, 156000);
+  EXPECT_EQ(r.flip_flops, 233000);
+  EXPECT_NEAR(r.accuracy_pct, 99.2, 1e-9);
+}
+
+TEST(Fang2020, ScalingIsIdentityAtReferencePoint) {
+  const BaselineReport ref = fang2020_published();
+  const BaselineReport scaled = fang2020_scaled(
+      BaselineWorkload{fang2020_reference_ops_per_step(), ref.time_steps});
+  EXPECT_NEAR(scaled.latency_us, ref.latency_us, 1e-6);
+  EXPECT_NEAR(scaled.throughput_fps, ref.throughput_fps, 1e-6);
+}
+
+TEST(Fang2020, LatencyScalesWithOpsAndSteps) {
+  const double ops = fang2020_reference_ops_per_step();
+  const BaselineReport doubled =
+      fang2020_scaled(BaselineWorkload{2 * ops, fang2020_published().time_steps});
+  EXPECT_NEAR(doubled.latency_us, 2 * 7530.0, 1e-6);
+  const BaselineReport half_steps = fang2020_scaled(BaselineWorkload{ops, 5});
+  EXPECT_NEAR(half_steps.latency_us, 7530.0 / 2, 1e-6);
+}
+
+TEST(Ju2020, PublishedPointMatchesPaperTable3) {
+  const BaselineReport r = ju2020_published();
+  EXPECT_DOUBLE_EQ(r.latency_us, 6110.0);
+  EXPECT_DOUBLE_EQ(r.throughput_fps, 164.0);
+  EXPECT_DOUBLE_EQ(r.power_w, 4.6);
+  EXPECT_EQ(r.luts, 107000);
+  EXPECT_NEAR(r.accuracy_pct, 98.9, 1e-9);
+}
+
+TEST(Ju2020, NonPipelinedThroughputIsInverseLatency) {
+  const BaselineReport scaled = ju2020_scaled(
+      BaselineWorkload{ju2020_reference_ops_per_step() / 2, 10});
+  EXPECT_NEAR(scaled.throughput_fps, 1e6 / scaled.latency_us, 1e-6);
+}
+
+TEST(Ju2020, RejectsBadWorkload) {
+  EXPECT_THROW((ju2020_scaled(BaselineWorkload{0.0, 4})),
+               rsnn::ContractViolation);
+  EXPECT_THROW((fang2020_scaled(BaselineWorkload{100.0, 0})),
+               rsnn::ContractViolation);
+}
+
+TEST(CrossCheck, PaperImprovementClaimsHold) {
+  // Paper abstract/Sec. IV-D: vs Fang et al. ~18x latency and ~25% power
+  // improvement; vs Ju et al. ~15x throughput. Our accelerator rows are
+  // produced by the simulator in bench/table3; here we sanity-check the
+  // baseline side of those ratios against the published "This work" row.
+  const BaselineReport fang = fang2020_published();
+  const BaselineReport ju = ju2020_published();
+  EXPECT_NEAR(fang.latency_us / 409.0, 18.0, 1.0);     // 18x latency
+  EXPECT_NEAR(fang.power_w / 3.6, 1.25, 0.01);         // 25% power
+  EXPECT_NEAR(2445.0 / ju.throughput_fps, 15.0, 0.15); // 15x throughput
+}
+
+}  // namespace
+}  // namespace rsnn::baselines

@@ -1,0 +1,193 @@
+// BatchNorm2d layer behaviour and the exact conversion-time folding pass.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/activation.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/flatten.hpp"
+#include "nn/linear.hpp"
+#include "nn/loss.hpp"
+#include "nn/network.hpp"
+#include "nn/optimizer.hpp"
+#include "quant/fold.hpp"
+#include "quant/quantize.hpp"
+#include "test_helpers.hpp"
+
+namespace rsnn::nn {
+namespace {
+
+using rsnn::testing::random_tensor;
+
+TEST(BatchNorm, NormalizesBatchStatistics) {
+  Rng rng(1);
+  BatchNorm2d bn(BatchNorm2dConfig{3});
+  const TensorF input = random_tensor(Shape{4, 3, 5, 5}, rng, -2.0, 5.0);
+  const TensorF out = bn.forward(input, /*training=*/true);
+
+  // Per-channel output mean ~0, variance ~1.
+  for (std::int64_t c = 0; c < 3; ++c) {
+    double sum = 0.0, sum_sq = 0.0;
+    std::int64_t count = 0;
+    for (std::int64_t n = 0; n < 4; ++n)
+      for (std::int64_t y = 0; y < 5; ++y)
+        for (std::int64_t x = 0; x < 5; ++x) {
+          sum += out(n, c, y, x);
+          sum_sq += static_cast<double>(out(n, c, y, x)) * out(n, c, y, x);
+          ++count;
+        }
+    const double mean = sum / count;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(sum_sq / count - mean * mean, 1.0, 1e-3);
+  }
+}
+
+TEST(BatchNorm, GammaBetaApply) {
+  BatchNorm2d bn(BatchNorm2dConfig{1});
+  bn.gamma().value(0) = 2.0f;
+  bn.beta().value(0) = 0.5f;
+  Rng rng(2);
+  const TensorF input = random_tensor(Shape{2, 1, 4, 4}, rng);
+  const TensorF out = bn.forward(input, true);
+  double sum = 0.0;
+  for (std::int64_t i = 0; i < out.numel(); ++i) sum += out.at_flat(i);
+  EXPECT_NEAR(sum / out.numel(), 0.5, 1e-4);  // beta shifts the mean
+}
+
+TEST(BatchNorm, InferenceUsesRunningStats) {
+  BatchNorm2d bn(BatchNorm2dConfig{1, 1e-5f, 1.0f});  // momentum 1: adopt batch
+  Rng rng(3);
+  const TensorF input = random_tensor(Shape{8, 1, 3, 3}, rng, 2.0, 4.0);
+  bn.forward(input, true);  // sets running stats to this batch's stats
+  const TensorF eval_out = bn.forward(input, false);
+  const TensorF train_out = bn.forward(input, true);
+  EXPECT_LT(max_abs_diff(eval_out, train_out), 1e-2);
+}
+
+TEST(BatchNorm, GradientCheck) {
+  Rng rng(4);
+  BatchNorm2d bn(BatchNorm2dConfig{2});
+  const TensorF input = random_tensor(Shape{3, 2, 4, 4}, rng, -1.0, 1.0);
+  const TensorF out = bn.forward(input, true);
+  const TensorF grad_input = bn.backward(out);  // loss = 0.5*sum(out^2)
+
+  const double eps = 1e-3;
+  Rng pick(5);
+  for (int trial = 0; trial < 8; ++trial) {
+    const std::int64_t i = static_cast<std::int64_t>(
+        pick.next_below(static_cast<std::uint64_t>(input.numel())));
+    TensorF plus = input, minus = input;
+    plus.at_flat(i) += static_cast<float>(eps);
+    minus.at_flat(i) -= static_cast<float>(eps);
+    auto loss_of = [&bn](const TensorF& x) {
+      BatchNorm2d copy = bn;  // stats evolve; use a copy per evaluation
+      const TensorF y = copy.forward(x, true);
+      double loss = 0.0;
+      for (std::int64_t k = 0; k < y.numel(); ++k)
+        loss += 0.5 * static_cast<double>(y.at_flat(k)) * y.at_flat(k);
+      return loss;
+    };
+    const double numeric = (loss_of(plus) - loss_of(minus)) / (2 * eps);
+    EXPECT_NEAR(grad_input.at_flat(i), numeric, 2e-2 * (1 + std::abs(numeric)));
+  }
+}
+
+TEST(BatchNormFold, FoldingPreservesInference) {
+  Rng rng(6);
+  Network net(Shape{1, 8, 8});
+  net.add<Conv2d>(Conv2dConfig{1, 4, 3});
+  auto& bn = net.add<BatchNorm2d>(BatchNorm2dConfig{4});
+  net.add<ClippedReLU>(ClippedReLUConfig{1.0f, 0});
+  net.add<Flatten>();
+  net.add<Linear>(LinearConfig{4 * 6 * 6, 3});
+  net.init_params(rng);
+
+  // Give the batch norm non-trivial learned statistics.
+  for (std::int64_t c = 0; c < 4; ++c) {
+    bn.gamma().value(c) = 0.5f + 0.3f * static_cast<float>(c);
+    bn.beta().value(c) = 0.1f * static_cast<float>(c) - 0.15f;
+  }
+  TensorF mean(Shape{4}), var(Shape{4});
+  for (std::int64_t c = 0; c < 4; ++c) {
+    mean(c) = 0.05f * static_cast<float>(c);
+    var(c) = 0.5f + 0.25f * static_cast<float>(c);
+  }
+  bn.set_running_stats(mean, var);
+
+  const TensorF input = random_tensor(Shape{2, 1, 8, 8}, rng, 0.0, 1.0);
+  const TensorF before = net.forward(input, false);
+
+  EXPECT_TRUE(quant::has_unfolded_batchnorm(net));
+  const int folded = quant::fold_batchnorm(net);
+  EXPECT_EQ(folded, 1);
+  EXPECT_FALSE(quant::has_unfolded_batchnorm(net));
+
+  const TensorF after = net.forward(input, false);
+  EXPECT_LT(max_abs_diff(before, after), 1e-4);
+
+  // Folding twice is a no-op.
+  EXPECT_EQ(quant::fold_batchnorm(net), 0);
+  const TensorF again = net.forward(input, false);
+  EXPECT_LT(max_abs_diff(after, again), 1e-7);
+}
+
+TEST(BatchNormFold, QuantizeRejectsUnfolded) {
+  Rng rng(7);
+  Network net(Shape{1, 8, 8});
+  net.add<Conv2d>(Conv2dConfig{1, 2, 3});
+  auto& bn = net.add<BatchNorm2d>(BatchNorm2dConfig{2});
+  net.add<ClippedReLU>(ClippedReLUConfig{1.0f, 0});
+  net.add<Flatten>();
+  net.add<Linear>(LinearConfig{2 * 6 * 6, 3});
+  net.init_params(rng);
+  bn.gamma().value(0) = 1.7f;  // clearly not identity
+
+  EXPECT_THROW(quant::quantize(net, quant::QuantizeConfig{3, 4}),
+               ContractViolation);
+  quant::fold_batchnorm(net);
+  EXPECT_NO_THROW(quant::quantize(net, quant::QuantizeConfig{3, 4}));
+}
+
+TEST(BatchNormFold, FoldedNetworkConvertsAndStaysConsistent) {
+  Rng rng(8);
+  Network net(Shape{1, 8, 8});
+  net.add<Conv2d>(Conv2dConfig{1, 3, 3});
+  auto& bn = net.add<BatchNorm2d>(BatchNorm2dConfig{3});
+  net.add<ClippedReLU>(ClippedReLUConfig{1.0f, 0});
+  net.add<Flatten>();
+  net.add<Linear>(LinearConfig{3 * 6 * 6, 4});
+  net.init_params(rng);
+  for (nn::Param* p : net.params())
+    for (std::int64_t i = 0; i < p->value.numel(); ++i)
+      p->value.at_flat(i) *= 0.5f;
+  TensorF var(Shape{3}, 0.8f);
+  bn.set_running_stats(TensorF(Shape{3}, 0.1f), var);
+
+  quant::fold_batchnorm(net);
+  const auto qnet = quant::quantize(net, quant::QuantizeConfig{8, 8});
+
+  // High-precision conversion should track the float (folded) network.
+  int agree = 0;
+  for (int trial = 0; trial < 15; ++trial) {
+    const TensorF image = rsnn::testing::random_image(Shape{1, 8, 8}, rng);
+    std::vector<std::int64_t> batched{1, 1, 8, 8};
+    const TensorF logits = net.forward(image.reshaped(Shape{batched}), false);
+    if (qnet.classify(quant::encode_activations(image, 8)) ==
+        static_cast<int>(logits.argmax()))
+      ++agree;
+  }
+  EXPECT_GE(agree, 13);
+}
+
+TEST(BatchNormFold, RejectsOrphanBatchNorm) {
+  Rng rng(9);
+  Network net(Shape{1, 8, 8});
+  net.add<BatchNorm2d>(BatchNorm2dConfig{1});
+  auto* bn = dynamic_cast<BatchNorm2d*>(&net.layer(0));
+  bn->gamma().value(0) = 2.0f;
+  EXPECT_THROW(quant::fold_batchnorm(net), ContractViolation);
+}
+
+}  // namespace
+}  // namespace rsnn::nn

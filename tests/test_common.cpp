@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/assert.hpp"
+#include "common/bits.hpp"
+#include "common/log.hpp"
+#include "common/rng.hpp"
+
+namespace rsnn {
+namespace {
+
+// ---------------------------------------------------------------- contracts
+
+TEST(Assert, RequireThrowsWithMessage) {
+  try {
+    RSNN_REQUIRE(1 == 2, "custom detail " << 42);
+    FAIL() << "should have thrown";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("custom detail 42"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
+  }
+}
+
+TEST(Assert, RequirePassesSilently) {
+  EXPECT_NO_THROW(RSNN_REQUIRE(2 + 2 == 4));
+}
+
+TEST(Assert, EnsureThrows) {
+  EXPECT_THROW(RSNN_ENSURE(false), ContractViolation);
+}
+
+// --------------------------------------------------------------------- bits
+
+TEST(Bits, BitWidth) {
+  EXPECT_EQ(bit_width(0), 0);
+  EXPECT_EQ(bit_width(1), 1);
+  EXPECT_EQ(bit_width(2), 2);
+  EXPECT_EQ(bit_width(255), 8);
+  EXPECT_EQ(bit_width(256), 9);
+}
+
+TEST(Bits, CeilLog2) {
+  EXPECT_EQ(ceil_log2(1), 0);
+  EXPECT_EQ(ceil_log2(2), 1);
+  EXPECT_EQ(ceil_log2(3), 2);
+  EXPECT_EQ(ceil_log2(8), 3);
+  EXPECT_EQ(ceil_log2(9), 4);
+}
+
+TEST(Bits, CeilDiv) {
+  EXPECT_EQ(ceil_div(0, 3), 0);
+  EXPECT_EQ(ceil_div(1, 3), 1);
+  EXPECT_EQ(ceil_div(3, 3), 1);
+  EXPECT_EQ(ceil_div(4, 3), 2);
+  EXPECT_THROW(ceil_div(1, 0), ContractViolation);
+  EXPECT_THROW(ceil_div(-1, 2), ContractViolation);
+}
+
+TEST(Bits, TestBit) {
+  EXPECT_TRUE(test_bit(0b1010, 1));
+  EXPECT_FALSE(test_bit(0b1010, 0));
+  EXPECT_TRUE(test_bit(0b1010, 3));
+}
+
+TEST(Bits, SaturateSigned) {
+  EXPECT_EQ(saturate_signed(100, 8), 100);
+  EXPECT_EQ(saturate_signed(200, 8), 127);
+  EXPECT_EQ(saturate_signed(-200, 8), -128);
+  EXPECT_EQ(saturate_signed(3, 3), 3);
+  EXPECT_EQ(saturate_signed(4, 3), 3);
+  EXPECT_EQ(saturate_signed(-5, 3), -4);
+}
+
+TEST(Bits, SaturateUnsigned) {
+  EXPECT_EQ(saturate_unsigned(5, 4), 5);
+  EXPECT_EQ(saturate_unsigned(16, 4), 15);
+  EXPECT_EQ(saturate_unsigned(-1, 4), 0);
+}
+
+// ---------------------------------------------------------------------- rng
+
+TEST(Rng, DeterministicGivenSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowInRangeAndCoversValues) {
+  Rng rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.next_below(10);
+    EXPECT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, NextIntInclusiveBounds) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int v = rng.next_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(11);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.next_double();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(13);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.next_gaussian();
+    sum += v;
+    sum_sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, BernoulliProbability) {
+  Rng rng(17);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.next_bool(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.02);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(19);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto copy = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, copy);
+}
+
+TEST(Rng, SplitStreamsAreIndependentlySeeded) {
+  Rng a(23);
+  Rng b = a.split();
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+// ---------------------------------------------------------------------- log
+
+TEST(Log, LevelFiltering) {
+  const LogLevel saved = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  RSNN_DEBUG("should be suppressed " << 1);
+  set_log_level(saved);
+}
+
+}  // namespace
+}  // namespace rsnn

@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "encoding/analysis.hpp"
+#include "encoding/radix.hpp"
+#include "encoding/rate.hpp"
+#include "encoding/spike_train.hpp"
+
+namespace rsnn::encoding {
+namespace {
+
+TEST(SpikeTrain, SetAndGet) {
+  SpikeTrain train(Shape{2, 2}, 3);
+  EXPECT_FALSE(train.spike(0, 0));
+  train.set_spike(1, 2, true);
+  EXPECT_TRUE(train.spike(1, 2));
+  EXPECT_EQ(train.total_spikes(), 1);
+  EXPECT_EQ(train.spike_count(2), 1);
+  train.set_spike(1, 2, false);
+  EXPECT_EQ(train.total_spikes(), 0);
+}
+
+TEST(SpikeTrain, BoundsChecked) {
+  SpikeTrain train(Shape{4}, 2);
+  EXPECT_THROW(train.spike(2, 0), ContractViolation);
+  EXPECT_THROW(train.spike(0, 4), ContractViolation);
+}
+
+// ------------------------------------------------------------------- radix
+
+TEST(Radix, MsbFirstOrder) {
+  // Code 0b100 (=4) at T=3 must spike only at t=0 (the MSB step).
+  TensorI codes(Shape{1});
+  codes.at_flat(0) = 4;
+  const SpikeTrain train = radix_encode_codes(codes, 3);
+  EXPECT_TRUE(train.spike(0, 0));
+  EXPECT_FALSE(train.spike(1, 0));
+  EXPECT_FALSE(train.spike(2, 0));
+}
+
+TEST(Radix, CodeRoundTripExhaustive) {
+  for (int T = 1; T <= 8; ++T) {
+    const std::int64_t levels = std::int64_t{1} << T;
+    TensorI codes(Shape{levels});
+    for (std::int64_t i = 0; i < levels; ++i)
+      codes.at_flat(i) = static_cast<std::int32_t>(i);
+    const SpikeTrain train = radix_encode_codes(codes, T);
+    const TensorI back = radix_decode_codes(train);
+    EXPECT_EQ(back, codes) << "T=" << T;
+  }
+}
+
+TEST(Radix, RejectsOutOfRangeCodes) {
+  TensorI codes(Shape{1});
+  codes.at_flat(0) = 8;
+  EXPECT_THROW(radix_encode_codes(codes, 3), ContractViolation);
+  codes.at_flat(0) = -1;
+  EXPECT_THROW(radix_encode_codes(codes, 3), ContractViolation);
+}
+
+TEST(Radix, FloatQuantizationIsFloor) {
+  TensorF values(Shape{3});
+  values.at_flat(0) = 0.0f;
+  values.at_flat(1) = 0.49f;  // floor(0.49 * 8) = 3
+  values.at_flat(2) = 0.99f;  // floor(0.99 * 8) = 7
+  const SpikeTrain train = radix_encode(values, 3);
+  const TensorI codes = radix_decode_codes(train);
+  EXPECT_EQ(codes.at_flat(0), 0);
+  EXPECT_EQ(codes.at_flat(1), 3);
+  EXPECT_EQ(codes.at_flat(2), 7);
+}
+
+TEST(Radix, RejectsValuesOutsideUnitInterval) {
+  TensorF values(Shape{1});
+  values.at_flat(0) = 1.0f;
+  EXPECT_THROW(radix_encode(values, 3), ContractViolation);
+  values.at_flat(0) = -0.1f;
+  EXPECT_THROW(radix_encode(values, 3), ContractViolation);
+}
+
+class RadixErrorSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RadixErrorSweep, ErrorBoundedByGridStep) {
+  const int T = GetParam();
+  Rng rng(42);
+  const TensorF values = uniform_test_values(2000, rng);
+  const EncodingErrorStats stats = radix_error(values, T);
+  EXPECT_LE(stats.max_abs_error, std::ldexp(1.0, -T) + 1e-9)
+      << "radix error must be < 2^-T";
+  EXPECT_LE(stats.mean_abs_error, std::ldexp(1.0, -T));
+}
+
+TEST_P(RadixErrorSweep, ErrorHalvesPerExtraStep) {
+  const int T = GetParam();
+  Rng rng(43);
+  const TensorF values = uniform_test_values(2000, rng);
+  const double err_T = radix_error(values, T).mean_abs_error;
+  const double err_T1 = radix_error(values, T + 1).mean_abs_error;
+  EXPECT_NEAR(err_T / err_T1, 2.0, 0.35);
+}
+
+INSTANTIATE_TEST_SUITE_P(TimeSteps, RadixErrorSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 8, 10));
+
+// -------------------------------------------------------------------- rate
+
+TEST(Rate, SpikeCountMatchesValue) {
+  TensorF values(Shape{3});
+  values.at_flat(0) = 0.0f;
+  values.at_flat(1) = 0.5f;
+  values.at_flat(2) = 1.0f;
+  const SpikeTrain train = rate_encode(values, 10);
+  EXPECT_EQ(train.spike_count(0), 0);
+  EXPECT_EQ(train.spike_count(1), 5);
+  EXPECT_EQ(train.spike_count(2), 10);
+}
+
+TEST(Rate, SpikesAreEvenlySpaced) {
+  TensorF values(Shape{1});
+  values.at_flat(0) = 0.5f;
+  const SpikeTrain train = rate_encode(values, 8);
+  // 4 spikes over 8 steps: no two adjacent pairs... verify max gap <= 2.
+  int last = -2, max_gap = 0;
+  for (int t = 0; t < 8; ++t) {
+    if (train.spike(t, 0)) {
+      if (last >= 0) max_gap = std::max(max_gap, t - last);
+      last = t;
+    }
+  }
+  EXPECT_LE(max_gap, 2);
+}
+
+TEST(Rate, DecodeIsCountOverT) {
+  TensorF values(Shape{5});
+  for (std::int64_t i = 0; i < 5; ++i)
+    values.at_flat(i) = static_cast<float>(i) / 5.0f;
+  const SpikeTrain train = rate_encode(values, 20);
+  const TensorF decoded = rate_decode(train);
+  for (std::int64_t i = 0; i < 5; ++i)
+    EXPECT_NEAR(decoded.at_flat(i), values.at_flat(i), 0.051f);
+}
+
+TEST(Rate, StochasticMeanConverges) {
+  Rng rng(7);
+  TensorF values(Shape{1});
+  values.at_flat(0) = 0.3f;
+  int total = 0;
+  const int trials = 200, T = 16;
+  for (int i = 0; i < trials; ++i) {
+    const SpikeTrain train = rate_encode_stochastic(values, T, rng);
+    total += train.spike_count(0);
+  }
+  EXPECT_NEAR(static_cast<double>(total) / (trials * T), 0.3, 0.03);
+}
+
+// ----------------------------------------------------- radix vs rate claim
+
+class EncodingComparison : public ::testing::TestWithParam<int> {};
+
+TEST_P(EncodingComparison, RadixBeatsRateAtEqualT) {
+  const int T = GetParam();
+  Rng rng(11);
+  const TensorF values = uniform_test_values(3000, rng);
+  const double radix = radix_error(values, T).rms_error;
+  const double rate = rate_error(values, T).rms_error;
+  // The paper's core claim: radix encoding achieves exponentially lower
+  // quantization error at the same spike-train length. (At T <= 2 the two
+  // grids coincide up to rounding mode, so the sweep starts at 3.)
+  EXPECT_LT(radix, rate);
+}
+
+INSTANTIATE_TEST_SUITE_P(TimeSteps, EncodingComparison,
+                         ::testing::Values(3, 4, 5, 6, 8));
+
+TEST(EncodingComparison, RateNeedsExponentiallyMoreSteps) {
+  Rng rng(13);
+  const TensorF values = uniform_test_values(3000, rng);
+  const double radix_t4 = radix_error(values, 4).rms_error;
+  // Find the T at which rate encoding matches radix at T=4.
+  int T = 4;
+  while (T < 4096 && rate_error(values, T).rms_error > radix_t4) T *= 2;
+  EXPECT_GE(T, 16) << "rate encoding should need far more than 4 steps";
+}
+
+}  // namespace
+}  // namespace rsnn::encoding

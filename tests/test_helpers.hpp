@@ -1,0 +1,79 @@
+// Shared fixtures for the test suite: small random networks and inputs.
+#pragma once
+
+#include "common/rng.hpp"
+#include "nn/activation.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/flatten.hpp"
+#include "nn/linear.hpp"
+#include "nn/network.hpp"
+#include "nn/pool2d.hpp"
+#include "quant/quantize.hpp"
+#include "tensor/tensor.hpp"
+
+namespace rsnn::testing {
+
+/// Random float image in [0, 1) with the given CHW shape.
+inline TensorF random_image(const Shape& shape, Rng& rng) {
+  TensorF image(shape);
+  for (std::int64_t i = 0; i < image.numel(); ++i)
+    image.at_flat(i) = static_cast<float>(rng.next_double() * 0.999);
+  return image;
+}
+
+/// Random batched tensor with values in [lo, hi).
+inline TensorF random_tensor(const Shape& shape, Rng& rng, double lo = -1.0,
+                             double hi = 1.0) {
+  TensorF t(shape);
+  for (std::int64_t i = 0; i < t.numel(); ++i)
+    t.at_flat(i) = static_cast<float>(rng.next_double(lo, hi));
+  return t;
+}
+
+/// A small conv->pool->fc network with randomized weights, convertible to a
+/// quantized radix SNN. Input [1, 10, 10], four classes.
+inline nn::Network small_random_net(Rng& rng) {
+  nn::Network net(Shape{1, 10, 10});
+  net.add<nn::Conv2d>(nn::Conv2dConfig{1, 3, 3, 1, 0});
+  net.add<nn::ClippedReLU>(nn::ClippedReLUConfig{1.0f, 0});
+  net.add<nn::Pool2d>(nn::Pool2dConfig{2});
+  net.add<nn::Flatten>();
+  net.add<nn::Linear>(nn::LinearConfig{3 * 4 * 4, 4});
+  net.init_params(rng);
+  // Shrink weights into a range where 3-bit quantization is meaningful and
+  // biases stay small.
+  for (nn::Param* p : net.params())
+    for (std::int64_t i = 0; i < p->value.numel(); ++i)
+      p->value.at_flat(i) *= 0.5f;
+  return net;
+}
+
+/// A conv network with configurable kernel/stride/padding for sweeps.
+/// Input [cin, size, size], one conv layer then (optionally) flatten+linear.
+struct SweepConfig {
+  std::int64_t cin = 2;
+  std::int64_t cout = 3;
+  std::int64_t size = 9;
+  std::int64_t kernel = 3;
+  std::int64_t stride = 1;
+  std::int64_t padding = 0;
+  int time_bits = 3;
+};
+
+inline nn::Network sweep_net(const SweepConfig& cfg, Rng& rng) {
+  nn::Network net(Shape{cfg.cin, cfg.size, cfg.size});
+  net.add<nn::Conv2d>(nn::Conv2dConfig{cfg.cin, cfg.cout, cfg.kernel,
+                                       cfg.stride, cfg.padding});
+  net.add<nn::ClippedReLU>(nn::ClippedReLUConfig{1.0f, 0});
+  const std::int64_t o =
+      (cfg.size + 2 * cfg.padding - cfg.kernel) / cfg.stride + 1;
+  net.add<nn::Flatten>();
+  net.add<nn::Linear>(nn::LinearConfig{cfg.cout * o * o, 5});
+  net.init_params(rng);
+  for (nn::Param* p : net.params())
+    for (std::int64_t i = 0; i < p->value.numel(); ++i)
+      p->value.at_flat(i) *= 0.5f;
+  return net;
+}
+
+}  // namespace rsnn::testing

@@ -1,0 +1,507 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "nn/activation.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/flatten.hpp"
+#include "nn/linear.hpp"
+#include "nn/loss.hpp"
+#include "nn/network.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/pool2d.hpp"
+#include "nn/serialize.hpp"
+#include "nn/trainer.hpp"
+#include "nn/zoo.hpp"
+#include "test_helpers.hpp"
+
+namespace rsnn::nn {
+namespace {
+
+using rsnn::testing::random_tensor;
+
+// Central-difference gradient check for one layer + quadratic loss.
+// Loss = 0.5 * sum(out^2) so dLoss/dout = out.
+void check_gradients(Layer& layer, const Shape& input_shape, Rng& rng,
+                     double tolerance = 2e-2) {
+  const TensorF input = random_tensor(input_shape, rng);
+  const TensorF out = layer.forward(input, /*training=*/true);
+  const TensorF grad_input = layer.backward(out);
+
+  auto loss_at = [&](const TensorF& x) {
+    const TensorF y = layer.forward(x, false);
+    double loss = 0.0;
+    for (std::int64_t i = 0; i < y.numel(); ++i)
+      loss += 0.5 * static_cast<double>(y.at_flat(i)) * y.at_flat(i);
+    return loss;
+  };
+
+  // Check a sample of input gradients.
+  const double eps = 1e-3;
+  Rng pick(99);
+  for (int trial = 0; trial < 8; ++trial) {
+    const std::int64_t i =
+        static_cast<std::int64_t>(pick.next_below(
+            static_cast<std::uint64_t>(input.numel())));
+    TensorF plus = input, minus = input;
+    plus.at_flat(i) += static_cast<float>(eps);
+    minus.at_flat(i) -= static_cast<float>(eps);
+    const double numeric = (loss_at(plus) - loss_at(minus)) / (2 * eps);
+    EXPECT_NEAR(grad_input.at_flat(i), numeric,
+                tolerance * (1.0 + std::abs(numeric)))
+        << "input grad at " << i;
+  }
+
+  // Check a sample of parameter gradients.
+  for (Param* p : layer.params()) {
+    for (int trial = 0; trial < 6; ++trial) {
+      const std::int64_t i = static_cast<std::int64_t>(
+          pick.next_below(static_cast<std::uint64_t>(p->value.numel())));
+      const float saved = p->value.at_flat(i);
+      p->value.at_flat(i) = saved + static_cast<float>(eps);
+      const double lp = loss_at(input);
+      p->value.at_flat(i) = saved - static_cast<float>(eps);
+      const double lm = loss_at(input);
+      p->value.at_flat(i) = saved;
+      const double numeric = (lp - lm) / (2 * eps);
+      EXPECT_NEAR(p->grad.at_flat(i), numeric,
+                  tolerance * (1.0 + std::abs(numeric)))
+          << p->name << " grad at " << i;
+    }
+  }
+}
+
+// ------------------------------------------------------------------- conv
+
+TEST(Conv2d, KnownValueForward) {
+  Conv2d conv(Conv2dConfig{1, 1, 2, 1, 0});
+  conv.weight().value(0, 0, 0, 0) = 1.0f;
+  conv.weight().value(0, 0, 0, 1) = 2.0f;
+  conv.weight().value(0, 0, 1, 0) = 3.0f;
+  conv.weight().value(0, 0, 1, 1) = 4.0f;
+  conv.bias().value(0) = 0.5f;
+
+  TensorF input(Shape{1, 1, 3, 3});
+  for (std::int64_t i = 0; i < 9; ++i) input.at_flat(i) = static_cast<float>(i);
+  const TensorF out = conv.forward(input, false);
+  ASSERT_EQ(out.shape(), Shape({1, 1, 2, 2}));
+  // window [[0,1],[3,4]] . [[1,2],[3,4]] = 0+2+9+16 = 27, + bias.
+  EXPECT_FLOAT_EQ(out(0, 0, 0, 0), 27.5f);
+  EXPECT_FLOAT_EQ(out(0, 0, 1, 1), 4 + 10 + 21 + 32 + 0.5f);
+}
+
+TEST(Conv2d, OutputShapeStridePadding) {
+  Conv2d conv(Conv2dConfig{3, 8, 3, 2, 1});
+  EXPECT_EQ(conv.output_shape(Shape{2, 3, 9, 9}), Shape({2, 8, 5, 5}));
+  EXPECT_THROW(conv.output_shape(Shape{2, 4, 9, 9}), ContractViolation);
+}
+
+TEST(Conv2d, GradientCheckNoPadding) {
+  Rng rng(1);
+  Conv2d conv(Conv2dConfig{2, 3, 3, 1, 0});
+  conv.init_params(rng);
+  check_gradients(conv, Shape{2, 2, 6, 6}, rng);
+}
+
+TEST(Conv2d, GradientCheckWithStrideAndPadding) {
+  Rng rng(2);
+  Conv2d conv(Conv2dConfig{2, 2, 3, 2, 1});
+  conv.init_params(rng);
+  check_gradients(conv, Shape{1, 2, 7, 7}, rng);
+}
+
+TEST(Conv2d, BackwardBeforeForwardThrows) {
+  Conv2d conv(Conv2dConfig{1, 1, 2});
+  EXPECT_THROW(conv.backward(TensorF(Shape{1, 1, 2, 2})), ContractViolation);
+}
+
+// ------------------------------------------------------------------- pool
+
+TEST(Pool2d, AverageKnownValues) {
+  Pool2d pool(Pool2dConfig{2});
+  TensorF input(Shape{1, 1, 2, 2});
+  input(0, 0, 0, 0) = 1.0f;
+  input(0, 0, 0, 1) = 2.0f;
+  input(0, 0, 1, 0) = 3.0f;
+  input(0, 0, 1, 1) = 4.0f;
+  const TensorF out = pool.forward(input, false);
+  EXPECT_FLOAT_EQ(out(0, 0, 0, 0), 2.5f);
+}
+
+TEST(Pool2d, MaxKnownValues) {
+  Pool2d pool(Pool2dConfig{2, 0, PoolKind::kMax});
+  TensorF input(Shape{1, 1, 2, 2});
+  input(0, 0, 1, 0) = 5.0f;
+  const TensorF out = pool.forward(input, false);
+  EXPECT_FLOAT_EQ(out(0, 0, 0, 0), 5.0f);
+}
+
+TEST(Pool2d, AvgGradientCheck) {
+  Rng rng(3);
+  Pool2d pool(Pool2dConfig{2});
+  check_gradients(pool, Shape{2, 3, 6, 6}, rng);
+}
+
+TEST(Pool2d, MaxBackwardRoutesToArgmax) {
+  Pool2d pool(Pool2dConfig{2, 0, PoolKind::kMax});
+  TensorF input(Shape{1, 1, 2, 2}, 0.0f);
+  input(0, 0, 1, 1) = 9.0f;
+  pool.forward(input, true);
+  TensorF grad(Shape{1, 1, 1, 1}, 1.0f);
+  const TensorF gi = pool.backward(grad);
+  EXPECT_FLOAT_EQ(gi(0, 0, 1, 1), 1.0f);
+  EXPECT_FLOAT_EQ(gi(0, 0, 0, 0), 0.0f);
+}
+
+// ----------------------------------------------------------------- linear
+
+TEST(Linear, KnownValueForward) {
+  Linear fc(LinearConfig{2, 2});
+  fc.weight().value(0, 0) = 1.0f;
+  fc.weight().value(0, 1) = 2.0f;
+  fc.weight().value(1, 0) = -1.0f;
+  fc.weight().value(1, 1) = 0.5f;
+  fc.bias().value(0) = 0.1f;
+  TensorF input(Shape{1, 2});
+  input(0, 0) = 3.0f;
+  input(0, 1) = 4.0f;
+  const TensorF out = fc.forward(input, false);
+  EXPECT_FLOAT_EQ(out(0, 0), 3 + 8 + 0.1f);
+  EXPECT_FLOAT_EQ(out(0, 1), -3 + 2);
+}
+
+TEST(Linear, GradientCheck) {
+  Rng rng(4);
+  Linear fc(LinearConfig{6, 4});
+  fc.init_params(rng);
+  check_gradients(fc, Shape{3, 6}, rng);
+}
+
+// ------------------------------------------------------------ activations
+
+TEST(ClippedReLU, ClipsBothSides) {
+  ClippedReLU act(ClippedReLUConfig{1.0f, 0});
+  TensorF input(Shape{1, 4});
+  input(0, 0) = -0.5f;
+  input(0, 1) = 0.25f;
+  input(0, 2) = 0.999f;
+  input(0, 3) = 3.0f;
+  const TensorF out = act.forward(input, false);
+  EXPECT_FLOAT_EQ(out(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(out(0, 1), 0.25f);
+  EXPECT_FLOAT_EQ(out(0, 3), 1.0f);
+}
+
+TEST(ClippedReLU, FakeQuantSnapsToGrid) {
+  ClippedReLU act(ClippedReLUConfig{1.0f, 3});  // 8 levels of 0.125
+  TensorF input(Shape{1, 3});
+  input(0, 0) = 0.3f;
+  input(0, 1) = 0.99f;
+  input(0, 2) = 0.125f;
+  const TensorF out = act.forward(input, false);
+  EXPECT_FLOAT_EQ(out(0, 0), 0.25f);   // floor(0.3 / 0.125) * 0.125
+  EXPECT_FLOAT_EQ(out(0, 1), 0.875f);  // clipped to top grid level
+  EXPECT_FLOAT_EQ(out(0, 2), 0.125f);
+}
+
+TEST(ClippedReLU, StraightThroughGradient) {
+  ClippedReLU act(ClippedReLUConfig{1.0f, 0});
+  TensorF input(Shape{1, 3});
+  input(0, 0) = -0.5f;
+  input(0, 1) = 0.5f;
+  input(0, 2) = 1.5f;
+  act.forward(input, true);
+  const TensorF gi = act.backward(TensorF(Shape{1, 3}, 1.0f));
+  EXPECT_FLOAT_EQ(gi(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(gi(0, 1), 1.0f);
+  EXPECT_FLOAT_EQ(gi(0, 2), 0.0f);
+}
+
+TEST(ReLUTest, ForwardBackward) {
+  ReLU act;
+  TensorF input(Shape{1, 2});
+  input(0, 0) = -1.0f;
+  input(0, 1) = 2.0f;
+  const TensorF out = act.forward(input, true);
+  EXPECT_FLOAT_EQ(out(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(out(0, 1), 2.0f);
+  const TensorF gi = act.backward(TensorF(Shape{1, 2}, 3.0f));
+  EXPECT_FLOAT_EQ(gi(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(gi(0, 1), 3.0f);
+}
+
+// ---------------------------------------------------------------- flatten
+
+TEST(Flatten, RoundTrip) {
+  Flatten flat;
+  TensorF input(Shape{2, 3, 4, 5});
+  const TensorF out = flat.forward(input, true);
+  EXPECT_EQ(out.shape(), Shape({2, 60}));
+  const TensorF back = flat.backward(out);
+  EXPECT_EQ(back.shape(), input.shape());
+}
+
+// ------------------------------------------------------------------- loss
+
+TEST(Loss, SoftmaxSumsToOne) {
+  Rng rng(5);
+  const TensorF logits = random_tensor(Shape{4, 7}, rng, -3, 3);
+  const TensorF probs = softmax(logits);
+  for (std::int64_t n = 0; n < 4; ++n) {
+    float sum = 0;
+    for (std::int64_t c = 0; c < 7; ++c) sum += probs(n, c);
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  }
+}
+
+TEST(Loss, CrossEntropyPerfectPrediction) {
+  TensorF logits(Shape{1, 3}, 0.0f);
+  logits(0, 1) = 50.0f;
+  const LossResult r = softmax_cross_entropy(logits, {1});
+  EXPECT_LT(r.loss, 1e-4f);
+  EXPECT_EQ(r.correct, 1);
+}
+
+TEST(Loss, GradientIsSoftmaxMinusOneHot) {
+  TensorF logits(Shape{1, 2}, 0.0f);  // softmax = [0.5, 0.5]
+  const LossResult r = softmax_cross_entropy(logits, {0});
+  EXPECT_NEAR(r.grad_logits(0, 0), -0.5f, 1e-5f);
+  EXPECT_NEAR(r.grad_logits(0, 1), 0.5f, 1e-5f);
+}
+
+TEST(Loss, NumericalGradientCheck) {
+  Rng rng(6);
+  TensorF logits = random_tensor(Shape{2, 5}, rng, -2, 2);
+  const std::vector<int> labels{3, 1};
+  const LossResult r = softmax_cross_entropy(logits, labels);
+  const double eps = 1e-3;
+  for (std::int64_t i = 0; i < logits.numel(); ++i) {
+    TensorF plus = logits, minus = logits;
+    plus.at_flat(i) += static_cast<float>(eps);
+    minus.at_flat(i) -= static_cast<float>(eps);
+    const double numeric =
+        (softmax_cross_entropy(plus, labels).loss -
+         softmax_cross_entropy(minus, labels).loss) /
+        (2 * eps);
+    EXPECT_NEAR(r.grad_logits.at_flat(i), numeric, 1e-3);
+  }
+}
+
+TEST(Loss, RejectsBadLabels) {
+  TensorF logits(Shape{1, 3}, 0.0f);
+  EXPECT_THROW(softmax_cross_entropy(logits, {5}), ContractViolation);
+  EXPECT_THROW(softmax_cross_entropy(logits, {0, 1}), ContractViolation);
+}
+
+// ------------------------------------------------------------- optimizers
+
+TEST(Optimizer, SgdDescendsQuadratic) {
+  Param p("w", Shape{1});
+  p.value.at_flat(0) = 5.0f;
+  Sgd sgd({&p}, SgdConfig{0.1f, 0.0f, 0.0f});
+  for (int i = 0; i < 100; ++i) {
+    p.zero_grad();
+    p.grad.at_flat(0) = p.value.at_flat(0);  // d/dw 0.5 w^2
+    sgd.step();
+  }
+  EXPECT_NEAR(p.value.at_flat(0), 0.0f, 1e-3f);
+}
+
+TEST(Optimizer, MomentumAcceleratesDescent) {
+  auto run = [](float momentum) {
+    Param p("w", Shape{1});
+    p.value.at_flat(0) = 5.0f;
+    Sgd sgd({&p}, SgdConfig{0.01f, momentum, 0.0f});
+    for (int i = 0; i < 50; ++i) {
+      p.zero_grad();
+      p.grad.at_flat(0) = p.value.at_flat(0);
+      sgd.step();
+    }
+    return std::abs(p.value.at_flat(0));
+  };
+  EXPECT_LT(run(0.9f), run(0.0f));
+}
+
+TEST(Optimizer, AdamDescendsQuadratic) {
+  Param p("w", Shape{1});
+  p.value.at_flat(0) = 5.0f;
+  Adam adam({&p}, AdamConfig{0.1f});
+  for (int i = 0; i < 300; ++i) {
+    p.zero_grad();
+    p.grad.at_flat(0) = p.value.at_flat(0);
+    adam.step();
+  }
+  EXPECT_NEAR(p.value.at_flat(0), 0.0f, 1e-2f);
+}
+
+TEST(Optimizer, WeightDecayShrinksWeights) {
+  Param p("w", Shape{1});
+  p.value.at_flat(0) = 1.0f;
+  Sgd sgd({&p}, SgdConfig{0.1f, 0.0f, 0.5f});
+  p.zero_grad();
+  sgd.step();  // grad 0, decay pulls toward 0
+  EXPECT_LT(p.value.at_flat(0), 1.0f);
+}
+
+// ---------------------------------------------------------------- network
+
+TEST(Network, SummaryAndShapes) {
+  Rng rng(7);
+  Network net = rsnn::testing::small_random_net(rng);
+  const auto shapes = net.layer_output_shapes();
+  ASSERT_EQ(shapes.size(), 5u);
+  EXPECT_EQ(shapes.back(), Shape({1, 4}));
+  EXPECT_NE(net.summary().find("Conv2d"), std::string::npos);
+}
+
+TEST(Network, EndToEndGradientDescentReducesLoss) {
+  Rng rng(8);
+  Network net = rsnn::testing::small_random_net(rng);
+  Sgd sgd(net.params(), SgdConfig{0.05f, 0.9f, 0.0f});
+
+  // Fixed batch of 8 random images with arbitrary labels: the net should be
+  // able to memorize it.
+  const TensorF batch = random_tensor(Shape{8, 1, 10, 10}, rng, 0.0, 0.999);
+  const std::vector<int> labels{0, 1, 2, 3, 0, 1, 2, 3};
+
+  float first_loss = 0, last_loss = 0;
+  for (int step = 0; step < 60; ++step) {
+    net.zero_grads();
+    const TensorF logits = net.forward(batch, true);
+    const LossResult r = softmax_cross_entropy(logits, labels);
+    net.backward(r.grad_logits);
+    sgd.step();
+    if (step == 0) first_loss = r.loss;
+    last_loss = r.loss;
+  }
+  EXPECT_LT(last_loss, first_loss * 0.5f);
+}
+
+// -------------------------------------------------------------------- zoo
+
+TEST(Zoo, LeNetShapes) {
+  Network net = make_lenet5();
+  const auto shapes = net.layer_output_shapes();
+  EXPECT_EQ(shapes.back(), Shape({1, 10}));
+  // 6C5 -> 28x28, P2 -> 14, 16C5 -> 10, P2 -> 5, 120C5 -> 1.
+  EXPECT_EQ(shapes[0], Shape({1, 6, 28, 28}));
+  EXPECT_EQ(shapes[2], Shape({1, 6, 14, 14}));
+  EXPECT_EQ(shapes[5], Shape({1, 16, 5, 5}));
+  EXPECT_EQ(shapes[6], Shape({1, 120, 1, 1}));
+}
+
+TEST(Zoo, FangCnnShapes) {
+  Network net = make_fang_cnn();
+  const auto shapes = net.layer_output_shapes();
+  EXPECT_EQ(shapes.back(), Shape({1, 10}));
+  EXPECT_EQ(shapes[0], Shape({1, 32, 26, 26}));
+  EXPECT_EQ(shapes[5], Shape({1, 32, 5, 5}));
+}
+
+TEST(Zoo, JuCnnShapes) {
+  Network net = make_ju_cnn();
+  const auto shapes = net.layer_output_shapes();
+  EXPECT_EQ(shapes.back(), Shape({1, 10}));
+  EXPECT_EQ(shapes[5], Shape({1, 64, 4, 4}));
+}
+
+TEST(Zoo, Vgg11HasPaperParameterCount) {
+  Network net = make_vgg11();
+  // Paper Sec. IV-A: "28.5 million parameters". Weights dominate; biases add
+  // a small remainder.
+  const double params = static_cast<double>(net.num_params());
+  EXPECT_NEAR(params / 1e6, 28.5, 0.2);
+  const auto shapes = net.layer_output_shapes();
+  EXPECT_EQ(shapes.back(), Shape({1, 100}));
+}
+
+TEST(Zoo, MakeModelByName) {
+  EXPECT_NO_THROW(make_model("lenet5"));
+  EXPECT_NO_THROW(make_model("tiny"));
+  EXPECT_THROW(make_model("resnet50"), ContractViolation);
+}
+
+// ---------------------------------------------------------------- trainer
+
+TEST(Trainer, LearnsSeparableToyProblem) {
+  // Two classes: images bright in the top half vs the bottom half.
+  Rng rng(10);
+  std::vector<TensorF> images;
+  std::vector<int> labels;
+  for (int i = 0; i < 60; ++i) {
+    TensorF img(Shape{1, 10, 10}, 0.05f);
+    const int cls = i % 2;
+    for (std::int64_t y = (cls == 0 ? 0 : 5); y < (cls == 0 ? 5 : 10); ++y)
+      for (std::int64_t x = 0; x < 10; ++x)
+        img(0, y, x) = 0.8f + 0.1f * static_cast<float>(rng.next_double());
+    images.push_back(img);
+    labels.push_back(cls);
+  }
+
+  Network net(Shape{1, 10, 10});
+  net.add<Flatten>();
+  net.add<Linear>(LinearConfig{100, 2});
+  net.init_params(rng);
+
+  Sgd sgd(net.params(), SgdConfig{0.1f, 0.9f, 0.0f});
+  Trainer trainer(net, sgd, TrainConfig{8, 16, 1.0f, true, nullptr});
+  const float acc = trainer.fit(images, labels, rng);
+  EXPECT_GT(acc, 0.95f);
+
+  const EvalResult eval = evaluate(net, images, labels);
+  EXPECT_GT(eval.accuracy, 0.95f);
+}
+
+TEST(Trainer, MakeBatchAssemblesInOrder) {
+  std::vector<TensorF> samples;
+  for (int i = 0; i < 3; ++i)
+    samples.push_back(TensorF(Shape{1, 2, 2}, static_cast<float>(i)));
+  const std::vector<std::size_t> order{2, 0, 1};
+  const TensorF batch = make_batch(samples, order, 0, 2);
+  EXPECT_EQ(batch.shape(), Shape({2, 1, 2, 2}));
+  EXPECT_FLOAT_EQ(batch(0, 0, 0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(batch(1, 0, 0, 0), 0.0f);
+}
+
+// -------------------------------------------------------------- serialize
+
+TEST(Serialize, RoundTripPreservesParams) {
+  Rng rng(11);
+  Network a = rsnn::testing::small_random_net(rng);
+  Network b = rsnn::testing::small_random_net(rng);  // different weights
+
+  const std::string path = ::testing::TempDir() + "/rsnn_params.bin";
+  save_params(a, path);
+  EXPECT_TRUE(is_param_file(path));
+  load_params(b, path);
+
+  const auto pa = a.params(), pb = b.params();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i)
+    EXPECT_EQ(pa[i]->value, pb[i]->value) << pa[i]->name;
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, RejectsArchitectureMismatch) {
+  Rng rng(12);
+  Network a = rsnn::testing::small_random_net(rng);
+  const std::string path = ::testing::TempDir() + "/rsnn_params2.bin";
+  save_params(a, path);
+
+  Network other(Shape{1, 8, 8});
+  other.add<Flatten>();
+  other.add<Linear>(LinearConfig{64, 2});
+  other.init_params(rng);
+  EXPECT_THROW(load_params(other, path), ContractViolation);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, MissingFileThrows) {
+  Rng rng(13);
+  Network net = rsnn::testing::small_random_net(rng);
+  EXPECT_THROW(load_params(net, "/nonexistent/rsnn.bin"), ContractViolation);
+  EXPECT_FALSE(is_param_file("/nonexistent/rsnn.bin"));
+}
+
+}  // namespace
+}  // namespace rsnn::nn

@@ -1,0 +1,131 @@
+// Per-channel weight quantization: resolution gains, hardware bit-exactness
+// and serialization of the per-channel requantizer shifts.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "encoding/radix.hpp"
+#include "hw/accelerator.hpp"
+#include "nn/conv2d.hpp"
+#include "quant/qserialize.hpp"
+#include "quant/quantize.hpp"
+#include "snn/radix_snn.hpp"
+#include "test_helpers.hpp"
+
+namespace rsnn::quant {
+namespace {
+
+using rsnn::testing::random_image;
+using rsnn::testing::small_random_net;
+
+TEST(PerChannel, ChannelsGetIndividualShifts) {
+  Rng rng(1);
+  nn::Network net = small_random_net(rng);
+  // Make channel 0's weights much larger than channel 1's so per-layer
+  // scaling would starve channel 1 of resolution.
+  auto* conv = dynamic_cast<nn::Conv2d*>(&net.layer(0));
+  ASSERT_NE(conv, nullptr);
+  for (std::int64_t i = 0; i < conv->weight().value.numel() / 3; ++i) {
+    conv->weight().value.at_flat(i) *= 4.0f;        // channel 0 big
+    conv->weight().value.at_flat(
+        i + conv->weight().value.numel() / 3) *= 0.1f;  // channel 1 tiny
+  }
+
+  QuantizeConfig cfg{3, 4, /*per_channel=*/true};
+  const QuantizedNetwork qnet = quantize(net, cfg);
+  const auto& qconv = std::get<QConv2d>(qnet.layers[0]);
+  ASSERT_EQ(qconv.channel_frac.numel(), 3);
+  EXPECT_LT(qconv.channel_frac.at_flat(0), qconv.channel_frac.at_flat(1))
+      << "larger weights need a smaller scale exponent";
+}
+
+TEST(PerChannel, ReconstructionNoWorseThanPerLayer) {
+  // Mean weight reconstruction error with per-channel scales must be <= the
+  // per-layer error (strictly better when channel magnitudes differ).
+  Rng rng(2);
+  nn::Network net = small_random_net(rng);
+  auto* conv = dynamic_cast<nn::Conv2d*>(&net.layer(0));
+  for (std::int64_t i = 0; i < conv->weight().value.numel() / 3; ++i)
+    conv->weight().value.at_flat(i) *= 5.0f;
+
+  const auto per_layer = quantize(net, QuantizeConfig{3, 4, false});
+  const auto per_channel = quantize(net, QuantizeConfig{3, 4, true});
+
+  auto reconstruction_error = [&](const QConv2d& q) {
+    double err = 0.0;
+    const std::int64_t per_ch = q.weight.numel() / q.out_channels;
+    for (std::int64_t c = 0; c < q.out_channels; ++c) {
+      const double step = std::ldexp(1.0, -q.frac_for(c));
+      for (std::int64_t i = 0; i < per_ch; ++i) {
+        const double w = conv->weight().value.at_flat(c * per_ch + i);
+        const double rec = q.weight.at_flat(c * per_ch + i) * step;
+        err += std::abs(w - rec);
+      }
+    }
+    return err;
+  };
+  EXPECT_LE(reconstruction_error(std::get<QConv2d>(per_channel.layers[0])),
+            reconstruction_error(std::get<QConv2d>(per_layer.layers[0])) + 1e-9);
+}
+
+TEST(PerChannel, AllSimulatorsStayBitExact) {
+  Rng rng(3);
+  nn::Network net = small_random_net(rng);
+  const auto qnet = quantize(net, QuantizeConfig{3, 4, true});
+
+  hw::AcceleratorConfig cfg;
+  cfg.num_conv_units = 2;
+  cfg.conv = hw::ConvUnitGeometry{16, 3, 24};
+  cfg.pool = hw::PoolUnitGeometry{8, 2, 16};
+  cfg.linear = hw::LinearUnitGeometry{4, 24};
+  hw::Accelerator accel(cfg, qnet);
+  const snn::RadixSnn functional(qnet);
+
+  for (int trial = 0; trial < 8; ++trial) {
+    const TensorF image = random_image(Shape{1, 10, 10}, rng);
+    const TensorI codes = encode_activations(image, 4);
+    const auto reference = qnet.forward(codes);
+    EXPECT_EQ(functional.run(encoding::radix_encode_codes(codes, 4)).logits,
+              reference);
+    const auto run = accel.run_codes(codes);
+    EXPECT_EQ(run.logits, reference);
+    EXPECT_EQ(run.total_cycles, accel.predict_total_cycles());
+  }
+}
+
+TEST(PerChannel, SerializationRoundTrips) {
+  Rng rng(4);
+  nn::Network net = small_random_net(rng);
+  const auto qnet = quantize(net, QuantizeConfig{3, 4, true});
+  const std::string path = ::testing::TempDir() + "/per_channel.qsnn";
+  save_quantized(qnet, path);
+  const auto loaded = load_quantized(path);
+
+  const auto& a = std::get<QConv2d>(qnet.layers[0]);
+  const auto& b = std::get<QConv2d>(loaded.layers[0]);
+  EXPECT_EQ(a.channel_frac, b.channel_frac);
+
+  const TensorF image = random_image(Shape{1, 10, 10}, rng);
+  const TensorI codes = encode_activations(image, 4);
+  EXPECT_EQ(loaded.forward(codes), qnet.forward(codes));
+  std::remove(path.c_str());
+}
+
+TEST(PerChannel, UniformWeightsMatchPerLayerExactly) {
+  // When all channels share the same magnitude profile, per-channel and
+  // per-layer quantization pick the same grid and the same integer outputs.
+  Rng rng(5);
+  nn::Network net = small_random_net(rng);
+  const auto a = quantize(net, QuantizeConfig{3, 4, false});
+  const auto b = quantize(net, QuantizeConfig{3, 4, true});
+  int agree = 0;
+  for (int trial = 0; trial < 10; ++trial) {
+    const TensorF image = random_image(Shape{1, 10, 10}, rng);
+    const TensorI codes = encode_activations(image, 4);
+    if (a.classify(codes) == b.classify(codes)) ++agree;
+  }
+  EXPECT_GE(agree, 9);
+}
+
+}  // namespace
+}  // namespace rsnn::quant

@@ -1,0 +1,169 @@
+// Quantization-aware training: the weight grid (nn/fake_quant) and its
+// integration into Conv2d/Linear forward/backward, plus the guarantee that
+// QAT training and post-training conversion share one grid definition.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/conv2d.hpp"
+#include "nn/fake_quant.hpp"
+#include "nn/linear.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/trainer.hpp"
+#include "nn/zoo.hpp"
+#include "quant/quantize.hpp"
+#include "test_helpers.hpp"
+
+namespace rsnn::nn {
+namespace {
+
+using rsnn::testing::random_tensor;
+
+TEST(FakeQuant, GridMatchesQuantModule) {
+  Rng rng(1);
+  const TensorF w = random_tensor(Shape{64}, rng, -0.9, 0.9);
+  for (const int bits : {2, 3, 4, 8}) {
+    EXPECT_EQ(choose_weight_frac_bits(w, bits),
+              quant::choose_frac_bits(w, bits));
+    const int f = choose_weight_frac_bits(w, bits);
+    EXPECT_EQ(quantize_weights_to_int(w, f, bits),
+              quant::quantize_weights(w, f, bits));
+  }
+}
+
+TEST(FakeQuant, ProjectionIsIdempotent) {
+  Rng rng(2);
+  const TensorF w = random_tensor(Shape{128}, rng, -0.7, 0.7);
+  const TensorF once = fake_quantize_weights(w, 3);
+  const TensorF twice = fake_quantize_weights(once, 3);
+  EXPECT_EQ(once, twice);
+}
+
+TEST(FakeQuant, ProjectionErrorBounded) {
+  Rng rng(3);
+  const TensorF w = random_tensor(Shape{256}, rng, -0.5, 0.5);
+  const int f = choose_weight_frac_bits(w, 3);
+  const double step = std::ldexp(1.0, -f);
+  const TensorF fq = fake_quantize_weights(w, 3);
+  EXPECT_LE(max_abs_diff(w, fq), step / 2 + 1e-9);
+}
+
+TEST(FakeQuant, AllZeroWeights) {
+  TensorF w(Shape{8}, 0.0f);
+  EXPECT_EQ(choose_weight_frac_bits(w, 3), 0);
+  const TensorF fq = fake_quantize_weights(w, 3);
+  EXPECT_EQ(fq, w);
+}
+
+TEST(QatConv, ForwardUsesQuantizedWeights) {
+  Conv2d conv(Conv2dConfig{1, 1, 1, 1, 0, /*bias=*/false, /*wq_bits=*/3});
+  conv.weight().value(0, 0, 0, 0) = 0.30f;  // grid at f=3: step 0.125 -> 0.25
+  TensorF input(Shape{1, 1, 1, 1}, 1.0f);
+  const TensorF out = conv.forward(input, false);
+  const float expected =
+      fake_quantize_weights(conv.weight().value, 3).at_flat(0);
+  EXPECT_FLOAT_EQ(out(0, 0, 0, 0), expected);
+  EXPECT_NE(out(0, 0, 0, 0), 0.30f);
+}
+
+TEST(QatConv, FloatModeUntouched) {
+  Conv2d conv(Conv2dConfig{1, 1, 1, 1, 0, false, 0});
+  conv.weight().value(0, 0, 0, 0) = 0.30f;
+  TensorF input(Shape{1, 1, 1, 1}, 1.0f);
+  EXPECT_FLOAT_EQ(conv.forward(input, false)(0, 0, 0, 0), 0.30f);
+}
+
+TEST(QatLinear, ForwardUsesQuantizedWeights) {
+  Linear fc(LinearConfig{1, 1, /*bias=*/false, /*wq_bits=*/3});
+  fc.weight().value(0, 0) = 0.30f;
+  TensorF input(Shape{1, 1}, 1.0f);
+  const float expected = fake_quantize_weights(fc.weight().value, 3).at_flat(0);
+  EXPECT_FLOAT_EQ(fc.forward(input, false)(0, 0), expected);
+}
+
+TEST(QatLinear, GradientFlowsToLatentWeights) {
+  // The weight gradient must be nonzero even when the projected weight is
+  // pinned to a grid point (straight-through estimator).
+  Rng rng(4);
+  Linear fc(LinearConfig{4, 2, true, 3});
+  fc.init_params(rng);
+  const TensorF input = random_tensor(Shape{2, 4}, rng, 0.0, 1.0);
+  const TensorF out = fc.forward(input, true);
+  fc.backward(TensorF(out.shape(), 1.0f));
+  double grad_norm = 0.0;
+  for (std::int64_t i = 0; i < fc.weight().grad.numel(); ++i)
+    grad_norm += std::abs(fc.weight().grad.at_flat(i));
+  EXPECT_GT(grad_norm, 0.0);
+}
+
+TEST(QatTraining, ConvergesAndConvertsLosslessly) {
+  // Train a small QAT classifier to separate two patterns, then check that
+  // conversion at the same bit widths does not change a single prediction.
+  Rng rng(5);
+  nn::Network net(Shape{1, 6, 6});
+  net.add<Conv2d>(Conv2dConfig{1, 2, 3, 1, 0, true, 3});
+  net.add<ClippedReLU>(ClippedReLUConfig{1.0f, 4});
+  net.add<Flatten>();
+  net.add<Linear>(LinearConfig{2 * 4 * 4, 2, true, 3});
+  net.init_params(rng);
+
+  std::vector<TensorF> images;
+  std::vector<int> labels;
+  for (int i = 0; i < 40; ++i) {
+    TensorF img(Shape{1, 6, 6}, 0.05f);
+    const int cls = i % 2;
+    for (std::int64_t y = 0; y < 6; ++y)
+      img(0, y, cls == 0 ? 1 : 4) = 0.9f;
+    for (std::int64_t k = 0; k < img.numel(); ++k)
+      img.at_flat(k) = std::clamp(
+          img.at_flat(k) + 0.02f * static_cast<float>(rng.next_gaussian()),
+          0.0f, 0.999f);
+    images.push_back(img);
+    labels.push_back(cls);
+  }
+
+  Adam adam(net.params(), AdamConfig{0.02f});
+  for (int step = 0; step < 80; ++step) {
+    std::vector<std::size_t> order(images.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    const TensorF batch = make_batch(images, order, 0, images.size());
+    net.zero_grads();
+    const TensorF logits = net.forward(batch, true);
+    const LossResult loss = softmax_cross_entropy(logits, labels);
+    net.backward(loss.grad_logits);
+    adam.step();
+  }
+  const EvalResult eval = evaluate(net, images, labels);
+  ASSERT_GT(eval.accuracy, 0.95f);
+
+  const auto qnet = quant::quantize(net, quant::QuantizeConfig{3, 4});
+  int agree = 0;
+  for (std::size_t i = 0; i < images.size(); ++i) {
+    std::vector<std::size_t> one{i};
+    const TensorF batch = make_batch(images, one, 0, 1);
+    const TensorF logits = net.forward(batch, false);
+    const int ann_class = static_cast<int>(logits.argmax());
+    const int snn_class =
+        qnet.classify(quant::encode_activations(images[i], 4));
+    if (ann_class == snn_class) ++agree;
+  }
+  // Activation rounding may flip borderline samples, but QAT must keep the
+  // two models essentially identical.
+  EXPECT_GE(agree, static_cast<int>(images.size()) - 1);
+}
+
+TEST(QatZoo, OptionsPropagate) {
+  ZooOptions zoo;
+  zoo.weight_qat_bits = 3;
+  Network net = make_lenet5(zoo);
+  auto* conv = dynamic_cast<Conv2d*>(&net.layer(0));
+  ASSERT_NE(conv, nullptr);
+  EXPECT_EQ(conv->config().weight_quant_bits, 3);
+  auto* fc = dynamic_cast<Linear*>(&net.layer(9));  // after Flatten at [8]
+  ASSERT_NE(fc, nullptr);
+  EXPECT_EQ(fc->config().weight_quant_bits, 3);
+}
+
+}  // namespace
+}  // namespace rsnn::nn

@@ -1,0 +1,158 @@
+// RTL generator: structural well-formedness of the emitted SystemVerilog
+// and consistency between the bundle and the design configuration.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "quant/quantize.hpp"
+#include "rtl/generate.hpp"
+#include "test_helpers.hpp"
+
+namespace rsnn::rtl {
+namespace {
+
+hw::AcceleratorConfig test_config() {
+  hw::AcceleratorConfig cfg = hw::lenet_reference_config();
+  cfg.num_conv_units = 2;
+  return cfg;
+}
+
+int count_occurrences(const std::string& text, const std::string& needle) {
+  int count = 0;
+  for (std::size_t pos = text.find(needle); pos != std::string::npos;
+       pos = text.find(needle, pos + needle.size()))
+    ++count;
+  return count;
+}
+
+bool is_ident(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_';
+}
+
+/// Whole-token occurrences (so "end" does not match "addend"/"endmodule").
+int count_token(const std::string& text, const std::string& token) {
+  int count = 0;
+  for (std::size_t pos = text.find(token); pos != std::string::npos;
+       pos = text.find(token, pos + token.size())) {
+    const bool left_ok = pos == 0 || !is_ident(text[pos - 1]);
+    const bool right_ok =
+        pos + token.size() >= text.size() || !is_ident(text[pos + token.size()]);
+    if (left_ok && right_ok) ++count;
+  }
+  return count;
+}
+
+TEST(RtlGenerate, BundleContainsAllModules) {
+  const SourceBundle bundle = generate_design(test_config(), GenerateOptions{});
+  EXPECT_TRUE(bundle.count("rsnn_pkg.sv"));
+  EXPECT_TRUE(bundle.count("conv_unit.sv"));
+  EXPECT_TRUE(bundle.count("pool_unit.sv"));
+  EXPECT_TRUE(bundle.count("linear_unit.sv"));
+  EXPECT_TRUE(bundle.count("output_logic.sv"));
+  EXPECT_TRUE(bundle.count("pingpong_buffer.sv"));
+  EXPECT_TRUE(bundle.count("rsnn_accel.sv"));
+  EXPECT_TRUE(bundle.count("rsnn_accel.f"));
+}
+
+TEST(RtlGenerate, PackageReflectsGeometry) {
+  hw::AcceleratorConfig cfg = test_config();
+  cfg.conv.array_columns = 30;
+  cfg.conv.kernel_rows = 5;
+  cfg.linear.lanes = 16;
+  GenerateOptions options;
+  options.time_steps = 6;
+  options.weight_bits = 3;
+  const SourceBundle bundle = generate_design(cfg, options);
+  const std::string& pkg = bundle.at("rsnn_pkg.sv");
+  EXPECT_NE(pkg.find("CONV_COLS      = 30"), std::string::npos);
+  EXPECT_NE(pkg.find("CONV_ROWS      = 5"), std::string::npos);
+  EXPECT_NE(pkg.find("FC_LANES       = 16"), std::string::npos);
+  EXPECT_NE(pkg.find("TIME_STEPS     = 6"), std::string::npos);
+  EXPECT_NE(pkg.find("WEIGHT_W       = 3"), std::string::npos);
+}
+
+TEST(RtlGenerate, ModulesAreStructurallyBalanced) {
+  const SourceBundle bundle = generate_design(test_config(), GenerateOptions{});
+  for (const auto& [name, text] : bundle) {
+    if (name.size() < 3 || name.substr(name.size() - 3) != ".sv") continue;
+    // Every module closes and begins match ends.
+    if (name == "rsnn_pkg.sv") {
+      EXPECT_NE(text.find("endpackage"), std::string::npos) << name;
+      continue;
+    }
+    EXPECT_EQ(count_token(text, "module"), count_token(text, "endmodule"))
+        << name;
+    EXPECT_EQ(count_token(text, "begin"), count_token(text, "end"))
+        << name << ": begin/end imbalance";
+    EXPECT_NE(text.find("`default_nettype none"), std::string::npos) << name;
+  }
+}
+
+TEST(RtlGenerate, TopInstantiatesEveryConvUnit) {
+  hw::AcceleratorConfig cfg = test_config();
+  cfg.num_conv_units = 4;
+  const SourceBundle bundle = generate_design(cfg, GenerateOptions{});
+  const std::string& top = bundle.at("rsnn_accel.sv");
+  EXPECT_EQ(count_occurrences(top, "conv_unit #("), 4);
+  EXPECT_EQ(count_occurrences(top, "pool_unit #("), 1);
+  EXPECT_EQ(count_occurrences(top, "linear_unit #("), 1);
+  EXPECT_EQ(count_occurrences(top, "pingpong_buffer #("), 2);
+}
+
+TEST(RtlGenerate, WeightMemFilesMatchLayers) {
+  Rng rng(1);
+  nn::Network net = rsnn::testing::small_random_net(rng);
+  const auto qnet = quant::quantize(net, quant::QuantizeConfig{3, 4});
+  const SourceBundle bundle =
+      generate_design_with_weights(test_config(), qnet, "accel");
+  EXPECT_TRUE(bundle.count("weights_layer0_conv.mem"));
+  EXPECT_TRUE(bundle.count("weights_layer3_fc.mem"));
+
+  // One hex word per weight.
+  const auto& conv = std::get<quant::QConv2d>(qnet.layers[0]);
+  const std::string& mem = bundle.at("weights_layer0_conv.mem");
+  EXPECT_EQ(count_occurrences(mem, "\n"),
+            static_cast<int>(conv.weight.numel()));
+}
+
+TEST(RtlGenerate, WeightEncodingIsTwosComplement) {
+  Rng rng(2);
+  nn::Network net = rsnn::testing::small_random_net(rng);
+  auto qnet = quant::quantize(net, quant::QuantizeConfig{3, 4});
+  auto& conv = std::get<quant::QConv2d>(qnet.layers[0]);
+  conv.weight.at_flat(0) = -1;  // 3-bit two's complement: 0x7
+  conv.weight.at_flat(1) = 3;   // 0x3
+  const SourceBundle bundle =
+      generate_design_with_weights(test_config(), qnet, "accel");
+  const std::string& mem = bundle.at("weights_layer0_conv.mem");
+  EXPECT_EQ(mem.substr(0, 2), "7\n");
+  EXPECT_EQ(mem.substr(2, 2), "3\n");
+}
+
+TEST(RtlGenerate, WriteBundleRoundTrips) {
+  const std::string dir = ::testing::TempDir() + "/rsnn_rtl_out";
+  const SourceBundle bundle = generate_design(test_config(), GenerateOptions{});
+  const int written = write_bundle(bundle, dir);
+  EXPECT_EQ(written, static_cast<int>(bundle.size()));
+
+  std::ifstream is(dir + "/conv_unit.sv");
+  ASSERT_TRUE(is.good());
+  std::string contents((std::istreambuf_iterator<char>(is)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_EQ(contents, bundle.at("conv_unit.sv"));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(RtlGenerate, RejectsBadOptions) {
+  GenerateOptions bad;
+  bad.time_steps = 0;
+  EXPECT_THROW(generate_design(test_config(), bad), ContractViolation);
+  bad.time_steps = 4;
+  bad.weight_bits = 1;
+  EXPECT_THROW(generate_design(test_config(), bad), ContractViolation);
+}
+
+}  // namespace
+}  // namespace rsnn::rtl

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "encoding/radix.hpp"
+#include "quant/quantize.hpp"
+#include "snn/radix_snn.hpp"
+#include "snn/rate_snn.hpp"
+#include "test_helpers.hpp"
+
+namespace rsnn::snn {
+namespace {
+
+using rsnn::testing::random_image;
+using rsnn::testing::small_random_net;
+using rsnn::testing::SweepConfig;
+using rsnn::testing::sweep_net;
+
+// ----------------------- invariant 1: radix SNN == quantized integer model
+
+TEST(RadixSnn, MatchesQuantizedNetworkLogitsExactly) {
+  Rng rng(1);
+  nn::Network net = small_random_net(rng);
+  const quant::QuantizedNetwork qnet = quantize(net, quant::QuantizeConfig{3, 4});
+  const RadixSnn snn(qnet);
+
+  for (int trial = 0; trial < 20; ++trial) {
+    const TensorF image = random_image(Shape{1, 10, 10}, rng);
+    const TensorI codes = quant::encode_activations(image, 4);
+    const auto expected = qnet.forward(codes);
+    const RadixSnnResult got = snn.run_image(image);
+    EXPECT_EQ(got.logits, expected) << "trial " << trial;
+  }
+}
+
+struct SweepCase {
+  SweepConfig cfg;
+  const char* label;
+};
+
+class RadixSnnSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(RadixSnnSweep, BitExactAcrossGeometries) {
+  const SweepConfig& cfg = GetParam().cfg;
+  Rng rng(7 + cfg.kernel * 31 + cfg.stride * 17 + cfg.padding * 5 +
+          cfg.time_bits);
+  nn::Network net = sweep_net(cfg, rng);
+  const quant::QuantizedNetwork qnet =
+      quantize(net, quant::QuantizeConfig{3, cfg.time_bits});
+  const RadixSnn snn(qnet);
+
+  for (int trial = 0; trial < 5; ++trial) {
+    const TensorF image = random_image(Shape{cfg.cin, cfg.size, cfg.size}, rng);
+    const TensorI codes = quant::encode_activations(image, cfg.time_bits);
+    EXPECT_EQ(snn.run_image(image).logits, qnet.forward(codes))
+        << GetParam().label;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, RadixSnnSweep,
+    ::testing::Values(
+        SweepCase{{1, 2, 8, 3, 1, 0, 3}, "k3s1p0"},
+        SweepCase{{2, 3, 9, 3, 1, 1, 3}, "k3s1p1"},
+        SweepCase{{2, 3, 9, 3, 2, 0, 3}, "k3s2p0"},
+        SweepCase{{1, 4, 11, 5, 1, 0, 4}, "k5s1p0"},
+        SweepCase{{2, 2, 11, 5, 2, 2, 4}, "k5s2p2"},
+        SweepCase{{3, 3, 8, 1, 1, 0, 3}, "k1s1p0"},
+        SweepCase{{1, 2, 8, 3, 1, 0, 1}, "T1"},
+        SweepCase{{1, 2, 8, 3, 1, 0, 6}, "T6"},
+        SweepCase{{1, 2, 8, 3, 1, 0, 8}, "T8"}),
+    [](const ::testing::TestParamInfo<SweepCase>& info) {
+      return info.param.label;
+    });
+
+TEST(RadixSnn, RecordsLayerSpikes) {
+  Rng rng(2);
+  nn::Network net = small_random_net(rng);
+  const quant::QuantizedNetwork qnet = quantize(net, quant::QuantizeConfig{3, 4});
+  const RadixSnn snn(qnet);
+  const TensorF image = random_image(Shape{1, 10, 10}, rng);
+  const RadixSnnResult result = snn.run_image(image, true);
+  // conv, pool, flatten produce recorded trains (final layer emits logits).
+  EXPECT_EQ(result.layer_spikes.size(), 3u);
+  EXPECT_GT(result.total_synaptic_ops, 0);
+  EXPECT_GT(result.total_input_spikes, 0);
+}
+
+TEST(RadixSnn, RejectsWrongTimeSteps) {
+  Rng rng(3);
+  nn::Network net = small_random_net(rng);
+  const quant::QuantizedNetwork qnet = quantize(net, quant::QuantizeConfig{3, 4});
+  const RadixSnn snn(qnet);
+  const TensorF image = random_image(Shape{1, 10, 10}, rng);
+  const auto train = encoding::radix_encode(image, 3);  // wrong T
+  EXPECT_THROW(snn.run(train), ContractViolation);
+}
+
+TEST(RadixSnn, SpikeCountDrivesSynapticOps) {
+  // All-zero input: no spikes, no synaptic ops, logits = biases only.
+  Rng rng(4);
+  nn::Network net = small_random_net(rng);
+  const quant::QuantizedNetwork qnet = quantize(net, quant::QuantizeConfig{3, 4});
+  const RadixSnn snn(qnet);
+  const TensorF image(Shape{1, 10, 10}, 0.0f);
+  const RadixSnnResult result = snn.run_image(image);
+  EXPECT_EQ(result.total_input_spikes, 0);
+}
+
+// --------------------------------------------------------------- rate SNN
+
+TEST(RateSnn, ConvergesToAnnWithManySteps) {
+  Rng rng(5);
+  nn::Network net = small_random_net(rng);
+  const RateSnn snn_long(net, RateSnnConfig{256, 1.0f});
+
+  int agree = 0;
+  const int trials = 15;
+  for (int i = 0; i < trials; ++i) {
+    const TensorF image = random_image(Shape{1, 10, 10}, rng);
+    std::vector<std::int64_t> batch_dims{1};
+    for (const auto d : image.shape().dims()) batch_dims.push_back(d);
+    const TensorF logits = net.forward(image.reshaped(Shape{batch_dims}), false);
+    if (snn_long.run_image(image).predicted_class ==
+        static_cast<int>(logits.argmax()))
+      ++agree;
+  }
+  EXPECT_GE(agree, trials - 3);
+}
+
+TEST(RateSnn, ShortTrainsAreLessFaithful) {
+  // Mean logits error vs the float ANN should shrink as T grows — the
+  // motivation for radix encoding (paper Sec. I).
+  Rng rng(6);
+  nn::Network net = small_random_net(rng);
+  auto mean_err = [&](int T) {
+    const RateSnn snn(net, RateSnnConfig{T, 1.0f});
+    double err = 0.0;
+    Rng local(7);
+    for (int i = 0; i < 10; ++i) {
+      const TensorF image = random_image(Shape{1, 10, 10}, local);
+      std::vector<std::int64_t> batch_dims{1};
+      for (const auto d : image.shape().dims()) batch_dims.push_back(d);
+      const TensorF logits =
+          net.forward(image.reshaped(Shape{batch_dims}), false);
+      const RateSnnResult r = snn.run_image(image);
+      for (std::size_t c = 0; c < r.logits.size(); ++c)
+        err += std::abs(r.logits[c] -
+                        logits(std::int64_t{0}, static_cast<std::int64_t>(c)));
+    }
+    return err;
+  };
+  EXPECT_GT(mean_err(2), mean_err(64));
+}
+
+TEST(RateSnn, CountsSpikes) {
+  Rng rng(8);
+  nn::Network net = small_random_net(rng);
+  const RateSnn snn(net, RateSnnConfig{8, 1.0f});
+  const TensorF image = random_image(Shape{1, 10, 10}, rng);
+  EXPECT_GT(snn.run_image(image).total_spikes, 0);
+}
+
+TEST(RateSnn, RejectsBadConfig) {
+  Rng rng(9);
+  nn::Network net = small_random_net(rng);
+  EXPECT_THROW(RateSnn(net, RateSnnConfig{0, 1.0f}), ContractViolation);
+  EXPECT_THROW(RateSnn(net, RateSnnConfig{8, 0.0f}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace rsnn::snn

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+#include "tensor/tensor.hpp"
+
+namespace rsnn {
+namespace {
+
+TEST(Shape, BasicProperties) {
+  const Shape s{2, 3, 4};
+  EXPECT_EQ(s.rank(), 3);
+  EXPECT_EQ(s.numel(), 24);
+  EXPECT_EQ(s.dim(0), 2);
+  EXPECT_EQ(s[2], 4);
+  EXPECT_EQ(s.to_string(), "[2, 3, 4]");
+}
+
+TEST(Shape, Strides) {
+  const Shape s{2, 3, 4};
+  const auto strides = s.strides();
+  ASSERT_EQ(strides.size(), 3u);
+  EXPECT_EQ(strides[0], 12);
+  EXPECT_EQ(strides[1], 4);
+  EXPECT_EQ(strides[2], 1);
+}
+
+TEST(Shape, EqualityAndEmpty) {
+  EXPECT_EQ(Shape({1, 2}), Shape({1, 2}));
+  EXPECT_NE(Shape({1, 2}), Shape({2, 1}));
+  EXPECT_EQ(Shape{}.rank(), 0);
+  EXPECT_EQ(Shape{}.numel(), 1);
+}
+
+TEST(Shape, RejectsNegativeDims) {
+  EXPECT_THROW(Shape({2, -1}), ContractViolation);
+  EXPECT_THROW(Shape({2, 3}).dim(5), ContractViolation);
+}
+
+TEST(Tensor, IndexingRowMajor) {
+  TensorI t(Shape{2, 3});
+  int v = 0;
+  for (std::int64_t i = 0; i < 2; ++i)
+    for (std::int64_t j = 0; j < 3; ++j) t(i, j) = v++;
+  EXPECT_EQ(t.at_flat(0), 0);
+  EXPECT_EQ(t.at_flat(4), 4);  // (1,1)
+  EXPECT_EQ(t(1, 2), 5);
+}
+
+TEST(Tensor, BoundsChecked) {
+  TensorI t(Shape{2, 2});
+  EXPECT_THROW(t(2, 0), ContractViolation);
+  EXPECT_THROW(t(0, -1), ContractViolation);
+  EXPECT_THROW(t.at_flat(4), ContractViolation);
+}
+
+TEST(Tensor, ArityChecked) {
+  TensorI t(Shape{2, 2});
+  EXPECT_THROW(t(std::int64_t{1}), ContractViolation);
+}
+
+TEST(Tensor, FillAndSum) {
+  TensorF t(Shape{3, 3}, 2.0f);
+  EXPECT_FLOAT_EQ(t.sum(), 18.0f);
+  t.fill(0.5f);
+  EXPECT_FLOAT_EQ(t.sum(), 4.5f);
+}
+
+TEST(Tensor, Reshape) {
+  TensorI t(Shape{2, 6});
+  for (std::int64_t i = 0; i < 12; ++i) t.at_flat(i) = static_cast<int>(i);
+  const TensorI r = t.reshaped(Shape{3, 4});
+  EXPECT_EQ(r(2, 3), 11);
+  EXPECT_THROW(t.reshaped(Shape{5, 5}), ContractViolation);
+}
+
+TEST(Tensor, Cast) {
+  TensorF t(Shape{2}, 1.7f);
+  const TensorI i = t.cast<std::int32_t>();
+  EXPECT_EQ(i.at_flat(0), 1);
+}
+
+TEST(Tensor, MapAndZip) {
+  TensorF a(Shape{3}, 2.0f), b(Shape{3}, 3.0f);
+  const TensorF doubled = a.map([](float x) { return 2 * x; });
+  EXPECT_FLOAT_EQ(doubled.at_flat(1), 4.0f);
+  const TensorF sum = a + b;
+  EXPECT_FLOAT_EQ(sum.at_flat(0), 5.0f);
+  const TensorF diff = b - a;
+  EXPECT_FLOAT_EQ(diff.at_flat(2), 1.0f);
+}
+
+TEST(Tensor, ZipShapeMismatchThrows) {
+  TensorF a(Shape{3}), b(Shape{4});
+  EXPECT_THROW(a + b, ContractViolation);
+}
+
+TEST(Tensor, MinMaxArgmax) {
+  TensorF t(Shape{4});
+  t.at_flat(0) = 1.0f;
+  t.at_flat(1) = -2.0f;
+  t.at_flat(2) = 7.0f;
+  t.at_flat(3) = 3.0f;
+  EXPECT_FLOAT_EQ(t.min(), -2.0f);
+  EXPECT_FLOAT_EQ(t.max(), 7.0f);
+  EXPECT_EQ(t.argmax(), 2);
+}
+
+TEST(Tensor, MaxAbsDiff) {
+  TensorF a(Shape{2}, 1.0f), b(Shape{2}, 1.0f);
+  b.at_flat(1) = 1.5f;
+  EXPECT_NEAR(max_abs_diff(a, b), 0.5, 1e-7);
+}
+
+TEST(Tensor, EqualityOperator) {
+  TensorI a(Shape{2}, 3), b(Shape{2}, 3);
+  EXPECT_EQ(a, b);
+  b.at_flat(0) = 4;
+  EXPECT_NE(a, b);
+}
+
+TEST(Tensor, ConstructFromData) {
+  TensorI t(Shape{2, 2}, std::vector<std::int32_t>{1, 2, 3, 4});
+  EXPECT_EQ(t(1, 0), 3);
+  EXPECT_THROW(TensorI(Shape{2, 2}, std::vector<std::int32_t>{1}),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace rsnn

@@ -1,0 +1,241 @@
+// rsnn_cli — command-line front end for the whole flow.
+//
+//   rsnn_cli train   --model lenet5 --out lenet.rsnn [--epochs 4] [--samples 3000]
+//   rsnn_cli convert --model lenet5 --weights lenet.rsnn --T 4 --out lenet.qsnn
+//                    [--weight-bits 3] [--per-channel]
+//   rsnn_cli run     --qsnn lenet.qsnn [--units 2] [--mhz 100] [--samples 200]
+//   rsnn_cli emit-rtl --qsnn lenet.qsnn --out rtl_out [--units 2]
+//   rsnn_cli info    --qsnn lenet.qsnn
+//
+// Datasets: real MNIST from ./data/mnist when present, SynthDigits stand-in
+// otherwise (models with 28x28/32x32 single-channel inputs only).
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "compiler/compile.hpp"
+#include "data/idx_loader.hpp"
+#include "data/synth_digits.hpp"
+#include "hw/accelerator.hpp"
+#include "hw/power_model.hpp"
+#include "hw/report.hpp"
+#include "hw/resource_model.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/serialize.hpp"
+#include "nn/trainer.hpp"
+#include "nn/zoo.hpp"
+#include "quant/qserialize.hpp"
+#include "quant/quantize.hpp"
+#include "rtl/generate.hpp"
+
+namespace {
+
+using namespace rsnn;
+
+/// --key value argument map (flags without '--' are rejected).
+std::map<std::string, std::string> parse_args(int argc, char** argv, int first) {
+  std::map<std::string, std::string> args;
+  for (int i = first; i + 1 < argc; i += 2) {
+    RSNN_REQUIRE(std::strncmp(argv[i], "--", 2) == 0,
+                 "expected --option, got '" << argv[i] << "'");
+    args[argv[i] + 2] = argv[i + 1];
+  }
+  return args;
+}
+
+std::string get(const std::map<std::string, std::string>& args,
+                const std::string& key, const std::string& fallback) {
+  const auto it = args.find(key);
+  return it == args.end() ? fallback : it->second;
+}
+
+bool has_flag(int argc, char** argv, const char* flag) {
+  for (int i = 0; i < argc; ++i)
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  return false;
+}
+
+data::Dataset load_eval_data(const Shape& input_shape, std::size_t samples) {
+  const int canvas = static_cast<int>(input_shape.dim(1));
+  if (auto mnist = data::load_mnist("data/mnist", /*train=*/false, canvas))
+    return mnist->take(samples);
+  data::SynthDigitsConfig cfg;
+  cfg.canvas = canvas;
+  cfg.num_samples = samples;
+  cfg.seed = 9999;  // held-out seed, distinct from training data
+  cfg.noise_stddev = 0.08;
+  cfg.max_shift = canvas >= 28 ? 3.0 : 1.5;
+  cfg.min_scale = 0.7;
+  cfg.max_shear = 0.25;
+  cfg.intensity_min = 0.55;
+  return data::make_synth_digits(cfg);
+}
+
+int cmd_train(int argc, char** argv) {
+  const auto args = parse_args(argc, argv, 2);
+  const std::string model = get(args, "model", "lenet5");
+  const std::string out = get(args, "out", model + ".rsnn");
+  const int epochs = std::stoi(get(args, "epochs", "4"));
+  const std::size_t samples = std::stoul(get(args, "samples", "3000"));
+
+  nn::ZooOptions zoo;
+  zoo.weight_qat_bits = std::stoi(get(args, "weight-bits", "3"));
+  nn::Network net = nn::make_model(model, zoo);
+  const auto out_shapes = net.layer_output_shapes();
+  RSNN_REQUIRE(out_shapes.back().dim(1) == 10 &&
+                   net.input_shape().dim(0) == 1,
+               "the CLI trains on 10-class single-channel digit data; model '"
+                   << model << "' does not match");
+  const int canvas = static_cast<int>(net.input_shape().dim(1));
+
+  data::Dataset train;
+  if (auto mnist = data::load_mnist("data/mnist", /*train=*/true, canvas)) {
+    train = std::move(*mnist);
+  } else {
+    data::SynthDigitsConfig cfg;
+    cfg.canvas = canvas;
+    cfg.num_samples = samples;
+    cfg.noise_stddev = 0.08;
+    cfg.max_shift = canvas >= 28 ? 3.0 : 1.5;
+    cfg.min_scale = 0.7;
+    cfg.max_shear = 0.25;
+    cfg.intensity_min = 0.55;
+    train = data::make_synth_digits(cfg);
+  }
+  std::printf("training %s on %zu samples, %d epochs\n", model.c_str(),
+              train.size(), epochs);
+
+  Rng rng(7);
+  net.init_params(rng);
+  nn::Adam adam(net.params(), nn::AdamConfig{0.005f});
+  nn::TrainConfig cfg;
+  cfg.epochs = epochs;
+  cfg.epoch_callback = [](int e, float loss, float acc) {
+    std::printf("  epoch %d: loss %.3f acc %.3f\n", e, loss, acc);
+    std::fflush(stdout);
+  };
+  nn::Trainer trainer(net, adam, cfg);
+  trainer.fit(train.images, train.labels, rng);
+  nn::save_params(net, out);
+  std::printf("saved weights to %s\n", out.c_str());
+  return 0;
+}
+
+int cmd_convert(int argc, char** argv) {
+  const auto args = parse_args(argc, argv, 2);
+  const std::string model = get(args, "model", "lenet5");
+  const std::string weights = get(args, "weights", model + ".rsnn");
+  const std::string out = get(args, "out", model + ".qsnn");
+
+  quant::QuantizeConfig qcfg;
+  qcfg.time_bits = std::stoi(get(args, "T", "4"));
+  qcfg.weight_bits = std::stoi(get(args, "weight-bits", "3"));
+  qcfg.per_channel = has_flag(argc, argv, "--per-channel");
+
+  nn::ZooOptions zoo;
+  zoo.weight_qat_bits = qcfg.weight_bits;
+  nn::Network net = nn::make_model(model, zoo);
+  Rng rng(7);
+  net.init_params(rng);
+  nn::load_params(net, weights);
+
+  const auto qnet = quant::quantize(net, qcfg);
+  quant::save_quantized(qnet, out);
+  std::printf("%s", qnet.summary().c_str());
+  std::printf("saved quantized model to %s (%lld KiB)\n", out.c_str(),
+              static_cast<long long>(qnet.param_bits() / 8 / 1024));
+  return 0;
+}
+
+int cmd_run(int argc, char** argv) {
+  const auto args = parse_args(argc, argv, 2);
+  const auto qnet = quant::load_quantized(get(args, "qsnn", "lenet5.qsnn"));
+
+  compiler::CompileOptions options;
+  options.num_conv_units = std::stoi(get(args, "units", "2"));
+  options.clock_mhz = std::stod(get(args, "mhz", "100"));
+  const auto design = compiler::compile(qnet, options);
+  std::printf("%s", compiler::describe(design, qnet).c_str());
+
+  hw::Accelerator accel(design.config, qnet);
+  const std::size_t samples = std::stoul(get(args, "samples", "200"));
+  const data::Dataset eval = load_eval_data(qnet.input_shape, samples);
+
+  std::int64_t correct = 0;
+  for (std::size_t i = 0; i < eval.size(); ++i) {
+    const TensorI codes =
+        quant::encode_activations(eval.images[i], qnet.time_bits);
+    if (qnet.classify(codes) == eval.labels[i]) ++correct;
+  }
+
+  const auto run = accel.run_image(eval.images[0], hw::SimMode::kAnalytic);
+  const auto resources = hw::estimate_resources(accel);
+  const auto power =
+      hw::estimate_power(design.config, resources, run, accel.uses_dram());
+  std::printf("\naccuracy over %zu samples: %.2f%%\n", eval.size(),
+              100.0 * static_cast<double>(correct) /
+                  static_cast<double>(eval.size()));
+  std::printf("%s", hw::run_summary(design.config, run, resources, power).c_str());
+  return 0;
+}
+
+int cmd_emit_rtl(int argc, char** argv) {
+  const auto args = parse_args(argc, argv, 2);
+  const auto qnet = quant::load_quantized(get(args, "qsnn", "lenet5.qsnn"));
+  compiler::CompileOptions options;
+  options.num_conv_units = std::stoi(get(args, "units", "2"));
+  const auto design = compiler::compile(qnet, options);
+  const auto bundle =
+      rtl::generate_design_with_weights(design.config, qnet, "rsnn_accel");
+  const std::string dir = get(args, "out", "rtl_out");
+  const int written = rtl::write_bundle(bundle, dir);
+  std::printf("wrote %d RTL files to %s/\n", written, dir.c_str());
+  return 0;
+}
+
+int cmd_info(int argc, char** argv) {
+  const auto args = parse_args(argc, argv, 2);
+  const std::string path = get(args, "qsnn", "lenet5.qsnn");
+  RSNN_REQUIRE(quant::is_quantized_file(path), path << " is not a .qsnn file");
+  const auto qnet = quant::load_quantized(path);
+  std::printf("%s", qnet.summary().c_str());
+  std::printf("parameters: %lld (%lld KiB at %d-bit weights)\n",
+              static_cast<long long>(qnet.num_params()),
+              static_cast<long long>(qnet.param_bits() / 8 / 1024),
+              qnet.weight_bits);
+  return 0;
+}
+
+void usage() {
+  std::printf(
+      "rsnn_cli <command> [--option value ...]\n"
+      "  train     --model lenet5 --out w.rsnn [--epochs 4] [--samples 3000]\n"
+      "  convert   --model lenet5 --weights w.rsnn --T 4 --out m.qsnn\n"
+      "            [--weight-bits 3] [--per-channel true]\n"
+      "  run       --qsnn m.qsnn [--units 2] [--mhz 100] [--samples 200]\n"
+      "  emit-rtl  --qsnn m.qsnn --out rtl_out [--units 2]\n"
+      "  info      --qsnn m.qsnn\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 1;
+  }
+  const std::string command = argv[1];
+  try {
+    if (command == "train") return cmd_train(argc, argv);
+    if (command == "convert") return cmd_convert(argc, argv);
+    if (command == "run") return cmd_run(argc, argv);
+    if (command == "emit-rtl") return cmd_emit_rtl(argc, argv);
+    if (command == "info") return cmd_info(argc, argv);
+    usage();
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
