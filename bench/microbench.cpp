@@ -1,8 +1,22 @@
-// Google-benchmark microbenchmarks for the simulator's hot paths: radix
-// encode/decode, the quantized integer forward pass, the cycle-accurate
-// convolution unit, and the analytic latency model. These track simulator
-// performance, not paper results.
-#include <benchmark/benchmark.h>
+// Microbenchmarks for the simulator's hot paths: radix encode/decode, the
+// quantized integer forward pass, the cycle-accurate accelerator, and the
+// analytic latency model. These track simulator performance, not paper
+// results.
+//
+// Two modes:
+//   * default — google-benchmark registrations (when the library is
+//     available at configure time).
+//   * --json <path> [--samples N] — self-contained chrono timing of the
+//     inference paths, written as machine-readable JSON (BENCH_*.json
+//     style) so successive PRs can compare ns/inference. This mode needs
+//     only the standard library.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "encoding/radix.hpp"
@@ -16,6 +30,10 @@
 #include "nn/pool2d.hpp"
 #include "nn/zoo.hpp"
 #include "quant/quantize.hpp"
+
+#ifndef RSNN_NO_GOOGLE_BENCHMARK
+#include <benchmark/benchmark.h>
+#endif
 
 namespace {
 
@@ -42,6 +60,145 @@ quant::QuantizedNetwork make_qnet(int T) {
       p->value.at_flat(i) *= 0.5f;
   return quant::quantize(net, quant::QuantizeConfig{3, T});
 }
+
+quant::QuantizedNetwork make_lenet_qnet(int T) {
+  Rng rng(6);
+  nn::Network lenet = nn::make_lenet5();
+  lenet.init_params(rng);
+  for (nn::Param* p : lenet.params())
+    for (std::int64_t i = 0; i < p->value.numel(); ++i)
+      p->value.at_flat(i) *= 0.5f;
+  return quant::quantize(lenet, quant::QuantizeConfig{3, T});
+}
+
+// ------------------------------------------------------------- JSON mode
+
+struct BenchResult {
+  std::string name;
+  double ns_per_inference = 0.0;
+  int samples = 0;
+};
+
+/// Wall-clock ns per call of `fn` over `samples` calls (one warmup call).
+template <typename Fn>
+double time_ns_per_call(int samples, Fn&& fn) {
+  fn();  // warmup: page in weights, encode caches
+  const auto begin = std::chrono::steady_clock::now();
+  for (int i = 0; i < samples; ++i) fn();
+  const auto end = std::chrono::steady_clock::now();
+  return static_cast<double>(
+             std::chrono::duration_cast<std::chrono::nanoseconds>(end - begin)
+                 .count()) /
+         samples;
+}
+
+int run_json_mode(const std::string& path, int samples) {
+  std::vector<BenchResult> results;
+  Rng rng(4);
+
+  // The acceptance workload: LeNet-5 at T=8 on the paper's reference
+  // configuration, cycle-accurate and analytic.
+  {
+    const auto qnet = make_lenet_qnet(8);
+    hw::Accelerator accel(hw::lenet_reference_config(), qnet);
+    const TensorF image = random_image(Shape{1, 32, 32}, rng);
+    const TensorI codes = quant::encode_activations(image, 8);
+    results.push_back(
+        {"cycle_accurate_lenet_t8",
+         time_ns_per_call(samples,
+                          [&] {
+                            auto r = accel.run_codes(
+                                codes, hw::SimMode::kCycleAccurate);
+                            (void)r;
+                          }),
+         samples});
+    results.push_back(
+        {"analytic_lenet_t8",
+         time_ns_per_call(samples,
+                          [&] {
+                            auto r =
+                                accel.run_codes(codes, hw::SimMode::kAnalytic);
+                            (void)r;
+                          }),
+         samples});
+
+    // Batched throughput across the thread pool.
+    std::vector<TensorI> batch(8, codes);
+    const double batch_ns = time_ns_per_call(std::max(1, samples / 4), [&] {
+      auto r = accel.run_batch_codes(batch, hw::SimMode::kCycleAccurate);
+      (void)r;
+    });
+    results.push_back({"cycle_accurate_lenet_t8_batch8",
+                       batch_ns / static_cast<double>(batch.size()),
+                       std::max(1, samples / 4)});
+  }
+
+  // The small network at T=4 (historic tracking point).
+  {
+    const auto qnet = make_qnet(4);
+    hw::AcceleratorConfig cfg;
+    cfg.num_conv_units = 2;
+    cfg.conv = hw::ConvUnitGeometry{16, 3, 24};
+    cfg.pool = hw::PoolUnitGeometry{8, 2, 16};
+    cfg.linear = hw::LinearUnitGeometry{8, 24};
+    hw::Accelerator accel(cfg, qnet);
+    const TensorF image = random_image(Shape{1, 16, 16}, rng);
+    const TensorI codes = quant::encode_activations(image, 4);
+    results.push_back(
+        {"cycle_accurate_small_t4",
+         time_ns_per_call(samples * 4,
+                          [&] {
+                            auto r = accel.run_codes(
+                                codes, hw::SimMode::kCycleAccurate);
+                            (void)r;
+                          }),
+         samples * 4});
+  }
+
+  // Radix encoding throughput.
+  {
+    const TensorF image = random_image(Shape{1, 32, 32}, rng);
+    results.push_back({"radix_encode_32x32_t6",
+                       time_ns_per_call(samples * 16,
+                                        [&] {
+                                          auto t = encoding::radix_encode(
+                                              image, 6);
+                                          (void)t;
+                                        }),
+                       samples * 16});
+  }
+
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "microbench: cannot open %s for writing\n",
+                 path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"benchmark_set\": \"rsnn_microbench\",\n");
+  std::fprintf(out, "  \"unit\": \"ns_per_inference\",\n");
+  std::fprintf(out, "  \"threads\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(out, "  \"results\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    std::fprintf(out,
+                 "    {\"name\": \"%s\", \"ns_per_inference\": %.1f, "
+                 "\"samples\": %d}%s\n",
+                 results[i].name.c_str(), results[i].ns_per_inference,
+                 results[i].samples, i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+
+  for (const BenchResult& r : results)
+    std::printf("%-36s %14.1f ns/inference\n", r.name.c_str(),
+                r.ns_per_inference);
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}
+
+// ------------------------------------------------- google-benchmark mode
+
+#ifndef RSNN_NO_GOOGLE_BENCHMARK
 
 void BM_RadixEncode(benchmark::State& state) {
   Rng rng(1);
@@ -91,6 +248,34 @@ void BM_CycleAccurateAccelerator(benchmark::State& state) {
 }
 BENCHMARK(BM_CycleAccurateAccelerator)->Arg(1)->Arg(4);
 
+void BM_CycleAccurateLeNetT8(benchmark::State& state) {
+  const auto qnet = make_lenet_qnet(8);
+  hw::Accelerator accel(hw::lenet_reference_config(), qnet);
+  Rng rng(7);
+  const TensorF image = random_image(Shape{1, 32, 32}, rng);
+  const TensorI codes = quant::encode_activations(image, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(accel.run_codes(codes, hw::SimMode::kCycleAccurate));
+  }
+}
+BENCHMARK(BM_CycleAccurateLeNetT8);
+
+void BM_RunBatchLeNetT8(benchmark::State& state) {
+  const auto qnet = make_lenet_qnet(8);
+  hw::Accelerator accel(hw::lenet_reference_config(), qnet);
+  Rng rng(8);
+  std::vector<TensorI> batch;
+  for (int i = 0; i < 8; ++i)
+    batch.push_back(
+        quant::encode_activations(random_image(Shape{1, 32, 32}, rng), 8));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        accel.run_batch_codes(batch, hw::SimMode::kCycleAccurate));
+  }
+  state.SetItemsProcessed(state.iterations() * 8);
+}
+BENCHMARK(BM_RunBatchLeNetT8);
+
 void BM_AnalyticAccelerator(benchmark::State& state) {
   const auto qnet = make_qnet(4);
   hw::AcceleratorConfig cfg;
@@ -119,6 +304,31 @@ void BM_LatencyPrediction(benchmark::State& state) {
 }
 BENCHMARK(BM_LatencyPrediction);
 
+#endif  // RSNN_NO_GOOGLE_BENCHMARK
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string json_path;
+  int samples = 20;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+      json_path = argv[++i];
+    else if (std::strcmp(argv[i], "--samples") == 0 && i + 1 < argc)
+      samples = std::max(1, std::atoi(argv[++i]));
+  }
+  if (!json_path.empty()) return run_json_mode(json_path, samples);
+
+#ifndef RSNN_NO_GOOGLE_BENCHMARK
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+#else
+  std::fprintf(stderr,
+               "microbench built without google-benchmark; use --json <path> "
+               "[--samples N]\n");
+  return 1;
+#endif
+}

@@ -53,3 +53,26 @@ namespace detail {
                                     rsnn_ensure_os_.str());                   \
     }                                                                         \
   } while (false)
+
+// Hot-path check tier.
+//
+// RSNN_DCHECK guards per-element accessors that sit in the simulator's inner
+// loops (Tensor::at_flat, SpikeTrain::index, ...). In checked builds it is
+// exactly RSNN_REQUIRE; in plain release builds it compiles to nothing so the
+// accessors become raw loads. Checked builds are:
+//   * any build without NDEBUG (Debug / RelWithAssert), or
+//   * any build with RSNN_CHECKED defined (the CMake RSNN_CHECKED option;
+//     the test targets always define it so ctest exercises full checking).
+//
+// API-level preconditions (shape agreement, configuration validity) stay on
+// RSNN_REQUIRE unconditionally — only per-element bounds checks may use this
+// tier, because they are redundant with the API-level checks for any caller
+// that passed them.
+#if defined(RSNN_CHECKED) || !defined(NDEBUG)
+#define RSNN_DCHECK(expr, ...) RSNN_REQUIRE(expr __VA_OPT__(, __VA_ARGS__))
+#else
+#define RSNN_DCHECK(expr, ...)                                                \
+  do {                                                                        \
+    (void)sizeof(expr); /* keep the expression syntactically alive */         \
+  } while (false)
+#endif

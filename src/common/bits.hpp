@@ -5,6 +5,7 @@
 // not usable in constant-evaluable code before C++23).
 #pragma once
 
+#include <bit>
 #include <cstdint>
 
 #include "common/assert.hpp"
@@ -12,14 +13,7 @@
 namespace rsnn {
 
 /// Number of bits needed to represent `value` (0 -> 0 bits).
-constexpr int bit_width(std::uint64_t value) {
-  int width = 0;
-  while (value != 0) {
-    ++width;
-    value >>= 1;
-  }
-  return width;
-}
+constexpr int bit_width(std::uint64_t value) { return std::bit_width(value); }
 
 /// ceil(log2(value)) for value >= 1.
 constexpr int ceil_log2(std::uint64_t value) {

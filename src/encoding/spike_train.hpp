@@ -1,11 +1,20 @@
 // SpikeTrain: binary events over `time_steps` steps for a tensor of neurons.
 //
-// Storage is time-major: step t of neuron i is bits[t * numel + i]. That
-// matches the hardware's processing order (the accelerator streams one time
-// step of a whole feature map before moving to the next).
+// Storage is bit-packed and time-major: each time step owns a contiguous row
+// of `words_per_step()` 64-bit words, and step t of neuron i is bit (i % 64)
+// of word [t * words_per_step + i / 64]. That matches the hardware's
+// processing order (the accelerator streams one time step of a whole feature
+// map before moving to the next) while letting the simulators consume 64
+// neurons per load, count spikes with popcount, and skip all-zero words.
+//
+// Invariant: the padding bits of each step's last word (bit positions at or
+// beyond num_neurons()) are always zero, so whole-word operations
+// (total_spikes, operator==, for_each_set_bit) need no tail masking.
 #pragma once
 
+#include <bit>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "tensor/tensor.hpp"
@@ -17,29 +26,64 @@ class SpikeTrain {
   SpikeTrain() = default;
   SpikeTrain(Shape neuron_shape, int time_steps)
       : shape_(std::move(neuron_shape)),
+        numel_(shape_.numel()),
         time_steps_(time_steps),
-        bits_(static_cast<std::size_t>(time_steps) *
-                  static_cast<std::size_t>(shape_.numel()),
-              0) {
+        words_per_step_((numel_ + 63) / 64),
+        words_(static_cast<std::size_t>(time_steps) *
+                   static_cast<std::size_t>(words_per_step_),
+               0) {
     RSNN_REQUIRE(time_steps >= 1);
   }
 
   const Shape& neuron_shape() const { return shape_; }
   int time_steps() const { return time_steps_; }
-  std::int64_t num_neurons() const { return shape_.numel(); }
+  std::int64_t num_neurons() const { return numel_; }
 
   bool spike(int t, std::int64_t neuron) const {
-    return bits_[index(t, neuron)] != 0;
+    return ((words_[word_index(t, neuron)] >> (neuron & 63)) & 1u) != 0;
   }
   void set_spike(int t, std::int64_t neuron, bool value) {
-    bits_[index(t, neuron)] = value ? 1 : 0;
+    const std::uint64_t mask = std::uint64_t{1} << (neuron & 63);
+    std::uint64_t& word = words_[word_index(t, neuron)];
+    if (value)
+      word |= mask;
+    else
+      word &= ~mask;
+  }
+
+  /// Number of 64-bit words per time step (ceil(num_neurons / 64)).
+  std::int64_t words_per_step() const { return words_per_step_; }
+
+  /// Word `w` of time step `t` (neurons 64*w .. 64*w+63, LSB first).
+  std::uint64_t word(int t, std::int64_t w) const {
+    RSNN_DCHECK(t >= 0 && t < time_steps_, "time step " << t);
+    RSNN_DCHECK(w >= 0 && w < words_per_step_, "word " << w);
+    return words_[static_cast<std::size_t>(t) *
+                      static_cast<std::size_t>(words_per_step_) +
+                  static_cast<std::size_t>(w)];
+  }
+
+  /// Pointer to time step `t`'s packed word row.
+  const std::uint64_t* step_words(int t) const {
+    RSNN_DCHECK(t >= 0 && t < time_steps_, "time step " << t);
+    return words_.data() + static_cast<std::size_t>(t) *
+                               static_cast<std::size_t>(words_per_step_);
   }
 
   /// Total number of spikes (events) — the quantity that drives dynamic
   /// energy in event-driven hardware.
   std::int64_t total_spikes() const {
     std::int64_t n = 0;
-    for (const auto b : bits_) n += b;
+    for (const std::uint64_t w : words_) n += std::popcount(w);
+    return n;
+  }
+
+  /// Spikes emitted during one time step.
+  std::int64_t spikes_at_step(int t) const {
+    const std::uint64_t* row = step_words(t);
+    std::int64_t n = 0;
+    for (std::int64_t w = 0; w < words_per_step_; ++w)
+      n += std::popcount(row[w]);
     return n;
   }
 
@@ -50,22 +94,76 @@ class SpikeTrain {
     return n;
   }
 
+  /// Event iterator: invoke `fn(neuron)` for every neuron that spiked at
+  /// step `t`, in ascending neuron order, skipping zero words wholesale.
+  template <typename Fn>
+  void for_each_set_bit(int t, Fn&& fn) const {
+    for_each_set_bit_in_range(t, 0, numel_, std::forward<Fn>(fn));
+  }
+
+  /// Event iterator over the half-open neuron range [begin, end).
+  template <typename Fn>
+  void for_each_set_bit_in_range(int t, std::int64_t begin, std::int64_t end,
+                                 Fn&& fn) const {
+    RSNN_DCHECK(t >= 0 && t < time_steps_, "time step " << t);
+    RSNN_DCHECK(begin >= 0 && begin <= end && end <= numel_,
+                "range [" << begin << ", " << end << ")");
+    if (begin >= end) return;
+    const std::uint64_t* row = step_words(t);
+    const std::int64_t first_word = begin / 64;
+    const std::int64_t last_word = (end - 1) / 64;
+    for (std::int64_t w = first_word; w <= last_word; ++w) {
+      std::uint64_t bits = row[w];
+      if (bits == 0) continue;
+      if (w == first_word && (begin & 63) != 0)
+        bits &= ~std::uint64_t{0} << (begin & 63);
+      if (w == last_word && (end & 63) != 0)
+        bits &= ~std::uint64_t{0} >> (64 - (end & 63));
+      while (bits != 0) {
+        const int bit = std::countr_zero(bits);
+        fn(w * 64 + bit);
+        bits &= bits - 1;
+      }
+    }
+  }
+
+  /// Same events, different neuron shape (element count must match). The
+  /// packed layout depends only on the flat neuron index, so this is a pure
+  /// relabeling — the accelerator's flatten transfer. The rvalue overload
+  /// moves the word storage, so `train = std::move(train).reshaped(s)` is
+  /// zero-copy.
+  SpikeTrain reshaped(Shape new_shape) const& {
+    SpikeTrain out = *this;
+    return std::move(out).reshaped(std::move(new_shape));
+  }
+  SpikeTrain reshaped(Shape new_shape) && {
+    RSNN_REQUIRE(new_shape.numel() == numel_,
+                 "reshape " << shape_.to_string() << " -> "
+                            << new_shape.to_string());
+    SpikeTrain out = std::move(*this);
+    out.shape_ = std::move(new_shape);
+    return out;
+  }
+
   bool operator==(const SpikeTrain& other) const {
     return shape_ == other.shape_ && time_steps_ == other.time_steps_ &&
-           bits_ == other.bits_;
+           words_ == other.words_;
   }
 
  private:
-  std::size_t index(int t, std::int64_t neuron) const {
-    RSNN_REQUIRE(t >= 0 && t < time_steps_, "time step " << t);
-    RSNN_REQUIRE(neuron >= 0 && neuron < shape_.numel(), "neuron " << neuron);
-    return static_cast<std::size_t>(t) * static_cast<std::size_t>(shape_.numel()) +
-           static_cast<std::size_t>(neuron);
+  std::size_t word_index(int t, std::int64_t neuron) const {
+    RSNN_DCHECK(t >= 0 && t < time_steps_, "time step " << t);
+    RSNN_DCHECK(neuron >= 0 && neuron < numel_, "neuron " << neuron);
+    return static_cast<std::size_t>(t) *
+               static_cast<std::size_t>(words_per_step_) +
+           static_cast<std::size_t>(neuron / 64);
   }
 
   Shape shape_;
+  std::int64_t numel_ = 0;
   int time_steps_ = 0;
-  std::vector<std::uint8_t> bits_;
+  std::int64_t words_per_step_ = 0;
+  std::vector<std::uint64_t> words_;
 };
 
 }  // namespace rsnn::encoding

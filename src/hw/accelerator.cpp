@@ -1,6 +1,11 @@
 #include "hw/accelerator.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <bit>
+#include <exception>
+#include <mutex>
+#include <thread>
 
 #include "common/assert.hpp"
 #include "common/bits.hpp"
@@ -25,13 +30,9 @@ std::string layer_name(const quant::QLayer& layer) {
 /// Spike count of an activation-code tensor (popcount of all codes).
 std::int64_t code_spikes(const TensorI64& codes) {
   std::int64_t spikes = 0;
-  for (std::int64_t i = 0; i < codes.numel(); ++i) {
-    std::uint64_t v = static_cast<std::uint64_t>(codes.at_flat(i));
-    while (v != 0) {
-      spikes += static_cast<std::int64_t>(v & 1u);
-      v >>= 1;
-    }
-  }
+  const std::int64_t* data = codes.data();
+  for (std::int64_t i = 0; i < codes.numel(); ++i)
+    spikes += std::popcount(static_cast<std::uint64_t>(data[i]));
   return spikes;
 }
 
@@ -124,17 +125,80 @@ double Accelerator::predict_latency_us() const {
          1000.0;
 }
 
-AccelRunResult Accelerator::run_image(const TensorF& image, SimMode mode) {
+AccelRunResult Accelerator::run_image(const TensorF& image, SimMode mode) const {
   return run_codes(quant::encode_activations(image, qnet_.time_bits), mode);
 }
 
-AccelRunResult Accelerator::run_codes(const TensorI& codes, SimMode mode) {
+AccelRunResult Accelerator::run_codes(const TensorI& codes, SimMode mode) const {
   RSNN_REQUIRE(codes.shape() == qnet_.input_shape, "input shape mismatch");
   return mode == SimMode::kCycleAccurate ? run_cycle_accurate(codes)
                                          : run_analytic(codes);
 }
 
-AccelRunResult Accelerator::run_cycle_accurate(const TensorI& codes) {
+std::vector<AccelRunResult> Accelerator::run_batch(
+    const std::vector<TensorF>& images, SimMode mode, int num_threads) const {
+  std::vector<TensorI> codes;
+  codes.reserve(images.size());
+  for (const TensorF& image : images)
+    codes.push_back(quant::encode_activations(image, qnet_.time_bits));
+  return run_batch_codes(codes, mode, num_threads);
+}
+
+std::vector<AccelRunResult> Accelerator::run_batch_codes(
+    const std::vector<TensorI>& codes, SimMode mode, int num_threads) const {
+  std::vector<AccelRunResult> results(codes.size());
+  if (codes.empty()) return results;
+
+  std::size_t workers = num_threads > 0
+                            ? static_cast<std::size_t>(num_threads)
+                            : std::max(1u, std::thread::hardware_concurrency());
+  workers = std::min(workers, codes.size());
+
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < codes.size(); ++i)
+      results[i] = run_codes(codes[i], mode);
+    return results;
+  }
+
+  // Dynamic work distribution: each worker pulls the next image index. Every
+  // run_codes call constructs its own processing units and buffers, so the
+  // workers share only the (read-only) network, placement and config.
+  std::atomic<std::size_t> next{0};
+  std::mutex error_mutex;
+  std::exception_ptr error;
+  const auto worker = [&]() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= codes.size()) return;
+      try {
+        results[i] = run_codes(codes[i], mode);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!error) error = std::current_exception();
+        next.store(codes.size());  // drain the queue: fail fast, not at the end
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(workers - 1);
+  try {
+    for (std::size_t w = 0; w + 1 < workers; ++w) threads.emplace_back(worker);
+  } catch (...) {
+    // Thread creation failed (resource exhaustion): drain the queue so the
+    // already-running workers finish, join them, then surface the error.
+    next.store(codes.size());
+    for (std::thread& thread : threads) thread.join();
+    throw;
+  }
+  worker();  // the calling thread participates
+  for (std::thread& thread : threads) thread.join();
+  if (error) std::rethrow_exception(error);
+  return results;
+}
+
+AccelRunResult Accelerator::run_cycle_accurate(const TensorI& codes) const {
   const int T = qnet_.time_bits;
   AccelRunResult result;
 
@@ -230,13 +294,11 @@ AccelRunResult Accelerator::run_cycle_accurate(const TensorI& codes) {
           run.traffic.weight_read_bits * qnet_.weight_bits;
     } else {
       // Flatten: stream the feature map from the 2-D to the 1-D buffers.
+      // The packed layout depends only on the flat neuron index, so the
+      // transfer is a relabeling of the same bits.
       stats.cycles = flatten_transfer_cycles(current.num_neurons(), T,
                                              config_.timing);
-      encoding::SpikeTrain flat(shapes[li], T);
-      for (int t = 0; t < T; ++t)
-        for (std::int64_t i = 0; i < current.num_neurons(); ++i)
-          flat.set_spike(t, i, current.spike(t, i));
-      current = std::move(flat);
+      current = std::move(current).reshaped(shapes[li]);
       buffer1d.store_output(activation_bits(shapes[li], T));
       buffer1d.swap();
       result.layers.push_back(stats);
@@ -281,7 +343,7 @@ AccelRunResult Accelerator::run_cycle_accurate(const TensorI& codes) {
   return result;
 }
 
-AccelRunResult Accelerator::run_analytic(const TensorI& codes) {
+AccelRunResult Accelerator::run_analytic(const TensorI& codes) const {
   AccelRunResult result;
   std::vector<TensorI64> layer_outputs;
   result.logits = qnet_.forward_traced(codes, &layer_outputs);

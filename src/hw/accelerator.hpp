@@ -73,11 +73,24 @@ class Accelerator {
 
   /// Run one image (float values in [0,1), encoded internally).
   AccelRunResult run_image(const TensorF& image,
-                           SimMode mode = SimMode::kCycleAccurate);
+                           SimMode mode = SimMode::kCycleAccurate) const;
 
   /// Run pre-encoded activation codes.
   AccelRunResult run_codes(const TensorI& codes,
-                           SimMode mode = SimMode::kCycleAccurate);
+                           SimMode mode = SimMode::kCycleAccurate) const;
+
+  /// Evaluate a batch of images across a pool of `num_threads` worker
+  /// threads (hardware concurrency when <= 0). Each worker owns its own
+  /// processing units and buffers; results are index-aligned with `images`
+  /// and identical to running run_image sequentially.
+  std::vector<AccelRunResult> run_batch(
+      const std::vector<TensorF>& images,
+      SimMode mode = SimMode::kCycleAccurate, int num_threads = 0) const;
+
+  /// As run_batch(), for pre-encoded activation codes.
+  std::vector<AccelRunResult> run_batch_codes(
+      const std::vector<TensorI>& codes,
+      SimMode mode = SimMode::kCycleAccurate, int num_threads = 0) const;
 
   const AcceleratorConfig& config() const { return config_; }
   const quant::QuantizedNetwork& network() const { return qnet_; }
@@ -99,8 +112,8 @@ class Accelerator {
   std::vector<WeightPlacement> placement_;
   BufferPlan buffer_plan_;
 
-  AccelRunResult run_cycle_accurate(const TensorI& codes);
-  AccelRunResult run_analytic(const TensorI& codes);
+  AccelRunResult run_cycle_accurate(const TensorI& codes) const;
+  AccelRunResult run_analytic(const TensorI& codes) const;
   LayerLatency layer_latency(std::size_t layer_index,
                              const Shape& in_shape) const;
 };

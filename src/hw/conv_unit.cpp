@@ -22,6 +22,10 @@ ConvSliceResult ConvUnit::run_layer_slice(const quant::QConv2d& conv,
 
   const Shape& in_shape = input.neuron_shape();
   RSNN_REQUIRE(in_shape.rank() == 3 && in_shape.dim(0) == conv.in_channels);
+  RSNN_REQUIRE(conv.weight.shape() ==
+                   Shape({conv.out_channels, conv.in_channels, conv.kernel,
+                          conv.kernel}),
+               "weight tensor shape mismatch");
   const std::int64_t ih = in_shape.dim(1), iw = in_shape.dim(2);
   const std::int64_t k = conv.kernel, str = conv.stride, pad = conv.padding;
   const std::int64_t oh = (ih + 2 * pad - k) / str + 1;
@@ -40,25 +44,45 @@ ConvSliceResult ConvUnit::run_layer_slice(const quant::QConv2d& conv,
   const std::int64_t rows_streamed = ih + 2 * pad;
   const std::int64_t fetch = conv_row_fetch_cycles(iw, timing_, active_units);
   const std::int64_t row_period = std::max<std::int64_t>(k, fetch);
-  const std::int64_t padded_width = iw + 2 * pad;
 
   // Output-logic accumulator RAM: one membrane per (local channel, oy, ox).
   const std::int64_t n_local = oc_end - oc_begin;
   TensorI64 membrane(Shape{n_local, oh, ow}, std::int64_t{0});
+  std::int64_t* mem = membrane.data();
+
+  // Kernel values for this slice, re-packed once per call so the inner loops
+  // read them unchecked: weight_cache_[(ic * n_local + local) * k * k +
+  // y * k + s].
+  weight_cache_.resize(
+      static_cast<std::size_t>(conv.in_channels * n_local * k * k));
+  {
+    const std::int32_t* wsrc = conv.weight.data();
+    for (std::int64_t local = 0; local < n_local; ++local) {
+      for (std::int64_t ic = 0; ic < conv.in_channels; ++ic) {
+        const std::int32_t* w =
+            wsrc + (((oc_begin + local) * conv.in_channels + ic) * k) * k;
+        std::int32_t* cache =
+            weight_cache_.data() + (ic * n_local + local) * k * k;
+        for (std::int64_t i = 0; i < k * k; ++i) cache[i] = w[i];
+      }
+    }
+  }
 
   ConvSliceResult result;
 
-  shift_register_.assign(static_cast<std::size_t>(padded_width), 0);
   pipeline_.assign(static_cast<std::size_t>(k),
                    std::vector<std::int64_t>(static_cast<std::size_t>(X), 0));
 
   for (int t = 0; t < time_steps; ++t) {
     // Radix weighting: one left shift of all accumulators per time step
     // (paper Alg. 1 line 12), performed in the output logic.
-    for (std::int64_t i = 0; i < membrane.numel(); ++i)
-      membrane.at_flat(i) <<= 1;
+    for (std::int64_t i = 0; i < membrane.numel(); ++i) mem[i] <<= 1;
 
     for (std::int64_t ic = 0; ic < conv.in_channels; ++ic) {
+      // The adder rows hold kernel rows of (oc_begin + local, ic).
+      const std::int32_t* wcache =
+          weight_cache_.data() + ic * n_local * k * k;
+
       for (std::int64_t tile = 0; tile < tiles; ++tile) {
         const std::int64_t col0 = tile * cols_per_tile;
         const std::int64_t cols =
@@ -69,63 +93,99 @@ ConvSliceResult ConvUnit::run_layer_slice(const quant::QConv2d& conv,
           std::fill(stage.begin(), stage.end(), std::int64_t{0});
 
         for (std::int64_t r = 0; r < rows_streamed; ++r) {
-          // -- Fetch: fill the shift register with input row (r - pad);
-          //    padding rows are generated, not read from the buffer.
+          // -- Fetch: gather the events of input row (r - pad) into padded
+          //    shift-register coordinates; padding rows produce no events.
+          //    Only the register span this tile taps is gathered — positions
+          //    [col0*str, (col0+cols-1)*str + k - 1] — so tiled layers do
+          //    not re-scan out-of-tile words. Fetch accounting covers the
+          //    whole row regardless (the hardware streams it).
           const std::int64_t src_row = r - pad;
-          for (std::int64_t col = 0; col < padded_width; ++col) {
-            const std::int64_t src_col = col - pad;
-            bool bit = false;
-            if (src_row >= 0 && src_row < ih && src_col >= 0 && src_col < iw) {
-              const std::int64_t neuron = (ic * ih + src_row) * iw + src_col;
-              bit = input.spike(t, neuron);
-            }
-            shift_register_[static_cast<std::size_t>(col)] = bit ? 1 : 0;
-          }
+          row_events_.clear();
           if (src_row >= 0 && src_row < ih) {
+            const std::int64_t src_lo =
+                std::max<std::int64_t>(0, col0 * str - pad);
+            const std::int64_t src_hi = std::min<std::int64_t>(
+                iw, (col0 + cols - 1) * str + k - pad);
+            if (src_lo < src_hi) {
+              const std::int64_t base = (ic * ih + src_row) * iw;
+              input.for_each_set_bit_in_range(
+                  t, base + src_lo, base + src_hi, [&](std::int64_t neuron) {
+                    row_events_.push_back(
+                        static_cast<std::int32_t>(neuron - base + pad));
+                  });
+            }
             ++result.row_fetches;
             result.traffic.act_read_bits += iw;
           }
 
           // -- Shift & accumulate: Kc shift cycles; kernel values rotate in
-          //    lock-step with the shifts (paper: "Coinciding with the shift
-          //    of the input row, the adder logic loads the new kernel
-          //    values"). We model the taps directly: after s shifts, column
-          //    x reads register position (col0 + x)*stride + s.
-          for (std::int64_t y = 0; y < k; ++y) {
-            // Stage y works on output row (r - y) / stride when aligned.
-            const std::int64_t num = r - y;
-            if (num < 0 || num % str != 0) continue;
-            const std::int64_t oy = num / str;
-            if (oy >= oh) continue;
-            auto& stage = pipeline_[static_cast<std::size_t>(y)];
-            for (std::int64_t s = 0; s < k; ++s) {
-              for (std::int64_t local = 0; local < n_local; ++local) {
-                const std::int32_t kval =
-                    conv.weight(oc_begin + local, ic, y, s);
-                for (std::int64_t x = 0; x < cols; ++x) {
-                  const std::int64_t tap = (col0 + x) * str + s;
-                  if (!shift_register_[static_cast<std::size_t>(tap)]) continue;
-                  stage[static_cast<std::size_t>(local * cols + x)] += kval;
-                  ++result.adder_ops;
+          //    lock-step with the shifts. We model the taps directly: after
+          //    s shifts, column x reads register position (col0 + x)*stride
+          //    + s — equivalently, a spike at register position p feeds
+          //    column x = (p - s)/stride - col0 for each kernel column s.
+          //    Rows with no spikes skip the adder array entirely; cycle
+          //    counts are unaffected (the register still shifts).
+          if (!row_events_.empty() && str == 1) {
+            // Stride-1 fast path: the kernel columns a spike feeds form the
+            // contiguous range s in [p - col0 - cols + 1, p - col0] ∩ [0, k),
+            // so the inner loop reads weights and partial sums contiguously.
+            const std::int64_t y_lo = std::max<std::int64_t>(0, r - (oh - 1));
+            const std::int64_t y_hi = std::min<std::int64_t>(k - 1, r);
+            for (const std::int32_t p : row_events_) {
+              const std::int64_t pc = p - col0;
+              const std::int64_t s_lo = std::max<std::int64_t>(0, pc - cols + 1);
+              const std::int64_t s_hi = std::min<std::int64_t>(k - 1, pc);
+              if (s_hi < s_lo) continue;
+              for (std::int64_t y = y_lo; y <= y_hi; ++y) {
+                std::int64_t* stage =
+                    pipeline_[static_cast<std::size_t>(y)].data();
+                for (std::int64_t local = 0; local < n_local; ++local) {
+                  const std::int32_t* wrow = wcache + (local * k + y) * k;
+                  std::int64_t* srow = stage + local * cols;
+                  for (std::int64_t s = s_lo; s <= s_hi; ++s)
+                    srow[pc - s] += wrow[s];
+                }
+                result.adder_ops += (s_hi - s_lo + 1) * n_local;
+              }
+            }
+          } else if (!row_events_.empty()) {
+            for (std::int64_t y = 0; y < k; ++y) {
+              // Stage y works on output row (r - y) / stride when aligned.
+              const std::int64_t num = r - y;
+              if (num < 0 || num % str != 0) continue;
+              if (num / str >= oh) continue;
+              std::int64_t* stage =
+                  pipeline_[static_cast<std::size_t>(y)].data();
+              for (const std::int32_t p : row_events_) {
+                for (std::int64_t s = 0; s < k; ++s) {
+                  const std::int64_t shifted = p - s;
+                  if (shifted < 0 || shifted % str != 0) continue;
+                  const std::int64_t x = shifted / str - col0;
+                  if (x < 0 || x >= cols) continue;
+                  const std::int32_t* wrow = wcache + y * k + s;
+                  for (std::int64_t local = 0; local < n_local; ++local)
+                    stage[local * cols + x] += wrow[local * k * k];
+                  result.adder_ops += n_local;
                 }
               }
             }
           }
 
           // -- End of row: retire the bottom stage into the output logic if
-          //    it completed an output row, then advance the pipeline.
+          //    it completed an output row, then advance the pipeline by
+          //    rotating the stage buffers (a pointer swap, not a copy).
           const std::int64_t exit_num = r - (k - 1);
           if (exit_num >= 0 && exit_num % str == 0 && exit_num / str < oh) {
             const std::int64_t oy = exit_num / str;
-            const auto& bottom = pipeline_[static_cast<std::size_t>(k - 1)];
-            for (std::int64_t local = 0; local < n_local; ++local)
+            const std::int64_t* bottom =
+                pipeline_[static_cast<std::size_t>(k - 1)].data();
+            for (std::int64_t local = 0; local < n_local; ++local) {
+              std::int64_t* mrow = mem + (local * oh + oy) * ow + col0;
               for (std::int64_t x = 0; x < cols; ++x)
-                membrane(local, oy, col0 + x) +=
-                    bottom[static_cast<std::size_t>(local * cols + x)];
+                mrow[x] += bottom[local * cols + x];
+            }
           }
-          for (std::int64_t y = k - 1; y >= 1; --y)
-            pipeline_[static_cast<std::size_t>(y)] =
-                pipeline_[static_cast<std::size_t>(y - 1)];
+          std::rotate(pipeline_.begin(), pipeline_.end() - 1, pipeline_.end());
           std::fill(pipeline_[0].begin(), pipeline_[0].end(), std::int64_t{0});
 
           result.cycles += row_period;
@@ -143,11 +203,13 @@ ConvSliceResult ConvUnit::run_layer_slice(const quant::QConv2d& conv,
   // Output logic: bias + ReLU + requantize, then writeback per row segment.
   for (std::int64_t local = 0; local < n_local; ++local) {
     const std::int64_t oc = oc_begin + local;
+    const std::int64_t bias = conv.bias(oc);
+    const int frac = conv.frac_for(oc);
     for (std::int64_t oy = 0; oy < oh; ++oy) {
+      const std::int64_t* mrow = mem + (local * oh + oy) * ow;
       for (std::int64_t ox = 0; ox < ow; ++ox) {
-        std::int64_t v = membrane(local, oy, ox) + conv.bias(oc);
+        std::int64_t v = mrow[ox] + bias;
         if (conv.requantize) {
-          const int frac = conv.frac_for(oc);
           if (frac >= 0)
             v >>= frac;
           else

@@ -71,8 +71,11 @@ class ConvUnit {
   ConvUnitGeometry geometry_;
   TimingParams timing_;
 
-  // Datapath state, re-initialized per pass.
-  std::vector<std::uint8_t> shift_register_;
+  // Datapath state, re-initialized per pass. The shift register is modeled
+  // event-wise: row_events_ holds the padded register positions of this
+  // row's spikes (extracted word-wise from the packed input train).
+  std::vector<std::int32_t> row_events_;
+  std::vector<std::int32_t> weight_cache_;  ///< [Cin][local][Kr][Kc] kernels
   std::vector<std::vector<std::int64_t>> pipeline_;  ///< [Y][X] partial sums
 };
 

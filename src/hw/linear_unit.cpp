@@ -16,37 +16,47 @@ LinearRunResult LinearUnit::run_layer(const quant::QLinear& fc,
   RSNN_REQUIRE(input.neuron_shape().numel() == fc.in_features,
                "input size mismatch");
   RSNN_REQUIRE(out.rank() == 1 && out.dim(0) == fc.out_features);
+  RSNN_REQUIRE(fc.weight.shape() == Shape({fc.out_features, fc.in_features}),
+               "weight tensor shape mismatch");
 
   const std::int64_t lanes = geometry_.lanes;
   const std::int64_t lane_groups = ceil_div(fc.out_features, lanes);
 
-  TensorI64 membrane(Shape{fc.out_features}, std::int64_t{0});
+  // The engine's cycle behaviour is input-independent: one weight-word fetch
+  // per (time step, lane group, input neuron), whether or not the neuron
+  // spiked. Account for it in closed form and spend the loop only on events.
   LinearRunResult result;
+  result.cycles =
+      static_cast<std::int64_t>(time_steps) * lane_groups * fc.in_features;
+  result.weight_fetches = result.cycles;
+  result.traffic.act_read_bits =
+      static_cast<std::int64_t>(time_steps) * fc.in_features;
+
+  // Transpose the weights so each spike touches one contiguous row. Paid per
+  // call, but it is a single pass over the weights — an order less than the
+  // T passes the dense formulation made. (Not cached by identity: a pointer
+  // key could serve stale weights after an in-place update.)
+  const std::int32_t* w = fc.weight.data();
+  weight_t_.resize(static_cast<std::size_t>(fc.in_features * fc.out_features));
+  for (std::int64_t o = 0; o < fc.out_features; ++o)
+    for (std::int64_t i = 0; i < fc.in_features; ++i)
+      weight_t_[static_cast<std::size_t>(i * fc.out_features + o)] =
+          w[o * fc.in_features + i];
+
+  TensorI64 membrane(Shape{fc.out_features}, std::int64_t{0});
+  std::int64_t* mem = membrane.data();
 
   for (int t = 0; t < time_steps; ++t) {
-    for (std::int64_t i = 0; i < membrane.numel(); ++i)
-      membrane.at_flat(i) <<= 1;
-
-    for (std::int64_t g = 0; g < lane_groups; ++g) {
-      const std::int64_t o_begin = g * lanes;
-      const std::int64_t o_end =
-          std::min<std::int64_t>(o_begin + lanes, fc.out_features);
-      for (std::int64_t i = 0; i < fc.in_features; ++i) {
-        // One cycle: fetch the weight word for (input i, lane group g).
-        ++result.cycles;
-        ++result.weight_fetches;
-        if (!input.spike(t, i)) continue;
-        for (std::int64_t o = o_begin; o < o_end; ++o) {
-          membrane(o) += fc.weight(o, i);
-          ++result.adder_ops;
-        }
-      }
-    }
-    result.traffic.act_read_bits += fc.in_features;
+    for (std::int64_t o = 0; o < fc.out_features; ++o) mem[o] <<= 1;
+    input.for_each_set_bit(t, [&](std::int64_t i) {
+      const std::int32_t* wrow = weight_t_.data() + i * fc.out_features;
+      for (std::int64_t o = 0; o < fc.out_features; ++o) mem[o] += wrow[o];
+      result.adder_ops += fc.out_features;
+    });
   }
 
   for (std::int64_t o = 0; o < fc.out_features; ++o) {
-    std::int64_t v = membrane(o) + fc.bias(o);
+    std::int64_t v = mem[o] + fc.bias(o);
     if (fc.requantize) {
       const int frac = fc.frac_for(o);
       if (frac >= 0)

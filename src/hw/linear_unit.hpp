@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "encoding/spike_train.hpp"
 #include "hw/arch.hpp"
@@ -41,6 +42,7 @@ class LinearUnit {
  private:
   LinearUnitGeometry geometry_;
   TimingParams timing_;
+  std::vector<std::int32_t> weight_t_;  ///< [in][out] transposed weights
 };
 
 }  // namespace rsnn::hw

@@ -25,6 +25,7 @@ PoolSliceResult PoolUnit::run_layer_slice(const quant::QPool2d& pool,
   const std::int64_t ih = in_shape.dim(1), iw = in_shape.dim(2);
   const std::int64_t k = pool.kernel;
   const std::int64_t oh = ih / k, ow = iw / k;
+  RSNN_REQUIRE(ih % k == 0, "input height " << ih << " not divisible by " << k);
 
   const std::int64_t X = geometry_.array_columns;
   const std::int64_t share = std::clamp<std::int64_t>(X / ow, 1, channels);
@@ -40,38 +41,40 @@ PoolSliceResult PoolUnit::run_layer_slice(const quant::QPool2d& pool,
   const std::int64_t row_period = std::max<std::int64_t>(k, fetch);
 
   TensorI64 membrane(Shape{n_local, oh, ow}, std::int64_t{0});
+  std::int64_t* mem = membrane.data();
   PoolSliceResult result;
 
+  // Cycle and read-traffic behaviour is input-independent (the unit streams
+  // every row regardless of spikes): account for it in closed form.
+  result.cycles = static_cast<std::int64_t>(time_steps) * tiles *
+                  (timing_.pass_setup_cycles + ih * row_period);
+  result.traffic.act_read_bits =
+      static_cast<std::int64_t>(time_steps) * tiles * ih * n_local * iw;
+
+  // Window counting is event-driven: each spike within a tile's column span
+  // increments its window's accumulator.
   for (int t = 0; t < time_steps; ++t) {
-    for (std::int64_t i = 0; i < membrane.numel(); ++i)
-      membrane.at_flat(i) <<= 1;
+    for (std::int64_t i = 0; i < membrane.numel(); ++i) mem[i] <<= 1;
 
     for (std::int64_t tile = 0; tile < tiles; ++tile) {
       const std::int64_t col0 = tile * cols_per_tile;
       const std::int64_t cols = std::min<std::int64_t>(cols_per_tile, ow - col0);
-      result.cycles += timing_.pass_setup_cycles;
-
-      // Window rows accumulate directly: input row r contributes to output
-      // row r / k (kernel == stride).
-      for (std::int64_t r = 0; r < ih; ++r) {
-        const std::int64_t oy = r / k;
-        for (std::int64_t local = 0; local < n_local; ++local) {
-          const std::int64_t c = c_begin + local;
-          for (std::int64_t x = 0; x < cols; ++x) {
-            const std::int64_t ox = col0 + x;
-            std::int64_t count = 0;
-            for (std::int64_t s = 0; s < k; ++s) {
-              const std::int64_t neuron = (c * ih + r) * iw + (ox * k + s);
-              if (input.spike(t, neuron)) {
-                ++count;
+      const std::int64_t col_lo = col0 * k;
+      const std::int64_t col_hi = (col0 + cols) * k;
+      for (std::int64_t local = 0; local < n_local; ++local) {
+        const std::int64_t c = c_begin + local;
+        std::int64_t* mplane = mem + local * oh * ow;
+        for (std::int64_t r = 0; r < ih; ++r) {
+          const std::int64_t row_base = (c * ih + r) * iw;
+          const std::int64_t oy = r / k;
+          input.for_each_set_bit_in_range(
+              t, row_base + col_lo, row_base + col_hi,
+              [&](std::int64_t neuron) {
+                const std::int64_t ox = (neuron - row_base) / k;
+                mplane[oy * ow + ox] += 1;
                 ++result.adder_ops;
-              }
-            }
-            membrane(local, oy, ox) += count;
-          }
-          result.traffic.act_read_bits += iw;
+              });
         }
-        result.cycles += row_period;
       }
     }
   }
@@ -79,9 +82,10 @@ PoolSliceResult PoolUnit::run_layer_slice(const quant::QPool2d& pool,
   // Output logic: divide by window area (right shift) and write back.
   for (std::int64_t local = 0; local < n_local; ++local) {
     const std::int64_t c = c_begin + local;
+    const std::int64_t* mplane = mem + local * oh * ow;
     for (std::int64_t oy = 0; oy < oh; ++oy) {
       for (std::int64_t ox = 0; ox < ow; ++ox) {
-        const std::int64_t v = membrane(local, oy, ox) >> pool.shift;
+        const std::int64_t v = mplane[oy * ow + ox] >> pool.shift;
         out(c, oy, ox) = saturate_unsigned(v, time_steps);
       }
       result.writeback_cycles += tiles * timing_.writeback_cycles_per_row;

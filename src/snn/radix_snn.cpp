@@ -13,8 +13,16 @@ using quant::QFlatten;
 using quant::QLinear;
 using quant::QPool2d;
 
-/// Per-time-step convolution on binary spikes: returns sum of kernel values
-/// at positions that spiked. Counts fired adder ops into `synaptic_ops`.
+/// A decomposed input event: the (channel, row, column) of one spike.
+struct ConvEvent {
+  std::int32_t ic, iy, ix;
+};
+
+/// Per-time-step convolution on binary spikes: scatter each spike into the
+/// output windows it participates in. Event-driven — work scales with the
+/// number of spikes, not the dense loop nest. Counts fired adder ops into
+/// `synaptic_ops`; the count and membrane sums are identical to the dense
+/// gather formulation (the (oy, ky) <-> iy correspondence is bijective).
 void conv_step(const QConv2d& conv, const SpikeTrain& input, int t,
                TensorI64& membrane, std::int64_t& synaptic_ops) {
   const Shape& in_shape = input.neuron_shape();
@@ -22,26 +30,36 @@ void conv_step(const QConv2d& conv, const SpikeTrain& input, int t,
   const std::int64_t k = conv.kernel, str = conv.stride, pad = conv.padding;
   const std::int64_t oh = membrane.dim(1), ow = membrane.dim(2);
 
+  std::vector<ConvEvent> events;
+  input.for_each_set_bit(t, [&](std::int64_t neuron) {
+    const std::int64_t ix = neuron % iw;
+    const std::int64_t rest = neuron / iw;
+    events.push_back({static_cast<std::int32_t>(rest / ih),
+                      static_cast<std::int32_t>(rest % ih),
+                      static_cast<std::int32_t>(ix)});
+  });
+  if (events.empty()) return;
+
+  const std::int32_t* wdata = conv.weight.data();
+  std::int64_t* mdata = membrane.data();
   for (std::int64_t oc = 0; oc < conv.out_channels; ++oc) {
-    for (std::int64_t oy = 0; oy < oh; ++oy) {
-      for (std::int64_t ox = 0; ox < ow; ++ox) {
-        std::int64_t acc = 0;
-        for (std::int64_t ic = 0; ic < conv.in_channels; ++ic) {
-          for (std::int64_t ky = 0; ky < k; ++ky) {
-            const std::int64_t iy = oy * str + ky - pad;
-            if (iy < 0 || iy >= ih) continue;
-            for (std::int64_t kx = 0; kx < k; ++kx) {
-              const std::int64_t ix = ox * str + kx - pad;
-              if (ix < 0 || ix >= iw) continue;
-              const std::int64_t neuron = (ic * ih + iy) * iw + ix;
-              if (input.spike(t, neuron)) {
-                acc += conv.weight(oc, ic, ky, kx);
-                ++synaptic_ops;
-              }
-            }
-          }
+    std::int64_t* mplane = mdata + oc * oh * ow;
+    const std::int32_t* wbase = wdata + oc * conv.in_channels * k * k;
+    for (const ConvEvent& ev : events) {
+      const std::int32_t* wch = wbase + ev.ic * k * k;
+      for (std::int64_t ky = 0; ky < k; ++ky) {
+        const std::int64_t ynum = ev.iy + pad - ky;
+        if (ynum < 0 || ynum % str != 0) continue;
+        const std::int64_t oy = ynum / str;
+        if (oy >= oh) continue;
+        for (std::int64_t kx = 0; kx < k; ++kx) {
+          const std::int64_t xnum = ev.ix + pad - kx;
+          if (xnum < 0 || xnum % str != 0) continue;
+          const std::int64_t ox = xnum / str;
+          if (ox >= ow) continue;
+          mplane[oy * ow + ox] += wch[ky * k + kx];
+          ++synaptic_ops;
         }
-        membrane(oc, oy, ox) += acc;
       }
     }
   }
@@ -52,36 +70,28 @@ void pool_step(const QPool2d& pool, const SpikeTrain& input, int t,
   const Shape& in_shape = input.neuron_shape();
   const std::int64_t iw = in_shape.dim(2), ih = in_shape.dim(1);
   const std::int64_t k = pool.kernel;
-  const std::int64_t ch = membrane.dim(0), oh = membrane.dim(1), ow = membrane.dim(2);
-  for (std::int64_t c = 0; c < ch; ++c) {
-    for (std::int64_t oy = 0; oy < oh; ++oy) {
-      for (std::int64_t ox = 0; ox < ow; ++ox) {
-        std::int64_t acc = 0;
-        for (std::int64_t ky = 0; ky < k; ++ky) {
-          for (std::int64_t kx = 0; kx < k; ++kx) {
-            const std::int64_t neuron =
-                (c * ih + oy * k + ky) * iw + (ox * k + kx);
-            if (input.spike(t, neuron)) {
-              ++acc;
-              ++synaptic_ops;
-            }
-          }
-        }
-        membrane(c, oy, ox) += acc;
-      }
-    }
-  }
+  const std::int64_t oh = membrane.dim(1), ow = membrane.dim(2);
+  std::int64_t* mdata = membrane.data();
+  input.for_each_set_bit(t, [&](std::int64_t neuron) {
+    const std::int64_t ix = neuron % iw;
+    const std::int64_t rest = neuron / iw;
+    const std::int64_t iy = rest % ih, c = rest / ih;
+    const std::int64_t oy = iy / k, ox = ix / k;
+    if (oy >= oh || ox >= ow) return;  // ragged edge outside every window
+    mdata[(c * oh + oy) * ow + ox] += 1;
+    ++synaptic_ops;
+  });
 }
 
 void linear_step(const QLinear& fc, const SpikeTrain& input, int t,
                  TensorI64& membrane, std::int64_t& synaptic_ops) {
-  for (std::int64_t i = 0; i < fc.in_features; ++i) {
-    if (!input.spike(t, i)) continue;
-    for (std::int64_t o = 0; o < fc.out_features; ++o) {
-      membrane(o) += fc.weight(o, i);
-    }
+  const std::int32_t* w = fc.weight.data();
+  std::int64_t* mem = membrane.data();
+  input.for_each_set_bit(t, [&](std::int64_t i) {
+    for (std::int64_t o = 0; o < fc.out_features; ++o)
+      mem[o] += w[o * fc.in_features + i];
     synaptic_ops += fc.out_features;
-  }
+  });
 }
 
 }  // namespace
@@ -104,11 +114,7 @@ RadixSnnResult RadixSnn::run(const SpikeTrain& input,
 
     if (std::holds_alternative<QFlatten>(layer)) {
       // Buffer transfer: same bits, flat neuron indexing.
-      SpikeTrain flat(shapes[li], T);
-      for (int t = 0; t < T; ++t)
-        for (std::int64_t i = 0; i < current.num_neurons(); ++i)
-          flat.set_spike(t, i, current.spike(t, i));
-      current = std::move(flat);
+      current = std::move(current).reshaped(shapes[li]);
       if (record_layer_spikes) result.layer_spikes.push_back(current);
       continue;
     }

@@ -110,13 +110,14 @@ RateSnnResult RateSnn::run_image(const TensorF& image) const {
   TensorF output_accumulator;
 
   for (int t = 0; t < T; ++t) {
-    // Materialize this step's input spikes as a CHW tensor.
+    // Materialize this step's input spikes as a CHW tensor (zero-initialized;
+    // only the set bits are visited).
     TensorF x(image.shape());
-    for (std::int64_t i = 0; i < x.numel(); ++i) {
-      const bool s = input_train.spike(t, i);
-      x.at_flat(i) = s ? 1.0f : 0.0f;
-      if (s) ++result.total_spikes;
-    }
+    float* xdata = x.data();
+    input_train.for_each_set_bit(t, [&](std::int64_t i) {
+      xdata[i] = 1.0f;
+      ++result.total_spikes;
+    });
 
     for (int li = 0; li < net.num_layers(); ++li) {
       nn::Layer& layer = net.layer(li);

@@ -39,13 +39,14 @@ SparsityReport analyze_sparsity(const quant::QuantizedNetwork& qnet,
 
   double total_ops = 0.0;
   for (std::size_t s = 0; s < n; ++s) {
-    const RadixSnnResult run = snn.run_image(dataset.images[s], true);
-    total_ops += static_cast<double>(run.total_synaptic_ops);
-
-    // layer_spikes[k] is the *output* train of non-final layer k; the input
-    // train of layer 0 is the encoded image. Attribute input spikes.
+    // Encode once and reuse the train for both the run and the input-spike
+    // attribution (layer_spikes[k] is the *output* train of non-final layer
+    // k; the input train of layer 0 is the encoded image).
     const encoding::SpikeTrain input =
         encoding::radix_encode(dataset.images[s], qnet.time_bits);
+    const RadixSnnResult run = snn.run(input, true);
+    total_ops += static_cast<double>(run.total_synaptic_ops);
+
     report.layers[0].mean_spikes += static_cast<double>(input.total_spikes());
     for (std::size_t k = 0; k + 1 < qnet.layers.size() &&
                             k < run.layer_spikes.size();

@@ -54,12 +54,14 @@ class Tensor {
 
   // ---- element access -----------------------------------------------------
 
+  // Per-element bounds checks are RSNN_DCHECK (hot-path tier): full checks in
+  // Debug and RSNN_CHECKED builds, raw loads in plain Release.
   T& at_flat(std::int64_t index) {
-    RSNN_REQUIRE(index >= 0 && index < numel(), "flat index " << index);
+    RSNN_DCHECK(index >= 0 && index < numel(), "flat index " << index);
     return data_[static_cast<std::size_t>(index)];
   }
   const T& at_flat(std::int64_t index) const {
-    RSNN_REQUIRE(index >= 0 && index < numel(), "flat index " << index);
+    RSNN_DCHECK(index >= 0 && index < numel(), "flat index " << index);
     return data_[static_cast<std::size_t>(index)];
   }
 
@@ -131,9 +133,9 @@ class Tensor {
     const std::int64_t indices[] = {static_cast<std::int64_t>(idx)...};
     std::int64_t offset = 0;
     for (int axis = 0; axis < rank(); ++axis) {
-      RSNN_REQUIRE(indices[axis] >= 0 && indices[axis] < shape_.dim(axis),
-                   "index " << indices[axis] << " out of bounds for axis "
-                            << axis << " with size " << shape_.dim(axis));
+      RSNN_DCHECK(indices[axis] >= 0 && indices[axis] < shape_.dim(axis),
+                  "index " << indices[axis] << " out of bounds for axis "
+                           << axis << " with size " << shape_.dim(axis));
       offset += indices[axis] * strides_[static_cast<std::size_t>(axis)];
     }
     return static_cast<std::size_t>(offset);

@@ -1,0 +1,149 @@
+// Equivalence of the event-driven, bit-packed cycle-accurate simulator with
+// the seed byte-per-bit implementation on LeNet-5: logits, total cycles,
+// adder-op counts and memory traffic are architectural quantities and must be
+// exactly what the original dense loops produced.
+//
+// Oracles used (all independent of the rewritten hot loops):
+//   * logits        — QuantizedNetwork::forward (invariant 1/2)
+//   * total_cycles  — the analytic latency model (invariant 4)
+//   * adder ops     — RadixSnn's synaptic-op count (same event definition:
+//                     one fired addition per (spike, consuming adder))
+//   * traffic       — closed-form expressions transcribed from the seed
+//                     unit simulators' accounting
+#include <gtest/gtest.h>
+
+#include <variant>
+
+#include "common/bits.hpp"
+#include "common/rng.hpp"
+#include "encoding/radix.hpp"
+#include "hw/accelerator.hpp"
+#include "nn/zoo.hpp"
+#include "quant/quantize.hpp"
+#include "snn/radix_snn.hpp"
+#include "test_helpers.hpp"
+
+namespace rsnn::hw {
+namespace {
+
+using quant::QConv2d;
+using quant::QLinear;
+using quant::QPool2d;
+
+/// Per-layer traffic of the seed cycle-accurate implementation, in closed
+/// form (transcribed from the seed's per-element accounting).
+MemTraffic seed_traffic(const quant::QuantizedNetwork& qnet,
+                        const AcceleratorConfig& cfg) {
+  MemTraffic total;
+  const std::int64_t T = qnet.time_bits;
+  Shape shape = qnet.input_shape;
+  const auto shapes = qnet.layer_output_shapes();
+  for (std::size_t li = 0; li < qnet.layers.size(); ++li) {
+    const auto& layer = qnet.layers[li];
+    if (const auto* conv = std::get_if<QConv2d>(&layer)) {
+      const std::int64_t ih = shape.dim(1), iw = shape.dim(2);
+      const std::int64_t k = conv->kernel;
+      const std::int64_t oh = shapes[li].dim(1), ow = shapes[li].dim(2);
+      const std::int64_t X = cfg.conv.array_columns;
+      const std::int64_t share =
+          std::clamp<std::int64_t>(X / ow, 1, conv->out_channels);
+      const std::int64_t tiles = ow > X ? ceil_div(ow, X) : 1;
+      const std::int64_t slices = ceil_div(conv->out_channels, share);
+      // One full input read per (slice, time step, input channel, tile).
+      total.act_read_bits += slices * T * conv->in_channels * tiles * ih * iw;
+      total.act_write_bits += conv->out_channels * oh * ow * T;
+      total.weight_read_bits += T * conv->in_channels * tiles * k * k *
+                                conv->out_channels * qnet.weight_bits;
+    } else if (const auto* pool = std::get_if<QPool2d>(&layer)) {
+      const std::int64_t channels = shape.dim(0);
+      const std::int64_t ih = shape.dim(1), iw = shape.dim(2);
+      const std::int64_t oh = shapes[li].dim(1), ow = shapes[li].dim(2);
+      const std::int64_t X = cfg.pool.array_columns;
+      const std::int64_t tiles = ow > X ? ceil_div(ow, X) : 1;
+      // Every channel reads its full input once per (time step, tile).
+      total.act_read_bits += channels * T * tiles * ih * iw;
+      total.act_write_bits += channels * oh * ow * T;
+      (void)pool;
+    } else if (const auto* fc = std::get_if<QLinear>(&layer)) {
+      total.act_read_bits += T * fc->in_features;
+      total.act_write_bits += fc->out_features * T;
+      total.weight_read_bits +=
+          T * fc->in_features * fc->out_features * qnet.weight_bits;
+    }
+    shape = shapes[li];
+  }
+  return total;
+}
+
+TEST(PackedEquivalence, LeNetCycleAccurateMatchesSeedSemantics) {
+  Rng rng(2022);
+  nn::Network lenet = nn::make_lenet5();
+  lenet.init_params(rng);
+  const quant::QuantizedNetwork qnet =
+      quant::quantize(lenet, quant::QuantizeConfig{3, 4});
+  Accelerator accel(lenet_reference_config(), qnet);
+  const snn::RadixSnn snn(qnet);
+
+  for (int trial = 0; trial < 2; ++trial) {
+    const TensorF image =
+        rsnn::testing::random_image(Shape{1, 32, 32}, rng);
+    const TensorI codes = quant::encode_activations(image, 4);
+    const AccelRunResult run = accel.run_codes(codes, SimMode::kCycleAccurate);
+
+    // Logits: bit-identical to the integer reference model.
+    EXPECT_EQ(run.logits, qnet.forward(codes)) << "trial " << trial;
+
+    // Cycles: identical to the analytic model (seed invariant 4).
+    EXPECT_EQ(run.total_cycles, accel.predict_total_cycles());
+
+    // Adder ops: one fired addition per (spike, consuming adder) — the same
+    // event count the functional radix-SNN reports as synaptic operations.
+    const auto train = encoding::radix_encode_codes(codes, 4);
+    const snn::RadixSnnResult fn = snn.run(train, false);
+    EXPECT_EQ(run.total_adder_ops, fn.total_synaptic_ops) << "trial " << trial;
+    EXPECT_EQ(run.logits, fn.logits);
+
+    // Traffic: exactly the seed implementation's accounting.
+    const MemTraffic expected = seed_traffic(qnet, accel.config());
+    EXPECT_EQ(run.traffic_total.act_read_bits, expected.act_read_bits);
+    EXPECT_EQ(run.traffic_total.act_write_bits, expected.act_write_bits);
+    EXPECT_EQ(run.traffic_total.weight_read_bits, expected.weight_read_bits);
+  }
+}
+
+TEST(PackedEquivalence, BatchMatchesSequentialRuns) {
+  Rng rng(7);
+  nn::Network net = rsnn::testing::small_random_net(rng);
+  const quant::QuantizedNetwork qnet =
+      quant::quantize(net, quant::QuantizeConfig{3, 4});
+  AcceleratorConfig cfg;
+  cfg.num_conv_units = 2;
+  cfg.conv = ConvUnitGeometry{12, 5, 24};
+  cfg.pool = PoolUnitGeometry{8, 2, 16};
+  cfg.linear = LinearUnitGeometry{4, 24};
+  Accelerator accel(cfg, qnet);
+
+  std::vector<TensorF> images;
+  for (int i = 0; i < 6; ++i)
+    images.push_back(rsnn::testing::random_image(Shape{1, 10, 10}, rng));
+
+  const auto batch = accel.run_batch(images, SimMode::kCycleAccurate,
+                                     /*num_threads=*/3);
+  ASSERT_EQ(batch.size(), images.size());
+  for (std::size_t i = 0; i < images.size(); ++i) {
+    const AccelRunResult ref = accel.run_image(images[i]);
+    EXPECT_EQ(batch[i].logits, ref.logits) << "image " << i;
+    EXPECT_EQ(batch[i].total_cycles, ref.total_cycles);
+    EXPECT_EQ(batch[i].total_adder_ops, ref.total_adder_ops);
+    EXPECT_EQ(batch[i].traffic_total.act_read_bits,
+              ref.traffic_total.act_read_bits);
+  }
+
+  // Single-threaded and analytic-mode batches take the same paths.
+  const auto serial = accel.run_batch(images, SimMode::kCycleAccurate, 1);
+  for (std::size_t i = 0; i < images.size(); ++i)
+    EXPECT_EQ(serial[i].logits, batch[i].logits);
+}
+
+}  // namespace
+}  // namespace rsnn::hw

@@ -1,0 +1,184 @@
+// Regression tests for the bit-packed SpikeTrain against the original
+// byte-per-bit semantics: every public accessor must behave exactly as if
+// spikes were stored one uint8_t per (step, neuron).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "encoding/radix.hpp"
+#include "encoding/spike_train.hpp"
+
+namespace rsnn::encoding {
+namespace {
+
+/// The seed implementation's storage model, kept as the oracle.
+class ByteTrain {
+ public:
+  ByteTrain(std::int64_t numel, int time_steps)
+      : numel_(numel), bits_(static_cast<std::size_t>(time_steps) *
+                                 static_cast<std::size_t>(numel),
+                             0) {}
+  bool spike(int t, std::int64_t n) const {
+    return bits_[static_cast<std::size_t>(t) * static_cast<std::size_t>(numel_) +
+                 static_cast<std::size_t>(n)] != 0;
+  }
+  void set_spike(int t, std::int64_t n, bool v) {
+    bits_[static_cast<std::size_t>(t) * static_cast<std::size_t>(numel_) +
+          static_cast<std::size_t>(n)] = v ? 1 : 0;
+  }
+  std::int64_t total_spikes() const {
+    std::int64_t total = 0;
+    for (const auto b : bits_) total += b;
+    return total;
+  }
+
+ private:
+  std::int64_t numel_;
+  std::vector<std::uint8_t> bits_;
+};
+
+class PackedSweep : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(PackedSweep, RandomPatternMatchesByteOracle) {
+  const std::int64_t numel = GetParam();
+  const int T = 5;
+  SpikeTrain packed(Shape{numel}, T);
+  ByteTrain oracle(numel, T);
+
+  Rng rng(77 + static_cast<std::uint64_t>(numel));
+  // Random sets AND clears (clears exercise the mask-off path).
+  for (int round = 0; round < 3; ++round) {
+    for (int t = 0; t < T; ++t) {
+      for (std::int64_t n = 0; n < numel; ++n) {
+        if (rng.next_bool(0.4)) {
+          const bool value = rng.next_bool(0.7);
+          packed.set_spike(t, n, value);
+          oracle.set_spike(t, n, value);
+        }
+      }
+    }
+  }
+
+  for (int t = 0; t < T; ++t)
+    for (std::int64_t n = 0; n < numel; ++n)
+      ASSERT_EQ(packed.spike(t, n), oracle.spike(t, n))
+          << "t=" << t << " n=" << n << " numel=" << numel;
+  EXPECT_EQ(packed.total_spikes(), oracle.total_spikes());
+
+  for (std::int64_t n = 0; n < numel; ++n) {
+    int expected = 0;
+    for (int t = 0; t < T; ++t) expected += oracle.spike(t, n) ? 1 : 0;
+    ASSERT_EQ(packed.spike_count(n), expected) << "n=" << n;
+  }
+
+  // Event iteration: ascending order, exactly the set bits.
+  for (int t = 0; t < T; ++t) {
+    std::vector<std::int64_t> events;
+    packed.for_each_set_bit(t, [&](std::int64_t n) { events.push_back(n); });
+    std::vector<std::int64_t> expected;
+    for (std::int64_t n = 0; n < numel; ++n)
+      if (oracle.spike(t, n)) expected.push_back(n);
+    ASSERT_EQ(events, expected) << "t=" << t;
+  }
+}
+
+// Word counts straddle the interesting boundaries: sub-word, exact single
+// word, word+1, multi-word, multi-word with a partial tail.
+INSTANTIATE_TEST_SUITE_P(NeuronCounts, PackedSweep,
+                         ::testing::Values<std::int64_t>(1, 7, 63, 64, 65, 105,
+                                                         128, 130, 300));
+
+TEST(PackedSpikeTrain, RangeIterationRespectsBounds) {
+  SpikeTrain train(Shape{200}, 2);
+  for (std::int64_t n = 0; n < 200; n += 3) train.set_spike(1, n, true);
+
+  std::vector<std::int64_t> events;
+  train.for_each_set_bit_in_range(1, 10, 130,
+                                  [&](std::int64_t n) { events.push_back(n); });
+  ASSERT_FALSE(events.empty());
+  EXPECT_EQ(events.front(), 12);  // first multiple of 3 in [10, 130)
+  EXPECT_EQ(events.back(), 129);
+  for (std::size_t i = 0; i < events.size(); ++i)
+    ASSERT_EQ(events[i], 12 + static_cast<std::int64_t>(i) * 3);
+
+  // Empty and degenerate ranges.
+  events.clear();
+  train.for_each_set_bit_in_range(0, 0, 200,
+                                  [&](std::int64_t n) { events.push_back(n); });
+  EXPECT_TRUE(events.empty());  // step 0 has no spikes
+  train.for_each_set_bit_in_range(1, 50, 50,
+                                  [&](std::int64_t n) { events.push_back(n); });
+  EXPECT_TRUE(events.empty());
+}
+
+TEST(PackedSpikeTrain, WordAccessorExposesPackedRows) {
+  SpikeTrain train(Shape{70}, 2);
+  train.set_spike(0, 0, true);
+  train.set_spike(0, 63, true);
+  train.set_spike(0, 64, true);
+  train.set_spike(1, 1, true);
+  EXPECT_EQ(train.words_per_step(), 2);
+  EXPECT_EQ(train.word(0, 0), (std::uint64_t{1} << 63) | 1u);
+  EXPECT_EQ(train.word(0, 1), 1u);
+  EXPECT_EQ(train.word(1, 0), 2u);
+  EXPECT_EQ(train.word(1, 1), 0u);
+  EXPECT_EQ(train.step_words(0)[1], 1u);
+  EXPECT_EQ(train.spikes_at_step(0), 3);
+  EXPECT_EQ(train.spikes_at_step(1), 1);
+}
+
+TEST(PackedSpikeTrain, PaddingBitsStayZeroThroughSetAndClear) {
+  // 65 neurons: the second word has 63 padding bits that must never be set,
+  // otherwise total_spikes / operator== would silently drift.
+  SpikeTrain train(Shape{65}, 3);
+  for (int t = 0; t < 3; ++t)
+    for (std::int64_t n = 0; n < 65; ++n) train.set_spike(t, n, true);
+  EXPECT_EQ(train.total_spikes(), 3 * 65);
+  for (int t = 0; t < 3; ++t)
+    EXPECT_EQ(train.word(t, 1), 1u) << "padding bits leaked at t=" << t;
+  for (std::int64_t n = 0; n < 65; ++n) train.set_spike(1, n, false);
+  EXPECT_EQ(train.total_spikes(), 2 * 65);
+}
+
+TEST(PackedSpikeTrain, ReshapePreservesBitsAndEquality) {
+  Rng rng(31);
+  SpikeTrain train(Shape{3, 5, 7}, 4);
+  for (int t = 0; t < 4; ++t)
+    for (std::int64_t n = 0; n < 105; ++n)
+      train.set_spike(t, n, rng.next_bool(0.3));
+
+  const SpikeTrain flat = train.reshaped(Shape{105});
+  EXPECT_EQ(flat.neuron_shape(), Shape{105});
+  for (int t = 0; t < 4; ++t)
+    for (std::int64_t n = 0; n < 105; ++n)
+      ASSERT_EQ(flat.spike(t, n), train.spike(t, n));
+  EXPECT_EQ(flat.total_spikes(), train.total_spikes());
+
+  // Equality is shape-sensitive but bit-exact.
+  EXPECT_FALSE(flat == train);
+  EXPECT_TRUE(train == train.reshaped(Shape{3, 5, 7}));
+  EXPECT_THROW(train.reshaped(Shape{104}), ContractViolation);
+}
+
+TEST(PackedSpikeTrain, RadixRoundTripOnNonMultipleOf64) {
+  // End-to-end through the encoder: 105 neurons, all codes distinct.
+  Rng rng(53);
+  TensorI codes(Shape{3, 5, 7});
+  for (std::int64_t i = 0; i < codes.numel(); ++i)
+    codes.at_flat(i) = static_cast<std::int32_t>(rng.next_below(16));
+  const SpikeTrain train = radix_encode_codes(codes, 4);
+  EXPECT_EQ(radix_decode_codes(train), codes);
+}
+
+TEST(PackedSpikeTrain, BoundsCheckedInCheckedBuilds) {
+  // The test targets compile with RSNN_CHECKED, so the DCHECK tier throws.
+  SpikeTrain train(Shape{4}, 2);
+  EXPECT_THROW(train.spike(2, 0), ContractViolation);
+  EXPECT_THROW(train.spike(0, 4), ContractViolation);
+  EXPECT_THROW(train.word(0, 1), ContractViolation);
+}
+
+}  // namespace
+}  // namespace rsnn::encoding
