@@ -20,6 +20,8 @@
 
 #include "common/rng.hpp"
 #include "encoding/radix.hpp"
+#include "engine/engine.hpp"
+#include "engine/stream.hpp"
 #include "hw/accelerator.hpp"
 #include "hw/conv_unit.hpp"
 #include "nn/activation.hpp"
@@ -77,6 +79,7 @@ struct BenchResult {
   std::string name;
   double ns_per_inference = 0.0;
   int samples = 0;
+  double images_per_sec = 0.0;  ///< emitted when > 0 (streaming entries)
 };
 
 /// Wall-clock ns per call of `fn` over `samples` calls (one warmup call).
@@ -131,6 +134,39 @@ int run_json_mode(const std::string& path, int samples) {
     results.push_back({"cycle_accurate_lenet_t8_batch8",
                        batch_ns / static_cast<double>(batch.size()),
                        std::max(1, samples / 4)});
+
+    // The other two engines over the same lowered program.
+    const ir::LayerProgram& program = accel.program();
+    for (const auto kind : {engine::EngineKind::kBehavioral,
+                            engine::EngineKind::kReference}) {
+      auto eng = engine::make_engine(kind, program);
+      results.push_back(
+          {std::string(eng->name()) + "_lenet_t8",
+           time_ns_per_call(samples,
+                            [&] {
+                              auto r = eng->run_codes(codes);
+                              (void)r;
+                            }),
+           samples});
+    }
+
+    // Streaming throughput: a persistent worker pool with pre-allocated
+    // per-worker state, the serving-path metric (images/sec).
+    {
+      engine::StreamingExecutor stream(
+          program, engine::EngineKind::kCycleAccurate, /*num_workers=*/0);
+      std::vector<TensorI> stream_batch(
+          static_cast<std::size_t>(std::max(8, samples)), codes);
+      stream.run_stream(stream_batch);  // warm the pool
+      stream.run_stream(stream_batch);
+      const engine::StreamStats stats = stream.last_stats();
+      BenchResult r;
+      r.name = "stream_cycle_accurate_lenet_t8";
+      r.ns_per_inference = stats.ns_per_inference;
+      r.samples = static_cast<int>(stats.images);
+      r.images_per_sec = stats.images_per_sec;
+      results.push_back(r);
+    }
   }
 
   // The small network at T=4 (historic tracking point).
@@ -182,16 +218,24 @@ int run_json_mode(const std::string& path, int samples) {
   for (std::size_t i = 0; i < results.size(); ++i) {
     std::fprintf(out,
                  "    {\"name\": \"%s\", \"ns_per_inference\": %.1f, "
-                 "\"samples\": %d}%s\n",
+                 "\"samples\": %d",
                  results[i].name.c_str(), results[i].ns_per_inference,
-                 results[i].samples, i + 1 < results.size() ? "," : "");
+                 results[i].samples);
+    if (results[i].images_per_sec > 0.0)
+      std::fprintf(out, ", \"images_per_sec\": %.1f",
+                   results[i].images_per_sec);
+    std::fprintf(out, "}%s\n", i + 1 < results.size() ? "," : "");
   }
   std::fprintf(out, "  ]\n}\n");
   std::fclose(out);
 
-  for (const BenchResult& r : results)
-    std::printf("%-36s %14.1f ns/inference\n", r.name.c_str(),
+  for (const BenchResult& r : results) {
+    std::printf("%-36s %14.1f ns/inference", r.name.c_str(),
                 r.ns_per_inference);
+    if (r.images_per_sec > 0.0)
+      std::printf("  (%.1f images/sec)", r.images_per_sec);
+    std::printf("\n");
+  }
   std::printf("wrote %s\n", path.c_str());
   return 0;
 }
@@ -275,6 +319,24 @@ void BM_RunBatchLeNetT8(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 8);
 }
 BENCHMARK(BM_RunBatchLeNetT8);
+
+void BM_StreamLeNetT8(benchmark::State& state) {
+  const auto qnet = make_lenet_qnet(8);
+  const ir::LayerProgram program =
+      ir::lower(qnet, hw::lenet_reference_config());
+  engine::StreamingExecutor stream(program,
+                                   engine::EngineKind::kCycleAccurate, 0);
+  Rng rng(9);
+  std::vector<TensorI> batch;
+  for (int i = 0; i < 16; ++i)
+    batch.push_back(
+        quant::encode_activations(random_image(Shape{1, 32, 32}, rng), 8));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stream.run_stream(batch));
+  }
+  state.SetItemsProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_StreamLeNetT8);
 
 void BM_AnalyticAccelerator(benchmark::State& state) {
   const auto qnet = make_qnet(4);

@@ -3,14 +3,18 @@
 //   1. Build a small CNN with ClippedReLU activations.
 //   2. Train it on a synthetic digit dataset.
 //   3. Convert it to a radix-encoded SNN (3-bit weights, T-bit activations).
-//   4. Compile the SNN onto an accelerator instance.
-//   5. Run one inference cycle-accurately and print the hardware report.
+//   4. Compile the SNN onto an accelerator instance (-> ir::LayerProgram).
+//   5. Run one inference on every execution engine (they must agree
+//      bit-identically), stream a batch through the persistent worker pool,
+//      and print the hardware report.
 //
 // Build & run:  ./build/examples/quickstart
 #include <cstdio>
 
 #include "compiler/compile.hpp"
 #include "data/synth_digits.hpp"
+#include "engine/engine.hpp"
+#include "engine/stream.hpp"
 #include "hw/accelerator.hpp"
 #include "hw/power_model.hpp"
 #include "hw/resource_model.hpp"
@@ -70,18 +74,31 @@ int main() {
   const auto design = compiler::compile(qnet, options);
   std::printf("%s\n", compiler::describe(design, qnet).c_str());
 
-  // ---- 5. run one image cycle-accurately ----------------------------------
-  hw::Accelerator accel(design.config, qnet);
+  // ---- 5. run one image on every engine -----------------------------------
+  // The compiled design carries the lowered LayerProgram; all four engines
+  // execute it and must agree bit-identically on logits and cycles.
+  hw::Accelerator accel(design.program);
   const auto& image = parts.test.images[0];
   const auto run = accel.run_image(image, hw::SimMode::kCycleAccurate);
 
-  // Cross-check against the functional SNN simulator (bit-exact).
-  const snn::RadixSnn reference(qnet);
-  const auto ref = reference.run_image(image);
-  std::printf("accelerator prediction: %d (label %d), SNN reference: %d\n",
-              run.predicted_class, parts.test.labels[0], ref.predicted_class);
-  std::printf("bit-exact match with functional SNN: %s\n",
-              run.logits == ref.logits ? "yes" : "NO");
+  for (const auto kind : engine::all_engines()) {
+    auto eng = engine::make_engine(kind, design.program);
+    const auto result = eng->run_image(image);
+    std::printf("engine %-14s -> class %d, %lld cycles, bit-exact: %s\n",
+                eng->name(), result.predicted_class,
+                static_cast<long long>(result.total_cycles),
+                result.logits == run.logits ? "yes" : "NO");
+  }
+  std::printf("label: %d\n", parts.test.labels[0]);
+
+  // Streaming: a persistent worker pool with pre-allocated per-worker state
+  // reports serving throughput alongside the modeled hardware latency.
+  engine::StreamingExecutor stream(design.program,
+                                   engine::EngineKind::kCycleAccurate, 0);
+  stream.run_stream_images(parts.test.images);
+  std::printf("streamed %lld images -> %.1f images/sec on %d worker(s)\n",
+              static_cast<long long>(stream.last_stats().images),
+              stream.last_stats().images_per_sec, stream.last_stats().workers);
 
   std::printf("\nlatency: %.1f us (%lld cycles @ %.0f MHz)\n", run.latency_us,
               static_cast<long long>(run.total_cycles),

@@ -37,7 +37,7 @@ namespace detail {
   do {                                                                        \
     if (!(expr)) {                                                            \
       std::ostringstream rsnn_require_os_;                                    \
-      rsnn_require_os_ __VA_OPT__(<< __VA_ARGS__);                            \
+      (void)(rsnn_require_os_ __VA_OPT__(<< __VA_ARGS__));                    \
       ::rsnn::detail::contract_fail("Precondition", #expr, __FILE__,          \
                                     __LINE__, rsnn_require_os_.str());        \
     }                                                                         \
@@ -48,7 +48,7 @@ namespace detail {
   do {                                                                        \
     if (!(expr)) {                                                            \
       std::ostringstream rsnn_ensure_os_;                                     \
-      rsnn_ensure_os_ __VA_OPT__(<< __VA_ARGS__);                             \
+      (void)(rsnn_ensure_os_ __VA_OPT__(<< __VA_ARGS__));                     \
       ::rsnn::detail::contract_fail("Invariant", #expr, __FILE__, __LINE__,   \
                                     rsnn_ensure_os_.str());                   \
     }                                                                         \

@@ -10,11 +10,6 @@
 namespace rsnn::compiler {
 namespace {
 
-using quant::QConv2d;
-using quant::QFlatten;
-using quant::QLinear;
-using quant::QPool2d;
-
 std::int64_t round_up(std::int64_t value, int multiple) {
   if (multiple <= 1) return value;
   return ceil_div(value, multiple) * multiple;
@@ -36,35 +31,16 @@ CompiledDesign compile(const quant::QuantizedNetwork& qnet,
   cfg.memory = options.memory;
 
   // Scan the network for unit geometry requirements.
-  Shape shape = qnet.input_shape;
-  const auto shapes = qnet.layer_output_shapes();
-  std::int64_t max_conv_kernel = 0, max_conv_ow = 0;
-  std::int64_t max_pool_kernel = 0, max_pool_ow = 0;
-  bool has_conv = false, has_pool = false;
-  for (std::size_t li = 0; li < qnet.layers.size(); ++li) {
-    const auto& layer = qnet.layers[li];
-    if (const auto* conv = std::get_if<QConv2d>(&layer)) {
-      has_conv = true;
-      max_conv_kernel = std::max(max_conv_kernel, conv->kernel);
-      max_conv_ow = std::max(max_conv_ow, shapes[li].dim(2));
-    } else if (std::get_if<QPool2d>(&layer) != nullptr) {
-      has_pool = true;
-      const auto* pool = std::get_if<QPool2d>(&layer);
-      max_pool_kernel = std::max(max_pool_kernel, pool->kernel);
-      max_pool_ow = std::max(max_pool_ow, shapes[li].dim(2));
-    }
-    shape = shapes[li];
+  const ir::GeometryRequirements req = ir::scan_geometry(qnet);
+  if (req.has_conv) {
+    cfg.conv.kernel_rows = static_cast<int>(req.max_conv_kernel);
+    cfg.conv.array_columns = static_cast<int>(
+        round_up(req.max_conv_out_width, options.column_round_to));
   }
-
-  if (has_conv) {
-    cfg.conv.kernel_rows = static_cast<int>(max_conv_kernel);
-    cfg.conv.array_columns =
-        static_cast<int>(round_up(max_conv_ow, options.column_round_to));
-  }
-  if (has_pool) {
-    cfg.pool.kernel_rows = static_cast<int>(max_pool_kernel);
-    cfg.pool.array_columns =
-        static_cast<int>(round_up(max_pool_ow, options.column_round_to));
+  if (req.has_pool) {
+    cfg.pool.kernel_rows = static_cast<int>(req.max_pool_kernel);
+    cfg.pool.array_columns = static_cast<int>(
+        round_up(req.max_pool_out_width, options.column_round_to));
   }
 
   if (options.size_accumulators) {
@@ -74,61 +50,23 @@ CompiledDesign compile(const quant::QuantizedNetwork& qnet,
     cfg.linear.accumulator_bits = plan.linear_bits;
   }
 
-  // Bind an accelerator to validate and extract placement + buffer sizing,
-  // then derive the per-layer schedule from the analytic model.
-  hw::Accelerator accel(cfg, qnet);
-  design.config = accel.config();
+  // Lower the network onto the derived config: validates the mapping and
+  // precomputes placement, buffer sizing and the per-op schedule.
+  design.program = ir::lower(qnet, cfg);
+  design.predicted_total_cycles = design.program.predicted_total_cycles();
+  design.predicted_latency_us = design.program.predicted_latency_us();
 
-  Shape in_shape = qnet.input_shape;
-  for (std::size_t li = 0; li < qnet.layers.size(); ++li) {
-    const auto& layer = qnet.layers[li];
-    ScheduleEntry entry;
-    entry.layer_index = static_cast<int>(li);
-    entry.placement = accel.placement()[li];
-
-    if (const auto* conv = std::get_if<QConv2d>(&layer)) {
-      hw::ConvDims dims{conv->in_channels, conv->out_channels,
-                        in_shape.dim(1),  in_shape.dim(2),
-                        conv->kernel,     conv->stride,
-                        conv->padding};
-      const auto lat = hw::conv_latency(dims, cfg, qnet.time_bits,
-                                        entry.placement, qnet.weight_bits);
-      entry.kind = "conv";
-      entry.unit = "conv_units[k=" + std::to_string(conv->kernel) + "]";
-      entry.groups = lat.groups;
-      entry.channels_per_unit = lat.channels_per_unit;
-      entry.predicted_cycles = lat.total_cycles;
-    } else if (const auto* pool = std::get_if<QPool2d>(&layer)) {
-      const auto lat =
-          hw::pool_latency(in_shape.dim(0), in_shape.dim(1), in_shape.dim(2),
-                           pool->kernel, cfg, qnet.time_bits);
-      entry.kind = "pool";
-      entry.unit = "pool_unit";
-      entry.groups = lat.groups;
-      entry.channels_per_unit = lat.channels_per_unit;
-      entry.predicted_cycles = lat.total_cycles;
-    } else if (const auto* fc = std::get_if<QLinear>(&layer)) {
-      const auto lat =
-          hw::linear_latency(fc->in_features, fc->out_features, cfg,
-                             qnet.time_bits, entry.placement, qnet.weight_bits);
-      entry.kind = "linear";
-      entry.unit = "linear_unit";
-      entry.groups = lat.groups;
-      entry.channels_per_unit = lat.channels_per_unit;
-      entry.predicted_cycles = lat.total_cycles;
-    } else {
-      entry.kind = "flatten";
-      entry.unit = "buffer transfer";
-      entry.predicted_cycles = hw::flatten_transfer_cycles(
-          in_shape.numel(), qnet.time_bits, cfg.timing);
-    }
-    design.predicted_total_cycles += entry.predicted_cycles;
-    design.schedule.push_back(entry);
-    in_shape = shapes[li];
-  }
-  design.predicted_latency_us =
-      static_cast<double>(design.predicted_total_cycles) * cfg.cycle_ns() /
-      1000.0;
+  // Drift guard (invariant 4): an independent summation of the per-op
+  // predicted cycles must reproduce the program total the accelerator will
+  // report as predict_total_cycles(). The strong form of the invariant —
+  // these totals equal the cycle-accurate stepped count — is pinned by
+  // tests/test_compiler.cpp (PredictedCyclesPinnedToCycleAccurateLeNet).
+  std::int64_t per_op_sum = 0;
+  for (const ir::LayerOp& op : design.program.ops())
+    per_op_sum += op.latency.total_cycles;
+  RSNN_ENSURE(per_op_sum == design.predicted_total_cycles,
+              "compiler schedule disagrees with the program's analytic "
+              "latency total");
   return design;
 }
 
@@ -166,14 +104,13 @@ std::string describe(const CompiledDesign& design,
      << "  linear unit: " << cfg.linear.lanes << " lanes\n"
      << "  T=" << qnet.time_bits << ", weights " << qnet.weight_bits << " bit\n"
      << "  schedule:\n";
-  for (const auto& entry : design.schedule) {
-    os << "    [" << entry.layer_index << "] " << entry.kind << " on "
-       << entry.unit;
-    if (entry.groups > 0)
-      os << " groups=" << entry.groups
-         << " share=" << entry.channels_per_unit;
-    os << (entry.placement == hw::WeightPlacement::kDram ? " [DRAM]" : "")
-       << " ~" << entry.predicted_cycles << " cycles\n";
+  for (const ir::LayerOp& op : design.program.ops()) {
+    os << "    [" << op.layer_index << "] " << op.name() << " on " << op.unit;
+    if (op.latency.groups > 0)
+      os << " groups=" << op.latency.groups
+         << " share=" << op.latency.channels_per_unit;
+    os << (op.placement == hw::WeightPlacement::kDram ? " [DRAM]" : "")
+       << " ~" << op.latency.total_cycles << " cycles\n";
   }
   os << "  predicted latency: " << design.predicted_latency_us << " us ("
      << design.predicted_total_cycles << " cycles)\n";

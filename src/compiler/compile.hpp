@@ -8,14 +8,16 @@
 //   * pooling-unit geometry likewise,
 //   * weight placement (BRAM if everything fits, DRAM streaming otherwise),
 //   * ping-pong buffer sizing (smallest capacity that fits every layer),
-// and produces a human-readable mapping report plus per-layer schedule.
+// and lowers the network into an ir::LayerProgram: the per-layer schedule
+// (typed ops with group phasing, placement and predicted latency) that every
+// downstream consumer — simulation, latency, power, RTL — reads.
 #pragma once
 
 #include <string>
 #include <vector>
 
-#include "hw/accelerator.hpp"
 #include "hw/arch.hpp"
+#include "ir/layer_program.hpp"
 #include "quant/qnetwork.hpp"
 
 namespace rsnn::compiler {
@@ -34,20 +36,16 @@ struct CompileOptions {
   hw::MemoryConfig memory;
 };
 
-/// One scheduled step of the layer program.
-struct ScheduleEntry {
-  int layer_index = 0;
-  std::string kind;           ///< conv / pool / linear / flatten
-  std::string unit;           ///< which unit class executes it
-  std::int64_t groups = 0;    ///< sequential group phases
-  std::int64_t channels_per_unit = 0;
-  hw::WeightPlacement placement = hw::WeightPlacement::kOnChip;
-  std::int64_t predicted_cycles = 0;
-};
-
+/// A derived design instance plus the program lowered onto it. The program
+/// borrows the QuantizedNetwork it was compiled from (see ir/layer_program),
+/// so the network must outlive the design.
 struct CompiledDesign {
+  /// Convenience copy of the derived design instance for reports and
+  /// resource/power models. The authoritative copy is embedded in the
+  /// program (`program.config()`): engines and accelerators read that one,
+  /// so treat this field as read-only.
   hw::AcceleratorConfig config;
-  std::vector<ScheduleEntry> schedule;
+  ir::LayerProgram program;   ///< the per-layer schedule (typed ops)
   std::int64_t predicted_total_cycles = 0;
   double predicted_latency_us = 0.0;
 };

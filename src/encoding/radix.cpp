@@ -7,18 +7,40 @@
 
 namespace rsnn::encoding {
 
-SpikeTrain radix_encode_codes(const TensorI& codes, int time_steps) {
+namespace {
+
+template <typename TensorT>
+void encode_codes_into(const TensorT& codes, int time_steps, SpikeTrain& out) {
   RSNN_REQUIRE(time_steps >= 1 && time_steps <= 30);
   const std::int64_t levels = std::int64_t{1} << time_steps;
-  SpikeTrain train(codes.shape(), time_steps);
+  out.reset(codes.shape(), time_steps);
   for (std::int64_t i = 0; i < codes.numel(); ++i) {
     const std::int64_t code = codes.at_flat(i);
     RSNN_REQUIRE(code >= 0 && code < levels,
                  "code " << code << " not in [0, 2^" << time_steps << ")");
+    // Unconditional set: the value-select compiles branchless, which beats a
+    // conditional store on the (data-dependent, unpredictable) spike bits.
     for (int t = 0; t < time_steps; ++t)
-      train.set_spike(t, i, test_bit(static_cast<std::uint64_t>(code),
-                                     time_steps - 1 - t));
+      out.set_spike(t, i, test_bit(static_cast<std::uint64_t>(code),
+                                   time_steps - 1 - t));
   }
+}
+
+}  // namespace
+
+void radix_encode_codes_into(const TensorI& codes, int time_steps,
+                             SpikeTrain& out) {
+  encode_codes_into(codes, time_steps, out);
+}
+
+void radix_encode_codes_into(const TensorI64& codes, int time_steps,
+                             SpikeTrain& out) {
+  encode_codes_into(codes, time_steps, out);
+}
+
+SpikeTrain radix_encode_codes(const TensorI& codes, int time_steps) {
+  SpikeTrain train;
+  radix_encode_codes_into(codes, time_steps, train);
   return train;
 }
 

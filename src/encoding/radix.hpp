@@ -15,6 +15,15 @@ namespace rsnn::encoding {
 /// Encode integer activation codes (values in [0, 2^T)) into spike trains.
 SpikeTrain radix_encode_codes(const TensorI& codes, int time_steps);
 
+/// Encode into an existing train, reusing its storage (no allocation once
+/// the train has reached its steady-state capacity). `out` is reset to the
+/// codes' shape. Overloaded for the 64-bit accumulator tensors the unit
+/// simulators produce, avoiding a narrowing copy.
+void radix_encode_codes_into(const TensorI& codes, int time_steps,
+                             SpikeTrain& out);
+void radix_encode_codes_into(const TensorI64& codes, int time_steps,
+                             SpikeTrain& out);
+
 /// Encode real activations in [0, 1): quantize to T bits, then encode.
 SpikeTrain radix_encode(const TensorF& activations, int time_steps);
 

@@ -35,6 +35,20 @@ class SpikeTrain {
     RSNN_REQUIRE(time_steps >= 1);
   }
 
+  /// Reinitialize in place to a (possibly different) shape and length,
+  /// reusing the word storage's capacity. All spikes cleared. This is the
+  /// allocation-free path the streaming scheduler uses between inferences.
+  void reset(Shape neuron_shape, int time_steps) {
+    RSNN_REQUIRE(time_steps >= 1);
+    shape_ = std::move(neuron_shape);
+    numel_ = shape_.numel();
+    time_steps_ = time_steps;
+    words_per_step_ = (numel_ + 63) / 64;
+    words_.assign(static_cast<std::size_t>(time_steps) *
+                      static_cast<std::size_t>(words_per_step_),
+                  0);
+  }
+
   const Shape& neuron_shape() const { return shape_; }
   int time_steps() const { return time_steps_; }
   std::int64_t num_neurons() const { return numel_; }

@@ -1,0 +1,194 @@
+#include "engine/engine.hpp"
+
+#include <bit>
+
+#include "common/assert.hpp"
+#include "encoding/radix.hpp"
+#include "snn/radix_snn.hpp"
+
+namespace rsnn::engine {
+namespace {
+
+std::int64_t code_spikes(const TensorI64& codes) {
+  std::int64_t spikes = 0;
+  const std::int64_t* data = codes.data();
+  for (std::int64_t i = 0; i < codes.numel(); ++i)
+    spikes += std::popcount(static_cast<std::uint64_t>(data[i]));
+  return spikes;
+}
+
+/// Per-op stats from the program's precomputed timing annotations plus the
+/// exact event-driven activity for the op's actual input codes.
+hw::LayerStats predicted_stats(const ir::LayerOp& op,
+                               const TensorI64& input_codes) {
+  hw::LayerStats stats;
+  stats.name = op.name();
+  stats.cycles = op.latency.total_cycles;
+  stats.dram_cycles = op.latency.dram_cycles;
+  stats.traffic = op.latency.traffic;
+  stats.input_spikes = code_spikes(input_codes);
+  stats.adder_ops = ir::exact_adder_ops(op, input_codes);
+  return stats;
+}
+
+void accumulate(hw::AccelRunResult& result, hw::LayerStats stats) {
+  result.total_cycles += stats.cycles;
+  result.total_adder_ops += stats.adder_ops;
+  result.dram_bits += stats.traffic.dram_bits;
+  result.traffic_total.act_read_bits += stats.traffic.act_read_bits;
+  result.traffic_total.act_write_bits += stats.traffic.act_write_bits;
+  result.traffic_total.weight_read_bits += stats.traffic.weight_read_bits;
+  result.traffic_total.dram_bits += stats.traffic.dram_bits;
+  result.layers.push_back(std::move(stats));
+}
+
+void finalize(hw::AccelRunResult& result, double cycle_ns) {
+  result.latency_us =
+      static_cast<double>(result.total_cycles) * cycle_ns / 1000.0;
+  int best = 0;
+  for (std::size_t c = 1; c < result.logits.size(); ++c)
+    if (result.logits[c] > result.logits[static_cast<std::size_t>(best)])
+      best = static_cast<int>(c);
+  result.predicted_class = best;
+}
+
+class CycleAccurateEngine final : public Engine {
+ public:
+  explicit CycleAccurateEngine(const ir::LayerProgram& program)
+      : Engine(program),
+        accel_(program),
+        state_(accel_.make_worker_state()) {}
+  EngineKind kind() const override { return EngineKind::kCycleAccurate; }
+  hw::AccelRunResult run_codes(const TensorI& codes) override {
+    return accel_.run_codes(state_, codes, hw::SimMode::kCycleAccurate);
+  }
+
+ private:
+  hw::Accelerator accel_;
+  hw::Accelerator::WorkerState state_;
+};
+
+class AnalyticEngine final : public Engine {
+ public:
+  explicit AnalyticEngine(const ir::LayerProgram& program)
+      : Engine(program), accel_(program) {}
+  EngineKind kind() const override { return EngineKind::kAnalytic; }
+  hw::AccelRunResult run_codes(const TensorI& codes) override {
+    return accel_.run_codes(codes, hw::SimMode::kAnalytic);
+  }
+
+ private:
+  hw::Accelerator accel_;
+};
+
+/// The functional radix-SNN simulator: logits from event-driven spike
+/// processing; timing and traffic from the program annotations.
+class BehavioralEngine final : public Engine {
+ public:
+  explicit BehavioralEngine(const ir::LayerProgram& program)
+      : Engine(program), snn_(program.network()) {}
+  EngineKind kind() const override { return EngineKind::kBehavioral; }
+
+  hw::AccelRunResult run_codes(const TensorI& codes) override {
+    const int T = program_.time_bits();
+    const encoding::SpikeTrain input = encoding::radix_encode_codes(codes, T);
+    const snn::RadixSnnResult fn = snn_.run(input, /*record_layer_spikes=*/true);
+
+    hw::AccelRunResult result;
+    result.logits = fn.logits;
+    result.layers.reserve(program_.size());
+    TensorI64 current = codes.cast<std::int64_t>();
+    for (std::size_t li = 0; li < program_.size(); ++li) {
+      accumulate(result, predicted_stats(program_.op(li), current));
+      if (li < fn.layer_spikes.size())
+        current = encoding::radix_decode_codes(fn.layer_spikes[li])
+                      .cast<std::int64_t>();
+    }
+    finalize(result, program_.config().cycle_ns());
+    return result;
+  }
+
+ private:
+  snn::RadixSnn snn_;
+};
+
+/// The QuantizedNetwork integer reference model walked over the program.
+class ReferenceEngine final : public Engine {
+ public:
+  explicit ReferenceEngine(const ir::LayerProgram& program)
+      : Engine(program) {}
+  EngineKind kind() const override { return EngineKind::kReference; }
+
+  hw::AccelRunResult run_codes(const TensorI& codes) override {
+    hw::AccelRunResult result;
+    std::vector<TensorI64> layer_outputs;
+    result.logits = program_.network().forward_traced(codes, &layer_outputs);
+    result.layers.reserve(program_.size());
+    const TensorI64 input_codes = codes.cast<std::int64_t>();
+    const TensorI64* current = &input_codes;
+    for (std::size_t li = 0; li < program_.size(); ++li) {
+      accumulate(result, predicted_stats(program_.op(li), *current));
+      if (li < layer_outputs.size()) current = &layer_outputs[li];
+    }
+    finalize(result, program_.config().cycle_ns());
+    return result;
+  }
+};
+
+}  // namespace
+
+const char* engine_name(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kCycleAccurate:
+      return "cycle_accurate";
+    case EngineKind::kAnalytic:
+      return "analytic";
+    case EngineKind::kBehavioral:
+      return "behavioral";
+    case EngineKind::kReference:
+      return "reference";
+  }
+  return "unknown";
+}
+
+EngineKind parse_engine(const std::string& name) {
+  if (name == "cycle_accurate" || name == "cycle")
+    return EngineKind::kCycleAccurate;
+  if (name == "analytic") return EngineKind::kAnalytic;
+  if (name == "behavioral") return EngineKind::kBehavioral;
+  if (name == "reference") return EngineKind::kReference;
+  RSNN_REQUIRE(false, "unknown engine '"
+                          << name
+                          << "' (expected cycle_accurate, analytic, "
+                             "behavioral or reference)");
+  return EngineKind::kAnalytic;  // unreachable
+}
+
+std::vector<EngineKind> all_engines() {
+  return {EngineKind::kCycleAccurate, EngineKind::kAnalytic,
+          EngineKind::kBehavioral, EngineKind::kReference};
+}
+
+hw::AccelRunResult Engine::run_image(const TensorF& image) {
+  return run_codes(quant::encode_activations(image, program_.time_bits()));
+}
+
+std::unique_ptr<Engine> make_engine(EngineKind kind,
+                                    const ir::LayerProgram& program) {
+  RSNN_REQUIRE(program.has_hw_annotations(),
+               "engines need a hardware-lowered program");
+  switch (kind) {
+    case EngineKind::kCycleAccurate:
+      return std::make_unique<CycleAccurateEngine>(program);
+    case EngineKind::kAnalytic:
+      return std::make_unique<AnalyticEngine>(program);
+    case EngineKind::kBehavioral:
+      return std::make_unique<BehavioralEngine>(program);
+    case EngineKind::kReference:
+      return std::make_unique<ReferenceEngine>(program);
+  }
+  RSNN_REQUIRE(false, "unknown engine kind");
+  return nullptr;  // unreachable
+}
+
+}  // namespace rsnn::engine

@@ -1,0 +1,71 @@
+// Engine: uniform execution interface over a lowered ir::LayerProgram.
+//
+// Four engines run the same program and must agree bit-identically on LeNet
+// (logits, cycles, adder ops, traffic — enforced by
+// tests/test_equivalence_packed.cpp):
+//   * cycle_accurate — bit-true unit simulators stepping the dataflow
+//     (hw::Accelerator, SimMode::kCycleAccurate). Slowest, exact timing.
+//   * analytic       — reference arithmetic + the program's precomputed
+//     latency annotations (hw::Accelerator, SimMode::kAnalytic).
+//   * behavioral     — the functional radix-SNN simulator (snn::RadixSnn):
+//     event-driven spikes, no dataflow stepping; timing and traffic come
+//     from the program annotations.
+//   * reference      — the QuantizedNetwork integer reference model walked
+//     directly over the program; timing and traffic from the annotations.
+//
+// Engines are not thread-safe: each one owns pre-allocated execution state
+// (the cycle-accurate engine owns an Accelerator::WorkerState), so create
+// one per worker thread — that is exactly what the StreamingExecutor does.
+//
+// Lifetime: an engine borrows the program (and, through it, the network);
+// both must outlive the engine.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hw/accelerator.hpp"
+#include "ir/layer_program.hpp"
+
+namespace rsnn::engine {
+
+enum class EngineKind { kCycleAccurate, kAnalytic, kBehavioral, kReference };
+
+/// Canonical engine name: "cycle_accurate" / "analytic" / "behavioral" /
+/// "reference".
+const char* engine_name(EngineKind kind);
+
+/// Parse an engine name (the canonical names plus the shorthand "cycle");
+/// throws ContractViolation on unknown names.
+EngineKind parse_engine(const std::string& name);
+
+/// All four engine kinds, for parameterized tests and sweeps.
+std::vector<EngineKind> all_engines();
+
+class Engine {
+ public:
+  virtual ~Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  virtual EngineKind kind() const = 0;
+  const char* name() const { return engine_name(kind()); }
+  const ir::LayerProgram& program() const { return program_; }
+
+  /// Run pre-encoded activation codes through the program.
+  virtual hw::AccelRunResult run_codes(const TensorI& codes) = 0;
+
+  /// Encode a float image (values in [0,1)) and run it.
+  hw::AccelRunResult run_image(const TensorF& image);
+
+ protected:
+  explicit Engine(const ir::LayerProgram& program) : program_(program) {}
+  const ir::LayerProgram& program_;
+};
+
+/// Create an engine of `kind` over a hardware-lowered program.
+std::unique_ptr<Engine> make_engine(EngineKind kind,
+                                    const ir::LayerProgram& program);
+
+}  // namespace rsnn::engine

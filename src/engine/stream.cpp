@@ -1,0 +1,137 @@
+#include "engine/stream.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/assert.hpp"
+
+namespace rsnn::engine {
+
+StreamingExecutor::StreamingExecutor(const ir::LayerProgram& program,
+                                     EngineKind kind, int num_workers)
+    : program_(program), kind_(kind) {
+  RSNN_REQUIRE(program.has_hw_annotations(),
+               "streaming needs a hardware-lowered program");
+  std::size_t workers =
+      num_workers > 0 ? static_cast<std::size_t>(num_workers)
+                      : std::max(1u, std::thread::hardware_concurrency());
+  threads_.reserve(workers);
+  try {
+    for (std::size_t w = 0; w < workers; ++w)
+      threads_.emplace_back([this] { worker_main(); });
+  } catch (...) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      shutdown_ = true;
+    }
+    cv_work_.notify_all();
+    for (std::thread& thread : threads_) thread.join();
+    throw;
+  }
+}
+
+StreamingExecutor::~StreamingExecutor() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  cv_work_.notify_all();
+  for (std::thread& thread : threads_) thread.join();
+}
+
+void StreamingExecutor::worker_main() {
+  // Each worker constructs its engine (and thus its pre-allocated state)
+  // once, on its own thread, and keeps it for the pool's lifetime.
+  std::unique_ptr<Engine> engine;
+  try {
+    engine = make_engine(kind_, program_);
+  } catch (...) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (!error_) error_ = std::current_exception();
+    engine = nullptr;
+  }
+
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_work_.wait(lock,
+                    [&] { return shutdown_ || generation_ != seen; });
+      if (shutdown_) return;
+      seen = generation_;
+    }
+
+    // Drain: pull the next image index until the batch is exhausted.
+    for (;;) {
+      const std::size_t i = next_.fetch_add(1);
+      if (batch_ == nullptr || i >= batch_->size()) break;
+      try {
+        RSNN_REQUIRE(engine != nullptr, "worker engine failed to construct");
+        (*results_)[i] = engine->run_codes((*batch_)[i]);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        if (!error_) error_ = std::current_exception();
+        next_.store(batch_->size());  // drain the queue: fail fast
+      }
+    }
+
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (--active_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+std::vector<hw::AccelRunResult> StreamingExecutor::run_stream(
+    const std::vector<TensorI>& codes) {
+  std::vector<hw::AccelRunResult> results(codes.size());
+  stats_ = StreamStats{};
+  stats_.workers = workers();
+  if (codes.empty()) return results;
+
+  const auto begin = std::chrono::steady_clock::now();
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    batch_ = &codes;
+    results_ = &results;
+    next_.store(0);
+    active_ = threads_.size();
+    ++generation_;
+  }
+  cv_work_.notify_all();
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_done_.wait(lock, [&] { return active_ == 0; });
+    batch_ = nullptr;
+    results_ = nullptr;
+    if (error_) {
+      std::exception_ptr error = error_;
+      error_ = nullptr;
+      std::rethrow_exception(error);
+    }
+  }
+  const auto end = std::chrono::steady_clock::now();
+
+  const double seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(end - begin)
+          .count();
+  stats_.images = static_cast<std::int64_t>(codes.size());
+  stats_.wall_ms = seconds * 1e3;
+  stats_.images_per_sec =
+      seconds > 0.0 ? static_cast<double>(codes.size()) / seconds : 0.0;
+  stats_.ns_per_inference =
+      seconds * 1e9 / static_cast<double>(codes.size());
+  return results;
+}
+
+std::vector<hw::AccelRunResult> StreamingExecutor::run_stream_images(
+    const std::vector<TensorF>& images) {
+  std::vector<TensorI> codes;
+  codes.reserve(images.size());
+  const int T = program_.time_bits();
+  for (const TensorF& image : images)
+    codes.push_back(quant::encode_activations(image, T));
+  return run_stream(codes);
+}
+
+}  // namespace rsnn::engine

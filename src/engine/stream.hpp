@@ -1,0 +1,87 @@
+// StreamingExecutor: a persistent worker pool over a lowered LayerProgram.
+//
+// The batch API on hw::Accelerator spawns threads and allocates unit state
+// per call; for high-throughput serving that overhead dominates small
+// batches. The streaming executor instead keeps N workers alive for its
+// whole lifetime, each owning one Engine instance — and therefore its
+// pre-allocated unit simulators, ping-pong bookkeeping and per-op scratch
+// (Accelerator::WorkerState) — so a warm stream performs no per-inference
+// allocation in the hot path. Batches submitted with run_stream() are
+// distributed dynamically (workers pull the next image index) and results
+// are index-aligned and bit-identical to sequential execution.
+//
+// Throughput accounting: every run_stream() records wall time and derives
+// images/sec (the serving metric) alongside ns/inference (the latency
+// metric the microbench tracks).
+//
+// Not reentrant: one run_stream() at a time (the caller is the stream).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "engine/engine.hpp"
+#include "hw/accelerator.hpp"
+#include "ir/layer_program.hpp"
+
+namespace rsnn::engine {
+
+/// Throughput record of the most recent run_stream() call.
+struct StreamStats {
+  std::int64_t images = 0;
+  int workers = 0;
+  double wall_ms = 0.0;
+  double images_per_sec = 0.0;
+  double ns_per_inference = 0.0;  ///< wall time / images (aggregate, not per-image latency)
+};
+
+class StreamingExecutor {
+ public:
+  /// Spawns `num_workers` persistent workers (hardware concurrency when
+  /// <= 0), each constructing its own engine of `kind` over `program`.
+  /// The program (and its network) must outlive the executor.
+  StreamingExecutor(const ir::LayerProgram& program, EngineKind kind,
+                    int num_workers = 0);
+  ~StreamingExecutor();
+  StreamingExecutor(const StreamingExecutor&) = delete;
+  StreamingExecutor& operator=(const StreamingExecutor&) = delete;
+
+  /// Run a batch of pre-encoded activation codes through the pool; results
+  /// are index-aligned with `codes`.
+  std::vector<hw::AccelRunResult> run_stream(const std::vector<TensorI>& codes);
+
+  /// Encode float images (values in [0,1)) and run them.
+  std::vector<hw::AccelRunResult> run_stream_images(
+      const std::vector<TensorF>& images);
+
+  const StreamStats& last_stats() const { return stats_; }
+  int workers() const { return static_cast<int>(threads_.size()); }
+  EngineKind kind() const { return kind_; }
+
+ private:
+  void worker_main();
+
+  const ir::LayerProgram& program_;
+  EngineKind kind_;
+
+  std::mutex mutex_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  const std::vector<TensorI>* batch_ = nullptr;
+  std::vector<hw::AccelRunResult>* results_ = nullptr;
+  std::atomic<std::size_t> next_{0};
+  std::size_t active_ = 0;          ///< workers yet to check in this batch
+  std::uint64_t generation_ = 0;    ///< bumped per submitted batch
+  bool shutdown_ = false;
+  std::exception_ptr error_;
+
+  StreamStats stats_;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace rsnn::engine

@@ -6,6 +6,7 @@
 #include <exception>
 #include <mutex>
 #include <thread>
+#include <utility>
 
 #include "common/assert.hpp"
 #include "common/bits.hpp"
@@ -14,18 +15,6 @@
 
 namespace rsnn::hw {
 namespace {
-
-using quant::QConv2d;
-using quant::QFlatten;
-using quant::QLinear;
-using quant::QPool2d;
-
-std::string layer_name(const quant::QLayer& layer) {
-  if (std::holds_alternative<QConv2d>(layer)) return "conv";
-  if (std::holds_alternative<QPool2d>(layer)) return "pool";
-  if (std::holds_alternative<QLinear>(layer)) return "linear";
-  return "flatten";
-}
 
 /// Spike count of an activation-code tensor (popcount of all codes).
 std::int64_t code_spikes(const TensorI64& codes) {
@@ -36,102 +25,66 @@ std::int64_t code_spikes(const TensorI64& codes) {
   return spikes;
 }
 
+void finalize(AccelRunResult& result, double cycle_ns) {
+  result.latency_us =
+      static_cast<double>(result.total_cycles) * cycle_ns / 1000.0;
+  int best = 0;
+  for (std::size_t c = 1; c < result.logits.size(); ++c)
+    if (result.logits[c] > result.logits[static_cast<std::size_t>(best)])
+      best = static_cast<int>(c);
+  result.predicted_class = best;
+}
+
+ir::LayerProgram lower_checked(const quant::QuantizedNetwork& qnet,
+                               const AcceleratorConfig& config) {
+  RSNN_REQUIRE(!qnet.layers.empty(), "empty network");
+  return ir::lower(qnet, config);
+}
+
 }  // namespace
+
+Accelerator::WorkerState::WorkerState(const ir::LayerProgram& program)
+    : owner(&program),
+      conv_unit(program.config().conv, program.config().timing),
+      pool_unit(program.config().pool, program.config().timing),
+      linear_unit(program.config().linear, program.config().timing),
+      buffer2d("act2d", program.buffer_plan().buffer2d_bits_each),
+      buffer1d("act1d", program.buffer_plan().buffer1d_bits_each) {
+  layer_out.reserve(program.size());
+  for (const ir::LayerOp& op : program.ops())
+    layer_out.push_back(op.kind == ir::OpKind::kFlatten ? TensorI64()
+                                                        : TensorI64(op.out_shape));
+}
 
 Accelerator::Accelerator(AcceleratorConfig config,
                          const quant::QuantizedNetwork& qnet)
-    : config_(std::move(config)), qnet_(qnet) {
-  RSNN_REQUIRE(!qnet.layers.empty(), "empty network");
-  placement_ = plan_placement(qnet_, config_.memory);
+    : program_(lower_checked(qnet, config)) {}
 
-  // Validate unit geometry and size the ping-pong buffers.
-  Shape shape = qnet_.input_shape;
-  std::int64_t max2d = activation_bits(shape, qnet_.time_bits);
-  std::int64_t max1d = 0;
-  bool flat = false;
-  const auto shapes = qnet_.layer_output_shapes();
-  for (std::size_t li = 0; li < qnet_.layers.size(); ++li) {
-    const auto& layer = qnet_.layers[li];
-    if (const auto* conv = std::get_if<QConv2d>(&layer)) {
-      RSNN_REQUIRE(conv->kernel <= config_.conv.kernel_rows,
-                   "conv kernel " << conv->kernel
-                                  << " does not fit unit with Y = "
-                                  << config_.conv.kernel_rows);
-    } else if (const auto* pool = std::get_if<QPool2d>(&layer)) {
-      RSNN_REQUIRE(pool->kernel <= config_.pool.kernel_rows,
-                   "pool kernel does not fit pooling unit");
-    } else if (std::holds_alternative<QFlatten>(layer)) {
-      flat = true;
-    }
-    const std::int64_t bits = activation_bits(shapes[li], qnet_.time_bits);
-    if (flat)
-      max1d = std::max(max1d, bits);
-    else
-      max2d = std::max(max2d, bits);
-  }
-  buffer_plan_.buffer2d_bits_each = max2d;
-  buffer_plan_.buffer1d_bits_each = std::max<std::int64_t>(max1d, 1);
-}
-
-bool Accelerator::uses_dram() const {
-  return std::any_of(placement_.begin(), placement_.end(),
-                     [](WeightPlacement p) { return p == WeightPlacement::kDram; });
-}
-
-LayerLatency Accelerator::layer_latency(std::size_t layer_index,
-                                        const Shape& in_shape) const {
-  const auto& layer = qnet_.layers[layer_index];
-  const WeightPlacement placement = placement_[layer_index];
-  if (const auto* conv = std::get_if<QConv2d>(&layer)) {
-    ConvDims dims;
-    dims.cin = conv->in_channels;
-    dims.cout = conv->out_channels;
-    dims.ih = in_shape.dim(1);
-    dims.iw = in_shape.dim(2);
-    dims.kernel = conv->kernel;
-    dims.stride = conv->stride;
-    dims.padding = conv->padding;
-    return conv_latency(dims, config_, qnet_.time_bits, placement,
-                        qnet_.weight_bits);
-  }
-  if (const auto* pool = std::get_if<QPool2d>(&layer)) {
-    return pool_latency(in_shape.dim(0), in_shape.dim(1), in_shape.dim(2),
-                        pool->kernel, config_, qnet_.time_bits);
-  }
-  if (const auto* fc = std::get_if<QLinear>(&layer)) {
-    return linear_latency(fc->in_features, fc->out_features, config_,
-                          qnet_.time_bits, placement, qnet_.weight_bits);
-  }
-  LayerLatency lat;
-  lat.total_cycles = flatten_transfer_cycles(in_shape.numel(), qnet_.time_bits,
-                                             config_.timing);
-  lat.compute_cycles = lat.total_cycles;
-  return lat;
-}
-
-std::int64_t Accelerator::predict_total_cycles() const {
-  Shape shape = qnet_.input_shape;
-  const auto shapes = qnet_.layer_output_shapes();
-  std::int64_t cycles = 0;
-  for (std::size_t li = 0; li < qnet_.layers.size(); ++li) {
-    cycles += layer_latency(li, shape).total_cycles;
-    shape = shapes[li];
-  }
-  return cycles;
-}
-
-double Accelerator::predict_latency_us() const {
-  return static_cast<double>(predict_total_cycles()) * config_.cycle_ns() /
-         1000.0;
+Accelerator::Accelerator(ir::LayerProgram program)
+    : program_(std::move(program)) {
+  RSNN_REQUIRE(program_.has_hw_annotations(),
+               "Accelerator needs a hardware-lowered program");
+  RSNN_REQUIRE(!program_.ops().empty(), "empty network");
 }
 
 AccelRunResult Accelerator::run_image(const TensorF& image, SimMode mode) const {
-  return run_codes(quant::encode_activations(image, qnet_.time_bits), mode);
+  return run_codes(quant::encode_activations(image, program_.time_bits()), mode);
 }
 
 AccelRunResult Accelerator::run_codes(const TensorI& codes, SimMode mode) const {
-  RSNN_REQUIRE(codes.shape() == qnet_.input_shape, "input shape mismatch");
-  return mode == SimMode::kCycleAccurate ? run_cycle_accurate(codes)
+  if (mode == SimMode::kAnalytic) return run_analytic(codes);
+  WorkerState state = make_worker_state();
+  return run_codes(state, codes, mode);
+}
+
+AccelRunResult Accelerator::run_codes(WorkerState& state, const TensorI& codes,
+                                      SimMode mode) const {
+  RSNN_REQUIRE(state.owner == &program_,
+               "WorkerState belongs to a different accelerator (create it "
+               "with this accelerator's make_worker_state())");
+  RSNN_REQUIRE(codes.shape() == program_.network().input_shape,
+               "input shape mismatch");
+  return mode == SimMode::kCycleAccurate ? run_cycle_accurate(state, codes)
                                          : run_analytic(codes);
 }
 
@@ -140,7 +93,7 @@ std::vector<AccelRunResult> Accelerator::run_batch(
   std::vector<TensorI> codes;
   codes.reserve(images.size());
   for (const TensorF& image : images)
-    codes.push_back(quant::encode_activations(image, qnet_.time_bits));
+    codes.push_back(quant::encode_activations(image, program_.time_bits()));
   return run_batch_codes(codes, mode, num_threads);
 }
 
@@ -155,23 +108,25 @@ std::vector<AccelRunResult> Accelerator::run_batch_codes(
   workers = std::min(workers, codes.size());
 
   if (workers <= 1) {
+    WorkerState state = make_worker_state();
     for (std::size_t i = 0; i < codes.size(); ++i)
-      results[i] = run_codes(codes[i], mode);
+      results[i] = run_codes(state, codes[i], mode);
     return results;
   }
 
   // Dynamic work distribution: each worker pulls the next image index. Every
-  // run_codes call constructs its own processing units and buffers, so the
-  // workers share only the (read-only) network, placement and config.
+  // worker owns its own unit simulators and scratch, so the workers share
+  // only the (read-only) program.
   std::atomic<std::size_t> next{0};
   std::mutex error_mutex;
   std::exception_ptr error;
   const auto worker = [&]() {
+    WorkerState state = make_worker_state();
     for (;;) {
       const std::size_t i = next.fetch_add(1);
       if (i >= codes.size()) return;
       try {
-        results[i] = run_codes(codes[i], mode);
+        results[i] = run_codes(state, codes[i], mode);
       } catch (...) {
         const std::lock_guard<std::mutex> lock(error_mutex);
         if (!error) error = std::current_exception();
@@ -198,129 +153,129 @@ std::vector<AccelRunResult> Accelerator::run_batch_codes(
   return results;
 }
 
-AccelRunResult Accelerator::run_cycle_accurate(const TensorI& codes) const {
-  const int T = qnet_.time_bits;
+AccelRunResult Accelerator::run_cycle_accurate(WorkerState& state,
+                                               const TensorI& codes) const {
+  const int T = program_.time_bits();
+  const AcceleratorConfig& cfg = program_.config();
   AccelRunResult result;
+  result.layers.reserve(program_.size());
 
-  PingPongPair buffer2d("act2d", buffer_plan_.buffer2d_bits_each);
-  PingPongPair buffer1d("act1d", buffer_plan_.buffer1d_bits_each);
-  WeightMemory weights(config_.memory);
+  state.buffer2d.reset();
+  state.buffer1d.reset();
+  WeightMemory weights(cfg.memory);
 
-  ConvUnit conv_unit(config_.conv, config_.timing);
-  PoolUnit pool_unit(config_.pool, config_.timing);
-  LinearUnit linear_unit(config_.linear, config_.timing);
+  encoding::SpikeTrain* current = &state.train_a;
+  encoding::SpikeTrain* next = &state.train_b;
+  encoding::radix_encode_codes_into(codes, T, *current);
+  state.buffer2d.store_output(activation_bits(current->neuron_shape(), T));
+  state.buffer2d.swap();
 
-  encoding::SpikeTrain current = encoding::radix_encode_codes(codes, T);
-  buffer2d.store_output(activation_bits(current.neuron_shape(), T));
-  buffer2d.swap();
-
-  const auto shapes = qnet_.layer_output_shapes();
-
-  for (std::size_t li = 0; li < qnet_.layers.size(); ++li) {
-    const auto& layer = qnet_.layers[li];
+  const std::size_t n_ops = program_.size();
+  for (std::size_t li = 0; li < n_ops; ++li) {
+    const ir::LayerOp& op = program_.op(li);
     LayerStats stats;
-    stats.name = layer_name(layer);
-    stats.input_spikes = current.total_spikes();
+    stats.name = op.name();
+    stats.input_spikes = current->total_spikes();
 
-    const std::int64_t param_bits =
-        layer_param_bits(layer, qnet_.weight_bits, qnet_.time_bits);
-    const WeightFetchCost fetch =
-        weights.fetch_layer(param_bits, placement_[li]);
+    const WeightFetchCost fetch = weights.fetch_layer(op.param_bits, op.placement);
     stats.dram_cycles = fetch.cycles;
     stats.traffic.dram_bits = fetch.dram_bits;
 
-    TensorI64 out(shapes[li]);
-    bool requantized = true;
+    TensorI64& out = state.layer_out[li];
 
-    if (const auto* conv = std::get_if<QConv2d>(&layer)) {
-      requantized = conv->requantize;
-      const std::int64_t ow = shapes[li].dim(2);
-      const std::int64_t share = std::clamp<std::int64_t>(
-          config_.conv.array_columns / ow, 1, conv->out_channels);
-      const std::int64_t per_group = share * config_.num_conv_units;
-      // Only units that hold channels contend on the activation port (must
-      // match the analytic model's contention rule).
-      const int contending_units = static_cast<int>(std::min<std::int64_t>(
-          config_.num_conv_units, ceil_div(conv->out_channels, share)));
-      std::int64_t cycles = config_.timing.layer_setup_cycles;
-      std::int64_t writeback = 0;
-      for (std::int64_t base = 0; base < conv->out_channels; base += per_group) {
-        std::int64_t group_cycles = 0;
-        for (int u = 0; u < config_.num_conv_units; ++u) {
-          const std::int64_t oc_begin = base + u * share;
-          if (oc_begin >= conv->out_channels) break;
-          const std::int64_t oc_end =
-              std::min(oc_begin + share, conv->out_channels);
-          const ConvSliceResult slice = conv_unit.run_layer_slice(
-              *conv, current, oc_begin, oc_end, T, contending_units, out);
-          group_cycles = std::max(group_cycles, slice.cycles);
+    switch (op.kind) {
+      case ir::OpKind::kConv: {
+        const quant::QConv2d& conv = *op.conv;
+        const std::int64_t share = op.latency.channels_per_unit;
+        const std::int64_t per_group = share * cfg.num_conv_units;
+        // Only units that hold channels contend on the activation port (must
+        // match the analytic model's contention rule).
+        const int contending_units = op.contending_units;
+        std::int64_t cycles = cfg.timing.layer_setup_cycles;
+        std::int64_t writeback = 0;
+        for (std::int64_t base = 0; base < conv.out_channels;
+             base += per_group) {
+          std::int64_t group_cycles = 0;
+          for (int u = 0; u < cfg.num_conv_units; ++u) {
+            const std::int64_t oc_begin = base + u * share;
+            if (oc_begin >= conv.out_channels) break;
+            const std::int64_t oc_end =
+                std::min(oc_begin + share, conv.out_channels);
+            const ConvSliceResult slice = state.conv_unit.run_layer_slice(
+                conv, *current, oc_begin, oc_end, T, contending_units, out);
+            group_cycles = std::max(group_cycles, slice.cycles);
+            writeback += slice.writeback_cycles;
+            stats.adder_ops += slice.adder_ops;
+            stats.traffic.act_read_bits += slice.traffic.act_read_bits;
+            stats.traffic.act_write_bits += slice.traffic.act_write_bits;
+            stats.traffic.weight_read_bits +=
+                slice.traffic.weight_read_bits * program_.weight_bits();
+          }
+          cycles += group_cycles;
+        }
+        stats.cycles = fetch.cycles + cycles + writeback;
+        break;
+      }
+      case ir::OpKind::kPool: {
+        const std::int64_t channels = op.in_shape.dim(0);
+        const std::int64_t share = op.latency.channels_per_unit;
+        std::int64_t cycles = cfg.timing.layer_setup_cycles;
+        std::int64_t writeback = 0;
+        for (std::int64_t base = 0; base < channels; base += share) {
+          const std::int64_t c_end = std::min(base + share, channels);
+          const PoolSliceResult slice = state.pool_unit.run_layer_slice(
+              *op.pool, *current, base, c_end, T, out);
+          cycles += slice.cycles;
           writeback += slice.writeback_cycles;
           stats.adder_ops += slice.adder_ops;
           stats.traffic.act_read_bits += slice.traffic.act_read_bits;
           stats.traffic.act_write_bits += slice.traffic.act_write_bits;
-          stats.traffic.weight_read_bits +=
-              slice.traffic.weight_read_bits * qnet_.weight_bits;
         }
-        cycles += group_cycles;
+        stats.cycles = cycles + writeback;
+        break;
       }
-      stats.cycles = fetch.cycles + cycles + writeback;
-    } else if (const auto* pool = std::get_if<QPool2d>(&layer)) {
-      const std::int64_t channels = current.neuron_shape().dim(0);
-      const std::int64_t ow = shapes[li].dim(2);
-      const std::int64_t share = std::clamp<std::int64_t>(
-          config_.pool.array_columns / ow, 1, channels);
-      std::int64_t cycles = config_.timing.layer_setup_cycles;
-      std::int64_t writeback = 0;
-      for (std::int64_t base = 0; base < channels; base += share) {
-        const std::int64_t c_end = std::min(base + share, channels);
-        const PoolSliceResult slice =
-            pool_unit.run_layer_slice(*pool, current, base, c_end, T, out);
-        cycles += slice.cycles;
-        writeback += slice.writeback_cycles;
-        stats.adder_ops += slice.adder_ops;
-        stats.traffic.act_read_bits += slice.traffic.act_read_bits;
-        stats.traffic.act_write_bits += slice.traffic.act_write_bits;
+      case ir::OpKind::kLinear: {
+        const LinearRunResult run =
+            state.linear_unit.run_layer(*op.linear, *current, T, out);
+        stats.cycles = fetch.cycles + cfg.timing.layer_setup_cycles +
+                       run.cycles + run.writeback_cycles;
+        stats.adder_ops = run.adder_ops;
+        stats.traffic.act_read_bits = run.traffic.act_read_bits;
+        stats.traffic.act_write_bits = run.traffic.act_write_bits;
+        stats.traffic.weight_read_bits =
+            run.traffic.weight_read_bits * program_.weight_bits();
+        break;
       }
-      stats.cycles = cycles + writeback;
-    } else if (const auto* fc = std::get_if<QLinear>(&layer)) {
-      requantized = fc->requantize;
-      const LinearRunResult run = linear_unit.run_layer(*fc, current, T, out);
-      stats.cycles = fetch.cycles + config_.timing.layer_setup_cycles +
-                     run.cycles + run.writeback_cycles;
-      stats.adder_ops = run.adder_ops;
-      stats.traffic.act_read_bits = run.traffic.act_read_bits;
-      stats.traffic.act_write_bits = run.traffic.act_write_bits;
-      stats.traffic.weight_read_bits =
-          run.traffic.weight_read_bits * qnet_.weight_bits;
-    } else {
-      // Flatten: stream the feature map from the 2-D to the 1-D buffers.
-      // The packed layout depends only on the flat neuron index, so the
-      // transfer is a relabeling of the same bits.
-      stats.cycles = flatten_transfer_cycles(current.num_neurons(), T,
-                                             config_.timing);
-      current = std::move(current).reshaped(shapes[li]);
-      buffer1d.store_output(activation_bits(shapes[li], T));
-      buffer1d.swap();
-      result.layers.push_back(stats);
-      result.total_cycles += stats.cycles;
-      continue;
+      case ir::OpKind::kFlatten: {
+        // Flatten: stream the feature map from the 2-D to the 1-D buffers.
+        // The packed layout depends only on the flat neuron index, so the
+        // transfer is a relabeling of the same bits.
+        stats.cycles = op.latency.total_cycles;
+        *current = std::move(*current).reshaped(op.out_shape);
+        state.buffer1d.store_output(activation_bits(op.out_shape, T));
+        state.buffer1d.swap();
+        result.layers.push_back(stats);
+        result.total_cycles += stats.cycles;
+        continue;
+      }
     }
 
     // Buffer bookkeeping for the layer's I/O.
-    const bool is_1d = shapes[li].rank() == 1;
-    PingPongPair& pair = is_1d ? buffer1d : buffer2d;
+    PingPongPair& pair = op.is_1d ? state.buffer1d : state.buffer2d;
     pair.load_input(stats.traffic.act_read_bits);
-    pair.store_output(activation_bits(shapes[li], T));
+    pair.store_output(activation_bits(op.out_shape, T));
     pair.swap();
 
-    if (li + 1 == qnet_.layers.size()) {
-      RSNN_ENSURE(!requantized, "final layer must produce raw accumulators");
+    if (li + 1 == n_ops) {
+      RSNN_ENSURE(!op.requantize, "final layer must produce raw accumulators");
       result.logits.resize(static_cast<std::size_t>(out.numel()));
       for (std::int64_t i = 0; i < out.numel(); ++i)
         result.logits[static_cast<std::size_t>(i)] = out.at_flat(i);
     } else {
-      RSNN_ENSURE(requantized, "only the final layer may skip requantization");
-      current = encoding::radix_encode_codes(out.cast<std::int32_t>(), T);
+      RSNN_ENSURE(op.requantize,
+                  "only the final layer may skip requantization");
+      encoding::radix_encode_codes_into(out, T, *next);
+      std::swap(current, next);
     }
 
     result.total_cycles += stats.cycles;
@@ -330,75 +285,51 @@ AccelRunResult Accelerator::run_cycle_accurate(const TensorI& codes) const {
     result.traffic_total.act_write_bits += stats.traffic.act_write_bits;
     result.traffic_total.weight_read_bits += stats.traffic.weight_read_bits;
     result.traffic_total.dram_bits += stats.traffic.dram_bits;
-    result.layers.push_back(stats);
+    result.layers.push_back(std::move(stats));
   }
 
-  result.latency_us =
-      static_cast<double>(result.total_cycles) * config_.cycle_ns() / 1000.0;
-  int best = 0;
-  for (std::size_t c = 1; c < result.logits.size(); ++c)
-    if (result.logits[c] > result.logits[static_cast<std::size_t>(best)])
-      best = static_cast<int>(c);
-  result.predicted_class = best;
+  finalize(result, cfg.cycle_ns());
   return result;
 }
 
 AccelRunResult Accelerator::run_analytic(const TensorI& codes) const {
   AccelRunResult result;
+  result.layers.reserve(program_.size());
   std::vector<TensorI64> layer_outputs;
-  result.logits = qnet_.forward_traced(codes, &layer_outputs);
+  result.logits = program_.network().forward_traced(codes, &layer_outputs);
 
-  Shape shape = qnet_.input_shape;
-  const auto shapes = qnet_.layer_output_shapes();
-  std::int64_t input_spikes = code_spikes(codes.cast<std::int64_t>());
+  const TensorI64 input_codes = codes.cast<std::int64_t>();
+  const TensorI64* current = &input_codes;
 
-  for (std::size_t li = 0; li < qnet_.layers.size(); ++li) {
-    const LayerLatency lat = layer_latency(li, shape);
+  for (std::size_t li = 0; li < program_.size(); ++li) {
+    const ir::LayerOp& op = program_.op(li);
     LayerStats stats;
-    stats.name = layer_name(qnet_.layers[li]);
-    stats.cycles = lat.total_cycles;
-    stats.dram_cycles = lat.dram_cycles;
-    stats.traffic = lat.traffic;
-    stats.input_spikes = input_spikes;
-
-    // Activity estimate: every input spike fans out to the adders that
-    // consume it (kernel window x output channels / stride^2 for conv).
-    const auto& layer = qnet_.layers[li];
-    if (const auto* conv = std::get_if<QConv2d>(&layer)) {
-      const double fanout = static_cast<double>(conv->kernel * conv->kernel) *
-                            static_cast<double>(conv->out_channels) /
-                            static_cast<double>(conv->stride * conv->stride);
-      stats.adder_ops =
-          static_cast<std::int64_t>(static_cast<double>(input_spikes) * fanout);
-    } else if (std::holds_alternative<QPool2d>(layer)) {
-      stats.adder_ops = input_spikes;
-    } else if (const auto* fc = std::get_if<QLinear>(&layer)) {
-      stats.adder_ops = input_spikes * fc->out_features;
-    }
+    stats.name = op.name();
+    stats.cycles = op.latency.total_cycles;
+    stats.dram_cycles = op.latency.dram_cycles;
+    stats.traffic = op.latency.traffic;
+    stats.input_spikes = code_spikes(*current);
+    // Exact activity: one fired addition per (spike, consuming adder) — the
+    // same event count the cycle-accurate units and the functional SNN
+    // produce (border spikes fan out to fewer adders).
+    stats.adder_ops = ir::exact_adder_ops(op, *current);
 
     result.total_cycles += stats.cycles;
     result.total_adder_ops += stats.adder_ops;
-    result.dram_bits += lat.traffic.dram_bits;
-    result.traffic_total.act_read_bits += lat.traffic.act_read_bits;
-    result.traffic_total.act_write_bits += lat.traffic.act_write_bits;
-    result.traffic_total.weight_read_bits += lat.traffic.weight_read_bits;
-    result.traffic_total.dram_bits += lat.traffic.dram_bits;
-    result.layers.push_back(stats);
+    result.dram_bits += op.latency.traffic.dram_bits;
+    result.traffic_total.act_read_bits += op.latency.traffic.act_read_bits;
+    result.traffic_total.act_write_bits += op.latency.traffic.act_write_bits;
+    result.traffic_total.weight_read_bits +=
+        op.latency.traffic.weight_read_bits;
+    result.traffic_total.dram_bits += op.latency.traffic.dram_bits;
+    result.layers.push_back(std::move(stats));
 
-    // Next layer's input spikes = popcount of this layer's output codes
-    // (valid for all but the final raw layer).
-    if (li < layer_outputs.size() && li + 1 < qnet_.layers.size())
-      input_spikes = code_spikes(layer_outputs[li]);
-    shape = shapes[li];
+    // Next layer's input codes are this layer's traced outputs (valid for
+    // all but the final raw layer).
+    if (li < layer_outputs.size()) current = &layer_outputs[li];
   }
 
-  result.latency_us =
-      static_cast<double>(result.total_cycles) * config_.cycle_ns() / 1000.0;
-  int best = 0;
-  for (std::size_t c = 1; c < result.logits.size(); ++c)
-    if (result.logits[c] > result.logits[static_cast<std::size_t>(best)])
-      best = static_cast<int>(c);
-  result.predicted_class = best;
+  finalize(result, program_.config().cycle_ns());
   return result;
 }
 

@@ -6,17 +6,19 @@
 // active buffer and writing the inactive one, with the flatten transfer
 // moving data from the 2-D to the 1-D pair.
 //
-// Two simulation modes:
-//   * kCycleAccurate — every layer runs on the bit-true unit simulators;
+// The accelerator executes a lowered ir::LayerProgram — the compiler's one
+// mapping of the network onto the design — rather than re-deriving layer
+// semantics from the QLayer variant. Two simulation modes:
+//   * kCycleAccurate — every op runs on the bit-true unit simulators;
 //     outputs are exact and cycle counts come from stepping the dataflow.
 //     Used for verification and for the MNIST-scale experiments.
 //   * kAnalytic — outputs come from the QuantizedNetwork reference (the
-//     same arithmetic by invariant 1/2) and cycles from hw/latency_model
-//     (identical totals by invariant 4). Used for VGG-scale runs where
-//     stepping every cycle would be wasteful.
+//     same arithmetic by invariant 1/2) and cycles from the program's
+//     precomputed hw/latency_model annotations (identical totals by
+//     invariant 4). Used for VGG-scale runs where stepping every cycle
+//     would be wasteful.
 #pragma once
 
-#include <optional>
 #include <string>
 #include <vector>
 
@@ -28,6 +30,7 @@
 #include "hw/pingpong.hpp"
 #include "hw/pool_unit.hpp"
 #include "hw/weight_memory.hpp"
+#include "ir/layer_program.hpp"
 #include "quant/qnetwork.hpp"
 
 namespace rsnn::hw {
@@ -56,20 +59,35 @@ struct AccelRunResult {
   MemTraffic traffic_total;
 };
 
-/// Sizing of the activation buffers derived from the network (Sec. III-C:
-/// "width and height ... minimizes their size while allowing the activations
-/// of all relevant layers to fit").
-struct BufferPlan {
-  std::int64_t buffer2d_bits_each = 0;
-  std::int64_t buffer1d_bits_each = 0;
-};
-
 class Accelerator {
  public:
-  /// Binds a design instance to a compiled network. Checks that the design
-  /// can execute the network (kernel sizes fit the units) and plans weight
-  /// placement and buffer sizes.
+  /// Binds a design instance to a compiled network: lowers the network onto
+  /// the config (validating that the units can execute it, planning weight
+  /// placement and buffer sizes).
   Accelerator(AcceleratorConfig config, const quant::QuantizedNetwork& qnet);
+
+  /// Adopts an already-lowered program (must carry hardware annotations).
+  explicit Accelerator(ir::LayerProgram program);
+
+  /// Pre-allocated per-worker execution state: the unit simulators,
+  /// ping-pong bookkeeping and per-op scratch tensors are created once and
+  /// reused across inferences, so a warm worker's cycle-accurate hot path
+  /// performs no per-inference allocation. Each worker thread owns one.
+  class WorkerState {
+   private:
+    friend class Accelerator;
+    explicit WorkerState(const ir::LayerProgram& program);
+    const ir::LayerProgram* owner;  ///< the program this state was sized for
+    ConvUnit conv_unit;
+    PoolUnit pool_unit;
+    LinearUnit linear_unit;
+    PingPongPair buffer2d;
+    PingPongPair buffer1d;
+    std::vector<TensorI64> layer_out;    ///< one scratch per op
+    encoding::SpikeTrain train_a;        ///< alternating spike-train scratch
+    encoding::SpikeTrain train_b;
+  };
+  WorkerState make_worker_state() const { return WorkerState(program_); }
 
   /// Run one image (float values in [0,1), encoded internally).
   AccelRunResult run_image(const TensorF& image,
@@ -79,10 +97,15 @@ class Accelerator {
   AccelRunResult run_codes(const TensorI& codes,
                            SimMode mode = SimMode::kCycleAccurate) const;
 
+  /// As run_codes(), reusing a worker's pre-allocated state — the streaming
+  /// scheduler's entry point. Results are identical to run_codes().
+  AccelRunResult run_codes(WorkerState& state, const TensorI& codes,
+                           SimMode mode = SimMode::kCycleAccurate) const;
+
   /// Evaluate a batch of images across a pool of `num_threads` worker
   /// threads (hardware concurrency when <= 0). Each worker owns its own
-  /// processing units and buffers; results are index-aligned with `images`
-  /// and identical to running run_image sequentially.
+  /// WorkerState; results are index-aligned with `images` and identical to
+  /// running run_image sequentially.
   std::vector<AccelRunResult> run_batch(
       const std::vector<TensorF>& images,
       SimMode mode = SimMode::kCycleAccurate, int num_threads = 0) const;
@@ -92,30 +115,30 @@ class Accelerator {
       const std::vector<TensorI>& codes,
       SimMode mode = SimMode::kCycleAccurate, int num_threads = 0) const;
 
-  const AcceleratorConfig& config() const { return config_; }
-  const quant::QuantizedNetwork& network() const { return qnet_; }
-  const std::vector<WeightPlacement>& placement() const { return placement_; }
-  const BufferPlan& buffer_plan() const { return buffer_plan_; }
+  const AcceleratorConfig& config() const { return program_.config(); }
+  const quant::QuantizedNetwork& network() const { return program_.network(); }
+  const ir::LayerProgram& program() const { return program_; }
+  const BufferPlan& buffer_plan() const { return program_.buffer_plan(); }
 
   /// True if any layer streams weights from DRAM.
-  bool uses_dram() const;
+  bool uses_dram() const { return program_.uses_dram(); }
 
   /// Analytic latency of the whole network in cycles (no data needed).
-  std::int64_t predict_total_cycles() const;
+  std::int64_t predict_total_cycles() const {
+    return program_.predicted_total_cycles();
+  }
 
   /// Analytic latency in microseconds at the configured clock.
-  double predict_latency_us() const;
+  double predict_latency_us() const {
+    return program_.predicted_latency_us();
+  }
 
  private:
-  AcceleratorConfig config_;
-  const quant::QuantizedNetwork& qnet_;
-  std::vector<WeightPlacement> placement_;
-  BufferPlan buffer_plan_;
+  ir::LayerProgram program_;
 
-  AccelRunResult run_cycle_accurate(const TensorI& codes) const;
+  AccelRunResult run_cycle_accurate(WorkerState& state,
+                                    const TensorI& codes) const;
   AccelRunResult run_analytic(const TensorI& codes) const;
-  LayerLatency layer_latency(std::size_t layer_index,
-                             const Shape& in_shape) const;
 };
 
 }  // namespace rsnn::hw

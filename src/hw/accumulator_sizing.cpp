@@ -4,6 +4,7 @@
 
 #include "common/assert.hpp"
 #include "common/bits.hpp"
+#include "ir/layer_program.hpp"
 
 namespace rsnn::hw {
 namespace {
@@ -96,34 +97,49 @@ std::vector<AccumulatorRange> network_accumulator_ranges(
     const quant::QuantizedNetwork& qnet) {
   std::vector<AccumulatorRange> ranges;
   ranges.reserve(qnet.layers.size());
-  for (const auto& layer : qnet.layers) {
-    if (const auto* conv = std::get_if<quant::QConv2d>(&layer))
-      ranges.push_back(conv_accumulator_range(*conv, qnet.time_bits));
-    else if (const auto* fc = std::get_if<quant::QLinear>(&layer))
-      ranges.push_back(linear_accumulator_range(*fc, qnet.time_bits));
-    else if (const auto* pool = std::get_if<quant::QPool2d>(&layer))
-      ranges.push_back(pool_accumulator_range(*pool, qnet.time_bits));
-    else
-      ranges.push_back(AccumulatorRange{});
+  const ir::LayerProgram program = ir::lower(qnet);
+  for (const ir::LayerOp& op : program.ops()) {
+    switch (op.kind) {
+      case ir::OpKind::kConv:
+        ranges.push_back(conv_accumulator_range(*op.conv, qnet.time_bits));
+        break;
+      case ir::OpKind::kLinear:
+        ranges.push_back(linear_accumulator_range(*op.linear, qnet.time_bits));
+        break;
+      case ir::OpKind::kPool:
+        ranges.push_back(pool_accumulator_range(*op.pool, qnet.time_bits));
+        break;
+      case ir::OpKind::kFlatten:
+        ranges.push_back(AccumulatorRange{});
+        break;
+    }
   }
   return ranges;
 }
 
 AccumulatorPlan plan_accumulators(const quant::QuantizedNetwork& qnet) {
   AccumulatorPlan plan;
-  for (const auto& layer : qnet.layers) {
-    if (const auto* conv = std::get_if<quant::QConv2d>(&layer))
-      plan.conv_bits =
-          std::max(plan.conv_bits,
-                   conv_accumulator_range(*conv, qnet.time_bits).required_bits);
-    else if (const auto* fc = std::get_if<quant::QLinear>(&layer))
-      plan.linear_bits = std::max(
-          plan.linear_bits,
-          linear_accumulator_range(*fc, qnet.time_bits).required_bits);
-    else if (const auto* pool = std::get_if<quant::QPool2d>(&layer))
-      plan.pool_bits =
-          std::max(plan.pool_bits,
-                   pool_accumulator_range(*pool, qnet.time_bits).required_bits);
+  const ir::LayerProgram program = ir::lower(qnet);
+  for (const ir::LayerOp& op : program.ops()) {
+    switch (op.kind) {
+      case ir::OpKind::kConv:
+        plan.conv_bits = std::max(
+            plan.conv_bits,
+            conv_accumulator_range(*op.conv, qnet.time_bits).required_bits);
+        break;
+      case ir::OpKind::kLinear:
+        plan.linear_bits = std::max(
+            plan.linear_bits,
+            linear_accumulator_range(*op.linear, qnet.time_bits).required_bits);
+        break;
+      case ir::OpKind::kPool:
+        plan.pool_bits = std::max(
+            plan.pool_bits,
+            pool_accumulator_range(*op.pool, qnet.time_bits).required_bits);
+        break;
+      case ir::OpKind::kFlatten:
+        break;
+    }
   }
   return plan;
 }

@@ -76,6 +76,14 @@ struct MemoryConfig {
   int dram_setup_cycles = 200;
 };
 
+/// Sizing of the ping-pong activation buffers derived from the network
+/// (Sec. III-C: "width and height ... minimizes their size while allowing
+/// the activations of all relevant layers to fit").
+struct BufferPlan {
+  std::int64_t buffer2d_bits_each = 0;
+  std::int64_t buffer1d_bits_each = 0;
+};
+
 /// A full design instance.
 struct AcceleratorConfig {
   std::string name = "accelerator";

@@ -47,8 +47,8 @@ ConvSliceResult ConvUnit::run_layer_slice(const quant::QConv2d& conv,
 
   // Output-logic accumulator RAM: one membrane per (local channel, oy, ox).
   const std::int64_t n_local = oc_end - oc_begin;
-  TensorI64 membrane(Shape{n_local, oh, ow}, std::int64_t{0});
-  std::int64_t* mem = membrane.data();
+  membrane_.assign(static_cast<std::size_t>(n_local * oh * ow), 0);
+  std::int64_t* mem = membrane_.data();
 
   // Kernel values for this slice, re-packed once per call so the inner loops
   // read them unchecked: weight_cache_[(ic * n_local + local) * k * k +
@@ -76,7 +76,7 @@ ConvSliceResult ConvUnit::run_layer_slice(const quant::QConv2d& conv,
   for (int t = 0; t < time_steps; ++t) {
     // Radix weighting: one left shift of all accumulators per time step
     // (paper Alg. 1 line 12), performed in the output logic.
-    for (std::int64_t i = 0; i < membrane.numel(); ++i) mem[i] <<= 1;
+    for (std::int64_t i = 0; i < n_local * oh * ow; ++i) mem[i] <<= 1;
 
     for (std::int64_t ic = 0; ic < conv.in_channels; ++ic) {
       // The adder rows hold kernel rows of (oc_begin + local, ic).

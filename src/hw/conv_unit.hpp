@@ -76,6 +76,7 @@ class ConvUnit {
   // row's spikes (extracted word-wise from the packed input train).
   std::vector<std::int32_t> row_events_;
   std::vector<std::int32_t> weight_cache_;  ///< [Cin][local][Kr][Kc] kernels
+  std::vector<std::int64_t> membrane_;      ///< [local][oh][ow] output logic
   std::vector<std::vector<std::int64_t>> pipeline_;  ///< [Y][X] partial sums
 };
 

@@ -43,8 +43,8 @@ LinearRunResult LinearUnit::run_layer(const quant::QLinear& fc,
       weight_t_[static_cast<std::size_t>(i * fc.out_features + o)] =
           w[o * fc.in_features + i];
 
-  TensorI64 membrane(Shape{fc.out_features}, std::int64_t{0});
-  std::int64_t* mem = membrane.data();
+  membrane_.assign(static_cast<std::size_t>(fc.out_features), 0);
+  std::int64_t* mem = membrane_.data();
 
   for (int t = 0; t < time_steps; ++t) {
     for (std::int64_t o = 0; o < fc.out_features; ++o) mem[o] <<= 1;

@@ -43,6 +43,7 @@ class LinearUnit {
   LinearUnitGeometry geometry_;
   TimingParams timing_;
   std::vector<std::int32_t> weight_t_;  ///< [in][out] transposed weights
+  std::vector<std::int64_t> membrane_;  ///< [out] accumulators
 };
 
 }  // namespace rsnn::hw

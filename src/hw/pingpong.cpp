@@ -36,6 +36,16 @@ void PingPongPair::swap() {
   ++swaps_;
 }
 
+void PingPongPair::reset() {
+  for (ActivationBuffer& buffer : buffers_) {
+    buffer.used_bits = 0;
+    buffer.reads = buffer.writes = 0;
+    buffer.read_bits = buffer.write_bits = 0;
+  }
+  active_ = 0;
+  swaps_ = 0;
+}
+
 std::int64_t PingPongPair::total_read_bits() const {
   return buffers_[0].read_bits + buffers_[1].read_bits;
 }

@@ -47,6 +47,10 @@ class PingPongPair {
 
   void swap();
 
+  /// Clear occupancy, access counters and swap state (a new inference on the
+  /// same design; capacities are retained).
+  void reset();
+
   std::int64_t capacity_bits_each() const { return capacity_; }
   std::int64_t total_read_bits() const;
   std::int64_t total_write_bits() const;

@@ -40,8 +40,8 @@ PoolSliceResult PoolUnit::run_layer_slice(const quant::QPool2d& pool,
       share * conv_row_fetch_cycles(iw, timing_, /*active_units=*/1);
   const std::int64_t row_period = std::max<std::int64_t>(k, fetch);
 
-  TensorI64 membrane(Shape{n_local, oh, ow}, std::int64_t{0});
-  std::int64_t* mem = membrane.data();
+  membrane_.assign(static_cast<std::size_t>(n_local * oh * ow), 0);
+  std::int64_t* mem = membrane_.data();
   PoolSliceResult result;
 
   // Cycle and read-traffic behaviour is input-independent (the unit streams
@@ -54,7 +54,7 @@ PoolSliceResult PoolUnit::run_layer_slice(const quant::QPool2d& pool,
   // Window counting is event-driven: each spike within a tile's column span
   // increments its window's accumulator.
   for (int t = 0; t < time_steps; ++t) {
-    for (std::int64_t i = 0; i < membrane.numel(); ++i) mem[i] <<= 1;
+    for (std::int64_t i = 0; i < n_local * oh * ow; ++i) mem[i] <<= 1;
 
     for (std::int64_t tile = 0; tile < tiles; ++tile) {
       const std::int64_t col0 = tile * cols_per_tile;

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "encoding/spike_train.hpp"
 #include "hw/arch.hpp"
@@ -43,6 +44,7 @@ class PoolUnit {
  private:
   PoolUnitGeometry geometry_;
   TimingParams timing_;
+  std::vector<std::int64_t> membrane_;  ///< [local][oh][ow] window counters
 };
 
 }  // namespace rsnn::hw

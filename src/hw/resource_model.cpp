@@ -100,16 +100,14 @@ ResourceEstimate design_resources(const AcceleratorConfig& config,
 }
 
 ResourceEstimate estimate_resources(const Accelerator& accelerator) {
-  const auto& qnet = accelerator.network();
   std::int64_t on_chip_param_bits = 0;
-  for (std::size_t li = 0; li < qnet.layers.size(); ++li) {
-    if (accelerator.placement()[li] == WeightPlacement::kOnChip)
-      on_chip_param_bits +=
-          layer_param_bits(qnet.layers[li], qnet.weight_bits, qnet.time_bits);
+  for (const ir::LayerOp& op : accelerator.program().ops()) {
+    if (op.placement == WeightPlacement::kOnChip)
+      on_chip_param_bits += op.param_bits;
   }
   return design_resources(accelerator.config(), accelerator.buffer_plan(),
                           on_chip_param_bits, accelerator.uses_dram(),
-                          qnet.weight_bits);
+                          accelerator.network().weight_bits);
 }
 
 std::string to_string(const ResourceEstimate& estimate) {

@@ -3,6 +3,7 @@
 #include "common/assert.hpp"
 #include "common/bits.hpp"
 #include "common/log.hpp"
+#include "ir/layer_program.hpp"
 
 namespace rsnn::hw {
 
@@ -19,21 +20,11 @@ WeightFetchCost WeightMemory::fetch_layer(std::int64_t param_bits,
   return cost;
 }
 
-std::int64_t layer_param_bits(const quant::QLayer& layer, int weight_bits,
-                              int time_bits) {
-  const int bias_bits = time_bits + weight_bits + 16;
-  if (const auto* conv = std::get_if<quant::QConv2d>(&layer))
-    return conv->weight.numel() * weight_bits + conv->bias.numel() * bias_bits;
-  if (const auto* fc = std::get_if<quant::QLinear>(&layer))
-    return fc->weight.numel() * weight_bits + fc->bias.numel() * bias_bits;
-  return 0;
-}
-
 std::vector<WeightPlacement> plan_placement(const quant::QuantizedNetwork& qnet,
                                             const MemoryConfig& config) {
   std::int64_t total_bits = 0;
   for (const auto& layer : qnet.layers)
-    total_bits += layer_param_bits(layer, qnet.weight_bits, qnet.time_bits);
+    total_bits += ir::layer_param_bits(layer, qnet.weight_bits, qnet.time_bits);
 
   const bool fits = total_bits <= config.weight_bram_bits;
   if (!fits)
@@ -44,8 +35,8 @@ std::vector<WeightPlacement> plan_placement(const quant::QuantizedNetwork& qnet,
   std::vector<WeightPlacement> placement;
   placement.reserve(qnet.layers.size());
   for (const auto& layer : qnet.layers) {
-    const bool has_params = layer_param_bits(layer, qnet.weight_bits,
-                                             qnet.time_bits) > 0;
+    const bool has_params = ir::layer_param_bits(layer, qnet.weight_bits,
+                                                 qnet.time_bits) > 0;
     placement.push_back(fits || !has_params ? WeightPlacement::kOnChip
                                             : WeightPlacement::kDram);
   }

@@ -52,8 +52,4 @@ class WeightMemory {
 std::vector<WeightPlacement> plan_placement(const quant::QuantizedNetwork& qnet,
                                             const MemoryConfig& config);
 
-/// Parameter bits of one layer (0 for pool/flatten).
-std::int64_t layer_param_bits(const quant::QLayer& layer, int weight_bits,
-                              int time_bits);
-
 }  // namespace rsnn::hw

@@ -1,0 +1,156 @@
+// LayerProgram: the compiled intermediate representation of a converted SNN.
+//
+// The paper's flow is compiler-centric: an E3NE-style compiler maps the
+// converted network onto the accelerator once, and every downstream consumer
+// reads that one mapping. This module is that mapping. `lower(qnet)` turns
+// the QLayer variant list into a vector of *typed* ops carrying everything a
+// consumer needs precomputed — input/output shapes, conv/pool/linear
+// geometry, requantization flags, parameter footprints — so no consumer
+// re-derives layer semantics with its own `std::get_if` ladder.
+// `lower(qnet, config)` additionally annotates every op with its hardware
+// mapping: weight placement, group phasing, the predicted per-layer latency
+// and memory traffic (the compiler's former ScheduleEntry), and the
+// ping-pong buffer sizing.
+//
+// All variant dispatch on QLayer lives in this module (layer_program.cpp);
+// consumers switch on the typed LayerOp::kind instead.
+//
+// Lifetime: a LayerProgram borrows the QuantizedNetwork it was lowered from
+// (ops point at the network's weight tensors). The network must outlive the
+// program, exactly as it must outlive an Accelerator bound to it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hw/arch.hpp"
+#include "hw/latency_model.hpp"
+#include "quant/qnetwork.hpp"
+#include "tensor/tensor.hpp"
+
+namespace rsnn::ir {
+
+enum class OpKind { kConv, kPool, kLinear, kFlatten };
+
+/// Canonical lower-case op name: "conv" / "pool" / "linear" / "flatten".
+/// The single copy of the layer-name helper (formerly duplicated across the
+/// accelerator, the compiler schedule, and the reports).
+const char* op_kind_name(OpKind kind);
+
+/// Kind of a raw QLayer variant.
+OpKind kind_of(const quant::QLayer& layer);
+
+/// Parameter (weight + bias) storage of one layer in bits; 0 for
+/// pool/flatten. Biases are stored at (time_bits + weight_bits + 16) bits.
+std::int64_t layer_param_bits(const quant::QLayer& layer, int weight_bits,
+                              int time_bits);
+
+/// Shape produced by applying `layer` to an input of shape `input`.
+Shape op_output_shape(const quant::QLayer& layer, const Shape& input);
+
+/// One typed op of the lowered program. The `conv`/`pool`/`linear` pointers
+/// are non-owning views into the source QuantizedNetwork; exactly the one
+/// matching `kind` is non-null (all null for flatten).
+struct LayerOp {
+  OpKind kind = OpKind::kFlatten;
+  int layer_index = 0;
+  Shape in_shape;
+  Shape out_shape;
+  const quant::QConv2d* conv = nullptr;
+  const quant::QPool2d* pool = nullptr;
+  const quant::QLinear* linear = nullptr;
+  bool requantize = true;        ///< false only on the raw final layer
+  bool is_1d = false;            ///< output lives in the 1-D buffer pair
+  std::int64_t param_bits = 0;
+
+  // Hardware annotations, valid when lowered with an AcceleratorConfig
+  // (LayerProgram::has_hw_annotations()):
+  hw::WeightPlacement placement = hw::WeightPlacement::kOnChip;
+  std::string unit;              ///< which unit class executes the op
+  int contending_units = 1;      ///< conv units sharing the activation ports
+  hw::LayerLatency latency;      ///< predicted cycles, phasing, traffic
+
+  const char* name() const { return op_kind_name(kind); }
+};
+
+/// The lowered program: typed ops plus (optionally) the hardware mapping
+/// they were scheduled onto.
+class LayerProgram {
+ public:
+  LayerProgram() = default;
+
+  const quant::QuantizedNetwork& network() const {
+    RSNN_REQUIRE(qnet_ != nullptr, "empty LayerProgram");
+    return *qnet_;
+  }
+  int time_bits() const { return network().time_bits; }
+  int weight_bits() const { return network().weight_bits; }
+
+  const std::vector<LayerOp>& ops() const { return ops_; }
+  std::size_t size() const { return ops_.size(); }
+  const LayerOp& op(std::size_t index) const { return ops_.at(index); }
+
+  /// True when lowered against an AcceleratorConfig (placement, latency and
+  /// buffer sizing are populated).
+  bool has_hw_annotations() const { return has_hw_; }
+  const hw::AcceleratorConfig& config() const {
+    RSNN_REQUIRE(has_hw_, "program lowered without a hardware config");
+    return config_;
+  }
+  const hw::BufferPlan& buffer_plan() const {
+    RSNN_REQUIRE(has_hw_, "program lowered without a hardware config");
+    return buffer_plan_;
+  }
+
+  /// True if any op streams weights from DRAM.
+  bool uses_dram() const;
+
+  /// Sum of the per-op predicted cycles (the analytic latency contract).
+  std::int64_t predicted_total_cycles() const { return predicted_total_cycles_; }
+  double predicted_latency_us() const;
+
+ private:
+  friend LayerProgram lower(const quant::QuantizedNetwork& qnet);
+  friend LayerProgram lower(const quant::QuantizedNetwork& qnet,
+                            const hw::AcceleratorConfig& config);
+
+  const quant::QuantizedNetwork* qnet_ = nullptr;
+  std::vector<LayerOp> ops_;
+  bool has_hw_ = false;
+  hw::AcceleratorConfig config_;
+  hw::BufferPlan buffer_plan_;
+  std::int64_t predicted_total_cycles_ = 0;
+};
+
+/// Functional lowering: typed ops, shapes, requantization, parameter
+/// footprints. Enough for the behavioral/reference engines, serialization
+/// and RTL weight emission.
+LayerProgram lower(const quant::QuantizedNetwork& qnet);
+
+/// Hardware lowering: validates that every op fits the configured units,
+/// plans weight placement against the BRAM budget, sizes the ping-pong
+/// buffers, and precomputes per-op group phasing, latency and traffic.
+/// Throws if the network is not mappable onto `config`.
+LayerProgram lower(const quant::QuantizedNetwork& qnet,
+                   const hw::AcceleratorConfig& config);
+
+/// Unit-geometry requirements of a network (largest kernels, widest output
+/// rows) — what the compiler needs to derive a design instance.
+struct GeometryRequirements {
+  bool has_conv = false;
+  bool has_pool = false;
+  std::int64_t max_conv_kernel = 0;
+  std::int64_t max_conv_out_width = 0;
+  std::int64_t max_pool_kernel = 0;
+  std::int64_t max_pool_out_width = 0;
+};
+GeometryRequirements scan_geometry(const quant::QuantizedNetwork& qnet);
+
+/// Exact fired-adder count of one op given its input activation codes: one
+/// addition per (spike, consuming adder), the same event definition the
+/// cycle-accurate units and the functional SNN count. Border spikes fan out
+/// to fewer adders; this is exact, not a fan-out estimate.
+std::int64_t exact_adder_ops(const LayerOp& op, const TensorI64& input_codes);
+
+}  // namespace rsnn::ir

@@ -5,6 +5,7 @@
 
 #include "common/assert.hpp"
 #include "common/bits.hpp"
+#include "ir/layer_program.hpp"
 
 namespace rsnn::quant {
 namespace {
@@ -110,15 +111,24 @@ std::vector<std::int64_t> QuantizedNetwork::forward_traced(
   TensorI64 x = input.cast<std::int64_t>();
   if (layer_outputs) layer_outputs->clear();
 
-  for (const QLayer& layer : layers) {
-    if (const auto* conv = std::get_if<QConv2d>(&layer)) {
-      x = conv_forward(*conv, x, time_bits);
-    } else if (const auto* pool = std::get_if<QPool2d>(&layer)) {
-      x = pool_forward(*pool, x);
-    } else if (const auto* fc = std::get_if<QLinear>(&layer)) {
-      x = linear_forward(*fc, x, time_bits);
-    } else {
-      x = x.reshaped(Shape{x.numel()});
+  // Lowered fresh per call: it can never be stale against `layers` (which is
+  // publicly mutable), and its cost — a handful of small vector allocations —
+  // is noise against the dense per-layer arithmetic below.
+  const ir::LayerProgram program = ir::lower(*this);
+  for (const ir::LayerOp& op : program.ops()) {
+    switch (op.kind) {
+      case ir::OpKind::kConv:
+        x = conv_forward(*op.conv, x, time_bits);
+        break;
+      case ir::OpKind::kPool:
+        x = pool_forward(*op.pool, x);
+        break;
+      case ir::OpKind::kLinear:
+        x = linear_forward(*op.linear, x, time_bits);
+        break;
+      case ir::OpKind::kFlatten:
+        x = x.reshaped(Shape{x.numel()});
+        break;
     }
     if (layer_outputs) layer_outputs->push_back(x);
   }
@@ -145,20 +155,7 @@ std::vector<Shape> QuantizedNetwork::layer_output_shapes() const {
   std::vector<Shape> shapes;
   shapes.reserve(layers.size());
   for (const QLayer& layer : layers) {
-    if (const auto* conv = std::get_if<QConv2d>(&layer)) {
-      const std::int64_t oh =
-          (shape.dim(1) + 2 * conv->padding - conv->kernel) / conv->stride + 1;
-      const std::int64_t ow =
-          (shape.dim(2) + 2 * conv->padding - conv->kernel) / conv->stride + 1;
-      shape = Shape{conv->out_channels, oh, ow};
-    } else if (const auto* pool = std::get_if<QPool2d>(&layer)) {
-      shape = Shape{shape.dim(0), shape.dim(1) / pool->kernel,
-                    shape.dim(2) / pool->kernel};
-    } else if (const auto* fc = std::get_if<QLinear>(&layer)) {
-      shape = Shape{fc->out_features};
-    } else {
-      shape = Shape{shape.numel()};
-    }
+    shape = ir::op_output_shape(layer, shape);
     shapes.push_back(shape);
   }
   return shapes;
@@ -166,24 +163,20 @@ std::vector<Shape> QuantizedNetwork::layer_output_shapes() const {
 
 std::int64_t QuantizedNetwork::num_params() const {
   std::int64_t n = 0;
-  for (const QLayer& layer : layers) {
-    if (const auto* conv = std::get_if<QConv2d>(&layer))
-      n += conv->weight.numel() + conv->bias.numel();
-    else if (const auto* fc = std::get_if<QLinear>(&layer))
-      n += fc->weight.numel() + fc->bias.numel();
+  const ir::LayerProgram program = ir::lower(*this);
+  for (const ir::LayerOp& op : program.ops()) {
+    if (op.kind == ir::OpKind::kConv)
+      n += op.conv->weight.numel() + op.conv->bias.numel();
+    else if (op.kind == ir::OpKind::kLinear)
+      n += op.linear->weight.numel() + op.linear->bias.numel();
   }
   return n;
 }
 
 std::int64_t QuantizedNetwork::param_bits() const {
   std::int64_t bits = 0;
-  const int bias_bits = time_bits + weight_bits + 16;
-  for (const QLayer& layer : layers) {
-    if (const auto* conv = std::get_if<QConv2d>(&layer))
-      bits += conv->weight.numel() * weight_bits + conv->bias.numel() * bias_bits;
-    else if (const auto* fc = std::get_if<QLinear>(&layer))
-      bits += fc->weight.numel() * weight_bits + fc->bias.numel() * bias_bits;
-  }
+  for (const QLayer& layer : layers)
+    bits += ir::layer_param_bits(layer, weight_bits, time_bits);
   return bits;
 }
 
@@ -191,21 +184,29 @@ std::string QuantizedNetwork::summary() const {
   std::ostringstream os;
   os << "QuantizedNetwork(T=" << time_bits << ", wbits=" << weight_bits
      << ", input=" << input_shape.to_string() << ")\n";
-  const auto shapes = layer_output_shapes();
-  for (std::size_t i = 0; i < layers.size(); ++i) {
-    os << "  [" << i << "] ";
-    if (const auto* conv = std::get_if<QConv2d>(&layers[i]))
-      os << "QConv2d(" << conv->in_channels << "->" << conv->out_channels
-         << ", k=" << conv->kernel << ", f=" << conv->frac_bits
-         << (conv->requantize ? "" : ", raw") << ")";
-    else if (const auto* pool = std::get_if<QPool2d>(&layers[i]))
-      os << "QAvgPool2d(k=" << pool->kernel << ")";
-    else if (const auto* fc = std::get_if<QLinear>(&layers[i]))
-      os << "QLinear(" << fc->in_features << "->" << fc->out_features
-         << ", f=" << fc->frac_bits << (fc->requantize ? "" : ", raw") << ")";
-    else
-      os << "QFlatten";
-    os << " -> " << shapes[i].to_string() << "\n";
+  const ir::LayerProgram program = ir::lower(*this);
+  for (const ir::LayerOp& op : program.ops()) {
+    os << "  [" << op.layer_index << "] ";
+    switch (op.kind) {
+      case ir::OpKind::kConv:
+        os << "QConv2d(" << op.conv->in_channels << "->"
+           << op.conv->out_channels << ", k=" << op.conv->kernel
+           << ", f=" << op.conv->frac_bits
+           << (op.conv->requantize ? "" : ", raw") << ")";
+        break;
+      case ir::OpKind::kPool:
+        os << "QAvgPool2d(k=" << op.pool->kernel << ")";
+        break;
+      case ir::OpKind::kLinear:
+        os << "QLinear(" << op.linear->in_features << "->"
+           << op.linear->out_features << ", f=" << op.linear->frac_bits
+           << (op.linear->requantize ? "" : ", raw") << ")";
+        break;
+      case ir::OpKind::kFlatten:
+        os << "QFlatten";
+        break;
+    }
+    os << " -> " << op.out_shape.to_string() << "\n";
   }
   return os.str();
 }

@@ -4,6 +4,7 @@
 #include <fstream>
 
 #include "common/assert.hpp"
+#include "ir/layer_program.hpp"
 
 namespace rsnn::quant {
 namespace {
@@ -95,36 +96,46 @@ void save_quantized(const QuantizedNetwork& qnet, const std::string& path) {
   write_shape(os, qnet.input_shape);
   write_u32(os, static_cast<std::uint32_t>(qnet.layers.size()));
 
-  for (const QLayer& layer : qnet.layers) {
-    if (const auto* conv = std::get_if<QConv2d>(&layer)) {
-      write_u32(os, static_cast<std::uint32_t>(LayerTag::kConv));
-      write_i64(os, conv->in_channels);
-      write_i64(os, conv->out_channels);
-      write_i64(os, conv->kernel);
-      write_i64(os, conv->stride);
-      write_i64(os, conv->padding);
-      write_i32(os, conv->frac_bits);
-      write_i32(os, conv->requantize ? 1 : 0);
-      write_i32(os, conv->channel_frac.numel() > 0 ? 1 : 0);
-      write_tensor_i(os, conv->weight);
-      write_tensor_i64(os, conv->bias);
-      if (conv->channel_frac.numel() > 0) write_tensor_i(os, conv->channel_frac);
-    } else if (const auto* pool = std::get_if<QPool2d>(&layer)) {
-      write_u32(os, static_cast<std::uint32_t>(LayerTag::kPool));
-      write_i64(os, pool->kernel);
-      write_i32(os, pool->shift);
-    } else if (const auto* fc = std::get_if<QLinear>(&layer)) {
-      write_u32(os, static_cast<std::uint32_t>(LayerTag::kLinear));
-      write_i64(os, fc->in_features);
-      write_i64(os, fc->out_features);
-      write_i32(os, fc->frac_bits);
-      write_i32(os, fc->requantize ? 1 : 0);
-      write_i32(os, fc->channel_frac.numel() > 0 ? 1 : 0);
-      write_tensor_i(os, fc->weight);
-      write_tensor_i64(os, fc->bias);
-      if (fc->channel_frac.numel() > 0) write_tensor_i(os, fc->channel_frac);
-    } else {
-      write_u32(os, static_cast<std::uint32_t>(LayerTag::kFlatten));
+  const ir::LayerProgram program = ir::lower(qnet);
+  for (const ir::LayerOp& op : program.ops()) {
+    switch (op.kind) {
+      case ir::OpKind::kConv: {
+        const QConv2d& conv = *op.conv;
+        write_u32(os, static_cast<std::uint32_t>(LayerTag::kConv));
+        write_i64(os, conv.in_channels);
+        write_i64(os, conv.out_channels);
+        write_i64(os, conv.kernel);
+        write_i64(os, conv.stride);
+        write_i64(os, conv.padding);
+        write_i32(os, conv.frac_bits);
+        write_i32(os, conv.requantize ? 1 : 0);
+        write_i32(os, conv.channel_frac.numel() > 0 ? 1 : 0);
+        write_tensor_i(os, conv.weight);
+        write_tensor_i64(os, conv.bias);
+        if (conv.channel_frac.numel() > 0) write_tensor_i(os, conv.channel_frac);
+        break;
+      }
+      case ir::OpKind::kPool:
+        write_u32(os, static_cast<std::uint32_t>(LayerTag::kPool));
+        write_i64(os, op.pool->kernel);
+        write_i32(os, op.pool->shift);
+        break;
+      case ir::OpKind::kLinear: {
+        const QLinear& fc = *op.linear;
+        write_u32(os, static_cast<std::uint32_t>(LayerTag::kLinear));
+        write_i64(os, fc.in_features);
+        write_i64(os, fc.out_features);
+        write_i32(os, fc.frac_bits);
+        write_i32(os, fc.requantize ? 1 : 0);
+        write_i32(os, fc.channel_frac.numel() > 0 ? 1 : 0);
+        write_tensor_i(os, fc.weight);
+        write_tensor_i64(os, fc.bias);
+        if (fc.channel_frac.numel() > 0) write_tensor_i(os, fc.channel_frac);
+        break;
+      }
+      case ir::OpKind::kFlatten:
+        write_u32(os, static_cast<std::uint32_t>(LayerTag::kFlatten));
+        break;
     }
   }
   RSNN_REQUIRE(os.good(), "write failure on " << path);

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/assert.hpp"
+#include "ir/layer_program.hpp"
 #include "rtl/modules.hpp"
 
 namespace rsnn::rtl {
@@ -60,17 +61,17 @@ SourceBundle generate_design_with_weights(const hw::AcceleratorConfig& config,
   options.weight_bits = qnet.weight_bits;
   SourceBundle bundle = generate_design(config, options);
 
-  int index = 0;
-  for (const auto& layer : qnet.layers) {
+  const ir::LayerProgram program = ir::lower(qnet);
+  for (const ir::LayerOp& op : program.ops()) {
     std::ostringstream os;
-    if (const auto* conv = std::get_if<quant::QConv2d>(&layer)) {
-      append_weight_mem(os, conv->weight, qnet.weight_bits);
-      bundle["weights_layer" + std::to_string(index) + "_conv.mem"] = os.str();
-    } else if (const auto* fc = std::get_if<quant::QLinear>(&layer)) {
-      append_weight_mem(os, fc->weight, qnet.weight_bits);
-      bundle["weights_layer" + std::to_string(index) + "_fc.mem"] = os.str();
+    const std::string index = std::to_string(op.layer_index);
+    if (op.kind == ir::OpKind::kConv) {
+      append_weight_mem(os, op.conv->weight, qnet.weight_bits);
+      bundle["weights_layer" + index + "_conv.mem"] = os.str();
+    } else if (op.kind == ir::OpKind::kLinear) {
+      append_weight_mem(os, op.linear->weight, qnet.weight_bits);
+      bundle["weights_layer" + index + "_fc.mem"] = os.str();
     }
-    ++index;
   }
   return bundle;
 }

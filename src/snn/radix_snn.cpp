@@ -9,7 +9,6 @@ namespace {
 
 using encoding::SpikeTrain;
 using quant::QConv2d;
-using quant::QFlatten;
 using quant::QLinear;
 using quant::QPool2d;
 
@@ -105,42 +104,46 @@ RadixSnnResult RadixSnn::run(const SpikeTrain& input,
                "input shape mismatch");
 
   RadixSnnResult result;
-  const auto shapes = qnet_.layer_output_shapes();
   SpikeTrain current = input;
 
-  for (std::size_t li = 0; li < qnet_.layers.size(); ++li) {
-    const quant::QLayer& layer = qnet_.layers[li];
+  const std::size_t n_ops = program_.size();
+  for (std::size_t li = 0; li < n_ops; ++li) {
+    const ir::LayerOp& op = program_.op(li);
     result.total_input_spikes += current.total_spikes();
 
-    if (std::holds_alternative<QFlatten>(layer)) {
+    if (op.kind == ir::OpKind::kFlatten) {
       // Buffer transfer: same bits, flat neuron indexing.
-      current = std::move(current).reshaped(shapes[li]);
+      current = std::move(current).reshaped(op.out_shape);
       if (record_layer_spikes) result.layer_spikes.push_back(current);
       continue;
     }
 
     // Temporal integration with the radix left-shift between steps.
-    TensorI64 membrane(shapes[li], std::int64_t{0});
+    TensorI64 membrane(op.out_shape, std::int64_t{0});
     for (int t = 0; t < T; ++t) {
       for (std::int64_t i = 0; i < membrane.numel(); ++i)
         membrane.at_flat(i) <<= 1;
-      if (const auto* conv = std::get_if<QConv2d>(&layer))
-        conv_step(*conv, current, t, membrane, result.total_synaptic_ops);
-      else if (const auto* pool = std::get_if<QPool2d>(&layer))
-        pool_step(*pool, current, t, membrane, result.total_synaptic_ops);
-      else if (const auto* fc = std::get_if<QLinear>(&layer))
-        linear_step(*fc, current, t, membrane, result.total_synaptic_ops);
+      switch (op.kind) {
+        case ir::OpKind::kConv:
+          conv_step(*op.conv, current, t, membrane, result.total_synaptic_ops);
+          break;
+        case ir::OpKind::kPool:
+          pool_step(*op.pool, current, t, membrane, result.total_synaptic_ops);
+          break;
+        case ir::OpKind::kLinear:
+          linear_step(*op.linear, current, t, membrane,
+                      result.total_synaptic_ops);
+          break;
+        case ir::OpKind::kFlatten:
+          break;  // handled above
+      }
     }
 
     // Output logic: bias, ReLU + requantize (or raw accumulators at the end).
-    const auto* conv = std::get_if<QConv2d>(&layer);
-    const auto* fc = std::get_if<QLinear>(&layer);
-    const auto* pool = std::get_if<QPool2d>(&layer);
-    const bool requantize = conv   ? conv->requantize
-                            : fc   ? fc->requantize
-                                   : true;
-    const TensorI64* bias = conv ? &conv->bias : fc ? &fc->bias : nullptr;
-    const std::int64_t pool_shift = pool ? pool->shift : -1;
+    const TensorI64* bias = op.conv      ? &op.conv->bias
+                            : op.linear ? &op.linear->bias
+                                        : nullptr;
+    const std::int64_t pool_shift = op.pool ? op.pool->shift : -1;
 
     TensorI64 out(membrane.shape());
     for (std::int64_t i = 0; i < membrane.numel(); ++i) {
@@ -153,9 +156,9 @@ RadixSnnResult RadixSnn::run(const SpikeTrain& input,
         const std::int64_t ch_index =
             membrane.rank() == 3 ? i / (membrane.dim(1) * membrane.dim(2)) : i;
         v += bias ? bias->at_flat(ch_index) : 0;
-        if (requantize) {
-          const int frac_bits =
-              conv ? conv->frac_for(ch_index) : fc->frac_for(ch_index);
+        if (op.requantize) {
+          const int frac_bits = op.conv ? op.conv->frac_for(ch_index)
+                                        : op.linear->frac_for(ch_index);
           if (frac_bits >= 0)
             v >>= frac_bits;
           else
@@ -166,7 +169,7 @@ RadixSnnResult RadixSnn::run(const SpikeTrain& input,
       out.at_flat(i) = v;
     }
 
-    if (li + 1 == qnet_.layers.size() && !requantize) {
+    if (li + 1 == n_ops && !op.requantize) {
       // Final layer: raw membrane potentials are the logits.
       result.logits.resize(static_cast<std::size_t>(out.numel()));
       for (std::int64_t i = 0; i < out.numel(); ++i)
@@ -175,8 +178,7 @@ RadixSnnResult RadixSnn::run(const SpikeTrain& input,
     }
 
     // Re-encode output codes as the next layer's spike train.
-    TensorI codes = out.cast<std::int32_t>();
-    current = encoding::radix_encode_codes(codes, T);
+    encoding::radix_encode_codes_into(out, T, current);
     if (record_layer_spikes) result.layer_spikes.push_back(current);
   }
 

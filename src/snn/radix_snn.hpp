@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "encoding/spike_train.hpp"
+#include "ir/layer_program.hpp"
 #include "quant/qnetwork.hpp"
 
 namespace rsnn::snn {
@@ -32,7 +33,8 @@ struct RadixSnnResult {
 
 class RadixSnn {
  public:
-  explicit RadixSnn(const quant::QuantizedNetwork& qnet) : qnet_(qnet) {}
+  explicit RadixSnn(const quant::QuantizedNetwork& qnet)
+      : qnet_(qnet), program_(ir::lower(qnet)) {}
 
   /// Run one sample given its input spike train (must be radix-encoded with
   /// the network's T).
@@ -44,9 +46,11 @@ class RadixSnn {
                            bool record_layer_spikes = false) const;
 
   const quant::QuantizedNetwork& network() const { return qnet_; }
+  const ir::LayerProgram& program() const { return program_; }
 
  private:
   const quant::QuantizedNetwork& qnet_;
+  ir::LayerProgram program_;  ///< functional lowering of qnet_
 };
 
 }  // namespace rsnn::snn

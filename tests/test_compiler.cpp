@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "compiler/compile.hpp"
+#include "hw/accelerator.hpp"
 #include "nn/zoo.hpp"
 #include "quant/quantize.hpp"
 #include "test_helpers.hpp"
@@ -34,13 +35,13 @@ TEST(Compiler, ScheduleCoversEveryLayer) {
   nn::Network net = rsnn::testing::small_random_net(rng);
   const auto qnet = quant::quantize(net, quant::QuantizeConfig{3, 4});
   const CompiledDesign design = compile(qnet, CompileOptions{});
-  ASSERT_EQ(design.schedule.size(), qnet.layers.size());
-  EXPECT_EQ(design.schedule[0].kind, "conv");
-  EXPECT_EQ(design.schedule[1].kind, "pool");
-  EXPECT_EQ(design.schedule[2].kind, "flatten");
-  EXPECT_EQ(design.schedule[3].kind, "linear");
-  for (const auto& entry : design.schedule)
-    EXPECT_GT(entry.predicted_cycles, 0);
+  ASSERT_EQ(design.program.size(), qnet.layers.size());
+  EXPECT_EQ(design.program.op(0).kind, ir::OpKind::kConv);
+  EXPECT_EQ(design.program.op(1).kind, ir::OpKind::kPool);
+  EXPECT_EQ(design.program.op(2).kind, ir::OpKind::kFlatten);
+  EXPECT_EQ(design.program.op(3).kind, ir::OpKind::kLinear);
+  for (const auto& op : design.program.ops())
+    EXPECT_GT(op.latency.total_cycles, 0);
 }
 
 TEST(Compiler, PredictedLatencyMatchesAccelerator) {
@@ -54,6 +55,31 @@ TEST(Compiler, PredictedLatencyMatchesAccelerator) {
   EXPECT_EQ(design.predicted_total_cycles, accel.predict_total_cycles());
 }
 
+TEST(Compiler, PredictedCyclesPinnedToCycleAccurateLeNet) {
+  // Invariant 4 regression (latency-prediction drift guard): the schedule's
+  // per-op predicted cycles must sum to exactly what the bit-true simulator
+  // counts stepping LeNet-5, for several design points.
+  Rng rng(42);
+  nn::Network lenet = nn::make_lenet5();
+  lenet.init_params(rng);
+  const auto qnet = quant::quantize(lenet, quant::QuantizeConfig{3, 4});
+  const TensorF image = rsnn::testing::random_image(Shape{1, 32, 32}, rng);
+  for (const int units : {1, 2, 4}) {
+    CompileOptions options;
+    options.num_conv_units = units;
+    const CompiledDesign design = compile(qnet, options);
+    std::int64_t per_op_sum = 0;
+    for (const auto& op : design.program.ops())
+      per_op_sum += op.latency.total_cycles;
+    EXPECT_EQ(per_op_sum, design.predicted_total_cycles) << units << " units";
+
+    hw::Accelerator accel(design.program);
+    EXPECT_EQ(per_op_sum, accel.predict_total_cycles()) << units << " units";
+    const auto run = accel.run_image(image, hw::SimMode::kCycleAccurate);
+    EXPECT_EQ(run.total_cycles, per_op_sum) << units << " units";
+  }
+}
+
 TEST(Compiler, VggGoesToDram) {
   // VGG-11's 28.5M parameters cannot fit the default BRAM budget.
   Rng rng(4);
@@ -65,10 +91,7 @@ TEST(Compiler, VggGoesToDram) {
   options.clock_mhz = 115.0;
   options.memory.weight_bram_bits = std::int64_t{4} * 1024 * 1024 * 8;
   const CompiledDesign design = compile(qnet, options);
-  bool any_dram = false;
-  for (const auto& entry : design.schedule)
-    any_dram |= entry.placement == hw::WeightPlacement::kDram;
-  EXPECT_TRUE(any_dram);
+  EXPECT_TRUE(design.program.uses_dram());
 }
 
 TEST(Compiler, DescribeMentionsAllUnits) {

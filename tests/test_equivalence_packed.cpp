@@ -1,7 +1,8 @@
 // Equivalence of the event-driven, bit-packed cycle-accurate simulator with
-// the seed byte-per-bit implementation on LeNet-5: logits, total cycles,
-// adder-op counts and memory traffic are architectural quantities and must be
-// exactly what the original dense loops produced.
+// the seed byte-per-bit implementation on LeNet-5, and cross-engine
+// equivalence of all four execution engines over the same LayerProgram:
+// logits, total cycles, adder-op counts and memory traffic are architectural
+// quantities and must be exactly identical everywhere.
 //
 // Oracles used (all independent of the rewritten hot loops):
 //   * logits        — QuantizedNetwork::forward (invariant 1/2)
@@ -12,11 +13,11 @@
 //                     unit simulators' accounting
 #include <gtest/gtest.h>
 
-#include <variant>
-
 #include "common/bits.hpp"
 #include "common/rng.hpp"
 #include "encoding/radix.hpp"
+#include "engine/engine.hpp"
+#include "engine/stream.hpp"
 #include "hw/accelerator.hpp"
 #include "nn/zoo.hpp"
 #include "quant/quantize.hpp"
@@ -26,51 +27,54 @@
 namespace rsnn::hw {
 namespace {
 
-using quant::QConv2d;
-using quant::QLinear;
-using quant::QPool2d;
-
 /// Per-layer traffic of the seed cycle-accurate implementation, in closed
-/// form (transcribed from the seed's per-element accounting).
-MemTraffic seed_traffic(const quant::QuantizedNetwork& qnet,
-                        const AcceleratorConfig& cfg) {
+/// form (transcribed from the seed's per-element accounting), derived from
+/// the lowered program's typed ops.
+MemTraffic seed_traffic(const ir::LayerProgram& program) {
   MemTraffic total;
-  const std::int64_t T = qnet.time_bits;
-  Shape shape = qnet.input_shape;
-  const auto shapes = qnet.layer_output_shapes();
-  for (std::size_t li = 0; li < qnet.layers.size(); ++li) {
-    const auto& layer = qnet.layers[li];
-    if (const auto* conv = std::get_if<QConv2d>(&layer)) {
-      const std::int64_t ih = shape.dim(1), iw = shape.dim(2);
-      const std::int64_t k = conv->kernel;
-      const std::int64_t oh = shapes[li].dim(1), ow = shapes[li].dim(2);
-      const std::int64_t X = cfg.conv.array_columns;
-      const std::int64_t share =
-          std::clamp<std::int64_t>(X / ow, 1, conv->out_channels);
-      const std::int64_t tiles = ow > X ? ceil_div(ow, X) : 1;
-      const std::int64_t slices = ceil_div(conv->out_channels, share);
-      // One full input read per (slice, time step, input channel, tile).
-      total.act_read_bits += slices * T * conv->in_channels * tiles * ih * iw;
-      total.act_write_bits += conv->out_channels * oh * ow * T;
-      total.weight_read_bits += T * conv->in_channels * tiles * k * k *
-                                conv->out_channels * qnet.weight_bits;
-    } else if (const auto* pool = std::get_if<QPool2d>(&layer)) {
-      const std::int64_t channels = shape.dim(0);
-      const std::int64_t ih = shape.dim(1), iw = shape.dim(2);
-      const std::int64_t oh = shapes[li].dim(1), ow = shapes[li].dim(2);
-      const std::int64_t X = cfg.pool.array_columns;
-      const std::int64_t tiles = ow > X ? ceil_div(ow, X) : 1;
-      // Every channel reads its full input once per (time step, tile).
-      total.act_read_bits += channels * T * tiles * ih * iw;
-      total.act_write_bits += channels * oh * ow * T;
-      (void)pool;
-    } else if (const auto* fc = std::get_if<QLinear>(&layer)) {
-      total.act_read_bits += T * fc->in_features;
-      total.act_write_bits += fc->out_features * T;
-      total.weight_read_bits +=
-          T * fc->in_features * fc->out_features * qnet.weight_bits;
+  const std::int64_t T = program.time_bits();
+  const AcceleratorConfig& cfg = program.config();
+  for (const ir::LayerOp& op : program.ops()) {
+    switch (op.kind) {
+      case ir::OpKind::kConv: {
+        const auto& conv = *op.conv;
+        const std::int64_t ih = op.in_shape.dim(1), iw = op.in_shape.dim(2);
+        const std::int64_t k = conv.kernel;
+        const std::int64_t oh = op.out_shape.dim(1), ow = op.out_shape.dim(2);
+        const std::int64_t X = cfg.conv.array_columns;
+        const std::int64_t share =
+            std::clamp<std::int64_t>(X / ow, 1, conv.out_channels);
+        const std::int64_t tiles = ow > X ? ceil_div(ow, X) : 1;
+        const std::int64_t slices = ceil_div(conv.out_channels, share);
+        // One full input read per (slice, time step, input channel, tile).
+        total.act_read_bits += slices * T * conv.in_channels * tiles * ih * iw;
+        total.act_write_bits += conv.out_channels * oh * ow * T;
+        total.weight_read_bits += T * conv.in_channels * tiles * k * k *
+                                  conv.out_channels * program.weight_bits();
+        break;
+      }
+      case ir::OpKind::kPool: {
+        const std::int64_t channels = op.in_shape.dim(0);
+        const std::int64_t ih = op.in_shape.dim(1), iw = op.in_shape.dim(2);
+        const std::int64_t oh = op.out_shape.dim(1), ow = op.out_shape.dim(2);
+        const std::int64_t X = cfg.pool.array_columns;
+        const std::int64_t tiles = ow > X ? ceil_div(ow, X) : 1;
+        // Every channel reads its full input once per (time step, tile).
+        total.act_read_bits += channels * T * tiles * ih * iw;
+        total.act_write_bits += channels * oh * ow * T;
+        break;
+      }
+      case ir::OpKind::kLinear: {
+        const auto& fc = *op.linear;
+        total.act_read_bits += T * fc.in_features;
+        total.act_write_bits += fc.out_features * T;
+        total.weight_read_bits +=
+            T * fc.in_features * fc.out_features * program.weight_bits();
+        break;
+      }
+      case ir::OpKind::kFlatten:
+        break;
     }
-    shape = shapes[li];
   }
   return total;
 }
@@ -104,12 +108,75 @@ TEST(PackedEquivalence, LeNetCycleAccurateMatchesSeedSemantics) {
     EXPECT_EQ(run.logits, fn.logits);
 
     // Traffic: exactly the seed implementation's accounting.
-    const MemTraffic expected = seed_traffic(qnet, accel.config());
+    const MemTraffic expected = seed_traffic(accel.program());
     EXPECT_EQ(run.traffic_total.act_read_bits, expected.act_read_bits);
     EXPECT_EQ(run.traffic_total.act_write_bits, expected.act_write_bits);
     EXPECT_EQ(run.traffic_total.weight_read_bits, expected.weight_read_bits);
   }
 }
+
+// ------------------------------------------------- cross-engine equivalence
+
+/// All four engines walk the same LayerProgram and must agree bit-for-bit:
+/// logits, total cycles, adder ops and memory traffic on LeNet-5.
+class EngineEquivalence
+    : public ::testing::TestWithParam<engine::EngineKind> {};
+
+TEST_P(EngineEquivalence, LeNetBitIdenticalToCycleAccurate) {
+  Rng rng(2023);
+  nn::Network lenet = nn::make_lenet5();
+  lenet.init_params(rng);
+  const quant::QuantizedNetwork qnet =
+      quant::quantize(lenet, quant::QuantizeConfig{3, 4});
+  const ir::LayerProgram program =
+      ir::lower(qnet, lenet_reference_config());
+
+  // Baseline: the bit-true stepped dataflow.
+  const auto baseline_engine =
+      engine::make_engine(engine::EngineKind::kCycleAccurate, program);
+  const auto under_test = engine::make_engine(GetParam(), program);
+
+  for (int trial = 0; trial < 2; ++trial) {
+    const TensorF image =
+        rsnn::testing::random_image(Shape{1, 32, 32}, rng);
+    const TensorI codes = quant::encode_activations(image, 4);
+    const AccelRunResult baseline = baseline_engine->run_codes(codes);
+    const AccelRunResult run = under_test->run_codes(codes);
+
+    EXPECT_EQ(run.logits, baseline.logits) << "trial " << trial;
+    EXPECT_EQ(run.predicted_class, baseline.predicted_class);
+    EXPECT_EQ(run.total_cycles, baseline.total_cycles);
+    EXPECT_EQ(run.total_adder_ops, baseline.total_adder_ops);
+    EXPECT_EQ(run.traffic_total.act_read_bits,
+              baseline.traffic_total.act_read_bits);
+    EXPECT_EQ(run.traffic_total.act_write_bits,
+              baseline.traffic_total.act_write_bits);
+    EXPECT_EQ(run.traffic_total.weight_read_bits,
+              baseline.traffic_total.weight_read_bits);
+    EXPECT_EQ(run.dram_bits, baseline.dram_bits);
+
+    // Per-layer cycle totals agree as well (invariant 4 per op).
+    ASSERT_EQ(run.layers.size(), baseline.layers.size());
+    for (std::size_t li = 0; li < run.layers.size(); ++li) {
+      EXPECT_EQ(run.layers[li].cycles, baseline.layers[li].cycles)
+          << "layer " << li;
+      EXPECT_EQ(run.layers[li].adder_ops, baseline.layers[li].adder_ops)
+          << "layer " << li;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Engines, EngineEquivalence,
+    ::testing::Values(engine::EngineKind::kCycleAccurate,
+                      engine::EngineKind::kAnalytic,
+                      engine::EngineKind::kBehavioral,
+                      engine::EngineKind::kReference),
+    [](const ::testing::TestParamInfo<engine::EngineKind>& info) {
+      return std::string(engine::engine_name(info.param));
+    });
+
+// ------------------------------------------------------ batch and streaming
 
 TEST(PackedEquivalence, BatchMatchesSequentialRuns) {
   Rng rng(7);
@@ -143,6 +210,48 @@ TEST(PackedEquivalence, BatchMatchesSequentialRuns) {
   const auto serial = accel.run_batch(images, SimMode::kCycleAccurate, 1);
   for (std::size_t i = 0; i < images.size(); ++i)
     EXPECT_EQ(serial[i].logits, batch[i].logits);
+}
+
+TEST(PackedEquivalence, StreamingMatchesSequentialRuns) {
+  // The persistent worker pool (pre-allocated per-worker state, reused
+  // across inferences) must be bit-identical to one-shot execution, and a
+  // second batch through the same warm pool must agree with the first.
+  Rng rng(11);
+  nn::Network net = rsnn::testing::small_random_net(rng);
+  const quant::QuantizedNetwork qnet =
+      quant::quantize(net, quant::QuantizeConfig{3, 4});
+  AcceleratorConfig cfg;
+  cfg.num_conv_units = 2;
+  cfg.conv = ConvUnitGeometry{12, 5, 24};
+  cfg.pool = PoolUnitGeometry{8, 2, 16};
+  cfg.linear = LinearUnitGeometry{4, 24};
+  const ir::LayerProgram program = ir::lower(qnet, cfg);
+  Accelerator accel(program);
+
+  std::vector<TensorI> codes;
+  for (int i = 0; i < 8; ++i)
+    codes.push_back(quant::encode_activations(
+        rsnn::testing::random_image(Shape{1, 10, 10}, rng), 4));
+
+  engine::StreamingExecutor stream(program, engine::EngineKind::kCycleAccurate,
+                                   /*num_workers=*/2);
+  const auto first = stream.run_stream(codes);
+  const auto second = stream.run_stream(codes);  // warm pool, reused state
+  ASSERT_EQ(first.size(), codes.size());
+  EXPECT_EQ(stream.last_stats().images, static_cast<std::int64_t>(codes.size()));
+  EXPECT_GT(stream.last_stats().images_per_sec, 0.0);
+
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    const AccelRunResult ref = accel.run_codes(codes[i]);
+    EXPECT_EQ(first[i].logits, ref.logits) << "image " << i;
+    EXPECT_EQ(first[i].total_cycles, ref.total_cycles);
+    EXPECT_EQ(first[i].total_adder_ops, ref.total_adder_ops);
+    EXPECT_EQ(second[i].logits, ref.logits) << "image " << i;
+    EXPECT_EQ(second[i].total_cycles, ref.total_cycles);
+    EXPECT_EQ(second[i].total_adder_ops, ref.total_adder_ops);
+    EXPECT_EQ(second[i].traffic_total.act_read_bits,
+              ref.traffic_total.act_read_bits);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,225 @@
+// LayerProgram lowering: typed ops, shapes, group phasing, weight placement
+// and buffer sizing for the paper's two workloads (LeNet-5 and VGG-11,
+// including the DRAM-streaming case).
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/bits.hpp"
+#include "hw/accelerator.hpp"
+#include "ir/layer_program.hpp"
+#include "nn/zoo.hpp"
+#include "quant/quantize.hpp"
+#include "test_helpers.hpp"
+
+namespace rsnn::ir {
+namespace {
+
+quant::QuantizedNetwork quantized_lenet(int T) {
+  Rng rng(31415);
+  nn::Network lenet = nn::make_lenet5();
+  lenet.init_params(rng);
+  return quant::quantize(lenet, quant::QuantizeConfig{3, T});
+}
+
+TEST(LayerProgram, OpKindNamesAreCanonical) {
+  EXPECT_STREQ(op_kind_name(OpKind::kConv), "conv");
+  EXPECT_STREQ(op_kind_name(OpKind::kPool), "pool");
+  EXPECT_STREQ(op_kind_name(OpKind::kLinear), "linear");
+  EXPECT_STREQ(op_kind_name(OpKind::kFlatten), "flatten");
+}
+
+TEST(LayerProgram, FunctionalLoweringOfLeNet) {
+  const auto qnet = quantized_lenet(4);
+  const LayerProgram program = lower(qnet);
+
+  ASSERT_EQ(program.size(), qnet.layers.size());
+  EXPECT_FALSE(program.has_hw_annotations());
+  EXPECT_EQ(&program.network(), &qnet);
+
+  // LeNet-5 on 32x32: conv(1->6,k5) pool conv(6->16,k5) pool
+  // conv(16->120,k5 -> 1x1) flatten fc(120->84) fc(84->10, raw).
+  const OpKind expected_kinds[] = {OpKind::kConv,   OpKind::kPool,
+                                   OpKind::kConv,   OpKind::kPool,
+                                   OpKind::kConv,   OpKind::kFlatten,
+                                   OpKind::kLinear, OpKind::kLinear};
+  const Shape expected_shapes[] = {
+      Shape{6, 28, 28}, Shape{6, 14, 14}, Shape{16, 10, 10}, Shape{16, 5, 5},
+      Shape{120, 1, 1}, Shape{120},       Shape{84},         Shape{10}};
+  ASSERT_EQ(program.size(), 8u);
+  for (std::size_t li = 0; li < program.size(); ++li) {
+    const LayerOp& op = program.op(li);
+    EXPECT_EQ(op.kind, expected_kinds[li]) << "op " << li;
+    EXPECT_EQ(op.out_shape, expected_shapes[li]) << "op " << li;
+    EXPECT_EQ(op.layer_index, static_cast<int>(li));
+    // Exactly the matching typed pointer is set.
+    EXPECT_EQ(op.conv != nullptr, op.kind == OpKind::kConv);
+    EXPECT_EQ(op.pool != nullptr, op.kind == OpKind::kPool);
+    EXPECT_EQ(op.linear != nullptr, op.kind == OpKind::kLinear);
+    // Ops after the flatten live in the 1-D buffer pair.
+    EXPECT_EQ(op.is_1d, li >= 5) << "op " << li;
+  }
+  // Input shapes chain through output shapes.
+  EXPECT_EQ(program.op(0).in_shape, qnet.input_shape);
+  for (std::size_t li = 1; li < program.size(); ++li)
+    EXPECT_EQ(program.op(li).in_shape, program.op(li - 1).out_shape);
+
+  // Only the final layer is raw.
+  for (std::size_t li = 0; li + 1 < program.size(); ++li)
+    EXPECT_TRUE(program.op(li).requantize) << "op " << li;
+  EXPECT_FALSE(program.ops().back().requantize);
+
+  // Parameter footprints: weights at 3 bits, biases at T + 3 + 16 bits.
+  const std::int64_t bias_bits = 4 + 3 + 16;
+  EXPECT_EQ(program.op(0).param_bits, 6 * 1 * 5 * 5 * 3 + 6 * bias_bits);
+  EXPECT_EQ(program.op(6).param_bits, 120 * 84 * 3 + 84 * bias_bits);
+  EXPECT_EQ(program.op(1).param_bits, 0);  // pool has no parameters
+  EXPECT_EQ(program.op(5).param_bits, 0);  // flatten has no parameters
+}
+
+TEST(LayerProgram, HardwareLoweringOfLeNetReferenceDesign) {
+  const auto qnet = quantized_lenet(4);
+  const hw::AcceleratorConfig cfg = hw::lenet_reference_config();
+  const LayerProgram program = lower(qnet, cfg);
+
+  ASSERT_TRUE(program.has_hw_annotations());
+  EXPECT_FALSE(program.uses_dram());
+  EXPECT_GT(program.predicted_total_cycles(), 0);
+
+  // Group phasing on the paper's design point ((X,Y)=(30,5), 2 conv units,
+  // pool (14,2)): conv1 is 28 wide -> share 1, ceil(6 / 2) = 3 groups;
+  // conv2 is 10 wide -> share 3, ceil(16 / 6) = 3 groups. The single
+  // pooling unit fits one 14-wide channel (share 1) and two 5-wide
+  // channels (share 2).
+  const LayerOp& conv1 = program.op(0);
+  EXPECT_EQ(conv1.latency.channels_per_unit, 1);
+  EXPECT_EQ(conv1.latency.groups, 3);
+  EXPECT_EQ(conv1.latency.tiles, 1);  // X >= widest row avoids tiling
+  EXPECT_EQ(conv1.contending_units, 2);
+  EXPECT_EQ(conv1.unit, "conv_units[k=5]");
+
+  const LayerOp& conv2 = program.op(2);
+  EXPECT_EQ(conv2.latency.channels_per_unit, 3);
+  EXPECT_EQ(conv2.latency.groups, 3);
+
+  const LayerOp& pool1 = program.op(1);
+  EXPECT_EQ(pool1.latency.channels_per_unit, 1);
+  EXPECT_EQ(pool1.latency.groups, 6);
+  const LayerOp& pool2 = program.op(3);
+  EXPECT_EQ(pool2.latency.channels_per_unit, 2);
+  EXPECT_EQ(pool2.latency.groups, 8);
+
+  // Everything fits the default BRAM budget -> on-chip placement.
+  for (const LayerOp& op : program.ops())
+    EXPECT_EQ(op.placement, hw::WeightPlacement::kOnChip)
+        << "op " << op.layer_index;
+
+  // Buffer plan: the 2-D pair must hold the largest pre-flatten feature
+  // map (conv1's 6x28x28 at T bits); the 1-D pair the flattened 120 codes.
+  EXPECT_EQ(program.buffer_plan().buffer2d_bits_each, 6 * 28 * 28 * 4);
+  EXPECT_EQ(program.buffer_plan().buffer1d_bits_each, 120 * 4);
+
+  // The program's totals are the accelerator's analytic prediction.
+  hw::Accelerator accel(program);
+  EXPECT_EQ(program.predicted_total_cycles(), accel.predict_total_cycles());
+}
+
+TEST(LayerProgram, VggLoweringAndDramStreaming) {
+  Rng rng(2718);
+  nn::Network vgg = nn::make_vgg11();
+  vgg.init_params(rng);
+  const auto qnet = quant::quantize(vgg, quant::QuantizeConfig{3, 6});
+
+  // VGG-11 on 3x32x32: 8 conv + 5 pool + flatten + 3 fc = 17 ops ending in
+  // Shape{100} class scores.
+  const LayerProgram functional = lower(qnet);
+  ASSERT_EQ(functional.size(), 17u);
+  EXPECT_EQ(functional.ops().back().kind, OpKind::kLinear);
+  EXPECT_EQ(functional.ops().back().out_shape, Shape{100});
+  EXPECT_EQ(functional.op(13).kind, OpKind::kFlatten);
+  EXPECT_EQ(functional.op(13).out_shape, Shape{512});
+
+  // The paper's VGG design point: 8 conv units, tight BRAM -> every
+  // parameterized layer streams from DRAM; pool/flatten stay "on chip"
+  // (they have no parameters to place).
+  hw::AcceleratorConfig cfg = hw::vgg11_table3_config();
+  cfg.memory.weight_bram_bits = std::int64_t{4} * 1024 * 1024 * 8;
+  const LayerProgram program = lower(qnet, cfg);
+  EXPECT_TRUE(program.uses_dram());
+  for (const LayerOp& op : program.ops()) {
+    const bool has_params = op.param_bits > 0;
+    EXPECT_EQ(op.placement == hw::WeightPlacement::kDram, has_params)
+        << "op " << op.layer_index;
+    if (op.kind == OpKind::kConv || op.kind == OpKind::kLinear) {
+      EXPECT_GT(op.latency.dram_cycles, 0) << "op " << op.layer_index;
+      EXPECT_EQ(op.latency.traffic.dram_bits, op.param_bits)
+          << "op " << op.layer_index;
+    }
+  }
+}
+
+TEST(LayerProgram, ScanGeometryFindsUnitRequirements) {
+  const auto qnet = quantized_lenet(4);
+  const GeometryRequirements req = scan_geometry(qnet);
+  EXPECT_TRUE(req.has_conv);
+  EXPECT_TRUE(req.has_pool);
+  EXPECT_EQ(req.max_conv_kernel, 5);
+  EXPECT_EQ(req.max_conv_out_width, 28);
+  EXPECT_EQ(req.max_pool_kernel, 2);
+  EXPECT_EQ(req.max_pool_out_width, 14);
+}
+
+TEST(LayerProgram, RejectsUnmappableNetwork) {
+  const auto qnet = quantized_lenet(4);
+  hw::AcceleratorConfig cfg = hw::lenet_reference_config();
+  cfg.conv.kernel_rows = 3;  // LeNet's k=5 kernels cannot fit Y=3 units
+  EXPECT_THROW(lower(qnet, cfg), ContractViolation);
+}
+
+TEST(LayerProgram, ExactAdderOpsCountsBorderSpikesExactly) {
+  // A single spike in the corner of a 5x5 input under a 3x3 valid conv
+  // participates in exactly one window; a center spike in all nine.
+  quant::QConv2d conv;
+  conv.in_channels = 1;
+  conv.out_channels = 2;
+  conv.kernel = 3;
+  conv.weight = TensorI(Shape{2, 1, 3, 3}, 1);
+  conv.bias = TensorI64(Shape{2});
+  quant::QuantizedNetwork qnet;
+  qnet.time_bits = 1;
+  qnet.weight_bits = 3;
+  qnet.input_shape = Shape{1, 5, 5};
+  qnet.layers.emplace_back(conv);
+  const LayerProgram program = lower(qnet);
+  const LayerOp& op = program.op(0);
+
+  TensorI64 codes(Shape{1, 5, 5}, std::int64_t{0});
+  codes(0, 0, 0) = 1;  // corner: 1 window x 2 output channels
+  EXPECT_EQ(exact_adder_ops(op, codes), 2);
+  codes(0, 0, 0) = 0;
+  codes(0, 2, 2) = 1;  // center: 9 windows x 2 output channels
+  EXPECT_EQ(exact_adder_ops(op, codes), 18);
+  codes(0, 2, 2) = 3;  // two spike bits at the center (T >= 2 codes)
+  EXPECT_EQ(exact_adder_ops(op, codes), 36);
+}
+
+TEST(LayerProgram, LoweringIsStableAcrossCalls) {
+  // Two lowerings of the same network against the same config must agree in
+  // every annotation (the compiler relies on this determinism).
+  const auto qnet = quantized_lenet(3);
+  const hw::AcceleratorConfig cfg = hw::lenet_reference_config();
+  const LayerProgram a = lower(qnet, cfg);
+  const LayerProgram b = lower(qnet, cfg);
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.predicted_total_cycles(), b.predicted_total_cycles());
+  for (std::size_t li = 0; li < a.size(); ++li) {
+    EXPECT_EQ(a.op(li).kind, b.op(li).kind);
+    EXPECT_EQ(a.op(li).placement, b.op(li).placement);
+    EXPECT_EQ(a.op(li).latency.total_cycles, b.op(li).latency.total_cycles);
+    EXPECT_EQ(a.op(li).latency.groups, b.op(li).latency.groups);
+    EXPECT_EQ(a.op(li).param_bits, b.op(li).param_bits);
+  }
+}
+
+}  // namespace
+}  // namespace rsnn::ir

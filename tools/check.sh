@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Tier-1 verification in both build configurations:
+#   1. Release            — the production configuration (hot-path asserts
+#                           compiled out of the benches/tools; the test
+#                           targets always link the checked library twin).
+#   2. Release + RSNN_CHECKED=ON — RSNN_DCHECK active in *every* target, so
+#                           the full suite runs bounds-checked end to end.
+#
+# The library targets build with -Wall -Wextra; this script treats any
+# compiler warning as a failure so the targets stay warnings-clean.
+#
+# Usage: tools/check.sh [jobs]   (defaults to all hardware threads)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc)}"
+
+run_config() {
+  local name="$1" build_dir="$2"
+  shift 2
+  echo "==== [$name] configure ===="
+  cmake -B "$build_dir" -S . "$@"
+  echo "==== [$name] build ===="
+  local log
+  log="$(mktemp)"
+  cmake --build "$build_dir" -j "$JOBS" 2>&1 | tee "$log"
+  if grep -q "warning:" "$log"; then
+    echo "==== [$name] FAILED: compiler warnings (targets must stay" \
+         "warnings-clean) ===="
+    rm -f "$log"
+    return 1
+  fi
+  rm -f "$log"
+  echo "==== [$name] ctest ===="
+  ctest --test-dir "$build_dir" --output-on-failure -j "$JOBS"
+}
+
+run_config "Release" build-check-release -DCMAKE_BUILD_TYPE=Release
+run_config "Release+RSNN_CHECKED" build-check-checked \
+    -DCMAKE_BUILD_TYPE=Release -DRSNN_CHECKED=ON
+
+echo "==== all configurations passed ===="

@@ -4,6 +4,8 @@
 //   rsnn_cli convert --model lenet5 --weights lenet.rsnn --T 4 --out lenet.qsnn
 //                    [--weight-bits 3] [--per-channel]
 //   rsnn_cli run     --qsnn lenet.qsnn [--units 2] [--mhz 100] [--samples 200]
+//                    [--engine cycle_accurate|analytic|behavioral|reference]
+//                    [--stream <workers>]
 //   rsnn_cli emit-rtl --qsnn lenet.qsnn --out rtl_out [--units 2]
 //   rsnn_cli info    --qsnn lenet.qsnn
 //
@@ -16,6 +18,8 @@
 
 #include "compiler/compile.hpp"
 #include "data/idx_loader.hpp"
+#include "engine/engine.hpp"
+#include "engine/stream.hpp"
 #include "data/synth_digits.hpp"
 #include "hw/accelerator.hpp"
 #include "hw/power_model.hpp"
@@ -158,7 +162,12 @@ int cmd_run(int argc, char** argv) {
   const auto design = compiler::compile(qnet, options);
   std::printf("%s", compiler::describe(design, qnet).c_str());
 
-  hw::Accelerator accel(design.config, qnet);
+  const engine::EngineKind kind =
+      engine::parse_engine(get(args, "engine", "analytic"));
+  auto eng = engine::make_engine(kind, design.program);
+  std::printf("  engine     : %s\n", eng->name());
+
+  hw::Accelerator accel(design.program);
   const std::size_t samples = std::stoul(get(args, "samples", "200"));
   const data::Dataset eval = load_eval_data(qnet.input_shape, samples);
 
@@ -169,7 +178,7 @@ int cmd_run(int argc, char** argv) {
     if (qnet.classify(codes) == eval.labels[i]) ++correct;
   }
 
-  const auto run = accel.run_image(eval.images[0], hw::SimMode::kAnalytic);
+  const auto run = eng->run_image(eval.images[0]);
   const auto resources = hw::estimate_resources(accel);
   const auto power =
       hw::estimate_power(design.config, resources, run, accel.uses_dram());
@@ -177,6 +186,20 @@ int cmd_run(int argc, char** argv) {
               100.0 * static_cast<double>(correct) /
                   static_cast<double>(eval.size()));
   std::printf("%s", hw::run_summary(design.config, run, resources, power).c_str());
+
+  // Optional streaming-throughput report: feed the whole eval set through a
+  // persistent worker pool with the selected engine.
+  const int stream_workers = std::stoi(get(args, "stream", "-1"));
+  if (stream_workers >= 0) {
+    engine::StreamingExecutor stream(design.program, kind, stream_workers);
+    stream.run_stream_images(eval.images);
+    const engine::StreamStats& stats = stream.last_stats();
+    std::printf(
+        "streaming: %lld images on %d worker(s) in %.1f ms -> %.1f "
+        "images/sec (simulator wall clock)\n",
+        static_cast<long long>(stats.images), stats.workers, stats.wall_ms,
+        stats.images_per_sec);
+  }
   return 0;
 }
 
@@ -214,6 +237,8 @@ void usage() {
       "  convert   --model lenet5 --weights w.rsnn --T 4 --out m.qsnn\n"
       "            [--weight-bits 3] [--per-channel true]\n"
       "  run       --qsnn m.qsnn [--units 2] [--mhz 100] [--samples 200]\n"
+      "            [--engine cycle_accurate|analytic|behavioral|reference]\n"
+      "            [--stream <workers>]  (0 = one per hardware thread)\n"
       "  emit-rtl  --qsnn m.qsnn --out rtl_out [--units 2]\n"
       "  info      --qsnn m.qsnn\n");
 }
