@@ -19,8 +19,10 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "compiler/partition.hpp"
 #include "encoding/radix.hpp"
 #include "engine/engine.hpp"
+#include "engine/pipeline.hpp"
 #include "engine/stream.hpp"
 #include "hw/accelerator.hpp"
 #include "hw/conv_unit.hpp"
@@ -162,6 +164,28 @@ int run_json_mode(const std::string& path, int samples) {
       const engine::StreamStats stats = stream.last_stats();
       BenchResult r;
       r.name = "stream_cycle_accurate_lenet_t8";
+      r.ns_per_inference = stats.ns_per_inference;
+      r.samples = static_cast<int>(stats.images);
+      r.images_per_sec = stats.images_per_sec;
+      results.push_back(r);
+    }
+
+    // Pipeline-parallel throughput: the program partitioned into 2 and 4
+    // latency-balanced stages, one simulated accelerator per stage
+    // (pipeline_images_per_sec in the serving-metric family).
+    for (const int stages : {2, 4}) {
+      const auto segments =
+          compiler::partition_balance_latency(program, stages);
+      engine::PipelineExecutor pipe(program, segments,
+                                    engine::EngineKind::kCycleAccurate);
+      std::vector<TensorI> pipe_batch(
+          static_cast<std::size_t>(std::max(8, samples)), codes);
+      pipe.run_pipeline(pipe_batch);  // warm the stages
+      pipe.run_pipeline(pipe_batch);
+      const engine::PipelineStats stats = pipe.last_stats();
+      BenchResult r;
+      r.name = "pipeline" + std::to_string(stages) +
+               "stage_cycle_accurate_lenet_t8";
       r.ns_per_inference = stats.ns_per_inference;
       r.samples = static_cast<int>(stats.images);
       r.images_per_sec = stats.images_per_sec;

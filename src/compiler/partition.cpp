@@ -1,0 +1,118 @@
+#include "compiler/partition.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/assert.hpp"
+
+namespace rsnn::compiler {
+
+const char* partition_name(PartitionStrategy strategy) {
+  switch (strategy) {
+    case PartitionStrategy::kBalanceLatency:
+      return "balance_latency";
+    case PartitionStrategy::kFitResources:
+      return "fit_resources";
+  }
+  return "unknown";
+}
+
+PartitionStrategy parse_partition(const std::string& name) {
+  if (name == "balance_latency" || name == "balance")
+    return PartitionStrategy::kBalanceLatency;
+  if (name == "fit_resources" || name == "fit")
+    return PartitionStrategy::kFitResources;
+  RSNN_REQUIRE(false, "unknown partition strategy '"
+                          << name
+                          << "' (expected balance_latency or fit_resources)");
+  return PartitionStrategy::kBalanceLatency;  // unreachable
+}
+
+std::vector<ir::ProgramSegment> partition_balance_latency(
+    const ir::LayerProgram& program, int num_segments) {
+  const std::size_t n = program.size();
+  RSNN_REQUIRE(program.has_hw_annotations(),
+               "balance_latency needs the program's latency annotations");
+  RSNN_REQUIRE(num_segments >= 1 &&
+                   static_cast<std::size_t>(num_segments) <= n,
+               "cannot cut " << n << " ops into " << num_segments
+                             << " non-empty segments");
+  const std::size_t k = static_cast<std::size_t>(num_segments);
+
+  // Prefix cycles: cost of ops [a, b) is prefix[b] - prefix[a].
+  std::vector<std::int64_t> prefix(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i)
+    prefix[i + 1] = prefix[i] + program.op(i).latency.total_cycles;
+
+  // Exact bottleneck partition (classic linear-partition DP):
+  // best[s][i] = minimal achievable max-segment cost covering ops [0, i)
+  // with s segments. cut[s][i] records the last segment's start.
+  constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max();
+  std::vector<std::vector<std::int64_t>> best(
+      k + 1, std::vector<std::int64_t>(n + 1, kInf));
+  std::vector<std::vector<std::size_t>> cut(
+      k + 1, std::vector<std::size_t>(n + 1, 0));
+  best[0][0] = 0;
+  for (std::size_t s = 1; s <= k; ++s) {
+    for (std::size_t i = s; i + (k - s) <= n; ++i) {
+      for (std::size_t j = s - 1; j < i; ++j) {
+        if (best[s - 1][j] == kInf) continue;
+        const std::int64_t cost =
+            std::max(best[s - 1][j], prefix[i] - prefix[j]);
+        if (cost < best[s][i]) {
+          best[s][i] = cost;
+          cut[s][i] = j;
+        }
+      }
+    }
+  }
+  RSNN_ENSURE(best[k][n] != kInf, "partition DP failed to cover the program");
+
+  std::vector<std::size_t> cuts;  // interior boundaries, reconstructed back
+  std::size_t i = n;
+  for (std::size_t s = k; s > 1; --s) {
+    i = cut[s][i];
+    cuts.push_back(i);
+  }
+  std::reverse(cuts.begin(), cuts.end());
+  return ir::make_segments(program, cuts);
+}
+
+std::vector<ir::ProgramSegment> partition_fit_resources(
+    const ir::LayerProgram& program, std::int64_t device_weight_bram_bits) {
+  RSNN_REQUIRE(device_weight_bram_bits > 0,
+               "per-device weight-memory budget must be positive");
+  RSNN_REQUIRE(program.size() > 0, "cannot partition an empty program");
+
+  std::vector<std::size_t> cuts;
+  std::int64_t used = 0;
+  for (std::size_t li = 0; li < program.size(); ++li) {
+    const std::int64_t bits = program.op(li).param_bits;
+    // Close the current (non-empty) segment before an op that would
+    // overflow the device budget. An op exceeding the budget on its own
+    // keeps a singleton segment; that device streams its layer's weights
+    // from DRAM exactly as the monolithic placement policy would.
+    if (li > 0 && used + bits > device_weight_bram_bits) {
+      cuts.push_back(li);
+      used = 0;
+    }
+    used += bits;
+  }
+  return ir::make_segments(program, cuts);
+}
+
+std::vector<ir::ProgramSegment> partition_program(
+    const ir::LayerProgram& program, PartitionStrategy strategy,
+    int num_segments) {
+  switch (strategy) {
+    case PartitionStrategy::kBalanceLatency:
+      return partition_balance_latency(program, num_segments);
+    case PartitionStrategy::kFitResources:
+      return partition_fit_resources(
+          program, program.config().memory.weight_bram_bits);
+  }
+  RSNN_REQUIRE(false, "unknown partition strategy");
+  return {};  // unreachable
+}
+
+}  // namespace rsnn::compiler

@@ -1,0 +1,60 @@
+// Program partitioning: choose the cut points that split a lowered
+// LayerProgram into ir::ProgramSegments for pipeline-parallel execution
+// across multiple accelerator instances (engine::PipelineExecutor).
+//
+// Two strategies:
+//   * balance_latency — equalize predicted per-segment cycles. The pipeline's
+//     steady-state throughput is bounded by its slowest stage, so the
+//     partitioner minimizes the bottleneck: it picks, among all ways to cut
+//     the program into N contiguous segments, one whose maximum segment
+//     latency (sum of the ops' LayerLatency annotations) is smallest.
+//     Exact dynamic program — op counts are tiny (LeNet 8, VGG-11 17).
+//   * fit_resources — pack ops greedily into the fewest segments whose
+//     parameter storage fits a per-device weight-memory budget (the BRAM
+//     pool hw::MemoryConfig::weight_bram_bits models), so each pipeline
+//     device can hold its stage's weights on chip. An op that alone exceeds
+//     the budget gets its own segment (that device streams from DRAM, the
+//     monolithic VGG-11 policy).
+//
+// Segments inherit the monolithic program's placement/latency annotations
+// (see ir::ProgramSegment), so any partition executes bit-identically to the
+// whole program.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/layer_program.hpp"
+
+namespace rsnn::compiler {
+
+enum class PartitionStrategy { kBalanceLatency, kFitResources };
+
+/// Canonical strategy name: "balance_latency" / "fit_resources".
+const char* partition_name(PartitionStrategy strategy);
+
+/// Parse a strategy name (plus the shorthands "balance" and "fit"); throws
+/// ContractViolation on unknown names.
+PartitionStrategy parse_partition(const std::string& name);
+
+/// Cut `program` into exactly `num_segments` contiguous segments minimizing
+/// the maximum per-segment predicted cycles (the pipeline bottleneck).
+/// Requires 1 <= num_segments <= program.size().
+std::vector<ir::ProgramSegment> partition_balance_latency(
+    const ir::LayerProgram& program, int num_segments);
+
+/// Pack ops into the fewest contiguous segments whose total parameter
+/// storage stays within `device_weight_bram_bits` per device; a single op
+/// larger than the budget becomes its own (DRAM-streaming) segment.
+std::vector<ir::ProgramSegment> partition_fit_resources(
+    const ir::LayerProgram& program, std::int64_t device_weight_bram_bits);
+
+/// Strategy dispatch for the CLI: balance_latency cuts into `num_segments`;
+/// fit_resources packs under the program's own memory budget
+/// (program.config().memory.weight_bram_bits) and ignores `num_segments`.
+std::vector<ir::ProgramSegment> partition_program(
+    const ir::LayerProgram& program, PartitionStrategy strategy,
+    int num_segments);
+
+}  // namespace rsnn::compiler

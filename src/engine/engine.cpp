@@ -42,25 +42,21 @@ void accumulate(hw::AccelRunResult& result, hw::LayerStats stats) {
   result.layers.push_back(std::move(stats));
 }
 
-void finalize(hw::AccelRunResult& result, double cycle_ns) {
-  result.latency_us =
-      static_cast<double>(result.total_cycles) * cycle_ns / 1000.0;
-  int best = 0;
-  for (std::size_t c = 1; c < result.logits.size(); ++c)
-    if (result.logits[c] > result.logits[static_cast<std::size_t>(best)])
-      best = static_cast<int>(c);
-  result.predicted_class = best;
-}
-
 class CycleAccurateEngine final : public Engine {
  public:
-  explicit CycleAccurateEngine(const ir::LayerProgram& program)
-      : Engine(program),
+  CycleAccurateEngine(const ir::LayerProgram& program,
+                      ir::ProgramSegment segment)
+      : Engine(program, std::move(segment)),
         accel_(program),
         state_(accel_.make_worker_state()) {}
   EngineKind kind() const override { return EngineKind::kCycleAccurate; }
-  hw::AccelRunResult run_codes(const TensorI& codes) override {
-    return accel_.run_codes(state_, codes, hw::SimMode::kCycleAccurate);
+  SegmentRunResult run_segment(const TensorI& codes) override {
+    SegmentRunResult out;
+    out.stats = accel_.run_codes_range(state_, codes, segment_.begin,
+                                       segment_.end,
+                                       hw::SimMode::kCycleAccurate,
+                                       &out.boundary_codes);
+    return out;
   }
 
  private:
@@ -70,11 +66,15 @@ class CycleAccurateEngine final : public Engine {
 
 class AnalyticEngine final : public Engine {
  public:
-  explicit AnalyticEngine(const ir::LayerProgram& program)
-      : Engine(program), accel_(program) {}
+  AnalyticEngine(const ir::LayerProgram& program, ir::ProgramSegment segment)
+      : Engine(program, std::move(segment)), accel_(program) {}
   EngineKind kind() const override { return EngineKind::kAnalytic; }
-  hw::AccelRunResult run_codes(const TensorI& codes) override {
-    return accel_.run_codes(codes, hw::SimMode::kAnalytic);
+  SegmentRunResult run_segment(const TensorI& codes) override {
+    SegmentRunResult out;
+    out.stats =
+        accel_.run_codes_range(codes, segment_.begin, segment_.end,
+                               hw::SimMode::kAnalytic, &out.boundary_codes);
+    return out;
   }
 
  private:
@@ -85,27 +85,34 @@ class AnalyticEngine final : public Engine {
 /// processing; timing and traffic from the program annotations.
 class BehavioralEngine final : public Engine {
  public:
-  explicit BehavioralEngine(const ir::LayerProgram& program)
-      : Engine(program), snn_(program.network()) {}
+  BehavioralEngine(const ir::LayerProgram& program, ir::ProgramSegment segment)
+      : Engine(program, std::move(segment)), snn_(program.network()) {}
   EngineKind kind() const override { return EngineKind::kBehavioral; }
 
-  hw::AccelRunResult run_codes(const TensorI& codes) override {
+  SegmentRunResult run_segment(const TensorI& codes) override {
     const int T = program_.time_bits();
     const encoding::SpikeTrain input = encoding::radix_encode_codes(codes, T);
-    const snn::RadixSnnResult fn = snn_.run(input, /*record_layer_spikes=*/true);
+    const snn::RadixSnnResult fn = snn_.run_range(
+        input, segment_.begin, segment_.end, /*record_layer_spikes=*/true);
 
-    hw::AccelRunResult result;
+    SegmentRunResult out;
+    hw::AccelRunResult& result = out.stats;
     result.logits = fn.logits;
-    result.layers.reserve(program_.size());
+    result.layers.reserve(segment_.size());
     TensorI64 current = codes.cast<std::int64_t>();
-    for (std::size_t li = 0; li < program_.size(); ++li) {
+    for (std::size_t li = segment_.begin; li < segment_.end; ++li) {
       accumulate(result, predicted_stats(program_.op(li), current));
-      if (li < fn.layer_spikes.size())
-        current = encoding::radix_decode_codes(fn.layer_spikes[li])
-                      .cast<std::int64_t>();
+      if (li - segment_.begin < fn.layer_spikes.size())
+        current =
+            encoding::radix_decode_codes(fn.layer_spikes[li - segment_.begin])
+                .cast<std::int64_t>();
     }
-    finalize(result, program_.config().cycle_ns());
-    return result;
+    if (!segment_.final_segment) {
+      RSNN_ENSURE(!fn.layer_spikes.empty(), "interior segment records spikes");
+      out.boundary_codes = encoding::radix_decode_codes(fn.layer_spikes.back());
+    }
+    hw::finalize_run(result, program_.config().cycle_ns());
+    return out;
   }
 
  private:
@@ -115,23 +122,32 @@ class BehavioralEngine final : public Engine {
 /// The QuantizedNetwork integer reference model walked over the program.
 class ReferenceEngine final : public Engine {
  public:
-  explicit ReferenceEngine(const ir::LayerProgram& program)
-      : Engine(program) {}
+  ReferenceEngine(const ir::LayerProgram& program, ir::ProgramSegment segment)
+      : Engine(program, std::move(segment)) {}
   EngineKind kind() const override { return EngineKind::kReference; }
 
-  hw::AccelRunResult run_codes(const TensorI& codes) override {
-    hw::AccelRunResult result;
+  SegmentRunResult run_segment(const TensorI& codes) override {
+    SegmentRunResult out;
+    hw::AccelRunResult& result = out.stats;
     std::vector<TensorI64> layer_outputs;
-    result.logits = program_.network().forward_traced(codes, &layer_outputs);
-    result.layers.reserve(program_.size());
+    const TensorI64 final_out = program_.network().forward_layers(
+        codes.cast<std::int64_t>(), segment_.begin, segment_.end,
+        &layer_outputs);
+    if (segment_.final_segment) {
+      result.logits = final_out.to_vector();
+    } else {
+      out.boundary_codes = final_out.cast<std::int32_t>();
+    }
+    result.layers.reserve(segment_.size());
     const TensorI64 input_codes = codes.cast<std::int64_t>();
     const TensorI64* current = &input_codes;
-    for (std::size_t li = 0; li < program_.size(); ++li) {
+    for (std::size_t li = segment_.begin; li < segment_.end; ++li) {
       accumulate(result, predicted_stats(program_.op(li), *current));
-      if (li < layer_outputs.size()) current = &layer_outputs[li];
+      if (li - segment_.begin < layer_outputs.size())
+        current = &layer_outputs[li - segment_.begin];
     }
-    finalize(result, program_.config().cycle_ns());
-    return result;
+    hw::finalize_run(result, program_.config().cycle_ns());
+    return out;
   }
 };
 
@@ -169,23 +185,39 @@ std::vector<EngineKind> all_engines() {
           EngineKind::kBehavioral, EngineKind::kReference};
 }
 
+hw::AccelRunResult Engine::run_codes(const TensorI& codes) {
+  RSNN_REQUIRE(segment_.begin == 0 && segment_.final_segment,
+               "run_codes needs a whole-program engine; stage engines run "
+               "through run_segment()");
+  return run_segment(codes).stats;
+}
+
 hw::AccelRunResult Engine::run_image(const TensorF& image) {
   return run_codes(quant::encode_activations(image, program_.time_bits()));
 }
 
 std::unique_ptr<Engine> make_engine(EngineKind kind,
                                     const ir::LayerProgram& program) {
+  return make_engine(kind, program, ir::full_segment(program));
+}
+
+std::unique_ptr<Engine> make_engine(EngineKind kind,
+                                    const ir::LayerProgram& program,
+                                    const ir::ProgramSegment& segment) {
   RSNN_REQUIRE(program.has_hw_annotations(),
                "engines need a hardware-lowered program");
+  RSNN_REQUIRE(segment.begin < segment.end && segment.end <= program.size(),
+               "segment op range [" << segment.begin << ", " << segment.end
+                                    << ") outside the program");
   switch (kind) {
     case EngineKind::kCycleAccurate:
-      return std::make_unique<CycleAccurateEngine>(program);
+      return std::make_unique<CycleAccurateEngine>(program, segment);
     case EngineKind::kAnalytic:
-      return std::make_unique<AnalyticEngine>(program);
+      return std::make_unique<AnalyticEngine>(program, segment);
     case EngineKind::kBehavioral:
-      return std::make_unique<BehavioralEngine>(program);
+      return std::make_unique<BehavioralEngine>(program, segment);
     case EngineKind::kReference:
-      return std::make_unique<ReferenceEngine>(program);
+      return std::make_unique<ReferenceEngine>(program, segment);
   }
   RSNN_REQUIRE(false, "unknown engine kind");
   return nullptr;  // unreachable

@@ -17,12 +17,20 @@
 // (the cycle-accurate engine owns an Accelerator::WorkerState), so create
 // one per worker thread — that is exactly what the StreamingExecutor does.
 //
+// Segment scope: an engine executes one ir::ProgramSegment — by default the
+// whole program, but make_engine(kind, program, segment) builds a stage
+// engine over a sub-program for pipeline-parallel execution. run_segment()
+// is the uniform entry point: it consumes the activation codes entering the
+// segment and yields per-op stats plus either logits (final segment) or the
+// boundary codes crossing the downstream cut.
+//
 // Lifetime: an engine borrows the program (and, through it, the network);
 // both must outlive the engine.
 #pragma once
 
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "hw/accelerator.hpp"
@@ -43,6 +51,14 @@ EngineKind parse_engine(const std::string& name);
 /// All four engine kinds, for parameterized tests and sweeps.
 std::vector<EngineKind> all_engines();
 
+/// What one segment-scoped run produces: the executed ops' stats, and the
+/// activation codes crossing the downstream cut (empty on the final
+/// segment, whose stats carry the logits instead).
+struct SegmentRunResult {
+  hw::AccelRunResult stats;
+  TensorI boundary_codes;
+};
+
 class Engine {
  public:
   virtual ~Engine() = default;
@@ -52,20 +68,33 @@ class Engine {
   virtual EngineKind kind() const = 0;
   const char* name() const { return engine_name(kind()); }
   const ir::LayerProgram& program() const { return program_; }
+  const ir::ProgramSegment& segment() const { return segment_; }
 
-  /// Run pre-encoded activation codes through the program.
-  virtual hw::AccelRunResult run_codes(const TensorI& codes) = 0;
+  /// Run the activation codes entering this engine's segment through its op
+  /// range (shaped as segment().in_shape).
+  virtual SegmentRunResult run_segment(const TensorI& codes) = 0;
+
+  /// Run pre-encoded activation codes through the program. Whole-program
+  /// engines only (a stage engine cannot produce logits on its own).
+  hw::AccelRunResult run_codes(const TensorI& codes);
 
   /// Encode a float image (values in [0,1)) and run it.
   hw::AccelRunResult run_image(const TensorF& image);
 
  protected:
-  explicit Engine(const ir::LayerProgram& program) : program_(program) {}
+  Engine(const ir::LayerProgram& program, ir::ProgramSegment segment)
+      : program_(program), segment_(std::move(segment)) {}
   const ir::LayerProgram& program_;
+  const ir::ProgramSegment segment_;
 };
 
 /// Create an engine of `kind` over a hardware-lowered program.
 std::unique_ptr<Engine> make_engine(EngineKind kind,
                                     const ir::LayerProgram& program);
+
+/// Create a stage engine of `kind` scoped to `segment` of `program`.
+std::unique_ptr<Engine> make_engine(EngineKind kind,
+                                    const ir::LayerProgram& program,
+                                    const ir::ProgramSegment& segment);
 
 }  // namespace rsnn::engine

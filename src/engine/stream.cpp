@@ -85,6 +85,8 @@ void StreamingExecutor::worker_main() {
 std::vector<hw::AccelRunResult> StreamingExecutor::run_stream(
     const std::vector<TensorI>& codes) {
   std::vector<hw::AccelRunResult> results(codes.size());
+  // Reset before the empty-batch early return: last_stats() must describe
+  // *this* call (a zeroed record), never a previous batch's throughput.
   stats_ = StreamStats{};
   stats_.workers = workers();
   if (codes.empty()) return results;

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <bit>
 #include <exception>
+#include <iterator>
 #include <mutex>
 #include <thread>
 #include <utility>
@@ -25,16 +26,6 @@ std::int64_t code_spikes(const TensorI64& codes) {
   return spikes;
 }
 
-void finalize(AccelRunResult& result, double cycle_ns) {
-  result.latency_us =
-      static_cast<double>(result.total_cycles) * cycle_ns / 1000.0;
-  int best = 0;
-  for (std::size_t c = 1; c < result.logits.size(); ++c)
-    if (result.logits[c] > result.logits[static_cast<std::size_t>(best)])
-      best = static_cast<int>(c);
-  result.predicted_class = best;
-}
-
 ir::LayerProgram lower_checked(const quant::QuantizedNetwork& qnet,
                                const AcceleratorConfig& config) {
   RSNN_REQUIRE(!qnet.layers.empty(), "empty network");
@@ -42,6 +33,35 @@ ir::LayerProgram lower_checked(const quant::QuantizedNetwork& qnet,
 }
 
 }  // namespace
+
+void merge_segment_result(AccelRunResult& aggregate, AccelRunResult&& part) {
+  aggregate.total_cycles += part.total_cycles;
+  aggregate.total_adder_ops += part.total_adder_ops;
+  aggregate.dram_bits += part.dram_bits;
+  aggregate.traffic_total.act_read_bits += part.traffic_total.act_read_bits;
+  aggregate.traffic_total.act_write_bits += part.traffic_total.act_write_bits;
+  aggregate.traffic_total.weight_read_bits +=
+      part.traffic_total.weight_read_bits;
+  aggregate.traffic_total.dram_bits += part.traffic_total.dram_bits;
+  if (!part.logits.empty()) aggregate.logits = std::move(part.logits);
+  aggregate.layers.insert(aggregate.layers.end(),
+                          std::make_move_iterator(part.layers.begin()),
+                          std::make_move_iterator(part.layers.end()));
+}
+
+void finalize_run(AccelRunResult& result, double cycle_ns) {
+  result.latency_us =
+      static_cast<double>(result.total_cycles) * cycle_ns / 1000.0;
+  if (result.logits.empty()) {
+    result.predicted_class = -1;
+    return;
+  }
+  int best = 0;
+  for (std::size_t c = 1; c < result.logits.size(); ++c)
+    if (result.logits[c] > result.logits[static_cast<std::size_t>(best)])
+      best = static_cast<int>(c);
+  result.predicted_class = best;
+}
 
 Accelerator::WorkerState::WorkerState(const ir::LayerProgram& program)
     : owner(&program),
@@ -72,20 +92,44 @@ AccelRunResult Accelerator::run_image(const TensorF& image, SimMode mode) const 
 }
 
 AccelRunResult Accelerator::run_codes(const TensorI& codes, SimMode mode) const {
-  if (mode == SimMode::kAnalytic) return run_analytic(codes);
-  WorkerState state = make_worker_state();
-  return run_codes(state, codes, mode);
+  return run_codes_range(codes, 0, program_.size(), mode);
 }
 
 AccelRunResult Accelerator::run_codes(WorkerState& state, const TensorI& codes,
                                       SimMode mode) const {
+  return run_codes_range(state, codes, 0, program_.size(), mode);
+}
+
+AccelRunResult Accelerator::run_codes_range(WorkerState& state,
+                                            const TensorI& codes,
+                                            std::size_t begin, std::size_t end,
+                                            SimMode mode,
+                                            TensorI* boundary_codes) const {
   RSNN_REQUIRE(state.owner == &program_,
                "WorkerState belongs to a different accelerator (create it "
                "with this accelerator's make_worker_state())");
-  RSNN_REQUIRE(codes.shape() == program_.network().input_shape,
-               "input shape mismatch");
-  return mode == SimMode::kCycleAccurate ? run_cycle_accurate(state, codes)
-                                         : run_analytic(codes);
+  RSNN_REQUIRE(begin < end && end <= program_.size(),
+               "op range [" << begin << ", " << end << ") outside [0, "
+                            << program_.size() << ")");
+  RSNN_REQUIRE(codes.shape() == program_.op(begin).in_shape,
+               "input shape mismatch for op " << begin);
+  return mode == SimMode::kCycleAccurate
+             ? run_cycle_accurate(state, codes, begin, end, boundary_codes)
+             : run_analytic(codes, begin, end, boundary_codes);
+}
+
+AccelRunResult Accelerator::run_codes_range(const TensorI& codes,
+                                            std::size_t begin, std::size_t end,
+                                            SimMode mode,
+                                            TensorI* boundary_codes) const {
+  if (mode == SimMode::kAnalytic) {
+    RSNN_REQUIRE(begin < end && end <= program_.size(),
+                 "op range [" << begin << ", " << end << ") outside [0, "
+                              << program_.size() << ")");
+    return run_analytic(codes, begin, end, boundary_codes);
+  }
+  WorkerState state = make_worker_state();
+  return run_codes_range(state, codes, begin, end, mode, boundary_codes);
 }
 
 std::vector<AccelRunResult> Accelerator::run_batch(
@@ -154,11 +198,14 @@ std::vector<AccelRunResult> Accelerator::run_batch_codes(
 }
 
 AccelRunResult Accelerator::run_cycle_accurate(WorkerState& state,
-                                               const TensorI& codes) const {
+                                               const TensorI& codes,
+                                               std::size_t begin,
+                                               std::size_t end,
+                                               TensorI* boundary_codes) const {
   const int T = program_.time_bits();
   const AcceleratorConfig& cfg = program_.config();
   AccelRunResult result;
-  result.layers.reserve(program_.size());
+  result.layers.reserve(end - begin);
 
   state.buffer2d.reset();
   state.buffer1d.reset();
@@ -167,11 +214,15 @@ AccelRunResult Accelerator::run_cycle_accurate(WorkerState& state,
   encoding::SpikeTrain* current = &state.train_a;
   encoding::SpikeTrain* next = &state.train_b;
   encoding::radix_encode_codes_into(codes, T, *current);
-  state.buffer2d.store_output(activation_bits(current->neuron_shape(), T));
-  state.buffer2d.swap();
+  // Mid-program entry (a pipeline stage downstream of the flatten) lands in
+  // the 1-D buffer pair; everything else starts in the 2-D pair.
+  PingPongPair& entry_pair =
+      ir::entry_is_1d(program_, begin) ? state.buffer1d : state.buffer2d;
+  entry_pair.store_output(activation_bits(current->neuron_shape(), T));
+  entry_pair.swap();
 
   const std::size_t n_ops = program_.size();
-  for (std::size_t li = 0; li < n_ops; ++li) {
+  for (std::size_t li = begin; li < end; ++li) {
     const ir::LayerOp& op = program_.op(li);
     LayerStats stats;
     stats.name = op.name();
@@ -256,6 +307,8 @@ AccelRunResult Accelerator::run_cycle_accurate(WorkerState& state,
         state.buffer1d.swap();
         result.layers.push_back(stats);
         result.total_cycles += stats.cycles;
+        if (li + 1 == end && end < n_ops && boundary_codes != nullptr)
+          *boundary_codes = encoding::radix_decode_codes(*current);
         continue;
       }
     }
@@ -268,14 +321,19 @@ AccelRunResult Accelerator::run_cycle_accurate(WorkerState& state,
 
     if (li + 1 == n_ops) {
       RSNN_ENSURE(!op.requantize, "final layer must produce raw accumulators");
-      result.logits.resize(static_cast<std::size_t>(out.numel()));
-      for (std::int64_t i = 0; i < out.numel(); ++i)
-        result.logits[static_cast<std::size_t>(i)] = out.at_flat(i);
+      result.logits = out.to_vector();
     } else {
       RSNN_ENSURE(op.requantize,
                   "only the final layer may skip requantization");
-      encoding::radix_encode_codes_into(out, T, *next);
-      std::swap(current, next);
+      if (li + 1 == end) {
+        // Segment boundary: the requantized codes cross the cut instead of
+        // being re-encoded for a next op on this device.
+        if (boundary_codes != nullptr)
+          *boundary_codes = out.cast<std::int32_t>();
+      } else {
+        encoding::radix_encode_codes_into(out, T, *next);
+        std::swap(current, next);
+      }
     }
 
     result.total_cycles += stats.cycles;
@@ -288,20 +346,28 @@ AccelRunResult Accelerator::run_cycle_accurate(WorkerState& state,
     result.layers.push_back(std::move(stats));
   }
 
-  finalize(result, cfg.cycle_ns());
+  finalize_run(result, cfg.cycle_ns());
   return result;
 }
 
-AccelRunResult Accelerator::run_analytic(const TensorI& codes) const {
+AccelRunResult Accelerator::run_analytic(const TensorI& codes,
+                                         std::size_t begin, std::size_t end,
+                                         TensorI* boundary_codes) const {
   AccelRunResult result;
-  result.layers.reserve(program_.size());
+  result.layers.reserve(end - begin);
   std::vector<TensorI64> layer_outputs;
-  result.logits = program_.network().forward_traced(codes, &layer_outputs);
+  const TensorI64 final_out = program_.network().forward_layers(
+      codes.cast<std::int64_t>(), begin, end, &layer_outputs);
+  if (end == program_.size()) {
+    result.logits = final_out.to_vector();
+  } else if (boundary_codes != nullptr) {
+    *boundary_codes = final_out.cast<std::int32_t>();
+  }
 
   const TensorI64 input_codes = codes.cast<std::int64_t>();
   const TensorI64* current = &input_codes;
 
-  for (std::size_t li = 0; li < program_.size(); ++li) {
+  for (std::size_t li = begin; li < end; ++li) {
     const ir::LayerOp& op = program_.op(li);
     LayerStats stats;
     stats.name = op.name();
@@ -326,10 +392,10 @@ AccelRunResult Accelerator::run_analytic(const TensorI& codes) const {
 
     // Next layer's input codes are this layer's traced outputs (valid for
     // all but the final raw layer).
-    if (li < layer_outputs.size()) current = &layer_outputs[li];
+    if (li - begin < layer_outputs.size()) current = &layer_outputs[li - begin];
   }
 
-  finalize(result, program_.config().cycle_ns());
+  finalize_run(result, program_.config().cycle_ns());
   return result;
 }
 

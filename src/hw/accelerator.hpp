@@ -47,7 +47,10 @@ struct LayerStats {
   MemTraffic traffic;                ///< weight traffic in bits
 };
 
-/// Result of one inference on the accelerator.
+/// Result of one inference on the accelerator. For segment-scoped runs
+/// (`run_codes_range` stopping short of the final op) `logits` stays empty
+/// and `predicted_class` -1; totals and per-layer stats cover only the
+/// executed range.
 struct AccelRunResult {
   std::vector<std::int64_t> logits;
   int predicted_class = -1;
@@ -58,6 +61,15 @@ struct AccelRunResult {
   std::int64_t dram_bits = 0;
   MemTraffic traffic_total;
 };
+
+/// Fold the stats of one program segment into an aggregate: totals sum,
+/// per-layer records append in op order. Logits, predicted class and latency
+/// are untouched — call finalize_run() once every segment is merged.
+void merge_segment_result(AccelRunResult& aggregate, AccelRunResult&& part);
+
+/// Recompute latency_us (total cycles at `cycle_ns`) and predicted_class
+/// (logit argmax; -1 while logits are empty).
+void finalize_run(AccelRunResult& result, double cycle_ns);
 
 class Accelerator {
  public:
@@ -102,6 +114,24 @@ class Accelerator {
   AccelRunResult run_codes(WorkerState& state, const TensorI& codes,
                            SimMode mode = SimMode::kCycleAccurate) const;
 
+  /// Run only the op range [begin, end) — the pipeline executor's entry
+  /// point. `codes` must be shaped as op `begin`'s input (the requantized
+  /// activation codes crossing the upstream cut). When `end` stops short of
+  /// the program's final op the result carries no logits and
+  /// `boundary_codes` (if non-null) receives the activation codes crossing
+  /// the downstream cut. Executing every segment of a partition in sequence
+  /// is bit-identical, op for op, to one whole-program run.
+  AccelRunResult run_codes_range(WorkerState& state, const TensorI& codes,
+                                 std::size_t begin, std::size_t end,
+                                 SimMode mode = SimMode::kCycleAccurate,
+                                 TensorI* boundary_codes = nullptr) const;
+
+  /// As run_codes_range(), allocating transient state as needed.
+  AccelRunResult run_codes_range(const TensorI& codes, std::size_t begin,
+                                 std::size_t end,
+                                 SimMode mode = SimMode::kCycleAccurate,
+                                 TensorI* boundary_codes = nullptr) const;
+
   /// Evaluate a batch of images across a pool of `num_threads` worker
   /// threads (hardware concurrency when <= 0). Each worker owns its own
   /// WorkerState; results are index-aligned with `images` and identical to
@@ -136,9 +166,11 @@ class Accelerator {
  private:
   ir::LayerProgram program_;
 
-  AccelRunResult run_cycle_accurate(WorkerState& state,
-                                    const TensorI& codes) const;
-  AccelRunResult run_analytic(const TensorI& codes) const;
+  AccelRunResult run_cycle_accurate(WorkerState& state, const TensorI& codes,
+                                    std::size_t begin, std::size_t end,
+                                    TensorI* boundary_codes) const;
+  AccelRunResult run_analytic(const TensorI& codes, std::size_t begin,
+                              std::size_t end, TensorI* boundary_codes) const;
 };
 
 }  // namespace rsnn::hw

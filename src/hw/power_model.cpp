@@ -64,4 +64,91 @@ PowerBreakdown estimate_power(const AcceleratorConfig& config,
   return p;
 }
 
+namespace {
+
+/// Split a double `total` across weights; the last non-zero-weight share is
+/// computed as the residual (total minus the others) so that summing the
+/// shares in index order reproduces `total` exactly, floating point and
+/// all. All-zero weights put everything on the first share.
+std::vector<double> split_residual(double total,
+                                   const std::vector<double>& weights) {
+  std::vector<double> shares(weights.size(), 0.0);
+  if (weights.empty()) return shares;
+  double weight_sum = 0.0;
+  for (const double w : weights) weight_sum += w;
+  if (weight_sum <= 0.0) {
+    shares[0] = total;
+    return shares;
+  }
+  std::size_t last = 0;
+  for (std::size_t i = 0; i < weights.size(); ++i)
+    if (weights[i] > 0.0) last = i;
+  double assigned = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    if (i == last) continue;
+    shares[i] = total * (weights[i] / weight_sum);
+    assigned += shares[i];
+  }
+  shares[last] = total - assigned;
+  return shares;
+}
+
+}  // namespace
+
+std::vector<PowerBreakdown> partition_power(
+    const AcceleratorConfig& config,
+    const std::vector<ResourceEstimate>& segment_resources,
+    const std::vector<ir::ProgramSegment>& segments, const AccelRunResult& run,
+    bool uses_dram) {
+  RSNN_REQUIRE(!segments.empty() &&
+                   segment_resources.size() == segments.size(),
+               "need one resource estimate per segment");
+  RSNN_REQUIRE(segments.front().begin == 0,
+               "segments must start at op 0 (non-covering partitions would "
+               "silently drop activity)");
+  for (std::size_t s = 0; s + 1 < segments.size(); ++s)
+    RSNN_REQUIRE(segments[s].end == segments[s + 1].begin,
+                 "segments must be contiguous");
+  RSNN_REQUIRE(run.layers.size() == segments.back().end,
+               "run record does not cover the partitioned program");
+
+  const std::size_t n = segments.size();
+  ResourceEstimate total_resources;
+  for (const ResourceEstimate& r : segment_resources) total_resources += r;
+  const PowerBreakdown whole =
+      estimate_power(config, total_resources, run, uses_dram);
+
+  // Attribution keys, per segment, from the run's per-layer records.
+  std::vector<double> luts(n, 0.0), adder_ops(n, 0.0), bram_bits(n, 0.0),
+      dram_bits(n, 0.0);
+  for (std::size_t s = 0; s < n; ++s) {
+    luts[s] = static_cast<double>(segment_resources[s].luts);
+    for (std::size_t li = segments[s].begin; li < segments[s].end; ++li) {
+      const LayerStats& layer = run.layers[li];
+      adder_ops[s] += static_cast<double>(layer.adder_ops);
+      bram_bits[s] += static_cast<double>(layer.traffic.act_read_bits +
+                                          layer.traffic.act_write_bits +
+                                          layer.traffic.weight_read_bits);
+      dram_bits[s] += static_cast<double>(layer.traffic.dram_bits);
+    }
+  }
+
+  const std::vector<double> static_w = split_residual(whole.static_w, luts);
+  const std::vector<double> clock_w = split_residual(whole.clock_w, luts);
+  const std::vector<double> logic_w =
+      split_residual(whole.logic_w, adder_ops);
+  const std::vector<double> bram_w = split_residual(whole.bram_w, bram_bits);
+  const std::vector<double> dram_w = split_residual(whole.dram_w, dram_bits);
+
+  std::vector<PowerBreakdown> out(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    out[s].static_w = static_w[s];
+    out[s].clock_w = clock_w[s];
+    out[s].logic_w = logic_w[s];
+    out[s].bram_w = bram_w[s];
+    out[s].dram_w = dram_w[s];
+  }
+  return out;
+}
+
 }  // namespace rsnn::hw

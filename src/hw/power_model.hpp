@@ -41,4 +41,19 @@ PowerBreakdown estimate_power(const AcceleratorConfig& config,
                               const ResourceEstimate& resources,
                               const AccelRunResult& run, bool uses_dram);
 
+/// Per-segment attribution of the monolithic power estimate across a
+/// pipeline partition — the budgeting view of one design's power split over
+/// its stages. The breakdowns sum (field for field) exactly to
+/// estimate_power() of the whole design. Attribution keys: static and clock
+/// power by each segment's LUT share (`segment_resources`, from
+/// partition_resources); logic power by fired adder ops; BRAM power by
+/// activation+weight traffic; DRAM power by DRAM bits — all read from the
+/// per-layer records of `run`, which must cover the whole program (a
+/// monolithic run or a merged pipeline result).
+std::vector<PowerBreakdown> partition_power(
+    const AcceleratorConfig& config,
+    const std::vector<ResourceEstimate>& segment_resources,
+    const std::vector<ir::ProgramSegment>& segments, const AccelRunResult& run,
+    bool uses_dram);
+
 }  // namespace rsnn::hw

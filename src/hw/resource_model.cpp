@@ -1,7 +1,10 @@
 #include "hw/resource_model.hpp"
 
+#include <algorithm>
 #include <sstream>
+#include <utility>
 
+#include "common/assert.hpp"
 #include "hw/weight_memory.hpp"
 
 namespace rsnn::hw {
@@ -100,14 +103,127 @@ ResourceEstimate design_resources(const AcceleratorConfig& config,
 }
 
 ResourceEstimate estimate_resources(const Accelerator& accelerator) {
+  return estimate_resources(accelerator.program());
+}
+
+ResourceEstimate estimate_resources(const ir::LayerProgram& program) {
   std::int64_t on_chip_param_bits = 0;
-  for (const ir::LayerOp& op : accelerator.program().ops()) {
+  for (const ir::LayerOp& op : program.ops()) {
     if (op.placement == WeightPlacement::kOnChip)
       on_chip_param_bits += op.param_bits;
   }
-  return design_resources(accelerator.config(), accelerator.buffer_plan(),
-                          on_chip_param_bits, accelerator.uses_dram(),
-                          accelerator.network().weight_bits);
+  return design_resources(program.config(), program.buffer_plan(),
+                          on_chip_param_bits, program.uses_dram(),
+                          program.weight_bits());
+}
+
+namespace {
+
+/// Split an integer `total` across weights with the largest-remainder
+/// method: shares sum to `total` exactly. All-zero weights put everything
+/// on the first share (nothing meaningful to apportion by).
+std::vector<std::int64_t> split_exact(std::int64_t total,
+                                      const std::vector<std::int64_t>& weights) {
+  std::vector<std::int64_t> shares(weights.size(), 0);
+  if (weights.empty()) return shares;
+  std::int64_t weight_sum = 0;
+  for (const std::int64_t w : weights) weight_sum += w;
+  if (weight_sum == 0) {
+    shares[0] = total;
+    return shares;
+  }
+  std::int64_t assigned = 0;
+  std::vector<std::pair<std::int64_t, std::size_t>> remainders;
+  remainders.reserve(weights.size());
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const std::int64_t numer = total * weights[i];
+    shares[i] = numer / weight_sum;
+    assigned += shares[i];
+    remainders.emplace_back(-(numer % weight_sum), i);  // descending remainder
+  }
+  std::sort(remainders.begin(), remainders.end());
+  for (std::size_t r = 0; assigned < total; ++r, ++assigned)
+    ++shares[remainders[r % remainders.size()].second];
+  return shares;
+}
+
+/// Attribute one monolithic component across segments by weight.
+void attribute(std::vector<ResourceEstimate>& out,
+               const ResourceEstimate& component,
+               const std::vector<std::int64_t>& weights) {
+  const std::vector<std::int64_t> luts = split_exact(component.luts, weights);
+  const std::vector<std::int64_t> ffs =
+      split_exact(component.flip_flops, weights);
+  const std::vector<std::int64_t> bram =
+      split_exact(component.bram_bits, weights);
+  for (std::size_t s = 0; s < out.size(); ++s) {
+    out[s].luts += luts[s];
+    out[s].flip_flops += ffs[s];
+    out[s].bram_bits += bram[s];
+  }
+}
+
+}  // namespace
+
+std::vector<ResourceEstimate> partition_resources(
+    const ir::LayerProgram& program,
+    const std::vector<ir::ProgramSegment>& segments) {
+  RSNN_REQUIRE(!segments.empty(), "need at least one segment");
+  const AcceleratorConfig& config = program.config();
+
+  // Per-segment attribution weights: cycles spent per unit class and total.
+  const std::size_t n = segments.size();
+  std::vector<std::int64_t> conv_cycles(n, 0), pool_cycles(n, 0),
+      linear_cycles(n, 0), total_cycles(n, 0);
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t li = segments[s].begin; li < segments[s].end; ++li) {
+      const ir::LayerOp& op = program.op(li);
+      total_cycles[s] += op.latency.total_cycles;
+      switch (op.kind) {
+        case ir::OpKind::kConv:
+          conv_cycles[s] += op.latency.total_cycles;
+          break;
+        case ir::OpKind::kPool:
+          pool_cycles[s] += op.latency.total_cycles;
+          break;
+        case ir::OpKind::kLinear:
+          linear_cycles[s] += op.latency.total_cycles;
+          break;
+        case ir::OpKind::kFlatten:
+          break;  // buffer transfer uses no unit
+      }
+    }
+  }
+
+  std::vector<ResourceEstimate> out(n);
+
+  ResourceEstimate conv_units;
+  const ResourceEstimate per_unit = conv_unit_resources(config.conv);
+  for (int u = 0; u < config.num_conv_units; ++u) conv_units += per_unit;
+  attribute(out, conv_units, conv_cycles);
+  attribute(out, pool_unit_resources(config.pool), pool_cycles);
+  attribute(out,
+            linear_unit_resources(config.linear, program.weight_bits()),
+            linear_cycles);
+
+  ResourceEstimate shared = shared_control_resources();
+  if (program.uses_dram()) shared += dram_subsystem_resources();
+  shared.bram_bits = 2 * program.buffer_plan().buffer2d_bits_each +
+                     2 * program.buffer_plan().buffer1d_bits_each;
+  attribute(out, shared, total_cycles);
+
+  // On-chip parameter storage is exactly attributable per segment.
+  for (std::size_t s = 0; s < n; ++s)
+    out[s].bram_bits += segments[s].onchip_param_bits;
+
+  // The attribution must be an exact breakdown of the monolithic estimate.
+  const ResourceEstimate whole = estimate_resources(program);
+  ResourceEstimate sum;
+  for (const ResourceEstimate& estimate : out) sum += estimate;
+  RSNN_ENSURE(sum.luts == whole.luts && sum.flip_flops == whole.flip_flops &&
+                  sum.bram_bits == whole.bram_bits,
+              "segment resources do not sum to the monolithic design");
+  return out;
 }
 
 std::string to_string(const ResourceEstimate& estimate) {

@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "hw/accelerator.hpp"
 #include "hw/arch.hpp"
@@ -64,6 +65,27 @@ ResourceEstimate design_resources(const AcceleratorConfig& config,
 
 /// Convenience: resources of an accelerator instance bound to a network.
 ResourceEstimate estimate_resources(const Accelerator& accelerator);
+
+/// Resources of a hardware-lowered program (same estimate as an Accelerator
+/// bound to it).
+ResourceEstimate estimate_resources(const ir::LayerProgram& program);
+
+/// Per-segment attribution of the monolithic design's resources across a
+/// pipeline partition. The estimates form an exact breakdown — summing them
+/// reproduces estimate_resources(program) field for field (enforced with an
+/// internal invariant). Attribution rules:
+///   * on-chip parameter BRAM: exact, each segment carries its own ops'
+///     on-chip param bits;
+///   * unit logic (conv / pool / linear LUTs+FFs): split across segments in
+///     proportion to the predicted cycles each segment spends on that unit
+///     class (a stage that never pools carries none of the pooling unit);
+///   * shared control, DRAM subsystem and activation-buffer BRAM: split in
+///     proportion to total predicted segment cycles.
+/// Integer fields are distributed with the largest-remainder method so the
+/// sums are exact, not approximate.
+std::vector<ResourceEstimate> partition_resources(
+    const ir::LayerProgram& program,
+    const std::vector<ir::ProgramSegment>& segments);
 
 std::string to_string(const ResourceEstimate& estimate);
 

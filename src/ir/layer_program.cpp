@@ -184,6 +184,59 @@ LayerProgram lower(const quant::QuantizedNetwork& qnet,
   return program;
 }
 
+bool entry_is_1d(const LayerProgram& program, std::size_t begin) {
+  RSNN_REQUIRE(begin < program.size(), "entry op outside the program");
+  return begin > 0 && program.op(begin - 1).is_1d;
+}
+
+std::vector<ProgramSegment> make_segments(
+    const LayerProgram& program, const std::vector<std::size_t>& cuts) {
+  RSNN_REQUIRE(program.size() > 0, "cannot segment an empty program");
+  RSNN_REQUIRE(program.has_hw_annotations(),
+               "segments need a hardware-lowered program (placement and "
+               "latency aggregates)");
+  const std::size_t n_ops = program.size();
+
+  std::vector<std::size_t> bounds;
+  bounds.reserve(cuts.size() + 2);
+  bounds.push_back(0);
+  for (const std::size_t cut : cuts) {
+    RSNN_REQUIRE(cut > 0 && cut < n_ops,
+                 "cut point " << cut << " outside interior (0, " << n_ops
+                              << ")");
+    RSNN_REQUIRE(cut > bounds.back(),
+                 "cut points must be strictly increasing");
+    bounds.push_back(cut);
+  }
+  bounds.push_back(n_ops);
+
+  std::vector<ProgramSegment> segments;
+  segments.reserve(bounds.size() - 1);
+  for (std::size_t s = 0; s + 1 < bounds.size(); ++s) {
+    ProgramSegment seg;
+    seg.index = static_cast<int>(s);
+    seg.begin = bounds[s];
+    seg.end = bounds[s + 1];
+    seg.in_shape = program.op(seg.begin).in_shape;
+    seg.out_shape = program.op(seg.end - 1).out_shape;
+    seg.in_is_1d = entry_is_1d(program, seg.begin);
+    seg.final_segment = seg.end == n_ops;
+    for (std::size_t li = seg.begin; li < seg.end; ++li) {
+      const LayerOp& op = program.op(li);
+      seg.predicted_cycles += op.latency.total_cycles;
+      seg.param_bits += op.param_bits;
+      if (op.placement == hw::WeightPlacement::kOnChip)
+        seg.onchip_param_bits += op.param_bits;
+    }
+    segments.push_back(std::move(seg));
+  }
+  return segments;
+}
+
+ProgramSegment full_segment(const LayerProgram& program) {
+  return make_segments(program, {}).front();
+}
+
 GeometryRequirements scan_geometry(const quant::QuantizedNetwork& qnet) {
   GeometryRequirements req;
   Shape shape = qnet.input_shape;

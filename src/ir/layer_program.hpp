@@ -135,6 +135,49 @@ LayerProgram lower(const quant::QuantizedNetwork& qnet);
 LayerProgram lower(const quant::QuantizedNetwork& qnet,
                    const hw::AcceleratorConfig& config);
 
+/// One contiguous op range of a partitioned program — the unit of pipeline-
+/// parallel execution. The accelerator is a layer-wise dataflow machine, so
+/// any interior op boundary is a legal cut point; the interface crossing a
+/// cut is the requantized T-bit activation-code tensor of the upstream op
+/// (`in_shape` here, `out_shape` of the predecessor). Segments never re-lower
+/// the network: they inherit the monolithic program's placement and latency
+/// annotations, which is what keeps pipelined execution bit-identical to
+/// monolithic execution (per-device re-lowering is future work — see ROADMAP
+/// "partition-aware RTL generation").
+struct ProgramSegment {
+  int index = 0;          ///< position of this segment in the pipeline
+  std::size_t begin = 0;  ///< first op of the segment (inclusive)
+  std::size_t end = 0;    ///< one past the segment's last op
+
+  Shape in_shape;         ///< activation-code tensor entering the segment
+  Shape out_shape;        ///< tensor leaving it (logits for the final segment)
+  bool in_is_1d = false;  ///< entry activations live in the 1-D buffer pair
+  bool final_segment = false;  ///< contains the program's last op
+
+  // Aggregates over the segment's ops (valid on hardware-lowered programs):
+  std::int64_t predicted_cycles = 0;   ///< sum of per-op latency annotations
+  std::int64_t param_bits = 0;         ///< total parameter storage
+  std::int64_t onchip_param_bits = 0;  ///< parameters placed in BRAM
+
+  std::size_t size() const { return end - begin; }
+};
+
+/// True when execution entering the program at op `begin` reads the 1-D
+/// activation buffer pair (the op sits downstream of the flatten transfer).
+/// The single copy of the buffer-entry rule: ProgramSegment::in_is_1d and
+/// the accelerator's mid-program entry path both derive from this.
+bool entry_is_1d(const LayerProgram& program, std::size_t begin);
+
+/// Split a hardware-lowered program at the given interior op indices
+/// (strictly increasing, each in (0, size())): `cuts = {3, 5}` yields the
+/// segments [0,3), [3,5), [5,size()). An empty cut list yields the single
+/// whole-program segment. Throws ContractViolation on invalid cuts.
+std::vector<ProgramSegment> make_segments(const LayerProgram& program,
+                                          const std::vector<std::size_t>& cuts);
+
+/// The trivial partition: one segment covering the whole program.
+ProgramSegment full_segment(const LayerProgram& program);
+
 /// Unit-geometry requirements of a network (largest kernels, widest output
 /// rows) — what the compiler needs to derive a design instance.
 struct GeometryRequirements {

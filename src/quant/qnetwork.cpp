@@ -104,18 +104,33 @@ std::vector<std::int64_t> QuantizedNetwork::forward(const TensorI& input) const 
 
 std::vector<std::int64_t> QuantizedNetwork::forward_traced(
     const TensorI& input, std::vector<TensorI64>* layer_outputs) const {
-  RSNN_REQUIRE(!layers.empty(), "empty network");
   RSNN_REQUIRE(input.shape() == input_shape,
                "input shape " << input.shape().to_string() << " != expected "
                               << input_shape.to_string());
-  TensorI64 x = input.cast<std::int64_t>();
+  return forward_layers(input.cast<std::int64_t>(), 0, layers.size(),
+                        layer_outputs)
+      .to_vector();
+}
+
+TensorI64 QuantizedNetwork::forward_layers(
+    const TensorI64& input, std::size_t begin, std::size_t end,
+    std::vector<TensorI64>* layer_outputs) const {
+  RSNN_REQUIRE(!layers.empty(), "empty network");
+  RSNN_REQUIRE(begin < end && end <= layers.size(),
+               "layer range [" << begin << ", " << end << ") outside [0, "
+                               << layers.size() << ")");
+  TensorI64 x = input;
   if (layer_outputs) layer_outputs->clear();
 
   // Lowered fresh per call: it can never be stale against `layers` (which is
   // publicly mutable), and its cost — a handful of small vector allocations —
   // is noise against the dense per-layer arithmetic below.
   const ir::LayerProgram program = ir::lower(*this);
-  for (const ir::LayerOp& op : program.ops()) {
+  RSNN_REQUIRE(x.shape() == program.op(begin).in_shape,
+               "input shape " << x.shape().to_string() << " != layer " << begin
+                              << " input " << program.op(begin).in_shape.to_string());
+  for (std::size_t li = begin; li < end; ++li) {
+    const ir::LayerOp& op = program.op(li);
     switch (op.kind) {
       case ir::OpKind::kConv:
         x = conv_forward(*op.conv, x, time_bits);
@@ -134,11 +149,8 @@ std::vector<std::int64_t> QuantizedNetwork::forward_traced(
   }
 
   // Networks normally end in a linear layer; conv-only stacks (used in unit
-  // tests) expose their flattened final accumulators instead.
-  std::vector<std::int64_t> logits(static_cast<std::size_t>(x.numel()));
-  for (std::int64_t i = 0; i < x.numel(); ++i)
-    logits[static_cast<std::size_t>(i)] = x.at_flat(i);
-  return logits;
+  // tests) expose their final accumulators instead.
+  return x;
 }
 
 int QuantizedNetwork::classify(const TensorI& input) const {

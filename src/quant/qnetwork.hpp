@@ -97,6 +97,17 @@ class QuantizedNetwork {
   std::vector<std::int64_t> forward_traced(
       const TensorI& input, std::vector<TensorI64>* layer_outputs) const;
 
+  /// Partial forward over the layer range [begin, end): `input` must be
+  /// shaped as layer `begin`'s input (requantized activation codes when
+  /// begin > 0). Returns the tensor leaving layer end-1 — requantized codes
+  /// for an interior range, raw accumulators when the range includes the
+  /// final layer. Records each layer's output into `layer_outputs` if given.
+  /// This is the entry point for segment-scoped execution (pipeline stages
+  /// execute contiguous sub-programs).
+  TensorI64 forward_layers(const TensorI64& input, std::size_t begin,
+                           std::size_t end,
+                           std::vector<TensorI64>* layer_outputs) const;
+
   /// argmax of forward().
   int classify(const TensorI& input) const;
 

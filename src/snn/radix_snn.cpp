@@ -97,17 +97,26 @@ void linear_step(const QLinear& fc, const SpikeTrain& input, int t,
 
 RadixSnnResult RadixSnn::run(const SpikeTrain& input,
                              bool record_layer_spikes) const {
+  return run_range(input, 0, program_.size(), record_layer_spikes);
+}
+
+RadixSnnResult RadixSnn::run_range(const SpikeTrain& input, std::size_t begin,
+                                   std::size_t end,
+                                   bool record_layer_spikes) const {
   const int T = qnet_.time_bits;
+  const std::size_t n_ops = program_.size();
+  RSNN_REQUIRE(begin < end && end <= n_ops,
+               "op range [" << begin << ", " << end << ") outside [0, "
+                            << n_ops << ")");
   RSNN_REQUIRE(input.time_steps() == T,
                "input has " << input.time_steps() << " steps, network expects " << T);
-  RSNN_REQUIRE(input.neuron_shape() == qnet_.input_shape,
-               "input shape mismatch");
+  RSNN_REQUIRE(input.neuron_shape() == program_.op(begin).in_shape,
+               "input shape mismatch for op " << begin);
 
   RadixSnnResult result;
   SpikeTrain current = input;
 
-  const std::size_t n_ops = program_.size();
-  for (std::size_t li = 0; li < n_ops; ++li) {
+  for (std::size_t li = begin; li < end; ++li) {
     const ir::LayerOp& op = program_.op(li);
     result.total_input_spikes += current.total_spikes();
 
@@ -182,12 +191,15 @@ RadixSnnResult RadixSnn::run(const SpikeTrain& input,
     if (record_layer_spikes) result.layer_spikes.push_back(current);
   }
 
-  RSNN_ENSURE(!result.logits.empty(), "network must end in a raw linear layer");
-  int best = 0;
-  for (std::size_t c = 1; c < result.logits.size(); ++c)
-    if (result.logits[c] > result.logits[static_cast<std::size_t>(best)])
-      best = static_cast<int>(c);
-  result.predicted_class = best;
+  if (end == n_ops) {
+    RSNN_ENSURE(!result.logits.empty(),
+                "network must end in a raw linear layer");
+    int best = 0;
+    for (std::size_t c = 1; c < result.logits.size(); ++c)
+      if (result.logits[c] > result.logits[static_cast<std::size_t>(best)])
+        best = static_cast<int>(c);
+    result.predicted_class = best;
+  }
   return result;
 }
 

@@ -41,6 +41,15 @@ class RadixSnn {
   RadixSnnResult run(const encoding::SpikeTrain& input,
                      bool record_layer_spikes = false) const;
 
+  /// Run only the op range [begin, end) — segment-scoped execution for
+  /// pipeline stages. `input` must be shaped as op `begin`'s input. Logits
+  /// are produced only when the range includes the program's final op; for
+  /// an interior range the last recorded spike train (request
+  /// record_layer_spikes) is the activation crossing the cut.
+  RadixSnnResult run_range(const encoding::SpikeTrain& input,
+                           std::size_t begin, std::size_t end,
+                           bool record_layer_spikes = false) const;
+
   /// Convenience: encode a float image (values in [0,1)) and run.
   RadixSnnResult run_image(const TensorF& image,
                            bool record_layer_spikes = false) const;

@@ -85,6 +85,10 @@ class Tensor {
     return Tensor(std::move(new_shape), data_);
   }
 
+  /// Copy of the elements in flat (row-major) order — e.g. the final
+  /// layer's raw accumulators as a logit vector.
+  std::vector<T> to_vector() const { return data_; }
+
   template <typename U>
   Tensor<U> cast() const {
     Tensor<U> out(shape_);

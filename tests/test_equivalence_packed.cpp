@@ -15,6 +15,7 @@
 
 #include "common/bits.hpp"
 #include "common/rng.hpp"
+#include "compiler/compile.hpp"
 #include "encoding/radix.hpp"
 #include "engine/engine.hpp"
 #include "engine/stream.hpp"
@@ -252,6 +253,123 @@ TEST(PackedEquivalence, StreamingMatchesSequentialRuns) {
     EXPECT_EQ(second[i].traffic_total.act_read_bits,
               ref.traffic_total.act_read_bits);
   }
+}
+
+TEST(PackedEquivalence, StreamingEmptyBatchResetsStats) {
+  // An empty batch must return a zeroed stats record, not the previous
+  // batch's throughput (regression: early return before the stats reset).
+  Rng rng(13);
+  nn::Network net = rsnn::testing::small_random_net(rng);
+  const quant::QuantizedNetwork qnet =
+      quant::quantize(net, quant::QuantizeConfig{3, 4});
+  AcceleratorConfig cfg;
+  cfg.num_conv_units = 1;
+  cfg.conv = ConvUnitGeometry{12, 5, 24};
+  cfg.pool = PoolUnitGeometry{8, 2, 16};
+  cfg.linear = LinearUnitGeometry{4, 24};
+  const ir::LayerProgram program = ir::lower(qnet, cfg);
+
+  engine::StreamingExecutor stream(program, engine::EngineKind::kReference,
+                                   /*num_workers=*/2);
+  std::vector<TensorI> codes{quant::encode_activations(
+      rsnn::testing::random_image(Shape{1, 10, 10}, rng), 4)};
+  stream.run_stream(codes);
+  ASSERT_EQ(stream.last_stats().images, 1);
+  ASSERT_GT(stream.last_stats().images_per_sec, 0.0);
+
+  const auto empty = stream.run_stream({});
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(stream.last_stats().images, 0);
+  EXPECT_EQ(stream.last_stats().wall_ms, 0.0);
+  EXPECT_EQ(stream.last_stats().images_per_sec, 0.0);
+  EXPECT_EQ(stream.last_stats().ns_per_inference, 0.0);
+  EXPECT_EQ(stream.last_stats().workers, 2);
+}
+
+// --------------------------------------------- engine parsing and sweeps
+
+TEST(EngineParsing, RoundTripsCanonicalNamesAndShorthand) {
+  for (const engine::EngineKind kind : engine::all_engines())
+    EXPECT_EQ(engine::parse_engine(engine::engine_name(kind)), kind);
+  EXPECT_EQ(engine::parse_engine("cycle"),
+            engine::EngineKind::kCycleAccurate);
+}
+
+TEST(EngineParsing, RejectsUnknownNames) {
+  EXPECT_THROW(engine::parse_engine(""), ContractViolation);
+  EXPECT_THROW(engine::parse_engine("Cycle_Accurate"), ContractViolation);
+  EXPECT_THROW(engine::parse_engine("analytical"), ContractViolation);
+  EXPECT_THROW(engine::parse_engine("gpu"), ContractViolation);
+  try {
+    engine::parse_engine("warp");
+    FAIL() << "expected ContractViolation";
+  } catch (const ContractViolation& e) {
+    // The message names the offender and the accepted engines.
+    EXPECT_NE(std::string(e.what()).find("warp"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("cycle_accurate"),
+              std::string::npos);
+  }
+}
+
+/// Cross-engine equivalence beyond LeNet: every engine must agree on the
+/// tiny test net and on VGG-11 (the DRAM-streaming Table III design).
+void expect_all_engines_agree(const quant::QuantizedNetwork& qnet,
+                              const ir::LayerProgram& program,
+                              const TensorI& codes) {
+  const auto baseline =
+      engine::make_engine(engine::EngineKind::kCycleAccurate, program);
+  const AccelRunResult ref = baseline->run_codes(codes);
+  EXPECT_EQ(ref.logits, qnet.forward(codes));
+
+  for (const engine::EngineKind kind : engine::all_engines()) {
+    if (kind == engine::EngineKind::kCycleAccurate) continue;
+    const auto under_test = engine::make_engine(kind, program);
+    const AccelRunResult run = under_test->run_codes(codes);
+    SCOPED_TRACE(engine::engine_name(kind));
+    EXPECT_EQ(run.logits, ref.logits);
+    EXPECT_EQ(run.total_cycles, ref.total_cycles);
+    EXPECT_EQ(run.total_adder_ops, ref.total_adder_ops);
+    EXPECT_EQ(run.dram_bits, ref.dram_bits);
+    EXPECT_EQ(run.traffic_total.act_read_bits,
+              ref.traffic_total.act_read_bits);
+    EXPECT_EQ(run.traffic_total.act_write_bits,
+              ref.traffic_total.act_write_bits);
+    EXPECT_EQ(run.traffic_total.weight_read_bits,
+              ref.traffic_total.weight_read_bits);
+  }
+}
+
+TEST(EngineSweep, TinyModelAllEnginesAgree) {
+  Rng rng(31);
+  nn::Network tiny = nn::make_model("tiny");
+  tiny.init_params(rng);
+  for (nn::Param* p : tiny.params())
+    for (std::int64_t i = 0; i < p->value.numel(); ++i)
+      p->value.at_flat(i) *= 0.5f;
+  const quant::QuantizedNetwork qnet =
+      quant::quantize(tiny, quant::QuantizeConfig{3, 4});
+  const compiler::CompiledDesign design =
+      compiler::compile(qnet, compiler::CompileOptions{});
+
+  for (int trial = 0; trial < 2; ++trial) {
+    const TensorI codes = quant::encode_activations(
+        rsnn::testing::random_image(qnet.input_shape, rng), qnet.time_bits);
+    expect_all_engines_agree(qnet, design.program, codes);
+  }
+}
+
+TEST(EngineSweep, Vgg11AllEnginesAgree) {
+  Rng rng(37);
+  nn::Network vgg = nn::make_vgg11();
+  vgg.init_params(rng);
+  const quant::QuantizedNetwork qnet =
+      quant::quantize(vgg, quant::QuantizeConfig{3, 3});
+  const ir::LayerProgram program = ir::lower(qnet, vgg11_table3_config());
+  EXPECT_TRUE(program.uses_dram());  // the Table III VGG row streams weights
+
+  const TensorI codes = quant::encode_activations(
+      rsnn::testing::random_image(qnet.input_shape, rng), qnet.time_bits);
+  expect_all_engines_agree(qnet, program, codes);
 }
 
 }  // namespace

@@ -39,4 +39,18 @@ run_config "Release" build-check-release -DCMAKE_BUILD_TYPE=Release
 run_config "Release+RSNN_CHECKED" build-check-checked \
     -DCMAKE_BUILD_TYPE=Release -DRSNN_CHECKED=ON
 
+# 3. Sanitizer pass (ASan + UBSan): builds only the threaded executor tests
+#    and runs them instrumented, validating the pipeline executor's bounded
+#    queues / worker threads and the streaming pool for memory and UB errors
+#    without paying for a full sanitized suite run.
+echo "==== [Release+RSNN_SANITIZE] configure ===="
+cmake -B build-check-sanitize -S . \
+    -DCMAKE_BUILD_TYPE=Release -DRSNN_SANITIZE=ON
+echo "==== [Release+RSNN_SANITIZE] build (threaded executor tests) ===="
+cmake --build build-check-sanitize -j "$JOBS" \
+    --target test_pipeline test_equivalence_packed
+echo "==== [Release+RSNN_SANITIZE] ctest ===="
+ctest --test-dir build-check-sanitize --output-on-failure -j "$JOBS" \
+    -R 'test_pipeline|test_equivalence_packed'
+
 echo "==== all configurations passed ===="

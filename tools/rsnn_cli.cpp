@@ -6,6 +6,7 @@
 //   rsnn_cli run     --qsnn lenet.qsnn [--units 2] [--mhz 100] [--samples 200]
 //                    [--engine cycle_accurate|analytic|behavioral|reference]
 //                    [--stream <workers>]
+//                    [--pipeline <stages> [--partition balance_latency|fit_resources]]
 //   rsnn_cli emit-rtl --qsnn lenet.qsnn --out rtl_out [--units 2]
 //   rsnn_cli info    --qsnn lenet.qsnn
 //
@@ -17,8 +18,10 @@
 #include <string>
 
 #include "compiler/compile.hpp"
+#include "compiler/partition.hpp"
 #include "data/idx_loader.hpp"
 #include "engine/engine.hpp"
+#include "engine/pipeline.hpp"
 #include "engine/stream.hpp"
 #include "data/synth_digits.hpp"
 #include "hw/accelerator.hpp"
@@ -200,6 +203,48 @@ int cmd_run(int argc, char** argv) {
         static_cast<long long>(stats.images), stats.workers, stats.wall_ms,
         stats.images_per_sec);
   }
+
+  // Optional pipeline-parallel report: partition the program into stages
+  // (one simulated accelerator per stage) and stream the eval set through
+  // them. Results are bit-identical to monolithic execution; throughput
+  // scales with the pipeline depth up to the bottleneck stage.
+  const int pipeline_stages = std::stoi(get(args, "pipeline", "0"));
+  if (pipeline_stages > 0) {
+    const compiler::PartitionStrategy strategy =
+        compiler::parse_partition(get(args, "partition", "balance_latency"));
+    const auto segments = compiler::partition_program(
+        design.program, strategy, pipeline_stages);
+    const auto seg_resources =
+        hw::partition_resources(design.program, segments);
+
+    std::printf("\npipeline (%s, %zu stage%s):\n",
+                compiler::partition_name(strategy), segments.size(),
+                segments.size() == 1 ? "" : "s");
+    if (segments.size() != static_cast<std::size_t>(pipeline_stages))
+      std::printf(
+          "  note: fit_resources packs under the per-device weight-memory "
+          "budget and chose %zu stage(s); --pipeline %d sets the stage count "
+          "only for balance_latency\n",
+          segments.size(), pipeline_stages);
+    for (std::size_t s = 0; s < segments.size(); ++s) {
+      const ir::ProgramSegment& seg = segments[s];
+      std::printf(
+          "  stage %zu: ops [%zu, %zu)  ~%lld cycles  %lld KiB params  %s\n",
+          s, seg.begin, seg.end,
+          static_cast<long long>(seg.predicted_cycles),
+          static_cast<long long>(seg.param_bits / 8 / 1024),
+          hw::to_string(seg_resources[s]).c_str());
+    }
+
+    engine::PipelineExecutor pipe(design.program, segments, kind);
+    pipe.run_pipeline_images(eval.images);
+    const engine::PipelineStats& pstats = pipe.last_stats();
+    std::printf(
+        "  %lld images through %d stage(s) in %.1f ms -> %.1f images/sec "
+        "(simulator wall clock)\n",
+        static_cast<long long>(pstats.images), pstats.stages, pstats.wall_ms,
+        pstats.images_per_sec);
+  }
   return 0;
 }
 
@@ -239,6 +284,7 @@ void usage() {
       "  run       --qsnn m.qsnn [--units 2] [--mhz 100] [--samples 200]\n"
       "            [--engine cycle_accurate|analytic|behavioral|reference]\n"
       "            [--stream <workers>]  (0 = one per hardware thread)\n"
+      "            [--pipeline <stages>] [--partition balance_latency|fit_resources]\n"
       "  emit-rtl  --qsnn m.qsnn --out rtl_out [--units 2]\n"
       "  info      --qsnn m.qsnn\n");
 }
