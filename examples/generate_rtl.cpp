@@ -4,11 +4,16 @@
 // AcceleratorConfig that drives the cycle-accurate simulator is emitted as
 // a synthesizable module set plus $readmemh weight images.
 //
-// Usage: generate_rtl [output_dir=rtl_out] [conv_units=2]
+// Usage: generate_rtl [output_dir=rtl_out] [conv_units=2] [pipeline_stages=0]
+//
+// With pipeline_stages > 1, emits one bundle per latency-balanced pipeline
+// stage — each re-lowered against its own device, with ready/valid stream
+// interfaces on the cut tensors — into <output_dir>/stage<k>/.
 #include <cstdio>
 #include <cstdlib>
 
 #include "compiler/compile.hpp"
+#include "compiler/partition.hpp"
 #include "nn/zoo.hpp"
 #include "quant/quantize.hpp"
 #include "rtl/generate.hpp"
@@ -17,6 +22,7 @@ int main(int argc, char** argv) {
   using namespace rsnn;
   const std::string out_dir = argc > 1 ? argv[1] : "rtl_out";
   const int units = argc > 2 ? std::atoi(argv[2]) : 2;
+  const int stages = argc > 3 ? std::atoi(argv[3]) : 0;
 
   Rng rng(3);
   nn::Network lenet = nn::make_lenet5();
@@ -28,6 +34,28 @@ int main(int argc, char** argv) {
   options.clock_mhz = 100.0;
   const auto design = compiler::compile(qnet, options);
   std::printf("%s\n", compiler::describe(design, qnet).c_str());
+
+  if (stages > 1) {
+    int checked_stages = 0;
+    const std::string request_error = compiler::validate_pipeline_request(
+        design.program, argv[3], "balance_latency", &checked_stages);
+    if (!request_error.empty()) {
+      std::fprintf(stderr, "error: %s\n", request_error.c_str());
+      return 1;
+    }
+    const auto segments = compiler::partition_balance_latency(
+        design.program, checked_stages, compiler::PartitionOptions{});
+    const auto bundles =
+        rtl::generate_pipeline_bundles(design.program, segments);
+    const int written = rtl::write_pipeline_bundles(bundles, out_dir);
+    std::printf("wrote %d files across %zu stage bundles to %s/:\n", written,
+                bundles.size(), out_dir.c_str());
+    for (const auto& stage : bundles)
+      for (const auto& [name, contents] : stage.files)
+        std::printf("  stage%d/%-32s %8zu bytes\n", stage.stage, name.c_str(),
+                    contents.size());
+    return 0;
+  }
 
   const auto bundle =
       rtl::generate_design_with_weights(design.config, qnet, "rsnn_accel");

@@ -92,8 +92,14 @@ class BehavioralEngine final : public Engine {
   SegmentRunResult run_segment(const TensorI& codes) override {
     const int T = program_.time_bits();
     const encoding::SpikeTrain input = encoding::radix_encode_codes(codes, T);
-    const snn::RadixSnnResult fn = snn_.run_range(
-        input, segment_.begin, segment_.end, /*record_layer_spikes=*/true);
+    // The functional simulator walks the *network's* whole-model program, so
+    // translate this engine's op range into network layer indices (they
+    // differ when this is a re-lowered stage engine over a sub-program).
+    const auto [net_begin, net_end] =
+        program_.network_range(segment_.begin, segment_.end);
+    const snn::RadixSnnResult fn =
+        snn_.run_range(input, net_begin, net_end,
+                       /*record_layer_spikes=*/true);
 
     SegmentRunResult out;
     hw::AccelRunResult& result = out.stats;
@@ -130,9 +136,10 @@ class ReferenceEngine final : public Engine {
     SegmentRunResult out;
     hw::AccelRunResult& result = out.stats;
     std::vector<TensorI64> layer_outputs;
+    const auto [net_begin, net_end] =
+        program_.network_range(segment_.begin, segment_.end);
     const TensorI64 final_out = program_.network().forward_layers(
-        codes.cast<std::int64_t>(), segment_.begin, segment_.end,
-        &layer_outputs);
+        codes.cast<std::int64_t>(), net_begin, net_end, &layer_outputs);
     if (segment_.final_segment) {
       result.logits = final_out.to_vector();
     } else {
@@ -186,7 +193,8 @@ std::vector<EngineKind> all_engines() {
 }
 
 hw::AccelRunResult Engine::run_codes(const TensorI& codes) {
-  RSNN_REQUIRE(segment_.begin == 0 && segment_.final_segment,
+  RSNN_REQUIRE(program_.whole_network() && segment_.begin == 0 &&
+                   segment_.final_segment,
                "run_codes needs a whole-program engine; stage engines run "
                "through run_segment()");
   return run_segment(codes).stats;
@@ -209,15 +217,36 @@ std::unique_ptr<Engine> make_engine(EngineKind kind,
   RSNN_REQUIRE(segment.begin < segment.end && segment.end <= program.size(),
                "segment op range [" << segment.begin << ", " << segment.end
                                     << ") outside the program");
+  const ir::LayerProgram* exec_program = &program;
+  ir::ProgramSegment exec_segment = segment;
+  if (segment.relowered != nullptr) {
+    // Re-lowered stage: the engine executes the segment's own per-device
+    // program instead of a slice of the monolithic one. Translate the op
+    // range into the sub-program's local coordinates; the segment copy held
+    // by the engine keeps the shared program alive.
+    const ir::LayerProgram& local = *segment.relowered;
+    RSNN_REQUIRE(local.size() == segment.size() &&
+                     local.network_begin() == segment.begin &&
+                     &local.network() == &program.network(),
+                 "re-lowered program does not match segment ops ["
+                     << segment.begin << ", " << segment.end << ")");
+    exec_program = &local;
+    exec_segment.begin = 0;
+    exec_segment.end = local.size();
+  }
   switch (kind) {
     case EngineKind::kCycleAccurate:
-      return std::make_unique<CycleAccurateEngine>(program, segment);
+      return std::make_unique<CycleAccurateEngine>(*exec_program,
+                                                   std::move(exec_segment));
     case EngineKind::kAnalytic:
-      return std::make_unique<AnalyticEngine>(program, segment);
+      return std::make_unique<AnalyticEngine>(*exec_program,
+                                              std::move(exec_segment));
     case EngineKind::kBehavioral:
-      return std::make_unique<BehavioralEngine>(program, segment);
+      return std::make_unique<BehavioralEngine>(*exec_program,
+                                                std::move(exec_segment));
     case EngineKind::kReference:
-      return std::make_unique<ReferenceEngine>(program, segment);
+      return std::make_unique<ReferenceEngine>(*exec_program,
+                                               std::move(exec_segment));
   }
   RSNN_REQUIRE(false, "unknown engine kind");
   return nullptr;  // unreachable

@@ -51,6 +51,10 @@ PipelineExecutor::PipelineExecutor(const ir::LayerProgram& program,
                  "segments must be contiguous (segment " << s << " ends at "
                      << segments_[s].end << ", segment " << s + 1
                      << " begins at " << segments_[s + 1].begin << ")");
+  for (std::size_t s = 0; s < segments_.size(); ++s)
+    RSNN_REQUIRE(segments_[s].is_relowered() == segments_.front().is_relowered(),
+                 "segments mix inherited and re-lowered annotations (segment "
+                     << s << " differs from segment 0)");
 
   queues_.reserve(segments_.size() - 1);
   for (std::size_t s = 0; s + 1 < segments_.size(); ++s)

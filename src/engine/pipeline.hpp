@@ -11,10 +11,16 @@
 // image i+1 while stage 1 finishes image i, which is how a multi-FPGA
 // deployment of the paper's design would serve traffic.
 //
-// Results are index-aligned with the submitted batch and bit-identical to
-// monolithic execution: per-op stats are merged across stages in op order,
-// so summed cycles / adder ops / traffic equal a whole-program run
-// (tests/test_pipeline.cpp enforces this for all four engines).
+// Results are index-aligned with the submitted batch. Logits are always
+// bit-identical to monolithic execution. Timing depends on the segments'
+// lowering mode (ir::ProgramSegment):
+//   * inherited segments — per-op stats merge to exactly the monolithic
+//     cycles / adder ops / traffic (tests/test_pipeline.cpp enforces this
+//     for all four engines);
+//   * re-lowered segments — each worker runs its stage's own per-device
+//     program, so stage cycles reflect the device-local placement and are
+//     allowed (and expected) to beat the inherited plan
+//     (tests/test_relower.cpp).
 //
 // Not reentrant: one run_pipeline() at a time (the caller is the stream).
 #pragma once
@@ -73,6 +79,8 @@ class PipelineExecutor {
   int stages() const { return static_cast<int>(segments_.size()); }
   EngineKind kind() const { return kind_; }
   const std::vector<ir::ProgramSegment>& segments() const { return segments_; }
+  /// True when the stages run re-lowered per-device programs.
+  bool relowered() const { return segments_.front().is_relowered(); }
 
  private:
   /// One image in flight between stages: its batch index, the activation

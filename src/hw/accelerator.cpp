@@ -221,9 +221,13 @@ AccelRunResult Accelerator::run_cycle_accurate(WorkerState& state,
   entry_pair.store_output(activation_bits(current->neuron_shape(), T));
   entry_pair.swap();
 
-  const std::size_t n_ops = program_.size();
+  const std::size_t n_layers = program_.network().layers.size();
   for (std::size_t li = begin; li < end; ++li) {
     const ir::LayerOp& op = program_.op(li);
+    // The program may be a segment-scoped sub-program, so "final" means the
+    // network's last layer (the raw-logit layer), not the last op executed.
+    const bool network_final =
+        static_cast<std::size_t>(op.layer_index) + 1 == n_layers;
     LayerStats stats;
     stats.name = op.name();
     stats.input_spikes = current->total_spikes();
@@ -307,7 +311,7 @@ AccelRunResult Accelerator::run_cycle_accurate(WorkerState& state,
         state.buffer1d.swap();
         result.layers.push_back(stats);
         result.total_cycles += stats.cycles;
-        if (li + 1 == end && end < n_ops && boundary_codes != nullptr)
+        if (li + 1 == end && boundary_codes != nullptr)
           *boundary_codes = encoding::radix_decode_codes(*current);
         continue;
       }
@@ -319,7 +323,7 @@ AccelRunResult Accelerator::run_cycle_accurate(WorkerState& state,
     pair.store_output(activation_bits(op.out_shape, T));
     pair.swap();
 
-    if (li + 1 == n_ops) {
+    if (network_final) {
       RSNN_ENSURE(!op.requantize, "final layer must produce raw accumulators");
       result.logits = out.to_vector();
     } else {
@@ -356,9 +360,12 @@ AccelRunResult Accelerator::run_analytic(const TensorI& codes,
   AccelRunResult result;
   result.layers.reserve(end - begin);
   std::vector<TensorI64> layer_outputs;
+  // Map program op positions to network layer indices: identical for a
+  // whole-network program, offset for a segment-scoped sub-program.
+  const auto [net_begin, net_end] = program_.network_range(begin, end);
   const TensorI64 final_out = program_.network().forward_layers(
-      codes.cast<std::int64_t>(), begin, end, &layer_outputs);
-  if (end == program_.size()) {
+      codes.cast<std::int64_t>(), net_begin, net_end, &layer_outputs);
+  if (net_end == program_.network().layers.size()) {
     result.logits = final_out.to_vector();
   } else if (boundary_codes != nullptr) {
     *boundary_codes = final_out.cast<std::int32_t>();

@@ -173,6 +173,14 @@ std::int64_t flatten_transfer_cycles(std::int64_t numel, int time_steps,
   return ceil_div(numel * time_steps, timing.act_read_bits_per_cycle);
 }
 
+std::int64_t inter_device_transfer_cycles(std::int64_t bits,
+                                          std::int64_t link_bits_per_cycle,
+                                          std::int64_t setup_cycles) {
+  RSNN_REQUIRE(bits >= 0 && link_bits_per_cycle > 0 && setup_cycles >= 0);
+  if (bits == 0) return 0;
+  return setup_cycles + ceil_div(bits, link_bits_per_cycle);
+}
+
 std::int64_t naive_conv_act_reads_bits(const ConvDims& dims, int time_steps) {
   // Sliding-window dataflow: each output pixel individually fetches its
   // Kr x Kc x Cin window, for every output channel and time step.

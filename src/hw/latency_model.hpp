@@ -87,6 +87,14 @@ LayerLatency linear_latency(std::int64_t in_features, std::int64_t out_features,
 std::int64_t flatten_transfer_cycles(std::int64_t numel, int time_steps,
                                      const TimingParams& timing);
 
+/// Cycles to move `bits` of cut-tensor activations across an inter-device
+/// stream link of `link_bits_per_cycle` (plus a fixed per-transfer handshake
+/// cost) — the communication term the pipeline partitioners trade against
+/// bottleneck latency. Zero-bit transfers are free.
+std::int64_t inter_device_transfer_cycles(std::int64_t bits,
+                                          std::int64_t link_bits_per_cycle,
+                                          std::int64_t setup_cycles);
+
 /// Activation-buffer reads of a *naive* (sliding window, no row reuse)
 /// convolution dataflow, for the memory-access ablation: every output pixel
 /// re-reads its full Kr x Kc window.

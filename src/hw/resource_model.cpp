@@ -169,6 +169,11 @@ std::vector<ResourceEstimate> partition_resources(
     const ir::LayerProgram& program,
     const std::vector<ir::ProgramSegment>& segments) {
   RSNN_REQUIRE(!segments.empty(), "need at least one segment");
+  for (const ir::ProgramSegment& seg : segments)
+    RSNN_REQUIRE(!seg.is_relowered(),
+                 "partition_resources attributes the monolithic design and "
+                 "needs inherited segments; use relowered_resources for "
+                 "per-device partitions");
   const AcceleratorConfig& config = program.config();
 
   // Per-segment attribution weights: cycles spent per unit class and total.
@@ -223,6 +228,21 @@ std::vector<ResourceEstimate> partition_resources(
   RSNN_ENSURE(sum.luts == whole.luts && sum.flip_flops == whole.flip_flops &&
                   sum.bram_bits == whole.bram_bits,
               "segment resources do not sum to the monolithic design");
+  return out;
+}
+
+std::vector<ResourceEstimate> relowered_resources(
+    const std::vector<ir::ProgramSegment>& segments) {
+  RSNN_REQUIRE(!segments.empty(), "need at least one segment");
+  std::vector<ResourceEstimate> out;
+  out.reserve(segments.size());
+  for (const ir::ProgramSegment& seg : segments) {
+    RSNN_REQUIRE(seg.relowered != nullptr,
+                 "segment " << seg.index
+                            << " carries no re-lowered program (partition "
+                               "with SegmentLowering::kRelower)");
+    out.push_back(estimate_resources(*seg.relowered));
+  }
   return out;
 }
 

@@ -82,9 +82,20 @@ ResourceEstimate estimate_resources(const ir::LayerProgram& program);
 ///   * shared control, DRAM subsystem and activation-buffer BRAM: split in
 ///     proportion to total predicted segment cycles.
 /// Integer fields are distributed with the largest-remainder method so the
-/// sums are exact, not approximate.
+/// sums are exact, not approximate. Inherited segments only (a re-lowered
+/// partition is a set of independent designs — use relowered_resources).
 std::vector<ResourceEstimate> partition_resources(
     const ir::LayerProgram& program,
+    const std::vector<ir::ProgramSegment>& segments);
+
+/// Per-device resources of a *re-lowered* partition: each stage is a full
+/// design instance estimated from its own segment program (units, control,
+/// its own buffer plan, its own on-chip parameters, and the DRAM subsystem
+/// only where that stage still streams). Unlike partition_resources this is
+/// not an attribution of one monolithic design — sums are expected to
+/// differ from (typically beat) the monolithic estimate. Every segment must
+/// carry a re-lowered program.
+std::vector<ResourceEstimate> relowered_resources(
     const std::vector<ir::ProgramSegment>& segments);
 
 std::string to_string(const ResourceEstimate& estimate);

@@ -22,20 +22,32 @@ WeightFetchCost WeightMemory::fetch_layer(std::int64_t param_bits,
 
 std::vector<WeightPlacement> plan_placement(const quant::QuantizedNetwork& qnet,
                                             const MemoryConfig& config) {
+  return plan_placement(qnet, 0, qnet.layers.size(), config);
+}
+
+std::vector<WeightPlacement> plan_placement(const quant::QuantizedNetwork& qnet,
+                                            std::size_t begin, std::size_t end,
+                                            const MemoryConfig& config) {
+  RSNN_REQUIRE(begin < end && end <= qnet.layers.size(),
+               "layer range [" << begin << ", " << end << ") outside [0, "
+                               << qnet.layers.size() << ")");
   std::int64_t total_bits = 0;
-  for (const auto& layer : qnet.layers)
-    total_bits += ir::layer_param_bits(layer, qnet.weight_bits, qnet.time_bits);
+  for (std::size_t li = begin; li < end; ++li)
+    total_bits += ir::layer_param_bits(qnet.layers[li], qnet.weight_bits,
+                                       qnet.time_bits);
 
   const bool fits = total_bits <= config.weight_bram_bits;
   if (!fits)
-    RSNN_INFO("parameters (" << total_bits / 8 / 1024
-                             << " KiB) exceed BRAM budget ("
-                             << config.weight_bram_bits / 8 / 1024
-                             << " KiB): streaming from DRAM");
+    RSNN_INFO("parameters of layers [" << begin << ", " << end << ") ("
+                                       << total_bits / 8 / 1024
+                                       << " KiB) exceed BRAM budget ("
+                                       << config.weight_bram_bits / 8 / 1024
+                                       << " KiB): streaming from DRAM");
   std::vector<WeightPlacement> placement;
-  placement.reserve(qnet.layers.size());
-  for (const auto& layer : qnet.layers) {
-    const bool has_params = ir::layer_param_bits(layer, qnet.weight_bits,
+  placement.reserve(end - begin);
+  for (std::size_t li = begin; li < end; ++li) {
+    const bool has_params = ir::layer_param_bits(qnet.layers[li],
+                                                 qnet.weight_bits,
                                                  qnet.time_bits) > 0;
     placement.push_back(fits || !has_params ? WeightPlacement::kOnChip
                                             : WeightPlacement::kDram);

@@ -52,4 +52,13 @@ class WeightMemory {
 std::vector<WeightPlacement> plan_placement(const quant::QuantizedNetwork& qnet,
                                             const MemoryConfig& config);
 
+/// Per-layer placement for the layer range [begin, end) evaluated against
+/// one device's budget — the per-device planning rule behind segment
+/// re-lowering: only the range's own parameters compete for the BRAM pool,
+/// so a pipeline stage whose slice fits goes on chip even when the whole
+/// model would stream from DRAM. Returns end - begin entries.
+std::vector<WeightPlacement> plan_placement(const quant::QuantizedNetwork& qnet,
+                                            std::size_t begin, std::size_t end,
+                                            const MemoryConfig& config);
+
 }  // namespace rsnn::hw

@@ -111,65 +111,93 @@ LayerProgram lower(const quant::QuantizedNetwork& qnet) {
   return program;
 }
 
+void annotate_op(LayerOp& op, const hw::AcceleratorConfig& config,
+                 int time_bits, int weight_bits,
+                 hw::WeightPlacement placement) {
+  op.placement = placement;
+  switch (op.kind) {
+    case OpKind::kConv: {
+      const QConv2d& conv = *op.conv;
+      RSNN_REQUIRE(conv.kernel <= config.conv.kernel_rows,
+                   "conv kernel " << conv.kernel
+                                  << " does not fit unit with Y = "
+                                  << config.conv.kernel_rows);
+      hw::ConvDims dims{conv.in_channels, conv.out_channels,
+                        op.in_shape.dim(1), op.in_shape.dim(2),
+                        conv.kernel,        conv.stride,
+                        conv.padding};
+      op.latency =
+          hw::conv_latency(dims, config, time_bits, op.placement, weight_bits);
+      op.contending_units = static_cast<int>(std::min<std::int64_t>(
+          config.num_conv_units,
+          ceil_div(conv.out_channels, op.latency.channels_per_unit)));
+      op.unit = "conv_units[k=" + std::to_string(conv.kernel) + "]";
+      break;
+    }
+    case OpKind::kPool: {
+      RSNN_REQUIRE(op.pool->kernel <= config.pool.kernel_rows,
+                   "pool kernel does not fit pooling unit");
+      op.latency = hw::pool_latency(op.in_shape.dim(0), op.in_shape.dim(1),
+                                    op.in_shape.dim(2), op.pool->kernel,
+                                    config, time_bits);
+      op.unit = "pool_unit";
+      break;
+    }
+    case OpKind::kLinear: {
+      op.latency =
+          hw::linear_latency(op.linear->in_features, op.linear->out_features,
+                             config, time_bits, op.placement, weight_bits);
+      op.unit = "linear_unit";
+      break;
+    }
+    case OpKind::kFlatten: {
+      op.latency = hw::LayerLatency{};
+      op.latency.total_cycles = hw::flatten_transfer_cycles(
+          op.in_shape.numel(), time_bits, config.timing);
+      op.latency.compute_cycles = op.latency.total_cycles;
+      op.unit = "buffer transfer";
+      break;
+    }
+  }
+}
+
 LayerProgram lower(const quant::QuantizedNetwork& qnet,
                    const hw::AcceleratorConfig& config) {
-  LayerProgram program = lower(qnet);
+  return lower(qnet, 0, qnet.layers.size(), config);
+}
+
+LayerProgram lower(const quant::QuantizedNetwork& qnet, std::size_t begin,
+                   std::size_t end, const hw::AcceleratorConfig& config) {
+  const LayerProgram full = lower(qnet);
+  RSNN_REQUIRE(begin < end && end <= full.size(),
+               "op range [" << begin << ", " << end << ") outside [0, "
+                            << full.size() << ")");
+
+  LayerProgram program;
+  program.qnet_ = &qnet;
+  program.ops_.assign(full.ops_.begin() + static_cast<std::ptrdiff_t>(begin),
+                      full.ops_.begin() + static_cast<std::ptrdiff_t>(end));
+  program.entry_1d_ = entry_is_1d(full, begin);
   program.has_hw_ = true;
   program.config_ = config;
 
+  // Placement is planned against this range's own parameter footprint: the
+  // device runs only these ops, so only their parameters compete for BRAM.
   const std::vector<hw::WeightPlacement> placement =
-      hw::plan_placement(qnet, config.memory);
+      hw::plan_placement(qnet, begin, end, config.memory);
 
-  std::int64_t max2d = hw::activation_bits(qnet.input_shape, qnet.time_bits);
+  // Ping-pong buffers sized to the range's own feature maps, seeded with the
+  // activations entering the range (which land in the 1-D pair when the
+  // range starts downstream of the flatten transfer).
+  std::int64_t max2d = 0;
   std::int64_t max1d = 0;
+  const std::int64_t entry_bits =
+      hw::activation_bits(program.ops_.front().in_shape, qnet.time_bits);
+  (program.entry_1d_ ? max1d : max2d) = entry_bits;
 
-  for (LayerOp& op : program.ops_) {
-    op.placement = placement[static_cast<std::size_t>(op.layer_index)];
-    switch (op.kind) {
-      case OpKind::kConv: {
-        const QConv2d& conv = *op.conv;
-        RSNN_REQUIRE(conv.kernel <= config.conv.kernel_rows,
-                     "conv kernel " << conv.kernel
-                                    << " does not fit unit with Y = "
-                                    << config.conv.kernel_rows);
-        hw::ConvDims dims{conv.in_channels, conv.out_channels,
-                          op.in_shape.dim(1), op.in_shape.dim(2),
-                          conv.kernel,        conv.stride,
-                          conv.padding};
-        op.latency = hw::conv_latency(dims, config, qnet.time_bits,
-                                      op.placement, qnet.weight_bits);
-        op.contending_units = static_cast<int>(std::min<std::int64_t>(
-            config.num_conv_units,
-            ceil_div(conv.out_channels, op.latency.channels_per_unit)));
-        op.unit = "conv_units[k=" + std::to_string(conv.kernel) + "]";
-        break;
-      }
-      case OpKind::kPool: {
-        RSNN_REQUIRE(op.pool->kernel <= config.pool.kernel_rows,
-                     "pool kernel does not fit pooling unit");
-        op.latency = hw::pool_latency(op.in_shape.dim(0), op.in_shape.dim(1),
-                                      op.in_shape.dim(2), op.pool->kernel,
-                                      config, qnet.time_bits);
-        op.unit = "pool_unit";
-        break;
-      }
-      case OpKind::kLinear: {
-        op.latency = hw::linear_latency(op.linear->in_features,
-                                        op.linear->out_features, config,
-                                        qnet.time_bits, op.placement,
-                                        qnet.weight_bits);
-        op.unit = "linear_unit";
-        break;
-      }
-      case OpKind::kFlatten: {
-        op.latency = hw::LayerLatency{};
-        op.latency.total_cycles = hw::flatten_transfer_cycles(
-            op.in_shape.numel(), qnet.time_bits, config.timing);
-        op.latency.compute_cycles = op.latency.total_cycles;
-        op.unit = "buffer transfer";
-        break;
-      }
-    }
+  for (std::size_t pos = 0; pos < program.ops_.size(); ++pos) {
+    LayerOp& op = program.ops_[pos];
+    annotate_op(op, config, qnet.time_bits, qnet.weight_bits, placement[pos]);
     program.predicted_total_cycles_ += op.latency.total_cycles;
 
     const std::int64_t bits =
@@ -179,22 +207,32 @@ LayerProgram lower(const quant::QuantizedNetwork& qnet,
     else
       max2d = std::max(max2d, bits);
   }
-  program.buffer_plan_.buffer2d_bits_each = max2d;
+  program.buffer_plan_.buffer2d_bits_each = std::max<std::int64_t>(max2d, 1);
   program.buffer_plan_.buffer1d_bits_each = std::max<std::int64_t>(max1d, 1);
   return program;
 }
 
 bool entry_is_1d(const LayerProgram& program, std::size_t begin) {
   RSNN_REQUIRE(begin < program.size(), "entry op outside the program");
-  return begin > 0 && program.op(begin - 1).is_1d;
+  if (begin == 0) return program.entry_buffer_is_1d();
+  return program.op(begin - 1).is_1d;
 }
 
 std::vector<ProgramSegment> make_segments(
     const LayerProgram& program, const std::vector<std::size_t>& cuts) {
+  return make_segments(program, cuts, SegmentLowering::kInherit);
+}
+
+std::vector<ProgramSegment> make_segments(const LayerProgram& program,
+                                          const std::vector<std::size_t>& cuts,
+                                          SegmentLowering lowering) {
   RSNN_REQUIRE(program.size() > 0, "cannot segment an empty program");
   RSNN_REQUIRE(program.has_hw_annotations(),
                "segments need a hardware-lowered program (placement and "
                "latency aggregates)");
+  RSNN_REQUIRE(lowering == SegmentLowering::kInherit ||
+                   program.whole_network(),
+               "per-device re-lowering partitions a whole-network program");
   const std::size_t n_ops = program.size();
 
   std::vector<std::size_t> bounds;
@@ -210,6 +248,7 @@ std::vector<ProgramSegment> make_segments(
   }
   bounds.push_back(n_ops);
 
+  const int T = program.time_bits();
   std::vector<ProgramSegment> segments;
   segments.reserve(bounds.size() - 1);
   for (std::size_t s = 0; s + 1 < bounds.size(); ++s) {
@@ -221,8 +260,18 @@ std::vector<ProgramSegment> make_segments(
     seg.out_shape = program.op(seg.end - 1).out_shape;
     seg.in_is_1d = entry_is_1d(program, seg.begin);
     seg.final_segment = seg.end == n_ops;
+    seg.in_cut_bits = hw::activation_bits(seg.in_shape, T);
+    seg.out_cut_bits =
+        seg.final_segment ? 0 : hw::activation_bits(seg.out_shape, T);
+    if (lowering == SegmentLowering::kRelower)
+      seg.relowered = std::make_shared<const LayerProgram>(
+          relower_range(program, seg.begin, seg.end));
+    // Aggregates come from whichever annotations the segment will execute
+    // with: the monolithic program's (inherited) or its own (re-lowered).
     for (std::size_t li = seg.begin; li < seg.end; ++li) {
-      const LayerOp& op = program.op(li);
+      const LayerOp& op = seg.relowered != nullptr
+                              ? seg.relowered->op(li - seg.begin)
+                              : program.op(li);
       seg.predicted_cycles += op.latency.total_cycles;
       seg.param_bits += op.param_bits;
       if (op.placement == hw::WeightPlacement::kOnChip)
@@ -231,6 +280,15 @@ std::vector<ProgramSegment> make_segments(
     segments.push_back(std::move(seg));
   }
   return segments;
+}
+
+LayerProgram relower_range(const LayerProgram& program, std::size_t begin,
+                           std::size_t end) {
+  RSNN_REQUIRE(program.has_hw_annotations(),
+               "re-lowering needs a hardware-lowered source program");
+  RSNN_REQUIRE(program.whole_network(),
+               "re-lowering slices a whole-network program");
+  return lower(program.network(), begin, end, program.config());
 }
 
 ProgramSegment full_segment(const LayerProgram& program) {

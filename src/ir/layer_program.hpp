@@ -21,7 +21,9 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "hw/arch.hpp"
@@ -75,7 +77,11 @@ struct LayerOp {
 };
 
 /// The lowered program: typed ops plus (optionally) the hardware mapping
-/// they were scheduled onto.
+/// they were scheduled onto. A program may cover the whole network or — for
+/// per-device pipeline compilation — a contiguous sub-range of it
+/// (`lower(qnet, begin, end, config)`); ops always carry their original
+/// network layer index, so sub-programs compose with the network-level
+/// execution paths (forward_layers, RadixSnn::run_range).
 class LayerProgram {
  public:
   LayerProgram() = default;
@@ -90,6 +96,40 @@ class LayerProgram {
   const std::vector<LayerOp>& ops() const { return ops_; }
   std::size_t size() const { return ops_.size(); }
   const LayerOp& op(std::size_t index) const { return ops_.at(index); }
+
+  /// Network layer index of the program's first op (0 unless this is a
+  /// segment-scoped sub-program).
+  std::size_t network_begin() const {
+    RSNN_REQUIRE(!ops_.empty(), "empty LayerProgram");
+    return static_cast<std::size_t>(ops_.front().layer_index);
+  }
+  /// One past the network layer index of the program's last op.
+  std::size_t network_end() const {
+    RSNN_REQUIRE(!ops_.empty(), "empty LayerProgram");
+    return static_cast<std::size_t>(ops_.back().layer_index) + 1;
+  }
+  /// Network layer range covered by ops [begin, end) of this program — the
+  /// one place op positions translate to network layer indices (identity
+  /// for whole-network programs, offset for sub-programs). Engines use this
+  /// to drive the network-level execution paths (forward_layers,
+  /// RadixSnn::run_range).
+  std::pair<std::size_t, std::size_t> network_range(std::size_t begin,
+                                                    std::size_t end) const {
+    RSNN_REQUIRE(begin < end && end <= ops_.size(),
+                 "op range [" << begin << ", " << end << ") outside [0, "
+                              << ops_.size() << ")");
+    return {static_cast<std::size_t>(ops_[begin].layer_index),
+            static_cast<std::size_t>(ops_[end - 1].layer_index) + 1};
+  }
+
+  /// True when the program covers every layer of its network.
+  bool whole_network() const {
+    return !ops_.empty() && network_begin() == 0 &&
+           network_end() == network().layers.size();
+  }
+  /// True when the program's entry activations live in the 1-D buffer pair
+  /// (a sub-program starting downstream of the flatten transfer).
+  bool entry_buffer_is_1d() const { return entry_1d_; }
 
   /// True when lowered against an AcceleratorConfig (placement, latency and
   /// buffer sizing are populated).
@@ -114,10 +154,14 @@ class LayerProgram {
   friend LayerProgram lower(const quant::QuantizedNetwork& qnet);
   friend LayerProgram lower(const quant::QuantizedNetwork& qnet,
                             const hw::AcceleratorConfig& config);
+  friend LayerProgram lower(const quant::QuantizedNetwork& qnet,
+                            std::size_t begin, std::size_t end,
+                            const hw::AcceleratorConfig& config);
 
   const quant::QuantizedNetwork* qnet_ = nullptr;
   std::vector<LayerOp> ops_;
   bool has_hw_ = false;
+  bool entry_1d_ = false;
   hw::AcceleratorConfig config_;
   hw::BufferPlan buffer_plan_;
   std::int64_t predicted_total_cycles_ = 0;
@@ -135,15 +179,42 @@ LayerProgram lower(const quant::QuantizedNetwork& qnet);
 LayerProgram lower(const quant::QuantizedNetwork& qnet,
                    const hw::AcceleratorConfig& config);
 
+/// Segment-scoped hardware lowering: compile only the network layers
+/// [begin, end) against `config`, as if that op range were the whole model
+/// running on its own device. Weight placement is planned against the
+/// *segment's* parameter footprint (a stage whose parameters fit the BRAM
+/// budget gets on-chip placement even when the monolithic program streams
+/// from DRAM), the ping-pong buffers are sized to the segment's own feature
+/// maps, and every latency annotation reflects the per-device placement.
+/// The returned program's ops keep their network layer indices.
+LayerProgram lower(const quant::QuantizedNetwork& qnet, std::size_t begin,
+                   std::size_t end, const hw::AcceleratorConfig& config);
+
+/// Annotate one op in place — unit assignment, group phasing, latency and
+/// traffic — for the given placement on `config`. The single latency rule
+/// shared by whole-program lowering, segment re-lowering and the
+/// partitioner cost models.
+void annotate_op(LayerOp& op, const hw::AcceleratorConfig& config,
+                 int time_bits, int weight_bits,
+                 hw::WeightPlacement placement);
+
 /// One contiguous op range of a partitioned program — the unit of pipeline-
 /// parallel execution. The accelerator is a layer-wise dataflow machine, so
 /// any interior op boundary is a legal cut point; the interface crossing a
 /// cut is the requantized T-bit activation-code tensor of the upstream op
-/// (`in_shape` here, `out_shape` of the predecessor). Segments never re-lower
-/// the network: they inherit the monolithic program's placement and latency
-/// annotations, which is what keeps pipelined execution bit-identical to
-/// monolithic execution (per-device re-lowering is future work — see ROADMAP
-/// "partition-aware RTL generation").
+/// (`in_shape` here, `out_shape` of the predecessor).
+///
+/// Two lowering modes (make_segments' SegmentLowering):
+///   * inherited — the segment borrows the monolithic program's placement
+///     and latency annotations (`relowered` stays null). Pipelined execution
+///     is then bit-identical to monolithic execution including cycles.
+///   * re-lowered — the segment carries its own self-contained LayerProgram
+///     compiled against the device's hw::Config (`relowered` non-null):
+///     placement, buffer sizing and latency are planned per device, so a
+///     stage whose parameters fit its BRAM budget runs with on-chip weights
+///     even when the monolithic plan streams from DRAM. Logits stay
+///     bit-identical; per-stage cycles/resources are allowed (and expected)
+///     to improve.
 struct ProgramSegment {
   int index = 0;          ///< position of this segment in the pipeline
   std::size_t begin = 0;  ///< first op of the segment (inclusive)
@@ -154,13 +225,29 @@ struct ProgramSegment {
   bool in_is_1d = false;  ///< entry activations live in the 1-D buffer pair
   bool final_segment = false;  ///< contains the program's last op
 
-  // Aggregates over the segment's ops (valid on hardware-lowered programs):
+  // Cut interfaces in bits (numel * T of the activation-code tensor): what
+  // an inter-device stream link must carry per image. `out_cut_bits` is 0 on
+  // the final segment (logits leave through the host interface instead).
+  std::int64_t in_cut_bits = 0;
+  std::int64_t out_cut_bits = 0;
+
+  // Aggregates over the segment's ops (valid on hardware-lowered programs;
+  // computed from the re-lowered annotations when `relowered` is set):
   std::int64_t predicted_cycles = 0;   ///< sum of per-op latency annotations
   std::int64_t param_bits = 0;         ///< total parameter storage
   std::int64_t onchip_param_bits = 0;  ///< parameters placed in BRAM
 
+  /// The segment's own per-device program (null in inherited mode). Shared
+  /// so copies of the segment — and the stage engines borrowing the program
+  /// — stay valid however the segment vector is moved around.
+  std::shared_ptr<const LayerProgram> relowered;
+
   std::size_t size() const { return end - begin; }
+  bool is_relowered() const { return relowered != nullptr; }
 };
+
+/// How make_segments annotates the produced segments (see ProgramSegment).
+enum class SegmentLowering { kInherit, kRelower };
 
 /// True when execution entering the program at op `begin` reads the 1-D
 /// activation buffer pair (the op sits downstream of the flatten transfer).
@@ -172,8 +259,19 @@ bool entry_is_1d(const LayerProgram& program, std::size_t begin);
 /// (strictly increasing, each in (0, size())): `cuts = {3, 5}` yields the
 /// segments [0,3), [3,5), [5,size()). An empty cut list yields the single
 /// whole-program segment. Throws ContractViolation on invalid cuts.
+/// With SegmentLowering::kRelower each segment additionally carries its own
+/// per-device program (`lower(network, begin, end, config)`), and the
+/// segment aggregates reflect the re-lowered placement and latency.
 std::vector<ProgramSegment> make_segments(const LayerProgram& program,
                                           const std::vector<std::size_t>& cuts);
+std::vector<ProgramSegment> make_segments(const LayerProgram& program,
+                                          const std::vector<std::size_t>& cuts,
+                                          SegmentLowering lowering);
+
+/// Re-lower one op range of a whole-network program against its own config:
+/// shorthand for lower(program.network(), begin, end, program.config()).
+LayerProgram relower_range(const LayerProgram& program, std::size_t begin,
+                           std::size_t end);
 
 /// The trivial partition: one segment covering the whole program.
 ProgramSegment full_segment(const LayerProgram& program);

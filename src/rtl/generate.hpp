@@ -24,8 +24,10 @@
 
 #include <map>
 #include <string>
+#include <vector>
 
 #include "hw/arch.hpp"
+#include "ir/layer_program.hpp"
 #include "quant/qnetwork.hpp"
 
 namespace rsnn::rtl {
@@ -51,5 +53,43 @@ SourceBundle generate_design_with_weights(const hw::AcceleratorConfig& config,
 
 /// Write a bundle to `directory` (created if needed). Returns file count.
 int write_bundle(const SourceBundle& bundle, const std::string& directory);
+
+// ------------------------------------------------- per-segment bundles
+//
+// Multi-FPGA deployment of a partitioned program: one self-contained RTL
+// bundle per pipeline segment, each generated from the segment's *own*
+// re-lowered program (its per-device weight placement and buffer plan, not
+// the monolithic plan). Every stage top exposes explicit inter-device
+// stream interfaces — ready/valid ports whose data width is the cut
+// activation-code width (one T-bit radix code per beat) — plus a
+// machine-readable manifest pinning the op coverage and cut geometry.
+
+struct PipelineBundleOptions {
+  std::string top_name = "rsnn_accel";
+  /// Emit the $readmemh weight images for the stage's conv/linear ops. Turn
+  /// off for very large models when only the structure is needed.
+  bool include_weights = true;
+};
+
+/// One pipeline stage's RTL bundle.
+struct StageBundle {
+  int stage = 0;
+  std::size_t op_begin = 0;  ///< network op range covered by this stage
+  std::size_t op_end = 0;
+  SourceBundle files;
+};
+
+/// Emit one Verilog bundle per segment of a partitioned program. Segments
+/// that already carry a re-lowered program (SegmentLowering::kRelower) use
+/// it; inherited segments are re-lowered here, because a per-device bundle
+/// is by definition compiled against its own device.
+std::vector<StageBundle> generate_pipeline_bundles(
+    const ir::LayerProgram& program,
+    const std::vector<ir::ProgramSegment>& segments,
+    const PipelineBundleOptions& options = {});
+
+/// Write stage bundles into `<directory>/stage<k>/`. Returns total files.
+int write_pipeline_bundles(const std::vector<StageBundle>& bundles,
+                           const std::string& directory);
 
 }  // namespace rsnn::rtl

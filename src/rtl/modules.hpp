@@ -34,4 +34,9 @@ std::string emit_pingpong_buffer();
 std::string emit_top(const hw::AcceleratorConfig& config,
                      const std::string& top_name);
 
+/// Generic ready/valid stream endpoint (single-entry skid buffer): the
+/// inter-device link primitive the per-segment pipeline bundles instantiate
+/// on both sides of every cut.
+std::string emit_stream_endpoint();
+
 }  // namespace rsnn::rtl

@@ -1,10 +1,16 @@
 // RTL generator: structural well-formedness of the emitted SystemVerilog
-// and consistency between the bundle and the design configuration.
+// and consistency between the bundle and the design configuration —
+// including the per-segment pipeline bundles (op coverage, stream-interface
+// widths matching the cut tensors).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 
+#include "compiler/partition.hpp"
+#include "nn/zoo.hpp"
 #include "quant/quantize.hpp"
 #include "rtl/generate.hpp"
 #include "test_helpers.hpp"
@@ -152,6 +158,170 @@ TEST(RtlGenerate, RejectsBadOptions) {
   bad.time_steps = 4;
   bad.weight_bits = 1;
   EXPECT_THROW(generate_design(test_config(), bad), ContractViolation);
+}
+
+// ------------------------------------------------- per-segment bundles
+
+/// Network op indices listed by a stage manifest's `op <i> ...` lines.
+std::vector<int> manifest_ops(const std::string& manifest) {
+  std::vector<int> ops;
+  std::istringstream is(manifest);
+  std::string line;
+  while (std::getline(is, line))
+    if (line.rfind("op ", 0) == 0) ops.push_back(std::stoi(line.substr(3)));
+  return ops;
+}
+
+const std::string& stage_manifest(const StageBundle& stage) {
+  return stage.files.at("stage" + std::to_string(stage.stage) +
+                        "_manifest.txt");
+}
+
+/// Every op appears in exactly one stage bundle, in order, covering
+/// [0, n_ops) with no gaps; stream-interface parameters match each cut
+/// tensor's code width (T bits per beat) and element count.
+void expect_bundles_cover_program(
+    const std::vector<StageBundle>& bundles,
+    const std::vector<ir::ProgramSegment>& segments,
+    const ir::LayerProgram& program, const std::string& top_name) {
+  ASSERT_EQ(bundles.size(), segments.size());
+  const int T = program.time_bits();
+
+  std::vector<int> covered;
+  for (std::size_t s = 0; s < bundles.size(); ++s) {
+    const StageBundle& stage = bundles[s];
+    const ir::ProgramSegment& seg = segments[s];
+    EXPECT_EQ(stage.op_begin, seg.begin);
+    EXPECT_EQ(stage.op_end, seg.end);
+
+    const std::vector<int> ops = manifest_ops(stage_manifest(stage));
+    ASSERT_EQ(ops.size(), seg.size()) << "stage " << s;
+    for (std::size_t i = 0; i < ops.size(); ++i)
+      EXPECT_EQ(ops[i], static_cast<int>(seg.begin + i)) << "stage " << s;
+    covered.insert(covered.end(), ops.begin(), ops.end());
+
+    const std::string stage_top =
+        top_name + "_stage" + std::to_string(stage.stage);
+    ASSERT_TRUE(stage.files.count(stage_top + ".sv")) << stage_top;
+    const std::string& top = stage.files.at(stage_top + ".sv");
+
+    // Ingress stream: one T-bit activation code per beat, cut-tensor many.
+    EXPECT_NE(top.find("IN_CODE_W    = " + std::to_string(T)),
+              std::string::npos)
+        << stage_top;
+    EXPECT_NE(top.find("IN_CUT_ELEMS = " +
+                       std::to_string(seg.in_shape.numel())),
+              std::string::npos)
+        << stage_top;
+    EXPECT_NE(top.find("IN_CUT_BITS  = " + std::to_string(seg.in_cut_bits)),
+              std::string::npos)
+        << stage_top;
+    EXPECT_NE(top.find("[IN_CODE_W-1:0]    s_cut_data"), std::string::npos)
+        << stage_top;
+
+    if (seg.final_segment) {
+      EXPECT_NE(top.find("m_logit_valid"), std::string::npos) << stage_top;
+      EXPECT_EQ(top.find("m_cut_valid"), std::string::npos) << stage_top;
+    } else {
+      EXPECT_NE(top.find("OUT_CODE_W    = " + std::to_string(T)),
+                std::string::npos)
+          << stage_top;
+      EXPECT_NE(top.find("OUT_CUT_ELEMS = " +
+                         std::to_string(seg.out_shape.numel())),
+                std::string::npos)
+          << stage_top;
+      EXPECT_NE(top.find("[OUT_CODE_W-1:0]   m_cut_data"), std::string::npos)
+          << stage_top;
+    }
+
+    // The stage top carries its re-lowered device plan as parameters.
+    if (seg.relowered != nullptr) {
+      EXPECT_NE(top.find("BUF2D_BITS_EACH = " +
+                         std::to_string(
+                             seg.relowered->buffer_plan().buffer2d_bits_each)),
+                std::string::npos)
+          << stage_top;
+      EXPECT_NE(top.find("WEIGHTS_ON_CHIP = 1'b" +
+                         std::string(seg.relowered->uses_dram() ? "0" : "1")),
+                std::string::npos)
+          << stage_top;
+    }
+
+    // Every stage is a self-contained project: core design, the stream
+    // endpoint primitive, and a filelist naming the stage top.
+    EXPECT_TRUE(stage.files.count("stream_endpoint.sv"));
+    EXPECT_TRUE(stage.files.count("rsnn_pkg.sv"));
+    EXPECT_TRUE(stage.files.count(stage_top + "_core.sv"));
+    ASSERT_TRUE(stage.files.count(stage_top + ".f"));
+    EXPECT_NE(stage.files.at(stage_top + ".f").find(stage_top + ".sv"),
+              std::string::npos);
+    EXPECT_EQ(count_token(top, "module"), count_token(top, "endmodule"))
+        << stage_top;
+  }
+
+  // Exactly-once coverage of the whole program.
+  std::vector<int> expected(program.size());
+  for (std::size_t i = 0; i < program.size(); ++i)
+    expected[i] = static_cast<int>(i);
+  EXPECT_EQ(covered, expected);
+}
+
+TEST(RtlPipeline, LeNetTwoStageBundlesCoverEveryOpOnce) {
+  Rng rng(11);
+  nn::Network lenet = nn::make_lenet5();
+  lenet.init_params(rng);
+  const auto qnet = quant::quantize(lenet, quant::QuantizeConfig{3, 4});
+  const ir::LayerProgram program =
+      ir::lower(qnet, hw::lenet_reference_config());
+
+  const auto segments = compiler::partition_balance_latency(
+      program, 2, compiler::PartitionOptions{});
+  const auto bundles = generate_pipeline_bundles(program, segments);
+  expect_bundles_cover_program(bundles, segments, program, "rsnn_accel");
+
+  // Weight images land in exactly the stage owning the op.
+  int weight_files = 0;
+  for (const StageBundle& stage : bundles)
+    for (const auto& [name, contents] : stage.files)
+      if (name.rfind("weights_layer", 0) == 0) {
+        ++weight_files;
+        EXPECT_FALSE(contents.empty()) << name;
+        const int layer = std::stoi(name.substr(13));
+        EXPECT_GE(layer, static_cast<int>(stage.op_begin)) << name;
+        EXPECT_LT(layer, static_cast<int>(stage.op_end)) << name;
+      }
+  int param_ops = 0;
+  for (const ir::LayerOp& op : program.ops())
+    if (op.kind == ir::OpKind::kConv || op.kind == ir::OpKind::kLinear)
+      ++param_ops;
+  EXPECT_EQ(weight_files, param_ops);
+}
+
+TEST(RtlPipeline, Vgg11FourStageBundlesMatchCutTensors) {
+  Rng rng(13);
+  nn::Network vgg = nn::make_vgg11();
+  vgg.init_params(rng);
+  const auto qnet = quant::quantize(vgg, quant::QuantizeConfig{3, 3});
+  const ir::LayerProgram program =
+      ir::lower(qnet, hw::vgg11_table3_config());
+
+  const auto segments = compiler::partition_balance_latency(
+      program, 4, compiler::PartitionOptions{});
+  ASSERT_EQ(segments.size(), 4u);
+  PipelineBundleOptions options;
+  options.include_weights = false;  // 28.5M parameters: structure only
+  const auto bundles = generate_pipeline_bundles(program, segments, options);
+  expect_bundles_cover_program(bundles, segments, program, "rsnn_accel");
+
+  for (const StageBundle& stage : bundles) {
+    for (const auto& [name, _] : stage.files)
+      EXPECT_EQ(name.rfind("weights_layer", 0), std::string::npos) << name;
+    // The manifest records the re-lowered device plan and cut geometry.
+    const std::string& manifest = stage_manifest(stage);
+    EXPECT_NE(manifest.find("in_cut elems="), std::string::npos);
+    EXPECT_NE(manifest.find("code_bits=3"), std::string::npos);
+    EXPECT_NE(manifest.find("device dram="), std::string::npos);
+  }
 }
 
 }  // namespace

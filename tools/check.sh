@@ -39,18 +39,40 @@ run_config "Release" build-check-release -DCMAKE_BUILD_TYPE=Release
 run_config "Release+RSNN_CHECKED" build-check-checked \
     -DCMAKE_BUILD_TYPE=Release -DRSNN_CHECKED=ON
 
-# 3. Sanitizer pass (ASan + UBSan): builds only the threaded executor tests
-#    and runs them instrumented, validating the pipeline executor's bounded
-#    queues / worker threads and the streaming pool for memory and UB errors
-#    without paying for a full sanitized suite run.
+# 3. RTL-emission smoke: generate the per-segment bundles for a 2-stage
+#    LeNet pipeline and assert every stage directory holds a non-empty
+#    stage top, manifest and filelist (catches emitter regressions that the
+#    unit tests' in-memory checks could miss at the filesystem boundary).
+echo "==== [Release] RTL emission smoke (2-stage LeNet bundles) ===="
+RTL_SMOKE_DIR="$(mktemp -d)"
+cmake --build build-check-release -j "$JOBS" --target generate_rtl
+./build-check-release/generate_rtl "$RTL_SMOKE_DIR" 2 2 > /dev/null
+for stage in stage0 stage1; do
+  for f in rsnn_accel_"$stage".sv "$stage"_manifest.txt rsnn_accel_"$stage".f \
+           stream_endpoint.sv; do
+    if [ ! -s "$RTL_SMOKE_DIR/$stage/$f" ]; then
+      echo "==== RTL smoke FAILED: $stage/$f missing or empty ===="
+      rm -rf "$RTL_SMOKE_DIR"
+      exit 1
+    fi
+  done
+done
+rm -rf "$RTL_SMOKE_DIR"
+echo "==== RTL emission smoke passed ===="
+
+# 4. Sanitizer pass (ASan + UBSan): builds only the threaded executor tests
+#    plus the re-lowering suite and runs them instrumented, validating the
+#    pipeline executor's bounded queues / worker threads, the streaming pool
+#    and the per-device re-lowering path for memory and UB errors without
+#    paying for a full sanitized suite run.
 echo "==== [Release+RSNN_SANITIZE] configure ===="
 cmake -B build-check-sanitize -S . \
     -DCMAKE_BUILD_TYPE=Release -DRSNN_SANITIZE=ON
 echo "==== [Release+RSNN_SANITIZE] build (threaded executor tests) ===="
 cmake --build build-check-sanitize -j "$JOBS" \
-    --target test_pipeline test_equivalence_packed
+    --target test_pipeline test_equivalence_packed test_relower
 echo "==== [Release+RSNN_SANITIZE] ctest ===="
 ctest --test-dir build-check-sanitize --output-on-failure -j "$JOBS" \
-    -R 'test_pipeline|test_equivalence_packed'
+    -R 'test_pipeline|test_equivalence_packed|test_relower'
 
 echo "==== all configurations passed ===="

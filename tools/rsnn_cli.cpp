@@ -6,8 +6,10 @@
 //   rsnn_cli run     --qsnn lenet.qsnn [--units 2] [--mhz 100] [--samples 200]
 //                    [--engine cycle_accurate|analytic|behavioral|reference]
 //                    [--stream <workers>]
-//                    [--pipeline <stages> [--partition balance_latency|fit_resources]]
+//                    [--pipeline <stages> [--partition balance_latency|fit_resources]
+//                     [--relower 1]]
 //   rsnn_cli emit-rtl --qsnn lenet.qsnn --out rtl_out [--units 2]
+//                    [--pipeline <stages> [--partition ...]]
 //   rsnn_cli info    --qsnn lenet.qsnn
 //
 // Datasets: real MNIST from ./data/mnist when present, SynthDigits stand-in
@@ -206,33 +208,67 @@ int cmd_run(int argc, char** argv) {
 
   // Optional pipeline-parallel report: partition the program into stages
   // (one simulated accelerator per stage) and stream the eval set through
-  // them. Results are bit-identical to monolithic execution; throughput
-  // scales with the pipeline depth up to the bottleneck stage.
-  const int pipeline_stages = std::stoi(get(args, "pipeline", "0"));
-  if (pipeline_stages > 0) {
+  // them. Logits are bit-identical to monolithic execution; with --relower 1
+  // each stage is re-compiled against its own device (per-stage placement
+  // and cycles improve wherever a stage's weights fit its BRAM budget).
+  if (args.count("pipeline") != 0) {
+    const std::string partition_name_arg =
+        get(args, "partition", "balance_latency");
+    int pipeline_stages = 0;
+    const std::string request_error = compiler::validate_pipeline_request(
+        design.program, get(args, "pipeline", "0"), partition_name_arg,
+        &pipeline_stages);
+    if (!request_error.empty()) {
+      std::fprintf(stderr, "error: %s\n", request_error.c_str());
+      return 1;
+    }
     const compiler::PartitionStrategy strategy =
-        compiler::parse_partition(get(args, "partition", "balance_latency"));
-    const auto segments = compiler::partition_program(
-        design.program, strategy, pipeline_stages);
-    const auto seg_resources =
-        hw::partition_resources(design.program, segments);
+        compiler::parse_partition(partition_name_arg);
+    const bool relower = get(args, "relower", "0") != "0";
 
-    std::printf("\npipeline (%s, %zu stage%s):\n",
+    std::vector<ir::ProgramSegment> segments;
+    std::vector<hw::ResourceEstimate> seg_resources;
+    if (relower) {
+      compiler::PartitionOptions options;
+      segments = compiler::partition_program(design.program, strategy,
+                                             pipeline_stages, options);
+      seg_resources = hw::relowered_resources(segments);
+    } else {
+      segments = compiler::partition_program(design.program, strategy,
+                                             pipeline_stages);
+      seg_resources = hw::partition_resources(design.program, segments);
+    }
+
+    std::printf("\npipeline (%s, %zu stage%s, %s placement):\n",
                 compiler::partition_name(strategy), segments.size(),
-                segments.size() == 1 ? "" : "s");
-    if (segments.size() != static_cast<std::size_t>(pipeline_stages))
-      std::printf(
-          "  note: fit_resources packs under the per-device weight-memory "
-          "budget and chose %zu stage(s); --pipeline %d sets the stage count "
-          "only for balance_latency\n",
-          segments.size(), pipeline_stages);
+                segments.size() == 1 ? "" : "s",
+                relower ? "re-lowered per-device" : "inherited");
+    if (segments.size() != static_cast<std::size_t>(pipeline_stages)) {
+      if (relower)
+        std::printf(
+            "  note: fit_resources packs under the per-device budget and "
+            "chose %zu stage(s) within the %d available device(s); an exact "
+            "stage count applies only to balance_latency\n",
+            segments.size(), pipeline_stages);
+      else
+        std::printf(
+            "  note: fit_resources packs under the per-device weight-memory "
+            "budget and chose %zu stage(s); --pipeline %d sets the stage "
+            "count only for balance_latency\n",
+            segments.size(), pipeline_stages);
+    }
     for (std::size_t s = 0; s < segments.size(); ++s) {
       const ir::ProgramSegment& seg = segments[s];
+      const char* placement =
+          seg.param_bits == 0 || seg.onchip_param_bits == seg.param_bits
+              ? "onchip"
+              : (seg.onchip_param_bits == 0 ? "dram" : "mixed");
       std::printf(
-          "  stage %zu: ops [%zu, %zu)  ~%lld cycles  %lld KiB params  %s\n",
+          "  stage %zu: ops [%zu, %zu)  ~%lld cycles  %lld KiB params  "
+          "%-6s  %s\n",
           s, seg.begin, seg.end,
           static_cast<long long>(seg.predicted_cycles),
-          static_cast<long long>(seg.param_bits / 8 / 1024),
+          static_cast<long long>(seg.param_bits / 8 / 1024), placement,
           hw::to_string(seg_resources[s]).c_str());
     }
 
@@ -254,9 +290,34 @@ int cmd_emit_rtl(int argc, char** argv) {
   compiler::CompileOptions options;
   options.num_conv_units = std::stoi(get(args, "units", "2"));
   const auto design = compiler::compile(qnet, options);
+  const std::string dir = get(args, "out", "rtl_out");
+
+  // Partitioned emission: one bundle per pipeline stage, each re-lowered
+  // against its own device and wrapped with inter-device stream interfaces.
+  if (args.count("pipeline") != 0) {
+    const std::string partition_name_arg =
+        get(args, "partition", "balance_latency");
+    int pipeline_stages = 0;
+    const std::string request_error = compiler::validate_pipeline_request(
+        design.program, get(args, "pipeline", "0"), partition_name_arg,
+        &pipeline_stages);
+    if (!request_error.empty()) {
+      std::fprintf(stderr, "error: %s\n", request_error.c_str());
+      return 1;
+    }
+    const auto segments = compiler::partition_program(
+        design.program, compiler::parse_partition(partition_name_arg),
+        pipeline_stages, compiler::PartitionOptions{});
+    const auto bundles =
+        rtl::generate_pipeline_bundles(design.program, segments);
+    const int written = rtl::write_pipeline_bundles(bundles, dir);
+    std::printf("wrote %d RTL files across %zu stage bundles to %s/\n",
+                written, bundles.size(), dir.c_str());
+    return 0;
+  }
+
   const auto bundle =
       rtl::generate_design_with_weights(design.config, qnet, "rsnn_accel");
-  const std::string dir = get(args, "out", "rtl_out");
   const int written = rtl::write_bundle(bundle, dir);
   std::printf("wrote %d RTL files to %s/\n", written, dir.c_str());
   return 0;
@@ -285,7 +346,9 @@ void usage() {
       "            [--engine cycle_accurate|analytic|behavioral|reference]\n"
       "            [--stream <workers>]  (0 = one per hardware thread)\n"
       "            [--pipeline <stages>] [--partition balance_latency|fit_resources]\n"
+      "            [--relower 1]  (re-compile each stage against its own device)\n"
       "  emit-rtl  --qsnn m.qsnn --out rtl_out [--units 2]\n"
+      "            [--pipeline <stages>]  (per-stage bundles with stream ports)\n"
       "  info      --qsnn m.qsnn\n");
 }
 
