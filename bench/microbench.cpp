@@ -6,10 +6,12 @@
 // Two modes:
 //   * default — google-benchmark registrations (when the library is
 //     available at configure time).
-//   * --json <path> [--samples N] — self-contained chrono timing of the
-//     inference paths, written as machine-readable JSON (BENCH_*.json
-//     style) so successive PRs can compare ns/inference. This mode needs
-//     only the standard library.
+//   * --json <path> [--samples N] [--tiny] — self-contained chrono timing
+//     of the inference paths, written as machine-readable JSON
+//     (BENCH_*.json style) so successive PRs can compare ns/inference.
+//     This mode needs only the standard library. --tiny restricts the run
+//     to the small-network and encoding entries (seconds, not minutes —
+//     the CI bench-smoke tier).
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -97,13 +99,13 @@ double time_ns_per_call(int samples, Fn&& fn) {
          samples;
 }
 
-int run_json_mode(const std::string& path, int samples) {
+int run_json_mode(const std::string& path, int samples, bool tiny) {
   std::vector<BenchResult> results;
   Rng rng(4);
 
   // The acceptance workload: LeNet-5 at T=8 on the paper's reference
-  // configuration, cycle-accurate and analytic.
-  {
+  // configuration, cycle-accurate and analytic. Skipped by --tiny.
+  if (!tiny) {
     const auto qnet = make_lenet_qnet(8);
     hw::Accelerator accel(hw::lenet_reference_config(), qnet);
     const TensorF image = random_image(Shape{1, 32, 32}, rng);
@@ -197,7 +199,7 @@ int run_json_mode(const std::string& path, int samples) {
   // re-compiled against its own device, so the early stages hold their
   // weights on chip instead of inheriting the monolithic DRAM-streaming
   // plan. Analytic engine — the standard path at VGG scale.
-  {
+  if (!tiny) {
     Rng vrng(9);
     nn::Network vgg = nn::make_vgg11();
     vgg.init_params(vrng);
@@ -427,13 +429,16 @@ BENCHMARK(BM_LatencyPrediction);
 int main(int argc, char** argv) {
   std::string json_path;
   int samples = 20;
+  bool tiny = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
       json_path = argv[++i];
     else if (std::strcmp(argv[i], "--samples") == 0 && i + 1 < argc)
       samples = std::max(1, std::atoi(argv[++i]));
+    else if (std::strcmp(argv[i], "--tiny") == 0)
+      tiny = true;
   }
-  if (!json_path.empty()) return run_json_mode(json_path, samples);
+  if (!json_path.empty()) return run_json_mode(json_path, samples, tiny);
 
 #ifndef RSNN_NO_GOOGLE_BENCHMARK
   benchmark::Initialize(&argc, argv);

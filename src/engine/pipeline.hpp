@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "engine/engine.hpp"
+#include "engine/submitter.hpp"
 #include "hw/accelerator.hpp"
 #include "ir/layer_program.hpp"
 
@@ -50,7 +51,7 @@ struct PipelineStats {
   double ns_per_inference = 0.0;  ///< wall time / images (aggregate)
 };
 
-class PipelineExecutor {
+class PipelineExecutor : public Submitter {
  public:
   /// Spawns one persistent worker per segment, each constructing its own
   /// stage engine of `kind` on its own thread. `segments` must be a
@@ -74,6 +75,19 @@ class PipelineExecutor {
   /// Encode float images (values in [0,1)) and run them.
   std::vector<hw::AccelRunResult> run_pipeline_images(
       const std::vector<TensorF>& images);
+
+  // Submitter: a pipelined serving replica — its segments must cover the
+  // whole program (the constructor already enforces that), one simulated
+  // device per stage.
+  std::vector<hw::AccelRunResult> submit(
+      const std::vector<TensorI>& codes) override {
+    return run_pipeline(codes);
+  }
+  int lanes() const override { return stages(); }
+  std::string shape() const override {
+    return "pipeline(" + std::to_string(stages()) + ")";
+  }
+  int devices() const override { return stages(); }
 
   const PipelineStats& last_stats() const { return stats_; }
   int stages() const { return static_cast<int>(segments_.size()); }

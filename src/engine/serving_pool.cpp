@@ -1,0 +1,328 @@
+#include "engine/serving_pool.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace rsnn::engine {
+
+const char* policy_name(AdmissionPolicy policy) {
+  switch (policy) {
+    case AdmissionPolicy::kFifo: return "fifo";
+    case AdmissionPolicy::kBatch: return "batch";
+    case AdmissionPolicy::kReject: return "reject";
+  }
+  RSNN_REQUIRE(false, "unreachable admission policy");
+  return "";
+}
+
+AdmissionPolicy parse_policy(const std::string& name) {
+  if (name == "fifo") return AdmissionPolicy::kFifo;
+  if (name == "batch") return AdmissionPolicy::kBatch;
+  if (name == "reject") return AdmissionPolicy::kReject;
+  RSNN_REQUIRE(false, "unknown admission policy '"
+                          << name << "' (expected fifo, batch or reject)");
+  return AdmissionPolicy::kFifo;
+}
+
+std::string policy_parse_error(const std::string& name) {
+  if (name == "fifo" || name == "batch" || name == "reject") return "";
+  return "unknown admission policy '" + name +
+         "' (expected fifo, batch or reject)";
+}
+
+ServingPool::ServingPool(const ir::LayerProgram& program, EngineKind kind,
+                         ServingPoolOptions options)
+    : program_(program), kind_(kind), options_(std::move(options)) {
+  RSNN_REQUIRE(program.has_hw_annotations(),
+               "serving needs a hardware-lowered program");
+  RSNN_REQUIRE(options_.replicas >= 1,
+               "serving pool needs at least one replica, got "
+                   << options_.replicas);
+  RSNN_REQUIRE(options_.workers_per_replica >= 1,
+               "workers_per_replica must be >= 1, got "
+                   << options_.workers_per_replica);
+  RSNN_REQUIRE(
+      options_.queue_capacity >= 1 ||
+          options_.policy == AdmissionPolicy::kReject,
+      "a zero-capacity admission queue is only legal with the reject "
+      "policy (every request would block forever under "
+          << policy_name(options_.policy) << ")");
+  if (options_.policy == AdmissionPolicy::kBatch) {
+    RSNN_REQUIRE(options_.max_batch >= 1,
+                 "batch policy needs max_batch >= 1, got "
+                     << options_.max_batch);
+    RSNN_REQUIRE(options_.max_wait_ms >= 0.0,
+                 "batch policy needs max_wait_ms >= 0, got "
+                     << options_.max_wait_ms);
+  }
+
+  // Replicas are constructed here (not on the dispatcher threads) so an
+  // invalid configuration — e.g. segments that do not cover the program —
+  // fails the constructor instead of failing every future request. The
+  // executors still build their engines on their own worker threads.
+  stats_.per_replica.assign(static_cast<std::size_t>(options_.replicas), 0);
+  replicas_.reserve(static_cast<std::size_t>(options_.replicas));
+  for (int r = 0; r < options_.replicas; ++r)
+    replicas_.push_back(make_submitter(program_, kind_, options_.segments,
+                                       options_.workers_per_replica,
+                                       options_.stage_queue_capacity));
+
+  replica_threads_.reserve(replicas_.size());
+  try {
+    for (std::size_t r = 0; r < replicas_.size(); ++r)
+      replica_threads_.emplace_back([this, r] { replica_main(r); });
+  } catch (...) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    cv_not_empty_.notify_all();
+    for (std::thread& thread : replica_threads_) thread.join();
+    throw;
+  }
+}
+
+ServingPool::~ServingPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  // Admitted work is drained, not dropped: dispatchers keep pulling until
+  // the queue is empty, so every promise handed out by submit() is kept.
+  cv_not_empty_.notify_all();
+  cv_not_full_.notify_all();
+  for (std::thread& thread : replica_threads_) thread.join();
+}
+
+int ServingPool::devices() const {
+  const int per_replica = options_.segments.empty()
+                              ? 1
+                              : static_cast<int>(options_.segments.size());
+  return replicas() * per_replica;
+}
+
+std::string ServingPool::replica_shape() const {
+  return replicas_.front()->shape();
+}
+
+bool ServingPool::admit(TensorI&& codes,
+                        std::future<hw::AccelRunResult>* ticket,
+                        bool blocking) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (blocking)
+    cv_not_full_.wait(lock, [&] {
+      return closed_ || queue_.size() < options_.queue_capacity;
+    });
+  if (closed_ || queue_.size() >= options_.queue_capacity) {
+    ++stats_.rejected;
+    return false;
+  }
+  Request request;
+  request.codes = std::move(codes);
+  request.admitted = std::chrono::steady_clock::now();
+  *ticket = request.promise.get_future();
+  ++stats_.submitted;
+  if (!saw_admit_) {
+    saw_admit_ = true;
+    first_admit_ = request.admitted;
+  }
+  queue_.push_back(std::move(request));
+  cv_not_empty_.notify_one();
+  return true;
+}
+
+std::future<hw::AccelRunResult> ServingPool::submit(TensorI codes) {
+  std::future<hw::AccelRunResult> ticket;
+  const bool blocking = options_.policy != AdmissionPolicy::kReject;
+  admit(std::move(codes), &ticket, blocking);
+  return ticket;  // invalid when the request was shed
+}
+
+bool ServingPool::try_submit(TensorI codes,
+                             std::future<hw::AccelRunResult>* ticket) {
+  RSNN_REQUIRE(ticket != nullptr, "try_submit needs a ticket out-param");
+  return admit(std::move(codes), ticket, /*blocking=*/false);
+}
+
+std::vector<ServingPool::Request> ServingPool::acquire_work() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_not_empty_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+  if (queue_.empty()) return {};  // closed and drained: dispatcher exits
+
+  // Every pop must wake blocked producers immediately: under the batch
+  // policy the accumulation loop below *waits for the queue to refill*, so
+  // a producer stuck on cv_not_full_ while this dispatcher holds freed
+  // capacity would deadlock the batch until the deadline.
+  std::vector<Request> work;
+  work.push_back(std::move(queue_.front()));
+  queue_.pop_front();
+  cv_not_full_.notify_all();
+
+  if (options_.policy == AdmissionPolicy::kBatch && options_.max_batch > 1) {
+    // Accumulate until the batch fills or the *oldest* request's deadline
+    // expires — a deadline that passes with one pending item dispatches
+    // that item alone rather than holding it for company.
+    const auto deadline =
+        work.front().admitted +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double, std::milli>(options_.max_wait_ms));
+    while (work.size() < options_.max_batch) {
+      if (!queue_.empty()) {
+        work.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+        cv_not_full_.notify_all();
+        continue;
+      }
+      if (closed_) break;
+      const bool signalled = cv_not_empty_.wait_until(
+          lock, deadline, [&] { return closed_ || !queue_.empty(); });
+      if (!signalled) break;  // deadline expired
+    }
+  }
+  return work;
+}
+
+std::int64_t ServingPool::worst_stage_cycles(
+    const hw::AccelRunResult& result) const {
+  if (options_.segments.empty()) return result.total_cycles;
+  std::int64_t worst = 0;
+  for (const ir::ProgramSegment& segment : options_.segments) {
+    std::int64_t stage = 0;
+    for (std::size_t op = segment.begin;
+         op < segment.end && op < result.layers.size(); ++op)
+      stage += result.layers[op].cycles;
+    worst = std::max(worst, stage);
+  }
+  return worst;
+}
+
+void ServingPool::record_dispatch(std::size_t replica_index,
+                                  std::size_t count,
+                                  const std::vector<double>& latencies_ms,
+                                  std::int64_t worst_cycles, bool failed) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.dispatches;
+  stats_.per_replica[replica_index] += static_cast<std::int64_t>(count);
+  if (failed) {
+    stats_.failed += static_cast<std::int64_t>(count);
+  } else {
+    stats_.completed += static_cast<std::int64_t>(count);
+    latencies_ms_.insert(latencies_ms_.end(), latencies_ms.begin(),
+                         latencies_ms.end());
+    stats_.bottleneck_cycles = std::max(stats_.bottleneck_cycles, worst_cycles);
+  }
+  last_complete_ = std::chrono::steady_clock::now();
+}
+
+void ServingPool::replica_main(std::size_t replica_index) {
+  Submitter& replica = *replicas_[replica_index];
+  for (;;) {
+    std::vector<Request> work = acquire_work();
+    if (work.empty()) return;
+
+    std::vector<TensorI> codes;
+    codes.reserve(work.size());
+    for (Request& request : work) codes.push_back(std::move(request.codes));
+
+    std::vector<hw::AccelRunResult> results;
+    std::exception_ptr error;
+    try {
+      results = replica.submit(codes);
+    } catch (...) {
+      error = std::current_exception();
+    }
+
+    // Record the dispatch in the pool statistics *before* fulfilling the
+    // promises: a caller that observes a resolved future must also observe
+    // its completion in stats().
+    std::vector<double> latencies_ms;
+    std::int64_t worst_cycles = 0;
+    if (!error) {
+      const auto done = std::chrono::steady_clock::now();
+      latencies_ms.reserve(work.size());
+      for (std::size_t i = 0; i < work.size(); ++i) {
+        latencies_ms.push_back(
+            std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+                done - work[i].admitted)
+                .count());
+        worst_cycles = std::max(worst_cycles, worst_stage_cycles(results[i]));
+      }
+    }
+    record_dispatch(replica_index, work.size(), latencies_ms, worst_cycles,
+                    error != nullptr);
+    for (std::size_t i = 0; i < work.size(); ++i) {
+      if (error)
+        work[i].promise.set_exception(error);
+      else
+        work[i].promise.set_value(std::move(results[i]));
+    }
+  }
+}
+
+ServingPool::BatchRun ServingPool::run_batch(
+    const std::vector<TensorI>& codes) {
+  BatchRun run;
+  run.results.resize(codes.size());
+  run.accepted.assign(codes.size(), false);
+  std::vector<std::future<hw::AccelRunResult>> tickets(codes.size());
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    tickets[i] = submit(codes[i]);
+    run.accepted[i] = tickets[i].valid();
+  }
+  for (std::size_t i = 0; i < codes.size(); ++i)
+    if (run.accepted[i]) run.results[i] = tickets[i].get();
+  return run;
+}
+
+namespace {
+double percentile(std::vector<double> sorted_samples, double q) {
+  if (sorted_samples.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(sorted_samples.size() - 1));
+  return sorted_samples[rank];
+}
+}  // namespace
+
+void ServingPool::reset_stats() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  stats_ = ServingStats{};
+  stats_.per_replica.assign(replicas_.size(), 0);
+  latencies_ms_.clear();
+  saw_admit_ = false;
+}
+
+ServingStats ServingPool::stats() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  ServingStats out = stats_;
+  std::vector<double> samples = latencies_ms_;
+  const bool windowed = saw_admit_ && (out.completed + out.failed) > 0;
+  const double wall_s =
+      windowed ? std::chrono::duration_cast<std::chrono::duration<double>>(
+                     last_complete_ - first_admit_)
+                     .count()
+               : 0.0;
+  lock.unlock();
+
+  std::sort(samples.begin(), samples.end());
+  out.p50_latency_ms = percentile(samples, 0.50);
+  out.p99_latency_ms = percentile(samples, 0.99);
+  out.mean_batch = out.dispatches > 0
+                       ? static_cast<double>(out.completed + out.failed) /
+                             static_cast<double>(out.dispatches)
+                       : 0.0;
+  out.wall_ms = wall_s * 1e3;
+  out.wall_images_per_sec =
+      wall_s > 0.0 ? static_cast<double>(out.completed) / wall_s : 0.0;
+  if (out.bottleneck_cycles > 0) {
+    const double image_s = static_cast<double>(out.bottleneck_cycles) *
+                           program_.config().cycle_ns() * 1e-9;
+    out.modeled_images_per_sec =
+        static_cast<double>(replicas()) / image_s;
+  }
+  return out;
+}
+
+}  // namespace rsnn::engine

@@ -1,0 +1,206 @@
+// ServingPool: replicated serving of a lowered LayerProgram behind one
+// bounded admission queue.
+//
+// PR 3/4 made the pipeline segment the unit of compilation and execution;
+// this module combines those pipeline stages with data-parallel replication,
+// which is how the paper's accelerator would serve heavy traffic: a fleet of
+// N identical deployments (each a monolithic device or a K-stage multi-FPGA
+// pipeline), all fed from a single admission queue.
+//
+//     clients --> [ bounded admission queue | policy ] --> replica 0
+//                                                      --> replica 1
+//                                                      --> ...
+//
+// Every replica is a Submitter (engine-agnostic: StreamingExecutor or
+// PipelineExecutor), owned by one dispatcher thread that pulls work from the
+// queue per the admission policy:
+//   * kFifo   — dispatch requests one at a time in arrival order; a full
+//     queue blocks the producer (backpressure by blocking).
+//   * kBatch  — accumulate up to max_batch requests before dispatching, but
+//     never hold the oldest request past its max-wait deadline: a deadline
+//     that expires with a single pending item dispatches that item alone.
+//     A full queue blocks the producer.
+//   * kReject — FIFO dispatch, but a full queue rejects new work immediately
+//     (submit() returns an invalid future) instead of blocking — the
+//     load-shedding policy for latency-sensitive front ends.
+//
+// Correctness contract: results are bit-identical to monolithic execution
+// for every replica shape and policy (tests/test_serving.cpp cross-checks
+// logits across pool configurations). Shutdown is graceful: work that was
+// admitted is always completed — the destructor drains the queue before
+// joining the dispatchers, so futures obtained from submit() remain valid
+// across pool destruction.
+//
+// Throughput accounting: the pool records wall-clock per-request latency
+// (admission to completion — queueing plus service) and derives p50/p99, and
+// models the *hardware* fleet throughput from the replicas' measured cycle
+// counts: replicas * clock / bottleneck-stage cycles. On a simulator host
+// with few cores the wall-clock numbers measure the simulator, while the
+// modeled numbers measure the deployment being simulated; the serving
+// benchmarks report both.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/engine.hpp"
+#include "engine/submitter.hpp"
+#include "hw/accelerator.hpp"
+#include "ir/layer_program.hpp"
+
+namespace rsnn::engine {
+
+enum class AdmissionPolicy { kFifo, kBatch, kReject };
+
+/// Canonical policy name: "fifo" / "batch" / "reject".
+const char* policy_name(AdmissionPolicy policy);
+
+/// Parse a policy name; throws ContractViolation on unknown names.
+AdmissionPolicy parse_policy(const std::string& name);
+
+/// Friendly one-line diagnostic for a policy name the CLI cannot parse;
+/// empty when `name` is valid.
+std::string policy_parse_error(const std::string& name);
+
+struct ServingPoolOptions {
+  /// Identical replicas behind the queue (>= 1).
+  int replicas = 1;
+  /// Replica shape: a K-stage pipeline over these segments when non-empty
+  /// (must cover the whole program), a monolithic engine otherwise.
+  std::vector<ir::ProgramSegment> segments;
+  /// Streaming workers per monolithic replica (ignored for pipelined
+  /// replicas, whose lanes are their stages).
+  int workers_per_replica = 1;
+  /// Inter-stage queue depth inside each pipelined replica.
+  std::size_t stage_queue_capacity = 4;
+
+  /// Admission-queue capacity in requests. Must be >= 1 for the blocking
+  /// policies; 0 is legal only with kReject (every request is shed — the
+  /// drain-for-maintenance configuration).
+  std::size_t queue_capacity = 64;
+  AdmissionPolicy policy = AdmissionPolicy::kFifo;
+  /// kBatch: dispatch as soon as this many requests accumulated (>= 1).
+  std::size_t max_batch = 8;
+  /// kBatch: never hold the oldest pending request longer than this.
+  double max_wait_ms = 1.0;
+};
+
+/// Cumulative pool statistics (since construction). Latency percentiles are
+/// wall-clock admission-to-completion times; the modeled fields translate
+/// the replicas' cycle counts into deployed-fleet hardware throughput.
+struct ServingStats {
+  std::int64_t submitted = 0;   ///< admitted requests
+  std::int64_t rejected = 0;    ///< shed by kReject backpressure
+  std::int64_t completed = 0;
+  std::int64_t failed = 0;      ///< completed exceptionally
+  std::int64_t dispatches = 0;  ///< batches handed to replicas
+  double mean_batch = 0.0;      ///< (completed + failed) / dispatches
+  double wall_ms = 0.0;         ///< first admission to last completion
+  double wall_images_per_sec = 0.0;    ///< simulator wall-clock throughput
+  double p50_latency_ms = 0.0;  ///< wall-clock, queueing + service
+  double p99_latency_ms = 0.0;
+  /// Modeled hardware throughput of the replicated deployment:
+  /// replicas * clock_hz / bottleneck_cycles, from measured per-image stage
+  /// cycles (0 until a request completes).
+  double modeled_images_per_sec = 0.0;
+  std::int64_t bottleneck_cycles = 0;  ///< worst measured stage, per image
+  std::vector<std::int64_t> per_replica;  ///< images served by each replica
+};
+
+class ServingPool {
+ public:
+  /// Spawns `options.replicas` dispatcher threads, each owning one replica
+  /// (make_submitter over `program` / `options.segments`). The program (and
+  /// its network, and any re-lowered segment programs) must outlive the
+  /// pool.
+  ServingPool(const ir::LayerProgram& program, EngineKind kind,
+              ServingPoolOptions options);
+  ~ServingPool();
+  ServingPool(const ServingPool&) = delete;
+  ServingPool& operator=(const ServingPool&) = delete;
+
+  /// Admit one request of pre-encoded activation codes. Blocks while the
+  /// queue is full under kFifo/kBatch; under kReject a full queue sheds the
+  /// request and returns an invalid future (future.valid() == false).
+  std::future<hw::AccelRunResult> submit(TensorI codes);
+
+  /// Non-blocking admission under any policy: returns false (and leaves
+  /// `ticket` untouched) when the queue is full or the pool is shutting
+  /// down.
+  bool try_submit(TensorI codes, std::future<hw::AccelRunResult>* ticket);
+
+  /// Convenience: submit the whole batch (per the pool's policy), wait for
+  /// every admitted request, and return results index-aligned with `codes`.
+  /// `accepted[i]` is false for requests shed by kReject; their result slot
+  /// is default-constructed.
+  struct BatchRun {
+    std::vector<hw::AccelRunResult> results;
+    std::vector<bool> accepted;
+  };
+  BatchRun run_batch(const std::vector<TensorI>& codes);
+
+  /// Snapshot of the cumulative statistics (percentiles computed here).
+  ServingStats stats() const;
+
+  /// Zero the cumulative statistics — e.g. after a warm-up batch, so a
+  /// measurement window excludes cold-start engine construction.
+  void reset_stats();
+
+  int replicas() const { return static_cast<int>(replica_threads_.size()); }
+  /// Simulated devices across the fleet (replicas * stages-or-1).
+  int devices() const;
+  EngineKind kind() const { return kind_; }
+  const ServingPoolOptions& options() const { return options_; }
+  /// Shape of replica 0 (all replicas are identical), e.g. "pipeline(2)".
+  std::string replica_shape() const;
+
+ private:
+  struct Request {
+    TensorI codes;
+    std::promise<hw::AccelRunResult> promise;
+    std::chrono::steady_clock::time_point admitted;
+  };
+
+  void replica_main(std::size_t replica_index);
+  /// Pop the next dispatch per the admission policy; empty once the pool is
+  /// closed and drained.
+  std::vector<Request> acquire_work();
+  bool admit(TensorI&& codes, std::future<hw::AccelRunResult>* ticket,
+             bool blocking);
+  void record_dispatch(std::size_t replica_index, std::size_t count,
+                       const std::vector<double>& latencies_ms,
+                       std::int64_t worst_stage_cycles, bool failed);
+  /// Worst per-stage cycle count of one completed image (total cycles for a
+  /// monolithic replica) — the measured pipeline bottleneck.
+  std::int64_t worst_stage_cycles(const hw::AccelRunResult& result) const;
+
+  const ir::LayerProgram& program_;
+  EngineKind kind_;
+  const ServingPoolOptions options_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_not_empty_;
+  std::condition_variable cv_not_full_;
+  std::deque<Request> queue_;
+  bool closed_ = false;
+
+  // Statistics, guarded by mutex_.
+  ServingStats stats_;
+  std::vector<double> latencies_ms_;
+  std::chrono::steady_clock::time_point first_admit_;
+  std::chrono::steady_clock::time_point last_complete_;
+  bool saw_admit_ = false;
+
+  std::vector<std::unique_ptr<Submitter>> replicas_;
+  std::vector<std::thread> replica_threads_;
+};
+
+}  // namespace rsnn::engine

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "engine/engine.hpp"
+#include "engine/submitter.hpp"
 #include "hw/accelerator.hpp"
 #include "ir/layer_program.hpp"
 
@@ -40,7 +41,7 @@ struct StreamStats {
   double ns_per_inference = 0.0;  ///< wall time / images (aggregate, not per-image latency)
 };
 
-class StreamingExecutor {
+class StreamingExecutor : public Submitter {
  public:
   /// Spawns `num_workers` persistent workers (hardware concurrency when
   /// <= 0), each constructing its own engine of `kind` over `program`.
@@ -58,6 +59,18 @@ class StreamingExecutor {
   /// Encode float images (values in [0,1)) and run them.
   std::vector<hw::AccelRunResult> run_stream_images(
       const std::vector<TensorF>& images);
+
+  // Submitter: a monolithic serving replica — one simulated device, its
+  // workers time-sharing it.
+  std::vector<hw::AccelRunResult> submit(
+      const std::vector<TensorI>& codes) override {
+    return run_stream(codes);
+  }
+  int lanes() const override { return workers(); }
+  std::string shape() const override {
+    return "stream(" + std::to_string(workers()) + ")";
+  }
+  int devices() const override { return 1; }
 
   const StreamStats& last_stats() const { return stats_; }
   int workers() const { return static_cast<int>(threads_.size()); }

@@ -1,0 +1,18 @@
+#include "engine/submitter.hpp"
+
+#include "engine/pipeline.hpp"
+#include "engine/stream.hpp"
+
+namespace rsnn::engine {
+
+std::unique_ptr<Submitter> make_submitter(
+    const ir::LayerProgram& program, EngineKind kind,
+    const std::vector<ir::ProgramSegment>& segments, int workers,
+    std::size_t queue_capacity) {
+  if (segments.empty())
+    return std::make_unique<StreamingExecutor>(program, kind, workers);
+  return std::make_unique<PipelineExecutor>(program, segments, kind,
+                                            queue_capacity);
+}
+
+}  // namespace rsnn::engine

@@ -1,0 +1,62 @@
+// Submitter: the uniform batch-submission interface a serving replica runs
+// behind.
+//
+// A replica of the serving pool (engine::ServingPool) is one independent copy
+// of the accelerator deployment — either a monolithic engine fronted by a
+// StreamingExecutor worker pool, or a PipelineExecutor spreading the program's
+// ProgramSegments across K simulated devices. The pool does not care which:
+// both executors implement this interface, so replica shape is a construction-
+// time choice (make_submitter) and the admission/dispatch machinery is written
+// once against Submitter.
+//
+// Contract: submit() runs a batch of pre-encoded activation codes end to end
+// through the whole program and returns results index-aligned with the input,
+// bit-identical to monolithic single-image execution (the executors' own
+// equivalence guarantees carry over). Submitters are not reentrant — one
+// submit() at a time per instance; the pool gives each replica its own.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hw/accelerator.hpp"
+#include "ir/layer_program.hpp"
+
+namespace rsnn::engine {
+
+enum class EngineKind;
+
+class Submitter {
+ public:
+  virtual ~Submitter() = default;
+
+  /// Run a batch of pre-encoded activation codes through the replica;
+  /// results are index-aligned with `codes`.
+  virtual std::vector<hw::AccelRunResult> submit(
+      const std::vector<TensorI>& codes) = 0;
+
+  /// Execution lanes backing the replica: streaming workers, or pipeline
+  /// stages.
+  virtual int lanes() const = 0;
+
+  /// Short human-readable replica shape, e.g. "stream(1)" or "pipeline(3)".
+  virtual std::string shape() const = 0;
+
+  /// Simulated devices this replica occupies (1 for a monolithic replica,
+  /// one per stage for a pipelined one).
+  virtual int devices() const = 0;
+};
+
+/// Build one serving replica over `program`: a PipelineExecutor when
+/// `segments` is non-empty (one device per segment), otherwise a monolithic
+/// StreamingExecutor with `workers` persistent workers. `queue_capacity`
+/// bounds the pipeline's inter-stage queues (ignored for monolithic
+/// replicas). The program — and, for re-lowered segments, the segment vector's
+/// shared per-device programs — must outlive the submitter.
+std::unique_ptr<Submitter> make_submitter(
+    const ir::LayerProgram& program, EngineKind kind,
+    const std::vector<ir::ProgramSegment>& segments, int workers = 1,
+    std::size_t queue_capacity = 4);
+
+}  // namespace rsnn::engine

@@ -1,0 +1,511 @@
+// Replicated serving: every pool configuration (replica count x replica
+// shape x admission policy) must produce logits bit-identical to monolithic
+// execution, the admission queue must survive concurrent producers and honor
+// its edge cases (zero capacity, shutdown with in-flight work, batch
+// deadline with a single pending item), and plan_serving must pick the
+// predicted-throughput-optimal stages x replicas split.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+#include "compiler/partition.hpp"
+#include "engine/engine.hpp"
+#include "engine/serving_pool.hpp"
+#include "engine/submitter.hpp"
+#include "hw/accelerator.hpp"
+#include "nn/zoo.hpp"
+#include "quant/quantize.hpp"
+#include "test_helpers.hpp"
+
+namespace rsnn::engine {
+namespace {
+
+/// LeNet-5 at T=4 on the paper's reference design — the acceptance workload.
+struct LeNetFixture {
+  quant::QuantizedNetwork qnet;
+  ir::LayerProgram program;
+
+  LeNetFixture() {
+    Rng rng(2024);
+    nn::Network lenet = nn::make_lenet5();
+    lenet.init_params(rng);
+    qnet = quant::quantize(lenet, quant::QuantizeConfig{3, 4});
+    program = ir::lower(qnet, hw::lenet_reference_config());
+  }
+};
+
+std::vector<TensorI> lenet_batch(int count, int T) {
+  Rng rng(99);
+  std::vector<TensorI> codes;
+  for (int i = 0; i < count; ++i)
+    codes.push_back(quant::encode_activations(
+        rsnn::testing::random_image(Shape{1, 32, 32}, rng), T));
+  return codes;
+}
+
+std::vector<hw::AccelRunResult> monolithic_reference(
+    const ir::LayerProgram& program, EngineKind kind,
+    const std::vector<TensorI>& batch) {
+  auto engine = make_engine(kind, program);
+  std::vector<hw::AccelRunResult> results;
+  for (const TensorI& codes : batch) results.push_back(engine->run_codes(codes));
+  return results;
+}
+
+// ------------------------------------------------------ policy parsing
+
+TEST(AdmissionPolicyNames, RoundTripAndErrors) {
+  EXPECT_EQ(parse_policy("fifo"), AdmissionPolicy::kFifo);
+  EXPECT_EQ(parse_policy("batch"), AdmissionPolicy::kBatch);
+  EXPECT_EQ(parse_policy("reject"), AdmissionPolicy::kReject);
+  EXPECT_STREQ(policy_name(AdmissionPolicy::kFifo), "fifo");
+  EXPECT_STREQ(policy_name(AdmissionPolicy::kBatch), "batch");
+  EXPECT_STREQ(policy_name(AdmissionPolicy::kReject), "reject");
+  EXPECT_TRUE(policy_parse_error("batch").empty());
+  EXPECT_FALSE(policy_parse_error("lifo").empty());
+  EXPECT_THROW(parse_policy("lifo"), ContractViolation);
+  EXPECT_THROW(parse_policy(""), ContractViolation);
+}
+
+// ----------------------------------------------------- submitter facade
+
+TEST(Submitter, StreamAndPipelineSharesOneInterface) {
+  const LeNetFixture fx;
+  const auto batch = lenet_batch(2, fx.qnet.time_bits);
+  const auto reference =
+      monolithic_reference(fx.program, EngineKind::kReference, batch);
+
+  auto monolithic =
+      make_submitter(fx.program, EngineKind::kReference, {}, /*workers=*/2);
+  EXPECT_EQ(monolithic->shape(), "stream(2)");
+  EXPECT_EQ(monolithic->lanes(), 2);
+  EXPECT_EQ(monolithic->devices(), 1);
+
+  const auto segments = compiler::partition_balance_latency(fx.program, 3);
+  auto pipelined =
+      make_submitter(fx.program, EngineKind::kReference, segments);
+  EXPECT_EQ(pipelined->shape(), "pipeline(3)");
+  EXPECT_EQ(pipelined->lanes(), 3);
+  EXPECT_EQ(pipelined->devices(), 3);
+
+  for (Submitter* submitter : {monolithic.get(), pipelined.get()}) {
+    const auto results = submitter->submit(batch);
+    ASSERT_EQ(results.size(), batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      EXPECT_EQ(results[i].logits, reference[i].logits) << submitter->shape();
+      EXPECT_EQ(results[i].predicted_class, reference[i].predicted_class);
+    }
+  }
+}
+
+// ------------------------------------ pool equivalence (acceptance)
+
+/// Every pool configuration must serve bit-identical logits: the pool adds
+/// admission and replication, never arithmetic.
+TEST(ServingPool, CrossChecksLogitsAcrossConfigurations) {
+  const LeNetFixture fx;
+  const auto batch = lenet_batch(6, fx.qnet.time_bits);
+  const auto reference =
+      monolithic_reference(fx.program, EngineKind::kReference, batch);
+
+  struct Config {
+    const char* label;
+    int replicas;
+    int stages;
+    AdmissionPolicy policy;
+  };
+  const std::vector<Config> configs = {
+      {"2 monolithic replicas, fifo", 2, 1, AdmissionPolicy::kFifo},
+      {"1 three-stage pipeline, fifo", 1, 3, AdmissionPolicy::kFifo},
+      {"2 two-stage pipelines, fifo", 2, 2, AdmissionPolicy::kFifo},
+      {"2 monolithic replicas, batch", 2, 1, AdmissionPolicy::kBatch},
+      {"2 two-stage pipelines, batch", 2, 2, AdmissionPolicy::kBatch},
+  };
+
+  for (const Config& config : configs) {
+    SCOPED_TRACE(config.label);
+    ServingPoolOptions options;
+    options.replicas = config.replicas;
+    options.policy = config.policy;
+    options.max_wait_ms = 0.5;
+    if (config.stages > 1)
+      options.segments =
+          compiler::partition_balance_latency(fx.program, config.stages);
+    ServingPool pool(fx.program, EngineKind::kReference, options);
+    EXPECT_EQ(pool.replicas(), config.replicas);
+    EXPECT_EQ(pool.devices(), config.replicas * config.stages);
+
+    const auto run = pool.run_batch(batch);
+    ASSERT_EQ(run.results.size(), batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      EXPECT_TRUE(run.accepted[i]);
+      EXPECT_EQ(run.results[i].logits, reference[i].logits) << "image " << i;
+      EXPECT_EQ(run.results[i].predicted_class, reference[i].predicted_class);
+      EXPECT_EQ(run.results[i].total_cycles, reference[i].total_cycles);
+      EXPECT_EQ(run.results[i].total_adder_ops, reference[i].total_adder_ops);
+    }
+
+    const ServingStats stats = pool.stats();
+    EXPECT_EQ(stats.completed, static_cast<std::int64_t>(batch.size()));
+    EXPECT_EQ(stats.rejected, 0);
+    std::int64_t served = 0;
+    for (const std::int64_t count : stats.per_replica) served += count;
+    EXPECT_EQ(served, static_cast<std::int64_t>(batch.size()));
+    EXPECT_GT(stats.wall_images_per_sec, 0.0);
+    EXPECT_GT(stats.modeled_images_per_sec, 0.0);
+    EXPECT_GT(stats.bottleneck_cycles, 0);
+    EXPECT_LE(stats.p50_latency_ms, stats.p99_latency_ms);
+  }
+}
+
+TEST(ServingPool, CycleAccurateReplicatedPipelineMatchesMonolithic) {
+  const LeNetFixture fx;
+  const auto batch = lenet_batch(3, fx.qnet.time_bits);
+  const auto reference =
+      monolithic_reference(fx.program, EngineKind::kCycleAccurate, batch);
+
+  ServingPoolOptions options;
+  options.replicas = 2;
+  options.segments = compiler::partition_balance_latency(fx.program, 2);
+  ServingPool pool(fx.program, EngineKind::kCycleAccurate, options);
+
+  const auto run = pool.run_batch(batch);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(run.results[i].logits, reference[i].logits) << "image " << i;
+    EXPECT_EQ(run.results[i].total_cycles, reference[i].total_cycles);
+    EXPECT_EQ(run.results[i].total_adder_ops, reference[i].total_adder_ops);
+    EXPECT_EQ(run.results[i].dram_bits, reference[i].dram_bits);
+  }
+}
+
+TEST(ServingPool, RelowereedPipelineReplicasKeepLogits) {
+  // Re-lowered stages run their own per-device programs: logits must stay
+  // bit-identical even though per-stage cycles may differ from monolithic.
+  const LeNetFixture fx;
+  const auto batch = lenet_batch(2, fx.qnet.time_bits);
+  const auto reference =
+      monolithic_reference(fx.program, EngineKind::kAnalytic, batch);
+
+  ServingPoolOptions options;
+  options.replicas = 2;
+  options.segments = compiler::partition_balance_latency(
+      fx.program, 2, compiler::PartitionOptions{});
+  ASSERT_TRUE(options.segments.front().is_relowered());
+  ServingPool pool(fx.program, EngineKind::kAnalytic, options);
+
+  const auto run = pool.run_batch(batch);
+  for (std::size_t i = 0; i < batch.size(); ++i)
+    EXPECT_EQ(run.results[i].logits, reference[i].logits) << "image " << i;
+}
+
+// ------------------------------------------------ queue concurrency
+
+TEST(ServingPool, ConcurrentProducersHammerABoundedQueue) {
+  // Four producers race 8 submissions each into a capacity-2 queue feeding
+  // two replicas: every request must be admitted (FIFO blocks, never drops)
+  // and come back with the right logits for *its* image.
+  const LeNetFixture fx;
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 8;
+  const auto batch =
+      lenet_batch(kProducers * kPerProducer, fx.qnet.time_bits);
+  const auto reference =
+      monolithic_reference(fx.program, EngineKind::kReference, batch);
+
+  ServingPoolOptions options;
+  options.replicas = 2;
+  options.queue_capacity = 2;
+  ServingPool pool(fx.program, EngineKind::kReference, options);
+
+  std::vector<std::vector<std::future<hw::AccelRunResult>>> tickets(
+      kProducers);
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p)
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i)
+        tickets[p].push_back(pool.submit(batch[p * kPerProducer + i]));
+    });
+  for (std::thread& producer : producers) producer.join();
+
+  for (int p = 0; p < kProducers; ++p)
+    for (int i = 0; i < kPerProducer; ++i) {
+      ASSERT_TRUE(tickets[p][i].valid()) << "producer " << p << " item " << i;
+      const hw::AccelRunResult result = tickets[p][i].get();
+      EXPECT_EQ(result.logits, reference[p * kPerProducer + i].logits)
+          << "producer " << p << " item " << i;
+    }
+  const ServingStats stats = pool.stats();
+  EXPECT_EQ(stats.completed, kProducers * kPerProducer);
+  EXPECT_EQ(stats.rejected, 0);
+}
+
+// --------------------------------------------------- queue edge cases
+
+TEST(ServingPool, ZeroCapacityQueueRejectsEverything) {
+  const LeNetFixture fx;
+  const auto batch = lenet_batch(3, fx.qnet.time_bits);
+
+  ServingPoolOptions options;
+  options.queue_capacity = 0;
+  options.policy = AdmissionPolicy::kReject;
+  ServingPool pool(fx.program, EngineKind::kReference, options);
+
+  for (const TensorI& codes : batch) {
+    auto ticket = pool.submit(codes);
+    EXPECT_FALSE(ticket.valid());
+  }
+  std::future<hw::AccelRunResult> ticket;
+  EXPECT_FALSE(pool.try_submit(batch[0], &ticket));
+
+  const ServingStats stats = pool.stats();
+  EXPECT_EQ(stats.submitted, 0);
+  EXPECT_EQ(stats.rejected, 4);
+  EXPECT_EQ(stats.completed, 0);
+
+  // A zero-capacity queue under a blocking policy would deadlock every
+  // producer; the pool refuses to construct it.
+  ServingPoolOptions blocking;
+  blocking.queue_capacity = 0;
+  blocking.policy = AdmissionPolicy::kFifo;
+  EXPECT_THROW(ServingPool(fx.program, EngineKind::kReference, blocking),
+               ContractViolation);
+}
+
+TEST(ServingPool, RejectPolicyShedsUnderBurst) {
+  // A burst far faster than one replica drains a capacity-1 queue must shed
+  // at least one request, and everything admitted still completes.
+  const LeNetFixture fx;
+  const auto batch = lenet_batch(1, fx.qnet.time_bits);
+
+  ServingPoolOptions options;
+  options.queue_capacity = 1;
+  options.policy = AdmissionPolicy::kReject;
+  ServingPool pool(fx.program, EngineKind::kReference, options);
+
+  std::vector<std::future<hw::AccelRunResult>> tickets;
+  for (int i = 0; i < 16; ++i) tickets.push_back(pool.submit(batch[0]));
+
+  std::int64_t accepted = 0;
+  for (auto& ticket : tickets)
+    if (ticket.valid()) {
+      EXPECT_FALSE(ticket.get().logits.empty());
+      ++accepted;
+    }
+  const ServingStats stats = pool.stats();
+  EXPECT_EQ(stats.submitted, accepted);
+  EXPECT_EQ(stats.rejected, 16 - accepted);
+  EXPECT_GE(stats.rejected, 1) << "a 16-deep burst into a capacity-1 queue "
+                                  "should overflow";
+  EXPECT_EQ(stats.completed, accepted);
+}
+
+TEST(ServingPool, ShutdownWithInFlightWorkKeepsEveryPromise) {
+  // Destroying the pool right after admission must drain, not drop: every
+  // future obtained from submit() yields its result after the pool is gone.
+  const LeNetFixture fx;
+  const auto batch = lenet_batch(4, fx.qnet.time_bits);
+  const auto reference =
+      monolithic_reference(fx.program, EngineKind::kReference, batch);
+
+  std::vector<std::future<hw::AccelRunResult>> tickets;
+  {
+    ServingPool pool(fx.program, EngineKind::kReference,
+                     ServingPoolOptions{});
+    for (const TensorI& codes : batch) tickets.push_back(pool.submit(codes));
+  }  // destructor runs with (likely) queued work
+
+  for (std::size_t i = 0; i < tickets.size(); ++i) {
+    ASSERT_TRUE(tickets[i].valid());
+    EXPECT_EQ(tickets[i].get().logits, reference[i].logits) << "image " << i;
+  }
+}
+
+TEST(ServingPool, BatchDeadlineExpiryDispatchesASingleItem) {
+  // One lonely request under batch-accumulate: the max-wait deadline, not a
+  // full batch, must release it — alone.
+  const LeNetFixture fx;
+  const auto batch = lenet_batch(1, fx.qnet.time_bits);
+
+  ServingPoolOptions options;
+  options.policy = AdmissionPolicy::kBatch;
+  options.max_batch = 8;
+  options.max_wait_ms = 5.0;
+  ServingPool pool(fx.program, EngineKind::kReference, options);
+
+  auto ticket = pool.submit(batch[0]);
+  ASSERT_TRUE(ticket.valid());
+  EXPECT_FALSE(ticket.get().logits.empty());
+
+  const ServingStats stats = pool.stats();
+  EXPECT_EQ(stats.completed, 1);
+  EXPECT_EQ(stats.dispatches, 1);
+  EXPECT_DOUBLE_EQ(stats.mean_batch, 1.0);
+}
+
+TEST(ServingPool, BatchPolicyAccumulatesUpToMaxBatch) {
+  const LeNetFixture fx;
+  const auto batch = lenet_batch(8, fx.qnet.time_bits);
+  const auto reference =
+      monolithic_reference(fx.program, EngineKind::kReference, batch);
+
+  ServingPoolOptions options;
+  options.policy = AdmissionPolicy::kBatch;
+  options.max_batch = 4;
+  options.max_wait_ms = 50.0;  // long: dispatches should fill, not time out
+  ServingPool pool(fx.program, EngineKind::kReference, options);
+
+  const auto run = pool.run_batch(batch);
+  for (std::size_t i = 0; i < batch.size(); ++i)
+    EXPECT_EQ(run.results[i].logits, reference[i].logits) << "image " << i;
+
+  const ServingStats stats = pool.stats();
+  EXPECT_EQ(stats.completed, 8);
+  // Never more than max_batch per dispatch; the burst should have grouped.
+  EXPECT_GE(stats.dispatches, 2);
+  EXPECT_LE(stats.mean_batch, 4.0);
+  EXPECT_GT(stats.mean_batch, 1.0);
+}
+
+TEST(ServingPool, BatchRefillsFromProducersBlockedOnAFullQueue) {
+  // A capacity-1 queue with one producer pushing 4 requests: as the
+  // accumulating dispatcher drains the queue it must wake the blocked
+  // producer so the batch can refill — one full dispatch, not four
+  // deadline-expired singletons (regression: the accumulate loop used to
+  // pop without notifying cv_not_full_, deadlocking the refill until the
+  // max-wait deadline).
+  const LeNetFixture fx;
+  const auto batch = lenet_batch(4, fx.qnet.time_bits);
+
+  ServingPoolOptions options;
+  options.policy = AdmissionPolicy::kBatch;
+  options.queue_capacity = 1;
+  options.max_batch = 4;
+  options.max_wait_ms = 500.0;
+  ServingPool pool(fx.program, EngineKind::kReference, options);
+
+  std::vector<std::future<hw::AccelRunResult>> tickets;
+  for (const TensorI& codes : batch) tickets.push_back(pool.submit(codes));
+  for (auto& ticket : tickets) EXPECT_FALSE(ticket.get().logits.empty());
+
+  const ServingStats stats = pool.stats();
+  EXPECT_EQ(stats.completed, 4);
+  EXPECT_EQ(stats.dispatches, 1) << "the batch should refill through the "
+                                    "bounded queue, not time out";
+  EXPECT_DOUBLE_EQ(stats.mean_batch, 4.0);
+}
+
+TEST(ServingPool, MalformedRequestFailsOnlyItself) {
+  const LeNetFixture fx;
+  const auto batch = lenet_batch(1, fx.qnet.time_bits);
+
+  ServingPool pool(fx.program, EngineKind::kReference, ServingPoolOptions{});
+  auto bad = pool.submit(TensorI(Shape{1, 8, 8}));
+  ASSERT_TRUE(bad.valid());
+  EXPECT_THROW(bad.get(), ContractViolation);
+
+  // The pool stays serviceable after a failed dispatch.
+  auto good = pool.submit(batch[0]);
+  EXPECT_FALSE(good.get().logits.empty());
+  const ServingStats stats = pool.stats();
+  EXPECT_EQ(stats.failed, 1);
+  EXPECT_EQ(stats.completed, 1);
+}
+
+TEST(ServingPool, InvalidOptionsThrow) {
+  const LeNetFixture fx;
+  {
+    ServingPoolOptions options;
+    options.replicas = 0;
+    EXPECT_THROW(ServingPool(fx.program, EngineKind::kReference, options),
+                 ContractViolation);
+  }
+  {
+    ServingPoolOptions options;
+    options.workers_per_replica = 0;
+    EXPECT_THROW(ServingPool(fx.program, EngineKind::kReference, options),
+                 ContractViolation);
+  }
+  {
+    ServingPoolOptions options;
+    options.policy = AdmissionPolicy::kBatch;
+    options.max_batch = 0;
+    EXPECT_THROW(ServingPool(fx.program, EngineKind::kReference, options),
+                 ContractViolation);
+  }
+  {
+    // Segments that do not cover the program fail the constructor, not the
+    // first request.
+    ServingPoolOptions options;
+    options.segments = compiler::partition_balance_latency(fx.program, 2);
+    options.segments.pop_back();
+    EXPECT_THROW(ServingPool(fx.program, EngineKind::kReference, options),
+                 ContractViolation);
+  }
+}
+
+// -------------------------------------------------------- plan_serving
+
+TEST(PlanServing, EnumeratesSplitsAndPicksThroughputOptimum) {
+  const LeNetFixture fx;
+  const std::size_t n = fx.program.size();
+
+  const auto candidates = compiler::enumerate_serving(fx.program, 6);
+  ASSERT_EQ(candidates.size(), std::min<std::size_t>(6, n));
+  for (const auto& candidate : candidates) {
+    EXPECT_EQ(candidate.replicas, 6 / candidate.stages);
+    EXPECT_LE(candidate.devices(), 6);
+    EXPECT_GT(candidate.bottleneck_cycles, 0);
+    EXPECT_GT(candidate.predicted_images_per_sec, 0.0);
+    ASSERT_FALSE(candidate.segments.empty());
+    EXPECT_EQ(candidate.segments.size(),
+              static_cast<std::size_t>(candidate.stages));
+    EXPECT_EQ(candidate.segments.front().begin, 0u);
+    EXPECT_EQ(candidate.segments.back().end, n);
+  }
+
+  const auto plan = compiler::plan_serving(fx.program, 6);
+  for (const auto& candidate : candidates)
+    EXPECT_GE(plan.predicted_images_per_sec,
+              candidate.predicted_images_per_sec)
+        << candidate.stages << " stages";
+  EXPECT_EQ(
+      candidates[compiler::best_serving_candidate(candidates)].stages,
+      plan.stages);
+  EXPECT_THROW(compiler::best_serving_candidate({}), ContractViolation);
+
+  // A single device leaves no choice.
+  const auto solo = compiler::plan_serving(fx.program, 1);
+  EXPECT_EQ(solo.stages, 1);
+  EXPECT_EQ(solo.replicas, 1);
+
+  // More devices never predict worse throughput.
+  EXPECT_GE(compiler::plan_serving(fx.program, 4).predicted_images_per_sec,
+            compiler::plan_serving(fx.program, 2).predicted_images_per_sec);
+
+  EXPECT_THROW(compiler::plan_serving(fx.program, 0), ContractViolation);
+}
+
+TEST(PlanServing, PlannedConfigurationServesBitIdentically) {
+  // Deploy exactly what the planner chose and cross-check the logits.
+  const LeNetFixture fx;
+  const auto batch = lenet_batch(3, fx.qnet.time_bits);
+  const auto reference =
+      monolithic_reference(fx.program, EngineKind::kAnalytic, batch);
+
+  const auto plan = compiler::plan_serving(fx.program, 4);
+  ServingPoolOptions options;
+  options.replicas = plan.replicas;
+  if (plan.stages > 1) options.segments = plan.segments;
+  ServingPool pool(fx.program, EngineKind::kAnalytic, options);
+  const auto run = pool.run_batch(batch);
+  for (std::size_t i = 0; i < batch.size(); ++i)
+    EXPECT_EQ(run.results[i].logits, reference[i].logits) << "image " << i;
+}
+
+}  // namespace
+}  // namespace rsnn::engine

@@ -5,37 +5,83 @@
 #                           targets always link the checked library twin).
 #   2. Release + RSNN_CHECKED=ON — RSNN_DCHECK active in *every* target, so
 #                           the full suite runs bounds-checked end to end.
+# plus an RTL-emission smoke and a sanitizer (ASan+UBSan) pass over the
+# threaded executor tests.
 #
 # The library targets build with -Wall -Wextra; this script treats any
 # compiler warning as a failure so the targets stay warnings-clean.
 #
-# Usage: tools/check.sh [jobs]   (defaults to all hardware threads)
+# Exit-code discipline: every pass checks its own status explicitly (the
+# script also sets -e/-o pipefail as a backstop, and reads PIPESTATUS for
+# the tee'd build so a compile failure can never be masked by the pipe).
+# Temp files/dirs are cleaned up by trap on any exit path.
+#
+# Usage: tools/check.sh [--fast] [jobs]   (jobs defaults to all hardware
+# threads). --fast runs only the Release build + ctest — the smoke tier CI
+# uses for quick iteration; the full run remains the pre-merge bar.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-JOBS="${1:-$(nproc)}"
+
+FAST=0
+JOBS=""
+for arg in "$@"; do
+  case "$arg" in
+    --fast) FAST=1 ;;
+    *) JOBS="$arg" ;;
+  esac
+done
+JOBS="${JOBS:-$(nproc)}"
+
+CLEANUP_PATHS=()
+cleanup() {
+  local path
+  for path in "${CLEANUP_PATHS[@]+"${CLEANUP_PATHS[@]}"}"; do
+    rm -rf "$path"
+  done
+}
+trap cleanup EXIT
 
 run_config() {
   local name="$1" build_dir="$2"
   shift 2
   echo "==== [$name] configure ===="
-  cmake -B "$build_dir" -S . "$@"
+  if ! cmake -B "$build_dir" -S . "$@"; then
+    echo "==== [$name] FAILED: configure ===="
+    return 1
+  fi
   echo "==== [$name] build ===="
-  local log
+  local log build_status
   log="$(mktemp)"
+  CLEANUP_PATHS+=("$log")
+  set +e
   cmake --build "$build_dir" -j "$JOBS" 2>&1 | tee "$log"
+  build_status="${PIPESTATUS[0]}"
+  set -e
+  if [ "$build_status" -ne 0 ]; then
+    echo "==== [$name] FAILED: build exited with status $build_status ===="
+    return "$build_status"
+  fi
   if grep -q "warning:" "$log"; then
     echo "==== [$name] FAILED: compiler warnings (targets must stay" \
          "warnings-clean) ===="
-    rm -f "$log"
     return 1
   fi
-  rm -f "$log"
   echo "==== [$name] ctest ===="
-  ctest --test-dir "$build_dir" --output-on-failure -j "$JOBS"
+  if ! ctest --test-dir "$build_dir" --output-on-failure -j "$JOBS"; then
+    echo "==== [$name] FAILED: ctest ===="
+    return 1
+  fi
 }
 
 run_config "Release" build-check-release -DCMAKE_BUILD_TYPE=Release
+
+if [ "$FAST" -eq 1 ]; then
+  echo "==== fast mode: Release build + ctest passed (skipping checked," \
+       "RTL-smoke and sanitizer tiers) ===="
+  exit 0
+fi
+
 run_config "Release+RSNN_CHECKED" build-check-checked \
     -DCMAKE_BUILD_TYPE=Release -DRSNN_CHECKED=ON
 
@@ -45,6 +91,7 @@ run_config "Release+RSNN_CHECKED" build-check-checked \
 #    unit tests' in-memory checks could miss at the filesystem boundary).
 echo "==== [Release] RTL emission smoke (2-stage LeNet bundles) ===="
 RTL_SMOKE_DIR="$(mktemp -d)"
+CLEANUP_PATHS+=("$RTL_SMOKE_DIR")
 cmake --build build-check-release -j "$JOBS" --target generate_rtl
 ./build-check-release/generate_rtl "$RTL_SMOKE_DIR" 2 2 > /dev/null
 for stage in stage0 stage1; do
@@ -52,27 +99,26 @@ for stage in stage0 stage1; do
            stream_endpoint.sv; do
     if [ ! -s "$RTL_SMOKE_DIR/$stage/$f" ]; then
       echo "==== RTL smoke FAILED: $stage/$f missing or empty ===="
-      rm -rf "$RTL_SMOKE_DIR"
       exit 1
     fi
   done
 done
-rm -rf "$RTL_SMOKE_DIR"
 echo "==== RTL emission smoke passed ===="
 
 # 4. Sanitizer pass (ASan + UBSan): builds only the threaded executor tests
 #    plus the re-lowering suite and runs them instrumented, validating the
-#    pipeline executor's bounded queues / worker threads, the streaming pool
-#    and the per-device re-lowering path for memory and UB errors without
-#    paying for a full sanitized suite run.
+#    pipeline executor's bounded queues / worker threads, the streaming
+#    pool, the serving pool's admission queue and the per-device re-lowering
+#    path for memory and UB errors without paying for a full sanitized
+#    suite run.
 echo "==== [Release+RSNN_SANITIZE] configure ===="
 cmake -B build-check-sanitize -S . \
     -DCMAKE_BUILD_TYPE=Release -DRSNN_SANITIZE=ON
 echo "==== [Release+RSNN_SANITIZE] build (threaded executor tests) ===="
 cmake --build build-check-sanitize -j "$JOBS" \
-    --target test_pipeline test_equivalence_packed test_relower
+    --target test_pipeline test_equivalence_packed test_relower test_serving
 echo "==== [Release+RSNN_SANITIZE] ctest ===="
 ctest --test-dir build-check-sanitize --output-on-failure -j "$JOBS" \
-    -R 'test_pipeline|test_equivalence_packed|test_relower'
+    -R 'test_pipeline|test_equivalence_packed|test_relower|test_serving'
 
 echo "==== all configurations passed ===="

@@ -24,6 +24,7 @@
 #include "data/idx_loader.hpp"
 #include "engine/engine.hpp"
 #include "engine/pipeline.hpp"
+#include "engine/serving_pool.hpp"
 #include "engine/stream.hpp"
 #include "data/synth_digits.hpp"
 #include "hw/accelerator.hpp"
@@ -63,6 +64,51 @@ bool has_flag(int argc, char** argv, const char* flag) {
   for (int i = 0; i < argc; ++i)
     if (std::strcmp(argv[i], flag) == 0) return true;
   return false;
+}
+
+/// Parse a serve-option integer in [min_value, ..]; false (with a friendly
+/// one-liner in *error) on malformed or out-of-range input — std::stoul
+/// would silently wrap "--queue-depth -1" to SIZE_MAX, unbounding the
+/// "bounded" queue.
+bool parse_count(const std::string& text, const char* what,
+                 long long min_value, long long* out, std::string* error) {
+  std::size_t consumed = 0;
+  long long value = 0;
+  try {
+    value = std::stoll(text, &consumed);
+  } catch (const std::exception&) {
+    consumed = 0;
+  }
+  if (consumed == 0 || consumed != text.size() || value < min_value) {
+    *error = std::string("invalid ") + what + " '" + text +
+             "' (expected an integer >= " + std::to_string(min_value) + ")";
+    return false;
+  }
+  *out = value;
+  return true;
+}
+
+/// Per-stage table shared by the pipeline and serve reports: op range,
+/// predicted cycles, weight placement and the per-device resource estimate.
+void print_stage_table(const ir::LayerProgram& program,
+                       const std::vector<ir::ProgramSegment>& segments,
+                       bool relower) {
+  const std::vector<hw::ResourceEstimate> seg_resources =
+      relower ? hw::relowered_resources(segments)
+              : hw::partition_resources(program, segments);
+  for (std::size_t s = 0; s < segments.size(); ++s) {
+    const ir::ProgramSegment& seg = segments[s];
+    const char* placement =
+        seg.param_bits == 0 || seg.onchip_param_bits == seg.param_bits
+            ? "onchip"
+            : (seg.onchip_param_bits == 0 ? "dram" : "mixed");
+    std::printf(
+        "  stage %zu: ops [%zu, %zu)  ~%lld cycles  %lld KiB params  "
+        "%-6s  %s\n",
+        s, seg.begin, seg.end, static_cast<long long>(seg.predicted_cycles),
+        static_cast<long long>(seg.param_bits / 8 / 1024), placement,
+        hw::to_string(seg_resources[s]).c_str());
+  }
 }
 
 data::Dataset load_eval_data(const Shape& input_shape, std::size_t samples) {
@@ -206,6 +252,127 @@ int cmd_run(int argc, char** argv) {
         stats.images_per_sec);
   }
 
+  // Serving-pool report: N replicas (each monolithic or a K-stage pipeline)
+  // behind one bounded admission queue. `--devices D` plans the stages x
+  // replicas split automatically (compiler::plan_serving); otherwise
+  // `--replicas R --pipeline K` pins the shape. Results stay bit-identical
+  // to monolithic execution for every shape and policy.
+  if (get(args, "serve", "0") != "0") {
+    const std::string policy_arg = get(args, "policy", "fifo");
+    const std::string policy_error = engine::policy_parse_error(policy_arg);
+    if (!policy_error.empty()) {
+      std::fprintf(stderr, "error: %s\n", policy_error.c_str());
+      return 1;
+    }
+
+    engine::ServingPoolOptions pool_options;
+    pool_options.policy = engine::parse_policy(policy_arg);
+    std::string count_error;
+    long long queue_depth = 0, max_batch = 0, count_value = 0;
+    if (!parse_count(get(args, "queue-depth", "64"), "queue depth",
+                     /*min_value=*/0, &queue_depth, &count_error) ||
+        !parse_count(get(args, "max-batch", "8"), "max batch",
+                     /*min_value=*/1, &max_batch, &count_error)) {
+      std::fprintf(stderr, "error: %s\n", count_error.c_str());
+      return 1;
+    }
+    pool_options.queue_capacity = static_cast<std::size_t>(queue_depth);
+    pool_options.max_batch = static_cast<std::size_t>(max_batch);
+    pool_options.max_wait_ms = std::stod(get(args, "max-wait-ms", "1"));
+    const bool relower = get(args, "relower", "0") != "0";
+
+    int stages = 1;
+    if (args.count("devices") != 0) {
+      // Enumerate the stages x replicas splits of the device budget with the
+      // per-device cost model and deploy the predicted-throughput winner.
+      if (!parse_count(get(args, "devices", "1"), "device budget",
+                       /*min_value=*/1, &count_value, &count_error)) {
+        std::fprintf(stderr, "error: %s\n", count_error.c_str());
+        return 1;
+      }
+      const int budget = static_cast<int>(count_value);
+      const auto candidates =
+          compiler::enumerate_serving(design.program, budget);
+      const auto& plan =
+          candidates[compiler::best_serving_candidate(candidates)];
+      std::printf("\nserving plan for %d device(s):\n", budget);
+      for (const auto& candidate : candidates)
+        std::printf(
+            "  %d stage(s) x %d replica(s): bottleneck ~%lld cycles -> "
+            "%.1f images/sec predicted%s\n",
+            candidate.stages, candidate.replicas,
+            static_cast<long long>(candidate.bottleneck_cycles),
+            candidate.predicted_images_per_sec,
+            candidate.stages == plan.stages ? "  <- chosen" : "");
+      stages = plan.stages;
+      pool_options.replicas = plan.replicas;
+      if (plan.stages > 1) pool_options.segments = plan.segments;
+    } else {
+      if (!parse_count(get(args, "replicas", "1"), "replica count",
+                       /*min_value=*/1, &count_value, &count_error)) {
+        std::fprintf(stderr, "error: %s\n", count_error.c_str());
+        return 1;
+      }
+      pool_options.replicas = static_cast<int>(count_value);
+      const std::string partition_name_arg =
+          get(args, "partition", "balance_latency");
+      const std::string request_error = compiler::validate_pipeline_request(
+          design.program, get(args, "pipeline", "1"), partition_name_arg,
+          &stages);
+      if (!request_error.empty()) {
+        std::fprintf(stderr, "error: %s\n", request_error.c_str());
+        return 1;
+      }
+      if (stages > 1) {
+        const compiler::PartitionStrategy strategy =
+            compiler::parse_partition(partition_name_arg);
+        pool_options.segments =
+            relower ? compiler::partition_program(design.program, strategy,
+                                                  stages,
+                                                  compiler::PartitionOptions{})
+                    : compiler::partition_program(design.program, strategy,
+                                                  stages);
+      }
+    }
+
+    engine::ServingPool pool(design.program, kind, pool_options);
+    std::printf(
+        "\nserving: %d replica(s) of %s on %d device(s), %s admission "
+        "(queue %zu)\n",
+        pool.replicas(), pool.replica_shape().c_str(), pool.devices(),
+        engine::policy_name(pool.options().policy),
+        pool.options().queue_capacity);
+    if (!pool_options.segments.empty())
+      print_stage_table(design.program, pool_options.segments,
+                        pool_options.segments.front().is_relowered());
+
+    std::vector<TensorI> request_codes;
+    request_codes.reserve(eval.size());
+    for (const TensorF& image : eval.images)
+      request_codes.push_back(
+          quant::encode_activations(image, qnet.time_bits));
+    const auto batch_run = pool.run_batch(request_codes);
+    std::size_t accepted = 0;
+    for (const bool ok : batch_run.accepted) accepted += ok ? 1 : 0;
+
+    const engine::ServingStats stats = pool.stats();
+    std::printf("  admitted %zu/%zu request(s), %lld shed by backpressure\n",
+                accepted, request_codes.size(),
+                static_cast<long long>(stats.rejected));
+    std::printf(
+        "  %lld completed in %.1f ms -> %.1f images/sec wall "
+        "(%.1f modeled at %.0f MHz), p50 %.2f ms, p99 %.2f ms, "
+        "%.1f images/dispatch\n",
+        static_cast<long long>(stats.completed), stats.wall_ms,
+        stats.wall_images_per_sec, stats.modeled_images_per_sec,
+        design.config.clock_mhz, stats.p50_latency_ms, stats.p99_latency_ms,
+        stats.mean_batch);
+    for (std::size_t r = 0; r < stats.per_replica.size(); ++r)
+      std::printf("  replica %zu: %lld image(s)\n", r,
+                  static_cast<long long>(stats.per_replica[r]));
+    return 0;
+  }
+
   // Optional pipeline-parallel report: partition the program into stages
   // (one simulated accelerator per stage) and stream the eval set through
   // them. Logits are bit-identical to monolithic execution; with --relower 1
@@ -227,16 +394,13 @@ int cmd_run(int argc, char** argv) {
     const bool relower = get(args, "relower", "0") != "0";
 
     std::vector<ir::ProgramSegment> segments;
-    std::vector<hw::ResourceEstimate> seg_resources;
     if (relower) {
-      compiler::PartitionOptions options;
       segments = compiler::partition_program(design.program, strategy,
-                                             pipeline_stages, options);
-      seg_resources = hw::relowered_resources(segments);
+                                             pipeline_stages,
+                                             compiler::PartitionOptions{});
     } else {
       segments = compiler::partition_program(design.program, strategy,
                                              pipeline_stages);
-      seg_resources = hw::partition_resources(design.program, segments);
     }
 
     std::printf("\npipeline (%s, %zu stage%s, %s placement):\n",
@@ -257,20 +421,7 @@ int cmd_run(int argc, char** argv) {
             "count only for balance_latency\n",
             segments.size(), pipeline_stages);
     }
-    for (std::size_t s = 0; s < segments.size(); ++s) {
-      const ir::ProgramSegment& seg = segments[s];
-      const char* placement =
-          seg.param_bits == 0 || seg.onchip_param_bits == seg.param_bits
-              ? "onchip"
-              : (seg.onchip_param_bits == 0 ? "dram" : "mixed");
-      std::printf(
-          "  stage %zu: ops [%zu, %zu)  ~%lld cycles  %lld KiB params  "
-          "%-6s  %s\n",
-          s, seg.begin, seg.end,
-          static_cast<long long>(seg.predicted_cycles),
-          static_cast<long long>(seg.param_bits / 8 / 1024), placement,
-          hw::to_string(seg_resources[s]).c_str());
-    }
+    print_stage_table(design.program, segments, relower);
 
     engine::PipelineExecutor pipe(design.program, segments, kind);
     pipe.run_pipeline_images(eval.images);
@@ -347,6 +498,9 @@ void usage() {
       "            [--stream <workers>]  (0 = one per hardware thread)\n"
       "            [--pipeline <stages>] [--partition balance_latency|fit_resources]\n"
       "            [--relower 1]  (re-compile each stage against its own device)\n"
+      "            [--serve 1 [--replicas R] [--pipeline K] [--policy fifo|batch|reject]\n"
+      "             [--queue-depth 64] [--max-batch 8] [--max-wait-ms 1]\n"
+      "             [--devices D]]  (plan the stages x replicas split for D devices)\n"
       "  emit-rtl  --qsnn m.qsnn --out rtl_out [--units 2]\n"
       "            [--pipeline <stages>]  (per-stage bundles with stream ports)\n"
       "  info      --qsnn m.qsnn\n");
