@@ -1,0 +1,267 @@
+#include "engine/fault.hpp"
+
+#include <chrono>
+#include <sstream>
+#include <thread>
+
+#include "common/assert.hpp"
+
+namespace rsnn::engine {
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kError: return "err";
+    case FaultKind::kStall: return "stall";
+    case FaultKind::kKill: return "kill";
+  }
+  RSNN_REQUIRE(false, "unreachable fault kind");
+  return "";
+}
+
+namespace {
+
+/// Parse a full-token non-negative number; false on malformed input.
+bool parse_u64(const std::string& text, std::uint64_t* out) {
+  if (text.empty()) return false;
+  std::size_t consumed = 0;
+  unsigned long long value = 0;
+  try {
+    value = std::stoull(text, &consumed);
+  } catch (const std::exception&) {
+    return false;
+  }
+  if (consumed != text.size()) return false;
+  *out = value;
+  return true;
+}
+
+bool parse_double(const std::string& text, double* out) {
+  if (text.empty()) return false;
+  std::size_t consumed = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(text, &consumed);
+  } catch (const std::exception&) {
+    return false;
+  }
+  if (consumed != text.size() || value < 0.0) return false;
+  *out = value;
+  return true;
+}
+
+/// Parse the "r<R>@<N>" target shared by kill/stall/err specs; the trailing
+/// portion after '@' is returned in *rest for kind-specific parsing.
+bool parse_target(const std::string& text, int* replica, std::string* rest) {
+  if (text.size() < 4 || text[0] != 'r') return false;
+  const std::size_t at = text.find('@');
+  if (at == std::string::npos || at < 2) return false;
+  std::uint64_t r = 0;
+  if (!parse_u64(text.substr(1, at - 1), &r)) return false;
+  *replica = static_cast<int>(r);
+  *rest = text.substr(at + 1);
+  return true;
+}
+
+}  // namespace
+
+bool parse_fault_plan(const std::string& text, FaultPlan* plan,
+                      std::string* error) {
+  RSNN_REQUIRE(plan != nullptr && error != nullptr,
+               "parse_fault_plan needs out-params");
+  FaultPlan out;
+  std::stringstream tokens(text);
+  std::string token;
+  while (std::getline(tokens, token, ',')) {
+    if (token.empty()) continue;
+    const std::size_t colon = token.find(':');
+    const std::string head =
+        colon == std::string::npos ? token : token.substr(0, colon);
+    const std::string body =
+        colon == std::string::npos ? "" : token.substr(colon + 1);
+    FaultSpec spec;
+    if (head == "seed") {
+      if (!parse_u64(body, &out.seed)) {
+        *error = "invalid fault seed '" + body + "' (expected seed:<u64>)";
+        return false;
+      }
+      continue;
+    } else if (head == "kill") {
+      spec.kind = FaultKind::kKill;
+      std::string rest;
+      std::uint64_t n = 0;
+      if (!parse_target(body, &spec.replica, &rest) || !parse_u64(rest, &n) ||
+          n == 0) {
+        *error = "invalid kill spec '" + token + "' (expected kill:r<R>@<N>)";
+        return false;
+      }
+      spec.at_attempt = static_cast<std::int64_t>(n);
+    } else if (head == "stall") {
+      spec.kind = FaultKind::kStall;
+      std::string rest;
+      if (!parse_target(body, &spec.replica, &rest)) {
+        *error = "invalid stall spec '" + token +
+                 "' (expected stall:r<R>@<N>x<MS>)";
+        return false;
+      }
+      const std::size_t x = rest.find('x');
+      std::uint64_t n = 0;
+      if (x == std::string::npos || !parse_u64(rest.substr(0, x), &n) ||
+          n == 0 || !parse_double(rest.substr(x + 1), &spec.stall_ms)) {
+        *error = "invalid stall spec '" + token +
+                 "' (expected stall:r<R>@<N>x<MS>)";
+        return false;
+      }
+      spec.at_attempt = static_cast<std::int64_t>(n);
+    } else if (head == "err") {
+      spec.kind = FaultKind::kError;
+      if (!body.empty() && body[0] == 'p') {
+        if (!parse_double(body.substr(1), &spec.probability) ||
+            spec.probability > 1.0) {
+          *error = "invalid error spec '" + token +
+                   "' (expected err:p<PROB> with PROB in [0,1])";
+          return false;
+        }
+      } else {
+        std::string rest;
+        std::uint64_t n = 0;
+        if (!parse_target(body, &spec.replica, &rest) ||
+            !parse_u64(rest, &n) || n == 0) {
+          *error = "invalid error spec '" + token +
+                   "' (expected err:r<R>@<N> or err:p<PROB>)";
+          return false;
+        }
+        spec.at_attempt = static_cast<std::int64_t>(n);
+      }
+    } else {
+      *error = "unknown fault spec '" + token +
+               "' (expected seed:, kill:, stall: or err:)";
+      return false;
+    }
+    out.specs.push_back(spec);
+  }
+  *plan = std::move(out);
+  error->clear();
+  return true;
+}
+
+std::string describe_fault_plan(const FaultPlan& plan) {
+  if (plan.empty()) return "none";
+  std::ostringstream os;
+  for (std::size_t i = 0; i < plan.specs.size(); ++i) {
+    const FaultSpec& spec = plan.specs[i];
+    if (i > 0) os << ", ";
+    os << fault_kind_name(spec.kind) << ":";
+    if (spec.probability > 0.0) {
+      os << "p" << spec.probability;
+    } else {
+      if (spec.replica >= 0)
+        os << "r" << spec.replica;
+      else
+        os << "r*";
+      os << "@" << spec.at_attempt;
+      if (spec.kind == FaultKind::kStall) os << "x" << spec.stall_ms;
+    }
+  }
+  os << " (seed " << plan.seed << ")";
+  return os.str();
+}
+
+FaultInjector::FaultInjector(FaultPlan plan, int replicas)
+    : plan_(std::move(plan)) {
+  RSNN_REQUIRE(replicas >= 1, "fault injector needs at least one replica");
+  for (const FaultSpec& spec : plan_.specs) {
+    RSNN_REQUIRE(spec.replica < replicas,
+                 "fault spec targets replica " << spec.replica << " but the "
+                     "fleet has only " << replicas << " replica(s)");
+    RSNN_REQUIRE(spec.probability >= 0.0 && spec.probability <= 1.0,
+                 "fault probability must be in [0,1], got "
+                     << spec.probability);
+    RSNN_REQUIRE(spec.kind != FaultKind::kStall || spec.stall_ms >= 0.0,
+                 "stall duration must be >= 0, got " << spec.stall_ms);
+  }
+  attempts_.assign(static_cast<std::size_t>(replicas), 0);
+  dead_.assign(static_cast<std::size_t>(replicas), false);
+  rngs_.reserve(static_cast<std::size_t>(replicas));
+  for (int r = 0; r < replicas; ++r)
+    rngs_.emplace_back(plan_.seed + static_cast<std::uint64_t>(r));
+}
+
+void FaultInjector::before_attempt(int replica) {
+  RSNN_REQUIRE(replica >= 0 &&
+                   static_cast<std::size_t>(replica) < attempts_.size(),
+               "fault injector: replica " << replica << " out of range");
+  double stall_ms = 0.0;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const std::size_t r = static_cast<std::size_t>(replica);
+    const std::int64_t ordinal = ++attempts_[r];
+    if (dead_[r])
+      throw ReplicaDeadError("replica " + std::to_string(replica) +
+                             " is dead (injected kill)");
+    for (const FaultSpec& spec : plan_.specs) {
+      if (spec.replica >= 0 && spec.replica != replica) continue;
+      const bool fires =
+          (spec.at_attempt > 0 && spec.at_attempt == ordinal) ||
+          (spec.probability > 0.0 &&
+           rngs_[r].next_double() < spec.probability);
+      if (!fires) continue;
+      switch (spec.kind) {
+        case FaultKind::kKill:
+          dead_[r] = true;
+          ++kills_;
+          throw ReplicaDeadError("replica " + std::to_string(replica) +
+                                 " killed at attempt " +
+                                 std::to_string(ordinal) +
+                                 " (injected fault)");
+        case FaultKind::kError:
+          ++errors_;
+          throw ReplicaFaultError("replica " + std::to_string(replica) +
+                                  " transient fault at attempt " +
+                                  std::to_string(ordinal) +
+                                  " (injected fault)");
+        case FaultKind::kStall:
+          ++stalls_;
+          stall_ms = spec.stall_ms;
+          break;
+      }
+      break;  // first matching spec wins
+    }
+  }
+  // The stall sleeps outside the injector lock so concurrent attempts on
+  // other replicas are not serialized behind it.
+  if (stall_ms > 0.0)
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(stall_ms));
+}
+
+bool FaultInjector::is_dead(int replica) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return dead_.at(static_cast<std::size_t>(replica));
+}
+
+void FaultInjector::revive(int replica) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  dead_.at(static_cast<std::size_t>(replica)) = false;
+}
+
+std::int64_t FaultInjector::attempts(int replica) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return attempts_.at(static_cast<std::size_t>(replica));
+}
+
+std::int64_t FaultInjector::injected_errors() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return errors_;
+}
+
+std::int64_t FaultInjector::injected_stalls() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stalls_;
+}
+
+std::int64_t FaultInjector::injected_kills() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return kills_;
+}
+
+}  // namespace rsnn::engine

@@ -51,17 +51,23 @@ struct PipelineStats {
   double ns_per_inference = 0.0;  ///< wall time / images (aggregate)
 };
 
+class FaultInjector;
+
 class PipelineExecutor : public Submitter {
  public:
   /// Spawns one persistent worker per segment, each constructing its own
   /// stage engine of `kind` on its own thread. `segments` must be a
   /// contiguous partition of `program` (as produced by ir::make_segments or
   /// the compiler partitioners). Adjacent stages exchange work through
-  /// bounded queues of `queue_capacity` in-flight images. The program (and
-  /// its network) must outlive the executor.
+  /// bounded queues of `queue_capacity` in-flight images. When `injector`
+  /// is non-null, stage 0 consults it (as replica `replica_index`) once per
+  /// image — injected faults abort the batch and surface as the exception
+  /// from run_pipeline(). The program (and its network) must outlive the
+  /// executor; so must the injector.
   PipelineExecutor(const ir::LayerProgram& program,
                    std::vector<ir::ProgramSegment> segments, EngineKind kind,
-                   std::size_t queue_capacity = 4);
+                   std::size_t queue_capacity = 4,
+                   FaultInjector* injector = nullptr, int replica_index = 0);
   ~PipelineExecutor();
   PipelineExecutor(const PipelineExecutor&) = delete;
   PipelineExecutor& operator=(const PipelineExecutor&) = delete;
@@ -140,6 +146,8 @@ class PipelineExecutor : public Submitter {
   const ir::LayerProgram& program_;
   const std::vector<ir::ProgramSegment> segments_;
   EngineKind kind_;
+  FaultInjector* injector_;  ///< optional, shared across the fleet
+  const int replica_index_;
 
   std::mutex mutex_;
   std::condition_variable cv_work_;

@@ -33,6 +33,62 @@ std::string policy_parse_error(const std::string& name) {
          "' (expected fifo, batch or reject)";
 }
 
+const char* status_name(RequestStatus status) {
+  switch (status) {
+    case RequestStatus::kOk: return "ok";
+    case RequestStatus::kRejected: return "rejected";
+    case RequestStatus::kDeadlineExceeded: return "deadline_exceeded";
+    case RequestStatus::kReplicaFailed: return "replica_failed";
+    case RequestStatus::kCancelled: return "cancelled";
+  }
+  RSNN_REQUIRE(false, "unreachable request status");
+  return "";
+}
+
+const char* priority_name(PriorityClass priority) {
+  switch (priority) {
+    case PriorityClass::kLatency: return "latency";
+    case PriorityClass::kBulk: return "bulk";
+  }
+  RSNN_REQUIRE(false, "unreachable priority class");
+  return "";
+}
+
+const char* health_name(ReplicaHealth health) {
+  switch (health) {
+    case ReplicaHealth::kHealthy: return "healthy";
+    case ReplicaHealth::kDegraded: return "degraded";
+    case ReplicaHealth::kQuarantined: return "quarantined";
+  }
+  RSNN_REQUIRE(false, "unreachable replica health");
+  return "";
+}
+
+namespace {
+
+int class_index(PriorityClass priority) {
+  return priority == PriorityClass::kLatency ? 0 : 1;
+}
+
+std::chrono::steady_clock::duration ms_duration(double ms) {
+  return std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+      std::chrono::duration<double, std::milli>(ms));
+}
+
+/// Ready future carrying a shed outcome — submit() never returns an
+/// invalid future.
+std::future<ServingResult> ready_outcome(RequestStatus status,
+                                         std::string error) {
+  std::promise<ServingResult> promise;
+  ServingResult outcome;
+  outcome.status = status;
+  outcome.error = std::move(error);
+  promise.set_value(std::move(outcome));
+  return promise.get_future();
+}
+
+}  // namespace
+
 ServingPool::ServingPool(const ir::LayerProgram& program, EngineKind kind,
                          ServingPoolOptions options)
     : program_(program), kind_(kind), options_(std::move(options)) {
@@ -58,17 +114,45 @@ ServingPool::ServingPool(const ir::LayerProgram& program, EngineKind kind,
                  "batch policy needs max_wait_ms >= 0, got "
                      << options_.max_wait_ms);
   }
+  RSNN_REQUIRE(options_.max_retries >= 0,
+               "max_retries must be >= 0, got " << options_.max_retries);
+  RSNN_REQUIRE(options_.backoff_base_ms >= 0.0 &&
+                   options_.backoff_cap_ms >= options_.backoff_base_ms,
+               "retry backoff needs 0 <= base <= cap, got base "
+                   << options_.backoff_base_ms << " cap "
+                   << options_.backoff_cap_ms);
+  RSNN_REQUIRE(options_.stall_timeout_ms >= 0.0,
+               "stall_timeout_ms must be >= 0, got "
+                   << options_.stall_timeout_ms);
+  RSNN_REQUIRE(options_.degrade_after_failures >= 1 &&
+                   options_.quarantine_after_failures >=
+                       options_.degrade_after_failures,
+               "health thresholds need 1 <= degrade <= quarantine, got "
+                   << options_.degrade_after_failures << " / "
+                   << options_.quarantine_after_failures);
+  RSNN_REQUIRE(options_.quarantine_after_stalls >= 1,
+               "quarantine_after_stalls must be >= 1, got "
+                   << options_.quarantine_after_stalls);
+
+  if (!options_.fault_plan.empty())
+    injector_ = std::make_unique<FaultInjector>(options_.fault_plan,
+                                                options_.replicas);
 
   // Replicas are constructed here (not on the dispatcher threads) so an
   // invalid configuration — e.g. segments that do not cover the program —
   // fails the constructor instead of failing every future request. The
   // executors still build their engines on their own worker threads.
-  stats_.per_replica.assign(static_cast<std::size_t>(options_.replicas), 0);
-  replicas_.reserve(static_cast<std::size_t>(options_.replicas));
+  const std::size_t n = static_cast<std::size_t>(options_.replicas);
+  stats_.per_replica.assign(n, 0);
+  health_.assign(n, ReplicaHealth::kHealthy);
+  consecutive_failures_.assign(n, 0);
+  stall_count_.assign(n, 0);
+  replicas_.reserve(n);
   for (int r = 0; r < options_.replicas; ++r)
     replicas_.push_back(make_submitter(program_, kind_, options_.segments,
                                        options_.workers_per_replica,
-                                       options_.stage_queue_capacity));
+                                       options_.stage_queue_capacity,
+                                       injector_.get(), r));
 
   replica_threads_.reserve(replicas_.size());
   try {
@@ -86,15 +170,21 @@ ServingPool::ServingPool(const ir::LayerProgram& program, EngineKind kind,
 }
 
 ServingPool::~ServingPool() {
+  // Admitted work is drained, not dropped: dispatchers keep pulling until
+  // the queue is empty, so every promise handed out by submit() is kept.
+  shutdown(/*drain=*/true);
+  for (std::thread& thread : replica_threads_) thread.join();
+}
+
+void ServingPool::shutdown(bool drain) {
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     closed_ = true;
+    if (!drain)
+      flush_queue(RequestStatus::kCancelled, "cancelled at shutdown");
   }
-  // Admitted work is drained, not dropped: dispatchers keep pulling until
-  // the queue is empty, so every promise handed out by submit() is kept.
   cv_not_empty_.notify_all();
   cv_not_full_.notify_all();
-  for (std::thread& thread : replica_threads_) thread.join();
 }
 
 int ServingPool::devices() const {
@@ -108,78 +198,290 @@ std::string ServingPool::replica_shape() const {
   return replicas_.front()->shape();
 }
 
-bool ServingPool::admit(TensorI&& codes,
-                        std::future<hw::AccelRunResult>* ticket,
-                        bool blocking) {
-  std::unique_lock<std::mutex> lock(mutex_);
-  if (blocking)
-    cv_not_full_.wait(lock, [&] {
-      return closed_ || queue_.size() < options_.queue_capacity;
-    });
-  if (closed_ || queue_.size() >= options_.queue_capacity) {
-    ++stats_.rejected;
-    return false;
+int ServingPool::active_replicas_locked() const {
+  int active = 0;
+  for (const ReplicaHealth health : health_)
+    if (health != ReplicaHealth::kQuarantined) ++active;
+  return active;
+}
+
+bool ServingPool::fleet_unrecoverable_locked() const {
+  if (active_replicas_locked() > 0) return false;
+  // Without rebuild, quarantine is terminal — zero active means nothing
+  // will ever drain the queue. With rebuild, a quarantined replica is
+  // mid-rebuild on its own thread and about to come back (or retire on
+  // rebuild failure): only a fully retired fleet is beyond recovery.
+  return !options_.rebuild_quarantined ||
+         retired_replicas_ == replicas_.size();
+}
+
+void ServingPool::resolve(Request&& request, ServingResult&& outcome) {
+  // Statistics are recorded under the same lock that fulfills the promise:
+  // a caller that observes a resolved future must also observe its
+  // completion in stats(). std::promise::set_value runs no user code, so
+  // holding mutex_ across it cannot deadlock.
+  const auto now = Clock::now();
+  ClassStats& pc = stats_.per_class[class_index(request.priority)];
+  switch (outcome.status) {
+    case RequestStatus::kOk: {
+      ++stats_.completed;
+      ++pc.ok;
+      latencies_ms_.push_back(
+          std::chrono::duration_cast<
+              std::chrono::duration<double, std::milli>>(now -
+                                                         request.admitted)
+              .count());
+      if (outcome.replica >= 0)
+        stats_.per_replica[static_cast<std::size_t>(outcome.replica)] += 1;
+      stats_.bottleneck_cycles = std::max(
+          stats_.bottleneck_cycles, worst_stage_cycles(outcome.result));
+      last_complete_ = now;
+      break;
+    }
+    case RequestStatus::kRejected:
+      ++stats_.rejected;
+      ++pc.rejected;
+      break;
+    case RequestStatus::kDeadlineExceeded:
+      ++stats_.deadline_exceeded;
+      ++pc.deadline_exceeded;
+      break;
+    case RequestStatus::kReplicaFailed:
+      ++stats_.failed;
+      ++pc.failed;
+      last_complete_ = now;
+      break;
+    case RequestStatus::kCancelled:
+      ++stats_.cancelled;
+      ++pc.cancelled;
+      break;
   }
-  Request request;
-  request.codes = std::move(codes);
-  request.admitted = std::chrono::steady_clock::now();
-  *ticket = request.promise.get_future();
+  request.promise.set_value(std::move(outcome));
+}
+
+void ServingPool::flush_queue(RequestStatus status,
+                              const std::string& error) {
+  while (!queue_.empty()) {
+    Request request = std::move(queue_.front());
+    queue_.pop_front();
+    ServingResult outcome;
+    outcome.status = status;
+    outcome.error = error;
+    outcome.attempts = request.attempts;
+    resolve(std::move(request), std::move(outcome));
+  }
+  cv_not_full_.notify_all();
+}
+
+bool ServingPool::admit(TensorI&& codes, const RequestOptions& request,
+                        std::future<ServingResult>* ticket, bool blocking,
+                        bool allow_evict) {
+  RSNN_REQUIRE(request.deadline_ms >= 0.0,
+               "request deadline must be >= 0, got " << request.deadline_ms);
+  std::unique_lock<std::mutex> lock(mutex_);
+  ClassStats& pc = stats_.per_class[class_index(request.priority)];
+  ++pc.submitted;
+  for (;;) {
+    if (closed_) {
+      ++stats_.rejected;
+      ++pc.rejected;
+      *ticket = ready_outcome(RequestStatus::kRejected, "pool is shut down");
+      return false;
+    }
+    if (fleet_unrecoverable_locked()) {
+      ++stats_.failed;
+      ++pc.failed;
+      *ticket = ready_outcome(RequestStatus::kReplicaFailed,
+                              "no active replicas remain");
+      return false;
+    }
+    if (queue_.size() < options_.queue_capacity) break;
+    // Degradation order under overload: the bulk lane is shed first. A full
+    // queue holding undispatched bulk work evicts its newest bulk request
+    // to admit latency-class work.
+    if (allow_evict && request.priority == PriorityClass::kLatency) {
+      std::size_t victim = queue_.size();
+      for (std::size_t i = 0; i < queue_.size(); ++i) {
+        const Request& queued = queue_[i];
+        if (queued.priority != PriorityClass::kBulk || queued.attempts != 0)
+          continue;
+        if (victim == queue_.size() || queued.seq > queue_[victim].seq)
+          victim = i;
+      }
+      if (victim != queue_.size()) {
+        Request evicted = std::move(queue_[victim]);
+        queue_.erase(queue_.begin() +
+                     static_cast<std::deque<Request>::difference_type>(victim));
+        ++stats_.shed_bulk;
+        ServingResult outcome;
+        outcome.status = RequestStatus::kRejected;
+        outcome.error = "shed: bulk evicted for latency-class work";
+        resolve(std::move(evicted), std::move(outcome));
+        continue;  // re-check: there is room now
+      }
+    }
+    if (!blocking) {
+      ++stats_.rejected;
+      ++pc.rejected;
+      *ticket = ready_outcome(RequestStatus::kRejected,
+                              "admission queue is full");
+      return false;
+    }
+    cv_not_full_.wait(lock);
+  }
+
+  Request admitted;
+  admitted.codes = std::move(codes);
+  admitted.admitted = Clock::now();
+  admitted.deadline = request.deadline_ms > 0.0
+                          ? admitted.admitted + ms_duration(request.deadline_ms)
+                          : Clock::time_point::max();
+  admitted.not_before = admitted.admitted;
+  admitted.priority = request.priority;
+  admitted.seq = next_seq_++;
+  *ticket = admitted.promise.get_future();
   ++stats_.submitted;
   if (!saw_admit_) {
     saw_admit_ = true;
-    first_admit_ = request.admitted;
+    first_admit_ = admitted.admitted;
   }
-  queue_.push_back(std::move(request));
+  queue_.push_back(std::move(admitted));
   cv_not_empty_.notify_one();
   return true;
 }
 
-std::future<hw::AccelRunResult> ServingPool::submit(TensorI codes) {
-  std::future<hw::AccelRunResult> ticket;
+std::future<ServingResult> ServingPool::submit(TensorI codes,
+                                               const RequestOptions& request) {
+  std::future<ServingResult> ticket;
   const bool blocking = options_.policy != AdmissionPolicy::kReject;
-  admit(std::move(codes), &ticket, blocking);
-  return ticket;  // invalid when the request was shed
+  admit(std::move(codes), request, &ticket, blocking, /*allow_evict=*/true);
+  return ticket;  // always valid: shed requests resolve immediately
 }
 
 bool ServingPool::try_submit(TensorI codes,
-                             std::future<hw::AccelRunResult>* ticket) {
+                             std::future<ServingResult>* ticket,
+                             const RequestOptions& request) {
   RSNN_REQUIRE(ticket != nullptr, "try_submit needs a ticket out-param");
-  return admit(std::move(codes), ticket, /*blocking=*/false);
+  std::future<ServingResult> attempt;
+  if (!admit(std::move(codes), request, &attempt, /*blocking=*/false,
+             /*allow_evict=*/false))
+    return false;
+  *ticket = std::move(attempt);
+  return true;
 }
 
-std::vector<ServingPool::Request> ServingPool::acquire_work() {
+std::vector<ServingPool::Request> ServingPool::acquire_work(
+    std::size_t replica_index) {
   std::unique_lock<std::mutex> lock(mutex_);
-  cv_not_empty_.wait(lock, [&] { return closed_ || !queue_.empty(); });
-  if (queue_.empty()) return {};  // closed and drained: dispatcher exits
 
-  // Every pop must wake blocked producers immediately: under the batch
-  // policy the accumulation loop below *waits for the queue to refill*, so
-  // a producer stuck on cv_not_full_ while this dispatcher holds freed
-  // capacity would deadlock the batch until the deadline.
+  // Dispatch order: latency class before bulk, earliest deadline first
+  // within a class, admission order otherwise.
+  const auto ranks_before = [](const Request& a, const Request& b) {
+    const int ca = class_index(a.priority), cb = class_index(b.priority);
+    if (ca != cb) return ca < cb;
+    if (a.deadline != b.deadline) return a.deadline < b.deadline;
+    return a.seq < b.seq;
+  };
+
+  // Pick the best eligible queued request, failing expired requests fast as
+  // a side effect. Eligibility honors retry gates unless the pool is
+  // draining: a retried request waits out its backoff and prefers a replica
+  // other than the one that just failed it (when another is active).
+  const auto pick_best = [&](Clock::time_point now) -> std::size_t {
+    for (std::size_t i = 0; i < queue_.size();) {
+      if (queue_[i].deadline <= now) {
+        Request expired = std::move(queue_[i]);
+        queue_.erase(queue_.begin() +
+                     static_cast<std::deque<Request>::difference_type>(i));
+        cv_not_full_.notify_all();
+        ServingResult outcome;
+        outcome.status = RequestStatus::kDeadlineExceeded;
+        outcome.error = "deadline expired before dispatch";
+        outcome.attempts = expired.attempts;
+        resolve(std::move(expired), std::move(outcome));
+      } else {
+        ++i;
+      }
+    }
+    int other_active = 0;
+    for (std::size_t r = 0; r < health_.size(); ++r)
+      if (r != replica_index && health_[r] != ReplicaHealth::kQuarantined)
+        ++other_active;
+    std::size_t best = queue_.size();
+    for (std::size_t i = 0; i < queue_.size(); ++i) {
+      const Request& req = queue_[i];
+      if (!closed_) {
+        if (req.not_before > now) continue;
+        if (req.attempts > 0 && other_active > 0 &&
+            req.last_replica == static_cast<int>(replica_index))
+          continue;
+      }
+      if (best == queue_.size() || ranks_before(req, queue_[best])) best = i;
+    }
+    return best;
+  };
+
+  // Earliest instant at which an ineligible queued request changes state —
+  // a backoff gate opening or a deadline to fail fast.
+  const auto next_wake = [&](Clock::time_point now) {
+    auto wake = Clock::time_point::max();
+    for (const Request& req : queue_) {
+      if (req.not_before > now) wake = std::min(wake, req.not_before);
+      wake = std::min(wake, req.deadline);
+    }
+    return wake;
+  };
+
+  const auto pop_at = [&](std::size_t index) {
+    Request picked = std::move(queue_[index]);
+    queue_.erase(queue_.begin() +
+                 static_cast<std::deque<Request>::difference_type>(index));
+    cv_not_full_.notify_all();
+    ++picked.attempts;
+    return picked;
+  };
+
   std::vector<Request> work;
-  work.push_back(std::move(queue_.front()));
-  queue_.pop_front();
-  cv_not_full_.notify_all();
+  for (;;) {
+    const auto now = Clock::now();
+    const std::size_t best = pick_best(now);
+    if (best != queue_.size()) {
+      work.push_back(pop_at(best));
+      break;
+    }
+    if (closed_ && queue_.empty()) return {};
+    const auto wake = next_wake(now);
+    if (wake == Clock::time_point::max())
+      cv_not_empty_.wait(lock);
+    else
+      cv_not_empty_.wait_until(lock, wake);
+  }
 
   if (options_.policy == AdmissionPolicy::kBatch && options_.max_batch > 1) {
-    // Accumulate until the batch fills or the *oldest* request's deadline
-    // expires — a deadline that passes with one pending item dispatches
-    // that item alone rather than holding it for company.
-    const auto deadline =
-        work.front().admitted +
-        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-            std::chrono::duration<double, std::milli>(options_.max_wait_ms));
+    // Accumulate until the batch fills or the *oldest* request's window
+    // expires — a window that passes with one pending item dispatches that
+    // item alone rather than holding it for company. Under overload the
+    // window shrinks to zero: a queue already holding work at or above the
+    // shrink occupancy dispatches immediately instead of waiting for more.
+    bool shrink = false;
+    if (options_.queue_capacity > 0 &&
+        static_cast<double>(queue_.size()) /
+                static_cast<double>(options_.queue_capacity) >=
+            options_.overload_shrink_occupancy) {
+      shrink = true;
+      ++stats_.window_shrinks;
+    }
+    const auto window =
+        work.front().admitted + ms_duration(options_.max_wait_ms);
     while (work.size() < options_.max_batch) {
-      if (!queue_.empty()) {
-        work.push_back(std::move(queue_.front()));
-        queue_.pop_front();
-        cv_not_full_.notify_all();
+      const auto now = Clock::now();
+      const std::size_t best = pick_best(now);
+      if (best != queue_.size()) {
+        work.push_back(pop_at(best));
         continue;
       }
-      if (closed_) break;
-      const bool signalled = cv_not_empty_.wait_until(
-          lock, deadline, [&] { return closed_ || !queue_.empty(); });
-      if (!signalled) break;  // deadline expired
+      if (closed_ || shrink || now >= window) break;
+      cv_not_empty_.wait_until(lock, std::min(window, next_wake(now)));
     }
   }
   return work;
@@ -199,82 +501,197 @@ std::int64_t ServingPool::worst_stage_cycles(
   return worst;
 }
 
-void ServingPool::record_dispatch(std::size_t replica_index,
-                                  std::size_t count,
-                                  const std::vector<double>& latencies_ms,
-                                  std::int64_t worst_cycles, bool failed) {
+bool ServingPool::record_dispatch_health(std::size_t replica_index,
+                                         bool success, bool replica_fault,
+                                         bool stalled, bool dead) {
   const std::lock_guard<std::mutex> lock(mutex_);
-  ++stats_.dispatches;
-  stats_.per_replica[replica_index] += static_cast<std::int64_t>(count);
-  if (failed) {
-    stats_.failed += static_cast<std::int64_t>(count);
-  } else {
-    stats_.completed += static_cast<std::int64_t>(count);
-    latencies_ms_.insert(latencies_ms_.end(), latencies_ms.begin(),
-                         latencies_ms.end());
-    stats_.bottleneck_cycles = std::max(stats_.bottleneck_cycles, worst_cycles);
+  if (replica_fault) {
+    ++consecutive_failures_[replica_index];
+    ++stats_.replica_failures;
+  } else if (success) {
+    consecutive_failures_[replica_index] = 0;
   }
-  last_complete_ = std::chrono::steady_clock::now();
+  if (stalled) {
+    ++stall_count_[replica_index];
+    ++stats_.stalls;
+  }
+  const ReplicaHealth before = health_[replica_index];
+  ReplicaHealth after = ReplicaHealth::kHealthy;
+  if (dead ||
+      consecutive_failures_[replica_index] >=
+          options_.quarantine_after_failures ||
+      stall_count_[replica_index] >= options_.quarantine_after_stalls)
+    after = ReplicaHealth::kQuarantined;
+  else if (consecutive_failures_[replica_index] >=
+               options_.degrade_after_failures ||
+           stall_count_[replica_index] > 0)
+    after = ReplicaHealth::kDegraded;
+  if (before != ReplicaHealth::kQuarantined) health_[replica_index] = after;
+  return before != ReplicaHealth::kQuarantined &&
+         health_[replica_index] == ReplicaHealth::kQuarantined;
+}
+
+bool ServingPool::handle_quarantine(std::size_t replica_index) {
+  if (!options_.rebuild_quarantined) return false;
+  // A rebuilt replica models a re-flashed device: fresh submitter, fault
+  // injector dead-flag cleared, health and supervision counters reset. The
+  // swap is safe without further coordination — only this replica's own
+  // dispatcher thread ever touches replicas_[replica_index].
+  std::unique_ptr<Submitter> rebuilt;
+  try {
+    rebuilt = make_submitter(program_, kind_, options_.segments,
+                             options_.workers_per_replica,
+                             options_.stage_queue_capacity, injector_.get(),
+                             static_cast<int>(replica_index));
+  } catch (...) {
+    return false;  // rebuild failed: retire the replica
+  }
+  if (injector_) injector_->revive(static_cast<int>(replica_index));
+  replicas_[replica_index] = std::move(rebuilt);
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    health_[replica_index] = ReplicaHealth::kHealthy;
+    consecutive_failures_[replica_index] = 0;
+    stall_count_[replica_index] = 0;
+    ++stats_.rebuilds;
+  }
+  cv_not_full_.notify_all();  // an active replica is back
+  return true;
+}
+
+void ServingPool::retry_or_fail(Request&& request, const std::string& error,
+                                std::size_t replica_index,
+                                std::int64_t dispatch_seq) {
+  request.last_replica = static_cast<int>(replica_index);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (request.attempts > options_.max_retries ||
+      fleet_unrecoverable_locked()) {
+    ServingResult outcome;
+    outcome.status = RequestStatus::kReplicaFailed;
+    outcome.error = error;
+    outcome.attempts = request.attempts;
+    outcome.dispatch_seq = dispatch_seq;
+    resolve(std::move(request), std::move(outcome));
+    return;
+  }
+  // Bounded exponential backoff before the next attempt; inference is pure,
+  // so re-running the same codes on another replica is always safe.
+  const double backoff_ms =
+      std::min(options_.backoff_cap_ms,
+               options_.backoff_base_ms *
+                   std::pow(2.0, static_cast<double>(request.attempts - 1)));
+  request.not_before = Clock::now() + ms_duration(backoff_ms);
+  ++stats_.retries;
+  queue_.push_back(std::move(request));
+  cv_not_empty_.notify_all();
 }
 
 void ServingPool::replica_main(std::size_t replica_index) {
-  Submitter& replica = *replicas_[replica_index];
   for (;;) {
-    std::vector<Request> work = acquire_work();
-    if (work.empty()) return;
+    std::vector<Request> work = acquire_work(replica_index);
+    if (work.empty()) return;  // closed and drained
 
+    std::int64_t dispatch_seq = 0;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      dispatch_seq = next_dispatch_seq_++;
+      ++stats_.dispatches;
+      dispatched_requests_ += static_cast<std::int64_t>(work.size());
+    }
+
+    // The request keeps its codes: a failed dispatch re-queues the same
+    // tensor for retry on another replica.
     std::vector<TensorI> codes;
     codes.reserve(work.size());
-    for (Request& request : work) codes.push_back(std::move(request.codes));
+    for (const Request& request : work) codes.push_back(request.codes);
 
     std::vector<hw::AccelRunResult> results;
-    std::exception_ptr error;
+    bool failed = false, bad_request = false, dead = false;
+    std::string error_text;
+    const auto begin = Clock::now();
     try {
-      results = replica.submit(codes);
+      results = replicas_[replica_index]->submit(codes);
+    } catch (const ReplicaDeadError& e) {
+      failed = dead = true;
+      error_text = e.what();
+    } catch (const ContractViolation& e) {
+      // Deterministic request errors (malformed codes) are the caller's
+      // fault, not the replica's: the retry path still bounds them, but
+      // they never poison the replica's health.
+      failed = bad_request = true;
+      error_text = e.what();
+    } catch (const std::exception& e) {
+      failed = true;
+      error_text = e.what();
     } catch (...) {
-      error = std::current_exception();
+      failed = true;
+      error_text = "unknown replica error";
+    }
+    const double duration_ms =
+        std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+            Clock::now() - begin)
+            .count();
+    const bool stalled = options_.stall_timeout_ms > 0.0 &&
+                         duration_ms > options_.stall_timeout_ms;
+
+    const bool just_quarantined = record_dispatch_health(
+        replica_index, /*success=*/!failed, /*replica_fault=*/
+        failed && !bad_request, stalled, dead);
+    bool serving = true;
+    if (just_quarantined) serving = handle_quarantine(replica_index);
+
+    if (!failed) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      for (std::size_t i = 0; i < work.size(); ++i) {
+        ServingResult outcome;
+        outcome.status = RequestStatus::kOk;
+        outcome.result = std::move(results[i]);
+        outcome.attempts = work[i].attempts;
+        outcome.replica = static_cast<int>(replica_index);
+        outcome.dispatch_seq = dispatch_seq;
+        resolve(std::move(work[i]), std::move(outcome));
+      }
+    } else {
+      for (Request& request : work)
+        retry_or_fail(std::move(request), error_text, replica_index,
+                      dispatch_seq);
     }
 
-    // Record the dispatch in the pool statistics *before* fulfilling the
-    // promises: a caller that observes a resolved future must also observe
-    // its completion in stats().
-    std::vector<double> latencies_ms;
-    std::int64_t worst_cycles = 0;
-    if (!error) {
-      const auto done = std::chrono::steady_clock::now();
-      latencies_ms.reserve(work.size());
-      for (std::size_t i = 0; i < work.size(); ++i) {
-        latencies_ms.push_back(
-            std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
-                done - work[i].admitted)
-                .count());
-        worst_cycles = std::max(worst_cycles, worst_stage_cycles(results[i]));
+    if (!serving) {
+      // Retiring (quarantined with rebuild off, or the rebuild failed). If
+      // the fleet cannot recover, nothing will ever drain the queue: fail
+      // it fast, and wake producers blocked on a queue no replica will
+      // empty.
+      {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        ++retired_replicas_;
+        if (fleet_unrecoverable_locked())
+          flush_queue(RequestStatus::kReplicaFailed,
+                      "no active replicas remain");
       }
-    }
-    record_dispatch(replica_index, work.size(), latencies_ms, worst_cycles,
-                    error != nullptr);
-    for (std::size_t i = 0; i < work.size(); ++i) {
-      if (error)
-        work[i].promise.set_exception(error);
-      else
-        work[i].promise.set_value(std::move(results[i]));
+      cv_not_empty_.notify_all();
+      cv_not_full_.notify_all();
+      return;
     }
   }
 }
 
-ServingPool::BatchRun ServingPool::run_batch(
-    const std::vector<TensorI>& codes) {
+ServingPool::BatchRun ServingPool::run_batch(const std::vector<TensorI>& codes,
+                                             const RequestOptions& request) {
   BatchRun run;
-  run.results.resize(codes.size());
-  run.accepted.assign(codes.size(), false);
-  std::vector<std::future<hw::AccelRunResult>> tickets(codes.size());
-  for (std::size_t i = 0; i < codes.size(); ++i) {
-    tickets[i] = submit(codes[i]);
-    run.accepted[i] = tickets[i].valid();
-  }
-  for (std::size_t i = 0; i < codes.size(); ++i)
-    if (run.accepted[i]) run.results[i] = tickets[i].get();
+  std::vector<std::future<ServingResult>> tickets;
+  tickets.reserve(codes.size());
+  for (const TensorI& image : codes) tickets.push_back(submit(image, request));
+  run.results.reserve(codes.size());
+  for (auto& ticket : tickets) run.results.push_back(ticket.get());
   return run;
+}
+
+std::size_t ServingPool::BatchRun::ok_count() const {
+  std::size_t ok = 0;
+  for (const ServingResult& r : results)
+    if (r.status == RequestStatus::kOk) ++ok;
+  return ok;
 }
 
 namespace {
@@ -291,13 +708,17 @@ void ServingPool::reset_stats() {
   stats_ = ServingStats{};
   stats_.per_replica.assign(replicas_.size(), 0);
   latencies_ms_.clear();
+  dispatched_requests_ = 0;
   saw_admit_ = false;
 }
 
 ServingStats ServingPool::stats() const {
   std::unique_lock<std::mutex> lock(mutex_);
   ServingStats out = stats_;
+  out.replica_health = health_;
+  out.active_replicas = active_replicas_locked();
   std::vector<double> samples = latencies_ms_;
+  const std::int64_t dispatched = dispatched_requests_;
   const bool windowed = saw_admit_ && (out.completed + out.failed) > 0;
   const double wall_s =
       windowed ? std::chrono::duration_cast<std::chrono::duration<double>>(
@@ -310,17 +731,24 @@ ServingStats ServingPool::stats() const {
   out.p50_latency_ms = percentile(samples, 0.50);
   out.p99_latency_ms = percentile(samples, 0.99);
   out.mean_batch = out.dispatches > 0
-                       ? static_cast<double>(out.completed + out.failed) /
+                       ? static_cast<double>(dispatched) /
                              static_cast<double>(out.dispatches)
                        : 0.0;
+  for (ClassStats& pc : out.per_class) {
+    const std::int64_t accepted = pc.submitted - pc.rejected;
+    pc.goodput = accepted > 0
+                     ? static_cast<double>(pc.ok) /
+                           static_cast<double>(accepted)
+                     : 0.0;
+  }
   out.wall_ms = wall_s * 1e3;
   out.wall_images_per_sec =
       wall_s > 0.0 ? static_cast<double>(out.completed) / wall_s : 0.0;
-  if (out.bottleneck_cycles > 0) {
+  if (out.bottleneck_cycles > 0 && out.active_replicas > 0) {
     const double image_s = static_cast<double>(out.bottleneck_cycles) *
                            program_.config().cycle_ns() * 1e-9;
     out.modeled_images_per_sec =
-        static_cast<double>(replicas()) / image_s;
+        static_cast<double>(out.active_replicas) / image_s;
   }
   return out;
 }

@@ -1,5 +1,5 @@
-// ServingPool: replicated serving of a lowered LayerProgram behind one
-// bounded admission queue.
+// ServingPool: replicated, fault-tolerant serving of a lowered LayerProgram
+// behind one bounded admission queue.
 //
 // PR 3/4 made the pipeline segment the unit of compilation and execution;
 // this module combines those pipeline stages with data-parallel replication,
@@ -8,36 +8,63 @@
 // pipeline), all fed from a single admission queue.
 //
 //     clients --> [ bounded admission queue | policy ] --> replica 0
-//                                                      --> replica 1
-//                                                      --> ...
+//                      (EDF within priority class)    --> replica 1
+//                                                     --> ...
 //
 // Every replica is a Submitter (engine-agnostic: StreamingExecutor or
 // PipelineExecutor), owned by one dispatcher thread that pulls work from the
 // queue per the admission policy:
-//   * kFifo   — dispatch requests one at a time in arrival order; a full
-//     queue blocks the producer (backpressure by blocking).
+//   * kFifo   — dispatch requests one at a time; a full queue blocks the
+//     producer (backpressure by blocking).
 //   * kBatch  — accumulate up to max_batch requests before dispatching, but
 //     never hold the oldest request past its max-wait deadline: a deadline
 //     that expires with a single pending item dispatches that item alone.
-//     A full queue blocks the producer.
-//   * kReject — FIFO dispatch, but a full queue rejects new work immediately
-//     (submit() returns an invalid future) instead of blocking — the
-//     load-shedding policy for latency-sensitive front ends.
+//     A full queue blocks the producer. Under overload (queue occupancy at
+//     or above overload_shrink_occupancy) the accumulation window shrinks
+//     to zero — dispatch whatever is pending rather than waiting for
+//     company the queue already has.
+//   * kReject — FIFO dispatch, but a full queue sheds new work immediately
+//     (a ready future with RequestStatus::kRejected) instead of blocking —
+//     the load-shedding policy for latency-sensitive front ends.
 //
-// Correctness contract: results are bit-identical to monolithic execution
-// for every replica shape and policy (tests/test_serving.cpp cross-checks
-// logits across pool configurations). Shutdown is graceful: work that was
-// admitted is always completed — the destructor drains the queue before
-// joining the dispatchers, so futures obtained from submit() remain valid
-// across pool destruction.
+// Request lifecycle (every submitted request resolves with exactly one
+// typed RequestStatus — there are no invalid futures and no hangs):
 //
-// Throughput accounting: the pool records wall-clock per-request latency
-// (admission to completion — queueing plus service) and derives p50/p99, and
-// models the *hardware* fleet throughput from the replicas' measured cycle
-// counts: replicas * clock / bottleneck-stage cycles. On a simulator host
-// with few cores the wall-clock numbers measure the simulator, while the
-// modeled numbers measure the deployment being simulated; the serving
-// benchmarks report both.
+//   submit ──> rejected (queue full under kReject / bulk evicted / closed)
+//     │
+//     ▼              deadline passed before dispatch
+//   queued ─────────────────────────────────────────> deadline-exceeded
+//     │  EDF within class; latency class first
+//     ▼
+//   dispatched ──ok──> ok
+//     │  replica threw (injected or real)
+//     ▼
+//   retry with bounded exponential backoff on a different healthy replica
+//     │  attempts exhausted, or no replica left
+//     ▼
+//   replica-failed            (cancelled: undispatched at shutdown(false))
+//
+// Replica supervision: each replica carries a health state machine
+// (healthy -> degraded -> quarantined) driven by consecutive dispatch
+// failures and stall detections (a dispatch whose wall duration exceeds
+// stall_timeout_ms). Quarantined replicas stop serving; with
+// rebuild_quarantined set they are rebuilt via make_submitter (and the
+// fault injector's dead flag revived) and rejoin the fleet. If every
+// replica quarantines, queued and future work fails fast with
+// kReplicaFailed instead of waiting forever.
+//
+// Inference is pure — a retried request recomputes exactly the same logits
+// — so retry-elsewhere is always safe. The correctness contract carries
+// over from PR 5: results delivered with status kOk are bit-identical to
+// monolithic execution for every replica shape and policy
+// (tests/test_serving.cpp, tests/test_faults.cpp cross-check logits, the
+// latter under seeded fault plans).
+//
+// Shutdown is graceful: work that was admitted is always completed — the
+// destructor drains the queue (retries included) before joining the
+// dispatchers, so futures obtained from submit() remain valid and resolve
+// across pool destruction. shutdown(/*drain=*/false) instead cancels
+// undispatched work with kCancelled (in-flight dispatches still complete).
 #pragma once
 
 #include <chrono>
@@ -52,6 +79,7 @@
 #include <vector>
 
 #include "engine/engine.hpp"
+#include "engine/fault.hpp"
 #include "engine/submitter.hpp"
 #include "hw/accelerator.hpp"
 #include "ir/layer_program.hpp"
@@ -70,6 +98,58 @@ AdmissionPolicy parse_policy(const std::string& name);
 /// empty when `name` is valid.
 std::string policy_parse_error(const std::string& name);
 
+/// Typed outcome of one serving request — every future resolves with
+/// exactly one of these.
+enum class RequestStatus {
+  kOk,                ///< served; `result` holds the logits and stats
+  kRejected,          ///< shed at admission (full queue / bulk eviction)
+  kDeadlineExceeded,  ///< expired in the queue before any replica ran it
+  kReplicaFailed,     ///< every (bounded) attempt failed
+  kCancelled,         ///< undispatched when shutdown(false) cancelled it
+};
+
+/// Canonical status name: "ok" / "rejected" / "deadline_exceeded" /
+/// "replica_failed" / "cancelled".
+const char* status_name(RequestStatus status);
+
+/// Request priority class: the latency lane is dispatched first and is the
+/// last to be shed; the bulk lane absorbs overload.
+enum class PriorityClass { kLatency, kBulk };
+inline constexpr int kNumPriorityClasses = 2;
+
+/// Canonical class name: "latency" / "bulk".
+const char* priority_name(PriorityClass priority);
+
+/// Per-request submission options.
+struct RequestOptions {
+  PriorityClass priority = PriorityClass::kLatency;
+  /// Deadline relative to admission; 0 = none. A request whose deadline
+  /// passes while still queued fails fast with kDeadlineExceeded instead of
+  /// occupying a replica. Dispatch order within a class is earliest-
+  /// deadline-first (deadline-less requests rank last, FIFO among
+  /// themselves).
+  double deadline_ms = 0.0;
+};
+
+/// What a serving future resolves to.
+struct ServingResult {
+  RequestStatus status = RequestStatus::kCancelled;
+  hw::AccelRunResult result;  ///< valid when status == kOk
+  std::string error;          ///< diagnostic for non-ok outcomes
+  int attempts = 0;           ///< dispatch attempts consumed (1 = no retry)
+  int replica = -1;           ///< replica that served it (kOk only)
+  /// Global dispatch sequence number of the final attempt (-1 when never
+  /// dispatched) — lets tests assert dispatch ordering (EDF, class
+  /// priority) without racing on wall clocks.
+  std::int64_t dispatch_seq = -1;
+};
+
+/// Replica health, as driven by the supervision thresholds.
+enum class ReplicaHealth { kHealthy, kDegraded, kQuarantined };
+
+/// Canonical health name: "healthy" / "degraded" / "quarantined".
+const char* health_name(ReplicaHealth health);
+
 struct ServingPoolOptions {
   /// Identical replicas behind the queue (>= 1).
   int replicas = 1;
@@ -84,35 +164,88 @@ struct ServingPoolOptions {
 
   /// Admission-queue capacity in requests. Must be >= 1 for the blocking
   /// policies; 0 is legal only with kReject (every request is shed — the
-  /// drain-for-maintenance configuration).
+  /// drain-for-maintenance configuration). Retried requests re-enter the
+  /// queue without counting against the capacity (they were admitted once).
   std::size_t queue_capacity = 64;
   AdmissionPolicy policy = AdmissionPolicy::kFifo;
   /// kBatch: dispatch as soon as this many requests accumulated (>= 1).
   std::size_t max_batch = 8;
   /// kBatch: never hold the oldest pending request longer than this.
   double max_wait_ms = 1.0;
+  /// kBatch: at or above this queue occupancy (fraction of capacity) the
+  /// accumulation window shrinks to zero — graceful degradation under
+  /// sustained overload.
+  double overload_shrink_occupancy = 0.5;
+
+  // --- fault tolerance ---
+  /// Failed dispatch attempts are retried (preferentially on a different
+  /// healthy replica) up to this many times before the request resolves
+  /// with kReplicaFailed. 0 disables retry.
+  int max_retries = 2;
+  /// Exponential backoff before each retry: base * 2^(attempt-1), capped.
+  double backoff_base_ms = 0.1;
+  double backoff_cap_ms = 10.0;
+  /// A dispatch whose wall duration exceeds this counts as a stall for the
+  /// replica's health (its results are still delivered). 0 disables stall
+  /// detection.
+  double stall_timeout_ms = 0.0;
+  /// Consecutive dispatch failures before a replica degrades / quarantines.
+  int degrade_after_failures = 1;
+  int quarantine_after_failures = 3;
+  /// Stall detections (not necessarily consecutive) before quarantine.
+  int quarantine_after_stalls = 2;
+  /// Rebuild quarantined replicas via make_submitter (reviving the fault
+  /// injector's dead flag) instead of retiring them.
+  bool rebuild_quarantined = false;
+  /// Deterministic fault plan armed across the fleet; empty = no injection.
+  FaultPlan fault_plan;
+};
+
+/// Per-priority-class slice of the pool statistics.
+struct ClassStats {
+  std::int64_t submitted = 0;  ///< admission attempts (admitted + shed)
+  std::int64_t ok = 0;
+  std::int64_t rejected = 0;
+  std::int64_t deadline_exceeded = 0;
+  std::int64_t failed = 0;
+  std::int64_t cancelled = 0;
+  /// ok / (submitted - rejected): of the work the pool accepted, how much
+  /// it actually served. The fault_sweep bench's availability metric.
+  double goodput = 0.0;
 };
 
 /// Cumulative pool statistics (since construction). Latency percentiles are
-/// wall-clock admission-to-completion times; the modeled fields translate
-/// the replicas' cycle counts into deployed-fleet hardware throughput.
+/// wall-clock admission-to-completion times of kOk requests; the modeled
+/// fields translate the replicas' cycle counts into deployed-fleet hardware
+/// throughput.
 struct ServingStats {
   std::int64_t submitted = 0;   ///< admitted requests
-  std::int64_t rejected = 0;    ///< shed by kReject backpressure
-  std::int64_t completed = 0;
-  std::int64_t failed = 0;      ///< completed exceptionally
+  std::int64_t rejected = 0;    ///< shed (admission backpressure + eviction)
+  std::int64_t completed = 0;   ///< resolved kOk
+  std::int64_t failed = 0;      ///< resolved kReplicaFailed
+  std::int64_t deadline_exceeded = 0;  ///< resolved kDeadlineExceeded
+  std::int64_t cancelled = 0;   ///< resolved kCancelled
   std::int64_t dispatches = 0;  ///< batches handed to replicas
-  double mean_batch = 0.0;      ///< (completed + failed) / dispatches
+  double mean_batch = 0.0;      ///< dispatched requests / dispatches
+  std::int64_t retries = 0;     ///< requests re-queued after a failure
+  std::int64_t replica_failures = 0;  ///< failed dispatch attempts
+  std::int64_t stalls = 0;      ///< dispatches exceeding stall_timeout_ms
+  std::int64_t rebuilds = 0;    ///< quarantined replicas rebuilt
+  std::int64_t shed_bulk = 0;   ///< bulk requests evicted for latency work
+  std::int64_t window_shrinks = 0;  ///< batch windows zeroed by overload
+  ClassStats per_class[kNumPriorityClasses];  ///< by PriorityClass
   double wall_ms = 0.0;         ///< first admission to last completion
   double wall_images_per_sec = 0.0;    ///< simulator wall-clock throughput
-  double p50_latency_ms = 0.0;  ///< wall-clock, queueing + service
+  double p50_latency_ms = 0.0;  ///< wall-clock, queueing + service, kOk only
   double p99_latency_ms = 0.0;
   /// Modeled hardware throughput of the replicated deployment:
-  /// replicas * clock_hz / bottleneck_cycles, from measured per-image stage
-  /// cycles (0 until a request completes).
+  /// active replicas * clock_hz / bottleneck_cycles, from measured
+  /// per-image stage cycles (0 until a request completes).
   double modeled_images_per_sec = 0.0;
   std::int64_t bottleneck_cycles = 0;  ///< worst measured stage, per image
   std::vector<std::int64_t> per_replica;  ///< images served by each replica
+  std::vector<ReplicaHealth> replica_health;
+  int active_replicas = 0;  ///< replicas not quarantined
 };
 
 class ServingPool {
@@ -129,29 +262,41 @@ class ServingPool {
 
   /// Admit one request of pre-encoded activation codes. Blocks while the
   /// queue is full under kFifo/kBatch; under kReject a full queue sheds the
-  /// request and returns an invalid future (future.valid() == false).
-  std::future<hw::AccelRunResult> submit(TensorI codes);
+  /// request. Always returns a valid future: shed requests resolve
+  /// immediately with kRejected. A full queue holding bulk work sheds the
+  /// newest bulk request to admit a latency-class request (degradation
+  /// order: bulk first).
+  std::future<ServingResult> submit(TensorI codes,
+                                    const RequestOptions& request = {});
 
   /// Non-blocking admission under any policy: returns false (and leaves
   /// `ticket` untouched) when the queue is full or the pool is shutting
-  /// down.
-  bool try_submit(TensorI codes, std::future<hw::AccelRunResult>* ticket);
+  /// down. No bulk eviction — this is the polite probe.
+  bool try_submit(TensorI codes, std::future<ServingResult>* ticket,
+                  const RequestOptions& request = {});
 
   /// Convenience: submit the whole batch (per the pool's policy), wait for
-  /// every admitted request, and return results index-aligned with `codes`.
-  /// `accepted[i]` is false for requests shed by kReject; their result slot
-  /// is default-constructed.
+  /// every request, and return results index-aligned with `codes`.
   struct BatchRun {
-    std::vector<hw::AccelRunResult> results;
-    std::vector<bool> accepted;
+    std::vector<ServingResult> results;
+    /// Requests resolved kOk.
+    std::size_t ok_count() const;
   };
-  BatchRun run_batch(const std::vector<TensorI>& codes);
+  BatchRun run_batch(const std::vector<TensorI>& codes,
+                     const RequestOptions& request = {});
+
+  /// Stop admitting work. drain=true completes everything already admitted
+  /// (the destructor's behavior); drain=false resolves undispatched queued
+  /// requests with kCancelled (in-flight dispatches still complete).
+  /// Idempotent; safe to call before destruction.
+  void shutdown(bool drain = true);
 
   /// Snapshot of the cumulative statistics (percentiles computed here).
   ServingStats stats() const;
 
   /// Zero the cumulative statistics — e.g. after a warm-up batch, so a
-  /// measurement window excludes cold-start engine construction.
+  /// measurement window excludes cold-start engine construction. Health
+  /// state and the fault injector's attempt ordinals are preserved.
   void reset_stats();
 
   int replicas() const { return static_cast<int>(replica_threads_.size()); }
@@ -161,42 +306,88 @@ class ServingPool {
   const ServingPoolOptions& options() const { return options_; }
   /// Shape of replica 0 (all replicas are identical), e.g. "pipeline(2)".
   std::string replica_shape() const;
+  /// The armed fault injector; nullptr when the plan is empty.
+  const FaultInjector* fault_injector() const { return injector_.get(); }
 
  private:
+  using Clock = std::chrono::steady_clock;
+
   struct Request {
     TensorI codes;
-    std::promise<hw::AccelRunResult> promise;
-    std::chrono::steady_clock::time_point admitted;
+    std::promise<ServingResult> promise;
+    Clock::time_point admitted;
+    Clock::time_point deadline;    ///< time_point::max() when none
+    Clock::time_point not_before;  ///< retry backoff gate
+    PriorityClass priority = PriorityClass::kLatency;
+    int attempts = 0;       ///< dispatch attempts consumed so far
+    int last_replica = -1;  ///< replica of the last failed attempt
+    std::uint64_t seq = 0;  ///< admission order, FIFO tiebreak
   };
 
   void replica_main(std::size_t replica_index);
-  /// Pop the next dispatch per the admission policy; empty once the pool is
-  /// closed and drained.
-  std::vector<Request> acquire_work();
-  bool admit(TensorI&& codes, std::future<hw::AccelRunResult>* ticket,
-             bool blocking);
-  void record_dispatch(std::size_t replica_index, std::size_t count,
-                       const std::vector<double>& latencies_ms,
-                       std::int64_t worst_stage_cycles, bool failed);
-  /// Worst per-stage cycle count of one completed image (total cycles for a
-  /// monolithic replica) — the measured pipeline bottleneck.
+  /// Pop the next dispatch per the admission policy (EDF within class,
+  /// latency class first, honoring backoff gates and retry-elsewhere);
+  /// fails expired requests fast. Empty once the pool is closed and
+  /// drained, or this replica should stop serving.
+  std::vector<Request> acquire_work(std::size_t replica_index);
+  bool admit(TensorI&& codes, const RequestOptions& request,
+             std::future<ServingResult>* ticket, bool blocking,
+             bool allow_evict);
+  /// Record the outcome in stats_ and fulfill the promise, in that order —
+  /// a caller that observes a resolved future must also observe its
+  /// completion in stats(). Requires mutex_ held (set_value runs no user
+  /// code, so fulfilling under the lock cannot deadlock).
+  void resolve(Request&& request, ServingResult&& outcome);
+  /// Re-queue a failed request with backoff, or fail it typed once its
+  /// attempts are exhausted (or no replica remains to serve it).
+  void retry_or_fail(Request&& request, const std::string& error,
+                     std::size_t replica_index, std::int64_t dispatch_seq);
+  /// Health bookkeeping after a dispatch. `replica_fault` excludes
+  /// deterministic request errors (ContractViolation), which never poison
+  /// the replica's health; `dead` (a ReplicaDeadError) quarantines
+  /// immediately. Returns true when the replica just transitioned to
+  /// quarantined.
+  bool record_dispatch_health(std::size_t replica_index, bool success,
+                              bool replica_fault, bool stalled, bool dead);
+  /// Handle this replica's quarantine: rebuild (when configured) or retire.
+  /// Returns false when the replica thread should exit.
+  bool handle_quarantine(std::size_t replica_index);
+  /// Fail every queued request with `status` (used when the last active
+  /// replica retires, and by shutdown(false)).
+  void flush_queue(RequestStatus status, const std::string& error);
   std::int64_t worst_stage_cycles(const hw::AccelRunResult& result) const;
+  int active_replicas_locked() const;
+  /// True when no replica is active and none can come back: with
+  /// rebuild_quarantined, a quarantine is a transient state (the replica's
+  /// own thread rebuilds it synchronously), so the fleet is only
+  /// unrecoverable once every replica thread has actually retired.
+  bool fleet_unrecoverable_locked() const;
 
   const ir::LayerProgram& program_;
   EngineKind kind_;
   const ServingPoolOptions options_;
+  std::unique_ptr<FaultInjector> injector_;  ///< armed when plan non-empty
 
   mutable std::mutex mutex_;
   std::condition_variable cv_not_empty_;
   std::condition_variable cv_not_full_;
   std::deque<Request> queue_;
   bool closed_ = false;
+  std::uint64_t next_seq_ = 0;
+  std::int64_t next_dispatch_seq_ = 0;
+
+  // Supervision state, guarded by mutex_.
+  std::vector<ReplicaHealth> health_;
+  std::vector<int> consecutive_failures_;
+  std::vector<int> stall_count_;
+  std::size_t retired_replicas_ = 0;  ///< replica threads that have exited
 
   // Statistics, guarded by mutex_.
   ServingStats stats_;
+  std::int64_t dispatched_requests_ = 0;  ///< for mean_batch
   std::vector<double> latencies_ms_;
-  std::chrono::steady_clock::time_point first_admit_;
-  std::chrono::steady_clock::time_point last_complete_;
+  Clock::time_point first_admit_;
+  Clock::time_point last_complete_;
   bool saw_admit_ = false;
 
   std::vector<std::unique_ptr<Submitter>> replicas_;

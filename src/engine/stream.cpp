@@ -4,12 +4,18 @@
 #include <chrono>
 
 #include "common/assert.hpp"
+#include "engine/fault.hpp"
 
 namespace rsnn::engine {
 
 StreamingExecutor::StreamingExecutor(const ir::LayerProgram& program,
-                                     EngineKind kind, int num_workers)
-    : program_(program), kind_(kind) {
+                                     EngineKind kind, int num_workers,
+                                     FaultInjector* injector,
+                                     int replica_index)
+    : program_(program),
+      kind_(kind),
+      injector_(injector),
+      replica_index_(replica_index) {
   RSNN_REQUIRE(program.has_hw_annotations(),
                "streaming needs a hardware-lowered program");
   std::size_t workers =
@@ -67,6 +73,7 @@ void StreamingExecutor::worker_main() {
       if (batch_ == nullptr || i >= batch_->size()) break;
       try {
         RSNN_REQUIRE(engine != nullptr, "worker engine failed to construct");
+        if (injector_ != nullptr) injector_->before_attempt(replica_index_);
         (*results_)[i] = engine->run_codes((*batch_)[i]);
       } catch (...) {
         const std::lock_guard<std::mutex> lock(mutex_);

@@ -41,13 +41,19 @@ struct StreamStats {
   double ns_per_inference = 0.0;  ///< wall time / images (aggregate, not per-image latency)
 };
 
+class FaultInjector;
+
 class StreamingExecutor : public Submitter {
  public:
   /// Spawns `num_workers` persistent workers (hardware concurrency when
   /// <= 0), each constructing its own engine of `kind` over `program`.
-  /// The program (and its network) must outlive the executor.
+  /// When `injector` is non-null, every image execution first consults it
+  /// (as replica `replica_index`) — injected faults surface as the batch
+  /// exception from run_stream(). The program (and its network) must
+  /// outlive the executor; so must the injector.
   StreamingExecutor(const ir::LayerProgram& program, EngineKind kind,
-                    int num_workers = 0);
+                    int num_workers = 0, FaultInjector* injector = nullptr,
+                    int replica_index = 0);
   ~StreamingExecutor();
   StreamingExecutor(const StreamingExecutor&) = delete;
   StreamingExecutor& operator=(const StreamingExecutor&) = delete;
@@ -81,6 +87,8 @@ class StreamingExecutor : public Submitter {
 
   const ir::LayerProgram& program_;
   EngineKind kind_;
+  FaultInjector* injector_;  ///< optional, shared across the fleet
+  const int replica_index_;
 
   std::mutex mutex_;
   std::condition_variable cv_work_;

@@ -8,11 +8,13 @@ namespace rsnn::engine {
 std::unique_ptr<Submitter> make_submitter(
     const ir::LayerProgram& program, EngineKind kind,
     const std::vector<ir::ProgramSegment>& segments, int workers,
-    std::size_t queue_capacity) {
+    std::size_t queue_capacity, FaultInjector* injector, int replica_index) {
   if (segments.empty())
-    return std::make_unique<StreamingExecutor>(program, kind, workers);
+    return std::make_unique<StreamingExecutor>(program, kind, workers,
+                                               injector, replica_index);
   return std::make_unique<PipelineExecutor>(program, segments, kind,
-                                            queue_capacity);
+                                            queue_capacity, injector,
+                                            replica_index);
 }
 
 }  // namespace rsnn::engine

@@ -16,6 +16,7 @@
 // submit() at a time per instance; the pool gives each replica its own.
 #pragma once
 
+#include <cstddef>
 #include <memory>
 #include <string>
 #include <vector>
@@ -26,6 +27,7 @@
 namespace rsnn::engine {
 
 enum class EngineKind;
+class FaultInjector;
 
 class Submitter {
  public:
@@ -52,11 +54,15 @@ class Submitter {
 /// `segments` is non-empty (one device per segment), otherwise a monolithic
 /// StreamingExecutor with `workers` persistent workers. `queue_capacity`
 /// bounds the pipeline's inter-stage queues (ignored for monolithic
-/// replicas). The program — and, for re-lowered segments, the segment vector's
-/// shared per-device programs — must outlive the submitter.
+/// replicas). When `injector` is non-null the replica consults it (as
+/// replica `replica_index`) before every execution attempt — the fault-
+/// injection hook the chaos tests arm. The program — and, for re-lowered
+/// segments, the segment vector's shared per-device programs — must outlive
+/// the submitter; so must the injector.
 std::unique_ptr<Submitter> make_submitter(
     const ir::LayerProgram& program, EngineKind kind,
     const std::vector<ir::ProgramSegment>& segments, int workers = 1,
-    std::size_t queue_capacity = 4);
+    std::size_t queue_capacity = 4, FaultInjector* injector = nullptr,
+    int replica_index = 0);
 
 }  // namespace rsnn::engine

@@ -142,12 +142,16 @@ TEST(ServingPool, CrossChecksLogitsAcrossConfigurations) {
 
     const auto run = pool.run_batch(batch);
     ASSERT_EQ(run.results.size(), batch.size());
+    EXPECT_EQ(run.ok_count(), batch.size());
     for (std::size_t i = 0; i < batch.size(); ++i) {
-      EXPECT_TRUE(run.accepted[i]);
-      EXPECT_EQ(run.results[i].logits, reference[i].logits) << "image " << i;
-      EXPECT_EQ(run.results[i].predicted_class, reference[i].predicted_class);
-      EXPECT_EQ(run.results[i].total_cycles, reference[i].total_cycles);
-      EXPECT_EQ(run.results[i].total_adder_ops, reference[i].total_adder_ops);
+      ASSERT_EQ(run.results[i].status, RequestStatus::kOk) << "image " << i;
+      const hw::AccelRunResult& result = run.results[i].result;
+      EXPECT_EQ(result.logits, reference[i].logits) << "image " << i;
+      EXPECT_EQ(result.predicted_class, reference[i].predicted_class);
+      EXPECT_EQ(result.total_cycles, reference[i].total_cycles);
+      EXPECT_EQ(result.total_adder_ops, reference[i].total_adder_ops);
+      EXPECT_EQ(run.results[i].attempts, 1);
+      EXPECT_GE(run.results[i].replica, 0);
     }
 
     const ServingStats stats = pool.stats();
@@ -176,10 +180,12 @@ TEST(ServingPool, CycleAccurateReplicatedPipelineMatchesMonolithic) {
 
   const auto run = pool.run_batch(batch);
   for (std::size_t i = 0; i < batch.size(); ++i) {
-    EXPECT_EQ(run.results[i].logits, reference[i].logits) << "image " << i;
-    EXPECT_EQ(run.results[i].total_cycles, reference[i].total_cycles);
-    EXPECT_EQ(run.results[i].total_adder_ops, reference[i].total_adder_ops);
-    EXPECT_EQ(run.results[i].dram_bits, reference[i].dram_bits);
+    ASSERT_EQ(run.results[i].status, RequestStatus::kOk) << "image " << i;
+    const hw::AccelRunResult& result = run.results[i].result;
+    EXPECT_EQ(result.logits, reference[i].logits) << "image " << i;
+    EXPECT_EQ(result.total_cycles, reference[i].total_cycles);
+    EXPECT_EQ(result.total_adder_ops, reference[i].total_adder_ops);
+    EXPECT_EQ(result.dram_bits, reference[i].dram_bits);
   }
 }
 
@@ -199,8 +205,11 @@ TEST(ServingPool, RelowereedPipelineReplicasKeepLogits) {
   ServingPool pool(fx.program, EngineKind::kAnalytic, options);
 
   const auto run = pool.run_batch(batch);
-  for (std::size_t i = 0; i < batch.size(); ++i)
-    EXPECT_EQ(run.results[i].logits, reference[i].logits) << "image " << i;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    ASSERT_EQ(run.results[i].status, RequestStatus::kOk) << "image " << i;
+    EXPECT_EQ(run.results[i].result.logits, reference[i].logits)
+        << "image " << i;
+  }
 }
 
 // ------------------------------------------------ queue concurrency
@@ -222,8 +231,7 @@ TEST(ServingPool, ConcurrentProducersHammerABoundedQueue) {
   options.queue_capacity = 2;
   ServingPool pool(fx.program, EngineKind::kReference, options);
 
-  std::vector<std::vector<std::future<hw::AccelRunResult>>> tickets(
-      kProducers);
+  std::vector<std::vector<std::future<ServingResult>>> tickets(kProducers);
   std::vector<std::thread> producers;
   for (int p = 0; p < kProducers; ++p)
     producers.emplace_back([&, p] {
@@ -235,8 +243,10 @@ TEST(ServingPool, ConcurrentProducersHammerABoundedQueue) {
   for (int p = 0; p < kProducers; ++p)
     for (int i = 0; i < kPerProducer; ++i) {
       ASSERT_TRUE(tickets[p][i].valid()) << "producer " << p << " item " << i;
-      const hw::AccelRunResult result = tickets[p][i].get();
-      EXPECT_EQ(result.logits, reference[p * kPerProducer + i].logits)
+      const ServingResult result = tickets[p][i].get();
+      ASSERT_EQ(result.status, RequestStatus::kOk)
+          << "producer " << p << " item " << i << ": " << result.error;
+      EXPECT_EQ(result.result.logits, reference[p * kPerProducer + i].logits)
           << "producer " << p << " item " << i;
     }
   const ServingStats stats = pool.stats();
@@ -257,15 +267,23 @@ TEST(ServingPool, ZeroCapacityQueueRejectsEverything) {
 
   for (const TensorI& codes : batch) {
     auto ticket = pool.submit(codes);
-    EXPECT_FALSE(ticket.valid());
+    ASSERT_TRUE(ticket.valid()) << "shed requests resolve, never invalidate";
+    const ServingResult shed = ticket.get();
+    EXPECT_EQ(shed.status, RequestStatus::kRejected);
+    EXPECT_FALSE(shed.error.empty());
+    EXPECT_EQ(shed.attempts, 0);
   }
-  std::future<hw::AccelRunResult> ticket;
+  std::future<ServingResult> ticket;
   EXPECT_FALSE(pool.try_submit(batch[0], &ticket));
+  EXPECT_FALSE(ticket.valid()) << "a refused try_submit leaves the ticket";
 
   const ServingStats stats = pool.stats();
   EXPECT_EQ(stats.submitted, 0);
   EXPECT_EQ(stats.rejected, 4);
   EXPECT_EQ(stats.completed, 0);
+  EXPECT_EQ(stats.per_class[0].submitted, 4);
+  EXPECT_EQ(stats.per_class[0].rejected, 4);
+  EXPECT_DOUBLE_EQ(stats.per_class[0].goodput, 0.0);
 
   // A zero-capacity queue under a blocking policy would deadlock every
   // producer; the pool refuses to construct it.
@@ -287,15 +305,20 @@ TEST(ServingPool, RejectPolicyShedsUnderBurst) {
   options.policy = AdmissionPolicy::kReject;
   ServingPool pool(fx.program, EngineKind::kReference, options);
 
-  std::vector<std::future<hw::AccelRunResult>> tickets;
+  std::vector<std::future<ServingResult>> tickets;
   for (int i = 0; i < 16; ++i) tickets.push_back(pool.submit(batch[0]));
 
   std::int64_t accepted = 0;
-  for (auto& ticket : tickets)
-    if (ticket.valid()) {
-      EXPECT_FALSE(ticket.get().logits.empty());
+  for (auto& ticket : tickets) {
+    ASSERT_TRUE(ticket.valid());
+    const ServingResult result = ticket.get();
+    if (result.status == RequestStatus::kOk) {
+      EXPECT_FALSE(result.result.logits.empty());
       ++accepted;
+    } else {
+      EXPECT_EQ(result.status, RequestStatus::kRejected);
     }
+  }
   const ServingStats stats = pool.stats();
   EXPECT_EQ(stats.submitted, accepted);
   EXPECT_EQ(stats.rejected, 16 - accepted);
@@ -312,7 +335,7 @@ TEST(ServingPool, ShutdownWithInFlightWorkKeepsEveryPromise) {
   const auto reference =
       monolithic_reference(fx.program, EngineKind::kReference, batch);
 
-  std::vector<std::future<hw::AccelRunResult>> tickets;
+  std::vector<std::future<ServingResult>> tickets;
   {
     ServingPool pool(fx.program, EngineKind::kReference,
                      ServingPoolOptions{});
@@ -321,7 +344,9 @@ TEST(ServingPool, ShutdownWithInFlightWorkKeepsEveryPromise) {
 
   for (std::size_t i = 0; i < tickets.size(); ++i) {
     ASSERT_TRUE(tickets[i].valid());
-    EXPECT_EQ(tickets[i].get().logits, reference[i].logits) << "image " << i;
+    const ServingResult result = tickets[i].get();
+    ASSERT_EQ(result.status, RequestStatus::kOk) << result.error;
+    EXPECT_EQ(result.result.logits, reference[i].logits) << "image " << i;
   }
 }
 
@@ -339,7 +364,9 @@ TEST(ServingPool, BatchDeadlineExpiryDispatchesASingleItem) {
 
   auto ticket = pool.submit(batch[0]);
   ASSERT_TRUE(ticket.valid());
-  EXPECT_FALSE(ticket.get().logits.empty());
+  const ServingResult result = ticket.get();
+  ASSERT_EQ(result.status, RequestStatus::kOk) << result.error;
+  EXPECT_FALSE(result.result.logits.empty());
 
   const ServingStats stats = pool.stats();
   EXPECT_EQ(stats.completed, 1);
@@ -360,8 +387,10 @@ TEST(ServingPool, BatchPolicyAccumulatesUpToMaxBatch) {
   ServingPool pool(fx.program, EngineKind::kReference, options);
 
   const auto run = pool.run_batch(batch);
+  EXPECT_EQ(run.ok_count(), batch.size());
   for (std::size_t i = 0; i < batch.size(); ++i)
-    EXPECT_EQ(run.results[i].logits, reference[i].logits) << "image " << i;
+    EXPECT_EQ(run.results[i].result.logits, reference[i].logits)
+        << "image " << i;
 
   const ServingStats stats = pool.stats();
   EXPECT_EQ(stats.completed, 8);
@@ -388,9 +417,13 @@ TEST(ServingPool, BatchRefillsFromProducersBlockedOnAFullQueue) {
   options.max_wait_ms = 500.0;
   ServingPool pool(fx.program, EngineKind::kReference, options);
 
-  std::vector<std::future<hw::AccelRunResult>> tickets;
+  std::vector<std::future<ServingResult>> tickets;
   for (const TensorI& codes : batch) tickets.push_back(pool.submit(codes));
-  for (auto& ticket : tickets) EXPECT_FALSE(ticket.get().logits.empty());
+  for (auto& ticket : tickets) {
+    const ServingResult result = ticket.get();
+    ASSERT_EQ(result.status, RequestStatus::kOk) << result.error;
+    EXPECT_FALSE(result.result.logits.empty());
+  }
 
   const ServingStats stats = pool.stats();
   EXPECT_EQ(stats.completed, 4);
@@ -406,14 +439,24 @@ TEST(ServingPool, MalformedRequestFailsOnlyItself) {
   ServingPool pool(fx.program, EngineKind::kReference, ServingPoolOptions{});
   auto bad = pool.submit(TensorI(Shape{1, 8, 8}));
   ASSERT_TRUE(bad.valid());
-  EXPECT_THROW(bad.get(), ContractViolation);
+  const ServingResult failed = bad.get();
+  EXPECT_EQ(failed.status, RequestStatus::kReplicaFailed);
+  EXPECT_FALSE(failed.error.empty());
+  // Deterministic request errors are still retried (the pool cannot tell a
+  // bad request from a bad replica a priori), but bounded.
+  EXPECT_EQ(failed.attempts, ServingPoolOptions{}.max_retries + 1);
 
-  // The pool stays serviceable after a failed dispatch.
+  // The pool stays serviceable after a failed dispatch: a malformed request
+  // is the caller's fault and never poisons the replica's health.
   auto good = pool.submit(batch[0]);
-  EXPECT_FALSE(good.get().logits.empty());
+  const ServingResult ok = good.get();
+  ASSERT_EQ(ok.status, RequestStatus::kOk) << ok.error;
+  EXPECT_FALSE(ok.result.logits.empty());
   const ServingStats stats = pool.stats();
   EXPECT_EQ(stats.failed, 1);
   EXPECT_EQ(stats.completed, 1);
+  EXPECT_EQ(stats.retries, ServingPoolOptions{}.max_retries);
+  EXPECT_EQ(stats.active_replicas, 1);
 }
 
 TEST(ServingPool, InvalidOptionsThrow) {
@@ -443,6 +486,26 @@ TEST(ServingPool, InvalidOptionsThrow) {
     ServingPoolOptions options;
     options.segments = compiler::partition_balance_latency(fx.program, 2);
     options.segments.pop_back();
+    EXPECT_THROW(ServingPool(fx.program, EngineKind::kReference, options),
+                 ContractViolation);
+  }
+  {
+    ServingPoolOptions options;
+    options.max_retries = -1;
+    EXPECT_THROW(ServingPool(fx.program, EngineKind::kReference, options),
+                 ContractViolation);
+  }
+  {
+    ServingPoolOptions options;
+    options.backoff_base_ms = 5.0;
+    options.backoff_cap_ms = 1.0;  // cap below base
+    EXPECT_THROW(ServingPool(fx.program, EngineKind::kReference, options),
+                 ContractViolation);
+  }
+  {
+    ServingPoolOptions options;
+    options.quarantine_after_failures = 1;
+    options.degrade_after_failures = 2;  // degrade above quarantine
     EXPECT_THROW(ServingPool(fx.program, EngineKind::kReference, options),
                  ContractViolation);
   }
@@ -503,8 +566,10 @@ TEST(PlanServing, PlannedConfigurationServesBitIdentically) {
   if (plan.stages > 1) options.segments = plan.segments;
   ServingPool pool(fx.program, EngineKind::kAnalytic, options);
   const auto run = pool.run_batch(batch);
+  EXPECT_EQ(run.ok_count(), batch.size());
   for (std::size_t i = 0; i < batch.size(); ++i)
-    EXPECT_EQ(run.results[i].logits, reference[i].logits) << "image " << i;
+    EXPECT_EQ(run.results[i].result.logits, reference[i].logits)
+        << "image " << i;
 }
 
 }  // namespace

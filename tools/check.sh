@@ -5,8 +5,10 @@
 #                           targets always link the checked library twin).
 #   2. Release + RSNN_CHECKED=ON — RSNN_DCHECK active in *every* target, so
 #                           the full suite runs bounds-checked end to end.
-# plus an RTL-emission smoke and a sanitizer (ASan+UBSan) pass over the
-# threaded executor tests.
+# plus an RTL-emission smoke, a sanitizer (ASan+UBSan) pass over the
+# threaded executor tests, and a ThreadSanitizer pass over the same suites
+# (the serving pool's supervision / retry machinery is lock-heavy; TSan is
+# the tier that catches ordering bugs ASan cannot).
 #
 # The library targets build with -Wall -Wextra; this script treats any
 # compiler warning as a failure so the targets stay warnings-clean.
@@ -108,17 +110,33 @@ echo "==== RTL emission smoke passed ===="
 # 4. Sanitizer pass (ASan + UBSan): builds only the threaded executor tests
 #    plus the re-lowering suite and runs them instrumented, validating the
 #    pipeline executor's bounded queues / worker threads, the streaming
-#    pool, the serving pool's admission queue and the per-device re-lowering
-#    path for memory and UB errors without paying for a full sanitized
-#    suite run.
+#    pool, the serving pool's admission queue, the fault-injection chaos
+#    suite and the per-device re-lowering path for memory and UB errors
+#    without paying for a full sanitized suite run.
 echo "==== [Release+RSNN_SANITIZE] configure ===="
 cmake -B build-check-sanitize -S . \
     -DCMAKE_BUILD_TYPE=Release -DRSNN_SANITIZE=ON
 echo "==== [Release+RSNN_SANITIZE] build (threaded executor tests) ===="
 cmake --build build-check-sanitize -j "$JOBS" \
-    --target test_pipeline test_equivalence_packed test_relower test_serving
+    --target test_pipeline test_equivalence_packed test_relower test_serving \
+      test_faults
 echo "==== [Release+RSNN_SANITIZE] ctest ===="
 ctest --test-dir build-check-sanitize --output-on-failure -j "$JOBS" \
-    -R 'test_pipeline|test_equivalence_packed|test_relower|test_serving'
+    -R 'test_pipeline|test_equivalence_packed|test_relower|test_serving|test_faults'
+
+# 5. ThreadSanitizer pass: same threaded suites under RSNN_SANITIZE_THREAD
+#    (its own build directory — TSan and ASan cannot share one). This is
+#    the tier that validates the serving pool's replica supervision, retry
+#    backoff and shutdown paths for data races and lock-order inversions.
+echo "==== [Release+RSNN_SANITIZE_THREAD] configure ===="
+cmake -B build-check-tsan -S . \
+    -DCMAKE_BUILD_TYPE=Release -DRSNN_SANITIZE_THREAD=ON
+echo "==== [Release+RSNN_SANITIZE_THREAD] build (threaded executor tests) ===="
+cmake --build build-check-tsan -j "$JOBS" \
+    --target test_pipeline test_equivalence_packed test_serving test_faults
+echo "==== [Release+RSNN_SANITIZE_THREAD] ctest ===="
+TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1" \
+  ctest --test-dir build-check-tsan --output-on-failure -j "$JOBS" \
+    -R 'test_pipeline|test_equivalence_packed|test_serving|test_faults'
 
 echo "==== all configurations passed ===="

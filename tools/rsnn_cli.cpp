@@ -14,15 +14,20 @@
 //
 // Datasets: real MNIST from ./data/mnist when present, SynthDigits stand-in
 // otherwise (models with 28x28/32x32 single-channel inputs only).
+#include <algorithm>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <future>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "compiler/compile.hpp"
 #include "compiler/partition.hpp"
 #include "data/idx_loader.hpp"
 #include "engine/engine.hpp"
+#include "engine/fault.hpp"
 #include "engine/pipeline.hpp"
 #include "engine/serving_pool.hpp"
 #include "engine/stream.hpp"
@@ -87,6 +92,31 @@ bool parse_count(const std::string& text, const char* what,
   *out = value;
   return true;
 }
+
+/// Parse a serve-option duration/ratio as a non-negative double; false
+/// (with a friendly one-liner in *error) on malformed input.
+bool parse_ms(const std::string& text, const char* what, double* out,
+              std::string* error) {
+  std::size_t consumed = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(text, &consumed);
+  } catch (const std::exception&) {
+    consumed = 0;
+  }
+  if (consumed == 0 || consumed != text.size() || value < 0.0) {
+    *error = std::string("invalid ") + what + " '" + text +
+             "' (expected a number >= 0)";
+    return false;
+  }
+  *out = value;
+  return true;
+}
+
+/// SIGINT flips this flag; the serve loop stops admitting, drains what was
+/// already admitted, prints final stats and exits 0.
+volatile std::sig_atomic_t g_interrupted = 0;
+void handle_sigint(int) { g_interrupted = 1; }
 
 /// Per-stage table shared by the pipeline and serve reports: op range,
 /// predicted cycles, weight placement and the per-device resource estimate.
@@ -281,6 +311,39 @@ int cmd_run(int argc, char** argv) {
     pool_options.max_wait_ms = std::stod(get(args, "max-wait-ms", "1"));
     const bool relower = get(args, "relower", "0") != "0";
 
+    // Fault-tolerance knobs: retry budget, backoff, stall supervision,
+    // per-request deadlines, a bulk lane, and a seeded fault plan.
+    long long max_retries = 0, bulk_every = 0;
+    double deadline_ms = 0.0, backoff_ms = 0.0, stall_timeout_ms = 0.0;
+    if (!parse_count(get(args, "max-retries", "2"), "retry budget",
+                     /*min_value=*/0, &max_retries, &count_error) ||
+        !parse_count(get(args, "bulk-every", "0"), "bulk interval",
+                     /*min_value=*/0, &bulk_every, &count_error) ||
+        !parse_ms(get(args, "deadline-ms", "0"), "request deadline",
+                  &deadline_ms, &count_error) ||
+        !parse_ms(get(args, "backoff-ms", "0.1"), "retry backoff",
+                  &backoff_ms, &count_error) ||
+        !parse_ms(get(args, "stall-timeout-ms", "0"), "stall timeout",
+                  &stall_timeout_ms, &count_error)) {
+      std::fprintf(stderr, "error: %s\n", count_error.c_str());
+      return 1;
+    }
+    pool_options.max_retries = static_cast<int>(max_retries);
+    pool_options.backoff_base_ms = backoff_ms;
+    pool_options.backoff_cap_ms =
+        std::max(pool_options.backoff_cap_ms, backoff_ms);
+    pool_options.stall_timeout_ms = stall_timeout_ms;
+    pool_options.rebuild_quarantined = get(args, "rebuild", "0") != "0";
+    const std::string fault_arg = get(args, "fault", "");
+    if (!fault_arg.empty()) {
+      std::string fault_error;
+      if (!engine::parse_fault_plan(fault_arg, &pool_options.fault_plan,
+                                    &fault_error)) {
+        std::fprintf(stderr, "error: %s\n", fault_error.c_str());
+        return 1;
+      }
+    }
+
     int stages = 1;
     if (args.count("devices") != 0) {
       // Enumerate the stages x replicas splits of the device budget with the
@@ -342,6 +405,9 @@ int cmd_run(int argc, char** argv) {
         pool.replicas(), pool.replica_shape().c_str(), pool.devices(),
         engine::policy_name(pool.options().policy),
         pool.options().queue_capacity);
+    if (!pool_options.fault_plan.empty())
+      std::printf("  fault plan : %s\n",
+                  engine::describe_fault_plan(pool_options.fault_plan).c_str());
     if (!pool_options.segments.empty())
       print_stage_table(design.program, pool_options.segments,
                         pool_options.segments.front().is_relowered());
@@ -351,14 +417,47 @@ int cmd_run(int argc, char** argv) {
     for (const TensorF& image : eval.images)
       request_codes.push_back(
           quant::encode_activations(image, qnet.time_bits));
-    const auto batch_run = pool.run_batch(request_codes);
-    std::size_t accepted = 0;
-    for (const bool ok : batch_run.accepted) accepted += ok ? 1 : 0;
+
+    // Ctrl-C drains gracefully: stop admitting, complete what was admitted,
+    // print final stats, exit 0.
+    g_interrupted = 0;
+    std::signal(SIGINT, handle_sigint);
+    std::vector<std::future<engine::ServingResult>> tickets;
+    tickets.reserve(request_codes.size());
+    for (std::size_t i = 0; i < request_codes.size(); ++i) {
+      if (g_interrupted) break;
+      engine::RequestOptions request;
+      request.deadline_ms = deadline_ms;
+      if (bulk_every > 0 &&
+          i % static_cast<std::size_t>(bulk_every) ==
+              static_cast<std::size_t>(bulk_every) - 1)
+        request.priority = engine::PriorityClass::kBulk;
+      tickets.push_back(pool.submit(request_codes[i], request));
+    }
+    const bool interrupted = g_interrupted != 0;
+    if (interrupted)
+      std::printf("\ninterrupted: draining %zu admitted request(s)...\n",
+                  tickets.size());
+    pool.shutdown(/*drain=*/true);
+
+    long long by_status[5] = {0, 0, 0, 0, 0};
+    for (auto& ticket : tickets) {
+      const engine::ServingResult result = ticket.get();
+      ++by_status[static_cast<int>(result.status)];
+    }
+    std::signal(SIGINT, SIG_DFL);
 
     const engine::ServingStats stats = pool.stats();
-    std::printf("  admitted %zu/%zu request(s), %lld shed by backpressure\n",
-                accepted, request_codes.size(),
-                static_cast<long long>(stats.rejected));
+    std::printf("  outcomes   :");
+    for (const engine::RequestStatus status :
+         {engine::RequestStatus::kOk, engine::RequestStatus::kRejected,
+          engine::RequestStatus::kDeadlineExceeded,
+          engine::RequestStatus::kReplicaFailed,
+          engine::RequestStatus::kCancelled})
+      if (by_status[static_cast<int>(status)] > 0)
+        std::printf(" %lld %s", by_status[static_cast<int>(status)],
+                    engine::status_name(status));
+    std::printf(" (of %zu submitted)\n", tickets.size());
     std::printf(
         "  %lld completed in %.1f ms -> %.1f images/sec wall "
         "(%.1f modeled at %.0f MHz), p50 %.2f ms, p99 %.2f ms, "
@@ -367,9 +466,23 @@ int cmd_run(int argc, char** argv) {
         stats.wall_images_per_sec, stats.modeled_images_per_sec,
         design.config.clock_mhz, stats.p50_latency_ms, stats.p99_latency_ms,
         stats.mean_batch);
+    if (stats.retries + stats.stalls + stats.rebuilds + stats.shed_bulk > 0)
+      std::printf(
+          "  resilience : %lld retries, %lld replica failure(s), "
+          "%lld stall(s), %lld rebuild(s), %lld bulk shed\n",
+          static_cast<long long>(stats.retries),
+          static_cast<long long>(stats.replica_failures),
+          static_cast<long long>(stats.stalls),
+          static_cast<long long>(stats.rebuilds),
+          static_cast<long long>(stats.shed_bulk));
+    std::printf("  goodput    : latency %.1f%%, bulk %.1f%% (fleet %d/%d)\n",
+                stats.per_class[0].goodput * 100.0,
+                stats.per_class[1].goodput * 100.0, stats.active_replicas,
+                pool.replicas());
     for (std::size_t r = 0; r < stats.per_replica.size(); ++r)
-      std::printf("  replica %zu: %lld image(s)\n", r,
-                  static_cast<long long>(stats.per_replica[r]));
+      std::printf("  replica %zu: %lld image(s), %s\n", r,
+                  static_cast<long long>(stats.per_replica[r]),
+                  engine::health_name(stats.replica_health[r]));
     return 0;
   }
 
@@ -500,7 +613,11 @@ void usage() {
       "            [--relower 1]  (re-compile each stage against its own device)\n"
       "            [--serve 1 [--replicas R] [--pipeline K] [--policy fifo|batch|reject]\n"
       "             [--queue-depth 64] [--max-batch 8] [--max-wait-ms 1]\n"
-      "             [--devices D]]  (plan the stages x replicas split for D devices)\n"
+      "             [--devices D]  (plan the stages x replicas split for D devices)\n"
+      "             [--deadline-ms 0] [--bulk-every N] [--max-retries 2]\n"
+      "             [--backoff-ms 0.1] [--stall-timeout-ms 0] [--rebuild 1]\n"
+      "             [--fault seed:7,kill:r2@5,err:p0.05]]  (seeded fault plan;\n"
+      "              Ctrl-C drains admitted work and exits cleanly)\n"
       "  emit-rtl  --qsnn m.qsnn --out rtl_out [--units 2]\n"
       "            [--pipeline <stages>]  (per-stage bundles with stream ports)\n"
       "  info      --qsnn m.qsnn\n");
