@@ -6,18 +6,23 @@
 // Two modes:
 //   * default — google-benchmark registrations (when the library is
 //     available at configure time).
-//   * --json <path> [--samples N] [--tiny] — self-contained chrono timing
-//     of the inference paths, written as machine-readable JSON
-//     (BENCH_*.json style) so successive PRs can compare ns/inference.
-//     This mode needs only the standard library. --tiny restricts the run
-//     to the small-network and encoding entries (seconds, not minutes —
-//     the CI bench-smoke tier).
+//   * --json <path> [--samples N] [--tiny] [--compare OLD.json] —
+//     self-contained chrono timing of the inference paths, written as
+//     machine-readable JSON (BENCH_*.json style) so successive PRs can
+//     compare ns/inference. This mode needs only the standard library.
+//     --tiny restricts the run to the small-network entries — including
+//     small streaming and pipelined runs — plus radix encoding (seconds,
+//     not minutes — the CI bench-smoke tier). --compare reads a previous
+//     run's JSON, prints the per-entry speedup, and exits non-zero if any
+//     shared entry regressed by more than 10%.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -99,7 +104,90 @@ double time_ns_per_call(int samples, Fn&& fn) {
          samples;
 }
 
-int run_json_mode(const std::string& path, int samples, bool tiny) {
+/// Parse the (name, ns_per_inference) pairs out of a microbench JSON file.
+/// Only understands the format run_json_mode() writes — that is the point:
+/// the baseline being compared against is a previous run of this tool.
+std::vector<std::pair<std::string, double>> parse_bench_json(
+    const std::string& path) {
+  std::FILE* in = std::fopen(path.c_str(), "rb");
+  if (in == nullptr) return {};
+  std::string text;
+  char buf[4096];
+  for (std::size_t n; (n = std::fread(buf, 1, sizeof buf, in)) > 0;)
+    text.append(buf, n);
+  std::fclose(in);
+
+  std::vector<std::pair<std::string, double>> entries;
+  const std::string name_key = "\"name\": \"";
+  const std::string ns_key = "\"ns_per_inference\": ";
+  std::size_t pos = 0;
+  while ((pos = text.find(name_key, pos)) != std::string::npos) {
+    pos += name_key.size();
+    const std::size_t name_end = text.find('"', pos);
+    if (name_end == std::string::npos) break;
+    const std::string name = text.substr(pos, name_end - pos);
+    const std::size_t ns_pos = text.find(ns_key, name_end);
+    if (ns_pos == std::string::npos) break;
+    entries.emplace_back(name,
+                         std::strtod(text.c_str() + ns_pos + ns_key.size(),
+                                     nullptr));
+    pos = ns_pos;
+  }
+  return entries;
+}
+
+/// Print per-entry speedup vs a previous run and flag >10% regressions.
+/// Returns non-zero if any entry shared with the baseline got slower than
+/// the threshold allows.
+int compare_against(const std::string& baseline_path,
+                    const std::vector<BenchResult>& results) {
+  const auto baseline = parse_bench_json(baseline_path);
+  if (baseline.empty()) {
+    std::fprintf(stderr, "microbench: no entries parsed from %s\n",
+                 baseline_path.c_str());
+    return 1;
+  }
+  constexpr double kRegressionThreshold = 1.10;
+  int regressions = 0, shared = 0;
+  std::printf("\ncomparison vs %s (speedup = old/new)\n",
+              baseline_path.c_str());
+  for (const BenchResult& r : results) {
+    const auto it =
+        std::find_if(baseline.begin(), baseline.end(),
+                     [&](const auto& e) { return e.first == r.name; });
+    if (it == baseline.end()) {
+      std::printf("  %-40s %14.1f ns  (new entry, no baseline)\n",
+                  r.name.c_str(), r.ns_per_inference);
+      continue;
+    }
+    ++shared;
+    const double speedup = it->second / r.ns_per_inference;
+    const bool regressed =
+        r.ns_per_inference > it->second * kRegressionThreshold;
+    std::printf("  %-40s %14.1f -> %12.1f ns   %5.2fx%s\n", r.name.c_str(),
+                it->second, r.ns_per_inference, speedup,
+                regressed ? "  REGRESSION" : "");
+    if (regressed) ++regressions;
+  }
+  if (shared == 0) {
+    std::fprintf(stderr,
+                 "microbench: no entries shared with the baseline\n");
+    return 1;
+  }
+  if (regressions > 0) {
+    std::fprintf(stderr,
+                 "microbench: %d entr%s regressed by more than %.0f%%\n",
+                 regressions, regressions == 1 ? "y" : "ies",
+                 (kRegressionThreshold - 1.0) * 100.0);
+    return 1;
+  }
+  std::printf("  no entry regressed by more than %.0f%%\n",
+              (kRegressionThreshold - 1.0) * 100.0);
+  return 0;
+}
+
+int run_json_mode(const std::string& path, int samples, bool tiny,
+                  const std::string& compare_path) {
   std::vector<BenchResult> results;
   Rng rng(4);
 
@@ -119,6 +207,17 @@ int run_json_mode(const std::string& path, int samples, bool tiny) {
                             (void)r;
                           }),
          samples});
+    // The golden stepped dataflow the fast path is checked against — kept
+    // as its own entry so the fast-path speedup stays visible over time.
+    results.push_back(
+        {"stepped_lenet_t8",
+         time_ns_per_call(std::max(1, samples / 4),
+                          [&] {
+                            auto r =
+                                accel.run_codes(codes, hw::SimMode::kStepped);
+                            (void)r;
+                          }),
+         std::max(1, samples / 4)});
     results.push_back(
         {"analytic_lenet_t8",
          time_ns_per_call(samples,
@@ -225,7 +324,9 @@ int run_json_mode(const std::string& path, int samples, bool tiny) {
     results.push_back(r);
   }
 
-  // The small network at T=4 (historic tracking point).
+  // The small network at T=4 (historic tracking point), plus small
+  // streaming and pipelined entries so --tiny exercises every execution
+  // path CI smoke-tests: single-shot, worker pool, and pipeline stages.
   {
     const auto qnet = make_qnet(4);
     hw::AcceleratorConfig cfg;
@@ -245,6 +346,39 @@ int run_json_mode(const std::string& path, int samples, bool tiny) {
                             (void)r;
                           }),
          samples * 4});
+
+    const ir::LayerProgram& program = accel.program();
+    {
+      engine::StreamingExecutor stream(
+          program, engine::EngineKind::kCycleAccurate, /*num_workers=*/2);
+      std::vector<TensorI> batch(
+          static_cast<std::size_t>(std::max(16, samples * 4)), codes);
+      stream.run_stream(batch);  // warm the pool
+      stream.run_stream(batch);
+      const engine::StreamStats stats = stream.last_stats();
+      BenchResult r;
+      r.name = "stream_cycle_accurate_small_t4";
+      r.ns_per_inference = stats.ns_per_inference;
+      r.samples = static_cast<int>(stats.images);
+      r.images_per_sec = stats.images_per_sec;
+      results.push_back(r);
+    }
+    {
+      const auto segments = compiler::partition_balance_latency(program, 2);
+      engine::PipelineExecutor pipe(program, segments,
+                                    engine::EngineKind::kCycleAccurate);
+      std::vector<TensorI> batch(
+          static_cast<std::size_t>(std::max(16, samples * 4)), codes);
+      pipe.run_pipeline(batch);  // warm the stages
+      pipe.run_pipeline(batch);
+      const engine::PipelineStats stats = pipe.last_stats();
+      BenchResult r;
+      r.name = "pipeline2stage_cycle_accurate_small_t4";
+      r.ns_per_inference = stats.ns_per_inference;
+      r.samples = static_cast<int>(stats.images);
+      r.images_per_sec = stats.images_per_sec;
+      results.push_back(r);
+    }
   }
 
   // Radix encoding throughput.
@@ -293,6 +427,7 @@ int run_json_mode(const std::string& path, int samples, bool tiny) {
     std::printf("\n");
   }
   std::printf("wrote %s\n", path.c_str());
+  if (!compare_path.empty()) return compare_against(compare_path, results);
   return 0;
 }
 
@@ -428,6 +563,7 @@ BENCHMARK(BM_LatencyPrediction);
 
 int main(int argc, char** argv) {
   std::string json_path;
+  std::string compare_path;
   int samples = 20;
   bool tiny = false;
   for (int i = 1; i < argc; ++i) {
@@ -437,8 +573,11 @@ int main(int argc, char** argv) {
       samples = std::max(1, std::atoi(argv[++i]));
     else if (std::strcmp(argv[i], "--tiny") == 0)
       tiny = true;
+    else if (std::strcmp(argv[i], "--compare") == 0 && i + 1 < argc)
+      compare_path = argv[++i];
   }
-  if (!json_path.empty()) return run_json_mode(json_path, samples, tiny);
+  if (!json_path.empty())
+    return run_json_mode(json_path, samples, tiny, compare_path);
 
 #ifndef RSNN_NO_GOOGLE_BENCHMARK
   benchmark::Initialize(&argc, argv);

@@ -1,0 +1,22 @@
+// Process-wide heap allocation counter for zero-allocation tests.
+//
+// alloc_hook.cpp replaces the global operator new family with versions that
+// bump an atomic counter before delegating to malloc. Because the library is
+// linked statically, the replacement is only pulled into binaries that
+// reference allocation_count() — i.e. the tests that assert on it; other
+// binaries keep the default allocator.
+//
+// Usage: warm the code under test, snapshot allocation_count(), run the hot
+// path, and assert the counter did not move. The counter is monotonic and
+// process-wide, so such tests must not run concurrent allocating threads.
+#pragma once
+
+#include <cstdint>
+
+namespace rsnn::common {
+
+/// Number of operator-new calls since process start (0 when the hook is not
+/// linked into the binary).
+std::uint64_t allocation_count();
+
+}  // namespace rsnn::common

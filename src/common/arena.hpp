@@ -1,0 +1,93 @@
+// Arena: a chunked bump allocator for per-inference scratch memory.
+//
+// The fast-path executor (hw/fast_path) allocates all of its intermediate
+// activation buffers from one per-worker arena. Allocation is a pointer
+// bump; reset() rewinds the arena for the next inference. If a round
+// overflows the primary chunk, overflow chunks are allocated to satisfy it
+// and the *next* reset() consolidates the total demand into one primary
+// chunk — so from the second reset onward a workload with a stable
+// allocation pattern performs zero heap allocation (the property asserted
+// by the warm-stream test in tests/test_fastpath.cpp).
+//
+// Returned blocks are aligned for std::max_align_t and are NOT zeroed;
+// callers initialize them. Pointers are valid until the next reset().
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace rsnn::common {
+
+class Arena {
+ public:
+  explicit Arena(std::size_t initial_bytes = 0) {
+    if (initial_bytes > 0) grow_primary(initial_bytes);
+  }
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+  Arena(Arena&&) = default;
+  Arena& operator=(Arena&&) = default;
+
+  /// Allocate `count` objects of trivially-destructible type T.
+  /// Zero-count allocations return a non-null (but unusable) pointer.
+  template <typename T>
+  T* alloc(std::size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena memory is never destructed");
+    return reinterpret_cast<T*>(alloc_bytes(count * sizeof(T)));
+  }
+
+  /// Rewind the arena. If the finished round overflowed the primary chunk,
+  /// consolidate the round's total demand into one primary chunk so the next
+  /// identical round bumps through a single block without allocating.
+  void reset() {
+    if (!overflow_.empty()) {
+      overflow_.clear();
+      grow_primary(round_bytes_);
+    }
+    offset_ = 0;
+    round_bytes_ = 0;
+  }
+
+  /// Bytes handed out since the last reset().
+  std::size_t round_bytes() const { return round_bytes_; }
+  /// Size of the primary chunk (the steady-state footprint).
+  std::size_t capacity() const { return primary_size_; }
+
+ private:
+  static constexpr std::size_t kAlign = alignof(std::max_align_t);
+  static std::size_t aligned(std::size_t n) {
+    return (n + kAlign - 1) / kAlign * kAlign;
+  }
+
+  void grow_primary(std::size_t bytes) {
+    primary_size_ = aligned(bytes);
+    primary_ = std::make_unique<std::byte[]>(primary_size_);
+  }
+
+  std::byte* alloc_bytes(std::size_t bytes) {
+    bytes = aligned(bytes);
+    round_bytes_ += bytes;
+    if (offset_ + bytes <= primary_size_) {
+      std::byte* p = primary_.get() + offset_;
+      offset_ += bytes;
+      return p;
+    }
+    // Overflow: a dedicated chunk for this block; reset() consolidates.
+    overflow_.push_back(std::make_unique<std::byte[]>(bytes));
+    return overflow_.back().get();
+  }
+
+  std::unique_ptr<std::byte[]> primary_;
+  std::size_t primary_size_ = 0;
+  std::size_t offset_ = 0;
+  std::size_t round_bytes_ = 0;
+  std::vector<std::unique_ptr<std::byte[]>> overflow_;
+};
+
+}  // namespace rsnn::common

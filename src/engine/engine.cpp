@@ -42,24 +42,36 @@ void accumulate(hw::AccelRunResult& result, hw::LayerStats stats) {
   result.layers.push_back(std::move(stats));
 }
 
-class CycleAccurateEngine final : public Engine {
+/// The exact accelerator-backed engines: cycle_accurate (fast path when the
+/// config enables it) and stepped (always the golden stepped dataflow) are
+/// the same machinery under different SimModes.
+class AcceleratorEngine final : public Engine {
  public:
-  CycleAccurateEngine(const ir::LayerProgram& program,
-                      ir::ProgramSegment segment)
+  AcceleratorEngine(const ir::LayerProgram& program, ir::ProgramSegment segment,
+                    EngineKind kind, hw::SimMode mode)
       : Engine(program, std::move(segment)),
+        kind_(kind),
+        mode_(mode),
         accel_(program),
         state_(accel_.make_worker_state()) {}
-  EngineKind kind() const override { return EngineKind::kCycleAccurate; }
+  EngineKind kind() const override { return kind_; }
   SegmentRunResult run_segment(const TensorI& codes) override {
     SegmentRunResult out;
     out.stats = accel_.run_codes_range(state_, codes, segment_.begin,
-                                       segment_.end,
-                                       hw::SimMode::kCycleAccurate,
+                                       segment_.end, mode_,
                                        &out.boundary_codes);
     return out;
   }
+  void run_codes_into(const TensorI& codes, hw::AccelRunResult& out) override {
+    RSNN_REQUIRE(program_.whole_network() && segment_.begin == 0 &&
+                     segment_.final_segment,
+                 "run_codes_into needs a whole-program engine");
+    accel_.run_codes_into(state_, codes, out, mode_);
+  }
 
  private:
+  const EngineKind kind_;
+  const hw::SimMode mode_;
   hw::Accelerator accel_;
   hw::Accelerator::WorkerState state_;
 };
@@ -164,6 +176,8 @@ const char* engine_name(EngineKind kind) {
   switch (kind) {
     case EngineKind::kCycleAccurate:
       return "cycle_accurate";
+    case EngineKind::kStepped:
+      return "stepped";
     case EngineKind::kAnalytic:
       return "analytic";
     case EngineKind::kBehavioral:
@@ -177,19 +191,21 @@ const char* engine_name(EngineKind kind) {
 EngineKind parse_engine(const std::string& name) {
   if (name == "cycle_accurate" || name == "cycle")
     return EngineKind::kCycleAccurate;
+  if (name == "stepped") return EngineKind::kStepped;
   if (name == "analytic") return EngineKind::kAnalytic;
   if (name == "behavioral") return EngineKind::kBehavioral;
   if (name == "reference") return EngineKind::kReference;
   RSNN_REQUIRE(false, "unknown engine '"
                           << name
-                          << "' (expected cycle_accurate, analytic, "
+                          << "' (expected cycle_accurate, stepped, analytic, "
                              "behavioral or reference)");
   return EngineKind::kAnalytic;  // unreachable
 }
 
 std::vector<EngineKind> all_engines() {
-  return {EngineKind::kCycleAccurate, EngineKind::kAnalytic,
-          EngineKind::kBehavioral, EngineKind::kReference};
+  return {EngineKind::kCycleAccurate, EngineKind::kStepped,
+          EngineKind::kAnalytic, EngineKind::kBehavioral,
+          EngineKind::kReference};
 }
 
 hw::AccelRunResult Engine::run_codes(const TensorI& codes) {
@@ -202,6 +218,10 @@ hw::AccelRunResult Engine::run_codes(const TensorI& codes) {
 
 hw::AccelRunResult Engine::run_image(const TensorF& image) {
   return run_codes(quant::encode_activations(image, program_.time_bits()));
+}
+
+void Engine::run_codes_into(const TensorI& codes, hw::AccelRunResult& out) {
+  out = run_codes(codes);
 }
 
 std::unique_ptr<Engine> make_engine(EngineKind kind,
@@ -236,8 +256,13 @@ std::unique_ptr<Engine> make_engine(EngineKind kind,
   }
   switch (kind) {
     case EngineKind::kCycleAccurate:
-      return std::make_unique<CycleAccurateEngine>(*exec_program,
-                                                   std::move(exec_segment));
+      return std::make_unique<AcceleratorEngine>(*exec_program,
+                                                 std::move(exec_segment), kind,
+                                                 hw::SimMode::kCycleAccurate);
+    case EngineKind::kStepped:
+      return std::make_unique<AcceleratorEngine>(*exec_program,
+                                                 std::move(exec_segment), kind,
+                                                 hw::SimMode::kStepped);
     case EngineKind::kAnalytic:
       return std::make_unique<AnalyticEngine>(*exec_program,
                                               std::move(exec_segment));

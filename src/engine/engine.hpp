@@ -1,10 +1,14 @@
 // Engine: uniform execution interface over a lowered ir::LayerProgram.
 //
-// Four engines run the same program and must agree bit-identically on LeNet
+// Five engines run the same program and must agree bit-identically on LeNet
 // (logits, cycles, adder ops, traffic — enforced by
 // tests/test_equivalence_packed.cpp):
-//   * cycle_accurate — bit-true unit simulators stepping the dataflow
-//     (hw::Accelerator, SimMode::kCycleAccurate). Slowest, exact timing.
+//   * cycle_accurate — the simulator's default exact mode: the code-domain
+//     fast path (hw::Accelerator, SimMode::kCycleAccurate) when the config
+//     enables it, the stepped dataflow otherwise. Exact timing either way.
+//   * stepped        — always the golden stepped dataflow on the bit-true
+//     unit simulators (SimMode::kStepped). The anchor the fast path is
+//     pinned against.
 //   * analytic       — reference arithmetic + the program's precomputed
 //     latency annotations (hw::Accelerator, SimMode::kAnalytic).
 //   * behavioral     — the functional radix-SNN simulator (snn::RadixSnn):
@@ -38,17 +42,23 @@
 
 namespace rsnn::engine {
 
-enum class EngineKind { kCycleAccurate, kAnalytic, kBehavioral, kReference };
+enum class EngineKind {
+  kCycleAccurate,
+  kStepped,
+  kAnalytic,
+  kBehavioral,
+  kReference
+};
 
-/// Canonical engine name: "cycle_accurate" / "analytic" / "behavioral" /
-/// "reference".
+/// Canonical engine name: "cycle_accurate" / "stepped" / "analytic" /
+/// "behavioral" / "reference".
 const char* engine_name(EngineKind kind);
 
 /// Parse an engine name (the canonical names plus the shorthand "cycle");
 /// throws ContractViolation on unknown names.
 EngineKind parse_engine(const std::string& name);
 
-/// All four engine kinds, for parameterized tests and sweeps.
+/// All five engine kinds, for parameterized tests and sweeps.
 std::vector<EngineKind> all_engines();
 
 /// What one segment-scoped run produces: the executed ops' stats, and the
@@ -77,6 +87,11 @@ class Engine {
   /// Run pre-encoded activation codes through the program. Whole-program
   /// engines only (a stage engine cannot produce logits on its own).
   hw::AccelRunResult run_codes(const TensorI& codes);
+
+  /// As run_codes(), reusing `out`'s storage. The accelerator-backed
+  /// engines forward to the zero-allocation fast path when it is enabled;
+  /// the default delegates to run_codes().
+  virtual void run_codes_into(const TensorI& codes, hw::AccelRunResult& out);
 
   /// Encode a float image (values in [0,1)) and run it.
   hw::AccelRunResult run_image(const TensorF& image);

@@ -74,7 +74,7 @@ void StreamingExecutor::worker_main() {
       try {
         RSNN_REQUIRE(engine != nullptr, "worker engine failed to construct");
         if (injector_ != nullptr) injector_->before_attempt(replica_index_);
-        (*results_)[i] = engine->run_codes((*batch_)[i]);
+        engine->run_codes_into((*batch_)[i], (*results_)[i]);
       } catch (...) {
         const std::lock_guard<std::mutex> lock(mutex_);
         if (!error_) error_ = std::current_exception();
@@ -92,11 +92,19 @@ void StreamingExecutor::worker_main() {
 std::vector<hw::AccelRunResult> StreamingExecutor::run_stream(
     const std::vector<TensorI>& codes) {
   std::vector<hw::AccelRunResult> results(codes.size());
+  run_stream_into(codes, results);
+  return results;
+}
+
+void StreamingExecutor::run_stream_into(
+    const std::vector<TensorI>& codes,
+    std::vector<hw::AccelRunResult>& results) {
+  results.resize(codes.size());
   // Reset before the empty-batch early return: last_stats() must describe
   // *this* call (a zeroed record), never a previous batch's throughput.
   stats_ = StreamStats{};
   stats_.workers = workers();
-  if (codes.empty()) return results;
+  if (codes.empty()) return;
 
   const auto begin = std::chrono::steady_clock::now();
   {
@@ -130,7 +138,6 @@ std::vector<hw::AccelRunResult> StreamingExecutor::run_stream(
       seconds > 0.0 ? static_cast<double>(codes.size()) / seconds : 0.0;
   stats_.ns_per_inference =
       seconds * 1e9 / static_cast<double>(codes.size());
-  return results;
 }
 
 std::vector<hw::AccelRunResult> StreamingExecutor::run_stream_images(

@@ -62,6 +62,13 @@ class StreamingExecutor : public Submitter {
   /// are index-aligned with `codes`.
   std::vector<hw::AccelRunResult> run_stream(const std::vector<TensorI>& codes);
 
+  /// As run_stream(), reusing `results`' storage (resized to the batch).
+  /// With a warm results vector and the fast path enabled, a whole batch
+  /// executes without any heap allocation — the multi-inference batched
+  /// entry point for serving loops.
+  void run_stream_into(const std::vector<TensorI>& codes,
+                       std::vector<hw::AccelRunResult>& results);
+
   /// Encode float images (values in [0,1)) and run them.
   std::vector<hw::AccelRunResult> run_stream_images(
       const std::vector<TensorF>& images);

@@ -34,35 +34,6 @@ ir::LayerProgram lower_checked(const quant::QuantizedNetwork& qnet,
 
 }  // namespace
 
-void merge_segment_result(AccelRunResult& aggregate, AccelRunResult&& part) {
-  aggregate.total_cycles += part.total_cycles;
-  aggregate.total_adder_ops += part.total_adder_ops;
-  aggregate.dram_bits += part.dram_bits;
-  aggregate.traffic_total.act_read_bits += part.traffic_total.act_read_bits;
-  aggregate.traffic_total.act_write_bits += part.traffic_total.act_write_bits;
-  aggregate.traffic_total.weight_read_bits +=
-      part.traffic_total.weight_read_bits;
-  aggregate.traffic_total.dram_bits += part.traffic_total.dram_bits;
-  if (!part.logits.empty()) aggregate.logits = std::move(part.logits);
-  aggregate.layers.insert(aggregate.layers.end(),
-                          std::make_move_iterator(part.layers.begin()),
-                          std::make_move_iterator(part.layers.end()));
-}
-
-void finalize_run(AccelRunResult& result, double cycle_ns) {
-  result.latency_us =
-      static_cast<double>(result.total_cycles) * cycle_ns / 1000.0;
-  if (result.logits.empty()) {
-    result.predicted_class = -1;
-    return;
-  }
-  int best = 0;
-  for (std::size_t c = 1; c < result.logits.size(); ++c)
-    if (result.logits[c] > result.logits[static_cast<std::size_t>(best)])
-      best = static_cast<int>(c);
-  result.predicted_class = best;
-}
-
 Accelerator::WorkerState::WorkerState(const ir::LayerProgram& program)
     : owner(&program),
       conv_unit(program.config().conv, program.config().timing),
@@ -113,9 +84,51 @@ AccelRunResult Accelerator::run_codes_range(WorkerState& state,
                             << program_.size() << ")");
   RSNN_REQUIRE(codes.shape() == program_.op(begin).in_shape,
                "input shape mismatch for op " << begin);
-  return mode == SimMode::kCycleAccurate
-             ? run_cycle_accurate(state, codes, begin, end, boundary_codes)
-             : run_analytic(codes, begin, end, boundary_codes);
+  switch (mode) {
+    case SimMode::kAnalytic:
+      return run_analytic(codes, begin, end, boundary_codes);
+    case SimMode::kStepped:
+      return run_stepped(state, codes, begin, end, boundary_codes);
+    case SimMode::kCycleAccurate:
+      break;
+  }
+  return use_fast_path(mode)
+             ? run_fast(state, codes, begin, end, boundary_codes)
+             : run_stepped(state, codes, begin, end, boundary_codes);
+}
+
+void Accelerator::run_codes_into(WorkerState& state, const TensorI& codes,
+                                 AccelRunResult& out, SimMode mode) const {
+  if (!use_fast_path(mode)) {
+    out = run_codes(state, codes, mode);
+    return;
+  }
+  RSNN_REQUIRE(state.owner == &program_,
+               "WorkerState belongs to a different accelerator (create it "
+               "with this accelerator's make_worker_state())");
+  RSNN_REQUIRE(codes.shape() == program_.op(0).in_shape,
+               "input shape mismatch for op 0");
+  reset_run_result(out);
+  run_fast_path(program_, fast_prepared(), state.fast_arena, codes, 0,
+                program_.size(), nullptr, out);
+}
+
+const FastPrepared& Accelerator::fast_prepared() const {
+  FastCache& cache = *fast_cache_;
+  std::call_once(cache.once, [&] {
+    cache.prepared =
+        std::make_unique<const FastPrepared>(prepare_fast_path(program_));
+  });
+  return *cache.prepared;
+}
+
+AccelRunResult Accelerator::run_fast(WorkerState& state, const TensorI& codes,
+                                     std::size_t begin, std::size_t end,
+                                     TensorI* boundary_codes) const {
+  AccelRunResult result;
+  run_fast_path(program_, fast_prepared(), state.fast_arena, codes, begin, end,
+                boundary_codes, result);
+  return result;
 }
 
 AccelRunResult Accelerator::run_codes_range(const TensorI& codes,
@@ -197,11 +210,10 @@ std::vector<AccelRunResult> Accelerator::run_batch_codes(
   return results;
 }
 
-AccelRunResult Accelerator::run_cycle_accurate(WorkerState& state,
-                                               const TensorI& codes,
-                                               std::size_t begin,
-                                               std::size_t end,
-                                               TensorI* boundary_codes) const {
+AccelRunResult Accelerator::run_stepped(WorkerState& state,
+                                        const TensorI& codes,
+                                        std::size_t begin, std::size_t end,
+                                        TensorI* boundary_codes) const {
   const int T = program_.time_bits();
   const AcceleratorConfig& cfg = program_.config();
   AccelRunResult result;

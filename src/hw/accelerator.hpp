@@ -8,10 +8,15 @@
 //
 // The accelerator executes a lowered ir::LayerProgram — the compiler's one
 // mapping of the network onto the design — rather than re-deriving layer
-// semantics from the QLayer variant. Two simulation modes:
-//   * kCycleAccurate — every op runs on the bit-true unit simulators;
-//     outputs are exact and cycle counts come from stepping the dataflow.
-//     Used for verification and for the MNIST-scale experiments.
+// semantics from the QLayer variant. Three simulation modes:
+//   * kCycleAccurate — the default verification mode. With the config's
+//     fast path enabled (the default) it runs the code-domain fast path
+//     (hw/fast_path): bit-identical logits, cycles, adder ops and traffic,
+//     an order of magnitude faster. With fast_path.enable = false it falls
+//     back to the stepped dataflow.
+//   * kStepped — always the golden stepped dataflow: every op runs on the
+//     bit-true unit simulators and cycle counts come from stepping. The
+//     equivalence anchor the fast path is pinned against.
 //   * kAnalytic — outputs come from the QuantizedNetwork reference (the
 //     same arithmetic by invariant 1/2) and cycles from the program's
 //     precomputed hw/latency_model annotations (identical totals by
@@ -19,57 +24,28 @@
 //     would be wasteful.
 #pragma once
 
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/arena.hpp"
 #include "encoding/spike_train.hpp"
 #include "hw/arch.hpp"
 #include "hw/conv_unit.hpp"
+#include "hw/fast_path.hpp"
 #include "hw/latency_model.hpp"
 #include "hw/linear_unit.hpp"
 #include "hw/pingpong.hpp"
 #include "hw/pool_unit.hpp"
+#include "hw/run_result.hpp"
 #include "hw/weight_memory.hpp"
 #include "ir/layer_program.hpp"
 #include "quant/qnetwork.hpp"
 
 namespace rsnn::hw {
 
-enum class SimMode { kCycleAccurate, kAnalytic };
-
-/// Per-layer execution record.
-struct LayerStats {
-  std::string name;
-  std::int64_t cycles = 0;
-  std::int64_t dram_cycles = 0;
-  std::int64_t adder_ops = 0;        ///< fired additions (activity factor)
-  std::int64_t input_spikes = 0;
-  MemTraffic traffic;                ///< weight traffic in bits
-};
-
-/// Result of one inference on the accelerator. For segment-scoped runs
-/// (`run_codes_range` stopping short of the final op) `logits` stays empty
-/// and `predicted_class` -1; totals and per-layer stats cover only the
-/// executed range.
-struct AccelRunResult {
-  std::vector<std::int64_t> logits;
-  int predicted_class = -1;
-  std::int64_t total_cycles = 0;
-  double latency_us = 0.0;
-  std::vector<LayerStats> layers;
-  std::int64_t total_adder_ops = 0;
-  std::int64_t dram_bits = 0;
-  MemTraffic traffic_total;
-};
-
-/// Fold the stats of one program segment into an aggregate: totals sum,
-/// per-layer records append in op order. Logits, predicted class and latency
-/// are untouched — call finalize_run() once every segment is merged.
-void merge_segment_result(AccelRunResult& aggregate, AccelRunResult&& part);
-
-/// Recompute latency_us (total cycles at `cycle_ns`) and predicted_class
-/// (logit argmax; -1 while logits are empty).
-void finalize_run(AccelRunResult& result, double cycle_ns);
+enum class SimMode { kCycleAccurate, kStepped, kAnalytic };
 
 class Accelerator {
  public:
@@ -98,6 +74,7 @@ class Accelerator {
     std::vector<TensorI64> layer_out;    ///< one scratch per op
     encoding::SpikeTrain train_a;        ///< alternating spike-train scratch
     encoding::SpikeTrain train_b;
+    common::Arena fast_arena;            ///< fast-path activation scratch
   };
   WorkerState make_worker_state() const { return WorkerState(program_); }
 
@@ -113,6 +90,13 @@ class Accelerator {
   /// scheduler's entry point. Results are identical to run_codes().
   AccelRunResult run_codes(WorkerState& state, const TensorI& codes,
                            SimMode mode = SimMode::kCycleAccurate) const;
+
+  /// As run_codes(), additionally reusing `out`'s storage for the result.
+  /// On the fast path a warm (state, out) pair makes the whole inference
+  /// allocation-free; other modes fall back to assigning a fresh result.
+  void run_codes_into(WorkerState& state, const TensorI& codes,
+                      AccelRunResult& out,
+                      SimMode mode = SimMode::kCycleAccurate) const;
 
   /// Run only the op range [begin, end) — the pipeline executor's entry
   /// point. `codes` must be shaped as op `begin`'s input (the requantized
@@ -166,9 +150,30 @@ class Accelerator {
  private:
   ir::LayerProgram program_;
 
-  AccelRunResult run_cycle_accurate(WorkerState& state, const TensorI& codes,
-                                    std::size_t begin, std::size_t end,
-                                    TensorI* boundary_codes) const;
+  /// Lazily-built fast-path preparation (weight repacks, coverage tables),
+  /// shared read-only by every worker. Held behind a shared_ptr so the
+  /// Accelerator stays copyable/movable; copies share the cache (they
+  /// execute the same program).
+  struct FastCache {
+    std::once_flag once;
+    std::unique_ptr<const FastPrepared> prepared;
+  };
+  mutable std::shared_ptr<FastCache> fast_cache_ = std::make_shared<FastCache>();
+  const FastPrepared& fast_prepared() const;
+
+  bool use_fast_path(SimMode mode) const {
+    return mode == SimMode::kCycleAccurate && program_.config().fast_path.enable;
+  }
+
+  /// The code-domain fast path (hw/fast_path) — what kCycleAccurate runs
+  /// unless the config disables it.
+  AccelRunResult run_fast(WorkerState& state, const TensorI& codes,
+                          std::size_t begin, std::size_t end,
+                          TensorI* boundary_codes) const;
+  /// The golden stepped dataflow (bit-true unit simulators).
+  AccelRunResult run_stepped(WorkerState& state, const TensorI& codes,
+                             std::size_t begin, std::size_t end,
+                             TensorI* boundary_codes) const;
   AccelRunResult run_analytic(const TensorI& codes, std::size_t begin,
                               std::size_t end, TensorI* boundary_codes) const;
 };

@@ -57,6 +57,31 @@ struct TimingParams {
   int writeback_cycles_per_row = 1;
 };
 
+/// Dataflow layout a fast-path conv kernel iterates in. The inter-op
+/// activation representation is always CHW (the buffer/cut contract); the
+/// layout only selects the loop order and weight packing *inside* one op.
+enum class DataLayout {
+  kChw,  ///< per-output-channel plane accumulation (few channels)
+  kHwc,  ///< pixel-major with contiguous channel inner loops (many channels)
+};
+
+/// How the lowering pass picks per-op fast-path layouts.
+enum class LayoutPolicy {
+  kAuto,      ///< heuristic per op (HWC once channel counts amortize repacking)
+  kForceChw,  ///< every conv runs the CHW kernel
+  kForceHwc,  ///< every conv runs the HWC kernel
+};
+
+/// Configuration of the simulator's code-domain fast path (SimMode
+/// kCycleAccurate). Purely a host-simulation concern: none of these options
+/// change logits, cycles, adder ops or traffic — the equivalence suite sweeps
+/// every combination against the stepped dataflow.
+struct FastPathOptions {
+  bool enable = true;          ///< fall back to the stepped dataflow when false
+  LayoutPolicy layout = LayoutPolicy::kAuto;
+  bool fuse_conv_pool = true;  ///< run conv+pool pairs as one fused pass
+};
+
 /// Weight storage placement for a layer (paper Sec. III-C).
 enum class WeightPlacement {
   kOnChip,  ///< block RAM, single-cycle access at full width
@@ -94,6 +119,7 @@ struct AcceleratorConfig {
   LinearUnitGeometry linear;
   TimingParams timing;
   MemoryConfig memory;
+  FastPathOptions fast_path;
 
   double cycle_ns() const { return 1000.0 / clock_mhz; }
 };

@@ -1,0 +1,459 @@
+#include "hw/fast_path.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstddef>
+
+#include "common/assert.hpp"
+#include "quant/qnetwork.hpp"
+
+namespace rsnn::hw {
+namespace {
+
+using quant::QConv2d;
+using quant::QLinear;
+using quant::QPool2d;
+
+std::int64_t popcount_sum(const std::int64_t* values, std::int64_t count) {
+  std::int64_t total = 0;
+  for (std::int64_t i = 0; i < count; ++i)
+    total += std::popcount(static_cast<std::uint64_t>(values[i]));
+  return total;
+}
+
+/// Output positions [lo, hi) reached by kernel offset `j` along one axis:
+/// those o with 0 <= o*str + j - pad < in_extent. Hoisting the bound out of
+/// the inner loops removes every per-tap validity branch.
+struct AxisBounds {
+  std::int64_t lo = 0;
+  std::int64_t hi = 0;
+};
+
+AxisBounds out_bounds(std::int64_t j, std::int64_t pad, std::int64_t str,
+                      std::int64_t in_extent, std::int64_t out_extent) {
+  const std::int64_t lo_num = pad - j;
+  std::int64_t lo = lo_num <= 0 ? 0 : (lo_num + str - 1) / str;
+  const std::int64_t hi_num = in_extent - 1 + pad - j;
+  std::int64_t hi = hi_num < 0 ? 0 : hi_num / str + 1;
+  hi = std::min(hi, out_extent);
+  lo = std::min(lo, hi);
+  return {lo, hi};
+}
+
+/// exact_adder_ops for a conv op, via the prepared coverage tables: a spike
+/// at (ic, iy, ix) fires county[iy] * countx[ix] adders in each of the Cout
+/// output planes.
+std::int64_t conv_adder_ops(const std::int64_t* in, std::int64_t cin,
+                            std::int64_t ih, std::int64_t iw,
+                            const std::int64_t* county,
+                            const std::int64_t* countx, std::int64_t cout) {
+  std::int64_t ops = 0;
+  const std::int64_t* p = in;
+  for (std::int64_t c = 0; c < cin; ++c) {
+    for (std::int64_t y = 0; y < ih; ++y) {
+      const std::int64_t cy = county[y];
+      for (std::int64_t x = 0; x < iw; ++x, ++p)
+        ops += std::popcount(static_cast<std::uint64_t>(*p)) * cy * countx[x];
+    }
+  }
+  return ops * cout;
+}
+
+/// exact_adder_ops for a pool op: spikes within the covered region
+/// (iy / k < oh, ix / k < ow) each fire one adder.
+std::int64_t pool_covered_spikes(const std::int64_t* in, std::int64_t channels,
+                                 std::int64_t ih, std::int64_t iw,
+                                 std::int64_t k, std::int64_t oh,
+                                 std::int64_t ow) {
+  std::int64_t spikes = 0;
+  const std::int64_t* p = in;
+  for (std::int64_t c = 0; c < channels; ++c) {
+    for (std::int64_t y = 0; y < ih; ++y) {
+      const bool y_covered = y / k < oh;
+      for (std::int64_t x = 0; x < iw; ++x, ++p) {
+        if (y_covered && x / k < ow)
+          spikes += std::popcount(static_cast<std::uint64_t>(*p));
+      }
+    }
+  }
+  return spikes;
+}
+
+/// One conv output channel in CHW order: accumulate into acc[oh*ow], then
+/// requantize in place. Taps iterate (ic, ky, kx)-outer so the inner loop is
+/// a contiguous row axpy; zero weights (common at 3-bit resolution) skip
+/// their whole plane pass.
+void conv_channel_chw(const QConv2d& conv, const std::int64_t* in,
+                      std::int64_t ih, std::int64_t iw, std::int64_t oh,
+                      std::int64_t ow, std::int64_t oc, std::int64_t* acc) {
+  std::fill(acc, acc + oh * ow, std::int64_t{0});
+  const std::int64_t k = conv.kernel, str = conv.stride, pad = conv.padding;
+  const std::int32_t* wbase =
+      conv.weight.data() + oc * conv.in_channels * k * k;
+  for (std::int64_t ic = 0; ic < conv.in_channels; ++ic) {
+    const std::int64_t* plane = in + ic * ih * iw;
+    const std::int32_t* wch = wbase + ic * k * k;
+    for (std::int64_t ky = 0; ky < k; ++ky) {
+      const AxisBounds by = out_bounds(ky, pad, str, ih, oh);
+      for (std::int64_t kx = 0; kx < k; ++kx) {
+        const std::int64_t w = wch[ky * k + kx];
+        if (w == 0) continue;
+        const AxisBounds bx = out_bounds(kx, pad, str, iw, ow);
+        const std::int64_t x0 = kx - pad;
+        for (std::int64_t oy = by.lo; oy < by.hi; ++oy) {
+          const std::int64_t* row = plane + (oy * str + ky - pad) * iw;
+          std::int64_t* arow = acc + oy * ow;
+          if (str == 1) {
+            for (std::int64_t ox = bx.lo; ox < bx.hi; ++ox)
+              arow[ox] += w * row[x0 + ox];
+          } else {
+            for (std::int64_t ox = bx.lo; ox < bx.hi; ++ox)
+              arow[ox] += w * row[x0 + ox * str];
+          }
+        }
+      }
+    }
+  }
+}
+
+/// Requantize (or bias-add, for the raw final layer) one output channel's
+/// accumulator plane in place.
+void finish_channel(const QConv2d& conv, std::int64_t oc, int time_bits,
+                    std::int64_t* acc, std::int64_t count) {
+  const std::int64_t bias = conv.bias.data()[oc];
+  if (!conv.requantize) {
+    for (std::int64_t i = 0; i < count; ++i) acc[i] += bias;
+    return;
+  }
+  const int frac = conv.channel_frac.numel() > 0
+                       ? conv.channel_frac.data()[oc]
+                       : conv.frac_bits;
+  for (std::int64_t i = 0; i < count; ++i)
+    acc[i] = quant::requantize_value(acc[i], bias, frac, time_bits);
+}
+
+/// Whole conv layer in HWC order, writing finished codes to
+/// out_hwc[oh*ow][Cout]. The input is repacked CHW -> HWC once; per output
+/// pixel an acc[Cout] register block accumulates with the prepared
+/// [ky][kx][Cin][Cout] weights, skipping zero activations (spike sparsity),
+/// with the inner loop contiguous over output channels.
+void conv_hwc(const QConv2d& conv, const std::int64_t* in, std::int64_t ih,
+              std::int64_t iw, std::int64_t oh, std::int64_t ow,
+              const std::int32_t* whwc, int time_bits, common::Arena& arena,
+              std::int64_t* out_hwc) {
+  const std::int64_t cin = conv.in_channels, cout = conv.out_channels;
+  const std::int64_t k = conv.kernel, str = conv.stride, pad = conv.padding;
+
+  std::int64_t* in_hwc = arena.alloc<std::int64_t>(cin * ih * iw);
+  for (std::int64_t c = 0; c < cin; ++c) {
+    const std::int64_t* plane = in + c * ih * iw;
+    for (std::int64_t y = 0; y < ih; ++y)
+      for (std::int64_t x = 0; x < iw; ++x)
+        in_hwc[(y * iw + x) * cin + c] = plane[y * iw + x];
+  }
+
+  std::int64_t* acc = arena.alloc<std::int64_t>(cout);
+  const std::int64_t* bias = conv.bias.data();
+  const std::int32_t* cf =
+      conv.channel_frac.numel() > 0 ? conv.channel_frac.data() : nullptr;
+  for (std::int64_t oy = 0; oy < oh; ++oy) {
+    for (std::int64_t ox = 0; ox < ow; ++ox) {
+      std::fill(acc, acc + cout, std::int64_t{0});
+      for (std::int64_t ky = 0; ky < k; ++ky) {
+        const std::int64_t iy = oy * str + ky - pad;
+        if (iy < 0 || iy >= ih) continue;
+        for (std::int64_t kx = 0; kx < k; ++kx) {
+          const std::int64_t ix = ox * str + kx - pad;
+          if (ix < 0 || ix >= iw) continue;
+          const std::int64_t* px = in_hwc + (iy * iw + ix) * cin;
+          const std::int32_t* wk = whwc + (ky * k + kx) * cin * cout;
+          for (std::int64_t ic = 0; ic < cin; ++ic) {
+            const std::int64_t a = px[ic];
+            if (a == 0) continue;
+            const std::int32_t* wrow = wk + ic * cout;
+            for (std::int64_t oc = 0; oc < cout; ++oc) acc[oc] += a * wrow[oc];
+          }
+        }
+      }
+      std::int64_t* dst = out_hwc + (oy * ow + ox) * cout;
+      if (conv.requantize) {
+        for (std::int64_t oc = 0; oc < cout; ++oc)
+          dst[oc] = quant::requantize_value(
+              acc[oc], bias[oc], cf ? cf[oc] : conv.frac_bits, time_bits);
+      } else {
+        for (std::int64_t oc = 0; oc < cout; ++oc) dst[oc] = acc[oc] + bias[oc];
+      }
+    }
+  }
+}
+
+/// Average-pool one CHW plane into out (CHW), mirroring
+/// quant pool_forward: window sum then arithmetic right shift.
+void pool_plane(const std::int64_t* plane, std::int64_t iw, std::int64_t k,
+                int shift, std::int64_t oh, std::int64_t ow,
+                std::int64_t* out) {
+  for (std::int64_t oy = 0; oy < oh; ++oy) {
+    for (std::int64_t ox = 0; ox < ow; ++ox) {
+      std::int64_t acc = 0;
+      const std::int64_t* win = plane + oy * k * iw + ox * k;
+      for (std::int64_t ky = 0; ky < k; ++ky)
+        for (std::int64_t kx = 0; kx < k; ++kx) acc += win[ky * iw + kx];
+      out[oy * ow + ox] = acc >> shift;
+    }
+  }
+}
+
+/// Linear layer with the prepared transposed weights [in][out]: zero input
+/// codes (no spikes) skip their whole weight row.
+void linear_fast(const QLinear& fc, const std::int64_t* in,
+                 const std::int32_t* wt, int time_bits, std::int64_t* out) {
+  const std::int64_t nin = fc.in_features, nout = fc.out_features;
+  std::fill(out, out + nout, std::int64_t{0});
+  for (std::int64_t i = 0; i < nin; ++i) {
+    const std::int64_t a = in[i];
+    if (a == 0) continue;
+    const std::int32_t* wrow = wt + i * nout;
+    for (std::int64_t o = 0; o < nout; ++o) out[o] += a * wrow[o];
+  }
+  const std::int64_t* bias = fc.bias.data();
+  if (!fc.requantize) {
+    for (std::int64_t o = 0; o < nout; ++o) out[o] += bias[o];
+    return;
+  }
+  const std::int32_t* cf =
+      fc.channel_frac.numel() > 0 ? fc.channel_frac.data() : nullptr;
+  for (std::int64_t o = 0; o < nout; ++o)
+    out[o] = quant::requantize_value(out[o], bias[o],
+                                     cf ? cf[o] : fc.frac_bits, time_bits);
+}
+
+/// Annotation-derived skeleton of one op's stats (name, cycles, traffic);
+/// adder_ops and input_spikes are filled by the caller.
+LayerStats annotated_stats(const ir::LayerOp& op) {
+  LayerStats stats;
+  stats.name = op.name();
+  stats.cycles = op.latency.total_cycles;
+  stats.dram_cycles = op.latency.dram_cycles;
+  stats.traffic = op.latency.traffic;
+  return stats;
+}
+
+}  // namespace
+
+FastPrepared prepare_fast_path(const ir::LayerProgram& program) {
+  FastPrepared prep;
+  prep.ops.resize(program.size());
+  for (std::size_t i = 0; i < program.size(); ++i) {
+    const ir::LayerOp& op = program.op(i);
+    FastPrepared::OpPrep& p = prep.ops[i];
+    if (op.kind == ir::OpKind::kConv) {
+      const QConv2d& conv = *op.conv;
+      const std::int64_t ih = op.in_shape.dim(1), iw = op.in_shape.dim(2);
+      const std::int64_t oh = op.out_shape.dim(1), ow = op.out_shape.dim(2);
+      p.county.resize(static_cast<std::size_t>(ih));
+      for (std::int64_t y = 0; y < ih; ++y)
+        p.county[static_cast<std::size_t>(y)] = ir::axis_coverage(
+            y, conv.kernel, conv.stride, conv.padding, oh);
+      p.countx.resize(static_cast<std::size_t>(iw));
+      for (std::int64_t x = 0; x < iw; ++x)
+        p.countx[static_cast<std::size_t>(x)] = ir::axis_coverage(
+            x, conv.kernel, conv.stride, conv.padding, ow);
+      if (op.fast_layout == DataLayout::kHwc) {
+        const std::int64_t k = conv.kernel;
+        const std::int64_t cin = conv.in_channels, cout = conv.out_channels;
+        p.weights.resize(static_cast<std::size_t>(k * k * cin * cout));
+        const std::int32_t* w = conv.weight.data();
+        for (std::int64_t oc = 0; oc < cout; ++oc)
+          for (std::int64_t ic = 0; ic < cin; ++ic)
+            for (std::int64_t ky = 0; ky < k; ++ky)
+              for (std::int64_t kx = 0; kx < k; ++kx)
+                p.weights[static_cast<std::size_t>(
+                    ((ky * k + kx) * cin + ic) * cout + oc)] =
+                    w[((oc * cin + ic) * k + ky) * k + kx];
+      }
+    } else if (op.kind == ir::OpKind::kLinear) {
+      const QLinear& fc = *op.linear;
+      const std::int64_t nin = fc.in_features, nout = fc.out_features;
+      p.weights.resize(static_cast<std::size_t>(nin * nout));
+      const std::int32_t* w = fc.weight.data();
+      for (std::int64_t o = 0; o < nout; ++o)
+        for (std::int64_t in = 0; in < nin; ++in)
+          p.weights[static_cast<std::size_t>(in * nout + o)] = w[o * nin + in];
+    }
+  }
+  return prep;
+}
+
+void run_fast_path(const ir::LayerProgram& program, const FastPrepared& prep,
+                   common::Arena& arena, const TensorI& codes,
+                   std::size_t begin, std::size_t end, TensorI* boundary_codes,
+                   AccelRunResult& result) {
+  arena.reset();
+  const int T = program.time_bits();
+  const std::size_t n_layers = program.network().layers.size();
+  result.layers.reserve(end - begin);
+
+  // Activations travel between ops as dense int64 code tensors in CHW order
+  // (the canonical order of the reference model); HWC is an intra-op layout.
+  const std::int64_t n_in = codes.numel();
+  std::int64_t* cur = arena.alloc<std::int64_t>(n_in);
+  const std::int32_t* cp = codes.data();
+  for (std::int64_t i = 0; i < n_in; ++i) cur[i] = cp[i];
+
+  std::size_t li = begin;
+  while (li < end) {
+    const ir::LayerOp& op = program.op(li);
+    const bool network_final =
+        static_cast<std::size_t>(op.layer_index) + 1 == n_layers;
+    RSNN_ENSURE(op.requantize || network_final || op.kind == ir::OpKind::kPool ||
+                    op.kind == ir::OpKind::kFlatten,
+                "non-final layer must requantize");
+    LayerStats stats = annotated_stats(op);
+    stats.input_spikes = popcount_sum(cur, op.in_shape.numel());
+    const FastPrepared::OpPrep& p = prep.ops[li];
+    std::size_t consumed = 1;
+
+    switch (op.kind) {
+      case ir::OpKind::kFlatten: {
+        // CHW -> flat is the identity on a contiguous buffer; the op only
+        // moves data between the 2-D and 1-D ping-pong pairs.
+        stats.adder_ops = 0;
+        accumulate_layer(result, std::move(stats));
+        break;
+      }
+      case ir::OpKind::kConv: {
+        const QConv2d& conv = *op.conv;
+        const std::int64_t ih = op.in_shape.dim(1), iw = op.in_shape.dim(2);
+        const std::int64_t oh = op.out_shape.dim(1), ow = op.out_shape.dim(2);
+        const std::int64_t cout = conv.out_channels;
+        stats.adder_ops =
+            conv_adder_ops(cur, conv.in_channels, ih, iw, p.county.data(),
+                           p.countx.data(), cout);
+        // A fused pair must lie entirely inside the executed range: a conv
+        // at a segment cut runs unfused so the boundary codes stay its own.
+        const bool fuse = op.fuse_with_next && li + 1 < end;
+        if (!fuse) {
+          std::int64_t* out = arena.alloc<std::int64_t>(cout * oh * ow);
+          if (op.fast_layout == DataLayout::kHwc) {
+            std::int64_t* out_hwc = arena.alloc<std::int64_t>(oh * ow * cout);
+            conv_hwc(conv, cur, ih, iw, oh, ow, p.weights.data(), T, arena,
+                     out_hwc);
+            for (std::int64_t oc = 0; oc < cout; ++oc)
+              for (std::int64_t i = 0; i < oh * ow; ++i)
+                out[oc * oh * ow + i] = out_hwc[i * cout + oc];
+          } else {
+            for (std::int64_t oc = 0; oc < cout; ++oc) {
+              std::int64_t* plane = out + oc * oh * ow;
+              conv_channel_chw(conv, cur, ih, iw, oh, ow, oc, plane);
+              finish_channel(conv, oc, T, plane, oh * ow);
+            }
+          }
+          accumulate_layer(result, std::move(stats));
+          cur = out;
+          break;
+        }
+
+        // Fused conv+pool: the pool consumes conv codes straight from
+        // scratch, skipping the intermediate CHW activation tensor. Both
+        // ops' stats are emitted exactly as if they ran back to back.
+        const ir::LayerOp& pool_op = program.op(li + 1);
+        const QPool2d& pool = *pool_op.pool;
+        const std::int64_t k = pool.kernel;
+        const std::int64_t poh = pool_op.out_shape.dim(1);
+        const std::int64_t pow_ = pool_op.out_shape.dim(2);
+        LayerStats pool_stats = annotated_stats(pool_op);
+        std::int64_t* out = arena.alloc<std::int64_t>(cout * poh * pow_);
+        if (op.fast_layout == DataLayout::kHwc) {
+          std::int64_t* out_hwc = arena.alloc<std::int64_t>(oh * ow * cout);
+          conv_hwc(conv, cur, ih, iw, oh, ow, p.weights.data(), T, arena,
+                   out_hwc);
+          pool_stats.input_spikes = popcount_sum(out_hwc, oh * ow * cout);
+          std::int64_t covered = 0;
+          for (std::int64_t y = 0; y < oh; ++y) {
+            const bool y_covered = y / k < poh;
+            for (std::int64_t x = 0; x < ow; ++x) {
+              if (y_covered && x / k < pow_)
+                covered += popcount_sum(out_hwc + (y * ow + x) * cout, cout);
+            }
+          }
+          pool_stats.adder_ops = covered;
+          std::int64_t* pacc = arena.alloc<std::int64_t>(cout);
+          for (std::int64_t py = 0; py < poh; ++py) {
+            for (std::int64_t px = 0; px < pow_; ++px) {
+              std::fill(pacc, pacc + cout, std::int64_t{0});
+              for (std::int64_t ky = 0; ky < k; ++ky) {
+                for (std::int64_t kx = 0; kx < k; ++kx) {
+                  const std::int64_t* src =
+                      out_hwc + ((py * k + ky) * ow + px * k + kx) * cout;
+                  for (std::int64_t oc = 0; oc < cout; ++oc)
+                    pacc[oc] += src[oc];
+                }
+              }
+              for (std::int64_t oc = 0; oc < cout; ++oc)
+                out[(oc * poh + py) * pow_ + px] = pacc[oc] >> pool.shift;
+            }
+          }
+        } else {
+          std::int64_t* plane = arena.alloc<std::int64_t>(oh * ow);
+          std::int64_t conv_spikes = 0, covered = 0;
+          for (std::int64_t oc = 0; oc < cout; ++oc) {
+            conv_channel_chw(conv, cur, ih, iw, oh, ow, oc, plane);
+            finish_channel(conv, oc, T, plane, oh * ow);
+            conv_spikes += popcount_sum(plane, oh * ow);
+            covered += pool_covered_spikes(plane, 1, oh, ow, k, poh, pow_);
+            pool_plane(plane, ow, k, pool.shift, poh, pow_,
+                       out + oc * poh * pow_);
+          }
+          pool_stats.input_spikes = conv_spikes;
+          pool_stats.adder_ops = covered;
+        }
+        accumulate_layer(result, std::move(stats));
+        accumulate_layer(result, std::move(pool_stats));
+        cur = out;
+        consumed = 2;
+        break;
+      }
+      case ir::OpKind::kPool: {
+        const QPool2d& pool = *op.pool;
+        const std::int64_t ch = op.in_shape.dim(0);
+        const std::int64_t ih = op.in_shape.dim(1), iw = op.in_shape.dim(2);
+        const std::int64_t oh = op.out_shape.dim(1), ow = op.out_shape.dim(2);
+        stats.adder_ops =
+            pool_covered_spikes(cur, ch, ih, iw, pool.kernel, oh, ow);
+        std::int64_t* out = arena.alloc<std::int64_t>(ch * oh * ow);
+        for (std::int64_t c = 0; c < ch; ++c)
+          pool_plane(cur + c * ih * iw, iw, pool.kernel, pool.shift, oh, ow,
+                     out + c * oh * ow);
+        accumulate_layer(result, std::move(stats));
+        cur = out;
+        break;
+      }
+      case ir::OpKind::kLinear: {
+        const QLinear& fc = *op.linear;
+        stats.adder_ops = stats.input_spikes * fc.out_features;
+        std::int64_t* out = arena.alloc<std::int64_t>(fc.out_features);
+        linear_fast(fc, cur, p.weights.data(), T, out);
+        accumulate_layer(result, std::move(stats));
+        cur = out;
+        break;
+      }
+    }
+
+    li += consumed;
+    const ir::LayerOp& last_op = program.op(li - 1);
+    const std::int64_t out_numel = last_op.out_shape.numel();
+    if (static_cast<std::size_t>(last_op.layer_index) + 1 == n_layers) {
+      result.logits.assign(cur, cur + out_numel);
+    } else if (li == end && boundary_codes) {
+      TensorI boundary(last_op.out_shape);
+      std::int32_t* bp = boundary.data();
+      for (std::int64_t i = 0; i < out_numel; ++i)
+        bp[i] = static_cast<std::int32_t>(cur[i]);
+      *boundary_codes = std::move(boundary);
+    }
+  }
+
+  finalize_run(result, program.config().cycle_ns());
+}
+
+}  // namespace rsnn::hw

@@ -1,0 +1,70 @@
+// Code-domain fast path of the cycle-accurate simulator.
+//
+// Radix-encoded layers are *linear over activation codes*: integrating a
+// T-step spike train with the left-shift between steps computes exactly
+// sum(code * w) (DESIGN invariant 1), so the whole temporal loop of a layer
+// collapses to a single integer pass over the codes. The fast path exploits
+// that: it computes every op's output codes with dense word-level kernels
+// (per-layout loop orders, fused conv+pool passes) and takes the accounting
+// from sources that are already proven bit-identical to the stepped
+// dataflow:
+//
+//   * cycles / dram_cycles / memory traffic — the program's latency
+//     annotations (DESIGN invariant 4, enforced per-op by the equivalence
+//     suite against the stepped units);
+//   * adder ops — the exact activity rule of ir::exact_adder_ops, evaluated
+//     through prepared per-op coverage tables;
+//   * input spikes — popcount of the input codes (== the spike-train count).
+//
+// The fast path therefore changes *how* the simulator iterates, never *what*
+// it counts: logits, cycles, adder ops and traffic are bit-identical to
+// SimMode::kStepped for every layout/fusion plan, which
+// tests/test_fastpath.cpp sweeps exhaustively.
+//
+// Memory model: all intermediate activation buffers are bump-allocated from
+// a per-worker common::Arena that is rewound per inference — a warm worker
+// performs zero heap allocation (tested). Weight repacks and coverage tables
+// live in a FastPrepared built once per Accelerator and shared read-only by
+// all of its workers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/arena.hpp"
+#include "hw/run_result.hpp"
+#include "ir/layer_program.hpp"
+#include "tensor/tensor.hpp"
+
+namespace rsnn::hw {
+
+/// Immutable per-program preparation: weight repacks in the layouts the plan
+/// selected, plus the adder-op coverage tables. Indexed by op position.
+struct FastPrepared {
+  struct OpPrep {
+    /// HWC-packed conv weights [ky][kx][Cin][Cout] (conv ops with
+    /// fast_layout == kHwc) or the transposed linear weights [in][out]
+    /// (linear ops); empty otherwise.
+    std::vector<std::int32_t> weights;
+    /// Separable adder-op coverage per input row / column (conv ops):
+    /// a spike at (iy, ix) feeds county[iy] * countx[ix] kernel windows.
+    std::vector<std::int64_t> county;
+    std::vector<std::int64_t> countx;
+  };
+  std::vector<OpPrep> ops;
+};
+
+/// Build the prepared state for a hardware-lowered program.
+FastPrepared prepare_fast_path(const ir::LayerProgram& program);
+
+/// Execute ops [begin, end) of `program` on the fast path, appending per-op
+/// stats to `result` (which the caller has reset). Fills `result.logits`
+/// when the range contains the network's final layer; writes the activation
+/// codes crossing the downstream cut to `boundary_codes` (if non-null) when
+/// it does not. Scratch comes from `arena` (rewound here, per inference).
+void run_fast_path(const ir::LayerProgram& program, const FastPrepared& prep,
+                   common::Arena& arena, const TensorI& codes,
+                   std::size_t begin, std::size_t end, TensorI* boundary_codes,
+                   AccelRunResult& result);
+
+}  // namespace rsnn::hw

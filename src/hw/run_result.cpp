@@ -1,0 +1,59 @@
+#include "hw/run_result.hpp"
+
+#include <iterator>
+#include <utility>
+
+namespace rsnn::hw {
+
+void reset_run_result(AccelRunResult& result) {
+  result.logits.clear();
+  result.predicted_class = -1;
+  result.total_cycles = 0;
+  result.latency_us = 0.0;
+  result.layers.clear();
+  result.total_adder_ops = 0;
+  result.dram_bits = 0;
+  result.traffic_total = MemTraffic{};
+}
+
+void merge_segment_result(AccelRunResult& aggregate, AccelRunResult&& part) {
+  aggregate.total_cycles += part.total_cycles;
+  aggregate.total_adder_ops += part.total_adder_ops;
+  aggregate.dram_bits += part.dram_bits;
+  aggregate.traffic_total.act_read_bits += part.traffic_total.act_read_bits;
+  aggregate.traffic_total.act_write_bits += part.traffic_total.act_write_bits;
+  aggregate.traffic_total.weight_read_bits +=
+      part.traffic_total.weight_read_bits;
+  aggregate.traffic_total.dram_bits += part.traffic_total.dram_bits;
+  if (!part.logits.empty()) aggregate.logits = std::move(part.logits);
+  aggregate.layers.insert(aggregate.layers.end(),
+                          std::make_move_iterator(part.layers.begin()),
+                          std::make_move_iterator(part.layers.end()));
+}
+
+void finalize_run(AccelRunResult& result, double cycle_ns) {
+  result.latency_us =
+      static_cast<double>(result.total_cycles) * cycle_ns / 1000.0;
+  if (result.logits.empty()) {
+    result.predicted_class = -1;
+    return;
+  }
+  int best = 0;
+  for (std::size_t c = 1; c < result.logits.size(); ++c)
+    if (result.logits[c] > result.logits[static_cast<std::size_t>(best)])
+      best = static_cast<int>(c);
+  result.predicted_class = best;
+}
+
+void accumulate_layer(AccelRunResult& result, LayerStats&& stats) {
+  result.total_cycles += stats.cycles;
+  result.total_adder_ops += stats.adder_ops;
+  result.dram_bits += stats.traffic.dram_bits;
+  result.traffic_total.act_read_bits += stats.traffic.act_read_bits;
+  result.traffic_total.act_write_bits += stats.traffic.act_write_bits;
+  result.traffic_total.weight_read_bits += stats.traffic.weight_read_bits;
+  result.traffic_total.dram_bits += stats.traffic.dram_bits;
+  result.layers.push_back(std::move(stats));
+}
+
+}  // namespace rsnn::hw

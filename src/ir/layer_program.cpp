@@ -166,6 +166,42 @@ LayerProgram lower(const quant::QuantizedNetwork& qnet,
   return lower(qnet, 0, qnet.layers.size(), config);
 }
 
+namespace {
+
+/// Annotate the fast-path execution plan: per-conv kernel layout (from the
+/// config's policy, or a channel-count heuristic under kAuto) and conv+pool
+/// fusion for adjacent pairs. The plan only directs *how* the fast path
+/// iterates; the accounting always comes from the latency annotations and
+/// the exact activity rules, so every plan is bit-identical.
+void plan_fast_path(std::vector<LayerOp>& ops,
+                    const hw::FastPathOptions& options) {
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    LayerOp& op = ops[i];
+    if (op.kind != OpKind::kConv) continue;
+    switch (options.layout) {
+      case hw::LayoutPolicy::kForceChw:
+        op.fast_layout = hw::DataLayout::kChw;
+        break;
+      case hw::LayoutPolicy::kForceHwc:
+        op.fast_layout = hw::DataLayout::kHwc;
+        break;
+      case hw::LayoutPolicy::kAuto:
+        // HWC pays one input repack to get contiguous channel inner loops;
+        // that amortizes once there are enough input channels per pixel.
+        op.fast_layout = op.conv->in_channels >= 8 ? hw::DataLayout::kHwc
+                                                   : hw::DataLayout::kChw;
+        break;
+    }
+    // A requantizing conv followed by a pool runs as one fused pass (the
+    // pool consumes the conv codes before they round-trip through a
+    // buffer). The executor still emits both ops' stats records.
+    op.fuse_with_next = options.fuse_conv_pool && op.requantize &&
+                        i + 1 < ops.size() && ops[i + 1].kind == OpKind::kPool;
+  }
+}
+
+}  // namespace
+
 LayerProgram lower(const quant::QuantizedNetwork& qnet, std::size_t begin,
                    std::size_t end, const hw::AcceleratorConfig& config) {
   const LayerProgram full = lower(qnet);
@@ -209,6 +245,7 @@ LayerProgram lower(const quant::QuantizedNetwork& qnet, std::size_t begin,
   }
   program.buffer_plan_.buffer2d_bits_each = std::max<std::int64_t>(max2d, 1);
   program.buffer_plan_.buffer1d_bits_each = std::max<std::int64_t>(max1d, 1);
+  plan_fast_path(program.ops_, config.fast_path);
   return program;
 }
 
@@ -314,11 +351,6 @@ GeometryRequirements scan_geometry(const quant::QuantizedNetwork& qnet) {
   return req;
 }
 
-namespace {
-
-/// Number of kernel offsets along one axis through which an input position
-/// feeds a valid output position: |{ j in [0, k) : (pos + pad - j) >= 0,
-/// divisible by stride, quotient < out_extent }|.
 std::int64_t axis_coverage(std::int64_t pos, std::int64_t k, std::int64_t str,
                            std::int64_t pad, std::int64_t out_extent) {
   std::int64_t n = 0;
@@ -330,8 +362,6 @@ std::int64_t axis_coverage(std::int64_t pos, std::int64_t k, std::int64_t str,
   }
   return n;
 }
-
-}  // namespace
 
 std::int64_t exact_adder_ops(const LayerOp& op, const TensorI64& input_codes) {
   RSNN_REQUIRE(input_codes.shape().numel() == op.in_shape.numel(),

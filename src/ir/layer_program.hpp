@@ -73,6 +73,12 @@ struct LayerOp {
   int contending_units = 1;      ///< conv units sharing the activation ports
   hw::LayerLatency latency;      ///< predicted cycles, phasing, traffic
 
+  // Fast-path execution plan (simulator-only; never changes what is
+  // counted). Chosen by the lowering pass from the config's
+  // hw::FastPathOptions:
+  hw::DataLayout fast_layout = hw::DataLayout::kChw;  ///< conv kernel layout
+  bool fuse_with_next = false;   ///< conv op fused with the following pool
+
   const char* name() const { return op_kind_name(kind); }
 };
 
@@ -287,6 +293,14 @@ struct GeometryRequirements {
   std::int64_t max_pool_out_width = 0;
 };
 GeometryRequirements scan_geometry(const quant::QuantizedNetwork& qnet);
+
+/// Number of kernel offsets along one axis through which input position
+/// `pos` feeds a valid output position: |{ j in [0, k) : (pos + pad - j)
+/// >= 0, divisible by stride, quotient < out_extent }|. Exposed so the
+/// fast path's prepared coverage tables use the exact same rule as
+/// exact_adder_ops().
+std::int64_t axis_coverage(std::int64_t pos, std::int64_t k, std::int64_t str,
+                           std::int64_t pad, std::int64_t out_extent);
 
 /// Exact fired-adder count of one op given its input activation codes: one
 /// addition per (spike, consuming adder), the same event definition the

@@ -10,19 +10,6 @@
 namespace rsnn::quant {
 namespace {
 
-/// Requantize an accumulator: add bias, shift by frac_bits, clamp to T bits.
-/// Arithmetic right shift floors toward -inf, matching the hardware
-/// truncating requantizer; negative frac_bits means scale-up (left shift).
-std::int64_t requantize_value(std::int64_t acc, std::int64_t bias,
-                              int frac_bits, int time_bits) {
-  std::int64_t v = acc + bias;
-  if (frac_bits >= 0)
-    v >>= frac_bits;
-  else
-    v <<= -frac_bits;
-  return saturate_unsigned(v, time_bits);
-}
-
 TensorI64 conv_forward(const QConv2d& conv, const TensorI64& input,
                        int time_bits) {
   RSNN_REQUIRE(input.rank() == 3, "conv expects CHW");

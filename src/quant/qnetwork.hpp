@@ -28,9 +28,25 @@
 #include <variant>
 #include <vector>
 
+#include "common/bits.hpp"
 #include "tensor/tensor.hpp"
 
 namespace rsnn::quant {
+
+/// Requantize an accumulator: add bias, shift by frac_bits, clamp to T bits.
+/// Arithmetic right shift floors toward -inf, matching the hardware
+/// truncating requantizer; negative frac_bits means scale-up (left shift).
+/// The one copy of the requantizer rule, shared by the reference model and
+/// the simulator fast path.
+inline std::int64_t requantize_value(std::int64_t acc, std::int64_t bias,
+                                     int frac_bits, int time_bits) {
+  std::int64_t v = acc + bias;
+  if (frac_bits >= 0)
+    v >>= frac_bits;
+  else
+    v <<= -frac_bits;
+  return saturate_unsigned(v, time_bits);
+}
 
 /// Quantized convolution parameters.
 struct QConv2d {

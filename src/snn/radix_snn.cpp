@@ -12,24 +12,26 @@ using quant::QConv2d;
 using quant::QLinear;
 using quant::QPool2d;
 
-/// A decomposed input event: the (channel, row, column) of one spike.
-struct ConvEvent {
-  std::int32_t ic, iy, ix;
-};
-
 /// Per-time-step convolution on binary spikes: scatter each spike into the
 /// output windows it participates in. Event-driven — work scales with the
 /// number of spikes, not the dense loop nest. Counts fired adder ops into
 /// `synaptic_ops`; the count and membrane sums are identical to the dense
 /// gather formulation (the (oy, ky) <-> iy correspondence is bijective).
+///
+/// The tap list of each event — which (output position, kernel weight)
+/// pairs it feeds — does not depend on the output channel, so it is hoisted
+/// out of the per-channel scatter instead of re-deriving the window bounds
+/// Cout times per event. `events`/`taps` are caller-owned scratch, reused
+/// across steps.
 void conv_step(const QConv2d& conv, const SpikeTrain& input, int t,
-               TensorI64& membrane, std::int64_t& synaptic_ops) {
+               TensorI64& membrane, std::int64_t& synaptic_ops,
+               std::vector<ConvEvent>& events, std::vector<ConvTap>& taps) {
   const Shape& in_shape = input.neuron_shape();
   const std::int64_t ih = in_shape.dim(1), iw = in_shape.dim(2);
   const std::int64_t k = conv.kernel, str = conv.stride, pad = conv.padding;
   const std::int64_t oh = membrane.dim(1), ow = membrane.dim(2);
 
-  std::vector<ConvEvent> events;
+  events.clear();
   input.for_each_set_bit(t, [&](std::int64_t neuron) {
     const std::int64_t ix = neuron % iw;
     const std::int64_t rest = neuron / iw;
@@ -39,28 +41,37 @@ void conv_step(const QConv2d& conv, const SpikeTrain& input, int t,
   });
   if (events.empty()) return;
 
+  const std::int64_t kk = k * k;
+  const std::int64_t plane = oh * ow;
+  const std::int64_t ch_stride = conv.in_channels * kk;
   const std::int32_t* wdata = conv.weight.data();
   std::int64_t* mdata = membrane.data();
-  for (std::int64_t oc = 0; oc < conv.out_channels; ++oc) {
-    std::int64_t* mplane = mdata + oc * oh * ow;
-    const std::int32_t* wbase = wdata + oc * conv.in_channels * k * k;
-    for (const ConvEvent& ev : events) {
-      const std::int32_t* wch = wbase + ev.ic * k * k;
-      for (std::int64_t ky = 0; ky < k; ++ky) {
-        const std::int64_t ynum = ev.iy + pad - ky;
-        if (ynum < 0 || ynum % str != 0) continue;
-        const std::int64_t oy = ynum / str;
-        if (oy >= oh) continue;
-        for (std::int64_t kx = 0; kx < k; ++kx) {
-          const std::int64_t xnum = ev.ix + pad - kx;
-          if (xnum < 0 || xnum % str != 0) continue;
-          const std::int64_t ox = xnum / str;
-          if (ox >= ow) continue;
-          mplane[oy * ow + ox] += wch[ky * k + kx];
-          ++synaptic_ops;
-        }
+  for (const ConvEvent& ev : events) {
+    taps.clear();
+    for (std::int64_t ky = 0; ky < k; ++ky) {
+      const std::int64_t ynum = ev.iy + pad - ky;
+      if (ynum < 0 || ynum % str != 0) continue;
+      const std::int64_t oy = ynum / str;
+      if (oy >= oh) continue;
+      for (std::int64_t kx = 0; kx < k; ++kx) {
+        const std::int64_t xnum = ev.ix + pad - kx;
+        if (xnum < 0 || xnum % str != 0) continue;
+        const std::int64_t ox = xnum / str;
+        if (ox >= ow) continue;
+        taps.push_back({static_cast<std::int32_t>(oy * ow + ox),
+                        static_cast<std::int32_t>(ky * k + kx)});
       }
     }
+    if (taps.empty()) continue;
+    const std::int32_t* wch0 = wdata + ev.ic * kk;
+    for (std::int64_t oc = 0; oc < conv.out_channels; ++oc) {
+      std::int64_t* mplane = mdata + oc * plane;
+      const std::int32_t* wch = wch0 + oc * ch_stride;
+      for (const ConvTap& tap : taps)
+        mplane[tap.plane_offset] += wch[tap.weight_offset];
+    }
+    synaptic_ops +=
+        static_cast<std::int64_t>(taps.size()) * conv.out_channels;
   }
 }
 
@@ -129,12 +140,14 @@ RadixSnnResult RadixSnn::run_range(const SpikeTrain& input, std::size_t begin,
 
     // Temporal integration with the radix left-shift between steps.
     TensorI64 membrane(op.out_shape, std::int64_t{0});
+    std::int64_t* mem = membrane.data();
+    const std::int64_t mem_n = membrane.numel();
     for (int t = 0; t < T; ++t) {
-      for (std::int64_t i = 0; i < membrane.numel(); ++i)
-        membrane.at_flat(i) <<= 1;
+      for (std::int64_t i = 0; i < mem_n; ++i) mem[i] <<= 1;
       switch (op.kind) {
         case ir::OpKind::kConv:
-          conv_step(*op.conv, current, t, membrane, result.total_synaptic_ops);
+          conv_step(*op.conv, current, t, membrane, result.total_synaptic_ops,
+                    conv_events_, conv_taps_);
           break;
         case ir::OpKind::kPool:
           pool_step(*op.pool, current, t, membrane, result.total_synaptic_ops);

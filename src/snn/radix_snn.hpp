@@ -15,6 +15,7 @@
 // and spike counts, which the power model consumes as activity factors.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "encoding/spike_train.hpp"
@@ -29,6 +30,18 @@ struct RadixSnnResult {
   std::int64_t total_input_spikes = 0;   ///< events entering layer inputs
   std::int64_t total_synaptic_ops = 0;   ///< adder operations actually fired
   std::vector<encoding::SpikeTrain> layer_spikes;  ///< filled if requested
+};
+
+/// A decomposed input event: the (channel, row, column) of one spike.
+struct ConvEvent {
+  std::int32_t ic, iy, ix;
+};
+
+/// One valid tap of an event: the output-plane offset it scatters to and the
+/// kernel-window offset of the weight it multiplies.
+struct ConvTap {
+  std::int32_t plane_offset;
+  std::int32_t weight_offset;
 };
 
 class RadixSnn {
@@ -60,6 +73,12 @@ class RadixSnn {
  private:
   const quant::QuantizedNetwork& qnet_;
   ir::LayerProgram program_;  ///< functional lowering of qnet_
+
+  // Reused conv_step scratch: run() is logically const and engines are
+  // single-threaded per instance, so reusing the event/tap buffers across
+  // steps removes the per-step allocations from the behavioral hot loop.
+  mutable std::vector<ConvEvent> conv_events_;
+  mutable std::vector<ConvTap> conv_taps_;
 };
 
 }  // namespace rsnn::snn

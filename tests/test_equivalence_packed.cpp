@@ -170,6 +170,7 @@ TEST_P(EngineEquivalence, LeNetBitIdenticalToCycleAccurate) {
 INSTANTIATE_TEST_SUITE_P(
     Engines, EngineEquivalence,
     ::testing::Values(engine::EngineKind::kCycleAccurate,
+                      engine::EngineKind::kStepped,
                       engine::EngineKind::kAnalytic,
                       engine::EngineKind::kBehavioral,
                       engine::EngineKind::kReference),

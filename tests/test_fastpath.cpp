@@ -1,0 +1,347 @@
+// The simulator fast path (hw/fast_path) against the golden stepped
+// dataflow. The accounting contract is non-negotiable: logits, cycles,
+// adder ops and memory traffic must be bit-identical to SimMode::kStepped
+// for every layout policy x fusion x geometry combination — the fast path
+// changes how the simulator iterates, never what it counts.
+//
+// Also covered here: the Arena bump allocator, the zero-allocation warm
+// streaming property, and segment-scoped fast-path execution (a fused
+// conv+pool pair split by a pipeline cut).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/alloc_hook.hpp"
+#include "common/arena.hpp"
+#include "common/rng.hpp"
+#include "engine/engine.hpp"
+#include "engine/stream.hpp"
+#include "hw/accelerator.hpp"
+#include "ir/layer_program.hpp"
+#include "nn/zoo.hpp"
+#include "quant/quantize.hpp"
+#include "test_helpers.hpp"
+
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define RSNN_SANITIZERS_ACTIVE 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define RSNN_SANITIZERS_ACTIVE 1
+#endif
+#endif
+
+namespace rsnn::hw {
+namespace {
+
+using rsnn::testing::random_image;
+
+/// Full bit-identity check: totals, traffic, logits, and every per-layer
+/// record.
+void expect_bit_identical(const AccelRunResult& run,
+                          const AccelRunResult& golden) {
+  EXPECT_EQ(run.logits, golden.logits);
+  EXPECT_EQ(run.predicted_class, golden.predicted_class);
+  EXPECT_EQ(run.total_cycles, golden.total_cycles);
+  EXPECT_EQ(run.total_adder_ops, golden.total_adder_ops);
+  EXPECT_EQ(run.dram_bits, golden.dram_bits);
+  EXPECT_EQ(run.traffic_total.act_read_bits, golden.traffic_total.act_read_bits);
+  EXPECT_EQ(run.traffic_total.act_write_bits,
+            golden.traffic_total.act_write_bits);
+  EXPECT_EQ(run.traffic_total.weight_read_bits,
+            golden.traffic_total.weight_read_bits);
+  EXPECT_EQ(run.traffic_total.dram_bits, golden.traffic_total.dram_bits);
+  ASSERT_EQ(run.layers.size(), golden.layers.size());
+  for (std::size_t li = 0; li < run.layers.size(); ++li) {
+    SCOPED_TRACE("layer " + std::to_string(li));
+    EXPECT_EQ(run.layers[li].name, golden.layers[li].name);
+    EXPECT_EQ(run.layers[li].cycles, golden.layers[li].cycles);
+    EXPECT_EQ(run.layers[li].dram_cycles, golden.layers[li].dram_cycles);
+    EXPECT_EQ(run.layers[li].adder_ops, golden.layers[li].adder_ops);
+    EXPECT_EQ(run.layers[li].input_spikes, golden.layers[li].input_spikes);
+    EXPECT_EQ(run.layers[li].traffic.act_read_bits,
+              golden.layers[li].traffic.act_read_bits);
+    EXPECT_EQ(run.layers[li].traffic.act_write_bits,
+              golden.layers[li].traffic.act_write_bits);
+    EXPECT_EQ(run.layers[li].traffic.weight_read_bits,
+              golden.layers[li].traffic.weight_read_bits);
+    EXPECT_EQ(run.layers[li].traffic.dram_bits,
+              golden.layers[li].traffic.dram_bits);
+  }
+}
+
+struct PlanVariant {
+  LayoutPolicy layout;
+  bool fuse;
+  const char* label;
+};
+
+constexpr PlanVariant kPlanVariants[] = {
+    {LayoutPolicy::kAuto, true, "auto_fused"},
+    {LayoutPolicy::kAuto, false, "auto_unfused"},
+    {LayoutPolicy::kForceChw, true, "chw_fused"},
+    {LayoutPolicy::kForceChw, false, "chw_unfused"},
+    {LayoutPolicy::kForceHwc, true, "hwc_fused"},
+    {LayoutPolicy::kForceHwc, false, "hwc_unfused"},
+};
+
+// ------------------------------------------------------------------ Arena
+
+TEST(Arena, BumpAllocatesAndConsolidatesOnReset) {
+  common::Arena arena;
+  // First round: everything overflows the (empty) primary chunk.
+  std::int64_t* a = arena.alloc<std::int64_t>(100);
+  std::int32_t* b = arena.alloc<std::int32_t>(7);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  a[99] = 42;
+  b[6] = 7;
+  const std::size_t demand = arena.round_bytes();
+  EXPECT_GE(demand, 100 * sizeof(std::int64_t) + 7 * sizeof(std::int32_t));
+
+  // Reset consolidates the round's demand into the primary chunk.
+  arena.reset();
+  EXPECT_GE(arena.capacity(), demand);
+  EXPECT_EQ(arena.round_bytes(), 0u);
+
+  // An identical round now bumps through the primary chunk; capacity stays.
+  const std::size_t capacity = arena.capacity();
+  std::int64_t* a2 = arena.alloc<std::int64_t>(100);
+  arena.alloc<std::int32_t>(7);
+  a2[0] = 1;
+  EXPECT_EQ(arena.capacity(), capacity);
+  EXPECT_EQ(arena.round_bytes(), demand);
+  arena.reset();
+  EXPECT_EQ(arena.capacity(), capacity);
+}
+
+TEST(Arena, BlocksAreMaxAligned) {
+  common::Arena arena;
+  for (int i = 0; i < 5; ++i) {
+    const auto p = reinterpret_cast<std::uintptr_t>(arena.alloc<char>(3));
+    EXPECT_EQ(p % alignof(std::max_align_t), 0u);
+  }
+}
+
+// ------------------------------------- layout x fusion sweeps, LeNet T=4
+
+TEST(FastPath, LeNetAllPlanVariantsBitIdenticalToStepped) {
+  Rng rng(711);
+  nn::Network lenet = nn::make_lenet5();
+  lenet.init_params(rng);
+  const quant::QuantizedNetwork qnet =
+      quant::quantize(lenet, quant::QuantizeConfig{3, 4});
+  const TensorI codes = quant::encode_activations(
+      random_image(qnet.input_shape, rng), qnet.time_bits);
+
+  // The stepped golden run (fast-path options do not affect kStepped).
+  const Accelerator golden_accel(lenet_reference_config(), qnet);
+  const AccelRunResult golden =
+      golden_accel.run_codes(codes, SimMode::kStepped);
+  ASSERT_FALSE(golden.logits.empty());
+
+  for (const PlanVariant& variant : kPlanVariants) {
+    SCOPED_TRACE(variant.label);
+    AcceleratorConfig cfg = lenet_reference_config();
+    cfg.fast_path.layout = variant.layout;
+    cfg.fast_path.fuse_conv_pool = variant.fuse;
+    const Accelerator accel(cfg, qnet);
+    expect_bit_identical(accel.run_codes(codes, SimMode::kCycleAccurate),
+                         golden);
+  }
+}
+
+TEST(FastPath, DisabledFallsBackToStepped) {
+  Rng rng(712);
+  nn::Network net = rsnn::testing::small_random_net(rng);
+  const quant::QuantizedNetwork qnet =
+      quant::quantize(net, quant::QuantizeConfig{3, 4});
+  AcceleratorConfig cfg;
+  cfg.conv = ConvUnitGeometry{16, 3, 24};
+  cfg.pool = PoolUnitGeometry{8, 2, 16};
+  cfg.linear = LinearUnitGeometry{8, 24};
+  cfg.fast_path.enable = false;
+  const Accelerator accel(cfg, qnet);
+  const TensorI codes = quant::encode_activations(
+      random_image(qnet.input_shape, rng), qnet.time_bits);
+  expect_bit_identical(accel.run_codes(codes, SimMode::kCycleAccurate),
+                       accel.run_codes(codes, SimMode::kStepped));
+}
+
+// --------------------------------- geometry sweep: stride, padding, tiling
+
+TEST(FastPath, StridePaddingTilingGeometriesMatchStepped) {
+  const rsnn::testing::SweepConfig geometries[] = {
+      {1, 4, 9, 3, 1, 0, 4},   // plain k3
+      {2, 3, 9, 3, 2, 1, 3},   // stride 2 with padding
+      {3, 5, 11, 5, 2, 2, 4},  // k5, stride 2, padding 2
+      {2, 6, 12, 3, 1, 1, 5},  // padded, wide output (tiles with X=4)
+  };
+  int seed = 100;
+  for (const auto& geometry : geometries) {
+    SCOPED_TRACE("size=" + std::to_string(geometry.size) +
+                 " k=" + std::to_string(geometry.kernel) +
+                 " stride=" + std::to_string(geometry.stride) +
+                 " pad=" + std::to_string(geometry.padding));
+    Rng rng(seed++);
+    nn::Network net = rsnn::testing::sweep_net(geometry, rng);
+    const quant::QuantizedNetwork qnet = quant::quantize(
+        net, quant::QuantizeConfig{3, geometry.time_bits});
+    const TensorI codes = quant::encode_activations(
+        random_image(qnet.input_shape, rng), qnet.time_bits);
+
+    // array_columns = 4 forces output-row tiling on every geometry above.
+    AcceleratorConfig cfg;
+    cfg.conv = ConvUnitGeometry{4, 5, 24};
+    cfg.linear = LinearUnitGeometry{8, 24};
+    const Accelerator accel(cfg, qnet);
+    const AccelRunResult golden = accel.run_codes(codes, SimMode::kStepped);
+
+    for (const LayoutPolicy layout :
+         {LayoutPolicy::kForceChw, LayoutPolicy::kForceHwc}) {
+      SCOPED_TRACE(layout == LayoutPolicy::kForceChw ? "chw" : "hwc");
+      AcceleratorConfig fast_cfg = cfg;
+      fast_cfg.fast_path.layout = layout;
+      const Accelerator fast_accel(fast_cfg, qnet);
+      expect_bit_identical(
+          fast_accel.run_codes(codes, SimMode::kCycleAccurate), golden);
+    }
+  }
+}
+
+// ----------------------------------------------- VGG-11 (DRAM streaming)
+
+TEST(FastPath, Vgg11BothLayoutsBitIdenticalToStepped) {
+  Rng rng(37);
+  nn::Network vgg = nn::make_vgg11();
+  vgg.init_params(rng);
+  const quant::QuantizedNetwork qnet =
+      quant::quantize(vgg, quant::QuantizeConfig{3, 3});
+  const TensorI codes = quant::encode_activations(
+      random_image(qnet.input_shape, rng), qnet.time_bits);
+
+  const Accelerator golden_accel(vgg11_table3_config(), qnet);
+  ASSERT_TRUE(golden_accel.uses_dram());
+  const AccelRunResult golden =
+      golden_accel.run_codes(codes, SimMode::kStepped);
+
+  for (const LayoutPolicy layout :
+       {LayoutPolicy::kForceChw, LayoutPolicy::kForceHwc}) {
+    SCOPED_TRACE(layout == LayoutPolicy::kForceChw ? "chw" : "hwc");
+    AcceleratorConfig cfg = vgg11_table3_config();
+    cfg.fast_path.layout = layout;
+    const Accelerator accel(cfg, qnet);
+    expect_bit_identical(accel.run_codes(codes, SimMode::kCycleAccurate),
+                         golden);
+  }
+}
+
+// ------------------------------------- segment cut through a fused pair
+
+TEST(FastPath, SegmentCutBetweenFusedConvPoolMatchesWholeProgram) {
+  Rng rng(55);
+  nn::Network net = rsnn::testing::small_random_net(rng);
+  const quant::QuantizedNetwork qnet =
+      quant::quantize(net, quant::QuantizeConfig{3, 4});
+  AcceleratorConfig cfg;
+  cfg.conv = ConvUnitGeometry{16, 3, 24};
+  cfg.pool = PoolUnitGeometry{8, 2, 16};
+  cfg.linear = LinearUnitGeometry{8, 24};
+  const Accelerator accel(cfg, qnet);
+  const ir::LayerProgram& program = accel.program();
+
+  // The plan fuses the conv (op 0) with the pool (op 1); the cut at op 1
+  // splits that pair, so segment [0, 1) must execute the conv unfused and
+  // emit its own boundary codes.
+  ASSERT_EQ(program.op(0).kind, ir::OpKind::kConv);
+  ASSERT_TRUE(program.op(0).fuse_with_next);
+  const TensorI codes = quant::encode_activations(
+      random_image(qnet.input_shape, rng), qnet.time_bits);
+  const AccelRunResult whole = accel.run_codes(codes, SimMode::kCycleAccurate);
+  expect_bit_identical(whole, accel.run_codes(codes, SimMode::kStepped));
+
+  Accelerator::WorkerState state = accel.make_worker_state();
+  TensorI boundary;
+  AccelRunResult merged = accel.run_codes_range(
+      state, codes, 0, 1, SimMode::kCycleAccurate, &boundary);
+  ASSERT_EQ(boundary.shape(), program.op(0).out_shape);
+  merge_segment_result(merged,
+                       accel.run_codes_range(state, boundary, 1,
+                                             program.size(),
+                                             SimMode::kCycleAccurate));
+  finalize_run(merged, accel.config().cycle_ns());
+  expect_bit_identical(merged, whole);
+}
+
+// ------------------------------------------------- zero-allocation warmth
+
+TEST(FastPath, WarmStreamingInferenceAllocatesNothing) {
+#ifdef RSNN_SANITIZERS_ACTIVE
+  GTEST_SKIP() << "allocation counting is not meaningful under sanitizers";
+#else
+  Rng rng(91);
+  nn::Network net = rsnn::testing::small_random_net(rng);
+  const quant::QuantizedNetwork qnet =
+      quant::quantize(net, quant::QuantizeConfig{3, 4});
+  AcceleratorConfig cfg;
+  cfg.conv = ConvUnitGeometry{16, 3, 24};
+  cfg.pool = PoolUnitGeometry{8, 2, 16};
+  cfg.linear = LinearUnitGeometry{8, 24};
+  const ir::LayerProgram program = ir::lower(qnet, cfg);
+
+  engine::StreamingExecutor stream(program, engine::EngineKind::kCycleAccurate,
+                                   /*num_workers=*/1);
+  std::vector<TensorI> batch(
+      4, quant::encode_activations(random_image(qnet.input_shape, rng),
+                                   qnet.time_bits));
+  std::vector<AccelRunResult> results;
+  // Two warm batches: the first builds the prepared weights and sizes every
+  // scratch buffer; the second consolidates the arena's primary chunk.
+  stream.run_stream_into(batch, results);
+  stream.run_stream_into(batch, results);
+  const AccelRunResult warm = results.at(0);
+
+  const std::uint64_t before = common::allocation_count();
+  // Guard against a vacuous pass: the setup above allocates plenty, so a
+  // zero counter means the counting hook did not link into this binary.
+  ASSERT_GT(before, 0u) << "allocation hook not linked";
+  stream.run_stream_into(batch, results);
+  const std::uint64_t after = common::allocation_count();
+  EXPECT_EQ(after - before, 0u)
+      << "warm fast-path streaming inference must not touch the heap";
+  expect_bit_identical(results.at(0), warm);
+#endif
+}
+
+// ------------------------------------------------------- mode plumbing
+
+TEST(FastPath, SteppedEngineIsRegisteredEverywhere) {
+  EXPECT_EQ(engine::parse_engine("stepped"), engine::EngineKind::kStepped);
+  EXPECT_STREQ(engine::engine_name(engine::EngineKind::kStepped), "stepped");
+  bool found = false;
+  for (const engine::EngineKind kind : engine::all_engines())
+    found = found || kind == engine::EngineKind::kStepped;
+  EXPECT_TRUE(found);
+}
+
+TEST(FastPath, AutoLayoutPlansPerOp) {
+  Rng rng(2024);
+  nn::Network lenet = nn::make_lenet5();
+  lenet.init_params(rng);
+  const quant::QuantizedNetwork qnet =
+      quant::quantize(lenet, quant::QuantizeConfig{3, 4});
+  const ir::LayerProgram program = ir::lower(qnet, lenet_reference_config());
+  for (const ir::LayerOp& op : program.ops()) {
+    if (op.kind != ir::OpKind::kConv) {
+      EXPECT_FALSE(op.fuse_with_next);  // only conv ops lead a fused pair
+      continue;
+    }
+    const DataLayout expected = op.conv->in_channels >= 8 ? DataLayout::kHwc
+                                                          : DataLayout::kChw;
+    EXPECT_EQ(op.fast_layout, expected);
+  }
+}
+
+}  // namespace
+}  // namespace rsnn::hw

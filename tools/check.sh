@@ -119,10 +119,10 @@ cmake -B build-check-sanitize -S . \
 echo "==== [Release+RSNN_SANITIZE] build (threaded executor tests) ===="
 cmake --build build-check-sanitize -j "$JOBS" \
     --target test_pipeline test_equivalence_packed test_relower test_serving \
-      test_faults
+      test_faults test_fastpath
 echo "==== [Release+RSNN_SANITIZE] ctest ===="
 ctest --test-dir build-check-sanitize --output-on-failure -j "$JOBS" \
-    -R 'test_pipeline|test_equivalence_packed|test_relower|test_serving|test_faults'
+    -R 'test_pipeline|test_equivalence_packed|test_relower|test_serving|test_faults|test_fastpath'
 
 # 5. ThreadSanitizer pass: same threaded suites under RSNN_SANITIZE_THREAD
 #    (its own build directory — TSan and ASan cannot share one). This is
@@ -133,10 +133,11 @@ cmake -B build-check-tsan -S . \
     -DCMAKE_BUILD_TYPE=Release -DRSNN_SANITIZE_THREAD=ON
 echo "==== [Release+RSNN_SANITIZE_THREAD] build (threaded executor tests) ===="
 cmake --build build-check-tsan -j "$JOBS" \
-    --target test_pipeline test_equivalence_packed test_serving test_faults
+    --target test_pipeline test_equivalence_packed test_serving test_faults \
+      test_fastpath
 echo "==== [Release+RSNN_SANITIZE_THREAD] ctest ===="
 TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1" \
   ctest --test-dir build-check-tsan --output-on-failure -j "$JOBS" \
-    -R 'test_pipeline|test_equivalence_packed|test_serving|test_faults'
+    -R 'test_pipeline|test_equivalence_packed|test_serving|test_faults|test_fastpath'
 
 echo "==== all configurations passed ===="
