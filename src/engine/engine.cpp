@@ -68,29 +68,19 @@ class AcceleratorEngine final : public Engine {
                  "run_codes_into needs a whole-program engine");
     accel_.run_codes_into(state_, codes, out, mode_);
   }
+  void run_codes_batched_into(const TensorI* codes, std::size_t count,
+                              hw::AccelRunResult* results) override {
+    RSNN_REQUIRE(program_.whole_network() && segment_.begin == 0 &&
+                     segment_.final_segment,
+                 "run_codes_batched_into needs a whole-program engine");
+    accel_.run_codes_batched_into(state_, codes, count, results, mode_);
+  }
 
  private:
   const EngineKind kind_;
   const hw::SimMode mode_;
   hw::Accelerator accel_;
   hw::Accelerator::WorkerState state_;
-};
-
-class AnalyticEngine final : public Engine {
- public:
-  AnalyticEngine(const ir::LayerProgram& program, ir::ProgramSegment segment)
-      : Engine(program, std::move(segment)), accel_(program) {}
-  EngineKind kind() const override { return EngineKind::kAnalytic; }
-  SegmentRunResult run_segment(const TensorI& codes) override {
-    SegmentRunResult out;
-    out.stats =
-        accel_.run_codes_range(codes, segment_.begin, segment_.end,
-                               hw::SimMode::kAnalytic, &out.boundary_codes);
-    return out;
-  }
-
- private:
-  hw::Accelerator accel_;
 };
 
 /// The functional radix-SNN simulator: logits from event-driven spike
@@ -224,6 +214,12 @@ void Engine::run_codes_into(const TensorI& codes, hw::AccelRunResult& out) {
   out = run_codes(codes);
 }
 
+void Engine::run_codes_batched_into(const TensorI* codes, std::size_t count,
+                                    hw::AccelRunResult* results) {
+  for (std::size_t i = 0; i < count; ++i)
+    run_codes_into(codes[i], results[i]);
+}
+
 std::unique_ptr<Engine> make_engine(EngineKind kind,
                                     const ir::LayerProgram& program) {
   return make_engine(kind, program, ir::full_segment(program));
@@ -264,8 +260,13 @@ std::unique_ptr<Engine> make_engine(EngineKind kind,
                                                  std::move(exec_segment), kind,
                                                  hw::SimMode::kStepped);
     case EngineKind::kAnalytic:
-      return std::make_unique<AnalyticEngine>(*exec_program,
-                                              std::move(exec_segment));
+      // The analytic engine is accelerator-backed too: SimMode::kAnalytic
+      // runs the fast-path kernels (annotation accounting, exact logits)
+      // with a per-engine WorkerState, falling back to the functional
+      // reference when the config disables the fast path.
+      return std::make_unique<AcceleratorEngine>(*exec_program,
+                                                 std::move(exec_segment), kind,
+                                                 hw::SimMode::kAnalytic);
     case EngineKind::kBehavioral:
       return std::make_unique<BehavioralEngine>(*exec_program,
                                                 std::move(exec_segment));

@@ -9,8 +9,9 @@
 //   * stepped        — always the golden stepped dataflow on the bit-true
 //     unit simulators (SimMode::kStepped). The anchor the fast path is
 //     pinned against.
-//   * analytic       — reference arithmetic + the program's precomputed
-//     latency annotations (hw::Accelerator, SimMode::kAnalytic).
+//   * analytic       — exact code-domain arithmetic + the program's
+//     precomputed latency annotations (hw::Accelerator, SimMode::kAnalytic;
+//     runs the fast-path kernels when the config enables them).
 //   * behavioral     — the functional radix-SNN simulator (snn::RadixSnn):
 //     event-driven spikes, no dataflow stepping; timing and traffic come
 //     from the program annotations.
@@ -92,6 +93,14 @@ class Engine {
   /// engines forward to the zero-allocation fast path when it is enabled;
   /// the default delegates to run_codes().
   virtual void run_codes_into(const TensorI& codes, hw::AccelRunResult& out);
+
+  /// Run `count` images through the engine, reusing the results' storage.
+  /// The accelerator-backed engines forward to the batched fast path (one
+  /// prepared-weight traversal for the whole batch) when it is enabled;
+  /// the default loops run_codes_into(). Results are bit-identical to the
+  /// sequential loop either way.
+  virtual void run_codes_batched_into(const TensorI* codes, std::size_t count,
+                                      hw::AccelRunResult* results);
 
   /// Encode a float image (values in [0,1)) and run it.
   hw::AccelRunResult run_image(const TensorF& image);

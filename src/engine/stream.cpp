@@ -67,14 +67,22 @@ void StreamingExecutor::worker_main() {
       seen = generation_;
     }
 
-    // Drain: pull the next image index until the batch is exhausted.
+    // Drain: pull the next chunk of image indices until the batch is
+    // exhausted, handing each chunk to the engine's batched entry so the
+    // fast path traverses its prepared weights once per chunk instead of
+    // once per image. Fault injection forces chunk size 1: injected fault
+    // plans replay against individual inference attempts.
+    static constexpr std::size_t kChunk = 8;
+    const std::size_t stride = injector_ != nullptr ? 1 : kChunk;
     for (;;) {
-      const std::size_t i = next_.fetch_add(1);
+      const std::size_t i = next_.fetch_add(stride);
       if (batch_ == nullptr || i >= batch_->size()) break;
+      const std::size_t count = std::min(stride, batch_->size() - i);
       try {
         RSNN_REQUIRE(engine != nullptr, "worker engine failed to construct");
         if (injector_ != nullptr) injector_->before_attempt(replica_index_);
-        engine->run_codes_into((*batch_)[i], (*results_)[i]);
+        engine->run_codes_batched_into(batch_->data() + i, count,
+                                       results_->data() + i);
       } catch (...) {
         const std::lock_guard<std::mutex> lock(mutex_);
         if (!error_) error_ = std::current_exception();

@@ -86,7 +86,9 @@ AccelRunResult Accelerator::run_codes_range(WorkerState& state,
                "input shape mismatch for op " << begin);
   switch (mode) {
     case SimMode::kAnalytic:
-      return run_analytic(codes, begin, end, boundary_codes);
+      return use_fast_path(mode)
+                 ? run_fast(state, codes, begin, end, boundary_codes)
+                 : run_analytic(codes, begin, end, boundary_codes);
     case SimMode::kStepped:
       return run_stepped(state, codes, begin, end, boundary_codes);
     case SimMode::kCycleAccurate:
@@ -111,6 +113,29 @@ void Accelerator::run_codes_into(WorkerState& state, const TensorI& codes,
   reset_run_result(out);
   run_fast_path(program_, fast_prepared(), state.fast_arena, codes, 0,
                 program_.size(), nullptr, out);
+}
+
+void Accelerator::run_codes_batched_into(WorkerState& state,
+                                         const TensorI* codes,
+                                         std::size_t batch,
+                                         AccelRunResult* results,
+                                         SimMode mode) const {
+  if (batch == 0) return;
+  if (!use_fast_path(mode) || batch == 1) {
+    for (std::size_t b = 0; b < batch; ++b)
+      run_codes_into(state, codes[b], results[b], mode);
+    return;
+  }
+  RSNN_REQUIRE(state.owner == &program_,
+               "WorkerState belongs to a different accelerator (create it "
+               "with this accelerator's make_worker_state())");
+  for (std::size_t b = 0; b < batch; ++b) {
+    RSNN_REQUIRE(codes[b].shape() == program_.op(0).in_shape,
+                 "input shape mismatch for op 0 (batch element " << b << ")");
+    reset_run_result(results[b]);
+  }
+  run_fast_path_batched(program_, fast_prepared(), state.fast_arena, codes,
+                        batch, 0, program_.size(), nullptr, results);
 }
 
 const FastPrepared& Accelerator::fast_prepared() const {
@@ -139,7 +164,17 @@ AccelRunResult Accelerator::run_codes_range(const TensorI& codes,
     RSNN_REQUIRE(begin < end && end <= program_.size(),
                  "op range [" << begin << ", " << end << ") outside [0, "
                               << program_.size() << ")");
-    return run_analytic(codes, begin, end, boundary_codes);
+    if (!use_fast_path(mode))
+      return run_analytic(codes, begin, end, boundary_codes);
+    // Analytic on the fast path needs only activation scratch, not the unit
+    // simulators — a transient arena avoids the full WorkerState build.
+    RSNN_REQUIRE(codes.shape() == program_.op(begin).in_shape,
+                 "input shape mismatch for op " << begin);
+    common::Arena arena;
+    AccelRunResult result;
+    run_fast_path(program_, fast_prepared(), arena, codes, begin, end,
+                  boundary_codes, result);
+    return result;
   }
   WorkerState state = make_worker_state();
   return run_codes_range(state, codes, begin, end, mode, boundary_codes);

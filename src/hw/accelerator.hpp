@@ -17,11 +17,13 @@
 //   * kStepped — always the golden stepped dataflow: every op runs on the
 //     bit-true unit simulators and cycle counts come from stepping. The
 //     equivalence anchor the fast path is pinned against.
-//   * kAnalytic — outputs come from the QuantizedNetwork reference (the
-//     same arithmetic by invariant 1/2) and cycles from the program's
-//     precomputed hw/latency_model annotations (identical totals by
-//     invariant 4). Used for VGG-scale runs where stepping every cycle
-//     would be wasteful.
+//   * kAnalytic — logits from code-domain arithmetic (invariant 1/2) and
+//     cycles from the program's precomputed hw/latency_model annotations
+//     (identical totals by invariant 4). With the fast path enabled it runs
+//     the same code-domain kernels as kCycleAccurate — the fast path's
+//     accounting *is* the analytic model's — so VGG-scale runs skip the
+//     functional reference forward entirely; with fast_path.enable = false
+//     it falls back to the QuantizedNetwork reference.
 #pragma once
 
 #include <memory>
@@ -98,6 +100,18 @@ class Accelerator {
                       AccelRunResult& out,
                       SimMode mode = SimMode::kCycleAccurate) const;
 
+  /// Run `batch` whole-program inferences through one prepared-weight
+  /// traversal of the batched fast path (hw/fast_path): each weight tile is
+  /// loaded once and applied to every image, amortizing the cache misses
+  /// that dominate per-image runs. `codes` and `results` point at `batch`
+  /// elements; every results[b] is bit-identical to run_codes_into(state,
+  /// codes[b], results[b], mode). Modes that cannot use the fast path (and
+  /// trivial batches) fall back to the sequential loop. A warm (state,
+  /// results) pair keeps the whole call allocation-free.
+  void run_codes_batched_into(WorkerState& state, const TensorI* codes,
+                              std::size_t batch, AccelRunResult* results,
+                              SimMode mode = SimMode::kCycleAccurate) const;
+
   /// Run only the op range [begin, end) — the pipeline executor's entry
   /// point. `codes` must be shaped as op `begin`'s input (the requantized
   /// activation codes crossing the upstream cut). When `end` stops short of
@@ -161,8 +175,11 @@ class Accelerator {
   mutable std::shared_ptr<FastCache> fast_cache_ = std::make_shared<FastCache>();
   const FastPrepared& fast_prepared() const;
 
+  /// The fast path serves both kCycleAccurate and kAnalytic (its counters
+  /// are the annotation-derived analytic model's, its logits exact);
+  /// kStepped always runs the golden stepped dataflow.
   bool use_fast_path(SimMode mode) const {
-    return mode == SimMode::kCycleAccurate && program_.config().fast_path.enable;
+    return mode != SimMode::kStepped && program_.config().fast_path.enable;
   }
 
   /// The code-domain fast path (hw/fast_path) — what kCycleAccurate runs

@@ -3,13 +3,16 @@
 #include <algorithm>
 #include <bit>
 #include <cstddef>
+#include <cstring>
 
 #include "common/assert.hpp"
+#include "common/simd.hpp"
 #include "quant/qnetwork.hpp"
 
 namespace rsnn::hw {
 namespace {
 
+using common::simd::Kernels;
 using quant::QConv2d;
 using quant::QLinear;
 using quant::QPool2d;
@@ -79,13 +82,70 @@ std::int64_t pool_covered_spikes(const std::int64_t* in, std::int64_t channels,
   return spikes;
 }
 
+// --- Per-image counter variants over an interleaved batch ------------------
+// Batched activations are stored image-minor (buf[idx * B + b]); each
+// counter is the same expression as the scalar version, accumulated into a
+// per-image slot so every image's stats match its solo run exactly.
+
+void popcount_per_image(const std::int64_t* buf, std::int64_t n,
+                        std::int64_t batch, std::int64_t* out) {
+  std::fill(out, out + batch, std::int64_t{0});
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int64_t* px = buf + i * batch;
+    for (std::int64_t b = 0; b < batch; ++b)
+      out[b] += std::popcount(static_cast<std::uint64_t>(px[b]));
+  }
+}
+
+void conv_adder_ops_per_image(const std::int64_t* in, std::int64_t cin,
+                              std::int64_t ih, std::int64_t iw,
+                              const std::int64_t* county,
+                              const std::int64_t* countx, std::int64_t cout,
+                              std::int64_t batch, std::int64_t* out) {
+  std::fill(out, out + batch, std::int64_t{0});
+  const std::int64_t* p = in;
+  for (std::int64_t c = 0; c < cin; ++c) {
+    for (std::int64_t y = 0; y < ih; ++y) {
+      const std::int64_t cy = county[y];
+      for (std::int64_t x = 0; x < iw; ++x, p += batch) {
+        const std::int64_t f = cy * countx[x];
+        if (f == 0) continue;
+        for (std::int64_t b = 0; b < batch; ++b)
+          out[b] += std::popcount(static_cast<std::uint64_t>(p[b])) * f;
+      }
+    }
+  }
+  for (std::int64_t b = 0; b < batch; ++b) out[b] *= cout;
+}
+
+void pool_covered_per_image(const std::int64_t* in, std::int64_t channels,
+                            std::int64_t ih, std::int64_t iw, std::int64_t k,
+                            std::int64_t oh, std::int64_t ow,
+                            std::int64_t batch, std::int64_t* out) {
+  std::fill(out, out + batch, std::int64_t{0});
+  const std::int64_t* p = in;
+  for (std::int64_t c = 0; c < channels; ++c) {
+    for (std::int64_t y = 0; y < ih; ++y) {
+      const bool y_covered = y / k < oh;
+      for (std::int64_t x = 0; x < iw; ++x, p += batch) {
+        if (!y_covered || x / k >= ow) continue;
+        for (std::int64_t b = 0; b < batch; ++b)
+          out[b] += std::popcount(static_cast<std::uint64_t>(p[b]));
+      }
+    }
+  }
+}
+
+// --- Conv kernels, CHW -----------------------------------------------------
+
 /// One conv output channel in CHW order: accumulate into acc[oh*ow], then
 /// requantize in place. Taps iterate (ic, ky, kx)-outer so the inner loop is
-/// a contiguous row axpy; zero weights (common at 3-bit resolution) skip
-/// their whole plane pass.
+/// a contiguous row axpy (handed to the SIMD dispatch table); zero weights
+/// (common at 3-bit resolution) skip their whole plane pass.
 void conv_channel_chw(const QConv2d& conv, const std::int64_t* in,
                       std::int64_t ih, std::int64_t iw, std::int64_t oh,
-                      std::int64_t ow, std::int64_t oc, std::int64_t* acc) {
+                      std::int64_t ow, std::int64_t oc, const Kernels& K,
+                      std::int64_t* acc) {
   std::fill(acc, acc + oh * ow, std::int64_t{0});
   const std::int64_t k = conv.kernel, str = conv.stride, pad = conv.padding;
   const std::int32_t* wbase =
@@ -104,8 +164,7 @@ void conv_channel_chw(const QConv2d& conv, const std::int64_t* in,
           const std::int64_t* row = plane + (oy * str + ky - pad) * iw;
           std::int64_t* arow = acc + oy * ow;
           if (str == 1) {
-            for (std::int64_t ox = bx.lo; ox < bx.hi; ++ox)
-              arow[ox] += w * row[x0 + ox];
+            K.axpy_code_i64(arow + bx.lo, row + x0 + bx.lo, w, bx.hi - bx.lo);
           } else {
             for (std::int64_t ox = bx.lo; ox < bx.hi; ++ox)
               arow[ox] += w * row[x0 + ox * str];
@@ -116,8 +175,49 @@ void conv_channel_chw(const QConv2d& conv, const std::int64_t* in,
   }
 }
 
+/// Batched CHW conv channel over image-minor interleaved activations: with
+/// stride 1 consecutive output pixels read consecutive interleaved input
+/// pixels, so a whole row segment of all B images is ONE contiguous axpy of
+/// length (hi-lo)*B — the weight is loaded once for the entire batch row.
+void conv_channel_chw_batched(const QConv2d& conv, const std::int64_t* in,
+                              std::int64_t ih, std::int64_t iw, std::int64_t oh,
+                              std::int64_t ow, std::int64_t oc,
+                              std::int64_t batch, const Kernels& K,
+                              std::int64_t* acc) {
+  std::fill(acc, acc + oh * ow * batch, std::int64_t{0});
+  const std::int64_t k = conv.kernel, str = conv.stride, pad = conv.padding;
+  const std::int32_t* wbase =
+      conv.weight.data() + oc * conv.in_channels * k * k;
+  for (std::int64_t ic = 0; ic < conv.in_channels; ++ic) {
+    const std::int64_t* plane = in + ic * ih * iw * batch;
+    const std::int32_t* wch = wbase + ic * k * k;
+    for (std::int64_t ky = 0; ky < k; ++ky) {
+      const AxisBounds by = out_bounds(ky, pad, str, ih, oh);
+      for (std::int64_t kx = 0; kx < k; ++kx) {
+        const std::int64_t w = wch[ky * k + kx];
+        if (w == 0) continue;
+        const AxisBounds bx = out_bounds(kx, pad, str, iw, ow);
+        const std::int64_t x0 = kx - pad;
+        for (std::int64_t oy = by.lo; oy < by.hi; ++oy) {
+          const std::int64_t iy = oy * str + ky - pad;
+          std::int64_t* arow = acc + (oy * ow + bx.lo) * batch;
+          if (str == 1) {
+            const std::int64_t* src = plane + (iy * iw + x0 + bx.lo) * batch;
+            K.axpy_code_i64(arow, src, w, (bx.hi - bx.lo) * batch);
+          } else {
+            for (std::int64_t ox = bx.lo; ox < bx.hi; ++ox, arow += batch)
+              K.axpy_code_i64(arow, plane + (iy * iw + x0 + ox * str) * batch,
+                              w, batch);
+          }
+        }
+      }
+    }
+  }
+}
+
 /// Requantize (or bias-add, for the raw final layer) one output channel's
-/// accumulator plane in place.
+/// accumulator plane in place. Works unchanged on interleaved batch planes:
+/// the transform is elementwise and identical for every image.
 void finish_channel(const QConv2d& conv, std::int64_t oc, int time_bits,
                     std::int64_t* acc, std::int64_t count) {
   const std::int64_t bias = conv.bias.data()[oc];
@@ -132,60 +232,169 @@ void finish_channel(const QConv2d& conv, std::int64_t oc, int time_bits,
     acc[i] = quant::requantize_value(acc[i], bias, frac, time_bits);
 }
 
+// --- Conv kernels, HWC -----------------------------------------------------
+
+/// Byte budget for one repacked HWC input strip. Sized to sit inside L2 so
+/// the repack is written once and every kernel-window read after it hits
+/// cache; VGG-scale inputs (e.g. 64ch × 224² ≈ 26 MB as int64) are repacked
+/// strip by strip instead of whole.
+constexpr std::int64_t kHwcTileBytes = 256 * 1024;
+
+/// Output rows per HWC strip: as many as keep the strip's input rows
+/// ((strip-1)*stride + k of them) under the tile budget, at least 1.
+std::int64_t hwc_strip_height(std::int64_t iw, std::int64_t cin,
+                              std::int64_t batch, std::int64_t k,
+                              std::int64_t str, std::int64_t oh) {
+  const std::int64_t row_bytes =
+      iw * cin * batch * static_cast<std::int64_t>(sizeof(std::int64_t));
+  std::int64_t rows = kHwcTileBytes / std::max<std::int64_t>(row_bytes, 1);
+  if (rows < k) rows = k;
+  const std::int64_t strip = (rows - k) / str + 1;
+  return std::clamp<std::int64_t>(strip, 1, oh);
+}
+
 /// Whole conv layer in HWC order, writing finished codes to
-/// out_hwc[oh*ow][Cout]. The input is repacked CHW -> HWC once; per output
-/// pixel an acc[Cout] register block accumulates with the prepared
-/// [ky][kx][Cin][Cout] weights, skipping zero activations (spike sparsity),
-/// with the inner loop contiguous over output channels.
+/// out_hwc[oh*ow][Cout]. The input is repacked CHW -> HWC one output-row
+/// strip at a time (the strip stays cache-resident; halo rows between strips
+/// are repacked twice). Per output pixel an acc[Cout] register block
+/// accumulates with the prepared [ky][kx][Cin][Cout] weights, skipping zero
+/// activations (spike sparsity), with the contiguous output-channel inner
+/// loop handed to the SIMD dispatch table.
 void conv_hwc(const QConv2d& conv, const std::int64_t* in, std::int64_t ih,
               std::int64_t iw, std::int64_t oh, std::int64_t ow,
-              const std::int32_t* whwc, int time_bits, common::Arena& arena,
-              std::int64_t* out_hwc) {
+              const std::int32_t* whwc, int time_bits, const Kernels& K,
+              common::Arena& arena, std::int64_t* out_hwc) {
   const std::int64_t cin = conv.in_channels, cout = conv.out_channels;
   const std::int64_t k = conv.kernel, str = conv.stride, pad = conv.padding;
 
-  std::int64_t* in_hwc = arena.alloc<std::int64_t>(cin * ih * iw);
-  for (std::int64_t c = 0; c < cin; ++c) {
-    const std::int64_t* plane = in + c * ih * iw;
-    for (std::int64_t y = 0; y < ih; ++y)
-      for (std::int64_t x = 0; x < iw; ++x)
-        in_hwc[(y * iw + x) * cin + c] = plane[y * iw + x];
-  }
-
+  const std::int64_t strip_oh = hwc_strip_height(iw, cin, 1, k, str, oh);
+  const std::int64_t rows_cap = std::min(ih, (strip_oh - 1) * str + k);
+  std::int64_t* tile = arena.alloc<std::int64_t>(rows_cap * iw * cin);
   std::int64_t* acc = arena.alloc<std::int64_t>(cout);
   const std::int64_t* bias = conv.bias.data();
   const std::int32_t* cf =
       conv.channel_frac.numel() > 0 ? conv.channel_frac.data() : nullptr;
-  for (std::int64_t oy = 0; oy < oh; ++oy) {
-    for (std::int64_t ox = 0; ox < ow; ++ox) {
-      std::fill(acc, acc + cout, std::int64_t{0});
-      for (std::int64_t ky = 0; ky < k; ++ky) {
-        const std::int64_t iy = oy * str + ky - pad;
-        if (iy < 0 || iy >= ih) continue;
-        for (std::int64_t kx = 0; kx < k; ++kx) {
-          const std::int64_t ix = ox * str + kx - pad;
-          if (ix < 0 || ix >= iw) continue;
-          const std::int64_t* px = in_hwc + (iy * iw + ix) * cin;
-          const std::int32_t* wk = whwc + (ky * k + kx) * cin * cout;
-          for (std::int64_t ic = 0; ic < cin; ++ic) {
-            const std::int64_t a = px[ic];
-            if (a == 0) continue;
-            const std::int32_t* wrow = wk + ic * cout;
-            for (std::int64_t oc = 0; oc < cout; ++oc) acc[oc] += a * wrow[oc];
+
+  for (std::int64_t oy0 = 0; oy0 < oh; oy0 += strip_oh) {
+    const std::int64_t oy1 = std::min(oh, oy0 + strip_oh);
+    const std::int64_t ty0 = std::max<std::int64_t>(0, oy0 * str - pad);
+    const std::int64_t ty1 =
+        std::max(ty0, std::min(ih, (oy1 - 1) * str + k - pad));
+    for (std::int64_t c = 0; c < cin; ++c) {
+      const std::int64_t* plane = in + c * ih * iw;
+      for (std::int64_t iy = ty0; iy < ty1; ++iy)
+        for (std::int64_t ix = 0; ix < iw; ++ix)
+          tile[((iy - ty0) * iw + ix) * cin + c] = plane[iy * iw + ix];
+    }
+    for (std::int64_t oy = oy0; oy < oy1; ++oy) {
+      for (std::int64_t ox = 0; ox < ow; ++ox) {
+        std::fill(acc, acc + cout, std::int64_t{0});
+        for (std::int64_t ky = 0; ky < k; ++ky) {
+          const std::int64_t iy = oy * str + ky - pad;
+          if (iy < 0 || iy >= ih) continue;
+          for (std::int64_t kx = 0; kx < k; ++kx) {
+            const std::int64_t ix = ox * str + kx - pad;
+            if (ix < 0 || ix >= iw) continue;
+            const std::int64_t* px = tile + ((iy - ty0) * iw + ix) * cin;
+            const std::int32_t* wk = whwc + (ky * k + kx) * cin * cout;
+            for (std::int64_t ic = 0; ic < cin; ++ic) {
+              const std::int64_t a = px[ic];
+              if (a == 0) continue;
+              K.axpy_w32(acc, wk + ic * cout, a, cout);
+            }
           }
         }
-      }
-      std::int64_t* dst = out_hwc + (oy * ow + ox) * cout;
-      if (conv.requantize) {
-        for (std::int64_t oc = 0; oc < cout; ++oc)
-          dst[oc] = quant::requantize_value(
-              acc[oc], bias[oc], cf ? cf[oc] : conv.frac_bits, time_bits);
-      } else {
-        for (std::int64_t oc = 0; oc < cout; ++oc) dst[oc] = acc[oc] + bias[oc];
+        std::int64_t* dst = out_hwc + (oy * ow + ox) * cout;
+        if (conv.requantize) {
+          for (std::int64_t oc = 0; oc < cout; ++oc)
+            dst[oc] = quant::requantize_value(
+                acc[oc], bias[oc], cf ? cf[oc] : conv.frac_bits, time_bits);
+        } else {
+          for (std::int64_t oc = 0; oc < cout; ++oc)
+            dst[oc] = acc[oc] + bias[oc];
+        }
       }
     }
   }
 }
+
+/// Batched HWC conv: the repacked strip interleaves images per input pixel
+/// ([row][x][Cin][B]) and the accumulator block holds all images
+/// ([B][Cout]), so each prepared weight row is applied to every image in the
+/// batch while it is hot in cache. Output goes to out_hwcb[pix][B][Cout]
+/// (finished codes, contiguous per image).
+void conv_hwc_batched(const QConv2d& conv, const std::int64_t* in,
+                      std::int64_t ih, std::int64_t iw, std::int64_t oh,
+                      std::int64_t ow, const std::int32_t* whwc, int time_bits,
+                      std::int64_t batch, const Kernels& K,
+                      common::Arena& arena, std::int64_t* out_hwcb) {
+  const std::int64_t cin = conv.in_channels, cout = conv.out_channels;
+  const std::int64_t k = conv.kernel, str = conv.stride, pad = conv.padding;
+
+  const std::int64_t strip_oh = hwc_strip_height(iw, cin, batch, k, str, oh);
+  const std::int64_t rows_cap = std::min(ih, (strip_oh - 1) * str + k);
+  std::int64_t* tile = arena.alloc<std::int64_t>(rows_cap * iw * cin * batch);
+  std::int64_t* acc = arena.alloc<std::int64_t>(batch * cout);
+  const std::int64_t* bias = conv.bias.data();
+  const std::int32_t* cf =
+      conv.channel_frac.numel() > 0 ? conv.channel_frac.data() : nullptr;
+
+  for (std::int64_t oy0 = 0; oy0 < oh; oy0 += strip_oh) {
+    const std::int64_t oy1 = std::min(oh, oy0 + strip_oh);
+    const std::int64_t ty0 = std::max<std::int64_t>(0, oy0 * str - pad);
+    const std::int64_t ty1 =
+        std::max(ty0, std::min(ih, (oy1 - 1) * str + k - pad));
+    for (std::int64_t c = 0; c < cin; ++c) {
+      for (std::int64_t iy = ty0; iy < ty1; ++iy) {
+        const std::int64_t* srow = in + ((c * ih + iy) * iw) * batch;
+        for (std::int64_t ix = 0; ix < iw; ++ix)
+          std::memcpy(tile + (((iy - ty0) * iw + ix) * cin + c) * batch,
+                      srow + ix * batch,
+                      static_cast<std::size_t>(batch) * sizeof(std::int64_t));
+      }
+    }
+    for (std::int64_t oy = oy0; oy < oy1; ++oy) {
+      for (std::int64_t ox = 0; ox < ow; ++ox) {
+        std::fill(acc, acc + batch * cout, std::int64_t{0});
+        for (std::int64_t ky = 0; ky < k; ++ky) {
+          const std::int64_t iy = oy * str + ky - pad;
+          if (iy < 0 || iy >= ih) continue;
+          for (std::int64_t kx = 0; kx < k; ++kx) {
+            const std::int64_t ix = ox * str + kx - pad;
+            if (ix < 0 || ix >= iw) continue;
+            const std::int64_t* px =
+                tile + ((iy - ty0) * iw + ix) * cin * batch;
+            const std::int32_t* wk = whwc + (ky * k + kx) * cin * cout;
+            for (std::int64_t ic = 0; ic < cin; ++ic) {
+              const std::int32_t* wrow = wk + ic * cout;
+              const std::int64_t* a_b = px + ic * batch;
+              for (std::int64_t b = 0; b < batch; ++b) {
+                const std::int64_t a = a_b[b];
+                if (a == 0) continue;
+                K.axpy_w32(acc + b * cout, wrow, a, cout);
+              }
+            }
+          }
+        }
+        std::int64_t* dst = out_hwcb + (oy * ow + ox) * batch * cout;
+        for (std::int64_t b = 0; b < batch; ++b) {
+          const std::int64_t* arow = acc + b * cout;
+          std::int64_t* drow = dst + b * cout;
+          if (conv.requantize) {
+            for (std::int64_t oc = 0; oc < cout; ++oc)
+              drow[oc] = quant::requantize_value(
+                  arow[oc], bias[oc], cf ? cf[oc] : conv.frac_bits, time_bits);
+          } else {
+            for (std::int64_t oc = 0; oc < cout; ++oc)
+              drow[oc] = arow[oc] + bias[oc];
+          }
+        }
+      }
+    }
+  }
+}
+
+// --- Pool kernels ----------------------------------------------------------
 
 /// Average-pool one CHW plane into out (CHW), mirroring
 /// quant pool_forward: window sum then arithmetic right shift.
@@ -203,17 +412,39 @@ void pool_plane(const std::int64_t* plane, std::int64_t iw, std::int64_t k,
   }
 }
 
+/// Batched pool over one interleaved CHW plane: each window tap is an
+/// elementwise add of all B images' pixels. `acc` is caller scratch of B.
+void pool_plane_batched(const std::int64_t* plane, std::int64_t iw,
+                        std::int64_t k, int shift, std::int64_t oh,
+                        std::int64_t ow, std::int64_t batch, const Kernels& K,
+                        std::int64_t* acc, std::int64_t* out) {
+  for (std::int64_t oy = 0; oy < oh; ++oy) {
+    for (std::int64_t ox = 0; ox < ow; ++ox) {
+      std::fill(acc, acc + batch, std::int64_t{0});
+      const std::int64_t* win = plane + (oy * k * iw + ox * k) * batch;
+      for (std::int64_t ky = 0; ky < k; ++ky)
+        for (std::int64_t kx = 0; kx < k; ++kx)
+          K.add_i64(acc, win + (ky * iw + kx) * batch, batch);
+      std::int64_t* o = out + (oy * ow + ox) * batch;
+      for (std::int64_t b = 0; b < batch; ++b) o[b] = acc[b] >> shift;
+    }
+  }
+}
+
+// --- Linear kernels --------------------------------------------------------
+
 /// Linear layer with the prepared transposed weights [in][out]: zero input
-/// codes (no spikes) skip their whole weight row.
+/// codes (no spikes) skip their whole weight row; live rows are one
+/// contiguous SIMD axpy over the output features.
 void linear_fast(const QLinear& fc, const std::int64_t* in,
-                 const std::int32_t* wt, int time_bits, std::int64_t* out) {
+                 const std::int32_t* wt, int time_bits, const Kernels& K,
+                 std::int64_t* out) {
   const std::int64_t nin = fc.in_features, nout = fc.out_features;
   std::fill(out, out + nout, std::int64_t{0});
   for (std::int64_t i = 0; i < nin; ++i) {
     const std::int64_t a = in[i];
     if (a == 0) continue;
-    const std::int32_t* wrow = wt + i * nout;
-    for (std::int64_t o = 0; o < nout; ++o) out[o] += a * wrow[o];
+    K.axpy_w32(out, wt + i * nout, a, nout);
   }
   const std::int64_t* bias = fc.bias.data();
   if (!fc.requantize) {
@@ -225,6 +456,41 @@ void linear_fast(const QLinear& fc, const std::int64_t* in,
   for (std::int64_t o = 0; o < nout; ++o)
     out[o] = quant::requantize_value(out[o], bias[o],
                                      cf ? cf[o] : fc.frac_bits, time_bits);
+}
+
+/// Batched linear: per-image contiguous accumulator rows ([B][nout] in
+/// `scratch`), with each transposed weight row applied to all images while
+/// resident — the weight matrix is streamed once per batch instead of once
+/// per image. Output is re-interleaved image-minor into `out`.
+void linear_fast_batched(const QLinear& fc, const std::int64_t* in,
+                         const std::int32_t* wt, int time_bits,
+                         std::int64_t batch, const Kernels& K,
+                         std::int64_t* scratch, std::int64_t* out) {
+  const std::int64_t nin = fc.in_features, nout = fc.out_features;
+  std::fill(scratch, scratch + batch * nout, std::int64_t{0});
+  for (std::int64_t i = 0; i < nin; ++i) {
+    const std::int64_t* px = in + i * batch;
+    const std::int32_t* wrow = wt + i * nout;
+    for (std::int64_t b = 0; b < batch; ++b) {
+      const std::int64_t a = px[b];
+      if (a == 0) continue;
+      K.axpy_w32(scratch + b * nout, wrow, a, nout);
+    }
+  }
+  const std::int64_t* bias = fc.bias.data();
+  const std::int32_t* cf =
+      fc.channel_frac.numel() > 0 ? fc.channel_frac.data() : nullptr;
+  for (std::int64_t b = 0; b < batch; ++b) {
+    std::int64_t* row = scratch + b * nout;
+    if (!fc.requantize) {
+      for (std::int64_t o = 0; o < nout; ++o) row[o] += bias[o];
+    } else {
+      for (std::int64_t o = 0; o < nout; ++o)
+        row[o] = quant::requantize_value(row[o], bias[o],
+                                         cf ? cf[o] : fc.frac_bits, time_bits);
+    }
+    for (std::int64_t o = 0; o < nout; ++o) out[o * batch + b] = row[o];
+  }
 }
 
 /// Annotation-derived skeleton of one op's stats (name, cycles, traffic);
@@ -289,6 +555,7 @@ void run_fast_path(const ir::LayerProgram& program, const FastPrepared& prep,
                    std::size_t begin, std::size_t end, TensorI* boundary_codes,
                    AccelRunResult& result) {
   arena.reset();
+  const Kernels& K = common::simd::kernels();
   const int T = program.time_bits();
   const std::size_t n_layers = program.network().layers.size();
   result.layers.reserve(end - begin);
@@ -336,7 +603,7 @@ void run_fast_path(const ir::LayerProgram& program, const FastPrepared& prep,
           std::int64_t* out = arena.alloc<std::int64_t>(cout * oh * ow);
           if (op.fast_layout == DataLayout::kHwc) {
             std::int64_t* out_hwc = arena.alloc<std::int64_t>(oh * ow * cout);
-            conv_hwc(conv, cur, ih, iw, oh, ow, p.weights.data(), T, arena,
+            conv_hwc(conv, cur, ih, iw, oh, ow, p.weights.data(), T, K, arena,
                      out_hwc);
             for (std::int64_t oc = 0; oc < cout; ++oc)
               for (std::int64_t i = 0; i < oh * ow; ++i)
@@ -344,7 +611,7 @@ void run_fast_path(const ir::LayerProgram& program, const FastPrepared& prep,
           } else {
             for (std::int64_t oc = 0; oc < cout; ++oc) {
               std::int64_t* plane = out + oc * oh * ow;
-              conv_channel_chw(conv, cur, ih, iw, oh, ow, oc, plane);
+              conv_channel_chw(conv, cur, ih, iw, oh, ow, oc, K, plane);
               finish_channel(conv, oc, T, plane, oh * ow);
             }
           }
@@ -365,7 +632,7 @@ void run_fast_path(const ir::LayerProgram& program, const FastPrepared& prep,
         std::int64_t* out = arena.alloc<std::int64_t>(cout * poh * pow_);
         if (op.fast_layout == DataLayout::kHwc) {
           std::int64_t* out_hwc = arena.alloc<std::int64_t>(oh * ow * cout);
-          conv_hwc(conv, cur, ih, iw, oh, ow, p.weights.data(), T, arena,
+          conv_hwc(conv, cur, ih, iw, oh, ow, p.weights.data(), T, K, arena,
                    out_hwc);
           pool_stats.input_spikes = popcount_sum(out_hwc, oh * ow * cout);
           std::int64_t covered = 0;
@@ -385,8 +652,7 @@ void run_fast_path(const ir::LayerProgram& program, const FastPrepared& prep,
                 for (std::int64_t kx = 0; kx < k; ++kx) {
                   const std::int64_t* src =
                       out_hwc + ((py * k + ky) * ow + px * k + kx) * cout;
-                  for (std::int64_t oc = 0; oc < cout; ++oc)
-                    pacc[oc] += src[oc];
+                  K.add_i64(pacc, src, cout);
                 }
               }
               for (std::int64_t oc = 0; oc < cout; ++oc)
@@ -397,7 +663,7 @@ void run_fast_path(const ir::LayerProgram& program, const FastPrepared& prep,
           std::int64_t* plane = arena.alloc<std::int64_t>(oh * ow);
           std::int64_t conv_spikes = 0, covered = 0;
           for (std::int64_t oc = 0; oc < cout; ++oc) {
-            conv_channel_chw(conv, cur, ih, iw, oh, ow, oc, plane);
+            conv_channel_chw(conv, cur, ih, iw, oh, ow, oc, K, plane);
             finish_channel(conv, oc, T, plane, oh * ow);
             conv_spikes += popcount_sum(plane, oh * ow);
             covered += pool_covered_spikes(plane, 1, oh, ow, k, poh, pow_);
@@ -432,7 +698,7 @@ void run_fast_path(const ir::LayerProgram& program, const FastPrepared& prep,
         const QLinear& fc = *op.linear;
         stats.adder_ops = stats.input_spikes * fc.out_features;
         std::int64_t* out = arena.alloc<std::int64_t>(fc.out_features);
-        linear_fast(fc, cur, p.weights.data(), T, out);
+        linear_fast(fc, cur, p.weights.data(), T, K, out);
         accumulate_layer(result, std::move(stats));
         cur = out;
         break;
@@ -454,6 +720,240 @@ void run_fast_path(const ir::LayerProgram& program, const FastPrepared& prep,
   }
 
   finalize_run(result, program.config().cycle_ns());
+}
+
+void run_fast_path_batched(const ir::LayerProgram& program,
+                           const FastPrepared& prep, common::Arena& arena,
+                           const TensorI* codes, std::size_t batch,
+                           std::size_t begin, std::size_t end,
+                           TensorI* boundary_codes, AccelRunResult* results) {
+  RSNN_REQUIRE(batch >= 1, "batched run needs at least one image");
+  arena.reset();
+  const Kernels& K = common::simd::kernels();
+  const int T = program.time_bits();
+  const std::size_t n_layers = program.network().layers.size();
+  const std::int64_t B = static_cast<std::int64_t>(batch);
+  for (std::int64_t b = 0; b < B; ++b)
+    results[b].layers.reserve(end - begin);
+
+  // Per-image counter scratch, allocated once so the arena round is stable.
+  std::int64_t* spikes = arena.alloc<std::int64_t>(B);
+  std::int64_t* adder = arena.alloc<std::int64_t>(B);
+  std::int64_t* pool_spikes = arena.alloc<std::int64_t>(B);
+  std::int64_t* pool_covered = arena.alloc<std::int64_t>(B);
+
+  // Activations travel between ops interleaved image-minor: cur[i*B + b] is
+  // element i (CHW order) of image b.
+  const std::int64_t n_in = codes[0].numel();
+  std::int64_t* cur = arena.alloc<std::int64_t>(n_in * B);
+  for (std::int64_t b = 0; b < B; ++b) {
+    RSNN_REQUIRE(codes[b].numel() == n_in,
+                 "batched input codes must share one shape");
+    const std::int32_t* cp = codes[b].data();
+    for (std::int64_t i = 0; i < n_in; ++i) cur[i * B + b] = cp[i];
+  }
+
+  std::size_t li = begin;
+  while (li < end) {
+    const ir::LayerOp& op = program.op(li);
+    const bool network_final =
+        static_cast<std::size_t>(op.layer_index) + 1 == n_layers;
+    RSNN_ENSURE(op.requantize || network_final || op.kind == ir::OpKind::kPool ||
+                    op.kind == ir::OpKind::kFlatten,
+                "non-final layer must requantize");
+    popcount_per_image(cur, op.in_shape.numel(), B, spikes);
+    const FastPrepared::OpPrep& p = prep.ops[li];
+    std::size_t consumed = 1;
+
+    switch (op.kind) {
+      case ir::OpKind::kFlatten: {
+        for (std::int64_t b = 0; b < B; ++b) {
+          LayerStats stats = annotated_stats(op);
+          stats.input_spikes = spikes[b];
+          stats.adder_ops = 0;
+          accumulate_layer(results[b], std::move(stats));
+        }
+        break;
+      }
+      case ir::OpKind::kConv: {
+        const QConv2d& conv = *op.conv;
+        const std::int64_t ih = op.in_shape.dim(1), iw = op.in_shape.dim(2);
+        const std::int64_t oh = op.out_shape.dim(1), ow = op.out_shape.dim(2);
+        const std::int64_t cout = conv.out_channels;
+        conv_adder_ops_per_image(cur, conv.in_channels, ih, iw,
+                                 p.county.data(), p.countx.data(), cout, B,
+                                 adder);
+        const bool fuse = op.fuse_with_next && li + 1 < end;
+        if (!fuse) {
+          std::int64_t* out = arena.alloc<std::int64_t>(cout * oh * ow * B);
+          if (op.fast_layout == DataLayout::kHwc) {
+            std::int64_t* out_hwcb =
+                arena.alloc<std::int64_t>(oh * ow * B * cout);
+            conv_hwc_batched(conv, cur, ih, iw, oh, ow, p.weights.data(), T, B,
+                             K, arena, out_hwcb);
+            for (std::int64_t i = 0; i < oh * ow; ++i)
+              for (std::int64_t b = 0; b < B; ++b) {
+                const std::int64_t* src = out_hwcb + (i * B + b) * cout;
+                for (std::int64_t oc = 0; oc < cout; ++oc)
+                  out[(oc * oh * ow + i) * B + b] = src[oc];
+              }
+          } else {
+            for (std::int64_t oc = 0; oc < cout; ++oc) {
+              std::int64_t* plane = out + oc * oh * ow * B;
+              conv_channel_chw_batched(conv, cur, ih, iw, oh, ow, oc, B, K,
+                                       plane);
+              finish_channel(conv, oc, T, plane, oh * ow * B);
+            }
+          }
+          for (std::int64_t b = 0; b < B; ++b) {
+            LayerStats stats = annotated_stats(op);
+            stats.input_spikes = spikes[b];
+            stats.adder_ops = adder[b];
+            accumulate_layer(results[b], std::move(stats));
+          }
+          cur = out;
+          break;
+        }
+
+        const ir::LayerOp& pool_op = program.op(li + 1);
+        const QPool2d& pool = *pool_op.pool;
+        const std::int64_t k = pool.kernel;
+        const std::int64_t poh = pool_op.out_shape.dim(1);
+        const std::int64_t pow_ = pool_op.out_shape.dim(2);
+        std::int64_t* out = arena.alloc<std::int64_t>(cout * poh * pow_ * B);
+        if (op.fast_layout == DataLayout::kHwc) {
+          std::int64_t* out_hwcb = arena.alloc<std::int64_t>(oh * ow * B * cout);
+          conv_hwc_batched(conv, cur, ih, iw, oh, ow, p.weights.data(), T, B,
+                           K, arena, out_hwcb);
+          std::fill(pool_spikes, pool_spikes + B, std::int64_t{0});
+          std::fill(pool_covered, pool_covered + B, std::int64_t{0});
+          for (std::int64_t y = 0; y < oh; ++y) {
+            const bool y_covered = y / k < poh;
+            for (std::int64_t x = 0; x < ow; ++x) {
+              const bool covered = y_covered && x / k < pow_;
+              const std::int64_t* base = out_hwcb + ((y * ow + x) * B) * cout;
+              for (std::int64_t b = 0; b < B; ++b) {
+                const std::int64_t s = popcount_sum(base + b * cout, cout);
+                pool_spikes[b] += s;
+                if (covered) pool_covered[b] += s;
+              }
+            }
+          }
+          std::int64_t* pacc = arena.alloc<std::int64_t>(B * cout);
+          for (std::int64_t py = 0; py < poh; ++py) {
+            for (std::int64_t px = 0; px < pow_; ++px) {
+              std::fill(pacc, pacc + B * cout, std::int64_t{0});
+              for (std::int64_t ky = 0; ky < k; ++ky)
+                for (std::int64_t kx = 0; kx < k; ++kx)
+                  K.add_i64(pacc,
+                            out_hwcb +
+                                (((py * k + ky) * ow + px * k + kx) * B) * cout,
+                            B * cout);
+              for (std::int64_t b = 0; b < B; ++b)
+                for (std::int64_t oc = 0; oc < cout; ++oc)
+                  out[((oc * poh + py) * pow_ + px) * B + b] =
+                      pacc[b * cout + oc] >> pool.shift;
+            }
+          }
+        } else {
+          std::int64_t* plane = arena.alloc<std::int64_t>(oh * ow * B);
+          std::int64_t* pacc = arena.alloc<std::int64_t>(B);
+          std::fill(pool_spikes, pool_spikes + B, std::int64_t{0});
+          std::fill(pool_covered, pool_covered + B, std::int64_t{0});
+          for (std::int64_t oc = 0; oc < cout; ++oc) {
+            conv_channel_chw_batched(conv, cur, ih, iw, oh, ow, oc, B, K,
+                                     plane);
+            finish_channel(conv, oc, T, plane, oh * ow * B);
+            const std::int64_t* q = plane;
+            for (std::int64_t y = 0; y < oh; ++y) {
+              const bool y_covered = y / k < poh;
+              for (std::int64_t x = 0; x < ow; ++x, q += B) {
+                const bool covered = y_covered && x / k < pow_;
+                for (std::int64_t b = 0; b < B; ++b) {
+                  const std::int64_t s =
+                      std::popcount(static_cast<std::uint64_t>(q[b]));
+                  pool_spikes[b] += s;
+                  if (covered) pool_covered[b] += s;
+                }
+              }
+            }
+            pool_plane_batched(plane, ow, k, pool.shift, poh, pow_, B, K, pacc,
+                               out + oc * poh * pow_ * B);
+          }
+        }
+        for (std::int64_t b = 0; b < B; ++b) {
+          LayerStats stats = annotated_stats(op);
+          stats.input_spikes = spikes[b];
+          stats.adder_ops = adder[b];
+          accumulate_layer(results[b], std::move(stats));
+          LayerStats pstats = annotated_stats(pool_op);
+          pstats.input_spikes = pool_spikes[b];
+          pstats.adder_ops = pool_covered[b];
+          accumulate_layer(results[b], std::move(pstats));
+        }
+        cur = out;
+        consumed = 2;
+        break;
+      }
+      case ir::OpKind::kPool: {
+        const QPool2d& pool = *op.pool;
+        const std::int64_t ch = op.in_shape.dim(0);
+        const std::int64_t ih = op.in_shape.dim(1), iw = op.in_shape.dim(2);
+        const std::int64_t oh = op.out_shape.dim(1), ow = op.out_shape.dim(2);
+        pool_covered_per_image(cur, ch, ih, iw, pool.kernel, oh, ow, B, adder);
+        std::int64_t* out = arena.alloc<std::int64_t>(ch * oh * ow * B);
+        std::int64_t* pacc = arena.alloc<std::int64_t>(B);
+        for (std::int64_t c = 0; c < ch; ++c)
+          pool_plane_batched(cur + c * ih * iw * B, iw, pool.kernel, pool.shift,
+                             oh, ow, B, K, pacc, out + c * oh * ow * B);
+        for (std::int64_t b = 0; b < B; ++b) {
+          LayerStats stats = annotated_stats(op);
+          stats.input_spikes = spikes[b];
+          stats.adder_ops = adder[b];
+          accumulate_layer(results[b], std::move(stats));
+        }
+        cur = out;
+        break;
+      }
+      case ir::OpKind::kLinear: {
+        const QLinear& fc = *op.linear;
+        std::int64_t* out = arena.alloc<std::int64_t>(fc.out_features * B);
+        std::int64_t* scratch = arena.alloc<std::int64_t>(B * fc.out_features);
+        linear_fast_batched(fc, cur, p.weights.data(), T, B, K, scratch, out);
+        for (std::int64_t b = 0; b < B; ++b) {
+          LayerStats stats = annotated_stats(op);
+          stats.input_spikes = spikes[b];
+          stats.adder_ops = spikes[b] * fc.out_features;
+          accumulate_layer(results[b], std::move(stats));
+        }
+        cur = out;
+        break;
+      }
+    }
+
+    li += consumed;
+    const ir::LayerOp& last_op = program.op(li - 1);
+    const std::int64_t out_numel = last_op.out_shape.numel();
+    if (static_cast<std::size_t>(last_op.layer_index) + 1 == n_layers) {
+      for (std::int64_t b = 0; b < B; ++b) {
+        auto& logits = results[b].logits;
+        logits.resize(static_cast<std::size_t>(out_numel));
+        for (std::int64_t i = 0; i < out_numel; ++i)
+          logits[static_cast<std::size_t>(i)] = cur[i * B + b];
+      }
+    } else if (li == end && boundary_codes) {
+      for (std::int64_t b = 0; b < B; ++b) {
+        TensorI boundary(last_op.out_shape);
+        std::int32_t* bp = boundary.data();
+        for (std::int64_t i = 0; i < out_numel; ++i)
+          bp[i] = static_cast<std::int32_t>(cur[i * B + b]);
+        boundary_codes[b] = std::move(boundary);
+      }
+    }
+  }
+
+  const double cycle_ns = program.config().cycle_ns();
+  for (std::int64_t b = 0; b < B; ++b) finalize_run(results[b], cycle_ns);
 }
 
 }  // namespace rsnn::hw

@@ -67,4 +67,22 @@ void run_fast_path(const ir::LayerProgram& program, const FastPrepared& prep,
                    std::size_t begin, std::size_t end, TensorI* boundary_codes,
                    AccelRunResult& result);
 
+/// Batched variant: execute ops [begin, end) for `batch` images in one
+/// prepared-weight traversal — every weight tile is loaded once and applied
+/// to all images before moving on, amortizing the memory traffic that
+/// dominates per-image runs. Activations travel interleaved image-minor
+/// (`buf[idx * batch + b]`) so the batched kernels stay dense.
+///
+/// `codes` points at `batch` equally-shaped tensors; `results` at `batch`
+/// caller-reset results, filled exactly as `batch` independent
+/// run_fast_path() calls would fill them (bit-identical logits and
+/// counters — the batch only reorders independent integer updates). When
+/// the range stops short of the final layer and `boundary_codes` is
+/// non-null it must also point at `batch` tensors.
+void run_fast_path_batched(const ir::LayerProgram& program,
+                           const FastPrepared& prep, common::Arena& arena,
+                           const TensorI* codes, std::size_t batch,
+                           std::size_t begin, std::size_t end,
+                           TensorI* boundary_codes, AccelRunResult* results);
+
 }  // namespace rsnn::hw

@@ -16,6 +16,7 @@
 #include "common/alloc_hook.hpp"
 #include "common/arena.hpp"
 #include "common/rng.hpp"
+#include "common/simd.hpp"
 #include "engine/engine.hpp"
 #include "engine/stream.hpp"
 #include "hw/accelerator.hpp"
@@ -310,6 +311,217 @@ TEST(FastPath, WarmStreamingInferenceAllocatesNothing) {
   const std::uint64_t after = common::allocation_count();
   EXPECT_EQ(after - before, 0u)
       << "warm fast-path streaming inference must not touch the heap";
+  expect_bit_identical(results.at(0), warm);
+#endif
+}
+
+// ------------------------------------------------------- SIMD dispatch
+
+TEST(Simd, KernelsMatchScalarOnRandomVectors) {
+  const common::simd::Kernels& best = common::simd::kernels();
+  const common::simd::Kernels& scalar = common::simd::scalar_kernels();
+  Rng rng(321);
+  // Odd lengths cover every remainder path of the vector kernels.
+  for (const std::int64_t n : {1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 31, 70}) {
+    SCOPED_TRACE("n=" + std::to_string(n));
+    std::vector<std::int64_t> acc_a(n), acc_b(n), src(n);
+    std::vector<std::int32_t> w32(n);
+    for (std::int64_t i = 0; i < n; ++i) {
+      acc_a[i] = acc_b[i] = rng.next_int(-1000, 1000);
+      src[i] = rng.next_int(0, 255);  // activation-code range
+      w32[i] = static_cast<std::int32_t>(rng.next_int(-4, 3));
+    }
+    const std::int64_t w = rng.next_int(-4, 3);
+    best.axpy_code_i64(acc_a.data(), src.data(), w, n);
+    scalar.axpy_code_i64(acc_b.data(), src.data(), w, n);
+    EXPECT_EQ(acc_a, acc_b);
+    best.axpy_w32(acc_a.data(), w32.data(), 200, n);
+    scalar.axpy_w32(acc_b.data(), w32.data(), 200, n);
+    EXPECT_EQ(acc_a, acc_b);
+    best.add_i64(acc_a.data(), src.data(), n);
+    scalar.add_i64(acc_b.data(), src.data(), n);
+    EXPECT_EQ(acc_a, acc_b);
+  }
+}
+
+TEST(Simd, ScopedForceScalarSwitchesDispatch) {
+  ASSERT_STREQ(common::simd::scalar_kernels().isa, "scalar");
+  const bool was_forced = common::simd::force_scalar_active();
+  {
+    common::simd::ScopedForceScalar force(true);
+    EXPECT_TRUE(common::simd::force_scalar_active());
+    EXPECT_STREQ(common::simd::active_isa(), "scalar");
+  }
+  EXPECT_EQ(common::simd::force_scalar_active(), was_forced);
+}
+
+TEST(FastPath, SimdAndScalarDispatchBitIdentical) {
+  Rng rng(911);
+  nn::Network lenet = nn::make_lenet5();
+  lenet.init_params(rng);
+  const quant::QuantizedNetwork qnet =
+      quant::quantize(lenet, quant::QuantizeConfig{3, 4});
+  const TensorI codes = quant::encode_activations(
+      random_image(qnet.input_shape, rng), qnet.time_bits);
+
+  for (const PlanVariant& variant : kPlanVariants) {
+    SCOPED_TRACE(variant.label);
+    AcceleratorConfig cfg = lenet_reference_config();
+    cfg.fast_path.layout = variant.layout;
+    cfg.fast_path.fuse_conv_pool = variant.fuse;
+    const Accelerator accel(cfg, qnet);
+    const AccelRunResult vec = accel.run_codes(codes, SimMode::kCycleAccurate);
+    common::simd::ScopedForceScalar force(true);
+    expect_bit_identical(accel.run_codes(codes, SimMode::kCycleAccurate), vec);
+  }
+}
+
+// --------------------------------------------------- batched fast path
+
+/// Distinct random images, encoded for `qnet`.
+std::vector<TensorI> random_code_batch(const quant::QuantizedNetwork& qnet,
+                                       std::size_t count, Rng& rng) {
+  std::vector<TensorI> codes;
+  codes.reserve(count);
+  for (std::size_t i = 0; i < count; ++i)
+    codes.push_back(quant::encode_activations(
+        random_image(qnet.input_shape, rng), qnet.time_bits));
+  return codes;
+}
+
+/// Batched runs over every prefix size in `batch_sizes` must match the
+/// sequential per-image runs record for record.
+void expect_batched_matches_sequential(
+    const Accelerator& accel, const std::vector<TensorI>& codes,
+    std::initializer_list<std::size_t> batch_sizes, SimMode mode) {
+  Accelerator::WorkerState state = accel.make_worker_state();
+  std::vector<AccelRunResult> sequential(codes.size());
+  for (std::size_t i = 0; i < codes.size(); ++i)
+    accel.run_codes_into(state, codes[i], sequential[i], mode);
+
+  for (const std::size_t batch : batch_sizes) {
+    SCOPED_TRACE("batch=" + std::to_string(batch));
+    ASSERT_LE(batch, codes.size());
+    std::vector<AccelRunResult> results(batch);
+    accel.run_codes_batched_into(state, codes.data(), batch, results.data(),
+                                 mode);
+    for (std::size_t b = 0; b < batch; ++b) {
+      SCOPED_TRACE("image " + std::to_string(b));
+      expect_bit_identical(results[b], sequential[b]);
+    }
+  }
+}
+
+TEST(FastPathBatched, LeNetAllPlanVariantsMatchSequential) {
+  Rng rng(812);
+  nn::Network lenet = nn::make_lenet5();
+  lenet.init_params(rng);
+  const quant::QuantizedNetwork qnet =
+      quant::quantize(lenet, quant::QuantizeConfig{3, 4});
+  const std::vector<TensorI> codes = random_code_batch(qnet, 8, rng);
+
+  for (const PlanVariant& variant : kPlanVariants) {
+    SCOPED_TRACE(variant.label);
+    AcceleratorConfig cfg = lenet_reference_config();
+    cfg.fast_path.layout = variant.layout;
+    cfg.fast_path.fuse_conv_pool = variant.fuse;
+    const Accelerator accel(cfg, qnet);
+    expect_batched_matches_sequential(accel, codes, {1, 3, 8},
+                                      SimMode::kCycleAccurate);
+  }
+}
+
+TEST(FastPathBatched, LeNetAnalyticModeMatchesSequential) {
+  Rng rng(813);
+  nn::Network lenet = nn::make_lenet5();
+  lenet.init_params(rng);
+  const quant::QuantizedNetwork qnet =
+      quant::quantize(lenet, quant::QuantizeConfig{3, 4});
+  const std::vector<TensorI> codes = random_code_batch(qnet, 3, rng);
+  const Accelerator accel(lenet_reference_config(), qnet);
+  expect_batched_matches_sequential(accel, codes, {1, 3}, SimMode::kAnalytic);
+}
+
+TEST(FastPathBatched, Vgg11MatchesSequential) {
+  Rng rng(814);
+  nn::Network vgg = nn::make_vgg11();
+  vgg.init_params(rng);
+  const quant::QuantizedNetwork qnet =
+      quant::quantize(vgg, quant::QuantizeConfig{3, 3});
+  const std::vector<TensorI> codes = random_code_batch(qnet, 8, rng);
+  const Accelerator accel(vgg11_table3_config(), qnet);
+  expect_batched_matches_sequential(accel, codes, {1, 3, 8},
+                                    SimMode::kCycleAccurate);
+}
+
+TEST(FastPathBatched, SimdAndScalarDispatchBitIdentical) {
+  Rng rng(815);
+  nn::Network lenet = nn::make_lenet5();
+  lenet.init_params(rng);
+  const quant::QuantizedNetwork qnet =
+      quant::quantize(lenet, quant::QuantizeConfig{3, 4});
+  const std::vector<TensorI> codes = random_code_batch(qnet, 3, rng);
+  const Accelerator accel(lenet_reference_config(), qnet);
+  Accelerator::WorkerState state = accel.make_worker_state();
+
+  std::vector<AccelRunResult> vec(codes.size());
+  accel.run_codes_batched_into(state, codes.data(), codes.size(), vec.data());
+  common::simd::ScopedForceScalar force(true);
+  std::vector<AccelRunResult> scalar(codes.size());
+  accel.run_codes_batched_into(state, codes.data(), codes.size(),
+                               scalar.data());
+  for (std::size_t b = 0; b < codes.size(); ++b) {
+    SCOPED_TRACE("image " + std::to_string(b));
+    expect_bit_identical(scalar[b], vec[b]);
+  }
+}
+
+TEST(FastPathBatched, SteppedModeFallsBackToSequentialLoop) {
+  Rng rng(816);
+  nn::Network net = rsnn::testing::small_random_net(rng);
+  const quant::QuantizedNetwork qnet =
+      quant::quantize(net, quant::QuantizeConfig{3, 4});
+  AcceleratorConfig cfg;
+  cfg.conv = ConvUnitGeometry{16, 3, 24};
+  cfg.pool = PoolUnitGeometry{8, 2, 16};
+  cfg.linear = LinearUnitGeometry{8, 24};
+  const Accelerator accel(cfg, qnet);
+  const std::vector<TensorI> codes = random_code_batch(qnet, 3, rng);
+  expect_batched_matches_sequential(accel, codes, {3}, SimMode::kStepped);
+}
+
+TEST(FastPathBatched, WarmBatchedInferenceAllocatesNothing) {
+#ifdef RSNN_SANITIZERS_ACTIVE
+  GTEST_SKIP() << "allocation counting is not meaningful under sanitizers";
+#else
+  Rng rng(817);
+  nn::Network net = rsnn::testing::small_random_net(rng);
+  const quant::QuantizedNetwork qnet =
+      quant::quantize(net, quant::QuantizeConfig{3, 4});
+  AcceleratorConfig cfg;
+  cfg.conv = ConvUnitGeometry{16, 3, 24};
+  cfg.pool = PoolUnitGeometry{8, 2, 16};
+  cfg.linear = LinearUnitGeometry{8, 24};
+  const Accelerator accel(cfg, qnet);
+  const std::vector<TensorI> codes = random_code_batch(qnet, 8, rng);
+  Accelerator::WorkerState state = accel.make_worker_state();
+  std::vector<AccelRunResult> results(codes.size());
+
+  // Two warm batches: the first builds the prepared weights and sizes every
+  // scratch buffer; the second consolidates the arena's primary chunk.
+  accel.run_codes_batched_into(state, codes.data(), codes.size(),
+                               results.data());
+  accel.run_codes_batched_into(state, codes.data(), codes.size(),
+                               results.data());
+  const AccelRunResult warm = results.at(0);
+
+  const std::uint64_t before = common::allocation_count();
+  ASSERT_GT(before, 0u) << "allocation hook not linked";
+  accel.run_codes_batched_into(state, codes.data(), codes.size(),
+                               results.data());
+  const std::uint64_t after = common::allocation_count();
+  EXPECT_EQ(after - before, 0u)
+      << "warm batched fast-path inference must not touch the heap";
   expect_bit_identical(results.at(0), warm);
 #endif
 }

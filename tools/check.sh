@@ -5,10 +5,12 @@
 #                           targets always link the checked library twin).
 #   2. Release + RSNN_CHECKED=ON — RSNN_DCHECK active in *every* target, so
 #                           the full suite runs bounds-checked end to end.
-# plus an RTL-emission smoke, a sanitizer (ASan+UBSan) pass over the
-# threaded executor tests, and a ThreadSanitizer pass over the same suites
-# (the serving pool's supervision / retry machinery is lock-heavy; TSan is
-# the tier that catches ordering bugs ASan cannot).
+# plus a forced-scalar rerun of the SIMD-sensitive suites
+# (RSNN_FORCE_SCALAR=1 pins the vector kernels' scalar fallback to the same
+# bit-identical results), an RTL-emission smoke, a sanitizer (ASan+UBSan)
+# pass over the threaded executor tests, and a ThreadSanitizer pass over the
+# same suites (the serving pool's supervision / retry machinery is
+# lock-heavy; TSan is the tier that catches ordering bugs ASan cannot).
 #
 # The library targets build with -Wall -Wextra; this script treats any
 # compiler warning as a failure so the targets stay warnings-clean.
@@ -78,9 +80,21 @@ run_config() {
 
 run_config "Release" build-check-release -DCMAKE_BUILD_TYPE=Release
 
+# 1b. Forced-scalar dispatch: rerun the SIMD-sensitive suites on the same
+#     Release binaries with RSNN_FORCE_SCALAR=1, so the scalar fallback of
+#     the vector kernels stays bit-identical on every machine, not just
+#     ones without AVX2/NEON.
+echo "==== [Release] forced-scalar dispatch (RSNN_FORCE_SCALAR=1) ===="
+if ! RSNN_FORCE_SCALAR=1 ctest --test-dir build-check-release \
+    --output-on-failure -j "$JOBS" \
+    -R 'test_fastpath|test_equivalence_packed'; then
+  echo "==== [Release] FAILED: forced-scalar ctest ===="
+  exit 1
+fi
+
 if [ "$FAST" -eq 1 ]; then
-  echo "==== fast mode: Release build + ctest passed (skipping checked," \
-       "RTL-smoke and sanitizer tiers) ===="
+  echo "==== fast mode: Release build + ctest + forced-scalar passed" \
+       "(skipping checked, RTL-smoke and sanitizer tiers) ===="
   exit 0
 fi
 
