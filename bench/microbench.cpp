@@ -17,6 +17,7 @@
 //     shared entry regressed by more than 10%.
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -92,6 +93,55 @@ struct BenchResult {
   double images_per_sec = 0.0;  ///< emitted when > 0 (streaming entries)
 };
 
+// ------------------------------------------------------- host metadata
+//
+// Absolute ns/inference only means something relative to the machine that
+// produced it. Every BENCH_*.json therefore records the host it ran on, and
+// --compare refuses to stay silent when the baseline's host differs.
+
+/// Approximate sustained clock in MHz, measured by timing a dependent-add
+/// chain (1 add/cycle on every x86/ARM core this tool targets). Good to
+/// ~10% — enough to tell a 2.1 GHz CI box from a 4.5 GHz laptop, which is
+/// all the cross-host comparison warning needs.
+double approx_clock_mhz() {
+#if defined(__GNUC__) || defined(__clang__)
+  constexpr std::uint64_t kIters = 64 * 1000 * 1000;
+  double best_mhz = 0.0;
+  for (int rep = 0; rep < 3; ++rep) {  // best-of-3 rides out scheduler noise
+    std::uint64_t acc = 1;
+    const auto begin = std::chrono::steady_clock::now();
+    for (std::uint64_t i = 0; i < kIters; ++i) {
+      acc += i;
+      // Empty barrier: without it the whole chain folds to a closed-form
+      // sum and the "loop" finishes in microseconds.
+      asm volatile("" : "+r"(acc));
+    }
+    const auto end = std::chrono::steady_clock::now();
+    const double ns = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(end - begin)
+            .count());
+    if (ns > 0.0) best_mhz = std::max(best_mhz, kIters * 1e3 / ns);
+  }
+  return best_mhz;
+#else
+  return 0.0;  // unknown — the cross-host comparison skips the clock check
+#endif
+}
+
+struct HostInfo {
+  unsigned cores = 0;  ///< std::thread::hardware_concurrency()
+  std::string simd_active;
+  double clock_mhz_approx = 0.0;
+};
+
+HostInfo current_host() {
+  HostInfo host;
+  host.cores = std::thread::hardware_concurrency();
+  host.simd_active = common::simd::active_isa();
+  host.clock_mhz_approx = approx_clock_mhz();
+  return host;
+}
+
 /// Wall-clock ns per call of `fn` over `samples` calls (one warmup call).
 template <typename Fn>
 double time_ns_per_call(int samples, Fn&& fn) {
@@ -137,17 +187,92 @@ std::vector<std::pair<std::string, double>> parse_bench_json(
   return entries;
 }
 
+/// Parse the "host" object out of a microbench JSON file written by
+/// run_json_mode(). Fields stay zero/empty when absent (pre-PR-9 baselines
+/// carry no host block — treated as "unknown host", which warns).
+HostInfo parse_baseline_host(const std::string& path) {
+  HostInfo host;
+  std::FILE* in = std::fopen(path.c_str(), "rb");
+  if (in == nullptr) return host;
+  std::string text;
+  char buf[4096];
+  for (std::size_t n; (n = std::fread(buf, 1, sizeof buf, in)) > 0;)
+    text.append(buf, n);
+  std::fclose(in);
+
+  const auto find_num = [&](const char* key) -> double {
+    const std::size_t pos = text.find(key);
+    if (pos == std::string::npos) return 0.0;
+    return std::strtod(text.c_str() + pos + std::strlen(key), nullptr);
+  };
+  host.cores = static_cast<unsigned>(find_num("\"hardware_concurrency\": "));
+  host.clock_mhz_approx = find_num("\"clock_mhz_approx\": ");
+  const std::string simd_key = "\"simd_active\": \"";
+  const std::size_t simd_pos = text.find(simd_key);
+  if (simd_pos != std::string::npos) {
+    const std::size_t begin = simd_pos + simd_key.size();
+    const std::size_t end = text.find('"', begin);
+    if (end != std::string::npos)
+      host.simd_active = text.substr(begin, end - begin);
+  }
+  return host;
+}
+
+/// Loudly flag a baseline produced on a different machine: the per-entry
+/// speedups below are then hardware deltas, not code deltas. Warns only —
+/// the pass/fail gate is unchanged (CI regenerates its comparison point on
+/// the same runner, so a mismatch there means the committed baseline needs
+/// re-baselining, which the regression check will surface on its own).
+void warn_if_host_differs(const HostInfo& baseline, const HostInfo& now) {
+  std::vector<std::string> diffs;
+  if (baseline.cores == 0 && baseline.simd_active.empty())
+    diffs.push_back("baseline records no host metadata (pre-PR-9 file?)");
+  if (baseline.cores != 0 && baseline.cores != now.cores)
+    diffs.push_back("cores: baseline " + std::to_string(baseline.cores) +
+                    " vs " + std::to_string(now.cores) + " here");
+  if (!baseline.simd_active.empty() &&
+      baseline.simd_active != now.simd_active)
+    diffs.push_back("SIMD: baseline " + baseline.simd_active + " vs " +
+                    now.simd_active + " here");
+  // The clock estimate is ~10% noise on its own, so only a >25% gap counts
+  // as "a different machine" rather than turbo/thermal wander.
+  if (baseline.clock_mhz_approx > 0.0 && now.clock_mhz_approx > 0.0) {
+    const double ratio = baseline.clock_mhz_approx / now.clock_mhz_approx;
+    if (ratio > 1.25 || ratio < 0.8)
+      diffs.push_back(
+          "clock: baseline ~" +
+          std::to_string(static_cast<int>(baseline.clock_mhz_approx)) +
+          " MHz vs ~" +
+          std::to_string(static_cast<int>(now.clock_mhz_approx)) +
+          " MHz here");
+  }
+  if (diffs.empty()) return;
+  std::fprintf(stderr,
+               "\n"
+               "  ********************************************************\n"
+               "  *  WARNING: baseline comes from a DIFFERENT HOST.      *\n"
+               "  *  Absolute ns and speedups below compare hardware,    *\n"
+               "  *  not code. Re-baseline on this machine before        *\n"
+               "  *  trusting them.                                      *\n"
+               "  ********************************************************\n");
+  for (const std::string& d : diffs)
+    std::fprintf(stderr, "  *  %s\n", d.c_str());
+  std::fprintf(stderr, "\n");
+}
+
 /// Print per-entry speedup vs a previous run and flag >10% regressions.
 /// Returns non-zero if any entry shared with the baseline got slower than
 /// the threshold allows.
 int compare_against(const std::string& baseline_path,
-                    const std::vector<BenchResult>& results) {
+                    const std::vector<BenchResult>& results,
+                    const HostInfo& host) {
   const auto baseline = parse_bench_json(baseline_path);
   if (baseline.empty()) {
     std::fprintf(stderr, "microbench: no entries parsed from %s\n",
                  baseline_path.c_str());
     return 1;
   }
+  warn_if_host_differs(parse_baseline_host(baseline_path), host);
   constexpr double kRegressionThreshold = 1.10;
   int regressions = 0, shared = 0;
   std::printf("\ncomparison vs %s (speedup = old/new)\n",
@@ -263,6 +388,22 @@ int run_json_mode(const std::string& path, int samples, bool tiny,
       results.push_back({"batch32_cycle_accurate_lenet_t8",
                          ns / static_cast<double>(batch32.size()),
                          batch_samples});
+
+      // The same 32-image batch through the intra-op parallel driver
+      // (fast_path.threads = 0 — one slice per hardware thread, all slices
+      // streaming the shared prepared weights). Bit-identical to the entry
+      // above; the ratio between the two is the multi-core speedup.
+      hw::AcceleratorConfig pcfg = hw::lenet_reference_config();
+      pcfg.fast_path.threads = 0;
+      hw::Accelerator paccel(pcfg, qnet);
+      hw::Accelerator::WorkerState pstate = paccel.make_worker_state();
+      const double pns = time_ns_per_call(batch_samples, [&] {
+        paccel.run_codes_batched_into(pstate, batch32.data(), batch32.size(),
+                                      out.data());
+      });
+      results.push_back({"parallel_batch32_cycle_accurate_lenet_t8",
+                         pns / static_cast<double>(batch32.size()),
+                         batch_samples});
     }
 
     // Batched throughput across the thread pool.
@@ -359,6 +500,34 @@ int run_json_mode(const std::string& path, int samples, bool tiny,
     r.samples = static_cast<int>(stats.images);
     r.images_per_sec = stats.images_per_sec;
     results.push_back(r);
+
+    // VGG-11 through the monolithic accelerator's parallel batched fast
+    // path: 8 distinct images, one slice per hardware thread, all slices
+    // streaming the same DRAM-placed prepared weights. The PR 9 headline —
+    // compare against pipeline4stage_relowered_vgg11 images/sec.
+    {
+      hw::AcceleratorConfig pcfg = hw::vgg11_table3_config();
+      pcfg.fast_path.threads = 0;
+      hw::Accelerator paccel(pcfg, qnet);
+      Rng brng(13);
+      std::vector<TensorI> batch8;
+      for (int i = 0; i < 8; ++i)
+        batch8.push_back(quant::encode_activations(
+            random_image(Shape{3, 32, 32}, brng), qnet.time_bits));
+      hw::Accelerator::WorkerState pstate = paccel.make_worker_state();
+      std::vector<hw::AccelRunResult> out(batch8.size());
+      const int vgg_samples = std::max(1, samples / 16);
+      const double ns = time_ns_per_call(vgg_samples, [&] {
+        paccel.run_codes_batched_into(pstate, batch8.data(), batch8.size(),
+                                      out.data());
+      });
+      BenchResult pr;
+      pr.name = "parallel_batch8_vgg11";
+      pr.ns_per_inference = ns / static_cast<double>(batch8.size());
+      pr.samples = vgg_samples;
+      pr.images_per_sec = 1e9 / pr.ns_per_inference;
+      results.push_back(pr);
+    }
   }
 
   // The small network at T=4 (historic tracking point), plus small
@@ -431,6 +600,8 @@ int run_json_mode(const std::string& path, int samples, bool tiny,
                        samples * 16});
   }
 
+  const HostInfo host = current_host();
+
   std::FILE* out = std::fopen(path.c_str(), "w");
   if (out == nullptr) {
     std::fprintf(stderr, "microbench: cannot open %s for writing\n",
@@ -443,6 +614,11 @@ int run_json_mode(const std::string& path, int samples, bool tiny,
                std::thread::hardware_concurrency());
   std::fprintf(out, "  \"simd\": {\"detected\": \"%s\", \"active\": \"%s\"},\n",
                common::simd::detected_isa(), common::simd::active_isa());
+  std::fprintf(out,
+               "  \"host\": {\"cores\": %u, \"hardware_concurrency\": %u, "
+               "\"simd_active\": \"%s\", \"clock_mhz_approx\": %.0f},\n",
+               host.cores, host.cores, host.simd_active.c_str(),
+               host.clock_mhz_approx);
   std::fprintf(out, "  \"results\": [\n");
   for (std::size_t i = 0; i < results.size(); ++i) {
     std::fprintf(out,
@@ -466,7 +642,8 @@ int run_json_mode(const std::string& path, int samples, bool tiny,
     std::printf("\n");
   }
   std::printf("wrote %s\n", path.c_str());
-  if (!compare_path.empty()) return compare_against(compare_path, results);
+  if (!compare_path.empty())
+    return compare_against(compare_path, results, host);
   return 0;
 }
 

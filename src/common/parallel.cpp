@@ -1,0 +1,97 @@
+#include "common/parallel.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace rsnn::common {
+
+TaskPool::TaskPool(std::size_t slots) : arenas_(std::max<std::size_t>(slots, 1)) {
+  threads_.reserve(arenas_.size() - 1);
+  for (std::size_t s = 1; s < arenas_.size(); ++s)
+    threads_.emplace_back([this, s] { worker_main(s); });
+}
+
+TaskPool::~TaskPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_work_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void TaskPool::record_error() noexcept {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!error_) error_ = std::current_exception();
+}
+
+void TaskPool::run_impl(std::size_t tasks, void (*fn)(void*, std::size_t),
+                        void* ctx) {
+  RSNN_REQUIRE(tasks >= 1 && tasks <= slots(),
+               "TaskPool::run wants " << tasks << " tasks on a pool of "
+                                      << slots() << " slot(s)");
+  if (tasks == 1) {
+    fn(ctx, 0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fn_ = fn;
+    ctx_ = ctx;
+    tasks_ = tasks;
+    remaining_ = tasks - 1;
+    error_ = nullptr;
+    ++generation_;
+  }
+  cv_work_.notify_all();
+
+  // The caller is slot 0 of its own round.
+  try {
+    fn(ctx, 0);
+  } catch (...) {
+    record_error();
+  }
+
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_done_.wait(lock, [&] { return remaining_ == 0; });
+  if (error_) {
+    std::exception_ptr error = error_;
+    error_ = nullptr;
+    std::rethrow_exception(error);
+  }
+}
+
+void TaskPool::worker_main(std::size_t slot) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    void (*fn)(void*, std::size_t) = nullptr;
+    void* ctx = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_work_.wait(lock, [&] { return shutdown_ || generation_ != seen; });
+      if (shutdown_) return;
+      seen = generation_;
+      if (slot >= tasks_) continue;  // this round fans out to fewer slots
+      fn = fn_;
+      ctx = ctx_;
+    }
+    try {
+      fn(ctx, slot);
+    } catch (...) {
+      record_error();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--remaining_ == 0) cv_done_.notify_one();
+    }
+  }
+}
+
+TaskPool& shared_task_pool() {
+  static TaskPool pool(std::max<std::size_t>(
+      std::thread::hardware_concurrency(), 8));
+  return pool;
+}
+
+}  // namespace rsnn::common

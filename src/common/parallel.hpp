@@ -1,0 +1,106 @@
+// TaskPool: a small persistent fork/join pool for intra-op parallelism.
+//
+// The batched fast path (hw/fast_path) splits the image-minor batch
+// dimension across cores *inside* each op: every worker executes the same op
+// over its own contiguous slice of the batch, so all of them stream the same
+// prepared weight tap sequence through the shared cache while it is hot.
+// That usage shapes the design:
+//
+//   * Futures-free fork/join. run() publishes a plain function pointer and
+//     context, wakes the workers, executes task 0 on the calling thread and
+//     blocks until every task finished. No std::function, no promises, no
+//     per-call heap allocation — the warm path of a run() is a mutex
+//     handshake and nothing else (the zero-allocation warm-stream property
+//     of the fast path extends across the pool).
+//   * Static slot binding. Task index == slot index: task 0 always runs on
+//     the calling thread, task s (s >= 1) always on pool worker s. Each slot
+//     owns one common::Arena, so a stable workload hits a warmed arena on
+//     the same thread every round and performs zero heap allocation.
+//   * Fork/join sequences, not single calls, are the unit of exclusion.
+//     Slice state (activation buffers in the slot arenas) persists across
+//     the per-op run() rounds of one batched inference, so a caller sharing
+//     the pool must hold acquire() for the whole sequence.
+//
+// Worker exceptions are captured and the first one rethrown from run() after
+// the round joins (all other tasks still complete).
+#pragma once
+
+#include <cstddef>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "common/arena.hpp"
+
+#include <condition_variable>
+
+namespace rsnn::common {
+
+class TaskPool {
+ public:
+  /// A pool with `slots` execution slots: the calling thread (slot 0) plus
+  /// `slots - 1` persistent worker threads, each parked on a condition
+  /// variable between rounds.
+  explicit TaskPool(std::size_t slots);
+  ~TaskPool();
+
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  std::size_t slots() const { return arenas_.size(); }
+
+  /// The scratch arena bound to `slot`. Only the thread executing that slot
+  /// may touch it during a round.
+  Arena& arena(std::size_t slot) { return arenas_[slot]; }
+
+  /// Exclusive use of the pool (workers and slot arenas) for a multi-round
+  /// fork/join sequence. Hold the returned lock across every run() of the
+  /// sequence; concurrent callers serialize here.
+  std::unique_lock<std::mutex> acquire() {
+    return std::unique_lock<std::mutex>(session_mu_);
+  }
+
+  /// Execute fn(slot) for slot in [0, tasks) — task 0 on the calling
+  /// thread, task s on worker s — and return when all have finished.
+  /// `tasks` must be in [1, slots()]. The callable is invoked by reference;
+  /// nothing is copied or allocated.
+  template <typename Fn>
+  void run(std::size_t tasks, Fn&& fn) {
+    using F = std::remove_reference_t<Fn>;
+    run_impl(
+        tasks,
+        [](void* ctx, std::size_t slot) { (*static_cast<F*>(ctx))(slot); },
+        const_cast<std::remove_const_t<F>*>(&fn));
+  }
+
+ private:
+  void run_impl(std::size_t tasks, void (*fn)(void*, std::size_t), void* ctx);
+  void worker_main(std::size_t slot);
+  void record_error() noexcept;
+
+  std::vector<Arena> arenas_;       // one per slot (index 0 = caller)
+  std::vector<std::thread> threads_;  // workers for slots 1..slots()-1
+
+  std::mutex session_mu_;  // serializes fork/join sequences (acquire())
+
+  std::mutex mu_;  // protects everything below
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  std::uint64_t generation_ = 0;  // bumps once per round
+  std::size_t tasks_ = 0;         // tasks in the current round
+  void (*fn_)(void*, std::size_t) = nullptr;
+  void* ctx_ = nullptr;
+  std::size_t remaining_ = 0;  // worker tasks not yet finished this round
+  std::exception_ptr error_;   // first failure of the round
+  bool shutdown_ = false;
+};
+
+/// The process-wide pool the fast path forks onto. Sized to the host
+/// (hardware_concurrency, floored at 8 slots so thread-count sweeps exercise
+/// real concurrency even on small CI boxes); idle workers cost one parked
+/// thread each. Callers share it via acquire().
+TaskPool& shared_task_pool();
+
+}  // namespace rsnn::common

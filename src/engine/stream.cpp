@@ -11,13 +11,17 @@ namespace rsnn::engine {
 StreamingExecutor::StreamingExecutor(const ir::LayerProgram& program,
                                      EngineKind kind, int num_workers,
                                      FaultInjector* injector,
-                                     int replica_index)
+                                     int replica_index, StreamOptions options)
     : program_(program),
       kind_(kind),
       injector_(injector),
-      replica_index_(replica_index) {
+      replica_index_(replica_index),
+      chunk_(options.chunk) {
   RSNN_REQUIRE(program.has_hw_annotations(),
                "streaming needs a hardware-lowered program");
+  RSNN_REQUIRE(options.chunk >= 1,
+               "StreamOptions::chunk must be >= 1 (got " << options.chunk
+                                                         << ")");
   std::size_t workers =
       num_workers > 0 ? static_cast<std::size_t>(num_workers)
                       : std::max(1u, std::thread::hardware_concurrency());
@@ -72,8 +76,7 @@ void StreamingExecutor::worker_main() {
     // fast path traverses its prepared weights once per chunk instead of
     // once per image. Fault injection forces chunk size 1: injected fault
     // plans replay against individual inference attempts.
-    static constexpr std::size_t kChunk = 8;
-    const std::size_t stride = injector_ != nullptr ? 1 : kChunk;
+    const std::size_t stride = injector_ != nullptr ? 1 : chunk_;
     for (;;) {
       const std::size_t i = next_.fetch_add(stride);
       if (batch_ == nullptr || i >= batch_->size()) break;

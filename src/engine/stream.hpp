@@ -43,6 +43,18 @@ struct StreamStats {
 
 class FaultInjector;
 
+/// Tunables of a StreamingExecutor.
+struct StreamOptions {
+  /// Images a worker pulls per queue visit, handed as one call to the
+  /// engine's batched entry (one prepared-weight traversal per chunk). The
+  /// default of 8 is the microbench sweet spot on LeNet-scale models: big
+  /// enough that the batched kernels amortize the weight stream (~1.7x over
+  /// chunk 1), small enough that tail imbalance at batch ends stays
+  /// negligible. Must be >= 1; forced to 1 under fault injection so fault
+  /// plans replay against individual inference attempts.
+  std::size_t chunk = 8;
+};
+
 class StreamingExecutor : public Submitter {
  public:
   /// Spawns `num_workers` persistent workers (hardware concurrency when
@@ -53,7 +65,7 @@ class StreamingExecutor : public Submitter {
   /// outlive the executor; so must the injector.
   StreamingExecutor(const ir::LayerProgram& program, EngineKind kind,
                     int num_workers = 0, FaultInjector* injector = nullptr,
-                    int replica_index = 0);
+                    int replica_index = 0, StreamOptions options = {});
   ~StreamingExecutor();
   StreamingExecutor(const StreamingExecutor&) = delete;
   StreamingExecutor& operator=(const StreamingExecutor&) = delete;
@@ -96,6 +108,7 @@ class StreamingExecutor : public Submitter {
   EngineKind kind_;
   FaultInjector* injector_;  ///< optional, shared across the fleet
   const int replica_index_;
+  const std::size_t chunk_;  ///< validated StreamOptions::chunk
 
   std::mutex mutex_;
   std::condition_variable cv_work_;

@@ -12,6 +12,7 @@
 #include "common/assert.hpp"
 #include "common/bits.hpp"
 #include "common/log.hpp"
+#include "common/parallel.hpp"
 #include "encoding/radix.hpp"
 
 namespace rsnn::hw {
@@ -134,17 +135,37 @@ void Accelerator::run_codes_batched_into(WorkerState& state,
                  "input shape mismatch for op 0 (batch element " << b << ")");
     reset_run_result(results[b]);
   }
+  // fast_path.threads: 1 = sequential batched kernel on the worker's own
+  // arena; 0 = one slice per hardware thread; N = at most N slices. The
+  // parallel kernel runs the same per-slice code, so results stay
+  // bit-identical per image either way.
+  const int requested = program_.config().fast_path.threads;
+  const std::size_t threads =
+      requested == 1
+          ? 1
+          : (requested <= 0
+                 ? std::max(1u, std::thread::hardware_concurrency())
+                 : static_cast<std::size_t>(requested));
+  if (threads > 1 && batch > 1) {
+    run_fast_path_batched_parallel(program_, fast_prepared(),
+                                   common::shared_task_pool(), codes, batch, 0,
+                                   program_.size(), nullptr, results, threads);
+    return;
+  }
   run_fast_path_batched(program_, fast_prepared(), state.fast_arena, codes,
                         batch, 0, program_.size(), nullptr, results);
 }
 
 const FastPrepared& Accelerator::fast_prepared() const {
   FastCache& cache = *fast_cache_;
-  std::call_once(cache.once, [&] {
-    cache.prepared =
-        std::make_unique<const FastPrepared>(prepare_fast_path(program_));
-  });
+  std::call_once(cache.once,
+                 [&] { cache.prepared = shared_fast_prepared(program_); });
   return *cache.prepared;
+}
+
+std::shared_ptr<const FastPrepared> Accelerator::fast_prepared_shared() const {
+  fast_prepared();  // resolve through the process-wide cache
+  return fast_cache_->prepared;
 }
 
 AccelRunResult Accelerator::run_fast(WorkerState& state, const TensorI& codes,

@@ -108,6 +108,11 @@ class Accelerator {
   /// codes[b], results[b], mode). Modes that cannot use the fast path (and
   /// trivial batches) fall back to the sequential loop. A warm (state,
   /// results) pair keeps the whole call allocation-free.
+  ///
+  /// With config().fast_path.threads != 1 the batch splits into contiguous
+  /// image slices executed fork/join per op on common::shared_task_pool()
+  /// (hw/fast_path run_fast_path_batched_parallel): same kernels, same
+  /// per-image results, one shared weight stream across cores.
   void run_codes_batched_into(WorkerState& state, const TensorI* codes,
                               std::size_t batch, AccelRunResult* results,
                               SimMode mode = SimMode::kCycleAccurate) const;
@@ -161,16 +166,23 @@ class Accelerator {
     return program_.predicted_latency_us();
   }
 
+  /// The fast-path preparation (weight repacks, coverage tables) this
+  /// accelerator executes with — resolved lazily through the process-wide
+  /// shared_fast_prepared() cache, so every Accelerator (and therefore every
+  /// ServingPool replica and streaming worker) lowered from the same network
+  /// holds the SAME immutable pack: pointer-equal across instances, built
+  /// once. Exposed for observability and the sharing tests.
+  std::shared_ptr<const FastPrepared> fast_prepared_shared() const;
+
  private:
   ir::LayerProgram program_;
 
-  /// Lazily-built fast-path preparation (weight repacks, coverage tables),
-  /// shared read-only by every worker. Held behind a shared_ptr so the
-  /// Accelerator stays copyable/movable; copies share the cache (they
-  /// execute the same program).
+  /// Lazily-resolved handle on the shared prepared pack. Held behind a
+  /// shared_ptr so the Accelerator stays copyable/movable; copies share the
+  /// resolved handle (they execute the same program).
   struct FastCache {
     std::once_flag once;
-    std::unique_ptr<const FastPrepared> prepared;
+    std::shared_ptr<const FastPrepared> prepared;
   };
   mutable std::shared_ptr<FastCache> fast_cache_ = std::make_shared<FastCache>();
   const FastPrepared& fast_prepared() const;

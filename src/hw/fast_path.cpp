@@ -1,9 +1,14 @@
 #include "hw/fast_path.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <cstddef>
 #include <cstring>
+#include <iterator>
+#include <map>
+#include <mutex>
+#include <tuple>
 
 #include "common/assert.hpp"
 #include "common/simd.hpp"
@@ -16,6 +21,26 @@ using common::simd::Kernels;
 using quant::QConv2d;
 using quant::QLinear;
 using quant::QPool2d;
+
+/// Read-only software prefetch into all cache levels. A pure hint: never
+/// faults (prefetching past the end of an array is fine) and never changes
+/// results, so none of the bit-identity sweeps care about placement.
+inline void prefetch_ro(const void* p) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(p, /*rw=*/0, /*locality=*/3);
+#else
+  (void)p;
+#endif
+}
+
+/// How many weight rows ahead the streaming inner loops prefetch. Tuned with
+/// `microbench` on an AVX2 Xeon (see README "Threading model"): the win
+/// plateaus at 2 rows — the axpy over one row takes long enough to cover one
+/// row of load latency, and further distance only risks eviction before use.
+/// Smaller than the hardware stride prefetcher's window, but these loops
+/// *skip* rows (zero codes, zero weights), which is exactly where the
+/// hardware predictor loses the stream.
+constexpr std::int64_t kPrefetchRows = 2;
 
 std::int64_t popcount_sum(const std::int64_t* values, std::int64_t count) {
   std::int64_t total = 0;
@@ -163,6 +188,7 @@ void conv_channel_chw(const QConv2d& conv, const std::int64_t* in,
         for (std::int64_t oy = by.lo; oy < by.hi; ++oy) {
           const std::int64_t* row = plane + (oy * str + ky - pad) * iw;
           std::int64_t* arow = acc + oy * ow;
+          prefetch_ro(row + str * iw);  // next oy's input row
           if (str == 1) {
             K.axpy_code_i64(arow + bx.lo, row + x0 + bx.lo, w, bx.hi - bx.lo);
           } else {
@@ -203,6 +229,7 @@ void conv_channel_chw_batched(const QConv2d& conv, const std::int64_t* in,
           std::int64_t* arow = acc + (oy * ow + bx.lo) * batch;
           if (str == 1) {
             const std::int64_t* src = plane + (iy * iw + x0 + bx.lo) * batch;
+            prefetch_ro(src + str * iw * batch);  // next oy's input row
             K.axpy_code_i64(arow, src, w, (bx.hi - bx.lo) * batch);
           } else {
             for (std::int64_t ox = bx.lo; ox < bx.hi; ++ox, arow += batch)
@@ -300,6 +327,9 @@ void conv_hwc(const QConv2d& conv, const std::int64_t* in, std::int64_t ih,
             for (std::int64_t ic = 0; ic < cin; ++ic) {
               const std::int64_t a = px[ic];
               if (a == 0) continue;
+              // [cin][cout] rows are contiguous across taps, so the
+              // prefetch rolls into the next tap's tile at block ends.
+              prefetch_ro(wk + (ic + kPrefetchRows) * cout);
               K.axpy_w32(acc, wk + ic * cout, a, cout);
             }
           }
@@ -368,6 +398,7 @@ void conv_hwc_batched(const QConv2d& conv, const std::int64_t* in,
             for (std::int64_t ic = 0; ic < cin; ++ic) {
               const std::int32_t* wrow = wk + ic * cout;
               const std::int64_t* a_b = px + ic * batch;
+              prefetch_ro(wrow + kPrefetchRows * cout);
               for (std::int64_t b = 0; b < batch; ++b) {
                 const std::int64_t a = a_b[b];
                 if (a == 0) continue;
@@ -444,6 +475,7 @@ void linear_fast(const QLinear& fc, const std::int64_t* in,
   for (std::int64_t i = 0; i < nin; ++i) {
     const std::int64_t a = in[i];
     if (a == 0) continue;
+    prefetch_ro(wt + (i + kPrefetchRows) * nout);
     K.axpy_w32(out, wt + i * nout, a, nout);
   }
   const std::int64_t* bias = fc.bias.data();
@@ -471,6 +503,7 @@ void linear_fast_batched(const QLinear& fc, const std::int64_t* in,
   for (std::int64_t i = 0; i < nin; ++i) {
     const std::int64_t* px = in + i * batch;
     const std::int32_t* wrow = wt + i * nout;
+    prefetch_ro(wrow + kPrefetchRows * nout);
     for (std::int64_t b = 0; b < batch; ++b) {
       const std::int64_t a = px[b];
       if (a == 0) continue;
@@ -722,238 +755,428 @@ void run_fast_path(const ir::LayerProgram& program, const FastPrepared& prep,
   finalize_run(result, program.config().cycle_ns());
 }
 
+// --- Batched slice execution ------------------------------------------------
+//
+// A "slice" is a contiguous sub-range of the batch with its own arena,
+// image-minor interleaved activation buffer and per-image counter scratch.
+// The sequential batched kernel runs ONE slice covering the whole batch; the
+// parallel kernel seats one slice per task-pool slot and fork/joins every
+// step. Both therefore execute the same per-slice code on the same prepared
+// pack — the parallel path's per-image bit-identity is structural, not
+// re-proven arithmetic.
+namespace {
+
+struct BatchSlice {
+  common::Arena* arena = nullptr;
+  std::int64_t B = 0;                 ///< images in this slice
+  const TensorI* codes = nullptr;     ///< B input tensors
+  AccelRunResult* results = nullptr;  ///< B caller-reset results
+  TensorI* boundary = nullptr;        ///< B boundary tensors, or nullptr
+  std::int64_t* cur = nullptr;        ///< interleaved activations cur[i*B+b]
+  std::int64_t* spikes = nullptr;     ///< per-image counter scratch (4x B)
+  std::int64_t* adder = nullptr;
+  std::int64_t* pool_spikes = nullptr;
+  std::int64_t* pool_covered = nullptr;
+};
+
+/// Ops consumed by the step starting at `li`: 2 for a fused conv+pool pair
+/// lying entirely inside the executed range, else 1. A property of the
+/// program alone — every slice of a batch steps through ops identically,
+/// which is what lets the parallel driver advance all slices in lockstep.
+std::size_t ops_consumed(const ir::LayerProgram& program, std::size_t li,
+                         std::size_t end) {
+  const ir::LayerOp& op = program.op(li);
+  const bool fuse =
+      op.kind == ir::OpKind::kConv && op.fuse_with_next && li + 1 < end;
+  return fuse ? 2 : 1;
+}
+
+/// Rewind the slice's arena and stage its inputs: counter scratch first (so
+/// the arena round is stable), then the interleaved activation buffer.
+void init_slice(std::size_t begin, std::size_t end, BatchSlice& s) {
+  common::Arena& arena = *s.arena;
+  arena.reset();
+  const std::int64_t B = s.B;
+  for (std::int64_t b = 0; b < B; ++b) s.results[b].layers.reserve(end - begin);
+
+  s.spikes = arena.alloc<std::int64_t>(B);
+  s.adder = arena.alloc<std::int64_t>(B);
+  s.pool_spikes = arena.alloc<std::int64_t>(B);
+  s.pool_covered = arena.alloc<std::int64_t>(B);
+
+  // Activations travel between ops interleaved image-minor: cur[i*B + b] is
+  // element i (CHW order) of image b.
+  const std::int64_t n_in = s.codes[0].numel();
+  s.cur = arena.alloc<std::int64_t>(n_in * B);
+  for (std::int64_t b = 0; b < B; ++b) {
+    RSNN_REQUIRE(s.codes[b].numel() == n_in,
+                 "batched input codes must share one shape");
+    const std::int32_t* cp = s.codes[b].data();
+    for (std::int64_t i = 0; i < n_in; ++i) s.cur[i * B + b] = cp[i];
+  }
+}
+
+/// Execute the step starting at op `li` (one op, or a fused conv+pool pair)
+/// on one slice, including the end-of-range logit / boundary emission.
+void run_slice_op(const ir::LayerProgram& program, const FastPrepared& prep,
+                  const Kernels& K, int T, std::size_t n_layers, std::size_t li,
+                  std::size_t end, BatchSlice& s) {
+  common::Arena& arena = *s.arena;
+  const std::int64_t B = s.B;
+  AccelRunResult* results = s.results;
+  std::int64_t* spikes = s.spikes;
+  std::int64_t* adder = s.adder;
+  std::int64_t* pool_spikes = s.pool_spikes;
+  std::int64_t* pool_covered = s.pool_covered;
+  std::int64_t* cur = s.cur;
+
+  const ir::LayerOp& op = program.op(li);
+  const bool network_final =
+      static_cast<std::size_t>(op.layer_index) + 1 == n_layers;
+  RSNN_ENSURE(op.requantize || network_final || op.kind == ir::OpKind::kPool ||
+                  op.kind == ir::OpKind::kFlatten,
+              "non-final layer must requantize");
+  popcount_per_image(cur, op.in_shape.numel(), B, spikes);
+  const FastPrepared::OpPrep& p = prep.ops[li];
+  const std::size_t consumed = ops_consumed(program, li, end);
+
+  switch (op.kind) {
+    case ir::OpKind::kFlatten: {
+      for (std::int64_t b = 0; b < B; ++b) {
+        LayerStats stats = annotated_stats(op);
+        stats.input_spikes = spikes[b];
+        stats.adder_ops = 0;
+        accumulate_layer(results[b], std::move(stats));
+      }
+      break;
+    }
+    case ir::OpKind::kConv: {
+      const QConv2d& conv = *op.conv;
+      const std::int64_t ih = op.in_shape.dim(1), iw = op.in_shape.dim(2);
+      const std::int64_t oh = op.out_shape.dim(1), ow = op.out_shape.dim(2);
+      const std::int64_t cout = conv.out_channels;
+      conv_adder_ops_per_image(cur, conv.in_channels, ih, iw, p.county.data(),
+                               p.countx.data(), cout, B, adder);
+      if (consumed == 1) {  // unfused
+        std::int64_t* out = arena.alloc<std::int64_t>(cout * oh * ow * B);
+        if (op.fast_layout == DataLayout::kHwc) {
+          std::int64_t* out_hwcb = arena.alloc<std::int64_t>(oh * ow * B * cout);
+          conv_hwc_batched(conv, cur, ih, iw, oh, ow, p.weights.data(), T, B, K,
+                           arena, out_hwcb);
+          for (std::int64_t i = 0; i < oh * ow; ++i)
+            for (std::int64_t b = 0; b < B; ++b) {
+              const std::int64_t* src = out_hwcb + (i * B + b) * cout;
+              for (std::int64_t oc = 0; oc < cout; ++oc)
+                out[(oc * oh * ow + i) * B + b] = src[oc];
+            }
+        } else {
+          for (std::int64_t oc = 0; oc < cout; ++oc) {
+            std::int64_t* plane = out + oc * oh * ow * B;
+            conv_channel_chw_batched(conv, cur, ih, iw, oh, ow, oc, B, K,
+                                     plane);
+            finish_channel(conv, oc, T, plane, oh * ow * B);
+          }
+        }
+        for (std::int64_t b = 0; b < B; ++b) {
+          LayerStats stats = annotated_stats(op);
+          stats.input_spikes = spikes[b];
+          stats.adder_ops = adder[b];
+          accumulate_layer(results[b], std::move(stats));
+        }
+        cur = out;
+        break;
+      }
+
+      // Fused conv+pool: the pool consumes conv codes straight from scratch,
+      // skipping the intermediate CHW activation tensor.
+      const ir::LayerOp& pool_op = program.op(li + 1);
+      const QPool2d& pool = *pool_op.pool;
+      const std::int64_t k = pool.kernel;
+      const std::int64_t poh = pool_op.out_shape.dim(1);
+      const std::int64_t pow_ = pool_op.out_shape.dim(2);
+      std::int64_t* out = arena.alloc<std::int64_t>(cout * poh * pow_ * B);
+      if (op.fast_layout == DataLayout::kHwc) {
+        std::int64_t* out_hwcb = arena.alloc<std::int64_t>(oh * ow * B * cout);
+        conv_hwc_batched(conv, cur, ih, iw, oh, ow, p.weights.data(), T, B, K,
+                         arena, out_hwcb);
+        std::fill(pool_spikes, pool_spikes + B, std::int64_t{0});
+        std::fill(pool_covered, pool_covered + B, std::int64_t{0});
+        for (std::int64_t y = 0; y < oh; ++y) {
+          const bool y_covered = y / k < poh;
+          for (std::int64_t x = 0; x < ow; ++x) {
+            const bool covered = y_covered && x / k < pow_;
+            const std::int64_t* base = out_hwcb + ((y * ow + x) * B) * cout;
+            for (std::int64_t b = 0; b < B; ++b) {
+              const std::int64_t n = popcount_sum(base + b * cout, cout);
+              pool_spikes[b] += n;
+              if (covered) pool_covered[b] += n;
+            }
+          }
+        }
+        std::int64_t* pacc = arena.alloc<std::int64_t>(B * cout);
+        for (std::int64_t py = 0; py < poh; ++py) {
+          for (std::int64_t px = 0; px < pow_; ++px) {
+            std::fill(pacc, pacc + B * cout, std::int64_t{0});
+            for (std::int64_t ky = 0; ky < k; ++ky)
+              for (std::int64_t kx = 0; kx < k; ++kx)
+                K.add_i64(pacc,
+                          out_hwcb +
+                              (((py * k + ky) * ow + px * k + kx) * B) * cout,
+                          B * cout);
+            for (std::int64_t b = 0; b < B; ++b)
+              for (std::int64_t oc = 0; oc < cout; ++oc)
+                out[((oc * poh + py) * pow_ + px) * B + b] =
+                    pacc[b * cout + oc] >> pool.shift;
+          }
+        }
+      } else {
+        std::int64_t* plane = arena.alloc<std::int64_t>(oh * ow * B);
+        std::int64_t* pacc = arena.alloc<std::int64_t>(B);
+        std::fill(pool_spikes, pool_spikes + B, std::int64_t{0});
+        std::fill(pool_covered, pool_covered + B, std::int64_t{0});
+        for (std::int64_t oc = 0; oc < cout; ++oc) {
+          conv_channel_chw_batched(conv, cur, ih, iw, oh, ow, oc, B, K, plane);
+          finish_channel(conv, oc, T, plane, oh * ow * B);
+          const std::int64_t* q = plane;
+          for (std::int64_t y = 0; y < oh; ++y) {
+            const bool y_covered = y / k < poh;
+            for (std::int64_t x = 0; x < ow; ++x, q += B) {
+              const bool covered = y_covered && x / k < pow_;
+              for (std::int64_t b = 0; b < B; ++b) {
+                const std::int64_t n =
+                    std::popcount(static_cast<std::uint64_t>(q[b]));
+                pool_spikes[b] += n;
+                if (covered) pool_covered[b] += n;
+              }
+            }
+          }
+          pool_plane_batched(plane, ow, k, pool.shift, poh, pow_, B, K, pacc,
+                             out + oc * poh * pow_ * B);
+        }
+      }
+      for (std::int64_t b = 0; b < B; ++b) {
+        LayerStats stats = annotated_stats(op);
+        stats.input_spikes = spikes[b];
+        stats.adder_ops = adder[b];
+        accumulate_layer(results[b], std::move(stats));
+        LayerStats pstats = annotated_stats(pool_op);
+        pstats.input_spikes = pool_spikes[b];
+        pstats.adder_ops = pool_covered[b];
+        accumulate_layer(results[b], std::move(pstats));
+      }
+      cur = out;
+      break;
+    }
+    case ir::OpKind::kPool: {
+      const QPool2d& pool = *op.pool;
+      const std::int64_t ch = op.in_shape.dim(0);
+      const std::int64_t ih = op.in_shape.dim(1), iw = op.in_shape.dim(2);
+      const std::int64_t oh = op.out_shape.dim(1), ow = op.out_shape.dim(2);
+      pool_covered_per_image(cur, ch, ih, iw, pool.kernel, oh, ow, B, adder);
+      std::int64_t* out = arena.alloc<std::int64_t>(ch * oh * ow * B);
+      std::int64_t* pacc = arena.alloc<std::int64_t>(B);
+      for (std::int64_t c = 0; c < ch; ++c)
+        pool_plane_batched(cur + c * ih * iw * B, iw, pool.kernel, pool.shift,
+                           oh, ow, B, K, pacc, out + c * oh * ow * B);
+      for (std::int64_t b = 0; b < B; ++b) {
+        LayerStats stats = annotated_stats(op);
+        stats.input_spikes = spikes[b];
+        stats.adder_ops = adder[b];
+        accumulate_layer(results[b], std::move(stats));
+      }
+      cur = out;
+      break;
+    }
+    case ir::OpKind::kLinear: {
+      const QLinear& fc = *op.linear;
+      std::int64_t* out = arena.alloc<std::int64_t>(fc.out_features * B);
+      std::int64_t* scratch = arena.alloc<std::int64_t>(B * fc.out_features);
+      linear_fast_batched(fc, cur, p.weights.data(), T, B, K, scratch, out);
+      for (std::int64_t b = 0; b < B; ++b) {
+        LayerStats stats = annotated_stats(op);
+        stats.input_spikes = spikes[b];
+        stats.adder_ops = spikes[b] * fc.out_features;
+        accumulate_layer(results[b], std::move(stats));
+      }
+      cur = out;
+      break;
+    }
+  }
+
+  const ir::LayerOp& last_op = program.op(li + consumed - 1);
+  const std::int64_t out_numel = last_op.out_shape.numel();
+  if (static_cast<std::size_t>(last_op.layer_index) + 1 == n_layers) {
+    for (std::int64_t b = 0; b < B; ++b) {
+      auto& logits = results[b].logits;
+      logits.resize(static_cast<std::size_t>(out_numel));
+      for (std::int64_t i = 0; i < out_numel; ++i)
+        logits[static_cast<std::size_t>(i)] = cur[i * B + b];
+    }
+  } else if (li + consumed == end && s.boundary) {
+    for (std::int64_t b = 0; b < B; ++b) {
+      TensorI boundary(last_op.out_shape);
+      std::int32_t* bp = boundary.data();
+      for (std::int64_t i = 0; i < out_numel; ++i)
+        bp[i] = static_cast<std::int32_t>(cur[i * B + b]);
+      s.boundary[b] = std::move(boundary);
+    }
+  }
+  s.cur = cur;
+}
+
+}  // namespace
+
 void run_fast_path_batched(const ir::LayerProgram& program,
                            const FastPrepared& prep, common::Arena& arena,
                            const TensorI* codes, std::size_t batch,
                            std::size_t begin, std::size_t end,
                            TensorI* boundary_codes, AccelRunResult* results) {
   RSNN_REQUIRE(batch >= 1, "batched run needs at least one image");
-  arena.reset();
   const Kernels& K = common::simd::kernels();
   const int T = program.time_bits();
   const std::size_t n_layers = program.network().layers.size();
-  const std::int64_t B = static_cast<std::int64_t>(batch);
-  for (std::int64_t b = 0; b < B; ++b)
-    results[b].layers.reserve(end - begin);
 
-  // Per-image counter scratch, allocated once so the arena round is stable.
-  std::int64_t* spikes = arena.alloc<std::int64_t>(B);
-  std::int64_t* adder = arena.alloc<std::int64_t>(B);
-  std::int64_t* pool_spikes = arena.alloc<std::int64_t>(B);
-  std::int64_t* pool_covered = arena.alloc<std::int64_t>(B);
+  BatchSlice s;
+  s.arena = &arena;
+  s.B = static_cast<std::int64_t>(batch);
+  s.codes = codes;
+  s.results = results;
+  s.boundary = boundary_codes;
+  init_slice(begin, end, s);
+  for (std::size_t li = begin; li < end; li += ops_consumed(program, li, end))
+    run_slice_op(program, prep, K, T, n_layers, li, end, s);
 
-  // Activations travel between ops interleaved image-minor: cur[i*B + b] is
-  // element i (CHW order) of image b.
-  const std::int64_t n_in = codes[0].numel();
-  std::int64_t* cur = arena.alloc<std::int64_t>(n_in * B);
-  for (std::int64_t b = 0; b < B; ++b) {
-    RSNN_REQUIRE(codes[b].numel() == n_in,
-                 "batched input codes must share one shape");
-    const std::int32_t* cp = codes[b].data();
-    for (std::int64_t i = 0; i < n_in; ++i) cur[i * B + b] = cp[i];
+  const double cycle_ns = program.config().cycle_ns();
+  for (std::size_t b = 0; b < batch; ++b) finalize_run(results[b], cycle_ns);
+}
+
+void run_fast_path_batched_parallel(const ir::LayerProgram& program,
+                                    const FastPrepared& prep,
+                                    common::TaskPool& pool,
+                                    const TensorI* codes, std::size_t batch,
+                                    std::size_t begin, std::size_t end,
+                                    TensorI* boundary_codes,
+                                    AccelRunResult* results,
+                                    std::size_t threads) {
+  RSNN_REQUIRE(batch >= 1, "batched run needs at least one image");
+  // One slice per requested thread — never more slices than images or pool
+  // slots. The fixed cap keeps the slice table on the stack (no per-call
+  // allocation); past ~64 cores the batch, not the core count, is the limit.
+  constexpr std::size_t kMaxSlices = 64;
+  const std::size_t n_slices =
+      std::min({threads, batch, pool.slots(), kMaxSlices});
+
+  // Slice activation state lives in the pool's slot arenas across the
+  // per-op rounds, so the pool is held for the whole run, not per fork.
+  auto session = pool.acquire();
+  if (n_slices <= 1) {
+    run_fast_path_batched(program, prep, pool.arena(0), codes, batch, begin,
+                          end, boundary_codes, results);
+    return;
   }
 
-  std::size_t li = begin;
-  while (li < end) {
-    const ir::LayerOp& op = program.op(li);
-    const bool network_final =
-        static_cast<std::size_t>(op.layer_index) + 1 == n_layers;
-    RSNN_ENSURE(op.requantize || network_final || op.kind == ir::OpKind::kPool ||
-                    op.kind == ir::OpKind::kFlatten,
-                "non-final layer must requantize");
-    popcount_per_image(cur, op.in_shape.numel(), B, spikes);
-    const FastPrepared::OpPrep& p = prep.ops[li];
-    std::size_t consumed = 1;
+  const Kernels& K = common::simd::kernels();
+  const int T = program.time_bits();
+  const std::size_t n_layers = program.network().layers.size();
 
-    switch (op.kind) {
-      case ir::OpKind::kFlatten: {
-        for (std::int64_t b = 0; b < B; ++b) {
-          LayerStats stats = annotated_stats(op);
-          stats.input_spikes = spikes[b];
-          stats.adder_ops = 0;
-          accumulate_layer(results[b], std::move(stats));
-        }
-        break;
-      }
-      case ir::OpKind::kConv: {
-        const QConv2d& conv = *op.conv;
-        const std::int64_t ih = op.in_shape.dim(1), iw = op.in_shape.dim(2);
-        const std::int64_t oh = op.out_shape.dim(1), ow = op.out_shape.dim(2);
-        const std::int64_t cout = conv.out_channels;
-        conv_adder_ops_per_image(cur, conv.in_channels, ih, iw,
-                                 p.county.data(), p.countx.data(), cout, B,
-                                 adder);
-        const bool fuse = op.fuse_with_next && li + 1 < end;
-        if (!fuse) {
-          std::int64_t* out = arena.alloc<std::int64_t>(cout * oh * ow * B);
-          if (op.fast_layout == DataLayout::kHwc) {
-            std::int64_t* out_hwcb =
-                arena.alloc<std::int64_t>(oh * ow * B * cout);
-            conv_hwc_batched(conv, cur, ih, iw, oh, ow, p.weights.data(), T, B,
-                             K, arena, out_hwcb);
-            for (std::int64_t i = 0; i < oh * ow; ++i)
-              for (std::int64_t b = 0; b < B; ++b) {
-                const std::int64_t* src = out_hwcb + (i * B + b) * cout;
-                for (std::int64_t oc = 0; oc < cout; ++oc)
-                  out[(oc * oh * ow + i) * B + b] = src[oc];
-              }
-          } else {
-            for (std::int64_t oc = 0; oc < cout; ++oc) {
-              std::int64_t* plane = out + oc * oh * ow * B;
-              conv_channel_chw_batched(conv, cur, ih, iw, oh, ow, oc, B, K,
-                                       plane);
-              finish_channel(conv, oc, T, plane, oh * ow * B);
-            }
-          }
-          for (std::int64_t b = 0; b < B; ++b) {
-            LayerStats stats = annotated_stats(op);
-            stats.input_spikes = spikes[b];
-            stats.adder_ops = adder[b];
-            accumulate_layer(results[b], std::move(stats));
-          }
-          cur = out;
-          break;
-        }
+  BatchSlice slices[kMaxSlices];
+  std::size_t off = 0;
+  for (std::size_t c = 0; c < n_slices; ++c) {
+    const std::size_t n = batch / n_slices + (c < batch % n_slices ? 1 : 0);
+    BatchSlice& s = slices[c];
+    s.arena = &pool.arena(c);
+    s.B = static_cast<std::int64_t>(n);
+    s.codes = codes + off;
+    s.results = results + off;
+    s.boundary = boundary_codes ? boundary_codes + off : nullptr;
+    off += n;
+  }
 
-        const ir::LayerOp& pool_op = program.op(li + 1);
-        const QPool2d& pool = *pool_op.pool;
-        const std::int64_t k = pool.kernel;
-        const std::int64_t poh = pool_op.out_shape.dim(1);
-        const std::int64_t pow_ = pool_op.out_shape.dim(2);
-        std::int64_t* out = arena.alloc<std::int64_t>(cout * poh * pow_ * B);
-        if (op.fast_layout == DataLayout::kHwc) {
-          std::int64_t* out_hwcb = arena.alloc<std::int64_t>(oh * ow * B * cout);
-          conv_hwc_batched(conv, cur, ih, iw, oh, ow, p.weights.data(), T, B,
-                           K, arena, out_hwcb);
-          std::fill(pool_spikes, pool_spikes + B, std::int64_t{0});
-          std::fill(pool_covered, pool_covered + B, std::int64_t{0});
-          for (std::int64_t y = 0; y < oh; ++y) {
-            const bool y_covered = y / k < poh;
-            for (std::int64_t x = 0; x < ow; ++x) {
-              const bool covered = y_covered && x / k < pow_;
-              const std::int64_t* base = out_hwcb + ((y * ow + x) * B) * cout;
-              for (std::int64_t b = 0; b < B; ++b) {
-                const std::int64_t s = popcount_sum(base + b * cout, cout);
-                pool_spikes[b] += s;
-                if (covered) pool_covered[b] += s;
-              }
-            }
-          }
-          std::int64_t* pacc = arena.alloc<std::int64_t>(B * cout);
-          for (std::int64_t py = 0; py < poh; ++py) {
-            for (std::int64_t px = 0; px < pow_; ++px) {
-              std::fill(pacc, pacc + B * cout, std::int64_t{0});
-              for (std::int64_t ky = 0; ky < k; ++ky)
-                for (std::int64_t kx = 0; kx < k; ++kx)
-                  K.add_i64(pacc,
-                            out_hwcb +
-                                (((py * k + ky) * ow + px * k + kx) * B) * cout,
-                            B * cout);
-              for (std::int64_t b = 0; b < B; ++b)
-                for (std::int64_t oc = 0; oc < cout; ++oc)
-                  out[((oc * poh + py) * pow_ + px) * B + b] =
-                      pacc[b * cout + oc] >> pool.shift;
-            }
-          }
-        } else {
-          std::int64_t* plane = arena.alloc<std::int64_t>(oh * ow * B);
-          std::int64_t* pacc = arena.alloc<std::int64_t>(B);
-          std::fill(pool_spikes, pool_spikes + B, std::int64_t{0});
-          std::fill(pool_covered, pool_covered + B, std::int64_t{0});
-          for (std::int64_t oc = 0; oc < cout; ++oc) {
-            conv_channel_chw_batched(conv, cur, ih, iw, oh, ow, oc, B, K,
-                                     plane);
-            finish_channel(conv, oc, T, plane, oh * ow * B);
-            const std::int64_t* q = plane;
-            for (std::int64_t y = 0; y < oh; ++y) {
-              const bool y_covered = y / k < poh;
-              for (std::int64_t x = 0; x < ow; ++x, q += B) {
-                const bool covered = y_covered && x / k < pow_;
-                for (std::int64_t b = 0; b < B; ++b) {
-                  const std::int64_t s =
-                      std::popcount(static_cast<std::uint64_t>(q[b]));
-                  pool_spikes[b] += s;
-                  if (covered) pool_covered[b] += s;
-                }
-              }
-            }
-            pool_plane_batched(plane, ow, k, pool.shift, poh, pow_, B, K, pacc,
-                               out + oc * poh * pow_ * B);
-          }
-        }
-        for (std::int64_t b = 0; b < B; ++b) {
-          LayerStats stats = annotated_stats(op);
-          stats.input_spikes = spikes[b];
-          stats.adder_ops = adder[b];
-          accumulate_layer(results[b], std::move(stats));
-          LayerStats pstats = annotated_stats(pool_op);
-          pstats.input_spikes = pool_spikes[b];
-          pstats.adder_ops = pool_covered[b];
-          accumulate_layer(results[b], std::move(pstats));
-        }
-        cur = out;
-        consumed = 2;
-        break;
-      }
-      case ir::OpKind::kPool: {
-        const QPool2d& pool = *op.pool;
-        const std::int64_t ch = op.in_shape.dim(0);
-        const std::int64_t ih = op.in_shape.dim(1), iw = op.in_shape.dim(2);
-        const std::int64_t oh = op.out_shape.dim(1), ow = op.out_shape.dim(2);
-        pool_covered_per_image(cur, ch, ih, iw, pool.kernel, oh, ow, B, adder);
-        std::int64_t* out = arena.alloc<std::int64_t>(ch * oh * ow * B);
-        std::int64_t* pacc = arena.alloc<std::int64_t>(B);
-        for (std::int64_t c = 0; c < ch; ++c)
-          pool_plane_batched(cur + c * ih * iw * B, iw, pool.kernel, pool.shift,
-                             oh, ow, B, K, pacc, out + c * oh * ow * B);
-        for (std::int64_t b = 0; b < B; ++b) {
-          LayerStats stats = annotated_stats(op);
-          stats.input_spikes = spikes[b];
-          stats.adder_ops = adder[b];
-          accumulate_layer(results[b], std::move(stats));
-        }
-        cur = out;
-        break;
-      }
-      case ir::OpKind::kLinear: {
-        const QLinear& fc = *op.linear;
-        std::int64_t* out = arena.alloc<std::int64_t>(fc.out_features * B);
-        std::int64_t* scratch = arena.alloc<std::int64_t>(B * fc.out_features);
-        linear_fast_batched(fc, cur, p.weights.data(), T, B, K, scratch, out);
-        for (std::int64_t b = 0; b < B; ++b) {
-          LayerStats stats = annotated_stats(op);
-          stats.input_spikes = spikes[b];
-          stats.adder_ops = spikes[b] * fc.out_features;
-          accumulate_layer(results[b], std::move(stats));
-        }
-        cur = out;
-        break;
-      }
-    }
-
-    li += consumed;
-    const ir::LayerOp& last_op = program.op(li - 1);
-    const std::int64_t out_numel = last_op.out_shape.numel();
-    if (static_cast<std::size_t>(last_op.layer_index) + 1 == n_layers) {
-      for (std::int64_t b = 0; b < B; ++b) {
-        auto& logits = results[b].logits;
-        logits.resize(static_cast<std::size_t>(out_numel));
-        for (std::int64_t i = 0; i < out_numel; ++i)
-          logits[static_cast<std::size_t>(i)] = cur[i * B + b];
-      }
-    } else if (li == end && boundary_codes) {
-      for (std::int64_t b = 0; b < B; ++b) {
-        TensorI boundary(last_op.out_shape);
-        std::int32_t* bp = boundary.data();
-        for (std::int64_t i = 0; i < out_numel; ++i)
-          bp[i] = static_cast<std::int32_t>(cur[i * B + b]);
-        boundary_codes[b] = std::move(boundary);
-      }
-    }
+  // Fork/join once per step: every slice executes the SAME op over its own
+  // images, so all cores stream one shared weight tap sequence — the taps a
+  // slice pulls into the shared cache are the taps its siblings need next.
+  pool.run(n_slices, [&](std::size_t c) { init_slice(begin, end, slices[c]); });
+  for (std::size_t li = begin; li < end;
+       li += ops_consumed(program, li, end)) {
+    pool.run(n_slices, [&](std::size_t c) {
+      run_slice_op(program, prep, K, T, n_layers, li, end, slices[c]);
+    });
   }
 
   const double cycle_ns = program.config().cycle_ns();
-  for (std::int64_t b = 0; b < B; ++b) finalize_run(results[b], cycle_ns);
+  for (std::size_t b = 0; b < batch; ++b) finalize_run(results[b], cycle_ns);
+}
+
+// --- Process-wide prepared-pack cache ---------------------------------------
+
+namespace {
+
+/// Identity of a prepared pack. The program borrows its QuantizedNetwork (a
+/// lifetime contract the Accelerator already documents), so the network
+/// address plus every op's parameter-struct address pins the weights — a
+/// recycled network address with different content would also have recycled
+/// each heap-allocated layer, which the per-op pointers catch — while the op
+/// range and per-op kinds/layouts pin the repack shapes.
+struct PrepKey {
+  const void* network;
+  std::size_t begin;
+  std::size_t n_ops;
+  std::uint64_t ops_hash;
+
+  friend bool operator<(const PrepKey& a, const PrepKey& b) {
+    return std::tie(a.network, a.begin, a.n_ops, a.ops_hash) <
+           std::tie(b.network, b.begin, b.n_ops, b.ops_hash);
+  }
+};
+
+PrepKey prep_key(const ir::LayerProgram& program) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a over the op sequence
+  const auto mix = [&h](std::uint64_t v) { h = (h ^ v) * 1099511628211ull; };
+  for (std::size_t i = 0; i < program.size(); ++i) {
+    const ir::LayerOp& op = program.op(i);
+    mix(static_cast<std::uint64_t>(op.kind));
+    mix(static_cast<std::uint64_t>(op.fast_layout));
+    mix(static_cast<std::uint64_t>(op.layer_index));
+    mix(reinterpret_cast<std::uintptr_t>(op.conv));
+    mix(reinterpret_cast<std::uintptr_t>(op.pool));
+    mix(reinterpret_cast<std::uintptr_t>(op.linear));
+  }
+  return PrepKey{&program.network(), program.network_begin(), program.size(),
+                 h};
+}
+
+struct PrepRegistry {
+  std::mutex mu;
+  std::map<PrepKey, std::weak_ptr<const FastPrepared>> cache;
+  std::atomic<std::uint64_t> builds{0};
+};
+
+PrepRegistry& prep_registry() {
+  static PrepRegistry registry;
+  return registry;
+}
+
+}  // namespace
+
+std::shared_ptr<const FastPrepared> shared_fast_prepared(
+    const ir::LayerProgram& program) {
+  PrepRegistry& registry = prep_registry();
+  const PrepKey key = prep_key(program);
+  std::lock_guard<std::mutex> lock(registry.mu);
+  for (auto it = registry.cache.begin(); it != registry.cache.end();)
+    it = it->second.expired() ? registry.cache.erase(it) : std::next(it);
+  if (auto it = registry.cache.find(key); it != registry.cache.end())
+    if (auto live = it->second.lock()) return live;
+  // Built under the lock: N replicas spinning up concurrently perform
+  // exactly one repack — the rest wait here and share it.
+  auto built = std::make_shared<const FastPrepared>(prepare_fast_path(program));
+  registry.cache[key] = built;
+  registry.builds.fetch_add(1, std::memory_order_relaxed);
+  return built;
+}
+
+std::uint64_t fast_prepared_build_count() {
+  return prep_registry().builds.load(std::memory_order_relaxed);
 }
 
 }  // namespace rsnn::hw

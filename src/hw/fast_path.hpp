@@ -31,7 +31,11 @@
 #include <cstdint>
 #include <vector>
 
+#include <cstddef>
+#include <memory>
+
 #include "common/arena.hpp"
+#include "common/parallel.hpp"
 #include "hw/run_result.hpp"
 #include "ir/layer_program.hpp"
 #include "tensor/tensor.hpp"
@@ -56,6 +60,22 @@ struct FastPrepared {
 
 /// Build the prepared state for a hardware-lowered program.
 FastPrepared prepare_fast_path(const ir::LayerProgram& program);
+
+/// Process-wide keyed cache over prepare_fast_path(): every Accelerator —
+/// and therefore every ServingPool replica and streaming worker — executing
+/// the same lowered program receives one shared immutable pack instead of
+/// building a private copy (replicas of a VGG-scale model would otherwise
+/// each hold megabytes of identical repacked weights and pay the repack on
+/// spin-up). Keyed by program identity: the borrowed QuantizedNetwork, the
+/// op range and each op's parameters and planned layout. Entries are weak;
+/// a pack dies with its last user and is rebuilt on the next request.
+std::shared_ptr<const FastPrepared> shared_fast_prepared(
+    const ir::LayerProgram& program);
+
+/// Number of prepare_fast_path() builds performed through the shared cache
+/// since process start — an observability hook that lets tests assert the
+/// replica-sharing guarantee ("N replicas, one build") by accounting.
+std::uint64_t fast_prepared_build_count();
 
 /// Execute ops [begin, end) of `program` on the fast path, appending per-op
 /// stats to `result` (which the caller has reset). Fills `result.logits`
@@ -84,5 +104,24 @@ void run_fast_path_batched(const ir::LayerProgram& program,
                            const TensorI* codes, std::size_t batch,
                            std::size_t begin, std::size_t end,
                            TensorI* boundary_codes, AccelRunResult* results);
+
+/// Multi-core batched variant: the batch splits into at most `threads`
+/// contiguous image slices and every op is executed fork/join on `pool` —
+/// all slices traverse the same prepared weight pack concurrently, so the
+/// taps a slice loads into the shared cache are the taps every other slice
+/// needs next. Each slice is the sequential batched kernel over its
+/// sub-range (same code path, its own slot arena), so per-image logits and
+/// accounting are bit-identical to run_fast_path_batched() by construction,
+/// and warm runs allocate nothing. Degrades to the sequential kernel on
+/// pool.arena(0) when fewer than two slices make sense. Acquires the pool
+/// for the whole run; concurrent callers serialize.
+void run_fast_path_batched_parallel(const ir::LayerProgram& program,
+                                    const FastPrepared& prep,
+                                    common::TaskPool& pool,
+                                    const TensorI* codes, std::size_t batch,
+                                    std::size_t begin, std::size_t end,
+                                    TensorI* boundary_codes,
+                                    AccelRunResult* results,
+                                    std::size_t threads);
 
 }  // namespace rsnn::hw

@@ -240,6 +240,18 @@ int cmd_run(int argc, char** argv) {
   compiler::CompileOptions options;
   options.num_conv_units = std::stoi(get(args, "units", "2"));
   options.clock_mhz = std::stod(get(args, "mhz", "100"));
+  // Host threads per batched fast-path run (0 = hardware concurrency). Flows
+  // through the lowered program's config, so `--stream` workers and every
+  // `--serve` replica inherit it: `--threads` trades cores-per-replica
+  // against `--replicas` on one host.
+  std::string threads_error;
+  long long fast_threads = 1;
+  if (!parse_count(get(args, "threads", "1"), "fast-path thread count",
+                   /*min_value=*/0, &fast_threads, &threads_error)) {
+    std::fprintf(stderr, "error: %s\n", threads_error.c_str());
+    return 1;
+  }
+  options.fast_path_threads = static_cast<int>(fast_threads);
   const auto design = compiler::compile(qnet, options);
   std::printf("%s", compiler::describe(design, qnet).c_str());
 
@@ -609,6 +621,8 @@ void usage() {
       "  run       --qsnn m.qsnn [--units 2] [--mhz 100] [--samples 200]\n"
       "            [--engine cycle_accurate|analytic|behavioral|reference]\n"
       "            [--stream <workers>]  (0 = one per hardware thread)\n"
+      "            [--threads N]  (cores per batched fast-path run; 1 =\n"
+      "             sequential, 0 = all — trades against --replicas)\n"
       "            [--pipeline <stages>] [--partition balance_latency|fit_resources]\n"
       "            [--relower 1]  (re-compile each stage against its own device)\n"
       "            [--serve 1 [--replicas R] [--pipeline K] [--policy fifo|batch|reject]\n"
