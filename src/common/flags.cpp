@@ -1,0 +1,317 @@
+#include "common/flags.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace rsnn::flags {
+namespace {
+
+const char* type_name(FlagType type) {
+  switch (type) {
+    case FlagType::kCount:
+      return "integer";
+    case FlagType::kNumber:
+      return "number";
+    case FlagType::kText:
+      return "text";
+    case FlagType::kToggle:
+      return "0/1";
+  }
+  return "?";
+}
+
+const char* default_value_name(FlagType type) {
+  switch (type) {
+    case FlagType::kCount:
+      return "N";
+    case FlagType::kNumber:
+      return "X";
+    case FlagType::kText:
+      return "VALUE";
+    case FlagType::kToggle:
+      return "0|1";
+  }
+  return "VALUE";
+}
+
+bool parse_full(const std::string& text, std::int64_t* out) {
+  std::size_t consumed = 0;
+  try {
+    *out = std::stoll(text, &consumed);
+  } catch (const std::exception&) {
+    return false;
+  }
+  return consumed != 0 && consumed == text.size();
+}
+
+bool parse_full(const std::string& text, double* out) {
+  std::size_t consumed = 0;
+  try {
+    *out = std::stod(text, &consumed);
+  } catch (const std::exception&) {
+    return false;
+  }
+  return consumed != 0 && consumed == text.size() && std::isfinite(*out);
+}
+
+bool parse_toggle(const std::string& text, bool* out) {
+  if (text == "1" || text == "true" || text == "on" || text == "yes") {
+    *out = true;
+    return true;
+  }
+  if (text == "0" || text == "false" || text == "off" || text == "no") {
+    *out = false;
+    return true;
+  }
+  return false;
+}
+
+std::string format_bound(FlagType type, double value) {
+  std::ostringstream os;
+  if (type == FlagType::kCount) {
+    os << static_cast<std::int64_t>(value);
+  } else {
+    os << value;
+  }
+  return os.str();
+}
+
+/// The "(expected ...)" clause of a range diagnostic, e.g.
+/// "an integer >= 1" or "a number in [0, 1]".
+std::string expectation(const FlagSpec& spec) {
+  std::ostringstream os;
+  const bool bounded_above = spec.max_value < kUnbounded;
+  if (spec.type == FlagType::kToggle) return "0 or 1";
+  if (spec.type == FlagType::kText) return "text";
+  os << (spec.type == FlagType::kCount ? "an integer" : "a number");
+  if (bounded_above) {
+    os << " in [" << format_bound(spec.type, spec.min_value) << ", "
+       << format_bound(spec.type, spec.max_value) << "]";
+  } else {
+    os << " >= " << format_bound(spec.type, spec.min_value);
+  }
+  return os.str();
+}
+
+}  // namespace
+
+FlagSpec count_flag(std::string name, std::string fallback, std::string help,
+                    double min_value, double max_value) {
+  FlagSpec spec;
+  spec.name = std::move(name);
+  spec.type = FlagType::kCount;
+  spec.fallback = std::move(fallback);
+  spec.help = std::move(help);
+  spec.min_value = min_value;
+  spec.max_value = max_value;
+  return spec;
+}
+
+FlagSpec number_flag(std::string name, std::string fallback, std::string help,
+                     double min_value, double max_value,
+                     std::string value_name) {
+  FlagSpec spec;
+  spec.name = std::move(name);
+  spec.type = FlagType::kNumber;
+  spec.fallback = std::move(fallback);
+  spec.help = std::move(help);
+  spec.min_value = min_value;
+  spec.max_value = max_value;
+  spec.value_name = std::move(value_name);
+  return spec;
+}
+
+FlagSpec text_flag(std::string name, std::string fallback, std::string help,
+                   std::string value_name) {
+  FlagSpec spec;
+  spec.name = std::move(name);
+  spec.type = FlagType::kText;
+  spec.fallback = std::move(fallback);
+  spec.help = std::move(help);
+  spec.value_name = std::move(value_name);
+  return spec;
+}
+
+FlagSpec toggle_flag(std::string name, std::string fallback,
+                     std::string help) {
+  FlagSpec spec;
+  spec.name = std::move(name);
+  spec.type = FlagType::kToggle;
+  spec.fallback = std::move(fallback);
+  spec.help = std::move(help);
+  return spec;
+}
+
+std::string validate_flag_value(const FlagSpec& spec, const std::string& text) {
+  const auto fail = [&spec, &text]() {
+    return "invalid --" + spec.name + " '" + text + "' (expected " +
+           expectation(spec) + ")";
+  };
+  switch (spec.type) {
+    case FlagType::kCount: {
+      std::int64_t value = 0;
+      if (!parse_full(text, &value) ||
+          static_cast<double>(value) < spec.min_value ||
+          static_cast<double>(value) > spec.max_value)
+        return fail();
+      return {};
+    }
+    case FlagType::kNumber: {
+      double value = 0.0;
+      if (!parse_full(text, &value) || value < spec.min_value ||
+          value > spec.max_value)
+        return fail();
+      return {};
+    }
+    case FlagType::kToggle: {
+      bool value = false;
+      if (!parse_toggle(text, &value)) return fail();
+      return {};
+    }
+    case FlagType::kText:
+      return {};
+  }
+  return {};
+}
+
+FlagSet::FlagSet(std::vector<FlagSpec> specs) : specs_(std::move(specs)) {
+  values_.reserve(specs_.size());
+  given_.assign(specs_.size(), false);
+  for (const FlagSpec& spec : specs_) {
+    // A table whose default violates its own constraints is a programming
+    // error; catch it at construction, not in some accessor later.
+    const std::string error = validate_flag_value(spec, spec.fallback);
+    RSNN_REQUIRE(error.empty(),
+                 "flag table default violates its own spec: " << error);
+    values_.push_back(spec.fallback);
+  }
+}
+
+std::string FlagSet::parse(int argc, char** argv, int first) {
+  std::vector<std::string> tokens;
+  tokens.reserve(argc > first ? static_cast<std::size_t>(argc - first) : 0);
+  for (int i = first; i < argc; ++i) tokens.emplace_back(argv[i]);
+  return parse(tokens);
+}
+
+std::string FlagSet::parse(const std::vector<std::string>& tokens) {
+  for (std::size_t i = 0; i < tokens.size(); i += 2) {
+    const std::string& key = tokens[i];
+    if (key.size() < 3 || key.compare(0, 2, "--") != 0)
+      return "expected --option, got '" + key + "'";
+    const std::string name = key.substr(2);
+    std::size_t index = specs_.size();
+    for (std::size_t s = 0; s < specs_.size(); ++s)
+      if (specs_[s].name == name) {
+        index = s;
+        break;
+      }
+    if (index == specs_.size())
+      return "unknown option '--" + name + "' (see usage)";
+    if (i + 1 >= tokens.size())
+      return "option '--" + name + "' needs a value";
+    const std::string& value = tokens[i + 1];
+    const std::string error = validate_flag_value(specs_[index], value);
+    if (!error.empty()) return error;
+    values_[index] = value;
+    given_[index] = true;
+  }
+  return {};
+}
+
+const FlagSpec& FlagSet::spec(const std::string& name, FlagType type) const {
+  for (std::size_t s = 0; s < specs_.size(); ++s)
+    if (specs_[s].name == name) {
+      RSNN_REQUIRE(specs_[s].type == type,
+                   "flag '--" << name << "' is declared as "
+                              << type_name(specs_[s].type)
+                              << " but was read as " << type_name(type));
+      return specs_[s];
+    }
+  RSNN_REQUIRE(false, "flag '--" << name << "' is not in this table");
+  return specs_.front();  // unreachable
+}
+
+bool FlagSet::is_set(const std::string& name) const {
+  for (std::size_t s = 0; s < specs_.size(); ++s)
+    if (specs_[s].name == name) return given_[s];
+  RSNN_REQUIRE(false, "flag '--" << name << "' is not in this table");
+  return false;  // unreachable
+}
+
+std::int64_t FlagSet::count(const std::string& name) const {
+  const FlagSpec& s = spec(name, FlagType::kCount);
+  std::int64_t value = 0;
+  parse_full(values_[static_cast<std::size_t>(&s - specs_.data())], &value);
+  return value;
+}
+
+double FlagSet::number(const std::string& name) const {
+  const FlagSpec& s = spec(name, FlagType::kNumber);
+  double value = 0.0;
+  parse_full(values_[static_cast<std::size_t>(&s - specs_.data())], &value);
+  return value;
+}
+
+const std::string& FlagSet::text(const std::string& name) const {
+  const FlagSpec& s = spec(name, FlagType::kText);
+  return values_[static_cast<std::size_t>(&s - specs_.data())];
+}
+
+bool FlagSet::toggle(const std::string& name) const {
+  const FlagSpec& s = spec(name, FlagType::kToggle);
+  bool value = false;
+  parse_toggle(values_[static_cast<std::size_t>(&s - specs_.data())], &value);
+  return value;
+}
+
+std::string FlagSet::usage(int indent) const {
+  // Align help text into a column two spaces past the longest flag stanza.
+  std::size_t widest = 0;
+  std::vector<std::string> stanzas;
+  stanzas.reserve(specs_.size());
+  for (const FlagSpec& spec : specs_) {
+    const std::string value_name =
+        spec.value_name.empty() ? default_value_name(spec.type)
+                                : spec.value_name;
+    stanzas.push_back("--" + spec.name + " " + value_name);
+    widest = std::max(widest, stanzas.back().size());
+  }
+  std::ostringstream os;
+  for (std::size_t s = 0; s < specs_.size(); ++s) {
+    const FlagSpec& spec = specs_[s];
+    os << std::string(static_cast<std::size_t>(indent), ' ') << stanzas[s]
+       << std::string(widest - stanzas[s].size() + 2, ' ') << spec.help;
+    os << " (default " << (spec.fallback.empty() ? "none" : spec.fallback);
+    if (spec.type == FlagType::kCount || spec.type == FlagType::kNumber) {
+      const bool tight_min = spec.min_value != 0.0;
+      const bool tight_max = spec.max_value < kUnbounded;
+      if (tight_min || tight_max) {
+        os << ", " << (tight_max ? "in [" : ">= ")
+           << format_bound(spec.type, spec.min_value);
+        if (tight_max)
+          os << ", " << format_bound(spec.type, spec.max_value) << "]";
+      }
+    }
+    os << ")\n";
+  }
+  return os.str();
+}
+
+std::vector<FlagSpec> merge_flags(std::vector<FlagSpec> base,
+                                  const std::vector<FlagSpec>& extra) {
+  for (const FlagSpec& spec : extra) {
+    for (const FlagSpec& existing : base)
+      RSNN_REQUIRE(existing.name != spec.name,
+                   "duplicate flag '--" << spec.name << "' when merging "
+                                        << "flag tables");
+    base.push_back(spec);
+  }
+  return base;
+}
+
+}  // namespace rsnn::flags

@@ -338,6 +338,18 @@ std::vector<ir::ProgramSegment> partition_program(
   return {};  // unreachable
 }
 
+double expected_attempts_per_image(std::int64_t completed,
+                                   std::int64_t retries,
+                                   std::int64_t stalls) {
+  RSNN_REQUIRE(completed >= 0 && retries >= 0 && stalls >= 0,
+               "serving-overhead counters must be non-negative, got "
+                   << completed << " completed, " << retries << " retries, "
+                   << stalls << " stalls");
+  if (completed == 0) return 1.0;
+  return static_cast<double>(completed + retries + stalls) /
+         static_cast<double>(completed);
+}
+
 std::vector<ServingCandidate> enumerate_serving(
     const ir::LayerProgram& program, int device_budget,
     const PartitionOptions& options) {
@@ -347,6 +359,10 @@ std::vector<ServingCandidate> enumerate_serving(
   RSNN_REQUIRE(device_budget >= 1,
                "serving planning needs a positive device budget, got "
                    << device_budget);
+  RSNN_REQUIRE(options.expected_attempts_per_image >= 1.0,
+               "expected_attempts_per_image must be >= 1 (every served "
+               "image costs at least one dispatch), got "
+                   << options.expected_attempts_per_image);
   const std::size_t n = program.size();
   const double cycle_s = program.config().cycle_ns() * 1e-9;
 
@@ -369,9 +385,13 @@ std::vector<ServingCandidate> enumerate_serving(
       candidate.bottleneck_cycles =
           std::max(candidate.bottleneck_cycles, stage);
     }
+    // Retry cost: a fleet measured at expected_attempts_per_image dispatch
+    // attempts per served image delivers proportionally fewer distinct
+    // images — retries and stalls occupy replicas with recomputation.
     candidate.predicted_images_per_sec =
         static_cast<double>(candidate.replicas) /
-        (static_cast<double>(candidate.bottleneck_cycles) * cycle_s);
+        (static_cast<double>(candidate.bottleneck_cycles) * cycle_s *
+         options.expected_attempts_per_image);
     candidates.push_back(std::move(candidate));
   }
   return candidates;

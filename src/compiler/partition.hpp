@@ -90,7 +90,25 @@ struct PartitionOptions {
   /// smallest feasible packing needs more, the partitioner throws an error
   /// naming that count.
   int max_devices = 0;
+  /// Expected dispatch attempts per served image (>= 1), folded into
+  /// serving-throughput predictions: inference is pure, so a retried
+  /// request recomputes the full image on another replica, and a stalled
+  /// dispatch occupies its replica for roughly one extra image of work.
+  /// Derive it from a measured window with expected_attempts_per_image()
+  /// over the pool's ServingStats counters; 1.0 (the default) predicts a
+  /// fault-free fleet.
+  double expected_attempts_per_image = 1.0;
 };
+
+/// The measured serving-overhead factor for
+/// PartitionOptions::expected_attempts_per_image: each of `completed`
+/// served images consumed one successful dispatch, each of `retries`
+/// re-queued a full image of replica work, and each of `stalls` held a
+/// replica for roughly one extra image — so the fleet delivered `completed`
+/// images for (completed + retries + stalls) images of occupancy. Returns
+/// 1.0 for an empty window; throws ContractViolation on negative counters.
+double expected_attempts_per_image(std::int64_t completed,
+                                   std::int64_t retries, std::int64_t stalls);
 
 /// Cut `program` into exactly `num_segments` contiguous segments minimizing
 /// the maximum per-segment predicted cycles (the pipeline bottleneck) of the

@@ -215,7 +215,7 @@ bool ServingPool::fleet_unrecoverable_locked() const {
          retired_replicas_ == replicas_.size();
 }
 
-void ServingPool::resolve(Request&& request, ServingResult&& outcome) {
+void ServingPool::resolve(Queued&& request, ServingResult&& outcome) {
   // Statistics are recorded under the same lock that fulfills the promise:
   // a caller that observes a resolved future must also observe its
   // completion in stats(). std::promise::set_value runs no user code, so
@@ -262,7 +262,7 @@ void ServingPool::resolve(Request&& request, ServingResult&& outcome) {
 void ServingPool::flush_queue(RequestStatus status,
                               const std::string& error) {
   while (!queue_.empty()) {
-    Request request = std::move(queue_.front());
+    Queued request = std::move(queue_.front());
     queue_.pop_front();
     ServingResult outcome;
     outcome.status = status;
@@ -302,16 +302,16 @@ bool ServingPool::admit(TensorI&& codes, const RequestOptions& request,
     if (allow_evict && request.priority == PriorityClass::kLatency) {
       std::size_t victim = queue_.size();
       for (std::size_t i = 0; i < queue_.size(); ++i) {
-        const Request& queued = queue_[i];
+        const Queued& queued = queue_[i];
         if (queued.priority != PriorityClass::kBulk || queued.attempts != 0)
           continue;
         if (victim == queue_.size() || queued.seq > queue_[victim].seq)
           victim = i;
       }
       if (victim != queue_.size()) {
-        Request evicted = std::move(queue_[victim]);
+        Queued evicted = std::move(queue_[victim]);
         queue_.erase(queue_.begin() +
-                     static_cast<std::deque<Request>::difference_type>(victim));
+                     static_cast<std::deque<Queued>::difference_type>(victim));
         ++stats_.shed_bulk;
         ServingResult outcome;
         outcome.status = RequestStatus::kRejected;
@@ -330,7 +330,7 @@ bool ServingPool::admit(TensorI&& codes, const RequestOptions& request,
     cv_not_full_.wait(lock);
   }
 
-  Request admitted;
+  Queued admitted;
   admitted.codes = std::move(codes);
   admitted.admitted = Clock::now();
   admitted.deadline = request.deadline_ms > 0.0
@@ -350,33 +350,66 @@ bool ServingPool::admit(TensorI&& codes, const RequestOptions& request,
   return true;
 }
 
+std::future<ServingResult> ServingPool::submit(Request request,
+                                               bool* admitted) {
+  // Routing backstop: a request explicitly addressed to a different model
+  // never queues here. The registry routes before this check; it exists so
+  // a misrouted direct submission resolves typed instead of computing the
+  // wrong model's logits.
+  if (request.model_id != options_.model_id && !request.model_id.empty()) {
+    if (admitted != nullptr) *admitted = false;
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ClassStats& pc = stats_.per_class[class_index(request.options.priority)];
+    ++pc.submitted;
+    ++pc.rejected;
+    ++stats_.rejected;
+    return ready_outcome(RequestStatus::kRejected,
+                         "unknown model '" + request.model_id +
+                             "' (this pool serves '" + options_.model_id +
+                             "')");
+  }
+  const bool blocking =
+      request.options.admission == AdmissionMode::kBlocking &&
+      options_.policy != AdmissionPolicy::kReject;
+  const bool allow_evict =
+      request.options.admission == AdmissionMode::kBlocking;
+  std::future<ServingResult> ticket;
+  const bool entered = admit(std::move(request.codes), request.options,
+                             &ticket, blocking, allow_evict);
+  if (admitted != nullptr) *admitted = entered;
+  return ticket;  // always valid: shed requests resolve immediately
+}
+
 std::future<ServingResult> ServingPool::submit(TensorI codes,
                                                const RequestOptions& request) {
-  std::future<ServingResult> ticket;
-  const bool blocking = options_.policy != AdmissionPolicy::kReject;
-  admit(std::move(codes), request, &ticket, blocking, /*allow_evict=*/true);
-  return ticket;  // always valid: shed requests resolve immediately
+  Request typed;
+  typed.codes = std::move(codes);
+  typed.options = request;
+  return submit(std::move(typed));
 }
 
 bool ServingPool::try_submit(TensorI codes,
                              std::future<ServingResult>* ticket,
                              const RequestOptions& request) {
   RSNN_REQUIRE(ticket != nullptr, "try_submit needs a ticket out-param");
-  std::future<ServingResult> attempt;
-  if (!admit(std::move(codes), request, &attempt, /*blocking=*/false,
-             /*allow_evict=*/false))
-    return false;
+  Request typed;
+  typed.codes = std::move(codes);
+  typed.options = request;
+  typed.options.admission = AdmissionMode::kNonBlocking;
+  bool admitted = false;
+  std::future<ServingResult> attempt = submit(std::move(typed), &admitted);
+  if (!admitted) return false;
   *ticket = std::move(attempt);
   return true;
 }
 
-std::vector<ServingPool::Request> ServingPool::acquire_work(
+std::vector<ServingPool::Queued> ServingPool::acquire_work(
     std::size_t replica_index) {
   std::unique_lock<std::mutex> lock(mutex_);
 
   // Dispatch order: latency class before bulk, earliest deadline first
   // within a class, admission order otherwise.
-  const auto ranks_before = [](const Request& a, const Request& b) {
+  const auto ranks_before = [](const Queued& a, const Queued& b) {
     const int ca = class_index(a.priority), cb = class_index(b.priority);
     if (ca != cb) return ca < cb;
     if (a.deadline != b.deadline) return a.deadline < b.deadline;
@@ -390,9 +423,9 @@ std::vector<ServingPool::Request> ServingPool::acquire_work(
   const auto pick_best = [&](Clock::time_point now) -> std::size_t {
     for (std::size_t i = 0; i < queue_.size();) {
       if (queue_[i].deadline <= now) {
-        Request expired = std::move(queue_[i]);
+        Queued expired = std::move(queue_[i]);
         queue_.erase(queue_.begin() +
-                     static_cast<std::deque<Request>::difference_type>(i));
+                     static_cast<std::deque<Queued>::difference_type>(i));
         cv_not_full_.notify_all();
         ServingResult outcome;
         outcome.status = RequestStatus::kDeadlineExceeded;
@@ -409,7 +442,7 @@ std::vector<ServingPool::Request> ServingPool::acquire_work(
         ++other_active;
     std::size_t best = queue_.size();
     for (std::size_t i = 0; i < queue_.size(); ++i) {
-      const Request& req = queue_[i];
+      const Queued& req = queue_[i];
       if (!closed_) {
         if (req.not_before > now) continue;
         if (req.attempts > 0 && other_active > 0 &&
@@ -425,7 +458,7 @@ std::vector<ServingPool::Request> ServingPool::acquire_work(
   // a backoff gate opening or a deadline to fail fast.
   const auto next_wake = [&](Clock::time_point now) {
     auto wake = Clock::time_point::max();
-    for (const Request& req : queue_) {
+    for (const Queued& req : queue_) {
       if (req.not_before > now) wake = std::min(wake, req.not_before);
       wake = std::min(wake, req.deadline);
     }
@@ -433,15 +466,15 @@ std::vector<ServingPool::Request> ServingPool::acquire_work(
   };
 
   const auto pop_at = [&](std::size_t index) {
-    Request picked = std::move(queue_[index]);
+    Queued picked = std::move(queue_[index]);
     queue_.erase(queue_.begin() +
-                 static_cast<std::deque<Request>::difference_type>(index));
+                 static_cast<std::deque<Queued>::difference_type>(index));
     cv_not_full_.notify_all();
     ++picked.attempts;
     return picked;
   };
 
-  std::vector<Request> work;
+  std::vector<Queued> work;
   for (;;) {
     const auto now = Clock::now();
     const std::size_t best = pick_best(now);
@@ -559,7 +592,7 @@ bool ServingPool::handle_quarantine(std::size_t replica_index) {
   return true;
 }
 
-void ServingPool::retry_or_fail(Request&& request, const std::string& error,
+void ServingPool::retry_or_fail(Queued&& request, const std::string& error,
                                 std::size_t replica_index,
                                 std::int64_t dispatch_seq) {
   request.last_replica = static_cast<int>(replica_index);
@@ -588,7 +621,7 @@ void ServingPool::retry_or_fail(Request&& request, const std::string& error,
 
 void ServingPool::replica_main(std::size_t replica_index) {
   for (;;) {
-    std::vector<Request> work = acquire_work(replica_index);
+    std::vector<Queued> work = acquire_work(replica_index);
     if (work.empty()) return;  // closed and drained
 
     std::int64_t dispatch_seq = 0;
@@ -603,7 +636,7 @@ void ServingPool::replica_main(std::size_t replica_index) {
     // tensor for retry on another replica.
     std::vector<TensorI> codes;
     codes.reserve(work.size());
-    for (const Request& request : work) codes.push_back(request.codes);
+    for (const Queued& request : work) codes.push_back(request.codes);
 
     std::vector<hw::AccelRunResult> results;
     bool failed = false, bad_request = false, dead = false;
@@ -652,7 +685,7 @@ void ServingPool::replica_main(std::size_t replica_index) {
         resolve(std::move(work[i]), std::move(outcome));
       }
     } else {
-      for (Request& request : work)
+      for (Queued& request : work)
         retry_or_fail(std::move(request), error_text, replica_index,
                       dispatch_seq);
     }
@@ -681,7 +714,12 @@ ServingPool::BatchRun ServingPool::run_batch(const std::vector<TensorI>& codes,
   BatchRun run;
   std::vector<std::future<ServingResult>> tickets;
   tickets.reserve(codes.size());
-  for (const TensorI& image : codes) tickets.push_back(submit(image, request));
+  for (const TensorI& image : codes) {
+    Request typed;
+    typed.codes = image;
+    typed.options = request;
+    tickets.push_back(submit(std::move(typed)));
+  }
   run.results.reserve(codes.size());
   for (auto& ticket : tickets) run.results.push_back(ticket.get());
   return run;

@@ -120,6 +120,18 @@ inline constexpr int kNumPriorityClasses = 2;
 /// Canonical class name: "latency" / "bulk".
 const char* priority_name(PriorityClass priority);
 
+/// How a request behaves at the admission queue.
+enum class AdmissionMode {
+  /// Block while the queue is full (under the blocking policies); a full
+  /// queue holding undispatched bulk work may evict its newest bulk request
+  /// to admit latency-class work. The submit() default.
+  kBlocking,
+  /// Never block and never evict: a full queue (or a closed pool) resolves
+  /// the request immediately with kRejected — the polite probe try_submit()
+  /// is built on.
+  kNonBlocking,
+};
+
 /// Per-request submission options.
 struct RequestOptions {
   PriorityClass priority = PriorityClass::kLatency;
@@ -129,6 +141,23 @@ struct RequestOptions {
   /// deadline-first (deadline-less requests rank last, FIFO among
   /// themselves).
   double deadline_ms = 0.0;
+  AdmissionMode admission = AdmissionMode::kBlocking;
+};
+
+/// The unified typed serving request: every admission path — in-process
+/// callers, the CLI --serve loop, and the rsnn_serve wire protocol — builds
+/// one of these and hands it to ServingPool::submit(Request) (directly, or
+/// routed by model_id through a serve::ModelRegistry). The legacy
+/// submit(codes)/try_submit/run_batch entry points are thin wrappers that
+/// construct a Request internally.
+struct Request {
+  /// Routing key. Empty targets whichever pool receives the request; a
+  /// non-empty id must match the pool's configured model_id or the request
+  /// resolves kRejected without queueing (the registry normally routes
+  /// before this check — it backstops misrouted direct submissions).
+  std::string model_id;
+  TensorI codes;  ///< pre-encoded activation codes (CHW, T-bit)
+  RequestOptions options;
 };
 
 /// What a serving future resolves to.
@@ -151,6 +180,9 @@ enum class ReplicaHealth { kHealthy, kDegraded, kQuarantined };
 const char* health_name(ReplicaHealth health);
 
 struct ServingPoolOptions {
+  /// Model id this pool serves, checked against Request::model_id (empty
+  /// accepts only unrouted requests — see Request::model_id).
+  std::string model_id;
   /// Identical replicas behind the queue (>= 1).
   int replicas = 1;
   /// Replica shape: a K-stage pipeline over these segments when non-empty
@@ -260,23 +292,35 @@ class ServingPool {
   ServingPool(const ServingPool&) = delete;
   ServingPool& operator=(const ServingPool&) = delete;
 
-  /// Admit one request of pre-encoded activation codes. Blocks while the
-  /// queue is full under kFifo/kBatch; under kReject a full queue sheds the
-  /// request. Always returns a valid future: shed requests resolve
-  /// immediately with kRejected. A full queue holding bulk work sheds the
-  /// newest bulk request to admit a latency-class request (degradation
-  /// order: bulk first).
+  /// The single typed admission path — every other entry point (the legacy
+  /// wrappers below, the CLI --serve loop, the rsnn_serve wire protocol via
+  /// serve::ModelRegistry) funnels through here. Always returns a valid
+  /// future resolving with exactly one typed RequestStatus: a mismatched
+  /// model_id, a closed pool, or a full queue under kNonBlocking /
+  /// kReject resolve immediately with kRejected. Under kBlocking a full
+  /// queue blocks (kFifo/kBatch) and may evict the newest undispatched
+  /// bulk request to admit latency-class work (degradation order: bulk
+  /// first). `admitted`, when given, reports whether the request entered
+  /// the queue (false = the returned future is already resolved).
+  std::future<ServingResult> submit(Request request,
+                                    bool* admitted = nullptr);
+
+  /// Thin wrapper over submit(Request): admit one request of pre-encoded
+  /// activation codes with no routing key, honoring
+  /// `request.admission` (kBlocking by default).
   std::future<ServingResult> submit(TensorI codes,
                                     const RequestOptions& request = {});
 
-  /// Non-blocking admission under any policy: returns false (and leaves
-  /// `ticket` untouched) when the queue is full or the pool is shutting
-  /// down. No bulk eviction — this is the polite probe.
+  /// Thin wrapper over submit(Request) with admission forced to
+  /// kNonBlocking: returns false (and leaves `ticket` untouched) when the
+  /// queue is full or the pool is shutting down. No bulk eviction — this is
+  /// the polite probe.
   bool try_submit(TensorI codes, std::future<ServingResult>* ticket,
                   const RequestOptions& request = {});
 
-  /// Convenience: submit the whole batch (per the pool's policy), wait for
-  /// every request, and return results index-aligned with `codes`.
+  /// Convenience wrapper over submit(Request): submit the whole batch (per
+  /// the pool's policy), wait for every request, and return results
+  /// index-aligned with `codes`.
   struct BatchRun {
     std::vector<ServingResult> results;
     /// Requests resolved kOk.
@@ -284,6 +328,9 @@ class ServingPool {
   };
   BatchRun run_batch(const std::vector<TensorI>& codes,
                      const RequestOptions& request = {});
+
+  /// The routing key this pool serves (ServingPoolOptions::model_id).
+  const std::string& model_id() const { return options_.model_id; }
 
   /// Stop admitting work. drain=true completes everything already admitted
   /// (the destructor's behavior); drain=false resolves undispatched queued
@@ -312,7 +359,7 @@ class ServingPool {
  private:
   using Clock = std::chrono::steady_clock;
 
-  struct Request {
+  struct Queued {
     TensorI codes;
     std::promise<ServingResult> promise;
     Clock::time_point admitted;
@@ -329,7 +376,7 @@ class ServingPool {
   /// latency class first, honoring backoff gates and retry-elsewhere);
   /// fails expired requests fast. Empty once the pool is closed and
   /// drained, or this replica should stop serving.
-  std::vector<Request> acquire_work(std::size_t replica_index);
+  std::vector<Queued> acquire_work(std::size_t replica_index);
   bool admit(TensorI&& codes, const RequestOptions& request,
              std::future<ServingResult>* ticket, bool blocking,
              bool allow_evict);
@@ -337,10 +384,10 @@ class ServingPool {
   /// a caller that observes a resolved future must also observe its
   /// completion in stats(). Requires mutex_ held (set_value runs no user
   /// code, so fulfilling under the lock cannot deadlock).
-  void resolve(Request&& request, ServingResult&& outcome);
+  void resolve(Queued&& request, ServingResult&& outcome);
   /// Re-queue a failed request with backoff, or fail it typed once its
   /// attempts are exhausted (or no replica remains to serve it).
-  void retry_or_fail(Request&& request, const std::string& error,
+  void retry_or_fail(Queued&& request, const std::string& error,
                      std::size_t replica_index, std::int64_t dispatch_seq);
   /// Health bookkeeping after a dispatch. `replica_fault` excludes
   /// deterministic request errors (ContractViolation), which never poison
@@ -371,7 +418,7 @@ class ServingPool {
   mutable std::mutex mutex_;
   std::condition_variable cv_not_empty_;
   std::condition_variable cv_not_full_;
-  std::deque<Request> queue_;
+  std::deque<Queued> queue_;
   bool closed_ = false;
   std::uint64_t next_seq_ = 0;
   std::int64_t next_dispatch_seq_ = 0;

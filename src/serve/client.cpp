@@ -1,0 +1,96 @@
+#include "serve/client.hpp"
+
+namespace rsnn::serve {
+
+std::string Client::connect_loopback(int port) {
+  std::string error;
+  socket_ = Socket::connect_loopback(port, &error);
+  return error;
+}
+
+std::string Client::round_trip(FrameType request_type,
+                               const std::vector<std::uint8_t>& request_payload,
+                               FrameType expected_reply,
+                               std::vector<std::uint8_t>* reply_payload) {
+  if (!socket_.valid()) return "not connected";
+  std::string error = socket_.send_frame(request_type, request_payload);
+  if (!error.empty()) return error;
+  FrameType reply_type;
+  error = socket_.recv_frame(&reply_type, reply_payload);
+  if (!error.empty()) return error;
+  if (reply_type == FrameType::kError) {
+    ErrorReply err;
+    const std::string decode_error = decode(*reply_payload, &err);
+    return decode_error.empty() ? "server error: " + err.message
+                                : decode_error;
+  }
+  if (reply_type != expected_reply)
+    return std::string("expected a ") + frame_name(expected_reply) +
+           " frame, got " + frame_name(reply_type);
+  return {};
+}
+
+std::string Client::infer(const InferRequest& request, InferReply* reply) {
+  std::vector<std::uint8_t> payload;
+  const std::string error = round_trip(FrameType::kInfer, encode(request),
+                                       FrameType::kInferReply, &payload);
+  if (!error.empty()) return error;
+  return decode(payload, reply);
+}
+
+std::string Client::load_model(const std::string& model_id,
+                               const std::string& path,
+                               LoadModelReply* reply) {
+  LoadModelRequest request;
+  request.model_id = model_id;
+  request.path = path;
+  std::vector<std::uint8_t> payload;
+  const std::string error = round_trip(FrameType::kLoadModel, encode(request),
+                                       FrameType::kLoadModelReply, &payload);
+  if (!error.empty()) return error;
+  return decode(payload, reply);
+}
+
+std::string Client::unload_model(const std::string& model_id,
+                                 UnloadModelReply* reply) {
+  UnloadModelRequest request;
+  request.model_id = model_id;
+  std::vector<std::uint8_t> payload;
+  const std::string error =
+      round_trip(FrameType::kUnloadModel, encode(request),
+                 FrameType::kUnloadModelReply, &payload);
+  if (!error.empty()) return error;
+  return decode(payload, reply);
+}
+
+std::string Client::health(const std::string& model_id, HealthReply* reply) {
+  HealthRequest request;
+  request.model_id = model_id;
+  std::vector<std::uint8_t> payload;
+  const std::string error = round_trip(FrameType::kHealth, encode(request),
+                                       FrameType::kHealthReply, &payload);
+  if (!error.empty()) return error;
+  return decode(payload, reply);
+}
+
+std::string Client::metrics(const std::string& model_id, MetricsReply* reply) {
+  MetricsRequest request;
+  request.model_id = model_id;
+  std::vector<std::uint8_t> payload;
+  const std::string error = round_trip(FrameType::kMetrics, encode(request),
+                                       FrameType::kMetricsReply, &payload);
+  if (!error.empty()) return error;
+  return decode(payload, reply);
+}
+
+std::string Client::shutdown_server(bool drain, ShutdownReply* reply) {
+  ShutdownRequest request;
+  request.drain = drain;
+  std::vector<std::uint8_t> payload;
+  const std::string error = round_trip(FrameType::kShutdown, encode(request),
+                                       FrameType::kShutdownReply, &payload);
+  if (!error.empty()) return error;
+  return decode(payload, reply);
+}
+
+}  // namespace rsnn::serve

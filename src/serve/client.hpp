@@ -1,0 +1,48 @@
+// serve::Client — a synchronous wire-protocol client: one connection, one
+// request/reply round trip per call. Shared by the rsnn_client CLI, the
+// loopback end-to-end tests, and the CI smoke job.
+//
+// Every call returns a friendly one-line diagnostic (empty = success).
+// A server-sent Error frame surfaces as that diagnostic verbatim — after
+// one, the server has closed the connection, so reconnect before retrying.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "serve/socket.hpp"
+#include "serve/wire.hpp"
+
+namespace rsnn::serve {
+
+class Client {
+ public:
+  /// Blocking connect to 127.0.0.1:port.
+  std::string connect_loopback(int port);
+  bool connected() const { return socket_.valid(); }
+  void close() { socket_.close(); }
+
+  std::string infer(const InferRequest& request, InferReply* reply);
+  std::string load_model(const std::string& model_id, const std::string& path,
+                         LoadModelReply* reply);
+  std::string unload_model(const std::string& model_id,
+                           UnloadModelReply* reply);
+  std::string health(const std::string& model_id, HealthReply* reply);
+  std::string metrics(const std::string& model_id, MetricsReply* reply);
+  std::string shutdown_server(bool drain, ShutdownReply* reply);
+
+  /// Send a pre-encoded frame and receive the reply — the escape hatch the
+  /// malformed-frame tests use to speak protocol violations on purpose.
+  std::string round_trip(FrameType request_type,
+                         const std::vector<std::uint8_t>& request_payload,
+                         FrameType expected_reply,
+                         std::vector<std::uint8_t>* reply_payload);
+
+  /// Raw socket access for tests that corrupt bytes below the frame layer.
+  Socket& socket() { return socket_; }
+
+ private:
+  Socket socket_;
+};
+
+}  // namespace rsnn::serve

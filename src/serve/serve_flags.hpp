@@ -1,0 +1,32 @@
+// The shared serving-pool flag table: the single declaration of every
+// --serve knob (admission policy, queue, batching, fault tolerance), used
+// by `rsnn_cli run --serve`, the `rsnn_serve` daemon, and any future front
+// end. One table means the two binaries stay option-compatible and their
+// generated usage text cannot drift from the parser.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/flags.hpp"
+#include "engine/serving_pool.hpp"
+
+namespace rsnn::serve {
+
+/// Flags that configure an engine::ServingPoolOptions: replicas, policy,
+/// queue-depth, max-batch, max-wait-ms, max-retries, backoff-ms,
+/// stall-timeout-ms, rebuild, fault.
+std::vector<flags::FlagSpec> serving_pool_flags();
+
+/// Per-request flags layered on top by front ends that submit work
+/// themselves: deadline-ms, bulk-every.
+std::vector<flags::FlagSpec> serving_request_flags();
+
+/// Build pool options from a parsed FlagSet containing serving_pool_flags().
+/// Validates the text-typed domains (policy name, fault plan) and returns a
+/// friendly diagnostic, empty on success. Fields without a flag (segments,
+/// model_id, workers) keep `options`' incoming values.
+std::string pool_options_from_flags(const flags::FlagSet& flag_set,
+                                    engine::ServingPoolOptions* options);
+
+}  // namespace rsnn::serve

@@ -572,5 +572,104 @@ TEST(PlanServing, PlannedConfigurationServesBitIdentically) {
         << "image " << i;
 }
 
+TEST(PlanServing, FoldsExpectedRetryCostIntoThroughput) {
+  const LeNetFixture fx;
+
+  // The measured overhead factor: completed images cost one dispatch each;
+  // retries and stalls each burned roughly one extra image of occupancy.
+  EXPECT_DOUBLE_EQ(compiler::expected_attempts_per_image(0, 0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(compiler::expected_attempts_per_image(100, 0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(compiler::expected_attempts_per_image(90, 8, 2),
+                   100.0 / 90.0);
+  EXPECT_THROW(compiler::expected_attempts_per_image(-1, 0, 0),
+               ContractViolation);
+  EXPECT_THROW(compiler::expected_attempts_per_image(1, -1, 0),
+               ContractViolation);
+  EXPECT_THROW(compiler::expected_attempts_per_image(1, 0, -1),
+               ContractViolation);
+
+  // Doubling the expected attempts halves every candidate's predicted
+  // throughput — and nothing else: the cuts and bottlenecks are unchanged.
+  compiler::PartitionOptions clean;
+  compiler::PartitionOptions flaky;
+  flaky.expected_attempts_per_image = 2.0;
+  const auto base = compiler::enumerate_serving(fx.program, 4, clean);
+  const auto derated = compiler::enumerate_serving(fx.program, 4, flaky);
+  ASSERT_EQ(base.size(), derated.size());
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    EXPECT_EQ(derated[i].stages, base[i].stages);
+    EXPECT_EQ(derated[i].bottleneck_cycles, base[i].bottleneck_cycles);
+    EXPECT_DOUBLE_EQ(derated[i].predicted_images_per_sec,
+                     base[i].predicted_images_per_sec / 2.0);
+  }
+
+  // A factor below 1 would claim images cost less than one dispatch.
+  compiler::PartitionOptions invalid;
+  invalid.expected_attempts_per_image = 0.5;
+  EXPECT_THROW(compiler::enumerate_serving(fx.program, 2, invalid),
+               ContractViolation);
+
+  // End-to-end: fold a measured fault window back into the planner and the
+  // prediction derates accordingly.
+  compiler::PartitionOptions measured;
+  measured.expected_attempts_per_image =
+      compiler::expected_attempts_per_image(90, 8, 2);
+  EXPECT_LT(
+      compiler::plan_serving(fx.program, 4, measured).predicted_images_per_sec,
+      compiler::plan_serving(fx.program, 4, clean).predicted_images_per_sec);
+}
+
+// ------------------------------------------------------ typed request core
+
+TEST(ServingPool, TypedRequestCoreRoutesByModelIdAndCarriesOptions) {
+  // The typed submit(Request) path every wrapper and the wire protocol
+  // funnel through: a matching (or empty) routing key serves normally; a
+  // mismatched key is the misrouted-submission backstop and resolves typed
+  // kRejected without queueing.
+  const LeNetFixture fx;
+  const auto batch = lenet_batch(2, fx.qnet.time_bits);
+  const auto reference =
+      monolithic_reference(fx.program, EngineKind::kReference, batch);
+
+  ServingPoolOptions options;
+  options.model_id = "lenet";
+  ServingPool pool(fx.program, EngineKind::kReference, options);
+  EXPECT_EQ(pool.model_id(), "lenet");
+
+  Request routed;
+  routed.model_id = "lenet";
+  routed.codes = batch[0];
+  routed.options.deadline_ms = 60000.0;
+  auto routed_ticket = pool.submit(std::move(routed));
+
+  Request unrouted;  // empty key targets whichever pool receives it
+  unrouted.codes = batch[1];
+  auto unrouted_ticket = pool.submit(std::move(unrouted));
+
+  Request misrouted;
+  misrouted.model_id = "vgg11";
+  misrouted.codes = batch[0];
+  bool admitted = true;
+  auto misrouted_ticket = pool.submit(std::move(misrouted), &admitted);
+  EXPECT_FALSE(admitted) << "a misrouted request must not enter the queue";
+
+  const ServingResult served = routed_ticket.get();
+  ASSERT_EQ(served.status, RequestStatus::kOk) << served.error;
+  EXPECT_EQ(served.result.logits, reference[0].logits);
+  const ServingResult unrouted_served = unrouted_ticket.get();
+  ASSERT_EQ(unrouted_served.status, RequestStatus::kOk)
+      << unrouted_served.error;
+  EXPECT_EQ(unrouted_served.result.logits, reference[1].logits);
+
+  const ServingResult miss = misrouted_ticket.get();
+  EXPECT_EQ(miss.status, RequestStatus::kRejected);
+  EXPECT_NE(miss.error.find("vgg11"), std::string::npos) << miss.error;
+  EXPECT_NE(miss.error.find("lenet"), std::string::npos) << miss.error;
+
+  const ServingStats stats = pool.stats();
+  EXPECT_EQ(stats.completed, 2);
+  EXPECT_EQ(stats.submitted, 2) << "the misrouted request never counted";
+}
+
 }  // namespace
 }  // namespace rsnn::engine

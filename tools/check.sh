@@ -124,19 +124,20 @@ echo "==== RTL emission smoke passed ===="
 # 4. Sanitizer pass (ASan + UBSan): builds only the threaded executor tests
 #    plus the re-lowering suite and runs them instrumented, validating the
 #    pipeline executor's bounded queues / worker threads, the streaming
-#    pool, the serving pool's admission queue, the fault-injection chaos
-#    suite and the per-device re-lowering path for memory and UB errors
-#    without paying for a full sanitized suite run.
+#    pool, the serving pool's admission queue, the serving daemon's socket /
+#    registry / connection threads, the fault-injection chaos suite and the
+#    per-device re-lowering path for memory and UB errors without paying for
+#    a full sanitized suite run.
 echo "==== [Release+RSNN_SANITIZE] configure ===="
 cmake -B build-check-sanitize -S . \
     -DCMAKE_BUILD_TYPE=Release -DRSNN_SANITIZE=ON
 echo "==== [Release+RSNN_SANITIZE] build (threaded executor tests) ===="
 cmake --build build-check-sanitize -j "$JOBS" \
     --target test_pipeline test_equivalence_packed test_relower test_serving \
-      test_faults test_fastpath
+      test_serve test_faults test_fastpath
 echo "==== [Release+RSNN_SANITIZE] ctest ===="
 ctest --test-dir build-check-sanitize --output-on-failure -j "$JOBS" \
-    -R 'test_pipeline|test_equivalence_packed|test_relower|test_serving|test_faults|test_fastpath'
+    -R 'test_pipeline|test_equivalence_packed|test_relower|test_serving|test_serve$|test_faults|test_fastpath'
 
 # 5. ThreadSanitizer pass: same threaded suites under RSNN_SANITIZE_THREAD
 #    (its own build directory — TSan and ASan cannot share one). This is
@@ -147,11 +148,11 @@ cmake -B build-check-tsan -S . \
     -DCMAKE_BUILD_TYPE=Release -DRSNN_SANITIZE_THREAD=ON
 echo "==== [Release+RSNN_SANITIZE_THREAD] build (threaded executor tests) ===="
 cmake --build build-check-tsan -j "$JOBS" \
-    --target test_pipeline test_equivalence_packed test_serving test_faults \
-      test_fastpath
+    --target test_pipeline test_equivalence_packed test_serving test_serve \
+      test_faults test_fastpath
 echo "==== [Release+RSNN_SANITIZE_THREAD] ctest ===="
 TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1" \
   ctest --test-dir build-check-tsan --output-on-failure -j "$JOBS" \
-    -R 'test_pipeline|test_equivalence_packed|test_serving|test_faults|test_fastpath'
+    -R 'test_pipeline|test_equivalence_packed|test_serving|test_serve$|test_faults|test_fastpath'
 
 echo "==== all configurations passed ===="

@@ -1,0 +1,34 @@
+// Shared evaluation-set loader for the CLI front ends (rsnn_cli run,
+// rsnn_client infer): real MNIST from ./data/mnist when present, the
+// SynthDigits stand-in otherwise — with the same held-out generator
+// parameters in both binaries, so accuracies printed by `rsnn_cli run` and
+// by `rsnn_client infer` against a daemon are computed over the identical
+// sample stream (the CI smoke job diffs them verbatim).
+#pragma once
+
+#include <cstddef>
+
+#include "data/idx_loader.hpp"
+#include "data/synth_digits.hpp"
+#include "tensor/shape.hpp"
+
+namespace rsnn::tools {
+
+inline data::Dataset load_eval_data(const Shape& input_shape,
+                                    std::size_t samples) {
+  const int canvas = static_cast<int>(input_shape.dim(1));
+  if (auto mnist = data::load_mnist("data/mnist", /*train=*/false, canvas))
+    return mnist->take(samples);
+  data::SynthDigitsConfig cfg;
+  cfg.canvas = canvas;
+  cfg.num_samples = samples;
+  cfg.seed = 9999;  // held-out seed, distinct from training data
+  cfg.noise_stddev = 0.08;
+  cfg.max_shift = canvas >= 28 ? 3.0 : 1.5;
+  cfg.min_scale = 0.7;
+  cfg.max_shear = 0.25;
+  cfg.intensity_min = 0.55;
+  return data::make_synth_digits(cfg);
+}
+
+}  // namespace rsnn::tools

@@ -2,36 +2,40 @@
 //
 //   rsnn_cli train   --model lenet5 --out lenet.rsnn [--epochs 4] [--samples 3000]
 //   rsnn_cli convert --model lenet5 --weights lenet.rsnn --T 4 --out lenet.qsnn
-//                    [--weight-bits 3] [--per-channel]
+//                    [--weight-bits 3] [--per-channel 1]
 //   rsnn_cli run     --qsnn lenet.qsnn [--units 2] [--mhz 100] [--samples 200]
 //                    [--engine cycle_accurate|analytic|behavioral|reference]
 //                    [--stream <workers>]
 //                    [--pipeline <stages> [--partition balance_latency|fit_resources]
 //                     [--relower 1]]
+//                    [--serve 1 ...serving flags...]
 //   rsnn_cli emit-rtl --qsnn lenet.qsnn --out rtl_out [--units 2]
 //                    [--pipeline <stages> [--partition ...]]
 //   rsnn_cli info    --qsnn lenet.qsnn
 //
+// Every command's options live in one declarative flag table
+// (common/flags.hpp): the table drives parsing, range checks, and the
+// usage text below, and the serving flags are the same serve::
+// serving_pool_flags() table the rsnn_serve daemon uses — the two binaries
+// cannot drift apart.
+//
 // Datasets: real MNIST from ./data/mnist when present, SynthDigits stand-in
 // otherwise (models with 28x28/32x32 single-channel inputs only).
-#include <algorithm>
 #include <csignal>
 #include <cstdio>
-#include <cstring>
 #include <future>
-#include <map>
 #include <string>
 #include <vector>
 
+#include "common/flags.hpp"
 #include "compiler/compile.hpp"
 #include "compiler/partition.hpp"
-#include "data/idx_loader.hpp"
 #include "engine/engine.hpp"
 #include "engine/fault.hpp"
 #include "engine/pipeline.hpp"
 #include "engine/serving_pool.hpp"
 #include "engine/stream.hpp"
-#include "data/synth_digits.hpp"
+#include "eval_data.hpp"
 #include "hw/accelerator.hpp"
 #include "hw/power_model.hpp"
 #include "hw/report.hpp"
@@ -43,73 +47,99 @@
 #include "quant/qserialize.hpp"
 #include "quant/quantize.hpp"
 #include "rtl/generate.hpp"
+#include "serve/serve_flags.hpp"
 
 namespace {
 
 using namespace rsnn;
+using flags::count_flag;
+using flags::FlagSet;
+using flags::FlagSpec;
+using flags::number_flag;
+using flags::text_flag;
+using flags::toggle_flag;
 
-/// --key value argument map (flags without '--' are rejected).
-std::map<std::string, std::string> parse_args(int argc, char** argv, int first) {
-  std::map<std::string, std::string> args;
-  for (int i = first; i + 1 < argc; i += 2) {
-    RSNN_REQUIRE(std::strncmp(argv[i], "--", 2) == 0,
-                 "expected --option, got '" << argv[i] << "'");
-    args[argv[i] + 2] = argv[i + 1];
-  }
-  return args;
+// ------------------------------------------------------------ flag tables
+
+std::vector<FlagSpec> train_flags() {
+  return {
+      text_flag("model", "lenet5", "zoo model to train", "NAME"),
+      text_flag("out", "", "weight checkpoint path; <model>.rsnn when omitted",
+                "PATH"),
+      count_flag("epochs", "4", "training epochs", 1),
+      count_flag("samples", "3000", "synthetic training samples", 1),
+      count_flag("weight-bits", "3", "QAT weight precision", 1, 8),
+  };
 }
 
-std::string get(const std::map<std::string, std::string>& args,
-                const std::string& key, const std::string& fallback) {
-  const auto it = args.find(key);
-  return it == args.end() ? fallback : it->second;
+std::vector<FlagSpec> convert_flags() {
+  return {
+      text_flag("model", "lenet5", "zoo model to instantiate", "NAME"),
+      text_flag("weights", "", "trained checkpoint; <model>.rsnn when omitted",
+                "PATH"),
+      text_flag("out", "", "quantized model path; <model>.qsnn when omitted",
+                "PATH"),
+      count_flag("T", "4", "activation time bits (spike-train length)", 1, 8),
+      count_flag("weight-bits", "3", "quantized weight precision", 1, 8),
+      toggle_flag("per-channel", "0", "per-channel weight scales"),
+  };
 }
 
-bool has_flag(int argc, char** argv, const char* flag) {
-  for (int i = 0; i < argc; ++i)
-    if (std::strcmp(argv[i], flag) == 0) return true;
-  return false;
+std::vector<FlagSpec> run_flags() {
+  std::vector<FlagSpec> table = {
+      text_flag("qsnn", "lenet5.qsnn", "quantized model to execute", "PATH"),
+      count_flag("units", "2", "convolution units in the derived design", 1),
+      number_flag("mhz", "100", "design clock", 1e-3),
+      count_flag("samples", "200", "evaluation samples", 1),
+      text_flag("engine", "analytic",
+                "cycle_accurate|stepped|analytic|behavioral|reference",
+                "NAME"),
+      count_flag("stream", "-1",
+                 "streaming-report workers (0 = one per hardware thread)",
+                 -1),
+      count_flag("threads", "1",
+                 "cores per batched fast-path run (0 = all; trades against "
+                 "--replicas)"),
+      count_flag("pipeline", "1", "pipeline-parallel stages", 1),
+      text_flag("partition", "balance_latency",
+                "balance_latency|fit_resources", "NAME"),
+      toggle_flag("relower", "0",
+                  "re-compile each stage against its own device"),
+      toggle_flag("serve", "0", "serving-pool report (flags below)"),
+      count_flag("devices", "1",
+                 "plan the stages x replicas split for this device budget",
+                 1),
+  };
+  table = flags::merge_flags(std::move(table), serve::serving_pool_flags());
+  return flags::merge_flags(std::move(table), serve::serving_request_flags());
 }
 
-/// Parse a serve-option integer in [min_value, ..]; false (with a friendly
-/// one-liner in *error) on malformed or out-of-range input — std::stoul
-/// would silently wrap "--queue-depth -1" to SIZE_MAX, unbounding the
-/// "bounded" queue.
-bool parse_count(const std::string& text, const char* what,
-                 long long min_value, long long* out, std::string* error) {
-  std::size_t consumed = 0;
-  long long value = 0;
-  try {
-    value = std::stoll(text, &consumed);
-  } catch (const std::exception&) {
-    consumed = 0;
-  }
-  if (consumed == 0 || consumed != text.size() || value < min_value) {
-    *error = std::string("invalid ") + what + " '" + text +
-             "' (expected an integer >= " + std::to_string(min_value) + ")";
+std::vector<FlagSpec> emit_rtl_flags() {
+  return {
+      text_flag("qsnn", "lenet5.qsnn", "quantized model to emit", "PATH"),
+      text_flag("out", "rtl_out", "output directory", "DIR"),
+      count_flag("units", "2", "convolution units in the derived design", 1),
+      count_flag("pipeline", "1",
+                 "emit per-stage bundles with stream ports", 1),
+      text_flag("partition", "balance_latency",
+                "balance_latency|fit_resources", "NAME"),
+  };
+}
+
+std::vector<FlagSpec> info_flags() {
+  return {
+      text_flag("qsnn", "lenet5.qsnn", "quantized model to describe", "PATH"),
+  };
+}
+
+/// Parse a command's arguments against its table; false (after printing the
+/// diagnostic) on bad input.
+bool parse_command_flags(FlagSet* flag_set, int argc, char** argv) {
+  const std::string error = flag_set->parse(argc, argv, 2);
+  if (!error.empty()) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
     return false;
   }
-  *out = value;
-  return true;
-}
-
-/// Parse a serve-option duration/ratio as a non-negative double; false
-/// (with a friendly one-liner in *error) on malformed input.
-bool parse_ms(const std::string& text, const char* what, double* out,
-              std::string* error) {
-  std::size_t consumed = 0;
-  double value = 0.0;
-  try {
-    value = std::stod(text, &consumed);
-  } catch (const std::exception&) {
-    consumed = 0;
-  }
-  if (consumed == 0 || consumed != text.size() || value < 0.0) {
-    *error = std::string("invalid ") + what + " '" + text +
-             "' (expected a number >= 0)";
-    return false;
-  }
-  *out = value;
   return true;
 }
 
@@ -141,31 +171,17 @@ void print_stage_table(const ir::LayerProgram& program,
   }
 }
 
-data::Dataset load_eval_data(const Shape& input_shape, std::size_t samples) {
-  const int canvas = static_cast<int>(input_shape.dim(1));
-  if (auto mnist = data::load_mnist("data/mnist", /*train=*/false, canvas))
-    return mnist->take(samples);
-  data::SynthDigitsConfig cfg;
-  cfg.canvas = canvas;
-  cfg.num_samples = samples;
-  cfg.seed = 9999;  // held-out seed, distinct from training data
-  cfg.noise_stddev = 0.08;
-  cfg.max_shift = canvas >= 28 ? 3.0 : 1.5;
-  cfg.min_scale = 0.7;
-  cfg.max_shear = 0.25;
-  cfg.intensity_min = 0.55;
-  return data::make_synth_digits(cfg);
-}
-
 int cmd_train(int argc, char** argv) {
-  const auto args = parse_args(argc, argv, 2);
-  const std::string model = get(args, "model", "lenet5");
-  const std::string out = get(args, "out", model + ".rsnn");
-  const int epochs = std::stoi(get(args, "epochs", "4"));
-  const std::size_t samples = std::stoul(get(args, "samples", "3000"));
+  FlagSet args(train_flags());
+  if (!parse_command_flags(&args, argc, argv)) return 1;
+  const std::string model = args.text("model");
+  const std::string out =
+      args.is_set("out") ? args.text("out") : model + ".rsnn";
+  const int epochs = static_cast<int>(args.count("epochs"));
+  const std::size_t samples = static_cast<std::size_t>(args.count("samples"));
 
   nn::ZooOptions zoo;
-  zoo.weight_qat_bits = std::stoi(get(args, "weight-bits", "3"));
+  zoo.weight_qat_bits = static_cast<int>(args.count("weight-bits"));
   nn::Network net = nn::make_model(model, zoo);
   const auto out_shapes = net.layer_output_shapes();
   RSNN_REQUIRE(out_shapes.back().dim(1) == 10 &&
@@ -208,15 +224,18 @@ int cmd_train(int argc, char** argv) {
 }
 
 int cmd_convert(int argc, char** argv) {
-  const auto args = parse_args(argc, argv, 2);
-  const std::string model = get(args, "model", "lenet5");
-  const std::string weights = get(args, "weights", model + ".rsnn");
-  const std::string out = get(args, "out", model + ".qsnn");
+  FlagSet args(convert_flags());
+  if (!parse_command_flags(&args, argc, argv)) return 1;
+  const std::string model = args.text("model");
+  const std::string weights =
+      args.is_set("weights") ? args.text("weights") : model + ".rsnn";
+  const std::string out =
+      args.is_set("out") ? args.text("out") : model + ".qsnn";
 
   quant::QuantizeConfig qcfg;
-  qcfg.time_bits = std::stoi(get(args, "T", "4"));
-  qcfg.weight_bits = std::stoi(get(args, "weight-bits", "3"));
-  qcfg.per_channel = has_flag(argc, argv, "--per-channel");
+  qcfg.time_bits = static_cast<int>(args.count("T"));
+  qcfg.weight_bits = static_cast<int>(args.count("weight-bits"));
+  qcfg.per_channel = args.toggle("per-channel");
 
   nn::ZooOptions zoo;
   zoo.weight_qat_bits = qcfg.weight_bits;
@@ -233,36 +252,174 @@ int cmd_convert(int argc, char** argv) {
   return 0;
 }
 
+/// The serving-pool report behind `run --serve 1`: configure the pool from
+/// the shared serving flag table, feed the eval set through the typed
+/// submit(Request) path, drain (Ctrl-C drains early), and report outcomes.
+int run_serve_report(const FlagSet& args, const compiler::CompiledDesign& design,
+                     const quant::QuantizedNetwork& qnet,
+                     engine::EngineKind kind, const data::Dataset& eval) {
+  engine::ServingPoolOptions pool_options;
+  const std::string pool_error =
+      serve::pool_options_from_flags(args, &pool_options);
+  if (!pool_error.empty()) {
+    std::fprintf(stderr, "error: %s\n", pool_error.c_str());
+    return 1;
+  }
+  const bool relower = args.toggle("relower");
+  const double deadline_ms = args.number("deadline-ms");
+  const long long bulk_every = args.count("bulk-every");
+
+  int stages = 1;
+  if (args.is_set("devices")) {
+    // Enumerate the stages x replicas splits of the device budget with the
+    // per-device cost model and deploy the predicted-throughput winner.
+    const int budget = static_cast<int>(args.count("devices"));
+    const auto candidates = compiler::enumerate_serving(design.program, budget);
+    const auto& plan = candidates[compiler::best_serving_candidate(candidates)];
+    std::printf("\nserving plan for %d device(s):\n", budget);
+    for (const auto& candidate : candidates)
+      std::printf(
+          "  %d stage(s) x %d replica(s): bottleneck ~%lld cycles -> "
+          "%.1f images/sec predicted%s\n",
+          candidate.stages, candidate.replicas,
+          static_cast<long long>(candidate.bottleneck_cycles),
+          candidate.predicted_images_per_sec,
+          candidate.stages == plan.stages ? "  <- chosen" : "");
+    stages = plan.stages;
+    pool_options.replicas = plan.replicas;
+    if (plan.stages > 1) pool_options.segments = plan.segments;
+  } else {
+    const std::string partition_name_arg = args.text("partition");
+    const std::string request_error = compiler::validate_pipeline_request(
+        design.program, std::to_string(args.count("pipeline")),
+        partition_name_arg, &stages);
+    if (!request_error.empty()) {
+      std::fprintf(stderr, "error: %s\n", request_error.c_str());
+      return 1;
+    }
+    if (stages > 1) {
+      const compiler::PartitionStrategy strategy =
+          compiler::parse_partition(partition_name_arg);
+      pool_options.segments =
+          relower ? compiler::partition_program(design.program, strategy,
+                                                stages,
+                                                compiler::PartitionOptions{})
+                  : compiler::partition_program(design.program, strategy,
+                                                stages);
+    }
+  }
+
+  engine::ServingPool pool(design.program, kind, pool_options);
+  std::printf(
+      "\nserving: %d replica(s) of %s on %d device(s), %s admission "
+      "(queue %zu)\n",
+      pool.replicas(), pool.replica_shape().c_str(), pool.devices(),
+      engine::policy_name(pool.options().policy),
+      pool.options().queue_capacity);
+  if (!pool_options.fault_plan.empty())
+    std::printf("  fault plan : %s\n",
+                engine::describe_fault_plan(pool_options.fault_plan).c_str());
+  if (!pool_options.segments.empty())
+    print_stage_table(design.program, pool_options.segments,
+                      pool_options.segments.front().is_relowered());
+
+  std::vector<TensorI> request_codes;
+  request_codes.reserve(eval.size());
+  for (const TensorF& image : eval.images)
+    request_codes.push_back(quant::encode_activations(image, qnet.time_bits));
+
+  // Ctrl-C drains gracefully: stop admitting, complete what was admitted,
+  // print final stats, exit 0.
+  g_interrupted = 0;
+  std::signal(SIGINT, handle_sigint);
+  std::vector<std::future<engine::ServingResult>> tickets;
+  tickets.reserve(request_codes.size());
+  for (std::size_t i = 0; i < request_codes.size(); ++i) {
+    if (g_interrupted) break;
+    engine::Request request;
+    request.codes = std::move(request_codes[i]);
+    request.options.deadline_ms = deadline_ms;
+    if (bulk_every > 0 &&
+        i % static_cast<std::size_t>(bulk_every) ==
+            static_cast<std::size_t>(bulk_every) - 1)
+      request.options.priority = engine::PriorityClass::kBulk;
+    tickets.push_back(pool.submit(std::move(request)));
+  }
+  const bool interrupted = g_interrupted != 0;
+  if (interrupted)
+    std::printf("\ninterrupted: draining %zu admitted request(s)...\n",
+                tickets.size());
+  pool.shutdown(/*drain=*/true);
+
+  long long by_status[5] = {0, 0, 0, 0, 0};
+  for (auto& ticket : tickets) {
+    const engine::ServingResult result = ticket.get();
+    ++by_status[static_cast<int>(result.status)];
+  }
+  std::signal(SIGINT, SIG_DFL);
+
+  const engine::ServingStats stats = pool.stats();
+  std::printf("  outcomes   :");
+  for (const engine::RequestStatus status :
+       {engine::RequestStatus::kOk, engine::RequestStatus::kRejected,
+        engine::RequestStatus::kDeadlineExceeded,
+        engine::RequestStatus::kReplicaFailed,
+        engine::RequestStatus::kCancelled})
+    if (by_status[static_cast<int>(status)] > 0)
+      std::printf(" %lld %s", by_status[static_cast<int>(status)],
+                  engine::status_name(status));
+  std::printf(" (of %zu submitted)\n", tickets.size());
+  std::printf(
+      "  %lld completed in %.1f ms -> %.1f images/sec wall "
+      "(%.1f modeled at %.0f MHz), p50 %.2f ms, p99 %.2f ms, "
+      "%.1f images/dispatch\n",
+      static_cast<long long>(stats.completed), stats.wall_ms,
+      stats.wall_images_per_sec, stats.modeled_images_per_sec,
+      design.config.clock_mhz, stats.p50_latency_ms, stats.p99_latency_ms,
+      stats.mean_batch);
+  if (stats.retries + stats.stalls + stats.rebuilds + stats.shed_bulk > 0)
+    std::printf(
+        "  resilience : %lld retries, %lld replica failure(s), "
+        "%lld stall(s), %lld rebuild(s), %lld bulk shed\n",
+        static_cast<long long>(stats.retries),
+        static_cast<long long>(stats.replica_failures),
+        static_cast<long long>(stats.stalls),
+        static_cast<long long>(stats.rebuilds),
+        static_cast<long long>(stats.shed_bulk));
+  std::printf("  goodput    : latency %.1f%%, bulk %.1f%% (fleet %d/%d)\n",
+              stats.per_class[0].goodput * 100.0,
+              stats.per_class[1].goodput * 100.0, stats.active_replicas,
+              pool.replicas());
+  for (std::size_t r = 0; r < stats.per_replica.size(); ++r)
+    std::printf("  replica %zu: %lld image(s), %s\n", r,
+                static_cast<long long>(stats.per_replica[r]),
+                engine::health_name(stats.replica_health[r]));
+  return 0;
+}
+
 int cmd_run(int argc, char** argv) {
-  const auto args = parse_args(argc, argv, 2);
-  const auto qnet = quant::load_quantized(get(args, "qsnn", "lenet5.qsnn"));
+  FlagSet args(run_flags());
+  if (!parse_command_flags(&args, argc, argv)) return 1;
+  const auto qnet = quant::load_quantized(args.text("qsnn"));
 
   compiler::CompileOptions options;
-  options.num_conv_units = std::stoi(get(args, "units", "2"));
-  options.clock_mhz = std::stod(get(args, "mhz", "100"));
+  options.num_conv_units = static_cast<int>(args.count("units"));
+  options.clock_mhz = args.number("mhz");
   // Host threads per batched fast-path run (0 = hardware concurrency). Flows
   // through the lowered program's config, so `--stream` workers and every
   // `--serve` replica inherit it: `--threads` trades cores-per-replica
   // against `--replicas` on one host.
-  std::string threads_error;
-  long long fast_threads = 1;
-  if (!parse_count(get(args, "threads", "1"), "fast-path thread count",
-                   /*min_value=*/0, &fast_threads, &threads_error)) {
-    std::fprintf(stderr, "error: %s\n", threads_error.c_str());
-    return 1;
-  }
-  options.fast_path_threads = static_cast<int>(fast_threads);
+  options.fast_path_threads = static_cast<int>(args.count("threads"));
   const auto design = compiler::compile(qnet, options);
   std::printf("%s", compiler::describe(design, qnet).c_str());
 
-  const engine::EngineKind kind =
-      engine::parse_engine(get(args, "engine", "analytic"));
+  const engine::EngineKind kind = engine::parse_engine(args.text("engine"));
   auto eng = engine::make_engine(kind, design.program);
   std::printf("  engine     : %s\n", eng->name());
 
   hw::Accelerator accel(design.program);
-  const std::size_t samples = std::stoul(get(args, "samples", "200"));
-  const data::Dataset eval = load_eval_data(qnet.input_shape, samples);
+  const std::size_t samples = static_cast<std::size_t>(args.count("samples"));
+  const data::Dataset eval = tools::load_eval_data(qnet.input_shape, samples);
 
   std::int64_t correct = 0;
   for (std::size_t i = 0; i < eval.size(); ++i) {
@@ -282,7 +439,7 @@ int cmd_run(int argc, char** argv) {
 
   // Optional streaming-throughput report: feed the whole eval set through a
   // persistent worker pool with the selected engine.
-  const int stream_workers = std::stoi(get(args, "stream", "-1"));
+  const int stream_workers = static_cast<int>(args.count("stream"));
   if (stream_workers >= 0) {
     engine::StreamingExecutor stream(design.program, kind, stream_workers);
     stream.run_stream_images(eval.images);
@@ -299,224 +456,27 @@ int cmd_run(int argc, char** argv) {
   // replicas split automatically (compiler::plan_serving); otherwise
   // `--replicas R --pipeline K` pins the shape. Results stay bit-identical
   // to monolithic execution for every shape and policy.
-  if (get(args, "serve", "0") != "0") {
-    const std::string policy_arg = get(args, "policy", "fifo");
-    const std::string policy_error = engine::policy_parse_error(policy_arg);
-    if (!policy_error.empty()) {
-      std::fprintf(stderr, "error: %s\n", policy_error.c_str());
-      return 1;
-    }
-
-    engine::ServingPoolOptions pool_options;
-    pool_options.policy = engine::parse_policy(policy_arg);
-    std::string count_error;
-    long long queue_depth = 0, max_batch = 0, count_value = 0;
-    if (!parse_count(get(args, "queue-depth", "64"), "queue depth",
-                     /*min_value=*/0, &queue_depth, &count_error) ||
-        !parse_count(get(args, "max-batch", "8"), "max batch",
-                     /*min_value=*/1, &max_batch, &count_error)) {
-      std::fprintf(stderr, "error: %s\n", count_error.c_str());
-      return 1;
-    }
-    pool_options.queue_capacity = static_cast<std::size_t>(queue_depth);
-    pool_options.max_batch = static_cast<std::size_t>(max_batch);
-    pool_options.max_wait_ms = std::stod(get(args, "max-wait-ms", "1"));
-    const bool relower = get(args, "relower", "0") != "0";
-
-    // Fault-tolerance knobs: retry budget, backoff, stall supervision,
-    // per-request deadlines, a bulk lane, and a seeded fault plan.
-    long long max_retries = 0, bulk_every = 0;
-    double deadline_ms = 0.0, backoff_ms = 0.0, stall_timeout_ms = 0.0;
-    if (!parse_count(get(args, "max-retries", "2"), "retry budget",
-                     /*min_value=*/0, &max_retries, &count_error) ||
-        !parse_count(get(args, "bulk-every", "0"), "bulk interval",
-                     /*min_value=*/0, &bulk_every, &count_error) ||
-        !parse_ms(get(args, "deadline-ms", "0"), "request deadline",
-                  &deadline_ms, &count_error) ||
-        !parse_ms(get(args, "backoff-ms", "0.1"), "retry backoff",
-                  &backoff_ms, &count_error) ||
-        !parse_ms(get(args, "stall-timeout-ms", "0"), "stall timeout",
-                  &stall_timeout_ms, &count_error)) {
-      std::fprintf(stderr, "error: %s\n", count_error.c_str());
-      return 1;
-    }
-    pool_options.max_retries = static_cast<int>(max_retries);
-    pool_options.backoff_base_ms = backoff_ms;
-    pool_options.backoff_cap_ms =
-        std::max(pool_options.backoff_cap_ms, backoff_ms);
-    pool_options.stall_timeout_ms = stall_timeout_ms;
-    pool_options.rebuild_quarantined = get(args, "rebuild", "0") != "0";
-    const std::string fault_arg = get(args, "fault", "");
-    if (!fault_arg.empty()) {
-      std::string fault_error;
-      if (!engine::parse_fault_plan(fault_arg, &pool_options.fault_plan,
-                                    &fault_error)) {
-        std::fprintf(stderr, "error: %s\n", fault_error.c_str());
-        return 1;
-      }
-    }
-
-    int stages = 1;
-    if (args.count("devices") != 0) {
-      // Enumerate the stages x replicas splits of the device budget with the
-      // per-device cost model and deploy the predicted-throughput winner.
-      if (!parse_count(get(args, "devices", "1"), "device budget",
-                       /*min_value=*/1, &count_value, &count_error)) {
-        std::fprintf(stderr, "error: %s\n", count_error.c_str());
-        return 1;
-      }
-      const int budget = static_cast<int>(count_value);
-      const auto candidates =
-          compiler::enumerate_serving(design.program, budget);
-      const auto& plan =
-          candidates[compiler::best_serving_candidate(candidates)];
-      std::printf("\nserving plan for %d device(s):\n", budget);
-      for (const auto& candidate : candidates)
-        std::printf(
-            "  %d stage(s) x %d replica(s): bottleneck ~%lld cycles -> "
-            "%.1f images/sec predicted%s\n",
-            candidate.stages, candidate.replicas,
-            static_cast<long long>(candidate.bottleneck_cycles),
-            candidate.predicted_images_per_sec,
-            candidate.stages == plan.stages ? "  <- chosen" : "");
-      stages = plan.stages;
-      pool_options.replicas = plan.replicas;
-      if (plan.stages > 1) pool_options.segments = plan.segments;
-    } else {
-      if (!parse_count(get(args, "replicas", "1"), "replica count",
-                       /*min_value=*/1, &count_value, &count_error)) {
-        std::fprintf(stderr, "error: %s\n", count_error.c_str());
-        return 1;
-      }
-      pool_options.replicas = static_cast<int>(count_value);
-      const std::string partition_name_arg =
-          get(args, "partition", "balance_latency");
-      const std::string request_error = compiler::validate_pipeline_request(
-          design.program, get(args, "pipeline", "1"), partition_name_arg,
-          &stages);
-      if (!request_error.empty()) {
-        std::fprintf(stderr, "error: %s\n", request_error.c_str());
-        return 1;
-      }
-      if (stages > 1) {
-        const compiler::PartitionStrategy strategy =
-            compiler::parse_partition(partition_name_arg);
-        pool_options.segments =
-            relower ? compiler::partition_program(design.program, strategy,
-                                                  stages,
-                                                  compiler::PartitionOptions{})
-                    : compiler::partition_program(design.program, strategy,
-                                                  stages);
-      }
-    }
-
-    engine::ServingPool pool(design.program, kind, pool_options);
-    std::printf(
-        "\nserving: %d replica(s) of %s on %d device(s), %s admission "
-        "(queue %zu)\n",
-        pool.replicas(), pool.replica_shape().c_str(), pool.devices(),
-        engine::policy_name(pool.options().policy),
-        pool.options().queue_capacity);
-    if (!pool_options.fault_plan.empty())
-      std::printf("  fault plan : %s\n",
-                  engine::describe_fault_plan(pool_options.fault_plan).c_str());
-    if (!pool_options.segments.empty())
-      print_stage_table(design.program, pool_options.segments,
-                        pool_options.segments.front().is_relowered());
-
-    std::vector<TensorI> request_codes;
-    request_codes.reserve(eval.size());
-    for (const TensorF& image : eval.images)
-      request_codes.push_back(
-          quant::encode_activations(image, qnet.time_bits));
-
-    // Ctrl-C drains gracefully: stop admitting, complete what was admitted,
-    // print final stats, exit 0.
-    g_interrupted = 0;
-    std::signal(SIGINT, handle_sigint);
-    std::vector<std::future<engine::ServingResult>> tickets;
-    tickets.reserve(request_codes.size());
-    for (std::size_t i = 0; i < request_codes.size(); ++i) {
-      if (g_interrupted) break;
-      engine::RequestOptions request;
-      request.deadline_ms = deadline_ms;
-      if (bulk_every > 0 &&
-          i % static_cast<std::size_t>(bulk_every) ==
-              static_cast<std::size_t>(bulk_every) - 1)
-        request.priority = engine::PriorityClass::kBulk;
-      tickets.push_back(pool.submit(request_codes[i], request));
-    }
-    const bool interrupted = g_interrupted != 0;
-    if (interrupted)
-      std::printf("\ninterrupted: draining %zu admitted request(s)...\n",
-                  tickets.size());
-    pool.shutdown(/*drain=*/true);
-
-    long long by_status[5] = {0, 0, 0, 0, 0};
-    for (auto& ticket : tickets) {
-      const engine::ServingResult result = ticket.get();
-      ++by_status[static_cast<int>(result.status)];
-    }
-    std::signal(SIGINT, SIG_DFL);
-
-    const engine::ServingStats stats = pool.stats();
-    std::printf("  outcomes   :");
-    for (const engine::RequestStatus status :
-         {engine::RequestStatus::kOk, engine::RequestStatus::kRejected,
-          engine::RequestStatus::kDeadlineExceeded,
-          engine::RequestStatus::kReplicaFailed,
-          engine::RequestStatus::kCancelled})
-      if (by_status[static_cast<int>(status)] > 0)
-        std::printf(" %lld %s", by_status[static_cast<int>(status)],
-                    engine::status_name(status));
-    std::printf(" (of %zu submitted)\n", tickets.size());
-    std::printf(
-        "  %lld completed in %.1f ms -> %.1f images/sec wall "
-        "(%.1f modeled at %.0f MHz), p50 %.2f ms, p99 %.2f ms, "
-        "%.1f images/dispatch\n",
-        static_cast<long long>(stats.completed), stats.wall_ms,
-        stats.wall_images_per_sec, stats.modeled_images_per_sec,
-        design.config.clock_mhz, stats.p50_latency_ms, stats.p99_latency_ms,
-        stats.mean_batch);
-    if (stats.retries + stats.stalls + stats.rebuilds + stats.shed_bulk > 0)
-      std::printf(
-          "  resilience : %lld retries, %lld replica failure(s), "
-          "%lld stall(s), %lld rebuild(s), %lld bulk shed\n",
-          static_cast<long long>(stats.retries),
-          static_cast<long long>(stats.replica_failures),
-          static_cast<long long>(stats.stalls),
-          static_cast<long long>(stats.rebuilds),
-          static_cast<long long>(stats.shed_bulk));
-    std::printf("  goodput    : latency %.1f%%, bulk %.1f%% (fleet %d/%d)\n",
-                stats.per_class[0].goodput * 100.0,
-                stats.per_class[1].goodput * 100.0, stats.active_replicas,
-                pool.replicas());
-    for (std::size_t r = 0; r < stats.per_replica.size(); ++r)
-      std::printf("  replica %zu: %lld image(s), %s\n", r,
-                  static_cast<long long>(stats.per_replica[r]),
-                  engine::health_name(stats.replica_health[r]));
-    return 0;
-  }
+  if (args.toggle("serve"))
+    return run_serve_report(args, design, qnet, kind, eval);
 
   // Optional pipeline-parallel report: partition the program into stages
   // (one simulated accelerator per stage) and stream the eval set through
   // them. Logits are bit-identical to monolithic execution; with --relower 1
   // each stage is re-compiled against its own device (per-stage placement
   // and cycles improve wherever a stage's weights fit its BRAM budget).
-  if (args.count("pipeline") != 0) {
-    const std::string partition_name_arg =
-        get(args, "partition", "balance_latency");
+  if (args.is_set("pipeline")) {
+    const std::string partition_name_arg = args.text("partition");
     int pipeline_stages = 0;
     const std::string request_error = compiler::validate_pipeline_request(
-        design.program, get(args, "pipeline", "0"), partition_name_arg,
-        &pipeline_stages);
+        design.program, std::to_string(args.count("pipeline")),
+        partition_name_arg, &pipeline_stages);
     if (!request_error.empty()) {
       std::fprintf(stderr, "error: %s\n", request_error.c_str());
       return 1;
     }
     const compiler::PartitionStrategy strategy =
         compiler::parse_partition(partition_name_arg);
-    const bool relower = get(args, "relower", "0") != "0";
+    const bool relower = args.toggle("relower");
 
     std::vector<ir::ProgramSegment> segments;
     if (relower) {
@@ -561,22 +521,22 @@ int cmd_run(int argc, char** argv) {
 }
 
 int cmd_emit_rtl(int argc, char** argv) {
-  const auto args = parse_args(argc, argv, 2);
-  const auto qnet = quant::load_quantized(get(args, "qsnn", "lenet5.qsnn"));
+  FlagSet args(emit_rtl_flags());
+  if (!parse_command_flags(&args, argc, argv)) return 1;
+  const auto qnet = quant::load_quantized(args.text("qsnn"));
   compiler::CompileOptions options;
-  options.num_conv_units = std::stoi(get(args, "units", "2"));
+  options.num_conv_units = static_cast<int>(args.count("units"));
   const auto design = compiler::compile(qnet, options);
-  const std::string dir = get(args, "out", "rtl_out");
+  const std::string dir = args.text("out");
 
   // Partitioned emission: one bundle per pipeline stage, each re-lowered
   // against its own device and wrapped with inter-device stream interfaces.
-  if (args.count("pipeline") != 0) {
-    const std::string partition_name_arg =
-        get(args, "partition", "balance_latency");
+  if (args.is_set("pipeline")) {
+    const std::string partition_name_arg = args.text("partition");
     int pipeline_stages = 0;
     const std::string request_error = compiler::validate_pipeline_request(
-        design.program, get(args, "pipeline", "0"), partition_name_arg,
-        &pipeline_stages);
+        design.program, std::to_string(args.count("pipeline")),
+        partition_name_arg, &pipeline_stages);
     if (!request_error.empty()) {
       std::fprintf(stderr, "error: %s\n", request_error.c_str());
       return 1;
@@ -600,8 +560,9 @@ int cmd_emit_rtl(int argc, char** argv) {
 }
 
 int cmd_info(int argc, char** argv) {
-  const auto args = parse_args(argc, argv, 2);
-  const std::string path = get(args, "qsnn", "lenet5.qsnn");
+  FlagSet args(info_flags());
+  if (!parse_command_flags(&args, argc, argv)) return 1;
+  const std::string path = args.text("qsnn");
   RSNN_REQUIRE(quant::is_quantized_file(path), path << " is not a .qsnn file");
   const auto qnet = quant::load_quantized(path);
   std::printf("%s", qnet.summary().c_str());
@@ -612,29 +573,29 @@ int cmd_info(int argc, char** argv) {
   return 0;
 }
 
+/// Usage text generated from the same tables the parsers run — per-command
+/// sections cannot drift from what each command accepts.
 void usage() {
-  std::printf(
-      "rsnn_cli <command> [--option value ...]\n"
-      "  train     --model lenet5 --out w.rsnn [--epochs 4] [--samples 3000]\n"
-      "  convert   --model lenet5 --weights w.rsnn --T 4 --out m.qsnn\n"
-      "            [--weight-bits 3] [--per-channel true]\n"
-      "  run       --qsnn m.qsnn [--units 2] [--mhz 100] [--samples 200]\n"
-      "            [--engine cycle_accurate|analytic|behavioral|reference]\n"
-      "            [--stream <workers>]  (0 = one per hardware thread)\n"
-      "            [--threads N]  (cores per batched fast-path run; 1 =\n"
-      "             sequential, 0 = all — trades against --replicas)\n"
-      "            [--pipeline <stages>] [--partition balance_latency|fit_resources]\n"
-      "            [--relower 1]  (re-compile each stage against its own device)\n"
-      "            [--serve 1 [--replicas R] [--pipeline K] [--policy fifo|batch|reject]\n"
-      "             [--queue-depth 64] [--max-batch 8] [--max-wait-ms 1]\n"
-      "             [--devices D]  (plan the stages x replicas split for D devices)\n"
-      "             [--deadline-ms 0] [--bulk-every N] [--max-retries 2]\n"
-      "             [--backoff-ms 0.1] [--stall-timeout-ms 0] [--rebuild 1]\n"
-      "             [--fault seed:7,kill:r2@5,err:p0.05]]  (seeded fault plan;\n"
-      "              Ctrl-C drains admitted work and exits cleanly)\n"
-      "  emit-rtl  --qsnn m.qsnn --out rtl_out [--units 2]\n"
-      "            [--pipeline <stages>]  (per-stage bundles with stream ports)\n"
-      "  info      --qsnn m.qsnn\n");
+  std::printf("rsnn_cli <command> [--option value ...]\n");
+  const struct {
+    const char* name;
+    const char* blurb;
+    std::vector<FlagSpec> table;
+  } commands[] = {
+      {"train", "train a zoo model (MNIST or SynthDigits)", train_flags()},
+      {"convert", "quantize a checkpoint into a .qsnn deployment artifact",
+       convert_flags()},
+      {"run",
+       "execute a .qsnn model (reports; --serve 1 runs the serving pool, "
+       "Ctrl-C drains)",
+       run_flags()},
+      {"emit-rtl", "generate synthesizable RTL", emit_rtl_flags()},
+      {"info", "describe a .qsnn file", info_flags()},
+  };
+  for (const auto& command : commands) {
+    std::printf("\n%s — %s\n", command.name, command.blurb);
+    std::printf("%s", FlagSet(command.table).usage(4).c_str());
+  }
 }
 
 }  // namespace

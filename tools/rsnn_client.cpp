@@ -1,0 +1,306 @@
+// rsnn_client — command-line client for a running rsnn_serve daemon.
+//
+//   rsnn_client load     --model-id lenet --qsnn lenet.qsnn [--port 7433]
+//   rsnn_client unload   --model-id lenet
+//   rsnn_client infer    --model-id lenet [--samples 200] [--deadline-ms 0]
+//                        [--bulk-every 0]
+//   rsnn_client health   [--model-id lenet]      ("" = all models)
+//   rsnn_client metrics  [--model-id lenet]
+//   rsnn_client shutdown [--drain 1]
+//
+// `infer` asks the daemon (Health frame) for the model's time bits and
+// input shape, loads the same held-out evaluation set as `rsnn_cli run`
+// (tools/eval_data.hpp), radix-encodes each image client-side and pushes it
+// through an Infer frame — so its final "accuracy over N samples" line is
+// byte-comparable with the local `rsnn_cli run` line; the CI smoke job
+// diffs the two.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/flags.hpp"
+#include "engine/serving_pool.hpp"
+#include "eval_data.hpp"
+#include "quant/quantize.hpp"
+#include "serve/client.hpp"
+#include "serve/serve_flags.hpp"
+
+namespace {
+
+using namespace rsnn;
+using flags::count_flag;
+using flags::FlagSet;
+using flags::FlagSpec;
+using flags::text_flag;
+using flags::toggle_flag;
+
+std::vector<FlagSpec> common_flags() {
+  return {
+      count_flag("port", "7433", "daemon port on 127.0.0.1", 0, 65535),
+      text_flag("model-id", "", "model to address (some commands: \"\" = all)",
+                "ID"),
+  };
+}
+
+std::vector<FlagSpec> load_flags() {
+  return flags::merge_flags(
+      common_flags(),
+      {text_flag("qsnn", "", "model path, resolved on the daemon's filesystem",
+                 "PATH")});
+}
+
+std::vector<FlagSpec> infer_flags() {
+  return flags::merge_flags(
+      flags::merge_flags(common_flags(),
+                         {count_flag("samples", "200", "evaluation samples",
+                                     1)}),
+      serve::serving_request_flags());
+}
+
+std::vector<FlagSpec> shutdown_flags() {
+  return flags::merge_flags(
+      common_flags(),
+      {toggle_flag("drain", "1",
+                   "complete admitted work before exiting (0 = cancel)")});
+}
+
+void usage() {
+  std::printf("rsnn_client <command> [--option value ...]\n");
+  const struct {
+    const char* name;
+    const char* blurb;
+    std::vector<FlagSpec> table;
+  } commands[] = {
+      {"load", "load or hot-swap a model on the daemon", load_flags()},
+      {"unload", "remove a model (admitted work drains first)",
+       common_flags()},
+      {"infer", "run the evaluation set through a served model",
+       infer_flags()},
+      {"health", "per-model replica fleet state", common_flags()},
+      {"metrics", "per-model serving counters and percentiles",
+       common_flags()},
+      {"shutdown", "stop the daemon", shutdown_flags()},
+  };
+  for (const auto& command : commands) {
+    std::printf("\n%s — %s\n", command.name, command.blurb);
+    std::printf("%s", FlagSet(command.table).usage(4).c_str());
+  }
+}
+
+/// Parse + connect; false (after printing) on either failing.
+bool setup(FlagSet* args, serve::Client* client, int argc, char** argv) {
+  const std::string parse_error = args->parse(argc, argv, 2);
+  if (!parse_error.empty()) {
+    std::fprintf(stderr, "error: %s\n", parse_error.c_str());
+    return false;
+  }
+  const std::string connect_error =
+      client->connect_loopback(static_cast<int>(args->count("port")));
+  if (!connect_error.empty()) {
+    std::fprintf(stderr, "error: %s\n", connect_error.c_str());
+    return false;
+  }
+  return true;
+}
+
+int fail(const std::string& error) {
+  std::fprintf(stderr, "error: %s\n", error.c_str());
+  return 1;
+}
+
+std::string health_list(const std::vector<engine::ReplicaHealth>& fleet) {
+  std::string out;
+  for (std::size_t r = 0; r < fleet.size(); ++r) {
+    if (r != 0) out += ", ";
+    out += engine::health_name(fleet[r]);
+  }
+  return out;
+}
+
+int cmd_load(int argc, char** argv) {
+  FlagSet args(load_flags());
+  serve::Client client;
+  if (!setup(&args, &client, argc, argv)) return 1;
+  serve::LoadModelReply reply;
+  const std::string error =
+      client.load_model(args.text("model-id"), args.text("qsnn"), &reply);
+  if (!error.empty()) return fail(error);
+  if (!reply.ok) return fail(reply.detail);
+  std::printf("%s\n", reply.detail.c_str());
+  return 0;
+}
+
+int cmd_unload(int argc, char** argv) {
+  FlagSet args(common_flags());
+  serve::Client client;
+  if (!setup(&args, &client, argc, argv)) return 1;
+  serve::UnloadModelReply reply;
+  const std::string error = client.unload_model(args.text("model-id"), &reply);
+  if (!error.empty()) return fail(error);
+  if (!reply.ok) return fail(reply.detail);
+  std::printf("%s\n", reply.detail.c_str());
+  return 0;
+}
+
+int cmd_infer(int argc, char** argv) {
+  FlagSet args(infer_flags());
+  serve::Client client;
+  if (!setup(&args, &client, argc, argv)) return 1;
+  const std::string model_id = args.text("model-id");
+
+  // The daemon knows the model's input contract; ask rather than guess.
+  serve::HealthReply health;
+  const std::string health_error = client.health(model_id, &health);
+  if (!health_error.empty()) return fail(health_error);
+  if (health.models.empty())
+    return fail("unknown model '" + model_id + "' (try rsnn_client health)");
+  const serve::ModelHealth& model = health.models.front();
+
+  const std::size_t samples = static_cast<std::size_t>(args.count("samples"));
+  const data::Dataset eval =
+      tools::load_eval_data(Shape(model.input_dims), samples);
+  const double deadline_ms = args.number("deadline-ms");
+  const long long bulk_every = args.count("bulk-every");
+
+  std::int64_t correct = 0;
+  std::int64_t ok = 0;
+  double latency_us_sum = 0.0;
+  long long by_status[5] = {0, 0, 0, 0, 0};
+  for (std::size_t i = 0; i < eval.size(); ++i) {
+    serve::InferRequest request;
+    request.model_id = model_id;
+    request.codes = quant::encode_activations(eval.images[i],
+                                              static_cast<int>(model.time_bits));
+    request.options.deadline_ms = deadline_ms;
+    if (bulk_every > 0 &&
+        i % static_cast<std::size_t>(bulk_every) ==
+            static_cast<std::size_t>(bulk_every) - 1)
+      request.options.priority = engine::PriorityClass::kBulk;
+    serve::InferReply reply;
+    const std::string error = client.infer(request, &reply);
+    if (!error.empty()) return fail(error);
+    ++by_status[static_cast<int>(reply.status)];
+    if (reply.status != engine::RequestStatus::kOk) continue;
+    ++ok;
+    latency_us_sum += reply.latency_us;
+    if (reply.predicted_class == eval.labels[i]) ++correct;
+  }
+
+  std::printf("accuracy over %zu samples: %.2f%%\n", eval.size(),
+              100.0 * static_cast<double>(correct) /
+                  static_cast<double>(eval.size()));
+  std::printf("  outcomes:");
+  for (const engine::RequestStatus status :
+       {engine::RequestStatus::kOk, engine::RequestStatus::kRejected,
+        engine::RequestStatus::kDeadlineExceeded,
+        engine::RequestStatus::kReplicaFailed,
+        engine::RequestStatus::kCancelled})
+    if (by_status[static_cast<int>(status)] > 0)
+      std::printf(" %lld %s", by_status[static_cast<int>(status)],
+                  engine::status_name(status));
+  std::printf("\n");
+  if (ok > 0)
+    std::printf("  mean modeled latency: %.2f us/image\n",
+                latency_us_sum / static_cast<double>(ok));
+  return by_status[static_cast<int>(engine::RequestStatus::kOk)] ==
+                 static_cast<long long>(eval.size())
+             ? 0
+             : 1;
+}
+
+int cmd_health(int argc, char** argv) {
+  FlagSet args(common_flags());
+  serve::Client client;
+  if (!setup(&args, &client, argc, argv)) return 1;
+  serve::HealthReply reply;
+  const std::string error = client.health(args.text("model-id"), &reply);
+  if (!error.empty()) return fail(error);
+  if (reply.models.empty()) {
+    std::printf("no models loaded\n");
+    return 0;
+  }
+  for (const serve::ModelHealth& model : reply.models) {
+    std::string dims;
+    for (std::size_t d = 0; d < model.input_dims.size(); ++d)
+      dims += (d == 0 ? "" : "x") + std::to_string(model.input_dims[d]);
+    std::printf(
+        "%s: generation %llu, T=%d, input %s, replicas %d/%d active [%s]\n",
+        model.model_id.c_str(),
+        static_cast<unsigned long long>(model.generation), model.time_bits,
+        dims.c_str(), model.active_replicas, model.replicas,
+        health_list(model.replica_health).c_str());
+  }
+  return 0;
+}
+
+int cmd_metrics(int argc, char** argv) {
+  FlagSet args(common_flags());
+  serve::Client client;
+  if (!setup(&args, &client, argc, argv)) return 1;
+  serve::MetricsReply reply;
+  const std::string error = client.metrics(args.text("model-id"), &reply);
+  if (!error.empty()) return fail(error);
+  if (reply.models.empty()) {
+    std::printf("no models loaded\n");
+    return 0;
+  }
+  for (const serve::ModelMetrics& m : reply.models) {
+    std::printf(
+        "%s: %lld submitted, %lld completed, %lld rejected, %lld failed, "
+        "%lld deadline-exceeded, %lld cancelled\n",
+        m.model_id.c_str(), static_cast<long long>(m.submitted),
+        static_cast<long long>(m.completed),
+        static_cast<long long>(m.rejected), static_cast<long long>(m.failed),
+        static_cast<long long>(m.deadline_exceeded),
+        static_cast<long long>(m.cancelled));
+    std::printf(
+        "  resilience: %lld retries, %lld replica failure(s), %lld stall(s), "
+        "%lld rebuild(s), %.2f attempts/image\n",
+        static_cast<long long>(m.retries),
+        static_cast<long long>(m.replica_failures),
+        static_cast<long long>(m.stalls), static_cast<long long>(m.rebuilds),
+        m.expected_attempts_per_image);
+    std::printf(
+        "  goodput: latency %.1f%%, bulk %.1f%%; p50 %.2f ms, p99 %.2f ms, "
+        "%.1f images/sec wall, %.1f images/dispatch, fleet %d [%s]\n",
+        m.latency_goodput * 100.0, m.bulk_goodput * 100.0, m.p50_latency_ms,
+        m.p99_latency_ms, m.wall_images_per_sec, m.mean_batch,
+        m.active_replicas, health_list(m.replica_health).c_str());
+  }
+  return 0;
+}
+
+int cmd_shutdown(int argc, char** argv) {
+  FlagSet args(shutdown_flags());
+  serve::Client client;
+  if (!setup(&args, &client, argc, argv)) return 1;
+  serve::ShutdownReply reply;
+  const std::string error =
+      client.shutdown_server(args.toggle("drain"), &reply);
+  if (!error.empty()) return fail(error);
+  std::printf("%s\n", reply.detail.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 1;
+  }
+  const std::string command = argv[1];
+  try {
+    if (command == "load") return cmd_load(argc, argv);
+    if (command == "unload") return cmd_unload(argc, argv);
+    if (command == "infer") return cmd_infer(argc, argv);
+    if (command == "health") return cmd_health(argc, argv);
+    if (command == "metrics") return cmd_metrics(argc, argv);
+    if (command == "shutdown") return cmd_shutdown(argc, argv);
+    usage();
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
